@@ -1,0 +1,83 @@
+// Ablation: leader-election probe traffic. §4.2 proposes that the
+// eligible successor agents exchange StateInformation() to pick the
+// least-loaded executor; DESIGN.md notes our headline counts keep that
+// traffic in its own category. This bench quantifies the probe overhead
+// as `a` grows: probes cost a·(a-1) messages per multi-eligible step,
+// while the modelled packet fan-out stays at s·a + f.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "dist/system.h"
+#include "model/builder.h"
+
+using namespace crew;
+
+namespace {
+
+struct Cell {
+  int64_t normal = 0;
+  int64_t election = 0;
+  int64_t committed = 0;
+};
+
+Cell RunOnce(int eligible, bool probes) {
+  sim::Simulator simulator(42);
+  runtime::ProgramRegistry programs;
+  programs.RegisterBuiltins();
+  model::Deployment deployment;
+  runtime::CoordinationSpec coordination;
+  dist::AgentOptions options;
+  options.election_probes = probes;
+  dist::DistributedSystem system(&simulator, &programs, &deployment,
+                                 &coordination, /*num_agents=*/20,
+                                 options);
+
+  model::SchemaBuilder b("Wf");
+  std::vector<StepId> steps;
+  for (int i = 0; i < 10; ++i) {
+    steps.push_back(b.AddTask("T" + std::to_string(i + 1), "noop"));
+  }
+  b.Sequence(steps);
+  auto compiled = model::CompiledSchema::Compile(std::move(b.Build()).value());
+  deployment.AssignRandom(*compiled.value(), system.agent_ids(), eligible,
+                          &simulator.rng());
+  system.RegisterSchema(compiled.value());
+
+  for (int i = 0; i < 20; ++i) {
+    (void)system.front_end().StartWorkflow("Wf", {});
+  }
+  simulator.Run();
+
+  Cell cell;
+  cell.normal =
+      simulator.metrics().MessagesIn(sim::MsgCategory::kNormal);
+  cell.election =
+      simulator.metrics().MessagesIn(sim::MsgCategory::kElection);
+  cell.committed = system.committed_count();
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  printf(
+      "\nAblation: distributed successor-election probe traffic\n"
+      "(20 instances x 10 steps, 20 agents; probes metered separately)\n\n");
+  printf("%3s | %14s | %16s | %16s | %9s\n", "a", "normal msgs",
+         "probes (off)", "probes (on)", "committed");
+  printf("%s\n", std::string(70, '-').c_str());
+  for (int a : {1, 2, 3, 4}) {
+    Cell off = RunOnce(a, /*probes=*/false);
+    Cell on = RunOnce(a, /*probes=*/true);
+    printf("%3d | %14lld | %16lld | %16lld | %6lld/20\n", a,
+           static_cast<long long>(off.normal),
+           static_cast<long long>(off.election),
+           static_cast<long long>(on.election),
+           static_cast<long long>(on.committed));
+  }
+  printf(
+      "\nExpected shape: probe traffic grows ~a*(a-1) per multi-eligible\n"
+      "step while the modelled packet fan-out grows only with a; the\n"
+      "deterministic election keeps outcomes identical either way.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace crew::bench {
+
+sim::LoadCategory LoadCategoryOf(analysis::Mechanism mechanism) {
+  switch (mechanism) {
+    case analysis::Mechanism::kNormal:
+      return sim::LoadCategory::kNavigation;
+    case analysis::Mechanism::kInputChange:
+      return sim::LoadCategory::kInputChange;
+    case analysis::Mechanism::kAbort:
+      return sim::LoadCategory::kAbort;
+    case analysis::Mechanism::kFailureHandling:
+      return sim::LoadCategory::kFailureHandling;
+    case analysis::Mechanism::kCoordination:
+      return sim::LoadCategory::kCoordination;
+  }
+  return sim::LoadCategory::kNavigation;
+}
+
+sim::MsgCategory MsgCategoryOf(analysis::Mechanism mechanism) {
+  switch (mechanism) {
+    case analysis::Mechanism::kNormal:
+      return sim::MsgCategory::kNormal;
+    case analysis::Mechanism::kInputChange:
+      return sim::MsgCategory::kInputChange;
+    case analysis::Mechanism::kAbort:
+      return sim::MsgCategory::kAbort;
+    case analysis::Mechanism::kFailureHandling:
+      return sim::MsgCategory::kFailureHandling;
+    case analysis::Mechanism::kCoordination:
+      return sim::MsgCategory::kCoordination;
+  }
+  return sim::MsgCategory::kNormal;
+}
+
+double MeasuredLoad(const workload::RunResult& result,
+                    analysis::Mechanism mechanism,
+                    const std::vector<NodeId>& nodes, int64_t l) {
+  sim::LoadCategory category = LoadCategoryOf(mechanism);
+  int64_t best = 0;
+  for (NodeId node : nodes) {
+    best = std::max(best, result.metrics.LoadAt(node, category));
+  }
+  return static_cast<double>(best) /
+         (static_cast<double>(l) * result.instances());
+}
+
+double MeasuredMessages(const workload::RunResult& result,
+                        analysis::Mechanism mechanism) {
+  return result.MessagesPerInstance(MsgCategoryOf(mechanism));
+}
+
+void PrintHeader(const std::string& title,
+                 const workload::Params& params) {
+  printf("\n================================================================\n");
+  printf("%s\n", title.c_str());
+  printf("================================================================\n");
+  printf("Table 3 parameters:\n%s", params.Describe().c_str());
+}
+
+void PrintTable(const std::string& title, const workload::Params& params,
+                const workload::RunResult& result,
+                const std::vector<analysis::ModelRow>& load_rows,
+                const std::vector<analysis::ModelRow>& msg_rows,
+                const std::vector<NodeId>& nodes) {
+  PrintHeader(title, params);
+  printf("\nrun: started=%lld committed=%lld aborted=%lld ticks=%lld\n",
+         static_cast<long long>(result.started),
+         static_cast<long long>(result.committed),
+         static_cast<long long>(result.aborted),
+         static_cast<long long>(result.sim_ticks));
+
+  printf("\n%-24s | %-22s | %10s | %10s\n", "Load at node (units of l)",
+         "paper expression", "paper", "measured");
+  printf("%s\n", std::string(78, '-').c_str());
+  for (const analysis::ModelRow& row : load_rows) {
+    double measured = MeasuredLoad(result, row.mechanism, nodes,
+                                   params.navigation_load);
+    printf("%-24s | %-22s | %10.4f | %10.4f\n",
+           analysis::MechanismName(row.mechanism), row.expression.c_str(),
+           row.value, measured);
+  }
+
+  printf("\n%-24s | %-22s | %10s | %10s\n", "Messages per instance",
+         "paper expression", "paper", "measured");
+  printf("%s\n", std::string(78, '-').c_str());
+  for (const analysis::ModelRow& row : msg_rows) {
+    double measured = MeasuredMessages(result, row.mechanism);
+    printf("%-24s | %-22s | %10.4f | %10.4f\n",
+           analysis::MechanismName(row.mechanism), row.expression.c_str(),
+           row.value, measured);
+  }
+  printf("\nnormal traffic by wire type:\n%s",
+         result.metrics.TypeBreakdown(sim::MsgCategory::kNormal).c_str());
+  printf("\nfailure-handling traffic by wire type:\n%s",
+         result.metrics.TypeBreakdown(sim::MsgCategory::kFailureHandling)
+             .c_str());
+  printf("\nunmodelled traffic: election=%lld admin=%lld (see DESIGN.md)\n",
+         static_cast<long long>(
+             result.metrics.MessagesIn(sim::MsgCategory::kElection)),
+         static_cast<long long>(
+             result.metrics.MessagesIn(sim::MsgCategory::kAdmin)));
+}
+
+std::vector<NodeId> CentralEngineNodes() { return {1}; }
+
+std::vector<NodeId> ParallelEngineNodes(int num_engines) {
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < num_engines; ++i) nodes.push_back(1 + i);
+  return nodes;
+}
+
+std::vector<NodeId> DistributedAgentNodes(int num_agents) {
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < num_agents; ++i) nodes.push_back(1 + i);
+  return nodes;
+}
+
+}  // namespace crew::bench

@@ -1,0 +1,50 @@
+#ifndef CREW_BENCH_BENCH_COMMON_H_
+#define CREW_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/model.h"
+#include "analysis/recommend.h"
+#include "workload/driver.h"
+
+namespace crew::bench {
+
+/// Maps a Table 4-6 mechanism to the metric categories it is measured
+/// from.
+sim::LoadCategory LoadCategoryOf(analysis::Mechanism mechanism);
+sim::MsgCategory MsgCategoryOf(analysis::Mechanism mechanism);
+
+/// Measured per-instance load (units of l) at the busiest node among
+/// `nodes` for one mechanism.
+double MeasuredLoad(const workload::RunResult& result,
+                    analysis::Mechanism mechanism,
+                    const std::vector<NodeId>& nodes, int64_t l);
+
+/// Measured per-instance message count for one mechanism.
+double MeasuredMessages(const workload::RunResult& result,
+                        analysis::Mechanism mechanism);
+
+/// Prints one paper table (load block + messages block) with columns:
+/// mechanism | paper expression | paper value | measured. `nodes` are
+/// the nodes whose load the "Load at Engine" block reports (the engine
+/// for central, engines for parallel, agents for distributed).
+void PrintTable(const std::string& title, const workload::Params& params,
+                const workload::RunResult& result,
+                const std::vector<analysis::ModelRow>& load_rows,
+                const std::vector<analysis::ModelRow>& msg_rows,
+                const std::vector<NodeId>& nodes);
+
+/// Prints the Table 3 parameter header.
+void PrintHeader(const std::string& title,
+                 const workload::Params& params);
+
+/// Node-id lists for the three architectures (matching the system
+/// constructors' numbering).
+std::vector<NodeId> CentralEngineNodes();
+std::vector<NodeId> ParallelEngineNodes(int num_engines);
+std::vector<NodeId> DistributedAgentNodes(int num_agents);
+
+}  // namespace crew::bench
+
+#endif  // CREW_BENCH_BENCH_COMMON_H_

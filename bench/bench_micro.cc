@@ -1,0 +1,119 @@
+// Micro-benchmarks of the rule-plumbing hot paths: rule-engine firing,
+// packet serialization/parsing, expression evaluation, and WAL appends.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "expr/eval.h"
+#include "expr/parser.h"
+#include "rules/engine.h"
+#include "runtime/packet.h"
+#include "storage/wal.h"
+
+namespace {
+
+using crew::Value;
+
+void BM_RuleEnginePostAndFire(benchmark::State& state) {
+  const int num_rules = static_cast<int>(state.range(0));
+  crew::rules::RuleEngine engine;
+  for (int i = 0; i < num_rules; ++i) {
+    crew::rules::Rule rule;
+    rule.id = "exec.S" + std::to_string(i + 1) + ".via.S" +
+              std::to_string(i);
+    rule.events = {"S" + std::to_string(i) + ".done"};
+    rule.action = {crew::rules::ActionKind::kExecuteStep, i + 1};
+    (void)engine.AddRule(std::move(rule));
+  }
+  crew::expr::FunctionEnvironment env(
+      [](const std::string&) { return std::nullopt; });
+  int step = 0;
+  for (auto _ : state) {
+    engine.Post("S" + std::to_string(step % num_rules) + ".done");
+    benchmark::DoNotOptimize(engine.CollectFireable(env));
+    ++step;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuleEnginePostAndFire)->Arg(16)->Arg(64)->Arg(256);
+
+crew::runtime::WorkflowPacket MakePacket(int items) {
+  crew::runtime::WorkflowPacket packet;
+  packet.instance = {"WF2", 4};
+  packet.target_step = 3;
+  packet.epoch = 1;
+  for (int i = 0; i < items; ++i) {
+    packet.data["S" + std::to_string(i) + ".O1"] =
+        Value(static_cast<int64_t>(i * 10));
+    packet.events.push_back(
+        {"S" + std::to_string(i) + ".done", 1, 0});
+    packet.executed_by[i + 1] = 10 + i;
+  }
+  packet.ro_links.push_back({{"WF3", 15}, 2, 4, true});
+  return packet;
+}
+
+void BM_PacketSerialize(benchmark::State& state) {
+  crew::runtime::WorkflowPacket packet =
+      MakePacket(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packet.Serialize());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketSerialize)->Arg(5)->Arg(15)->Arg(25);
+
+void BM_PacketParse(benchmark::State& state) {
+  std::string payload =
+      MakePacket(static_cast<int>(state.range(0))).Serialize();
+  for (auto _ : state) {
+    auto parsed = crew::runtime::WorkflowPacket::Parse(payload);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_PacketParse)->Arg(5)->Arg(15)->Arg(25);
+
+void BM_ExpressionEvaluate(benchmark::State& state) {
+  auto parsed = crew::expr::ParseExpression(
+      "S1.O1 >= 10 and (S2.O1 + S3.O1) * 2 < 100 or changed(WF.I1)");
+  crew::expr::FunctionEnvironment env(
+      [](const std::string& name) -> std::optional<Value> {
+        if (name == "WF.I1") return Value(int64_t{7});
+        return Value(int64_t{21});
+      },
+      [](const std::string&) -> std::optional<Value> {
+        return Value(int64_t{7});
+      });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crew::expr::Evaluate(parsed.value(), env));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExpressionEvaluate);
+
+void BM_WalAppend(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "crew_bench_wal.log").string();
+  fs::remove(path);
+  crew::storage::Wal wal;
+  if (!wal.Open(path).ok()) {
+    state.SkipWithError("cannot open WAL");
+    return;
+  }
+  std::string record(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.Append(record));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(record.size()));
+  wal.Close();
+  fs::remove(path);
+}
+BENCHMARK(BM_WalAppend)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+// Reproduces Table 4: Load and Physical Messages in Centralized Workflow
+// Control. Runs the Table 3 midpoint workload on the central engine and
+// prints the paper's analytic expressions next to measured values.
+#include "bench/bench_common.h"
+
+int main() {
+  crew::workload::Params params;  // Table 3 midpoints
+  params.num_schemas = 20;
+  params.instances_per_schema = 10;
+
+  crew::workload::RunResult result = crew::workload::RunWorkload(
+      params, crew::workload::Architecture::kCentral);
+
+  crew::bench::PrintTable(
+      "Table 4: Centralized Workflow Control (paper vs measured)", params,
+      result, crew::analysis::CentralLoad(params),
+      crew::analysis::CentralMessages(params),
+      crew::bench::CentralEngineNodes());
+  return 0;
+}

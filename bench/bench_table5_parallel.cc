@@ -1,0 +1,20 @@
+// Reproduces Table 5: Load and Physical Messages in Parallel Workflow
+// Control (e engines sharing the instance load).
+#include "bench/bench_common.h"
+
+int main() {
+  crew::workload::Params params;  // Table 3 midpoints
+  params.num_schemas = 20;
+  params.instances_per_schema = 10;
+  params.num_engines = 4;
+
+  crew::workload::RunResult result = crew::workload::RunWorkload(
+      params, crew::workload::Architecture::kParallel);
+
+  crew::bench::PrintTable(
+      "Table 5: Parallel Workflow Control (paper vs measured)", params,
+      result, crew::analysis::ParallelLoad(params),
+      crew::analysis::ParallelMessages(params),
+      crew::bench::ParallelEngineNodes(params.num_engines));
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Table 6: Load and Physical Messages in Distributed Workflow
+// Control (agents navigate by exchanging workflow packets).
+#include "bench/bench_common.h"
+
+int main() {
+  crew::workload::Params params;  // Table 3 midpoints
+  params.num_schemas = 20;
+  params.instances_per_schema = 10;
+  params.num_agents = 50;
+
+  crew::workload::RunResult result = crew::workload::RunWorkload(
+      params, crew::workload::Architecture::kDistributed);
+
+  crew::bench::PrintTable(
+      "Table 6: Distributed Workflow Control (paper vs measured)", params,
+      result, crew::analysis::DistributedLoad(params),
+      crew::analysis::DistributedMessages(params),
+      crew::bench::DistributedAgentNodes(params.num_agents));
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Table 7: Recommended Choice of Architectures for Various
+// Requirements — derived from *measured* runs of all three architectures
+// on the same Table 3 workload.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  crew::workload::Params params;  // Table 3 midpoints
+  params.num_schemas = 20;
+  params.instances_per_schema = 10;
+  params.num_engines = 4;
+  params.num_agents = 50;
+
+  crew::bench::PrintHeader(
+      "Table 7: Architecture recommendation (derived from measurement)",
+      params);
+
+  using crew::workload::Architecture;
+  crew::workload::RunResult central =
+      crew::workload::RunWorkload(params, Architecture::kCentral);
+  crew::workload::RunResult parallel =
+      crew::workload::RunWorkload(params, Architecture::kParallel);
+  crew::workload::RunResult distributed =
+      crew::workload::RunWorkload(params, Architecture::kDistributed);
+
+  printf("\n%s", central.Describe().c_str());
+  printf("\n%s", parallel.Describe().c_str());
+  printf("\n%s\n", distributed.Describe().c_str());
+
+  crew::analysis::Recommendation recommendation = crew::analysis::Recommend(
+      central, parallel, distributed, params);
+  printf("\n%s", crew::analysis::FormatTable7(recommendation).c_str());
+
+  printf(
+      "\nPaper's Table 7 for comparison:\n"
+      "  Load: distributed (1), parallel (2), central (3) in every "
+      "scenario.\n"
+      "  Messages: distributed (1) normal & failures; central (1) under "
+      "heavy coordination.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Insurance claims processing exercising three mechanisms at once:
+//  - a *nested workflow* (fraud investigation runs as a child workflow);
+//  - a *user input change* mid-flight (the claimed amount is corrected,
+//    rolling the assessment back and re-executing it with OCR);
+//  - a *user abort* of a second claim, compensating the executed steps.
+//
+//   ./build/examples/claims_processing
+#include <cstdio>
+#include <vector>
+
+#include "dist/system.h"
+#include "laws/parser.h"
+
+using namespace crew;
+
+namespace {
+
+const char kSpec[] = R"LAWS(
+workflow Investigation {
+  step PullRecords program "pull"    cost 600 query
+  step ScoreRisk   program "score"   cost 900
+  arc PullRecords -> ScoreRisk
+}
+
+workflow Claim {
+  input WF.I1                        # claimed amount
+  step Intake      program "intake"  cost 300
+  step Assess      program "assess"  cost 1200 inputs WF.I1
+  subworkflow Investigate schema Investigation inputs S2.O1
+  step Approve     program "approve" cost 400
+  step Payout      program "payout"  cost 700
+  arc Intake -> Assess
+  arc Assess -> Investigate
+  arc Investigate -> Approve
+  arc Approve -> Payout
+  reexec Assess when "changed(WF.I1)"
+  compensation Payout program "clawback"
+}
+)LAWS";
+
+}  // namespace
+
+int main() {
+  Result<laws::LawsFile> parsed = laws::ParseLaws(kSpec);
+  if (!parsed.ok()) {
+    fprintf(stderr, "LAWS error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  sim::Simulator simulator(/*seed=*/19);
+  std::vector<std::string> trace;
+  runtime::ProgramRegistry programs;
+  auto log_program = [&](const char* name) {
+    programs.Register(name, [&trace, name](
+                                const runtime::ProgramContext& ctx) {
+      trace.push_back(std::string(name) + "  " + ctx.instance.ToString() +
+                      (ctx.compensation ? " (compensation)" : "") +
+                      " attempt " + std::to_string(ctx.attempt));
+      runtime::ProgramOutcome out;
+      auto amount = ctx.inputs.find("WF.I1");
+      out.outputs["O1"] = amount != ctx.inputs.end()
+                              ? amount->second
+                              : Value(int64_t{1});
+      return out;
+    });
+  };
+  for (const char* name :
+       {"intake", "assess", "approve", "payout", "pull", "score",
+        "clawback"}) {
+    log_program(name);
+  }
+
+  model::Deployment deployment;
+  dist::DistributedSystem system(&simulator, &programs, &deployment,
+                                 &parsed.value().coordination,
+                                 /*num_agents=*/7);
+  for (const model::CompiledSchemaPtr& schema : parsed.value().schemas) {
+    deployment.AssignRandom(*schema, system.agent_ids(), 2,
+                            &simulator.rng());
+    system.RegisterSchema(schema);
+  }
+
+  // Claim #1: amount corrected mid-flight -> partial rollback + OCR.
+  Result<InstanceId> claim1 = system.front_end().StartWorkflow(
+      "Claim", {{"WF.I1", Value(int64_t{12000})}});
+  if (!claim1.ok()) return 1;
+  simulator.queue().RunUntil(simulator.now() + 5);
+  (void)system.front_end().RequestChangeInputs(
+      claim1.value(), {{"WF.I1", Value(int64_t{9500})}});
+
+  // Claim #2: the customer withdraws -> user abort with compensation.
+  Result<InstanceId> claim2 = system.front_end().StartWorkflow(
+      "Claim", {{"WF.I1", Value(int64_t{400})}});
+  if (!claim2.ok()) return 1;
+  simulator.queue().RunUntil(simulator.now() + 6);
+  (void)system.front_end().RequestAbort(claim2.value());
+
+  simulator.Run();
+
+  printf("event trace:\n");
+  for (const std::string& line : trace) printf("  %s\n", line.c_str());
+  printf("\nclaim %s -> %s (amount corrected mid-flight)\n",
+         claim1.value().ToString().c_str(),
+         runtime::WorkflowStateName(
+             system.front_end().KnownStatus(claim1.value())));
+  printf("claim %s -> %s (withdrawn by the customer)\n",
+         claim2.value().ToString().c_str(),
+         runtime::WorkflowStateName(
+             system.front_end().KnownStatus(claim2.value())));
+  std::map<std::string, Value> data = system.ArchivedData(claim1.value());
+  auto payout = data.find("S5.O1");
+  if (payout != data.end()) {
+    printf("claim 1 payout based on corrected amount: %s\n",
+           payout->second.ToString().c_str());
+  }
+  return 0;
+}

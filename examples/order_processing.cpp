@@ -1,0 +1,89 @@
+// Order processing with *relative ordering* across concurrent instances —
+// the paper's motivating coordinated-execution scenario (§3): orders must
+// be fulfilled in the sequence they were received, so the steps of
+// concurrent order workflows that touch the same resources execute in
+// the same relative order. The workflow is defined in LAWS and run on
+// distributed control; the output shows that reservation/shipping order
+// follows submission order even though instance 2 is much cheaper.
+//
+//   ./build/examples/order_processing
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dist/system.h"
+#include "laws/parser.h"
+
+using namespace crew;
+
+namespace {
+
+/// The specification lives in examples/order.laws; fall back to a path
+/// given on the command line.
+std::string SpecPath(int argc, char** argv) {
+  if (argc > 1) return argv[1];
+  return std::string(CREW_EXAMPLE_DIR) + "/order.laws";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<laws::LawsFile> parsed = laws::ParseLawsFile(SpecPath(argc, argv));
+  if (!parsed.ok()) {
+    fprintf(stderr, "LAWS error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  sim::Simulator simulator(/*seed=*/11);
+  runtime::ProgramRegistry programs;
+  // Every program logs its execution so the relative order is visible.
+  std::vector<std::string> trace;
+  for (const char* name : {"receive", "check", "reserve", "pick",
+                          "ship", "decline", "unreserve",
+                          "invoice", "collect"}) {
+    std::string step_name = name;
+    programs.Register(name, [&trace, step_name, &simulator](
+                                const runtime::ProgramContext& ctx) {
+      trace.push_back("t=" + std::to_string(simulator.now()) + "  " +
+                      ctx.instance.ToString() + " " + step_name);
+      runtime::ProgramOutcome out;
+      out.outputs["O1"] = Value(int64_t{1});
+      return out;
+    });
+  }
+
+  model::Deployment deployment;
+  dist::DistributedSystem system(&simulator, &programs, &deployment,
+                                 &parsed.value().coordination,
+                                 /*num_agents=*/8);
+  for (const model::CompiledSchemaPtr& schema : parsed.value().schemas) {
+    deployment.AssignRandom(*schema, system.agent_ids(), 2,
+                            &simulator.rng());
+    system.RegisterSchema(schema);
+  }
+
+  // Three orders arrive in quick succession; order 2 is tiny and would
+  // overtake order 1 without the relative-ordering requirement.
+  std::vector<InstanceId> orders;
+  for (int64_t size : {500, 5, 50}) {
+    Result<InstanceId> id = system.front_end().StartWorkflow(
+        "Order", {{"WF.I1", Value(size)}});
+    if (!id.ok()) return 1;
+    orders.push_back(id.value());
+    simulator.queue().RunUntil(simulator.now() + 2);  // stagger arrivals
+  }
+  simulator.Run();
+
+  printf("execution trace (note Reserve/Ship follow submission order):\n");
+  for (const std::string& line : trace) {
+    printf("  %s\n", line.c_str());
+  }
+  for (const InstanceId& id : orders) {
+    printf("%s -> %s\n", id.ToString().c_str(),
+           runtime::WorkflowStateName(system.front_end().KnownStatus(id)));
+  }
+  printf("coordination messages: %lld\n",
+         static_cast<long long>(simulator.metrics().MessagesIn(
+             sim::MsgCategory::kCoordination)));
+  return 0;
+}

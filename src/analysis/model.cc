@@ -1,0 +1,120 @@
+#include "analysis/model.h"
+
+namespace crew::analysis {
+
+const char* MechanismName(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kNormal: return "Normal Execution";
+    case Mechanism::kInputChange: return "Workflow Input Change";
+    case Mechanism::kAbort: return "Workflow Abort";
+    case Mechanism::kFailureHandling: return "Failure Handling";
+    case Mechanism::kCoordination: return "Coordinated Execution";
+  }
+  return "?";
+}
+
+namespace {
+
+double Cx(const workload::Params& p) {
+  return static_cast<double>(p.coordination_intensity());
+}
+
+}  // namespace
+
+// ---- Table 4: centralized control ----
+
+std::vector<ModelRow> CentralLoad(const workload::Params& p) {
+  const double s = p.steps_per_workflow;
+  const double r = p.rollback_depth;
+  const double w = p.abort_compensated_steps;
+  return {
+      {Mechanism::kNormal, "l*s", s},
+      {Mechanism::kInputChange, "l*r*pi", r * p.p_input_change},
+      {Mechanism::kAbort, "l*w*pa", w * p.p_abort},
+      {Mechanism::kFailureHandling, "l*r*pf", r * p.p_step_failure},
+      {Mechanism::kCoordination, "l*(me+ro+rd)*s", Cx(p) * s},
+  };
+}
+
+std::vector<ModelRow> CentralMessages(const workload::Params& p) {
+  const double s = p.steps_per_workflow;
+  const double r = p.rollback_depth;
+  const double w = p.abort_compensated_steps;
+  const double a = p.eligible_per_step;
+  return {
+      {Mechanism::kNormal, "2*s*a", 2 * s * a},
+      {Mechanism::kInputChange, "2*r*pi*pr*a",
+       2 * r * p.p_input_change * p.p_reexecution * a},
+      {Mechanism::kAbort, "2*w*pa*a", 2 * w * p.p_abort * a},
+      {Mechanism::kFailureHandling, "2*r*pf*pr*a",
+       2 * r * p.p_step_failure * p.p_reexecution * a},
+      {Mechanism::kCoordination, "0", 0},
+  };
+}
+
+// ---- Table 5: parallel control ----
+
+std::vector<ModelRow> ParallelLoad(const workload::Params& p) {
+  const double s = p.steps_per_workflow;
+  const double r = p.rollback_depth;
+  const double w = p.abort_compensated_steps;
+  const double e = p.num_engines;
+  return {
+      {Mechanism::kNormal, "l*s/e", s / e},
+      {Mechanism::kInputChange, "(l*r*pi)/e", r * p.p_input_change / e},
+      {Mechanism::kAbort, "(l*w*pa)/e", w * p.p_abort / e},
+      {Mechanism::kFailureHandling, "(l*r*pf)/e",
+       r * p.p_step_failure / e},
+      // The paper notes e cancels: load comparable to central.
+      {Mechanism::kCoordination, "l*(me+ro+rd)*s", Cx(p) * s},
+  };
+}
+
+std::vector<ModelRow> ParallelMessages(const workload::Params& p) {
+  std::vector<ModelRow> rows = CentralMessages(p);
+  const double s = p.steps_per_workflow;
+  const double e = p.num_engines;
+  rows[4] = {Mechanism::kCoordination, "(me+ro+rd)*e*s", Cx(p) * e * s};
+  return rows;
+}
+
+// ---- Table 6: distributed control ----
+
+std::vector<ModelRow> DistributedLoad(const workload::Params& p) {
+  const double s = p.steps_per_workflow;
+  const double r = p.rollback_depth;
+  const double w = p.abort_compensated_steps;
+  const double z = p.num_agents;
+  const double a = p.eligible_per_step;
+  const double d = p.conflicting_defs_per_step;
+  return {
+      {Mechanism::kNormal, "l*s/z", s / z},
+      {Mechanism::kInputChange, "(l*r*pi)/z", r * p.p_input_change / z},
+      {Mechanism::kAbort, "(l*w*pa)/z", w * p.p_abort / z},
+      {Mechanism::kFailureHandling, "(l*r*pf)/z",
+       r * p.p_step_failure / z},
+      {Mechanism::kCoordination, "(l*(me+ro+rd)*a*d*s)/z",
+       Cx(p) * a * d * s / z},
+  };
+}
+
+std::vector<ModelRow> DistributedMessages(const workload::Params& p) {
+  const double s = p.steps_per_workflow;
+  const double r = p.rollback_depth;
+  const double v = p.invalidated_steps;
+  const double w = p.abort_compensated_steps;
+  const double a = p.eligible_per_step;
+  const double d = p.conflicting_defs_per_step;
+  const double f = p.final_steps;
+  return {
+      {Mechanism::kNormal, "s*a + f", s * a + f},
+      {Mechanism::kInputChange, "(r+v)*pi*a",
+       (r + v) * p.p_input_change * a},
+      {Mechanism::kAbort, "2*w*pa*a", 2 * w * p.p_abort * a},
+      {Mechanism::kFailureHandling, "(r+v)*pf*a",
+       (r + v) * p.p_step_failure * a},
+      {Mechanism::kCoordination, "(me+ro+rd)*a*d*s", Cx(p) * a * d * s},
+  };
+}
+
+}  // namespace crew::analysis

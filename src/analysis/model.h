@@ -1,0 +1,44 @@
+#ifndef CREW_ANALYSIS_MODEL_H_
+#define CREW_ANALYSIS_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/params.h"
+
+namespace crew::analysis {
+
+/// The five mechanisms whose load/messages Tables 4-6 break out.
+enum class Mechanism {
+  kNormal = 0,
+  kInputChange,
+  kAbort,
+  kFailureHandling,
+  kCoordination,
+};
+const char* MechanismName(Mechanism mechanism);
+inline constexpr int kNumMechanisms = 5;
+
+/// One analytic row: the paper's expression text, its value in units of
+/// l (for loads) or messages (for message rows).
+struct ModelRow {
+  Mechanism mechanism = Mechanism::kNormal;
+  std::string expression;
+  double value = 0.0;
+};
+
+/// Closed-form per-instance load at the (busiest) engine/agent node for
+/// each mechanism — the expressions of Tables 4, 5, 6, evaluated on
+/// `params`. Loads are in units of l.
+std::vector<ModelRow> CentralLoad(const workload::Params& params);
+std::vector<ModelRow> ParallelLoad(const workload::Params& params);
+std::vector<ModelRow> DistributedLoad(const workload::Params& params);
+
+/// Closed-form per-instance physical message counts per mechanism.
+std::vector<ModelRow> CentralMessages(const workload::Params& params);
+std::vector<ModelRow> ParallelMessages(const workload::Params& params);
+std::vector<ModelRow> DistributedMessages(const workload::Params& params);
+
+}  // namespace crew::analysis
+
+#endif  // CREW_ANALYSIS_MODEL_H_

@@ -1,0 +1,144 @@
+#include "analysis/recommend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace crew::analysis {
+
+const char* ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kNormal: return "Normal";
+    case Scenario::kNormalPlusFailures: return "Normal + Failures";
+    case Scenario::kNormalPlusCoordinated: return "Normal + Coordinated";
+  }
+  return "?";
+}
+
+std::string Ranking::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    if (i) out += "  ";
+    out += "(" + std::to_string(ranks[i].second) + ") ";
+    out += workload::ArchitectureName(ranks[i].first);
+  }
+  return out;
+}
+
+namespace {
+
+Ranking Rank(double central, double parallel, double distributed) {
+  std::vector<std::pair<workload::Architecture, double>> scored = {
+      {workload::Architecture::kCentral, central},
+      {workload::Architecture::kParallel, parallel},
+      {workload::Architecture::kDistributed, distributed},
+  };
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  Ranking ranking;
+  int rank = 1;
+  for (size_t i = 0; i < scored.size(); ++i) {
+    if (i > 0) {
+      // Near-equal scores (within 10%) share the rank, as Table 7 does.
+      double prev = scored[i - 1].second;
+      double cur = scored[i].second;
+      double denom = std::max(std::abs(prev), std::abs(cur));
+      bool tied = denom < 1e-9 || std::abs(cur - prev) / denom < 0.10;
+      if (!tied) rank = static_cast<int>(i) + 1;
+    }
+    ranking.ranks.emplace_back(scored[i].first, rank);
+  }
+  return ranking;
+}
+
+double MaxNodeLoadPerInstance(const workload::RunResult& result,
+                              const std::vector<sim::LoadCategory>& cats,
+                              int64_t l) {
+  // Max over nodes of the summed categories, per instance, in units of l.
+  int64_t best = 0;
+  for (NodeId node : result.metrics.LoadedNodes()) {
+    int64_t sum = 0;
+    for (sim::LoadCategory cat : cats) {
+      sum += result.metrics.LoadAt(node, cat);
+    }
+    best = std::max(best, sum);
+  }
+  return static_cast<double>(best) /
+         (static_cast<double>(l) * result.instances());
+}
+
+double MessagesPerInstance(const workload::RunResult& result,
+                           const std::vector<sim::MsgCategory>& cats) {
+  int64_t sum = 0;
+  for (sim::MsgCategory cat : cats) {
+    sum += result.metrics.MessagesIn(cat);
+  }
+  return static_cast<double>(sum) / result.instances();
+}
+
+}  // namespace
+
+Recommendation Recommend(const workload::RunResult& central,
+                         const workload::RunResult& parallel,
+                         const workload::RunResult& distributed,
+                         const workload::Params& params) {
+  using sim::LoadCategory;
+  using sim::MsgCategory;
+  const int64_t l = params.navigation_load;
+
+  const std::vector<LoadCategory> normal_load = {
+      LoadCategory::kNavigation};
+  const std::vector<LoadCategory> failure_load = {
+      LoadCategory::kNavigation, LoadCategory::kFailureHandling,
+      LoadCategory::kInputChange, LoadCategory::kAbort};
+  const std::vector<LoadCategory> coordinated_load = {
+      LoadCategory::kNavigation, LoadCategory::kCoordination};
+
+  const std::vector<MsgCategory> normal_msgs = {MsgCategory::kNormal};
+  const std::vector<MsgCategory> failure_msgs = {
+      MsgCategory::kNormal, MsgCategory::kFailureHandling,
+      MsgCategory::kInputChange, MsgCategory::kAbort};
+  const std::vector<MsgCategory> coordinated_msgs = {
+      MsgCategory::kNormal, MsgCategory::kCoordination};
+
+  Recommendation out;
+  auto load_rank = [&](const std::vector<LoadCategory>& cats) {
+    return Rank(MaxNodeLoadPerInstance(central, cats, l),
+                MaxNodeLoadPerInstance(parallel, cats, l),
+                MaxNodeLoadPerInstance(distributed, cats, l));
+  };
+  auto msg_rank = [&](const std::vector<MsgCategory>& cats) {
+    return Rank(MessagesPerInstance(central, cats),
+                MessagesPerInstance(parallel, cats),
+                MessagesPerInstance(distributed, cats));
+  };
+  out.load[0] = load_rank(normal_load);
+  out.load[1] = load_rank(failure_load);
+  out.load[2] = load_rank(coordinated_load);
+  out.messages[0] = msg_rank(normal_msgs);
+  out.messages[1] = msg_rank(failure_msgs);
+  out.messages[2] = msg_rank(coordinated_msgs);
+  return out;
+}
+
+std::string FormatTable7(const Recommendation& recommendation) {
+  std::ostringstream os;
+  os << "Table 7: Recommended Choice of Architectures (measured)\n";
+  os << "-------------------------------------------------------\n";
+  const Scenario scenarios[] = {Scenario::kNormal,
+                                Scenario::kNormalPlusFailures,
+                                Scenario::kNormalPlusCoordinated};
+  os << "Criteria: Load at Engine/Agent\n";
+  for (int i = 0; i < 3; ++i) {
+    os << "  " << ScenarioName(scenarios[i]) << ": "
+       << recommendation.load[i].ToString() << "\n";
+  }
+  os << "Criteria: Physical Messages\n";
+  for (int i = 0; i < 3; ++i) {
+    os << "  " << ScenarioName(scenarios[i]) << ": "
+       << recommendation.messages[i].ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace crew::analysis

@@ -1,0 +1,44 @@
+#ifndef CREW_ANALYSIS_RECOMMEND_H_
+#define CREW_ANALYSIS_RECOMMEND_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/model.h"
+#include "workload/driver.h"
+
+namespace crew::analysis {
+
+/// Table 7's criteria columns.
+enum class Scenario { kNormal, kNormalPlusFailures, kNormalPlusCoordinated };
+const char* ScenarioName(Scenario scenario);
+
+/// A ranking of the three architectures for one (criterion, scenario)
+/// cell; architectures with near-equal scores share a rank, as the paper
+/// does ("(2) Parallel / (2) Central").
+struct Ranking {
+  /// Ordered best-first; ranks[i] pairs the architecture with its rank
+  /// number (1 = best). Equal scores share a rank.
+  std::vector<std::pair<workload::Architecture, int>> ranks;
+  std::string ToString() const;
+};
+
+/// Derives Table 7 from three *measured* runs (one per architecture):
+/// per-scenario scores for node load and physical messages, ranked.
+struct Recommendation {
+  Ranking load[3];      ///< indexed by Scenario
+  Ranking messages[3];  ///< indexed by Scenario
+};
+
+Recommendation Recommend(const workload::RunResult& central,
+                         const workload::RunResult& parallel,
+                         const workload::RunResult& distributed,
+                         const workload::Params& params);
+
+/// Formats the recommendation as the paper's Table 7 layout.
+std::string FormatTable7(const Recommendation& recommendation);
+
+}  // namespace crew::analysis
+
+#endif  // CREW_ANALYSIS_RECOMMEND_H_

@@ -1,0 +1,91 @@
+#include "central/agent.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "runtime/wire.h"
+
+namespace crew::central {
+
+ThinAgent::ThinAgent(NodeId id, sim::Simulator* simulator,
+                     const runtime::ProgramRegistry* programs)
+    : id_(id),
+      simulator_(simulator),
+      programs_(programs),
+      rng_(simulator->rng().Fork()) {
+  simulator_->network().Register(id_, this);
+}
+
+void ThinAgent::HandleMessage(const sim::Message& message) {
+  if (message.type == runtime::wi::kRunProgram) {
+    HandleRunProgram(message);
+    return;
+  }
+  CREW_LOG(Warn) << "thin agent " << id_ << " ignoring message of type "
+                 << message.type;
+}
+
+void ThinAgent::HandleRunProgram(const sim::Message& message) {
+  Result<runtime::RunProgramMsg> parsed =
+      runtime::RunProgramMsg::Parse(message.payload);
+  if (!parsed.ok()) {
+    CREW_LOG(Error) << "agent " << id_ << ": bad RunProgram: "
+                    << parsed.status().ToString();
+    return;
+  }
+  const runtime::RunProgramMsg& req = parsed.value();
+
+  runtime::RunProgramReplyMsg reply;
+  reply.instance = req.instance;
+  reply.step = req.step;
+  reply.compensation = req.compensation;
+  reply.epoch = req.epoch;
+  reply.responder = id_;
+
+  if (req.designated != id_) {
+    // Offer copy: acknowledge with current load so the engine can pick
+    // the least-loaded agent next time.
+    reply.ack_only = true;
+    reply.agent_load = active_programs_;
+    sim::Message out{id_, message.from, runtime::wi::kRunProgramReply,
+                     reply.Serialize(), message.category};
+    (void)simulator_->network().Send(std::move(out));
+    return;
+  }
+
+  ++active_programs_;
+  runtime::ProgramContext context;
+  context.instance = req.instance;
+  context.step = req.step;
+  context.attempt = req.attempt;
+  context.compensation = req.compensation;
+  context.inputs = req.inputs;
+  context.rng = &rng_;
+
+  Result<runtime::ProgramOutcome> outcome =
+      programs_->Run(req.program, context);
+  --active_programs_;
+
+  if (!outcome.ok()) {
+    CREW_LOG(Error) << "agent " << id_ << ": program '" << req.program
+                    << "' failed to run: " << outcome.status().ToString();
+    reply.success = false;
+  } else {
+    reply.success = outcome.value().success;
+    reply.outputs = outcome.value().outputs;
+    int64_t base = outcome.value().cost > 0 ? outcome.value().cost
+                                            : req.nominal_cost;
+    reply.cost =
+        static_cast<int64_t>(std::llround(base * req.cost_fraction));
+  }
+  reply.agent_load = active_programs_;
+  // The black-box program cost is charged at this agent.
+  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
+                                reply.cost);
+
+  sim::Message out{id_, message.from, runtime::wi::kRunProgramReply,
+                   reply.Serialize(), message.category};
+  (void)simulator_->network().Send(std::move(out));
+}
+
+}  // namespace crew::central

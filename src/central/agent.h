@@ -1,0 +1,44 @@
+#ifndef CREW_CENTRAL_AGENT_H_
+#define CREW_CENTRAL_AGENT_H_
+
+#include "common/rng.h"
+#include "runtime/programs.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace crew::central {
+
+/// The thin application agent of centralized/parallel control (§2): it
+/// executes step programs on request from an engine and reports results
+/// back. It holds no navigation state. Every eligible agent receives the
+/// step information; only the designated one runs the program, the others
+/// acknowledge with their current load.
+class ThinAgent : public sim::MessageHandler {
+ public:
+  ThinAgent(NodeId id, sim::Simulator* simulator,
+            const runtime::ProgramRegistry* programs);
+
+  ThinAgent(const ThinAgent&) = delete;
+  ThinAgent& operator=(const ThinAgent&) = delete;
+
+  NodeId id() const { return id_; }
+
+  void HandleMessage(const sim::Message& message) override;
+
+  /// Number of programs currently running here (the "load" replied to
+  /// engines for least-loaded selection).
+  int64_t active_programs() const { return active_programs_; }
+
+ private:
+  void HandleRunProgram(const sim::Message& message);
+
+  NodeId id_;
+  sim::Simulator* simulator_;
+  const runtime::ProgramRegistry* programs_;
+  Rng rng_;
+  int64_t active_programs_ = 0;
+};
+
+}  // namespace crew::central
+
+#endif  // CREW_CENTRAL_AGENT_H_

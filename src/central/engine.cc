@@ -1,0 +1,1237 @@
+#include "central/engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "rules/event.h"
+#include "runtime/rulegen.h"
+#include "runtime/wire.h"
+
+namespace crew::central {
+
+using runtime::StepRecord;
+using runtime::StepRunState;
+using runtime::WorkflowState;
+
+WorkflowEngine::WorkflowEngine(NodeId id, sim::Simulator* simulator,
+                               const runtime::ProgramRegistry* programs,
+                               const model::Deployment* deployment,
+                               const runtime::CoordinationSpec* coordination,
+                               EngineOptions options)
+    : id_(id),
+      simulator_(simulator),
+      programs_(programs),
+      deployment_(deployment),
+      coordination_(coordination),
+      options_(std::move(options)),
+      own_tracker_(coordination),
+      wfdb_("wfdb-engine-" + std::to_string(id)) {
+  simulator_->network().Register(id_, this);
+  if (!options_.wfdb_dir.empty()) {
+    Status status = wfdb_.Recover(options_.wfdb_dir);
+    if (status.ok()) status = wfdb_.OpenDurable(options_.wfdb_dir);
+    if (!status.ok()) {
+      CREW_LOG(Error) << "WFDB durability disabled: " << status.ToString();
+    }
+    // Forward recovery: restore the instance summary from the WFDB.
+    const storage::Table* summary = wfdb_.FindTable("instance_summary");
+    if (summary != nullptr) {
+      for (const auto& [key, row] : summary->rows()) {
+        size_t hash = key.rfind('#');
+        if (hash == std::string::npos) continue;
+        InstanceId inst{key.substr(0, hash),
+                        strtoll(key.c_str() + hash + 1, nullptr, 10)};
+        std::optional<Value> status_value = row.Get("status");
+        if (status_value.has_value() && status_value->is_string()) {
+          summary_[inst] = runtime::ParseWorkflowState(
+              status_value->AsString());
+        }
+      }
+    }
+  }
+}
+
+void WorkflowEngine::RegisterSchema(model::CompiledSchemaPtr schema) {
+  schemas_[schema->schema().name()] = std::move(schema);
+}
+
+WorkflowEngine::Instance* WorkflowEngine::Find(const InstanceId& instance) {
+  auto it = instances_.find(instance);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+const WorkflowEngine::Instance* WorkflowEngine::Find(
+    const InstanceId& instance) const {
+  auto it = instances_.find(instance);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+sim::MsgCategory WorkflowEngine::CategoryFor(Mode mode) const {
+  switch (mode) {
+    case Mode::kNormal: return sim::MsgCategory::kNormal;
+    case Mode::kFailure: return sim::MsgCategory::kFailureHandling;
+    case Mode::kInputChange: return sim::MsgCategory::kInputChange;
+    case Mode::kAbort: return sim::MsgCategory::kAbort;
+  }
+  return sim::MsgCategory::kNormal;
+}
+
+sim::LoadCategory WorkflowEngine::LoadFor(Mode mode) const {
+  switch (mode) {
+    case Mode::kNormal: return sim::LoadCategory::kNavigation;
+    case Mode::kFailure: return sim::LoadCategory::kFailureHandling;
+    case Mode::kInputChange: return sim::LoadCategory::kInputChange;
+    case Mode::kAbort: return sim::LoadCategory::kAbort;
+  }
+  return sim::LoadCategory::kNavigation;
+}
+
+void WorkflowEngine::PersistInstanceStatus(const Instance& inst) {
+  storage::Row row;
+  row.Set("status",
+          Value(std::string(runtime::WorkflowStateName(inst.status))));
+  wfdb_.table("instance_summary").Put(inst.state.id().ToString(), row);
+}
+
+Status WorkflowEngine::StartWorkflow(const std::string& workflow,
+                                     int64_t number,
+                                     std::map<std::string, Value> inputs) {
+  auto schema_it = schemas_.find(workflow);
+  if (schema_it == schemas_.end()) {
+    return Status::NotFound("no schema registered as " + workflow);
+  }
+  InstanceId id{workflow, number};
+  if (instances_.count(id) || summary_.count(id)) {
+    return Status::AlreadyExists("instance " + id.ToString() +
+                                 " already exists");
+  }
+
+  auto inst = std::make_unique<Instance>();
+  inst->schema = schema_it->second;
+  inst->state = runtime::InstanceState(id, inst->schema);
+  for (auto& [name, value] : inputs) {
+    inst->state.SetData(name, std::move(value));
+  }
+  for (rules::Rule& rule : runtime::MakeAllRules(*inst->schema)) {
+    Status added = inst->rules.AddRule(std::move(rule));
+    if (!added.ok()) return added;
+  }
+
+  Instance* raw = inst.get();
+  instances_[id] = std::move(inst);
+  summary_[id] = WorkflowState::kExecuting;
+  PersistInstanceStatus(*raw);
+
+  ApplyRoBindings(raw);
+
+  runtime::EventOcc start =
+      raw->state.PostLocalEvent(rules::event::WorkflowStart());
+  raw->rules.Post(start.token);
+  Pump(raw);
+  return Status::OK();
+}
+
+void WorkflowEngine::ApplyRoBindings(Instance* inst) {
+  std::vector<runtime::RoBinding> bindings =
+      tracker().OnInstanceStart(inst->state.id());
+  for (const runtime::RoBinding& binding : bindings) {
+    for (const auto& [lead_step, lag_step] : binding.step_pairs) {
+      std::string token =
+          rules::event::RelativeOrder(binding.leading, lead_step);
+      // Guard every rule that can fire the lagging step; the rule ids are
+      // regenerated deterministically from the schema.
+      bool guarded = false;
+      for (const rules::Rule& rule :
+           runtime::MakeStepRules(*inst->schema, lag_step)) {
+        if (inst->rules.AddPrecondition(rule.id, token).ok()) {
+          guarded = true;
+        }
+      }
+      if (!guarded) {
+        CREW_LOG(Warn) << "RO binding found no rules for step S" << lag_step
+                       << " of " << inst->state.id().ToString();
+      }
+      simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                    options_.navigation_load);
+      Instance* lead = Find(binding.leading);
+      if (lead != nullptr) {
+        ro_watch_[{binding.leading, lead_step}].push_back(
+            {inst->state.id(), token});
+        if (lead->state.EventValid(rules::event::StepDone(lead_step))) {
+          DeliverCoordinationEvent(inst->state.id(), token);
+        }
+      } else if (topology_ != nullptr) {
+        // Parallel control: the leading instance lives at a peer engine.
+        // Coordination broadcasts keep a local log of its progress; watch
+        // it, or resolve immediately if the step (or the instance) is
+        // already past.
+        if (coord_done_log_.count({binding.leading, lead_step}) > 0 ||
+            coord_ended_log_.count(binding.leading) > 0) {
+          DeliverCoordinationEvent(inst->state.id(), token);
+        } else {
+          remote_ro_watch_[{binding.leading, lead_step}].push_back(
+              {inst->state.id(), token});
+        }
+      } else {
+        // Leading instance already gone (committed/aborted): ordering is
+        // trivially satisfied.
+        DeliverCoordinationEvent(inst->state.id(), token);
+      }
+    }
+  }
+}
+
+void WorkflowEngine::DeliverCoordinationEvent(
+    const InstanceId& instance, const std::string& event_token) {
+  Instance* inst = Find(instance);
+  if (inst == nullptr) return;
+  // Coordination tokens are one-shot; duplicates must not re-fire rules.
+  if (inst->state.EventValid(event_token)) return;
+  inst->state.PostLocalEvent(event_token);
+  inst->rules.Post(event_token);
+  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                options_.navigation_load);
+  Pump(inst);
+}
+
+void WorkflowEngine::NotifyRoWatchers(Instance* inst, StepId step) {
+  auto it = ro_watch_.find({inst->state.id(), step});
+  if (it == ro_watch_.end()) return;
+  std::vector<std::pair<InstanceId, std::string>> watchers =
+      std::move(it->second);
+  ro_watch_.erase(it);
+  for (const auto& [watcher, token] : watchers) {
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                  options_.navigation_load);
+    if (Find(watcher) != nullptr) {
+      DeliverCoordinationEvent(watcher, token);
+    }
+    // Remote watchers learn about this completion through the
+    // coordination broadcast; nothing to do here.
+  }
+}
+
+void WorkflowEngine::SendEngineMessage(NodeId to, const std::string& type,
+                                       const std::string& payload) {
+  sim::Message out{id_, to, type, payload,
+                   sim::MsgCategory::kCoordination};
+  (void)simulator_->network().Send(std::move(out));
+}
+
+void WorkflowEngine::BroadcastCoordination(Instance* inst,
+                                           const std::string& suffix) {
+  if (topology_ == nullptr) return;
+  if (coordination_->RequirementCount(inst->state.id().workflow) == 0) {
+    return;
+  }
+  runtime::AddEventMsg msg;
+  msg.instance = inst->state.id();
+  msg.event_token = suffix;
+  for (NodeId engine : topology_->AllEngines()) {
+    if (engine == id_) continue;
+    SendEngineMessage(engine, runtime::wi::kAddEvent, msg.Serialize());
+  }
+}
+
+bool WorkflowEngine::LockAcquireLocal(const std::string& resource,
+                                      const InstanceId& instance,
+                                      StepId step,
+                                      NodeId requester_engine) {
+  LockState& lock = locks_[resource];
+  if (lock.held) {
+    if (lock.holder == instance && lock.holder_step == step) return true;
+    lock.waiters.push_back({instance, step, requester_engine});
+    return false;
+  }
+  lock.held = true;
+  lock.holder = instance;
+  lock.holder_step = step;
+  return true;
+}
+
+void WorkflowEngine::LockReleaseLocal(const std::string& resource,
+                                      const InstanceId& instance,
+                                      StepId step) {
+  LockState& lock = locks_[resource];
+  if (!lock.held || !(lock.holder == instance) ||
+      lock.holder_step != step) {
+    return;
+  }
+  lock.held = false;
+  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                options_.navigation_load);
+  while (!lock.waiters.empty()) {
+    auto [next_inst, next_step, next_engine] = lock.waiters.front();
+    lock.waiters.pop_front();
+    if (next_engine == id_) {
+      Instance* waiter = Find(next_inst);
+      if (waiter == nullptr ||
+          waiter->status != WorkflowState::kExecuting) {
+        continue;  // waiter aborted/committed meanwhile
+      }
+      lock.held = true;
+      lock.holder = next_inst;
+      lock.holder_step = next_step;
+      waiter->held_resources[next_step].push_back(resource);
+      StartStep(waiter, next_step);
+      return;
+    }
+    // Remote waiter: hand the lock over and notify its engine.
+    lock.held = true;
+    lock.holder = next_inst;
+    lock.holder_step = next_step;
+    runtime::AddEventMsg grant;
+    grant.instance = next_inst;
+    grant.event_token =
+        "me.grant:" + resource + ":S" + std::to_string(next_step);
+    SendEngineMessage(next_engine, runtime::wi::kAddEvent,
+                      grant.Serialize());
+    return;
+  }
+}
+
+bool WorkflowEngine::AcquireMutexes(Instance* inst, StepId step) {
+  std::vector<const runtime::MutexReq*> reqs =
+      coordination_->MutexesOf(inst->state.id().workflow, step);
+  for (const runtime::MutexReq* req : reqs) {
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                  options_.navigation_load);
+    NodeId owner = topology_ != nullptr
+                       ? topology_->LockOwnerEngine(req->resource)
+                       : id_;
+    if (owner == id_) {
+      if (LockAcquireLocal(req->resource, inst->state.id(), step, id_)) {
+        std::vector<std::string>& held = inst->held_resources[step];
+        if (std::find(held.begin(), held.end(), req->resource) ==
+            held.end()) {
+          held.push_back(req->resource);
+        }
+        continue;
+      }
+      return false;
+    }
+    // Remote arbitration: request the lock from the owner engine.
+    RemoteLockKey key{req->resource, inst->state.id(), step};
+    if (remote_lock_granted_.count(key) > 0) continue;
+    if (remote_lock_pending_.insert(key).second) {
+      runtime::AddRuleMsg request;
+      request.instance = inst->state.id();
+      request.rule_id = "me.acquire";
+      request.condition_source = req->resource;
+      request.action_step = step;
+      request.trigger_events = {std::to_string(id_)};
+      SendEngineMessage(owner, runtime::wi::kAddRule, request.Serialize());
+    }
+    return false;  // resumed when the grant message arrives
+  }
+  return true;
+}
+
+void WorkflowEngine::ReleaseMutexes(Instance* inst, StepId step) {
+  // Locally arbitrated resources recorded as held.
+  auto it = inst->held_resources.find(step);
+  if (it != inst->held_resources.end()) {
+    std::vector<std::string> resources = std::move(it->second);
+    inst->held_resources.erase(it);
+    for (const std::string& resource : resources) {
+      LockReleaseLocal(resource, inst->state.id(), step);
+    }
+  }
+  // Remotely arbitrated resources.
+  std::vector<const runtime::MutexReq*> reqs =
+      coordination_->MutexesOf(inst->state.id().workflow, step);
+  for (const runtime::MutexReq* req : reqs) {
+    RemoteLockKey key{req->resource, inst->state.id(), step};
+    if (remote_lock_granted_.erase(key) > 0) {
+      runtime::AddRuleMsg release;
+      release.instance = inst->state.id();
+      release.rule_id = "me.release";
+      release.condition_source = req->resource;
+      release.action_step = step;
+      release.trigger_events = {std::to_string(id_)};
+      SendEngineMessage(topology_->LockOwnerEngine(req->resource),
+                        runtime::wi::kAddRule, release.Serialize());
+    }
+    remote_lock_pending_.erase(key);
+  }
+}
+
+void WorkflowEngine::ChargeCoordination(Instance* inst) {
+  int requirements =
+      coordination_->RequirementCount(inst->state.id().workflow);
+  if (requirements > 0) {
+    simulator_->metrics().AddLoad(
+        id_, sim::LoadCategory::kCoordination,
+        options_.navigation_load * requirements);
+  }
+}
+
+void WorkflowEngine::Pump(Instance* inst) {
+  if (inst->status != WorkflowState::kExecuting) return;
+  bool progressed = true;
+  while (progressed && inst->status == WorkflowState::kExecuting) {
+    progressed = false;
+    expr::FunctionEnvironment env = inst->state.DataEnv();
+    std::vector<rules::RuleAction> actions =
+        inst->rules.CollectFireable(env);
+    // Deduplicate multiple rules firing the same step within one batch.
+    std::set<StepId> dispatched;
+    for (const rules::RuleAction& action : actions) {
+      if (action.kind != rules::ActionKind::kExecuteStep) continue;
+      if (!dispatched.insert(action.step).second) continue;
+      progressed = true;
+      StartStep(inst, action.step);
+    }
+  }
+}
+
+void WorkflowEngine::StartStep(Instance* inst, StepId step) {
+  if (inst->status != WorkflowState::kExecuting) return;
+  StepRecord& record = inst->state.step_record(step);
+  if (record.in_flight || inst->starting.count(step)) return;
+  inst->starting.insert(step);
+
+  const model::Step& spec = inst->schema->schema().step(step);
+  simulator_->metrics().AddLoad(id_, LoadFor(inst->mode),
+                                options_.navigation_load);
+
+  if (!AcquireMutexes(inst, step)) {
+    // Blocked on a mutual-exclusion resource; resumed by ReleaseMutexes.
+    // Leave `starting` set so duplicate fires stay suppressed; clear it
+    // so the resume path can re-enter.
+    inst->starting.erase(step);
+    return;
+  }
+
+  runtime::OcrDecision decision = runtime::DecideOcr(spec, inst->state);
+  switch (decision) {
+    case runtime::OcrDecision::kReuse: {
+      // Previous results suffice: emit step.done without re-executing
+      // (the OCR saving). Outputs are already in the data table.
+      inst->starting.erase(step);
+      record.epoch = inst->state.epoch();
+      OnStepDone(inst, step, /*reused=*/true);
+      return;
+    }
+    case runtime::OcrDecision::kFirstExecution: {
+      DispatchProgram(inst, step, 1.0);
+      return;
+    }
+    case runtime::OcrDecision::kPartialCompIncrReexec:
+    case runtime::OcrDecision::kFullCompReexec: {
+      const bool partial =
+          decision == runtime::OcrDecision::kPartialCompIncrReexec;
+      double comp_fraction =
+          partial ? spec.ocr.partial_compensation_fraction : 1.0;
+      double exec_fraction =
+          partial ? spec.ocr.incremental_reexec_fraction : 1.0;
+      if (!spec.ocr.compensate_before_reexec) {
+        // Loop-body step: plain re-execution, no compensation.
+        DispatchProgram(inst, step, 1.0);
+        return;
+      }
+      // Compensation dependent sets: members executed after this step
+      // must be compensated first, in reverse execution order (§3).
+      std::vector<StepId> chain;
+      for (int set_index : inst->schema->comp_dep_sets_of(step)) {
+        const model::CompDepSet& set =
+            inst->schema->schema().comp_dep_sets()[set_index];
+        for (StepId member : set.steps) {
+          if (member == step) continue;
+          const StepRecord* other = inst->state.FindStepRecord(member);
+          if (other != nullptr && other->state == StepRunState::kDone &&
+              other->exec_seq > record.exec_seq) {
+            chain.push_back(member);
+          }
+        }
+      }
+      std::sort(chain.begin(), chain.end(), [inst](StepId a, StepId b) {
+        return inst->state.FindStepRecord(a)->exec_seq >
+               inst->state.FindStepRecord(b)->exec_seq;
+      });
+      for (StepId member : chain) EnqueueCompensation(inst, member);
+      EnqueueCompensation(inst, step);
+      InstanceId id = inst->state.id();
+      // comp_fraction scales the compensation program's cost; the
+      // compensation dispatch reads it from the queue context below.
+      (void)comp_fraction;
+      EnqueueBarrier(inst, [this, id, step, exec_fraction]() {
+        Instance* resumed = Find(id);
+        if (resumed == nullptr ||
+            resumed->status != WorkflowState::kExecuting) {
+          return;
+        }
+        DispatchProgram(resumed, step, exec_fraction);
+      });
+      RunCompQueue(inst);
+      return;
+    }
+  }
+}
+
+void WorkflowEngine::DispatchProgram(Instance* inst, StepId step,
+                                     double cost_fraction) {
+  const model::Step& spec = inst->schema->schema().step(step);
+  StepRecord& record = inst->state.step_record(step);
+  inst->starting.erase(step);
+  if (record.in_flight) return;  // already dispatched (barrier/rule race)
+  record.in_flight = true;
+  record.attempts += 1;
+
+  runtime::RunProgramMsg msg;
+  msg.instance = inst->state.id();
+  msg.step = step;
+  msg.program = spec.program;
+  msg.attempt = record.attempts;
+  msg.compensation = false;
+  msg.cost_fraction = cost_fraction;
+  msg.nominal_cost = spec.cost;
+  msg.inputs = inst->state.ResolveInputs(step);
+  msg.reply_to = id_;
+  msg.epoch = inst->state.epoch();
+
+  const std::vector<NodeId>& eligible =
+      deployment_->Eligible(inst->state.id().workflow, step);
+  // Least-loaded selection from cached acks; ties by lowest id. Down
+  // agents are skipped (the paper's successor-failure rule: pick another
+  // eligible agent).
+  NodeId chosen = kInvalidNode;
+  int64_t best_load = INT64_MAX;
+  for (NodeId agent : eligible) {
+    if (simulator_->network().IsNodeDown(agent)) continue;
+    int64_t load = 0;
+    auto it = agent_load_.find(agent);
+    if (it != agent_load_.end()) load = it->second;
+    if (load < best_load) {
+      best_load = load;
+      chosen = agent;
+    }
+  }
+  if (chosen == kInvalidNode) {
+    // All eligible agents down: retry after their recovery window.
+    record.in_flight = false;
+    InstanceId id = inst->state.id();
+    simulator_->queue().ScheduleAfter(20, [this, id, step]() {
+      Instance* retry = Find(id);
+      if (retry != nullptr && retry->status == WorkflowState::kExecuting) {
+        StartStep(retry, step);
+      }
+    });
+    return;
+  }
+  msg.designated = chosen;
+  record.executed_by = chosen;
+
+  // Only *re*-dispatches are failure/input-change traffic; a step's
+  // first execution is normal scheduling even if it happens after a
+  // rollback moved the instance past the old failure frontier.
+  sim::MsgCategory category = record.attempts > 1
+                                  ? CategoryFor(inst->mode)
+                                  : sim::MsgCategory::kNormal;
+  // Redundant fan-out: every eligible agent receives the step info and
+  // acknowledges; the designated one executes (DESIGN.md §5).
+  for (NodeId agent : eligible) {
+    sim::Message out{id_, agent, runtime::wi::kRunProgram, msg.Serialize(),
+                     category};
+    (void)simulator_->network().Send(std::move(out));
+  }
+}
+
+void WorkflowEngine::EnqueueCompensation(Instance* inst, StepId step) {
+  CompItem item;
+  item.step = step;
+  inst->comp_queue.push_back(std::move(item));
+}
+
+void WorkflowEngine::EnqueueBarrier(Instance* inst,
+                                    std::function<void()> continuation) {
+  CompItem item;
+  item.barrier = std::move(continuation);
+  inst->comp_queue.push_back(std::move(item));
+}
+
+void WorkflowEngine::RunCompQueue(Instance* inst) {
+  if (inst->comp_running) return;
+  while (!inst->comp_queue.empty()) {
+    CompItem item = std::move(inst->comp_queue.front());
+    inst->comp_queue.pop_front();
+    if (item.barrier) {
+      item.barrier();
+      continue;
+    }
+    const StepRecord* record = inst->state.FindStepRecord(item.step);
+    if (record == nullptr || record->state != StepRunState::kDone) {
+      continue;  // never executed (or already compensated): no action
+    }
+    inst->comp_running = true;
+    DispatchCompensation(inst, item.step);
+    return;  // resumed by OnCompensated
+  }
+}
+
+void WorkflowEngine::DispatchCompensation(Instance* inst, StepId step) {
+  const model::Step& spec = inst->schema->schema().step(step);
+  StepRecord& record = inst->state.step_record(step);
+
+  runtime::RunProgramMsg msg;
+  msg.instance = inst->state.id();
+  msg.step = step;
+  msg.program = spec.compensation_program.empty()
+                    ? spec.program
+                    : spec.compensation_program;
+  msg.attempt = record.attempts;
+  msg.compensation = true;
+  msg.cost_fraction = spec.ocr.partial_compensation_fraction;
+  msg.nominal_cost = spec.cost;
+  msg.inputs = record.prev_inputs;
+  msg.reply_to = id_;
+  msg.epoch = inst->state.epoch();
+  // Compensation must run where the step executed.
+  NodeId target = record.executed_by != kInvalidNode
+                      ? record.executed_by
+                      : deployment_->Eligible(inst->state.id().workflow,
+                                              step)
+                            .front();
+  msg.designated = target;
+  simulator_->metrics().AddLoad(id_, LoadFor(inst->mode),
+                                options_.navigation_load);
+  sim::Message out{id_, target, runtime::wi::kRunProgram, msg.Serialize(),
+                   CategoryFor(inst->mode)};
+  (void)simulator_->network().Send(std::move(out));
+}
+
+void WorkflowEngine::HandleMessage(const sim::Message& message) {
+  if (message.type == runtime::wi::kRunProgramReply) {
+    Result<runtime::RunProgramReplyMsg> reply =
+        runtime::RunProgramReplyMsg::Parse(message.payload);
+    if (!reply.ok()) {
+      CREW_LOG(Error) << "engine " << id_ << ": bad reply: "
+                      << reply.status().ToString();
+      return;
+    }
+    OnProgramReply(reply.value());
+    return;
+  }
+  if (message.type == runtime::wi::kAddEvent) {
+    Result<runtime::AddEventMsg> msg =
+        runtime::AddEventMsg::Parse(message.payload);
+    if (msg.ok()) OnCoordinationMessage(message);
+    return;
+  }
+  if (message.type == runtime::wi::kAddRule) {
+    OnCoordinationMessage(message);
+    return;
+  }
+  if (message.type == runtime::wi::kWorkflowRollback) {
+    Result<runtime::WorkflowRollbackMsg> msg =
+        runtime::WorkflowRollbackMsg::Parse(message.payload);
+    if (msg.ok()) {
+      Instance* inst = Find(msg.value().instance);
+      if (inst != nullptr && inst->status == WorkflowState::kExecuting) {
+        Rollback(inst, msg.value().origin_step, Mode::kFailure,
+                 /*rd_induced=*/true);
+      }
+    }
+    return;
+  }
+  CREW_LOG(Warn) << "engine " << id_ << " ignoring message type "
+                 << message.type;
+}
+
+void WorkflowEngine::OnCoordinationMessage(const sim::Message& message) {
+  if (message.type == runtime::wi::kAddRule) {
+    // ME arbitration request from a peer engine.
+    Result<runtime::AddRuleMsg> parsed =
+        runtime::AddRuleMsg::Parse(message.payload);
+    if (!parsed.ok()) return;
+    const runtime::AddRuleMsg& req = parsed.value();
+    if (req.trigger_events.empty()) return;
+    NodeId requester = static_cast<NodeId>(
+        strtol(req.trigger_events[0].c_str(), nullptr, 10));
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                  options_.navigation_load);
+    if (req.rule_id == "me.acquire") {
+      if (LockAcquireLocal(req.condition_source, req.instance,
+                           req.action_step, requester)) {
+        runtime::AddEventMsg grant;
+        grant.instance = req.instance;
+        grant.event_token = "me.grant:" + req.condition_source + ":S" +
+                            std::to_string(req.action_step);
+        SendEngineMessage(requester, runtime::wi::kAddEvent,
+                          grant.Serialize());
+      }
+      // else: queued; granted on release.
+    } else if (req.rule_id == "me.release") {
+      LockReleaseLocal(req.condition_source, req.instance,
+                       req.action_step);
+    }
+    return;
+  }
+
+  // AddEvent: coordination broadcast, ME grant, or a plain RO event.
+  Result<runtime::AddEventMsg> parsed =
+      runtime::AddEventMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::AddEventMsg& msg = parsed.value();
+  const std::string& token = msg.event_token;
+
+  if (token.rfind("me.grant:", 0) == 0) {
+    // Remote lock granted: resume the blocked step.
+    size_t colon = token.rfind(":S");
+    if (colon == std::string::npos) return;
+    std::string resource = token.substr(9, colon - 9);
+    StepId step =
+        static_cast<StepId>(strtol(token.c_str() + colon + 2, nullptr, 10));
+    RemoteLockKey key{resource, msg.instance, step};
+    remote_lock_pending_.erase(key);
+    Instance* inst = Find(msg.instance);
+    if (inst == nullptr || inst->status != WorkflowState::kExecuting) {
+      // Waiter gone: release immediately so others can proceed.
+      runtime::AddRuleMsg release;
+      release.instance = msg.instance;
+      release.rule_id = "me.release";
+      release.condition_source = resource;
+      release.action_step = step;
+      release.trigger_events = {std::to_string(id_)};
+      SendEngineMessage(message.from, runtime::wi::kAddRule,
+                        release.Serialize());
+      return;
+    }
+    remote_lock_granted_.insert(key);
+    StartStep(inst, step);
+    return;
+  }
+
+  if (token.rfind("coord.done:S", 0) == 0) {
+    StepId step = static_cast<StepId>(
+        strtol(token.c_str() + strlen("coord.done:S"), nullptr, 10));
+    coord_done_log_.insert({msg.instance, step});
+    auto it = remote_ro_watch_.find({msg.instance, step});
+    if (it != remote_ro_watch_.end()) {
+      std::vector<std::pair<InstanceId, std::string>> watchers =
+          std::move(it->second);
+      remote_ro_watch_.erase(it);
+      for (const auto& [watcher, ro_token] : watchers) {
+        DeliverCoordinationEvent(watcher, ro_token);
+      }
+    }
+    return;
+  }
+
+  if (token == "coord.end") {
+    coord_ended_log_.insert(msg.instance);
+    // Resolve every watch on the ended instance.
+    std::vector<std::pair<InstanceId, std::string>> to_deliver;
+    for (auto it = remote_ro_watch_.begin();
+         it != remote_ro_watch_.end();) {
+      if (it->first.first == msg.instance) {
+        for (const auto& watcher : it->second) {
+          to_deliver.push_back(watcher);
+        }
+        it = remote_ro_watch_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& [watcher, ro_token] : to_deliver) {
+      DeliverCoordinationEvent(watcher, ro_token);
+    }
+    return;
+  }
+
+  // Plain event (e.g., a relative-ordering token).
+  DeliverCoordinationEvent(msg.instance, token);
+}
+
+void WorkflowEngine::OnProgramReply(
+    const runtime::RunProgramReplyMsg& reply) {
+  agent_load_[reply.responder] = reply.agent_load;
+  if (reply.ack_only) return;
+
+  Instance* inst = Find(reply.instance);
+  if (inst == nullptr) return;
+
+  if (reply.compensation) {
+    // Compensation bookkeeping is processed even if a newer rollback
+    // bumped the epoch meanwhile: the compensation *did* happen at the
+    // agent, and the serialized comp queue must never stall on a stale
+    // reply (it may hold ME locks and barrier continuations).
+    OnCompensated(inst, reply.step);
+    return;
+  }
+  if (reply.epoch < inst->state.epoch()) return;  // stale (pre-rollback)
+  if (inst->status != WorkflowState::kExecuting) return;
+
+  StepRecord& record = inst->state.step_record(reply.step);
+  if (!record.in_flight) return;  // rollback reset it; result is void
+  record.in_flight = false;
+
+  if (reply.success) {
+    // Namespace outputs under the step and record the snapshot for OCR.
+    const std::string prefix = "S" + std::to_string(reply.step) + ".";
+    std::map<std::string, Value> qualified;
+    for (const auto& [name, value] : reply.outputs) {
+      qualified[prefix + name] = value;
+    }
+    inst->state.MergeData(qualified);
+    record.prev_inputs = inst->state.ResolveInputs(reply.step);
+    record.prev_outputs = qualified;
+    record.state = StepRunState::kDone;
+    record.exec_seq = inst->state.NextExecSeq();
+    record.epoch = inst->state.epoch();
+    record.executed_by = reply.responder;
+    inst->state.SetExecutedBy(reply.step, reply.responder);
+    OnStepDone(inst, reply.step, /*reused=*/false);
+  } else {
+    record.state = StepRunState::kFailed;
+    OnStepFailed(inst, reply.step);
+  }
+}
+
+void WorkflowEngine::OnStepDone(Instance* inst, StepId step, bool reused) {
+  runtime::EventOcc done =
+      inst->state.PostLocalEvent(rules::event::StepDone(step));
+  inst->rules.Post(done.token);
+
+  // A first-attempt completion means recovery has passed the re-executed
+  // region: subsequent work is normal execution again.
+  const StepRecord* record = inst->state.FindStepRecord(step);
+  if (!reused && record != nullptr && record->attempts <= 1) {
+    inst->mode = Mode::kNormal;
+  }
+
+  ReleaseMutexes(inst, step);
+  NotifyRoWatchers(inst, step);
+  BroadcastCoordination(inst, "coord.done:S" + std::to_string(step));
+  ChargeCoordination(inst);
+
+  if (inst->schema->is_choice_split(step)) {
+    HandleBranchSwitch(inst, step);
+  }
+
+  // Commit check: every terminal group has a valid done event.
+  if (inst->schema->terminal_group_of(step) >= 0) {
+    bool all_groups = true;
+    for (const auto& group : inst->schema->schema().terminal_groups()) {
+      bool any = false;
+      for (StepId member : group) {
+        if (inst->state.EventValid(rules::event::StepDone(member))) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all_groups = false;
+        break;
+      }
+    }
+    if (all_groups) {
+      Commit(inst);
+      return;
+    }
+  }
+  Pump(inst);
+}
+
+void WorkflowEngine::HandleBranchSwitch(Instance* inst, StepId split_step) {
+  // Determine which branch the conditions now select.
+  expr::FunctionEnvironment env = inst->state.DataEnv();
+  StepId chosen = kInvalidStep;
+  const model::ControlArc* else_arc = nullptr;
+  for (const model::ControlArc* arc : inst->schema->forward_out(split_step)) {
+    if (arc->is_else) {
+      else_arc = arc;
+      continue;
+    }
+    if (arc->condition && expr::EvaluateCondition(arc->condition, env)) {
+      chosen = arc->to;
+      break;
+    }
+  }
+  if (chosen == kInvalidStep && else_arc != nullptr) chosen = else_arc->to;
+  if (chosen == kInvalidStep) return;
+
+  auto it = inst->taken_branch.find(split_step);
+  if (it != inst->taken_branch.end() && it->second != chosen) {
+    // Branch switch: compensate the steps that only lie on the old
+    // branch (downstream of old entry but not of the new entry), §5.2.
+    StepId old_entry = it->second;
+    std::vector<StepId> to_comp;
+    for (StepId candidate :
+         inst->schema->downstream_including(old_entry)) {
+      if (inst->schema->IsDownstream(chosen, candidate)) continue;
+      const StepRecord* record = inst->state.FindStepRecord(candidate);
+      if (record != nullptr && record->state == StepRunState::kDone) {
+        to_comp.push_back(candidate);
+      }
+    }
+    std::sort(to_comp.begin(), to_comp.end(),
+              [inst](StepId a, StepId b) {
+                return inst->state.FindStepRecord(a)->exec_seq >
+                       inst->state.FindStepRecord(b)->exec_seq;
+              });
+    for (StepId step : to_comp) EnqueueCompensation(inst, step);
+    RunCompQueue(inst);
+  }
+  inst->taken_branch[split_step] = chosen;
+}
+
+void WorkflowEngine::OnStepFailed(Instance* inst, StepId step) {
+  runtime::EventOcc fail =
+      inst->state.PostLocalEvent(rules::event::StepFail(step));
+  inst->rules.Post(fail.token);
+  ReleaseMutexes(inst, step);
+
+  const model::Step& spec = inst->schema->schema().step(step);
+  StepRecord& record = inst->state.step_record(step);
+  if (record.attempts >= spec.failure.max_attempts ||
+      spec.failure.rollback_to == kInvalidStep) {
+    DoAbort(inst);
+    return;
+  }
+  Rollback(inst, spec.failure.rollback_to, Mode::kFailure);
+}
+
+void WorkflowEngine::Rollback(Instance* inst, StepId origin, Mode mode,
+                              bool rd_induced) {
+  if (rd_induced && inst->last_rollback_origin != kInvalidStep &&
+      origin >= inst->last_rollback_origin &&
+      inst->state.exec_seq() == inst->last_rollback_seq) {
+    // The dependent instance has not progressed since its last rollback:
+    // a repeated RD-induced rollback is a no-op (and breaks RD rings).
+    return;
+  }
+  inst->last_rollback_origin = origin;
+  inst->last_rollback_seq = inst->state.exec_seq();
+  inst->mode = mode;
+  int64_t new_epoch = inst->state.epoch() + 1;
+  inst->state.set_epoch(new_epoch);
+
+  // Two-pronged §5.2 strategy, engine-locally: invalidate old events of
+  // downstream steps, discard their pending-rule progress, and reset the
+  // fired markers so still-valid triggers can re-fire the origin.
+  std::vector<std::string> invalidated =
+      inst->state.InvalidateDownstream(origin, new_epoch);
+  for (const std::string& token : invalidated) {
+    inst->rules.Invalidate(token);
+  }
+  const model::CompiledSchema* schema = inst->schema.get();
+  inst->rules.ResetFiringIf([schema, origin](const rules::Rule& rule) {
+    return rule.action.kind == rules::ActionKind::kExecuteStep &&
+           schema->IsDownstream(origin, rule.action.step);
+  });
+  // Steps in flight under the old epoch are void; their replies will be
+  // dropped by the epoch check. The recovery work is charged per step
+  // actually rolled back (i.e., with an execution record), matching the
+  // paper's l·r accounting.
+  for (StepId step : schema->downstream_including(origin)) {
+    const StepRecord* existing = inst->state.FindStepRecord(step);
+    bool touched = existing != nullptr &&
+                   (existing->state != StepRunState::kUnknown ||
+                    existing->in_flight);
+    StepRecord* record = &inst->state.step_record(step);
+    record->in_flight = false;
+    inst->starting.erase(step);
+    if (touched) {
+      simulator_->metrics().AddLoad(id_, LoadFor(mode),
+                                    options_.navigation_load);
+    }
+  }
+
+  // Rollback dependencies: dependent instances roll back too (§3).
+  // RD-induced rollbacks do not cascade further, so dependency rings
+  // terminate.
+  if (!rd_induced)
+  for (const auto& [dependent, to_step] :
+       tracker().RollbackDependents(inst->state.id(), origin)) {
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                  options_.navigation_load);
+    Instance* dep = Find(dependent);
+    if (dep != nullptr && dep->status == WorkflowState::kExecuting) {
+      Rollback(dep, to_step, Mode::kFailure, /*rd_induced=*/true);
+    } else if (topology_ != nullptr) {
+      runtime::WorkflowRollbackMsg remote;
+      remote.instance = dependent;
+      remote.origin_step = to_step;
+      remote.state.instance = dependent;
+      SendEngineMessage(topology_->OwnerEngine(dependent),
+                        runtime::wi::kWorkflowRollback,
+                        remote.Serialize());
+    }
+  }
+
+  Pump(inst);
+}
+
+void WorkflowEngine::OnCompensated(Instance* inst, StepId step) {
+  StepRecord& record = inst->state.step_record(step);
+  record.state = StepRunState::kCompensated;
+  runtime::EventOcc comp =
+      inst->state.PostLocalEvent(rules::event::StepCompensated(step));
+  inst->rules.Post(comp.token);
+  inst->comp_running = false;
+  RunCompQueue(inst);
+  if (inst->status == WorkflowState::kExecuting) Pump(inst);
+}
+
+void WorkflowEngine::ResolveCoordinationAtEnd(Instance* inst) {
+  // Ordering against an ended instance is trivially satisfied: release
+  // every local watcher still waiting on one of its steps.
+  std::vector<std::pair<InstanceId, std::string>> to_deliver;
+  for (auto it = ro_watch_.begin(); it != ro_watch_.end();) {
+    if (it->first.first == inst->state.id()) {
+      for (const auto& watcher : it->second) to_deliver.push_back(watcher);
+      it = ro_watch_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [watcher, token] : to_deliver) {
+    if (Find(watcher) != nullptr) DeliverCoordinationEvent(watcher, token);
+  }
+  // Remotely arbitrated locks still granted to this instance must go
+  // back to their owner engines.
+  for (auto it = remote_lock_granted_.begin();
+       it != remote_lock_granted_.end();) {
+    const auto& [resource, holder, step] = *it;
+    if (holder == inst->state.id()) {
+      runtime::AddRuleMsg release;
+      release.instance = holder;
+      release.rule_id = "me.release";
+      release.condition_source = resource;
+      release.action_step = step;
+      release.trigger_events = {std::to_string(id_)};
+      SendEngineMessage(topology_->LockOwnerEngine(resource),
+                        runtime::wi::kAddRule, release.Serialize());
+      it = remote_lock_granted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WorkflowEngine::Commit(Instance* inst) {
+  inst->status = WorkflowState::kCommitted;
+  summary_[inst->state.id()] = WorkflowState::kCommitted;
+  PersistInstanceStatus(*inst);
+  archived_data_[inst->state.id()] = inst->state.data();
+  BroadcastCoordination(inst, "coord.end");
+  tracker().OnInstanceEnd(inst->state.id());
+  ++committed_count_;
+  // Release any stray locks (defensive; normally released at step done).
+  std::vector<StepId> held;
+  for (const auto& [step, resources] : inst->held_resources) {
+    held.push_back(step);
+  }
+  for (StepId step : held) ReleaseMutexes(inst, step);
+  ResolveCoordinationAtEnd(inst);
+}
+
+Status WorkflowEngine::AbortWorkflow(const InstanceId& instance) {
+  auto summary_it = summary_.find(instance);
+  if (summary_it == summary_.end()) {
+    return Status::NotFound("unknown instance " + instance.ToString());
+  }
+  if (summary_it->second == WorkflowState::kCommitted) {
+    return Status::FailedPrecondition(
+        "instance " + instance.ToString() + " already committed");
+  }
+  Instance* inst = Find(instance);
+  if (inst == nullptr || inst->status != WorkflowState::kExecuting) {
+    return Status::FailedPrecondition("instance not executing");
+  }
+  DoAbort(inst);
+  return Status::OK();
+}
+
+void WorkflowEngine::DoAbort(Instance* inst) {
+  inst->mode = Mode::kAbort;
+  inst->status = WorkflowState::kAborted;
+  summary_[inst->state.id()] = WorkflowState::kAborted;
+  PersistInstanceStatus(*inst);
+  BroadcastCoordination(inst, "coord.end");
+  runtime::EventOcc abort =
+      inst->state.PostLocalEvent(rules::event::WorkflowAbort());
+  inst->rules.Post(abort.token);
+
+  // Quiesce: bump the epoch so in-flight replies become stale.
+  inst->state.set_epoch(inst->state.epoch() + 1);
+
+  // Release all held resources (local and remotely arbitrated) and free
+  // anyone ordered behind this instance.
+  std::vector<StepId> held;
+  for (const auto& [step, resources] : inst->held_resources) {
+    held.push_back(step);
+  }
+  for (StepId step : held) ReleaseMutexes(inst, step);
+  ResolveCoordinationAtEnd(inst);
+
+  // Compensate executed steps marked compensate_on_abort, reverse order.
+  std::vector<StepId> to_comp;
+  for (StepId step = 1; step <= inst->schema->schema().num_steps();
+       ++step) {
+    if (!inst->schema->schema().step(step).compensate_on_abort) continue;
+    const StepRecord* record = inst->state.FindStepRecord(step);
+    if (record != nullptr && record->state == StepRunState::kDone) {
+      to_comp.push_back(step);
+    }
+  }
+  std::sort(to_comp.begin(), to_comp.end(), [inst](StepId a, StepId b) {
+    return inst->state.FindStepRecord(a)->exec_seq >
+           inst->state.FindStepRecord(b)->exec_seq;
+  });
+  for (StepId step : to_comp) {
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kAbort,
+                                  options_.navigation_load);
+    EnqueueCompensation(inst, step);
+  }
+  InstanceId id = inst->state.id();
+  EnqueueBarrier(inst, [this, id]() {
+    Instance* done = Find(id);
+    if (done != nullptr) {
+      archived_data_[id] = done->state.data();
+    }
+    tracker().OnInstanceEnd(id);
+    ++aborted_count_;
+  });
+  RunCompQueue(inst);
+}
+
+Status WorkflowEngine::ChangeInputs(const InstanceId& instance,
+                                    std::map<std::string, Value> new_inputs) {
+  auto summary_it = summary_.find(instance);
+  if (summary_it == summary_.end()) {
+    return Status::NotFound("unknown instance " + instance.ToString());
+  }
+  if (summary_it->second != WorkflowState::kExecuting) {
+    return Status::FailedPrecondition(
+        "instance " + instance.ToString() + " is " +
+        runtime::WorkflowStateName(summary_it->second));
+  }
+  Instance* inst = Find(instance);
+  if (inst == nullptr) return Status::NotFound("instance state missing");
+
+  // Identify changed items, merge, and find the earliest affected step.
+  std::set<std::string> changed;
+  for (const auto& [name, value] : new_inputs) {
+    std::optional<Value> old = inst->state.GetData(name);
+    if (!old.has_value() || !(*old == value)) changed.insert(name);
+    inst->state.SetData(name, value);
+  }
+  if (changed.empty()) return Status::OK();
+
+  StepId origin = kInvalidStep;
+  for (StepId step : inst->schema->topo_order()) {
+    const model::Step& spec = inst->schema->schema().step(step);
+    bool affected = false;
+    for (const std::string& input : spec.inputs) {
+      if (changed.count(input)) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) continue;
+    const StepRecord* record = inst->state.FindStepRecord(step);
+    if (record != nullptr && (record->state == StepRunState::kDone ||
+                              record->in_flight)) {
+      origin = step;
+      break;
+    }
+    // First consumer not yet executed: it will pick the new values up
+    // naturally; nothing to roll back.
+    return Status::OK();
+  }
+  if (origin == kInvalidStep) return Status::OK();
+
+  Rollback(inst, origin, Mode::kInputChange);
+  return Status::OK();
+}
+
+std::string WorkflowEngine::DebugInstance(const InstanceId& instance) const {
+  std::string out = instance.ToString() + ": ";
+  const Instance* inst = Find(instance);
+  auto it = summary_.find(instance);
+  out += it == summary_.end() ? "unknown"
+                              : runtime::WorkflowStateName(it->second);
+  if (inst == nullptr) return out + " (no state)\n";
+  out += " epoch=" + std::to_string(inst->state.epoch());
+  out += " comp_queue=" + std::to_string(inst->comp_queue.size());
+  out += inst->comp_running ? " comp_running" : "";
+  out += "\n";
+  for (StepId s = 1; s <= inst->schema->schema().num_steps(); ++s) {
+    const StepRecord* r = inst->state.FindStepRecord(s);
+    if (r == nullptr) continue;
+    out += "  S" + std::to_string(s) + " " +
+           runtime::StepRunStateName(r->state) +
+           (r->in_flight ? " in-flight" : "") +
+           " attempts=" + std::to_string(r->attempts) + "\n";
+  }
+  for (const auto& [rule_id, missing] : inst->rules.PendingRules()) {
+    out += "  pending " + rule_id + " missing:";
+    for (const std::string& token : missing) out += " " + token;
+    out += "\n";
+  }
+  for (StepId s : inst->starting) {
+    out += "  starting S" + std::to_string(s) + "\n";
+  }
+  for (const auto& [resource, lock] : locks_) {
+    if (lock.held && lock.holder == instance) {
+      out += "  holds " + resource + " (S" +
+             std::to_string(lock.holder_step) + ")\n";
+    }
+    for (const auto& [winst, wstep, wengine] : lock.waiters) {
+      if (winst == instance) {
+        out += "  waits-for " + resource + " (S" +
+               std::to_string(wstep) + ") held by " +
+               lock.holder.ToString() + "\n";
+      }
+    }
+  }
+  for (const auto& [resource, rinst, rstep] : remote_lock_pending_) {
+    if (rinst == instance) {
+      out += "  remote-pending " + resource + " (S" +
+             std::to_string(rstep) + ")\n";
+    }
+  }
+  for (const auto& [resource, rinst, rstep] : remote_lock_granted_) {
+    if (rinst == instance) {
+      out += "  remote-granted " + resource + " (S" +
+             std::to_string(rstep) + ")\n";
+    }
+  }
+  return out;
+}
+
+std::string WorkflowEngine::DebugLocks() const {
+  std::string out;
+  for (const auto& [resource, lock] : locks_) {
+    if (!lock.held && lock.waiters.empty()) continue;
+    out += resource + ": ";
+    out += lock.held ? ("held by " + lock.holder.ToString() + " S" +
+                        std::to_string(lock.holder_step))
+                     : "free";
+    for (const auto& [winst, wstep, wengine] : lock.waiters) {
+      out += " | waiter " + winst.ToString() + " S" +
+             std::to_string(wstep) + " @e" + std::to_string(wengine);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+WorkflowState WorkflowEngine::QueryStatus(const InstanceId& instance) const {
+  auto it = summary_.find(instance);
+  return it == summary_.end() ? WorkflowState::kUnknown : it->second;
+}
+
+std::map<std::string, Value> WorkflowEngine::FinalData(
+    const InstanceId& instance) const {
+  auto it = archived_data_.find(instance);
+  if (it != archived_data_.end()) return it->second;
+  const Instance* inst = Find(instance);
+  if (inst != nullptr) return inst->state.data();
+  return {};
+}
+
+}  // namespace crew::central

@@ -1,0 +1,21 @@
+#include "central/system.h"
+
+namespace crew::central {
+
+CentralSystem::CentralSystem(sim::Simulator* simulator,
+                             const runtime::ProgramRegistry* programs,
+                             const model::Deployment* deployment,
+                             const runtime::CoordinationSpec* coordination,
+                             int num_agents, EngineOptions options)
+    : simulator_(simulator) {
+  engine_ = std::make_unique<WorkflowEngine>(
+      /*id=*/1, simulator, programs, deployment, coordination,
+      std::move(options));
+  for (int i = 0; i < num_agents; ++i) {
+    NodeId id = kFirstAgentId + i;
+    agents_.push_back(std::make_unique<ThinAgent>(id, simulator, programs));
+    agent_ids_.push_back(id);
+  }
+}
+
+}  // namespace crew::central

@@ -1,0 +1,46 @@
+#ifndef CREW_CENTRAL_SYSTEM_H_
+#define CREW_CENTRAL_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "central/agent.h"
+#include "central/engine.h"
+#include "model/deployment.h"
+#include "runtime/coord.h"
+#include "runtime/programs.h"
+#include "sim/simulator.h"
+
+namespace crew::central {
+
+/// Assembles a complete centralized-control deployment (Figure 6(a)):
+/// one engine (node 1) plus `num_agents` thin agents (nodes 2..). The
+/// caller owns the ProgramRegistry, Deployment, and CoordinationSpec.
+class CentralSystem {
+ public:
+  CentralSystem(sim::Simulator* simulator,
+                const runtime::ProgramRegistry* programs,
+                const model::Deployment* deployment,
+                const runtime::CoordinationSpec* coordination,
+                int num_agents, EngineOptions options = {});
+
+  WorkflowEngine& engine() { return *engine_; }
+  sim::Simulator& simulator() { return *simulator_; }
+
+  /// Node ids of the agents, usable when building the Deployment.
+  const std::vector<NodeId>& agent_ids() const { return agent_ids_; }
+
+  /// First agent node id in a CentralSystem with engine at node 1.
+  static constexpr NodeId kFirstAgentId = 2;
+
+ private:
+  sim::Simulator* simulator_;
+  std::unique_ptr<WorkflowEngine> engine_;
+  std::vector<std::unique_ptr<ThinAgent>> agents_;
+  std::vector<NodeId> agent_ids_;
+};
+
+}  // namespace crew::central
+
+#endif  // CREW_CENTRAL_SYSTEM_H_

@@ -1,0 +1,51 @@
+#ifndef CREW_COMMON_LOGGING_H_
+#define CREW_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace crew {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log sink. Defaults to kWarn so tests and benches stay
+/// quiet; examples raise it to kInfo to narrate the protocol.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Writes one line to stderr if `level` is enabled.
+  static void Write(LogLevel level, const std::string& message);
+};
+
+namespace log_internal {
+
+/// Stream-style one-line log statement; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Write(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace crew
+
+#define CREW_LOG(severity)                                        \
+  if (::crew::Logger::level() <= ::crew::LogLevel::k##severity)   \
+  ::crew::log_internal::LogLine(::crew::LogLevel::k##severity)
+
+#endif  // CREW_COMMON_LOGGING_H_

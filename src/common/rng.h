@@ -1,0 +1,47 @@
+#ifndef CREW_COMMON_RNG_H_
+#define CREW_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace crew {
+
+/// Deterministic random source used throughout the simulator and the
+/// workload generator. Every experiment takes an explicit seed so runs
+/// are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Picks a uniformly random index in [0, n). Precondition: n > 0.
+  size_t Index(size_t n) {
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_COMMON_RNG_H_

@@ -1,0 +1,28 @@
+#ifndef CREW_COMMON_STRINGS_H_
+#define CREW_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crew {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on a character but honours double-quoted segments (quotes and
+/// backslash escapes inside them are preserved verbatim). Used by the
+/// packet wire format where string Values may contain the separator.
+std::vector<std::string> SplitQuoted(std::string_view text, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, char sep);
+
+/// Removes leading and trailing spaces/tabs/CR/LF.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace crew
+
+#endif  // CREW_COMMON_STRINGS_H_

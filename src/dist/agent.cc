@@ -1,0 +1,1846 @@
+#include "dist/agent.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "rules/event.h"
+#include "runtime/rulegen.h"
+#include "runtime/wire.h"
+
+namespace crew::dist {
+
+using runtime::StepRecord;
+using runtime::StepRunState;
+using runtime::WorkflowState;
+
+Agent::Agent(NodeId id, sim::Simulator* simulator,
+             const runtime::ProgramRegistry* programs,
+             const model::Deployment* deployment,
+             const runtime::CoordinationSpec* coordination,
+             std::vector<NodeId> all_agents, AgentOptions options)
+    : id_(id),
+      simulator_(simulator),
+      programs_(programs),
+      deployment_(deployment),
+      coordination_(coordination),
+      all_agents_(std::move(all_agents)),
+      options_(std::move(options)),
+      rng_(simulator->rng().Fork()),
+      agdb_("agdb-" + std::to_string(id)) {
+  simulator_->network().Register(id_, this);
+  if (!options_.agdb_dir.empty()) {
+    Status status = agdb_.Recover(options_.agdb_dir);
+    if (status.ok()) status = agdb_.OpenDurable(options_.agdb_dir);
+    if (!status.ok()) {
+      CREW_LOG(Error) << "AGDB durability disabled for agent " << id_
+                      << ": " << status.ToString();
+    }
+  }
+}
+
+void Agent::RegisterSchema(model::CompiledSchemaPtr schema) {
+  schemas_[schema->schema().name()] = std::move(schema);
+}
+
+model::CompiledSchemaPtr Agent::FindSchema(const std::string& workflow) {
+  auto it = schemas_.find(workflow);
+  return it == schemas_.end() ? nullptr : it->second;
+}
+
+Agent::AgentInstance* Agent::FindInstance(const InstanceId& instance) {
+  auto it = instances_.find(instance);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+Agent::AgentInstance* Agent::GetOrCreateInstance(
+    const InstanceId& instance) {
+  AgentInstance* existing = FindInstance(instance);
+  if (existing != nullptr) return existing;
+  model::CompiledSchemaPtr schema = FindSchema(instance.workflow);
+  if (schema == nullptr) return nullptr;
+  auto inst = std::make_unique<AgentInstance>();
+  inst->schema = schema;
+  inst->state = runtime::InstanceState(instance, schema);
+  for (rules::Rule& rule : runtime::MakeAllRules(*schema)) {
+    (void)inst->rules.AddRule(std::move(rule));
+  }
+  AgentInstance* raw = inst.get();
+  instances_[instance] = std::move(inst);
+  return raw;
+}
+
+void Agent::Send(NodeId to, const std::string& type,
+                 const std::string& payload, sim::MsgCategory category) {
+  if (to == id_) {
+    // Self-delivery: defer through the event queue. This costs no
+    // network message and — crucially — never re-enters handler state
+    // that is still live on the call stack (a synchronous self-call
+    // could, e.g., purge the instance the caller is working on).
+    sim::Message self{id_, id_, type, payload, category};
+    simulator_->queue().ScheduleAfter(0, [this, self]() {
+      HandleMessage(self);
+    });
+    return;
+  }
+  sim::Message out{id_, to, type, payload, category};
+  Status status = simulator_->network().Send(std::move(out));
+  if (!status.ok()) {
+    CREW_LOG(Error) << "agent " << id_ << " send failed: "
+                    << status.ToString();
+  }
+}
+
+NodeId Agent::CoordinationAgentOf(const AgentInstance& inst) const {
+  const std::vector<NodeId>& eligible = deployment_->Eligible(
+      inst.state.id().workflow, inst.schema->schema().start_step());
+  return eligible.empty() ? kInvalidNode : eligible.front();
+}
+
+NodeId Agent::MutexArbiter(const runtime::MutexReq& req) const {
+  if (req.critical_steps.empty()) return kInvalidNode;
+  const auto& [workflow, step] = req.critical_steps.front();
+  const std::vector<NodeId>& eligible =
+      deployment_->Eligible(workflow, step);
+  if (eligible.empty()) return kInvalidNode;
+  return *std::min_element(eligible.begin(), eligible.end());
+}
+
+void Agent::HandleMessage(const sim::Message& message) {
+  using namespace runtime::wi;
+  const std::string& type = message.type;
+  if (type == kStepExecute) return OnStepExecute(message);
+  if (type == kWorkflowStart) return OnWorkflowStart(message);
+  if (type == kStepCompleted) return OnStepCompleted(message);
+  if (type == kWorkflowRollback) return OnWorkflowRollback(message);
+  if (type == kHaltThread) return OnHaltThread(message);
+  if (type == kCompensateSet) return OnCompensateSet(message);
+  if (type == kCompensateThread) return OnCompensateThread(message);
+  if (type == kStepCompensate) return OnStepCompensate(message);
+  if (type == kWorkflowAbort) return OnWorkflowAbort(message);
+  if (type == kWorkflowChangeInputs) return OnWorkflowChangeInputs(message);
+  if (type == kInputsChanged) return OnInputsChanged(message);
+  if (type == kWorkflowStatus) return OnWorkflowStatus(message);
+  if (type == kStepStatus) return OnStepStatus(message);
+  if (type == kStepStatusReply) return OnStepStatusReply(message);
+  if (type == kStateInformation) return OnStateInformation(message);
+  if (type == kAddRule) return OnAddRule(message);
+  if (type == kAddEvent) return OnAddEvent(message);
+  if (type == kAddPrecondition) return OnAddPrecondition(message);
+  if (type == kPurgeInstances) return OnPurgeInstances(message);
+  if (type == kStateInformationReply) return;  // load gossip; no action
+  if (type == kWorkflowStatusReply) {
+    // A child workflow we launched ended. Commits arrive as
+    // StepCompleted; an *abort* reply means the parent step failed.
+    Result<runtime::WorkflowStatusReplyMsg> parsed =
+        runtime::WorkflowStatusReplyMsg::Parse(message.payload);
+    if (!parsed.ok()) return;
+    auto child = children_.find(parsed.value().instance);
+    if (child == children_.end()) return;
+    if (parsed.value().state != WorkflowState::kAborted) return;
+    const auto& [parent_id, parent_step] = child->second;
+    AgentInstance* parent = FindInstance(parent_id);
+    children_.erase(child);
+    if (parent == nullptr) return;
+    StepRecord& record = parent->state.step_record(parent_step);
+    if (!record.in_flight) return;
+    record.in_flight = false;
+    record.state = StepRunState::kFailed;
+    OnStepFailedLocal(parent, parent_step);
+    return;
+  }
+  CREW_LOG(Warn) << "agent " << id_ << " ignoring message type " << type;
+}
+
+// ---------------------------------------------------------------------
+// Coordination-agent role
+// ---------------------------------------------------------------------
+
+void Agent::OnWorkflowStart(const sim::Message& message) {
+  Result<runtime::WorkflowStartMsg> parsed =
+      runtime::WorkflowStartMsg::Parse(message.payload);
+  if (!parsed.ok()) {
+    CREW_LOG(Error) << "bad WorkflowStart: " << parsed.status().ToString();
+    return;
+  }
+  const runtime::WorkflowStartMsg& msg = parsed.value();
+  model::CompiledSchemaPtr schema = FindSchema(msg.instance.workflow);
+  if (schema == nullptr) {
+    CREW_LOG(Error) << "agent " << id_ << ": unknown schema "
+                    << msg.instance.workflow;
+    return;
+  }
+
+  CoordInstance& coord = coordinating_[msg.instance];
+  coord.schema = schema;
+  coord.status = WorkflowState::kExecuting;
+  coord.reply_to = msg.reply_to;
+  coord.parent = msg.parent;
+  coord.parent_step = msg.parent_step;
+  summary_[msg.instance] = WorkflowState::kExecuting;
+  {
+    storage::Row row;
+    row.Set("status", Value(std::string("executing")));
+    agdb_.table("coord_summary").Put(msg.instance.ToString(), row);
+  }
+
+  AgentInstance* inst = GetOrCreateInstance(msg.instance);
+  if (inst == nullptr) return;
+  for (const auto& [name, value] : msg.inputs) {
+    inst->state.SetData(name, value);
+  }
+  inst->state.MergeRoLinks(msg.ro_links);
+  inst->state.MergeRdLinks(msg.rd_links);
+  ApplyRoGating(inst);
+
+  runtime::EventOcc start =
+      inst->state.PostLocalEvent(rules::event::WorkflowStart());
+  inst->rules.Post(start.token);
+  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kNavigation,
+                                options_.navigation_load);
+  Pump(inst);
+}
+
+void Agent::OnStepCompleted(const sim::Message& message) {
+  Result<runtime::StepCompletedMsg> parsed =
+      runtime::StepCompletedMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::StepCompletedMsg& msg = parsed.value();
+
+  // Nested-workflow completion: the child's coordination agent reports
+  // to the parent-step executor (this agent). Complete the parent step.
+  AgentInstance* parent = FindInstance(msg.instance);
+  if (parent != nullptr && parent->schema->schema().has_step(msg.step) &&
+      parent->schema->schema().step(msg.step).kind ==
+          model::StepKind::kSubWorkflow) {
+    StepRecord& record = parent->state.step_record(msg.step);
+    if (!record.in_flight) return;  // stale (halted meanwhile)
+    record.in_flight = false;
+    parent->state.MergeData(msg.results);
+    std::map<std::string, Value> marker;
+    marker["S" + std::to_string(msg.step) + ".O1"] = Value(int64_t{1});
+    parent->state.MergeData(marker);
+    record.prev_outputs = msg.results;
+    record.state = StepRunState::kDone;
+    record.exec_seq = parent->state.NextExecSeq();
+    record.epoch = parent->state.epoch();
+    record.executed_by = id_;
+    parent->state.SetExecutedBy(msg.step, id_);
+    PersistStepRecord(msg.instance, msg.step);
+    OnStepDoneLocal(parent, msg.step, record.attempts == 1);
+    return;
+  }
+
+  auto it = coordinating_.find(msg.instance);
+  if (it == coordinating_.end()) return;
+  CoordInstance& coord = it->second;
+  if (coord.status != WorkflowState::kExecuting) return;
+
+  int group = coord.schema->terminal_group_of(msg.step);
+  if (group < 0) return;
+  int64_t& best = coord.groups_done[group];
+  best = std::max(best, msg.epoch);
+  for (const auto& [name, value] : msg.results) {
+    coord.results[name] = value;
+  }
+  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kNavigation,
+                                options_.navigation_load);
+  MaybeCommit(msg.instance);
+}
+
+void Agent::MaybeCommit(const InstanceId& instance) {
+  auto it = coordinating_.find(instance);
+  if (it == coordinating_.end()) return;
+  CoordInstance& coord = it->second;
+  if (coord.status != WorkflowState::kExecuting) return;
+  if (static_cast<int>(coord.groups_done.size()) <
+      coord.schema->num_terminal_groups()) {
+    return;
+  }
+  // Committed: make it permanent and let everyone purge (§4.2).
+  coord.status = WorkflowState::kCommitted;
+  summary_[instance] = WorkflowState::kCommitted;
+  {
+    storage::Row row;
+    row.Set("status", Value(std::string("committed")));
+    agdb_.table("coord_summary").Put(instance.ToString(), row);
+  }
+  archived_[instance] = coord.results;
+  ++committed_count_;
+
+  if (!coord.parent.workflow.empty()) {
+    // Nested workflow: hand the completion to the parent step's agent.
+    runtime::StepCompletedMsg done;
+    done.instance = coord.parent;
+    done.step = coord.parent_step;
+    done.epoch = 0;
+    for (const auto& [name, value] : coord.results) {
+      done.results["S" + std::to_string(coord.parent_step) + ".sub." +
+                   name] = value;
+    }
+    Send(coord.reply_to, runtime::wi::kStepCompleted, done.Serialize(),
+         sim::MsgCategory::kNormal);
+  } else if (coord.reply_to != kInvalidNode) {
+    runtime::WorkflowStatusReplyMsg reply;
+    reply.instance = instance;
+    reply.state = WorkflowState::kCommitted;
+    Send(coord.reply_to, runtime::wi::kWorkflowStatusReply,
+         reply.Serialize(), sim::MsgCategory::kAdmin);
+  }
+  BroadcastPurge(instance);
+}
+
+void Agent::BroadcastPurge(const InstanceId& instance) {
+  runtime::PurgeInstancesMsg purge;
+  purge.committed.push_back(instance);
+  for (NodeId agent : all_agents_) {
+    if (agent == id_) continue;
+    Send(agent, runtime::wi::kPurgeInstances, purge.Serialize(),
+         sim::MsgCategory::kAdmin);
+  }
+  // Apply locally too.
+  ended_instances_.insert(instance);
+  instances_.erase(instance);
+  // Resolve registrations parked on the ended instance.
+  for (auto it = ro_registrations_.begin();
+       it != ro_registrations_.end();) {
+    if (it->first.first == instance) {
+      for (const auto& [registrant, token] : it->second) {
+        runtime::AddEventMsg notify;
+        notify.instance = it->first.first;
+        notify.event_token = token;
+        Send(registrant, runtime::wi::kAddEvent, notify.Serialize(),
+             sim::MsgCategory::kCoordination);
+      }
+      it = ro_registrations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Agent::OnPurgeInstances(const sim::Message& message) {
+  Result<runtime::PurgeInstancesMsg> parsed =
+      runtime::PurgeInstancesMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  for (const InstanceId& instance : parsed.value().committed) {
+    ended_instances_.insert(instance);
+    instances_.erase(instance);
+    // Registrations on an ended instance: ordering trivially satisfied.
+    auto it = ro_registrations_.begin();
+    while (it != ro_registrations_.end()) {
+      if (it->first.first == instance) {
+        for (const auto& [registrant, token] : it->second) {
+          runtime::AddEventMsg notify;
+          notify.instance = instance;
+          notify.event_token = token;
+          Send(registrant, runtime::wi::kAddEvent, notify.Serialize(),
+               sim::MsgCategory::kCoordination);
+        }
+        it = ro_registrations_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Agent::OnWorkflowStatus(const sim::Message& message) {
+  Result<runtime::WorkflowStatusMsg> parsed =
+      runtime::WorkflowStatusMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  runtime::WorkflowStatusReplyMsg reply;
+  reply.instance = parsed.value().instance;
+  reply.state = CoordinationStatus(parsed.value().instance);
+  Send(parsed.value().reply_to, runtime::wi::kWorkflowStatusReply,
+       reply.Serialize(), sim::MsgCategory::kAdmin);
+}
+
+runtime::WorkflowState Agent::CoordinationStatus(
+    const InstanceId& instance) const {
+  auto it = summary_.find(instance);
+  return it == summary_.end() ? WorkflowState::kUnknown : it->second;
+}
+
+std::map<std::string, Value> Agent::ArchivedData(
+    const InstanceId& instance) const {
+  auto it = archived_.find(instance);
+  return it == archived_.end() ? std::map<std::string, Value>{}
+                               : it->second;
+}
+
+void Agent::OnWorkflowAbort(const sim::Message& message) {
+  Result<runtime::WorkflowAbortMsg> parsed =
+      runtime::WorkflowAbortMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const InstanceId& instance = parsed.value().instance;
+  auto it = coordinating_.find(instance);
+  if (it == coordinating_.end()) return;
+  CoordInstance& coord = it->second;
+  // "The abort request can be processed as long as the workflow has not
+  // been committed" (§5.2).
+  if (coord.status != WorkflowState::kExecuting) {
+    if (coord.reply_to != kInvalidNode) {
+      runtime::WorkflowStatusReplyMsg reply;
+      reply.instance = instance;
+      reply.state = coord.status;
+      Send(coord.reply_to, runtime::wi::kWorkflowStatusReply,
+           reply.Serialize(), sim::MsgCategory::kAdmin);
+    }
+    return;
+  }
+  coord.status = WorkflowState::kAborted;
+  summary_[instance] = WorkflowState::kAborted;
+  {
+    storage::Row row;
+    row.Set("status", Value(std::string("aborted")));
+    agdb_.table("coord_summary").Put(instance.ToString(), row);
+  }
+  ++aborted_count_;
+
+  // Compensate the schema-designated steps. The coordination agent does
+  // not know where each step executed, so it messages *all* eligible
+  // agents (the paper's 2·w·pa·a cost).
+  const model::Schema& schema = coord.schema->schema();
+  int64_t abort_epoch = 0;
+  AgentInstance* local = FindInstance(instance);
+  if (local != nullptr) {
+    abort_epoch = local->state.epoch() + 1;
+  }
+  for (StepId step = 1; step <= schema.num_steps(); ++step) {
+    if (!schema.step(step).compensate_on_abort) continue;
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kAbort,
+                                  options_.navigation_load);
+    runtime::StepCompensateMsg comp;
+    comp.instance = instance;
+    comp.step = step;
+    comp.epoch = abort_epoch;
+    for (NodeId agent : deployment_->Eligible(instance.workflow, step)) {
+      if (agent == id_) {
+        // Local shortcut: compensate here if we executed it.
+        AgentInstance* inst = FindInstance(instance);
+        if (inst != nullptr &&
+            inst->state.StepState(step) == StepRunState::kDone) {
+          CompensateLocal(inst, step, []() {});
+        }
+        continue;
+      }
+      Send(agent, runtime::wi::kStepCompensate, comp.Serialize(),
+           sim::MsgCategory::kAbort);
+    }
+  }
+
+  // Halt all threads starting from the first step.
+  if (local != nullptr) {
+    LocalHalt(local, schema.start_step(), abort_epoch, /*propagate=*/true);
+    local->mode = sim::MsgCategory::kAbort;
+  }
+
+  if (coord.reply_to != kInvalidNode) {
+    runtime::WorkflowStatusReplyMsg reply;
+    reply.instance = instance;
+    reply.state = WorkflowState::kAborted;
+    Send(coord.reply_to, runtime::wi::kWorkflowStatusReply,
+         reply.Serialize(), sim::MsgCategory::kAdmin);
+  }
+  // Purge later so in-flight compensations still find their state.
+  InstanceId copy = instance;
+  simulator_->queue().ScheduleAfter(options_.purge_delay, [this, copy]() {
+    BroadcastPurge(copy);
+  });
+}
+
+void Agent::OnWorkflowChangeInputs(const sim::Message& message) {
+  Result<runtime::WorkflowChangeInputsMsg> parsed =
+      runtime::WorkflowChangeInputsMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::WorkflowChangeInputsMsg& msg = parsed.value();
+  auto it = coordinating_.find(msg.instance);
+  if (it == coordinating_.end()) return;
+  CoordInstance& coord = it->second;
+  if (coord.status != WorkflowState::kExecuting) return;
+
+  // Earliest step (topologically) consuming a changed input.
+  StepId origin = kInvalidStep;
+  for (StepId step : coord.schema->topo_order()) {
+    for (const std::string& input :
+         coord.schema->schema().step(step).inputs) {
+      if (msg.new_inputs.count(input) > 0) {
+        origin = step;
+        break;
+      }
+    }
+    if (origin != kInvalidStep) break;
+  }
+  if (origin == kInvalidStep) {
+    // No step consumes the changed items; only the data table changes.
+    AgentInstance* inst = FindInstance(msg.instance);
+    if (inst != nullptr) inst->state.MergeData(msg.new_inputs);
+    return;
+  }
+
+  // Relay as InputsChanged to every agent eligible for the origin step
+  // (the coordination agent cannot know which one executed it).
+  runtime::WorkflowChangeInputsMsg relay = msg;
+  relay.origin_step = origin;
+  for (NodeId agent :
+       deployment_->Eligible(msg.instance.workflow, origin)) {
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kInputChange,
+                                  options_.navigation_load);
+    Send(agent, runtime::wi::kInputsChanged, relay.Serialize(),
+           sim::MsgCategory::kInputChange);
+  }
+}
+
+void Agent::OnInputsChanged(const sim::Message& message) {
+  Result<runtime::WorkflowChangeInputsMsg> parsed =
+      runtime::WorkflowChangeInputsMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::WorkflowChangeInputsMsg& msg = parsed.value();
+  AgentInstance* inst = FindInstance(msg.instance);
+  if (inst == nullptr) return;
+  inst->state.MergeData(msg.new_inputs);
+  StepId origin = msg.origin_step;
+  if (origin == kInvalidStep) return;
+  const StepRecord* record = inst->state.FindStepRecord(origin);
+  if (record == nullptr || (record->state != StepRunState::kDone &&
+                            !record->in_flight)) {
+    // Origin not executed here (or anywhere yet): new data will be used
+    // naturally when the step runs.
+    return;
+  }
+  // Behave as the rollback target agent: halt downstream and re-execute
+  // with the OCR strategy.
+  inst->mode = sim::MsgCategory::kInputChange;
+  int64_t new_epoch = inst->state.epoch() + 1;
+  LocalHalt(inst, origin, new_epoch, /*propagate=*/true);
+  Pump(inst);
+}
+
+// ---------------------------------------------------------------------
+// Execution-agent role: packets, rules, programs
+// ---------------------------------------------------------------------
+
+void Agent::OnStepExecute(const sim::Message& message) {
+  Result<runtime::StepExecuteMsg> parsed =
+      runtime::StepExecuteMsg::Parse(message.payload);
+  if (!parsed.ok()) {
+    CREW_LOG(Error) << "bad StepExecute: " << parsed.status().ToString();
+    return;
+  }
+  const runtime::WorkflowPacket& packet = parsed.value().packet;
+  if (ended_instances_.count(packet.instance) > 0) return;
+  AgentInstance* inst = GetOrCreateInstance(packet.instance);
+  if (inst == nullptr) return;
+  if (packet.epoch < inst->state.epoch()) return;  // stale epoch
+
+  inst->state.MergePacket(packet);
+  for (const runtime::EventOcc& event : packet.events) {
+    if (inst->state.MergeEvent(event)) {
+      inst->rules.Post(event.token);
+    }
+  }
+  ApplyRoGating(inst);
+  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kNavigation,
+                                options_.navigation_load);
+
+  // Comp-dep-set resume: the chain finished and handed execution back.
+  if (inst->awaiting_comp_resume.count(packet.target_step) > 0) {
+    inst->awaiting_comp_resume.erase(packet.target_step);
+    const model::Step& spec =
+        inst->schema->schema().step(packet.target_step);
+    AgentInstance* captured = inst;
+    StepId step = packet.target_step;
+    CompensateLocal(inst, step, [this, captured, step, spec]() {
+      RunProgramLocal(captured, step,
+                      runtime::DecideOcr(spec, captured->state) ==
+                              runtime::OcrDecision::kPartialCompIncrReexec
+                          ? spec.ocr.incremental_reexec_fraction
+                          : 1.0);
+    });
+    return;
+  }
+
+  Pump(inst);
+
+  // Failure-protocol safety net: a re-requested step's firing rule may
+  // already have consumed its trigger stamps at this agent (the packet
+  // was fanned out earlier and the elected executor then died). If the
+  // target step should run, is not running anywhere we know of, and we
+  // are the (living) elected executor, start it directly.
+  StepId target = packet.target_step;
+  if (inst->schema->schema().has_step(target)) {
+    const StepRecord* record = inst->state.FindStepRecord(target);
+    bool done_now =
+        inst->state.EventValid(rules::event::StepDone(target));
+    if (!done_now && (record == nullptr || !record->in_flight) &&
+        inst->starting.count(target) == 0 &&
+        ElectedExecutor(inst, target)) {
+      bool triggers_ready = false;
+      expr::FunctionEnvironment env = inst->state.DataEnv();
+      for (const rules::Rule& generated :
+           runtime::MakeStepRules(*inst->schema, target)) {
+        // Consult the *live* rule: AddPrecondition may have appended
+        // ordering events that must also be satisfied.
+        const rules::Rule* live = inst->rules.FindRule(generated.id);
+        const rules::Rule& rule = live != nullptr ? *live : generated;
+        bool all_valid = true;
+        for (const std::string& token : rule.events) {
+          if (!inst->state.EventValid(token)) {
+            all_valid = false;
+            break;
+          }
+        }
+        if (all_valid && expr::EvaluateCondition(rule.condition, env)) {
+          triggers_ready = true;
+          break;
+        }
+      }
+      if (triggers_ready) StartStepLocal(inst, target);
+    }
+  }
+
+  SchedulePendingCheck(packet.instance);
+}
+
+void Agent::Pump(AgentInstance* inst) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    expr::FunctionEnvironment env = inst->state.DataEnv();
+    std::vector<rules::RuleAction> actions =
+        inst->rules.CollectFireable(env);
+    std::set<StepId> dispatched;
+    for (const rules::RuleAction& action : actions) {
+      if (action.kind != rules::ActionKind::kExecuteStep) continue;
+      if (!dispatched.insert(action.step).second) continue;
+      if (!ElectedExecutor(inst, action.step)) continue;
+      progressed = true;
+      StartStepLocal(inst, action.step);
+    }
+  }
+}
+
+bool Agent::ElectedExecutor(AgentInstance* inst, StepId step) {
+  const std::vector<NodeId>& eligible =
+      deployment_->Eligible(inst->state.id().workflow, step);
+  if (eligible.empty()) return false;
+  // The start step always runs at the coordination agent — it is the
+  // only agent that received WorkflowStart (§4.1).
+  if (step == inst->schema->schema().start_step()) {
+    return CoordinationAgentOf(*inst) == id_;
+  }
+  if (eligible.size() == 1) return eligible[0] == id_;
+
+  // OCR locality: a step re-executes at the agent that holds its history.
+  auto it = inst->state.executed_by().find(step);
+  if (it != inst->state.executed_by().end()) {
+    if (std::find(eligible.begin(), eligible.end(), it->second) !=
+        eligible.end()) {
+      if (!simulator_->network().IsNodeDown(it->second)) {
+        return it->second == id_;
+      }
+    }
+  }
+
+  // Deterministic leader election among the eligible agents: everyone
+  // computes the same pick, skipping down agents (§4.2 / §5.2). Optional
+  // StateInformation probes model the paper's load exchange.
+  if (options_.election_probes) {
+    for (NodeId other : eligible) {
+      if (other == id_) continue;
+      runtime::StateInformationMsg probe;
+      probe.reply_to = id_;
+      probe.instance = inst->state.id();
+      probe.step = step;
+      Send(other, runtime::wi::kStateInformation, probe.Serialize(),
+           sim::MsgCategory::kElection);
+    }
+  }
+  std::vector<NodeId> up;
+  for (NodeId agent : eligible) {
+    if (!simulator_->network().IsNodeDown(agent)) up.push_back(agent);
+  }
+  if (up.empty()) up = eligible;
+  size_t index =
+      static_cast<size_t>(inst->state.id().number + step) % up.size();
+  return up[index] == id_;
+}
+
+void Agent::StartStepLocal(AgentInstance* inst, StepId step) {
+  if (ended_instances_.count(inst->state.id()) > 0) return;
+  StepRecord& record = inst->state.step_record(step);
+  if (record.in_flight || inst->starting.count(step) > 0 ||
+      inst->awaiting_comp_resume.count(step) > 0) {
+    return;
+  }
+  inst->starting.insert(step);
+  const model::Step& spec = inst->schema->schema().step(step);
+
+  if (!AcquireMutexesDistributed(inst, step)) {
+    inst->starting.erase(step);
+    return;  // resumed when the grant arrives
+  }
+
+  if (spec.kind == model::StepKind::kSubWorkflow) {
+    LaunchSubWorkflow(inst, step);
+    return;
+  }
+
+  runtime::OcrDecision decision = runtime::DecideOcr(spec, inst->state);
+  switch (decision) {
+    case runtime::OcrDecision::kReuse: {
+      inst->starting.erase(step);
+      record.epoch = inst->state.epoch();
+      OnStepDoneLocal(inst, step, /*first_execution=*/false);
+      return;
+    }
+    case runtime::OcrDecision::kFirstExecution: {
+      RunProgramLocal(inst, step, 1.0);
+      return;
+    }
+    case runtime::OcrDecision::kPartialCompIncrReexec:
+    case runtime::OcrDecision::kFullCompReexec: {
+      if (!spec.ocr.compensate_before_reexec) {
+        RunProgramLocal(inst, step, 1.0);  // plain loop iteration
+        return;
+      }
+      double exec_fraction =
+          decision == runtime::OcrDecision::kPartialCompIncrReexec
+              ? spec.ocr.incremental_reexec_fraction
+              : 1.0;
+      // Compensation dependent sets: members executed after this step
+      // are compensated first, in reverse order, by a CompensateSet
+      // chain over the agents that executed them (§5.2).
+      // Build the StepList from the schema's declared set order — the
+      // paper's CompensateSet protocol: each visited agent checks its own
+      // record and skips members that never executed (§5.2).
+      std::vector<StepId> chain;
+      for (int set_index : inst->schema->comp_dep_sets_of(step)) {
+        const model::CompDepSet& set =
+            inst->schema->schema().comp_dep_sets()[set_index];
+        bool after = false;
+        for (StepId member : set.steps) {
+          if (member == step) {
+            after = true;
+            continue;
+          }
+          if (after) chain.push_back(member);
+        }
+      }
+      if (chain.empty()) {
+        AgentInstance* captured = inst;
+        CompensateLocal(inst, step, [this, captured, step, exec_fraction]() {
+          RunProgramLocal(captured, step, exec_fraction);
+        });
+        return;
+      }
+      // Reverse declared order: last member first.
+      std::reverse(chain.begin(), chain.end());
+      runtime::CompensateSetMsg msg;
+      msg.instance = inst->state.id();
+      msg.origin_step = step;
+      msg.remaining = chain;
+      msg.epoch = inst->state.epoch();
+      msg.resume_agent = id_;
+      msg.resume = inst->state.MakePacket(step);
+      inst->awaiting_comp_resume.insert(step);
+      inst->starting.erase(step);
+      NodeId first = kInvalidNode;
+      auto by = inst->state.executed_by().find(chain.front());
+      if (by != inst->state.executed_by().end()) {
+        first = by->second;
+      } else {
+        const std::vector<NodeId>& eligible = deployment_->Eligible(
+            inst->state.id().workflow, chain.front());
+        if (!eligible.empty()) first = eligible.front();
+      }
+      if (first == kInvalidNode) {
+        inst->awaiting_comp_resume.erase(step);
+        return;
+      }
+      simulator_->metrics().AddLoad(
+          id_, sim::LoadCategory::kFailureHandling,
+          options_.navigation_load);
+      Send(first, runtime::wi::kCompensateSet, msg.Serialize(),
+             sim::MsgCategory::kFailureHandling);
+      return;
+    }
+  }
+}
+
+void Agent::RunProgramLocal(AgentInstance* inst, StepId step,
+                            double cost_fraction) {
+  const model::Step& spec = inst->schema->schema().step(step);
+  StepRecord& record = inst->state.step_record(step);
+  inst->starting.erase(step);
+  record.in_flight = true;
+  record.attempts += 1;
+
+  runtime::ProgramContext context;
+  context.instance = inst->state.id();
+  context.step = step;
+  context.attempt = record.attempts;
+  context.inputs = inst->state.ResolveInputs(step);
+  context.rng = &rng_;
+
+  Result<runtime::ProgramOutcome> outcome =
+      programs_->Run(spec.program, context);
+  bool success = outcome.ok() && outcome.value().success;
+  int64_t cost = 0;
+  std::map<std::string, Value> outputs;
+  if (outcome.ok()) {
+    outputs = outcome.value().outputs;
+    int64_t base =
+        outcome.value().cost > 0 ? outcome.value().cost : spec.cost;
+    cost = static_cast<int64_t>(base * cost_fraction);
+  }
+
+  ++active_programs_;
+  InstanceId instance = inst->state.id();
+  int64_t epoch = inst->state.epoch();
+  std::map<std::string, Value> inputs_snapshot = context.inputs;
+  simulator_->queue().ScheduleAfter(
+      options_.exec_latency,
+      [this, instance, step, epoch, success, cost, outputs,
+       inputs_snapshot]() {
+        --active_programs_;
+        AgentInstance* inst = FindInstance(instance);
+        if (inst == nullptr) return;
+        StepRecord& record = inst->state.step_record(step);
+        if (simulator_->network().IsNodeDown(id_)) {
+          // This agent crashed mid-step: the work is lost. The
+          // predecessor-failure protocol (§5.2) recovers query steps at
+          // other agents; update steps resume when we come back and the
+          // step is re-driven.
+          record.in_flight = false;
+          return;
+        }
+        if (inst->state.epoch() != epoch) return;  // halted meanwhile
+        if (!record.in_flight) return;  // reset by a halt
+        record.in_flight = false;
+        simulator_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
+                                      cost);
+        if (success) {
+          const std::string prefix = "S" + std::to_string(step) + ".";
+          std::map<std::string, Value> qualified;
+          for (const auto& [name, value] : outputs) {
+            qualified[prefix + name] = value;
+          }
+          inst->state.MergeData(qualified);
+          record.prev_inputs = inputs_snapshot;
+          record.prev_outputs = qualified;
+          record.state = StepRunState::kDone;
+          record.exec_seq = inst->state.NextExecSeq();
+          record.epoch = inst->state.epoch();
+          record.executed_by = id_;
+          inst->state.SetExecutedBy(step, id_);
+          PersistStepRecord(instance, step);
+          OnStepDoneLocal(inst, step, record.attempts == 1);
+        } else {
+          record.state = StepRunState::kFailed;
+          PersistStepRecord(instance, step);
+          OnStepFailedLocal(inst, step);
+        }
+      });
+}
+
+void Agent::PersistStepRecord(const InstanceId& instance, StepId step) {
+  const AgentInstance* inst =
+      const_cast<Agent*>(this)->FindInstance(instance);
+  if (inst == nullptr) return;
+  const StepRecord* record = inst->state.FindStepRecord(step);
+  if (record == nullptr) return;
+  storage::Row row;
+  row.Set("state",
+          Value(std::string(runtime::StepRunStateName(record->state))));
+  row.Set("attempts", Value(static_cast<int64_t>(record->attempts)));
+  row.Set("epoch", Value(record->epoch));
+  agdb_.table("steps").Put(
+      instance.ToString() + "/S" + std::to_string(step), row);
+}
+
+void Agent::OnStepDoneLocal(AgentInstance* inst, StepId step,
+                            bool first_execution) {
+  runtime::EventOcc done =
+      inst->state.PostLocalEvent(rules::event::StepDone(step));
+  inst->rules.Post(done.token);
+
+  // Passing the re-executed region: a first-ever completion means the
+  // instance's traffic is normal execution again. (Reused results keep
+  // the recovery category: they are part of the rollback revisit.)
+  if (first_execution) {
+    inst->mode = sim::MsgCategory::kNormal;
+  }
+
+  ReleaseMutexesDistributed(inst, step);
+  NotifyRoRegistrants(inst->state.id(), step);
+
+  // Coordination load: every completion checks the class requirements.
+  int requirements =
+      coordination_->RequirementCount(inst->state.id().workflow);
+  if (requirements > 0) {
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                  options_.navigation_load * requirements);
+  }
+
+  if (inst->schema->is_choice_split(step)) {
+    HandleBranchSwitch(inst, step);
+  }
+
+  // Rollback dependency: this instance *leads* rd-linked instances; a
+  // completion never triggers them, only rollbacks do (see
+  // OnWorkflowRollback / LocalHalt).
+
+  if (inst->state.halted()) return;  // thread quiesced by a halt probe
+
+  if (inst->schema->terminal_group_of(step) >= 0) {
+    // Termination-agent role: report to the coordination agent.
+    runtime::StepCompletedMsg msg;
+    msg.instance = inst->state.id();
+    msg.step = step;
+    msg.epoch = inst->state.epoch();
+    msg.results = inst->state.data();
+    NodeId coordination_agent = CoordinationAgentOf(*inst);
+    Send(coordination_agent, runtime::wi::kStepCompleted,
+           msg.Serialize(), sim::MsgCategory::kNormal);
+  }
+  ForwardPackets(inst, step);
+  Pump(inst);
+}
+
+void Agent::ForwardPackets(AgentInstance* inst, StepId completed_step) {
+  // Control arcs: forward + back edges. Back-edge conditions are
+  // evaluated by the receiving rule, so packets flow unconditionally.
+  for (const model::ControlArc* arc :
+       inst->schema->forward_out(completed_step)) {
+    SendPacketTo(inst, arc->to,
+                 deployment_->Eligible(inst->state.id().workflow,
+                                       arc->to));
+  }
+  for (const model::ControlArc* arc :
+       inst->schema->back_out(completed_step)) {
+    SendPacketTo(inst, arc->to,
+                 deployment_->Eligible(inst->state.id().workflow,
+                                       arc->to));
+  }
+  // Declared data arcs: cross-branch data flow rides the same packets.
+  for (const model::DataArc& arc : inst->schema->schema().data_arcs()) {
+    if (arc.from != completed_step) continue;
+    SendPacketTo(inst, arc.to,
+                 deployment_->Eligible(inst->state.id().workflow,
+                                       arc.to));
+  }
+}
+
+void Agent::SendPacketTo(AgentInstance* inst, StepId target,
+                         const std::vector<NodeId>& eligible) {
+  if (eligible.empty()) return;
+  runtime::WorkflowPacket packet = inst->state.MakePacket(target);
+  std::string payload = packet.Serialize();
+  for (NodeId agent : eligible) {
+    inst->state.NoteForwarded(target, agent);
+    // Self-delivery is deferred by Send and costs no network message.
+    Send(agent, runtime::wi::kStepExecute, payload, inst->mode);
+  }
+}
+
+void Agent::HandleBranchSwitch(AgentInstance* inst, StepId split_step) {
+  expr::FunctionEnvironment env = inst->state.DataEnv();
+  StepId chosen = kInvalidStep;
+  const model::ControlArc* else_arc = nullptr;
+  for (const model::ControlArc* arc :
+       inst->schema->forward_out(split_step)) {
+    if (arc->is_else) {
+      else_arc = arc;
+      continue;
+    }
+    if (arc->condition && expr::EvaluateCondition(arc->condition, env)) {
+      chosen = arc->to;
+      break;
+    }
+  }
+  if (chosen == kInvalidStep && else_arc != nullptr) chosen = else_arc->to;
+  if (chosen == kInvalidStep) return;
+
+  auto it = inst->taken_branch.find(split_step);
+  if (it != inst->taken_branch.end() && it->second != chosen) {
+    // Different branch on re-execution: compensate the abandoned branch
+    // with a CompensateThread walk up to the confluence (§5.2).
+    StepId old_entry = it->second;
+    StepId confluence = kInvalidStep;
+    for (StepId candidate : inst->schema->topo_order()) {
+      if (candidate != old_entry &&
+          inst->schema->IsDownstream(old_entry, candidate) &&
+          inst->schema->IsDownstream(chosen, candidate)) {
+        confluence = candidate;
+        break;
+      }
+    }
+    runtime::CompensateThreadMsg msg;
+    msg.instance = inst->state.id();
+    msg.step = old_entry;
+    msg.until_join = confluence;
+    msg.epoch = inst->state.epoch();
+    NodeId target = kInvalidNode;
+    auto by = inst->state.executed_by().find(old_entry);
+    if (by != inst->state.executed_by().end()) {
+      target = by->second;
+    } else {
+      const std::vector<NodeId>& eligible =
+          deployment_->Eligible(inst->state.id().workflow, old_entry);
+      if (!eligible.empty()) target = eligible.front();
+    }
+    if (target != kInvalidNode) {
+      simulator_->metrics().AddLoad(
+          id_, sim::LoadCategory::kFailureHandling,
+          options_.navigation_load);
+      Send(target, runtime::wi::kCompensateThread, msg.Serialize(),
+             sim::MsgCategory::kFailureHandling);
+    }
+  }
+  inst->taken_branch[split_step] = chosen;
+}
+
+// ---------------------------------------------------------------------
+// Failure handling: rollback, halts, compensation
+// ---------------------------------------------------------------------
+
+void Agent::OnStepFailedLocal(AgentInstance* inst, StepId step) {
+  runtime::EventOcc fail =
+      inst->state.PostLocalEvent(rules::event::StepFail(step));
+  inst->rules.Post(fail.token);
+  ReleaseMutexesDistributed(inst, step);
+
+  const model::Step& spec = inst->schema->schema().step(step);
+  const StepRecord* record = inst->state.FindStepRecord(step);
+  if ((record != nullptr &&
+       record->attempts >= spec.failure.max_attempts) ||
+      spec.failure.rollback_to == kInvalidStep) {
+    // Give up: ask the coordination agent to abort the workflow.
+    runtime::WorkflowAbortMsg abort;
+    abort.instance = inst->state.id();
+    NodeId coordination_agent = CoordinationAgentOf(*inst);
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
+                                  options_.navigation_load);
+    Send(coordination_agent, runtime::wi::kWorkflowAbort,
+           abort.Serialize(), sim::MsgCategory::kAbort);
+    return;
+  }
+
+  // Partial rollback (§5.2): notify the agent that executed the rollback
+  // target; none of the other agents are told directly.
+  StepId origin = spec.failure.rollback_to;
+  runtime::WorkflowRollbackMsg msg;
+  msg.instance = inst->state.id();
+  msg.origin_step = origin;
+  msg.new_epoch = inst->state.epoch() + 1;
+  msg.state = inst->state.MakePacket(origin);
+  NodeId target = kInvalidNode;
+  auto by = inst->state.executed_by().find(origin);
+  if (by != inst->state.executed_by().end()) {
+    target = by->second;
+  } else {
+    const std::vector<NodeId>& eligible =
+        deployment_->Eligible(inst->state.id().workflow, origin);
+    if (!eligible.empty()) target = eligible.front();
+  }
+  if (target == kInvalidNode) return;
+  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
+                                options_.navigation_load);
+  inst->mode = sim::MsgCategory::kFailureHandling;
+  Send(target, runtime::wi::kWorkflowRollback, msg.Serialize(),
+         sim::MsgCategory::kFailureHandling);
+}
+
+void Agent::OnWorkflowRollback(const sim::Message& message) {
+  Result<runtime::WorkflowRollbackMsg> parsed =
+      runtime::WorkflowRollbackMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::WorkflowRollbackMsg& msg = parsed.value();
+  AgentInstance* inst = GetOrCreateInstance(msg.instance);
+  if (inst == nullptr) return;
+  if (msg.new_epoch <= inst->state.epoch() &&
+      inst->last_halt_epoch >= msg.new_epoch) {
+    return;  // stale rollback
+  }
+  inst->state.MergePacket(msg.state);
+  for (const runtime::EventOcc& event : msg.state.events) {
+    if (inst->state.MergeEvent(event)) {
+      inst->rules.Post(event.token);
+    }
+  }
+  if (inst->mode == sim::MsgCategory::kNormal) {
+    inst->mode = message.category;
+  }
+
+  // Rollback dependencies: this instance leads rd-linked dependents.
+  for (const runtime::RdLink& link : inst->state.rd_links()) {
+    if (msg.origin_step > link.my_step) continue;
+    runtime::WorkflowRollbackMsg dep;
+    dep.instance = link.other;
+    dep.origin_step = link.other_step;
+    dep.new_epoch = 0;  // dependent's agent computes its own epoch
+    dep.state.instance = link.other;
+    const std::vector<NodeId>& eligible =
+        deployment_->Eligible(link.other.workflow, link.other_step);
+    for (NodeId agent : eligible) {
+      simulator_->metrics().AddLoad(
+          id_, sim::LoadCategory::kCoordination, options_.navigation_load);
+      if (agent == id_) continue;
+      Send(agent, runtime::wi::kWorkflowRollback, dep.Serialize(),
+           sim::MsgCategory::kCoordination);
+    }
+  }
+
+  int64_t new_epoch =
+      std::max(msg.new_epoch, inst->state.epoch() + 1);
+  if (msg.new_epoch == 0) {
+    // RD-induced rollback: only meaningful if we executed the origin and
+    // the instance progressed since its last rollback (this breaks RD
+    // rings and duplicate fan-out deliveries).
+    const StepRecord* record =
+        inst->state.FindStepRecord(msg.origin_step);
+    if (record == nullptr || record->state != StepRunState::kDone) {
+      return;
+    }
+    if (inst->last_rd_rollback_seq == inst->state.exec_seq()) return;
+    inst->last_rd_rollback_seq = inst->state.exec_seq();
+  } else if (!coordination_->RollbackDepsLeading(msg.instance.workflow)
+                  .empty()) {
+    // This class leads rollback dependencies: tell the front end (which
+    // holds the global instance registry) so it can roll the dependent
+    // instances back (§3). RD-induced rollbacks do not re-notify.
+    runtime::AddEventMsg notice;
+    notice.instance = msg.instance;
+    notice.event_token = "rd.rollback:S" + std::to_string(msg.origin_step);
+    Send(kFrontEndNode, runtime::wi::kAddEvent, notice.Serialize(),
+         sim::MsgCategory::kCoordination);
+  }
+  LocalHalt(inst, msg.origin_step, new_epoch, /*propagate=*/true);
+  Pump(inst);
+}
+
+void Agent::LocalHalt(AgentInstance* inst, StepId origin,
+                      int64_t new_epoch, bool propagate) {
+  if (inst->last_halt_epoch >= new_epoch) return;
+  inst->last_halt_epoch = new_epoch;
+  if (new_epoch > inst->state.epoch()) inst->state.set_epoch(new_epoch);
+
+  // Invalidate old-epoch events of downstream steps, discard pending
+  // rule progress, and re-arm their rules (§5.2's two-pronged strategy).
+  std::vector<std::string> invalidated =
+      inst->state.InvalidateDownstream(origin, new_epoch);
+  for (const std::string& token : invalidated) {
+    inst->rules.Invalidate(token);
+  }
+  const model::CompiledSchema* schema = inst->schema.get();
+  inst->rules.ResetFiringIf([schema, origin](const rules::Rule& rule) {
+    return rule.action.kind == rules::ActionKind::kExecuteStep &&
+           schema->IsDownstream(origin, rule.action.step);
+  });
+  for (StepId step : schema->downstream_including(origin)) {
+    const StepRecord* existing = inst->state.FindStepRecord(step);
+    bool touched = existing != nullptr &&
+                   (existing->state != StepRunState::kUnknown ||
+                    existing->in_flight);
+    StepRecord* record = &inst->state.step_record(step);
+    record->in_flight = false;
+    inst->starting.erase(step);
+    if (touched) {
+      // Recovery work is charged per step actually rolled back (the
+      // paper's l·r accounting), not per reachable step.
+      simulator_->metrics().AddLoad(
+          id_, sim::LoadCategory::kFailureHandling,
+          options_.navigation_load);
+    }
+  }
+
+  if (!propagate) return;
+  // Chase the packets we already forwarded for downstream steps.
+  runtime::HaltThreadMsg halt;
+  halt.instance = inst->state.id();
+  halt.origin_step = origin;
+  halt.new_epoch = new_epoch;
+  for (const auto& [step, agents] : inst->state.forwarded()) {
+    if (!schema->IsDownstream(origin, step)) continue;
+    for (NodeId agent : agents) {
+      if (agent == id_) continue;
+      Send(agent, runtime::wi::kHaltThread, halt.Serialize(),
+           sim::MsgCategory::kFailureHandling);
+    }
+  }
+}
+
+void Agent::OnHaltThread(const sim::Message& message) {
+  Result<runtime::HaltThreadMsg> parsed =
+      runtime::HaltThreadMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::HaltThreadMsg& msg = parsed.value();
+  AgentInstance* inst = FindInstance(msg.instance);
+  if (inst == nullptr) return;
+  if (inst->mode == sim::MsgCategory::kNormal) {
+    inst->mode = message.category;
+  }
+  LocalHalt(inst, msg.origin_step, msg.new_epoch, /*propagate=*/true);
+  // After the halt, new-epoch packets re-trigger execution through the
+  // normal Pump path; nothing to restart here.
+}
+
+void Agent::CompensateLocal(AgentInstance* inst, StepId step,
+                            std::function<void()> then) {
+  const model::Step& spec = inst->schema->schema().step(step);
+  StepRecord& record = inst->state.step_record(step);
+  if (record.state != StepRunState::kDone) {
+    then();
+    return;
+  }
+  const std::string& program = spec.compensation_program.empty()
+                                   ? spec.program
+                                   : spec.compensation_program;
+  runtime::ProgramContext context;
+  context.instance = inst->state.id();
+  context.step = step;
+  context.attempt = record.attempts;
+  context.compensation = true;
+  context.inputs = record.prev_inputs;
+  context.rng = &rng_;
+  int64_t cost = spec.cost;
+  if (programs_->Contains(program)) {
+    Result<runtime::ProgramOutcome> outcome =
+        programs_->Run(program, context);
+    if (outcome.ok() && outcome.value().cost > 0) {
+      cost = outcome.value().cost;
+    }
+  }
+  cost = static_cast<int64_t>(cost *
+                              spec.ocr.partial_compensation_fraction);
+  InstanceId instance = inst->state.id();
+  simulator_->queue().ScheduleAfter(
+      options_.exec_latency, [this, instance, step, cost, then]() {
+        AgentInstance* inst = FindInstance(instance);
+        if (inst == nullptr) return;
+        StepRecord& record = inst->state.step_record(step);
+        record.state = StepRunState::kCompensated;
+        simulator_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
+                                      cost);
+        runtime::EventOcc comp = inst->state.PostLocalEvent(
+            rules::event::StepCompensated(step));
+        inst->rules.Post(comp.token);
+        PersistStepRecord(instance, step);
+        then();
+      });
+}
+
+void Agent::OnCompensateSet(const sim::Message& message) {
+  Result<runtime::CompensateSetMsg> parsed =
+      runtime::CompensateSetMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  runtime::CompensateSetMsg msg = parsed.value();
+  if (msg.remaining.empty()) {
+    // Chain exhausted: hand execution back to the origin agent.
+    Send(msg.resume_agent, runtime::wi::kStepExecute,
+         msg.resume.Serialize(), sim::MsgCategory::kFailureHandling);
+    return;
+  }
+  StepId step = msg.remaining.front();
+  msg.remaining.erase(msg.remaining.begin());
+  AgentInstance* inst = GetOrCreateInstance(msg.instance);
+  if (inst == nullptr) return;
+  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
+                                options_.navigation_load);
+
+  auto forward = [this, msg]() mutable {
+    if (msg.remaining.empty()) {
+      Send(msg.resume_agent, runtime::wi::kStepExecute,
+             msg.resume.Serialize(), sim::MsgCategory::kFailureHandling);
+      return;
+    }
+    StepId next = msg.remaining.front();
+    NodeId target = kInvalidNode;
+    AgentInstance* inst = FindInstance(msg.instance);
+    if (inst != nullptr) {
+      auto by = inst->state.executed_by().find(next);
+      if (by != inst->state.executed_by().end()) target = by->second;
+    }
+    if (target == kInvalidNode) {
+      const std::vector<NodeId>& eligible =
+          deployment_->Eligible(msg.instance.workflow, next);
+      if (!eligible.empty()) target = eligible.front();
+    }
+    if (target == kInvalidNode) return;
+    Send(target, runtime::wi::kCompensateSet, msg.Serialize(),
+           sim::MsgCategory::kFailureHandling);
+  };
+
+  // Paper: "checks if the step has been executed. If not, no action."
+  CompensateLocal(inst, step, forward);
+}
+
+void Agent::OnCompensateThread(const sim::Message& message) {
+  Result<runtime::CompensateThreadMsg> parsed =
+      runtime::CompensateThreadMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::CompensateThreadMsg& msg = parsed.value();
+  AgentInstance* inst = FindInstance(msg.instance);
+  if (inst == nullptr) return;
+  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
+                                options_.navigation_load);
+
+  InstanceId instance = msg.instance;
+  StepId step = msg.step;
+  StepId until = msg.until_join;
+  int64_t epoch = msg.epoch;
+  CompensateLocal(inst, step, [this, instance, step, until, epoch]() {
+    AgentInstance* inst = FindInstance(instance);
+    if (inst == nullptr) return;
+    // Continue along the abandoned branch until the confluence.
+    for (const model::ControlArc* arc : inst->schema->forward_out(step)) {
+      if (arc->to == until) continue;
+      runtime::CompensateThreadMsg next;
+      next.instance = instance;
+      next.step = arc->to;
+      next.until_join = until;
+      next.epoch = epoch;
+      NodeId target = kInvalidNode;
+      auto by = inst->state.executed_by().find(arc->to);
+      if (by != inst->state.executed_by().end()) {
+        target = by->second;
+      } else {
+        const std::vector<NodeId>& eligible =
+            deployment_->Eligible(instance.workflow, arc->to);
+        if (!eligible.empty()) target = eligible.front();
+      }
+      if (target == kInvalidNode) continue;
+      Send(target, runtime::wi::kCompensateThread, next.Serialize(),
+             sim::MsgCategory::kFailureHandling);
+    }
+  });
+}
+
+void Agent::OnStepCompensate(const sim::Message& message) {
+  Result<runtime::StepCompensateMsg> parsed =
+      runtime::StepCompensateMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::StepCompensateMsg& msg = parsed.value();
+  AgentInstance* inst = FindInstance(msg.instance);
+  if (inst == nullptr) return;
+  CompensateLocal(inst, msg.step, []() {});
+}
+
+// ---------------------------------------------------------------------
+// Coordinated execution: RO registration/notification, ME arbitration
+// ---------------------------------------------------------------------
+
+void Agent::ApplyRoGating(AgentInstance* inst) {
+  for (const runtime::RoLink& link : inst->state.ro_links()) {
+    if (link.leading) continue;  // leaders act via registrations
+    std::string token =
+        rules::event::RelativeOrder(link.other, link.other_step);
+    // Gate every rule that can fire the lagging step.
+    for (const rules::Rule& rule :
+         runtime::MakeStepRules(*inst->schema, link.my_step)) {
+      (void)inst->rules.AddPrecondition(rule.id, token);
+    }
+    // Only the agents that may execute the lagging step register at the
+    // leading step's agents; fan-out observers merely gate their rules.
+    const std::vector<NodeId>& lag_eligible = deployment_->Eligible(
+        inst->state.id().workflow, link.my_step);
+    if (std::find(lag_eligible.begin(), lag_eligible.end(), id_) ==
+        lag_eligible.end()) {
+      continue;
+    }
+    if (inst->ro_registered.insert(token).second) {
+      simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                    options_.navigation_load);
+      if (ended_instances_.count(link.other) > 0) {
+        // Leading instance already finished: ordering holds trivially.
+        inst->state.PostLocalEvent(token);
+        inst->rules.Post(token);
+        continue;
+      }
+      // Register interest at every agent eligible to run the leading
+      // step (AddRule protocol, Figure 4).
+      runtime::AddRuleMsg reg;
+      reg.instance = link.other;
+      reg.rule_id = token;
+      reg.trigger_events = {std::to_string(id_)};
+      reg.action_step = link.other_step;
+      for (NodeId agent :
+           deployment_->Eligible(link.other.workflow, link.other_step)) {
+        Send(agent, runtime::wi::kAddRule, reg.Serialize(),
+               sim::MsgCategory::kCoordination);
+      }
+    }
+  }
+}
+
+void Agent::OnAddRule(const sim::Message& message) {
+  Result<runtime::AddRuleMsg> parsed =
+      runtime::AddRuleMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::AddRuleMsg& msg = parsed.value();
+
+  // ME arbitration requests reuse the AddRule WI.
+  if (msg.rule_id == "me.acquire" || msg.rule_id == "me.release") {
+    NodeId requester = msg.trigger_events.empty()
+                           ? message.from
+                           : static_cast<NodeId>(strtol(
+                                 msg.trigger_events[0].c_str(), nullptr,
+                                 10));
+    const std::string& resource = msg.condition_source;
+    LockState& lock = locks_[resource];
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                  options_.navigation_load);
+    if (msg.rule_id == "me.acquire") {
+      if (!lock.held) {
+        lock.held = true;
+        lock.holder = msg.instance;
+        lock.holder_step = msg.action_step;
+        runtime::AddEventMsg grant;
+        grant.instance = msg.instance;
+        grant.event_token = "me.grant:" + resource + ":S" +
+                            std::to_string(msg.action_step);
+        Send(requester, runtime::wi::kAddEvent, grant.Serialize(),
+               sim::MsgCategory::kCoordination);
+      } else if (!(lock.holder == msg.instance &&
+                   lock.holder_step == msg.action_step)) {
+        lock.waiters.push_back(
+            {msg.instance, msg.action_step, requester});
+      }
+    } else {  // me.release
+      if (lock.held && lock.holder == msg.instance &&
+          lock.holder_step == msg.action_step) {
+        lock.held = false;
+        if (!lock.waiters.empty()) {
+          auto [next_inst, next_step, next_agent] = lock.waiters.front();
+          lock.waiters.pop_front();
+          lock.held = true;
+          lock.holder = next_inst;
+          lock.holder_step = next_step;
+          runtime::AddEventMsg grant;
+          grant.instance = next_inst;
+          grant.event_token = "me.grant:" + resource + ":S" +
+                              std::to_string(next_step);
+          Send(next_agent, runtime::wi::kAddEvent, grant.Serialize(),
+                 sim::MsgCategory::kCoordination);
+        }
+      }
+    }
+    return;
+  }
+
+  // RO registration: notify when (instance, action_step) completes here.
+  NodeId registrant = msg.trigger_events.empty()
+                          ? message.from
+                          : static_cast<NodeId>(strtol(
+                                msg.trigger_events[0].c_str(), nullptr,
+                                10));
+  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                options_.navigation_load);
+  if (ended_instances_.count(msg.instance) > 0) {
+    runtime::AddEventMsg notify;
+    notify.instance = msg.instance;
+    notify.event_token = msg.rule_id;
+    Send(registrant, runtime::wi::kAddEvent, notify.Serialize(),
+           sim::MsgCategory::kCoordination);
+    return;
+  }
+  AgentInstance* inst = FindInstance(msg.instance);
+  if (inst != nullptr &&
+      inst->state.EventValid(rules::event::StepDone(msg.action_step))) {
+    runtime::AddEventMsg notify;
+    notify.instance = msg.instance;
+    notify.event_token = msg.rule_id;
+    Send(registrant, runtime::wi::kAddEvent, notify.Serialize(),
+           sim::MsgCategory::kCoordination);
+    return;
+  }
+  ro_registrations_[{msg.instance, msg.action_step}].push_back(
+      {registrant, msg.rule_id});
+}
+
+void Agent::NotifyRoRegistrants(const InstanceId& instance, StepId step) {
+  auto it = ro_registrations_.find({instance, step});
+  if (it == ro_registrations_.end()) return;
+  std::vector<std::pair<NodeId, std::string>> registrants =
+      std::move(it->second);
+  ro_registrations_.erase(it);
+  for (const auto& [registrant, token] : registrants) {
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                  options_.navigation_load);
+    runtime::AddEventMsg notify;
+    notify.instance = instance;
+    notify.event_token = token;
+    Send(registrant, runtime::wi::kAddEvent, notify.Serialize(),
+           sim::MsgCategory::kCoordination);
+  }
+}
+
+void Agent::OnAddEvent(const sim::Message& message) {
+  Result<runtime::AddEventMsg> parsed =
+      runtime::AddEventMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::AddEventMsg& msg = parsed.value();
+  const std::string& token = msg.event_token;
+
+  if (token.rfind("me.grant:", 0) == 0) {
+    size_t colon = token.rfind(":S");
+    if (colon == std::string::npos) return;
+    std::string resource = token.substr(9, colon - 9);
+    StepId step = static_cast<StepId>(
+        strtol(token.c_str() + colon + 2, nullptr, 10));
+    AgentInstance* inst = FindInstance(msg.instance);
+    if (inst == nullptr) {
+      // Instance gone: release the lock straight back.
+      runtime::AddRuleMsg release;
+      release.instance = msg.instance;
+      release.rule_id = "me.release";
+      release.condition_source = resource;
+      release.action_step = step;
+      release.trigger_events = {std::to_string(id_)};
+      Send(message.from, runtime::wi::kAddRule, release.Serialize(),
+           sim::MsgCategory::kCoordination);
+      return;
+    }
+    inst->me_pending.erase({step, resource});
+    inst->me_granted.insert({step, resource});
+    StartStepLocal(inst, step);
+    return;
+  }
+
+  // RO tokens (or other plain events) post into the instance.
+  // The token may arrive before any packet created the instance: the
+  // *RO event* itself concerns the lagging instance, but msg.instance is
+  // the *leading* one. Deliver to every local instance that waits for it.
+  bool delivered = false;
+  for (auto& [id, inst] : instances_) {
+    bool waits = false;
+    for (const runtime::RoLink& link : inst->state.ro_links()) {
+      if (!link.leading &&
+          rules::event::RelativeOrder(link.other, link.other_step) ==
+              token) {
+        waits = true;
+        break;
+      }
+    }
+    if (!waits) continue;
+    // Ordering tokens are one-shot: a duplicate notification (e.g. the
+    // executor's AddEvent plus the purge-time resolution of a parked
+    // registration) must not re-fire the gated rule.
+    if (inst->state.EventValid(token)) {
+      delivered = true;
+      continue;
+    }
+    inst->state.PostLocalEvent(token);
+    inst->rules.Post(token);
+    Pump(inst.get());
+    delivered = true;
+  }
+  if (!delivered) {
+    CREW_LOG(Debug) << "agent " << id_ << ": no local waiter for " << token;
+  }
+}
+
+void Agent::OnAddPrecondition(const sim::Message& message) {
+  Result<runtime::AddPreconditionMsg> parsed =
+      runtime::AddPreconditionMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::AddPreconditionMsg& msg = parsed.value();
+  AgentInstance* inst = FindInstance(msg.instance);
+  if (inst == nullptr) return;
+  (void)inst->rules.AddPrecondition(msg.rule_id, msg.event_token);
+}
+
+bool Agent::AcquireMutexesDistributed(AgentInstance* inst, StepId step) {
+  std::vector<const runtime::MutexReq*> reqs =
+      coordination_->MutexesOf(inst->state.id().workflow, step);
+  for (const runtime::MutexReq* req : reqs) {
+    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+                                  options_.navigation_load);
+    std::pair<StepId, std::string> key{step, req->resource};
+    if (inst->me_granted.count(key) > 0) continue;
+    if (inst->me_pending.insert(key).second) {
+      runtime::AddRuleMsg request;
+      request.instance = inst->state.id();
+      request.rule_id = "me.acquire";
+      request.condition_source = req->resource;
+      request.action_step = step;
+      request.trigger_events = {std::to_string(id_)};
+      NodeId arbiter = MutexArbiter(*req);
+      Send(arbiter, runtime::wi::kAddRule, request.Serialize(),
+             sim::MsgCategory::kCoordination);
+    }
+    return false;
+  }
+  return true;
+}
+
+void Agent::ReleaseMutexesDistributed(AgentInstance* inst, StepId step) {
+  std::vector<const runtime::MutexReq*> reqs =
+      coordination_->MutexesOf(inst->state.id().workflow, step);
+  for (const runtime::MutexReq* req : reqs) {
+    std::pair<StepId, std::string> key{step, req->resource};
+    if (inst->me_granted.erase(key) == 0) continue;
+    runtime::AddRuleMsg release;
+    release.instance = inst->state.id();
+    release.rule_id = "me.release";
+    release.condition_source = req->resource;
+    release.action_step = step;
+    release.trigger_events = {std::to_string(id_)};
+    NodeId arbiter = MutexArbiter(*req);
+    Send(arbiter, runtime::wi::kAddRule, release.Serialize(),
+           sim::MsgCategory::kCoordination);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Nested workflows
+// ---------------------------------------------------------------------
+
+void Agent::LaunchSubWorkflow(AgentInstance* inst, StepId step) {
+  const model::Step& spec = inst->schema->schema().step(step);
+  StepRecord& record = inst->state.step_record(step);
+  if (record.state == StepRunState::kDone) {
+    // Re-execution of a completed child: reuse (children are not
+    // re-spawned; DESIGN.md documents the simplification).
+    inst->starting.erase(step);
+    OnStepDoneLocal(inst, step, /*first_execution=*/false);
+    return;
+  }
+  model::CompiledSchemaPtr child_schema = FindSchema(spec.sub_workflow);
+  if (child_schema == nullptr) {
+    CREW_LOG(Error) << "agent " << id_ << ": unknown child schema "
+                    << spec.sub_workflow;
+    inst->starting.erase(step);
+    return;
+  }
+  inst->starting.erase(step);
+  record.in_flight = true;
+  record.attempts += 1;
+
+  runtime::WorkflowStartMsg start;
+  start.instance.workflow = spec.sub_workflow;
+  start.instance.number =
+      (static_cast<int64_t>(id_) << 40) | (++child_counter_);
+  start.reply_to = id_;
+  start.parent = inst->state.id();
+  start.parent_step = step;
+  // Parent inputs map to the child's workflow inputs in order.
+  int index = 1;
+  for (const std::string& input : spec.inputs) {
+    std::optional<Value> v = inst->state.GetData(input);
+    if (v.has_value()) {
+      start.inputs["WF.I" + std::to_string(index)] = *v;
+    }
+    ++index;
+  }
+  children_[start.instance] = {inst->state.id(), step};
+
+  Result<NodeId> coordination_agent =
+      deployment_->CoordinationAgent(*child_schema);
+  if (!coordination_agent.ok()) {
+    record.in_flight = false;
+    return;
+  }
+  Send(coordination_agent.value(), runtime::wi::kWorkflowStart,
+         start.Serialize(), sim::MsgCategory::kNormal);
+}
+
+// ---------------------------------------------------------------------
+// Agent-failure handling (§5.2 predecessor/successor protocols)
+// ---------------------------------------------------------------------
+
+void Agent::SchedulePendingCheck(const InstanceId& instance) {
+  InstanceId copy = instance;
+  simulator_->queue().ScheduleAfter(options_.pending_timeout,
+                                    [this, copy]() {
+                                      CheckPendingRules(copy);
+                                    });
+}
+
+void Agent::CheckPendingRules(const InstanceId& instance) {
+  AgentInstance* inst = FindInstance(instance);
+  if (inst == nullptr) return;
+  for (const auto& [rule_id, missing] : inst->rules.PendingRules()) {
+    if (missing.size() != 1) continue;
+    StepId step = rules::event::ParseStepEvent(missing[0], "done");
+    if (step == kInvalidStep) continue;
+    // Only the agents that might have to execute the *waiting* step care
+    // about its missing predecessor; fan-out observers do not poll.
+    const rules::Rule* rule = inst->rules.FindRule(rule_id);
+    if (rule == nullptr ||
+        rule->action.kind != rules::ActionKind::kExecuteStep) {
+      continue;
+    }
+    const std::vector<NodeId>& action_eligible = deployment_->Eligible(
+        instance.workflow, rule->action.step);
+    if (std::find(action_eligible.begin(), action_eligible.end(), id_) ==
+        action_eligible.end()) {
+      continue;
+    }
+    // Poll only for a step that is *overdue*: from this agent's state,
+    // the step itself was triggerable (all events of one of its firing
+    // rules are valid here), so it should have executed by now. Rules
+    // merely waiting for upstream progress are not suspicious.
+    if (!inst->schema->schema().has_step(step)) continue;
+    bool overdue = false;
+    expr::FunctionEnvironment env = inst->state.DataEnv();
+    for (const rules::Rule& generated :
+         runtime::MakeStepRules(*inst->schema, step)) {
+      const rules::Rule* live = inst->rules.FindRule(generated.id);
+      const rules::Rule& step_rule = live != nullptr ? *live : generated;
+      bool all_valid = true;
+      for (const std::string& token : step_rule.events) {
+        if (!inst->state.EventValid(token)) {
+          all_valid = false;
+          break;
+        }
+      }
+      if (all_valid && expr::EvaluateCondition(step_rule.condition, env)) {
+        overdue = true;
+        break;
+      }
+    }
+    if (!overdue) continue;
+    std::pair<InstanceId, StepId> key{instance, step};
+    if (polls_.count(key) > 0) continue;
+    // Rate-limit: at most one poll per step per timeout window.
+    auto last = last_poll_.find(key);
+    if (last != last_poll_.end() &&
+        simulator_->now() - last->second < options_.pending_timeout) {
+      continue;
+    }
+    last_poll_[key] = simulator_->now();
+    StatusPoll poll;
+    poll.instance = instance;
+    poll.step = step;
+    const std::vector<NodeId>& eligible =
+        deployment_->Eligible(instance.workflow, step);
+    for (NodeId agent : eligible) {
+      // Down agents are unreachable — the failure detector the paper
+      // assumes; their silence is what the protocol reacts to.
+      if (simulator_->network().IsNodeDown(agent)) {
+        ++poll.skipped_down;
+        continue;
+      }
+      if (agent == id_) continue;  // our own record is already "unknown"
+      runtime::StepStatusMsg query;
+      query.instance = instance;
+      query.step = step;
+      query.reply_to = id_;
+      Send(agent, runtime::wi::kStepStatus, query.Serialize(),
+           sim::MsgCategory::kFailureHandling);
+      ++poll.outstanding;
+    }
+    if (poll.outstanding > 0) {
+      polls_[key] = poll;
+    } else {
+      // No one to ask (the other eligible agents are down or we are the
+      // only one): resolve the round with what we know.
+      ResolvePoll(poll);
+    }
+  }
+}
+
+void Agent::OnStepStatus(const sim::Message& message) {
+  Result<runtime::StepStatusMsg> parsed =
+      runtime::StepStatusMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::StepStatusMsg& msg = parsed.value();
+  runtime::StepStatusReplyMsg reply;
+  reply.instance = msg.instance;
+  reply.step = msg.step;
+  reply.responder = id_;
+  AgentInstance* inst = FindInstance(msg.instance);
+  if (inst == nullptr) {
+    reply.state = StepRunState::kUnknown;
+  } else {
+    const StepRecord* record = inst->state.FindStepRecord(msg.step);
+    if (record == nullptr) {
+      reply.state = StepRunState::kUnknown;
+    } else if (record->in_flight) {
+      reply.state = StepRunState::kExecuting;
+    } else {
+      reply.state = record->state;
+    }
+  }
+  Send(msg.reply_to, runtime::wi::kStepStatusReply, reply.Serialize(),
+       sim::MsgCategory::kFailureHandling);
+}
+
+void Agent::OnStepStatusReply(const sim::Message& message) {
+  Result<runtime::StepStatusReplyMsg> parsed =
+      runtime::StepStatusReplyMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::StepStatusReplyMsg& msg = parsed.value();
+  auto it = polls_.find({msg.instance, msg.step});
+  if (it == polls_.end()) return;
+  StatusPoll& poll = it->second;
+  --poll.outstanding;
+  if (msg.state == StepRunState::kDone) poll.any_done = true;
+  if (msg.state == StepRunState::kExecuting) poll.any_executing = true;
+  if (poll.outstanding > 0) return;
+
+  StatusPoll done = poll;
+  polls_.erase(it);
+  ResolvePoll(done);
+}
+
+void Agent::ResolvePoll(const StatusPoll& poll) {
+  AgentInstance* inst = FindInstance(poll.instance);
+  if (inst == nullptr) return;
+  StepId step = poll.step;
+  if (inst->state.EventValid(rules::event::StepDone(step))) return;
+
+  if (poll.any_done || poll.any_executing) {
+    // Someone has or will have the result; its packet will arrive
+    // (reliable, persistent delivery). Wait passively.
+    return;
+  }
+  // Everyone reachable says "unknown". Two cases (§5.2):
+  //  - an eligible agent is unreachable: it may have performed (or be
+  //    performing) the step. A *query* step is safe to re-run at another
+  //    agent; an *update* step must wait — we re-poll after the timeout
+  //    so recovery is noticed.
+  //  - every eligible agent is reachable: nobody did the work (it died
+  //    with a mid-step crash); re-drive it regardless of access kind.
+  const model::Step& spec = inst->schema->schema().step(step);
+  if (poll.skipped_down > 0 &&
+      spec.access == model::AccessKind::kUpdate) {
+    SchedulePendingCheck(poll.instance);
+    return;
+  }
+  const std::vector<NodeId>& eligible =
+      deployment_->Eligible(poll.instance.workflow, step);
+  std::vector<NodeId> up;
+  for (NodeId agent : eligible) {
+    if (!simulator_->network().IsNodeDown(agent)) up.push_back(agent);
+  }
+  if (up.empty()) {
+    SchedulePendingCheck(poll.instance);
+    return;
+  }
+  // Mirror the receivers' deterministic election so the re-request lands
+  // on the agent that will actually self-elect for the step.
+  NodeId target = up[static_cast<size_t>(poll.instance.number + step) %
+                     up.size()];
+  runtime::WorkflowPacket packet = inst->state.MakePacket(step);
+  Send(target, runtime::wi::kStepExecute, packet.Serialize(),
+       sim::MsgCategory::kFailureHandling);
+}
+
+void Agent::OnStateInformation(const sim::Message& message) {
+  Result<runtime::StateInformationMsg> parsed =
+      runtime::StateInformationMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  runtime::StateInformationReplyMsg reply;
+  reply.responder = id_;
+  reply.load = active_programs_;
+  reply.instance = parsed.value().instance;
+  reply.step = parsed.value().step;
+  Send(parsed.value().reply_to, runtime::wi::kStateInformationReply,
+       reply.Serialize(), sim::MsgCategory::kElection);
+}
+
+}  // namespace crew::dist

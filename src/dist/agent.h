@@ -1,0 +1,258 @@
+#ifndef CREW_DIST_AGENT_H_
+#define CREW_DIST_AGENT_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "model/compiled.h"
+#include "model/deployment.h"
+#include "runtime/coord.h"
+#include "runtime/instance.h"
+#include "runtime/ocr.h"
+#include "runtime/programs.h"
+#include "rules/engine.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/database.h"
+
+namespace crew::dist {
+
+struct AgentOptions {
+  /// Navigation-and-other load per step (Table 3's l).
+  int64_t navigation_load = 100;
+  /// Directory for the durable AGDB; empty => in-memory only.
+  std::string agdb_dir;
+  /// Simulated ticks a program run occupies before completing.
+  sim::Time exec_latency = 2;
+  /// Pending-rule timeout before the predecessor-failure protocol kicks
+  /// in (§5.2), in ticks.
+  sim::Time pending_timeout = 40;
+  /// Delay before an aborted instance's purge broadcast (lets in-flight
+  /// compensations land first).
+  sim::Time purge_delay = 50;
+  /// When true, leader election among eligible successor agents also
+  /// exchanges StateInformation probes (metered as kElection traffic).
+  /// The election itself is decided deterministically either way.
+  bool election_probes = false;
+};
+
+/// The full agent of distributed workflow control (§4). Each agent plays
+/// every role of the paper's taxonomy as needed:
+///  - *execution agent*: navigates via its rule engine, executes step
+///    programs locally, and forwards workflow packets to successor
+///    agents;
+///  - *termination agent*: reports terminal-step completion to the
+///    instance's coordination agent via StepCompleted();
+///  - *coordination agent*: for instances whose start step it owns —
+///    handles WorkflowStart/Abort/ChangeInputs/Status, the commit
+///    decision over terminal groups, and the purge broadcast.
+///
+/// All sixteen workflow interfaces of Table 1 (plus CompensateThread)
+/// arrive as messages and are dispatched in HandleMessage.
+class Agent : public sim::MessageHandler {
+ public:
+  Agent(NodeId id, sim::Simulator* simulator,
+        const runtime::ProgramRegistry* programs,
+        const model::Deployment* deployment,
+        const runtime::CoordinationSpec* coordination,
+        std::vector<NodeId> all_agents, AgentOptions options = {});
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  NodeId id() const { return id_; }
+
+  void RegisterSchema(model::CompiledSchemaPtr schema);
+
+  void HandleMessage(const sim::Message& message) override;
+
+  // ---- introspection ----
+  runtime::WorkflowState CoordinationStatus(
+      const InstanceId& instance) const;
+  /// Final data archived by the coordination agent at commit.
+  std::map<std::string, Value> ArchivedData(
+      const InstanceId& instance) const;
+  int64_t committed_count() const { return committed_count_; }
+  int64_t aborted_count() const { return aborted_count_; }
+  size_t live_instances() const { return instances_.size(); }
+  const storage::Database& agdb() const { return agdb_; }
+  /// Current number of in-flight local program executions.
+  int64_t active_programs() const { return active_programs_; }
+
+ private:
+  /// Per-instance execution-agent state.
+  struct AgentInstance {
+    runtime::InstanceState state;
+    rules::RuleEngine rules;
+    model::CompiledSchemaPtr schema;
+    std::set<StepId> starting;
+    /// Steps whose comp-dep chain is out and awaiting the resume packet.
+    std::set<StepId> awaiting_comp_resume;
+    /// Branch taken at each choice split (successor entry), per agent.
+    std::map<StepId, StepId> taken_branch;
+    /// RO links for which the lagging-side registration was sent.
+    std::set<std::string> ro_registered;
+    /// ME resources granted for a step (by the arbiter).
+    std::set<std::pair<StepId, std::string>> me_granted;
+    std::set<std::pair<StepId, std::string>> me_pending;
+    /// Highest halt epoch processed (dedupes halt storms).
+    int64_t last_halt_epoch = -1;
+    /// Progress marker at the last RD-induced rollback (ring guard).
+    int64_t last_rd_rollback_seq = -1;
+    /// Message category for traffic this instance generates right now.
+    sim::MsgCategory mode = sim::MsgCategory::kNormal;
+  };
+
+  /// Coordination-agent state for instances started here.
+  struct CoordInstance {
+    model::CompiledSchemaPtr schema;
+    runtime::WorkflowState status = runtime::WorkflowState::kExecuting;
+    NodeId reply_to = kInvalidNode;
+    /// group index -> highest epoch a completion was reported for.
+    std::map<int, int64_t> groups_done;
+    std::map<std::string, Value> results;
+    InstanceId parent;  ///< non-empty workflow => nested child
+    StepId parent_step = kInvalidStep;
+  };
+
+  /// Lock table entry for resources this agent arbitrates.
+  struct LockState {
+    bool held = false;
+    InstanceId holder;
+    StepId holder_step = kInvalidStep;
+    std::deque<std::tuple<InstanceId, StepId, NodeId>> waiters;
+  };
+
+  AgentInstance* FindInstance(const InstanceId& instance);
+  AgentInstance* GetOrCreateInstance(const InstanceId& instance);
+  model::CompiledSchemaPtr FindSchema(const std::string& workflow);
+
+  void Send(NodeId to, const std::string& type, const std::string& payload,
+            sim::MsgCategory category);
+
+  // ---- WI handlers ----
+  void OnWorkflowStart(const sim::Message& message);
+  void OnStepExecute(const sim::Message& message);
+  void OnStepCompleted(const sim::Message& message);
+  void OnWorkflowRollback(const sim::Message& message);
+  void OnHaltThread(const sim::Message& message);
+  void OnCompensateSet(const sim::Message& message);
+  void OnCompensateThread(const sim::Message& message);
+  void OnStepCompensate(const sim::Message& message);
+  void OnWorkflowAbort(const sim::Message& message);
+  void OnWorkflowChangeInputs(const sim::Message& message);
+  void OnInputsChanged(const sim::Message& message);
+  void OnWorkflowStatus(const sim::Message& message);
+  void OnStepStatus(const sim::Message& message);
+  void OnStepStatusReply(const sim::Message& message);
+  void OnStateInformation(const sim::Message& message);
+  void OnAddRule(const sim::Message& message);
+  void OnAddEvent(const sim::Message& message);
+  void OnAddPrecondition(const sim::Message& message);
+  void OnPurgeInstances(const sim::Message& message);
+
+  // ---- execution-agent machinery ----
+  void Pump(AgentInstance* inst);
+  /// True if this agent is the elected executor for (instance, step).
+  bool ElectedExecutor(AgentInstance* inst, StepId step);
+  void StartStepLocal(AgentInstance* inst, StepId step);
+  void RunProgramLocal(AgentInstance* inst, StepId step,
+                       double cost_fraction);
+  void CompensateLocal(AgentInstance* inst, StepId step,
+                       std::function<void()> then);
+  void OnStepDoneLocal(AgentInstance* inst, StepId step,
+                       bool first_execution);
+  void OnStepFailedLocal(AgentInstance* inst, StepId step);
+  void ForwardPackets(AgentInstance* inst, StepId completed_step);
+  void SendPacketTo(AgentInstance* inst, StepId target,
+                    const std::vector<NodeId>& eligible);
+  void HandleBranchSwitch(AgentInstance* inst, StepId split_step);
+  void LocalHalt(AgentInstance* inst, StepId origin, int64_t new_epoch,
+                 bool propagate);
+  void ApplyRoGating(AgentInstance* inst);
+  void NotifyRoRegistrants(const InstanceId& instance, StepId step);
+  bool AcquireMutexesDistributed(AgentInstance* inst, StepId step);
+  void ReleaseMutexesDistributed(AgentInstance* inst, StepId step);
+  void LaunchSubWorkflow(AgentInstance* inst, StepId step);
+  void SchedulePendingCheck(const InstanceId& instance);
+  void CheckPendingRules(const InstanceId& instance);
+  void PersistStepRecord(const InstanceId& instance, StepId step);
+
+  // ---- coordination-agent machinery ----
+  void MaybeCommit(const InstanceId& instance);
+  void BroadcastPurge(const InstanceId& instance);
+  NodeId CoordinationAgentOf(const AgentInstance& inst) const;
+
+  /// Arbiter node for a mutual-exclusion resource: the lowest eligible
+  /// agent of the requirement's first critical step.
+  NodeId MutexArbiter(const runtime::MutexReq& req) const;
+
+  NodeId id_;
+  sim::Simulator* simulator_;
+  const runtime::ProgramRegistry* programs_;
+  const model::Deployment* deployment_;
+  const runtime::CoordinationSpec* coordination_;
+  std::vector<NodeId> all_agents_;
+  AgentOptions options_;
+  Rng rng_;
+
+  std::map<std::string, model::CompiledSchemaPtr> schemas_;
+  std::map<InstanceId, std::unique_ptr<AgentInstance>> instances_;
+  std::map<InstanceId, CoordInstance> coordinating_;
+  /// Coordination instance summary table (kept after purge).
+  std::map<InstanceId, runtime::WorkflowState> summary_;
+  std::map<InstanceId, std::map<std::string, Value>> archived_;
+
+  /// RO registrations received via AddRule: (instance, step) -> list of
+  /// (registrant agent, token to deliver).
+  std::map<std::pair<InstanceId, StepId>,
+           std::vector<std::pair<NodeId, std::string>>>
+      ro_registrations_;
+  /// Instances known ended (purge broadcasts) — registrations on them
+  /// resolve immediately.
+  std::set<InstanceId> ended_instances_;
+
+  /// Lock tables for resources arbitrated here.
+  std::map<std::string, LockState> locks_;
+
+  /// Nested workflows launched from here: child -> (parent, step).
+  std::map<InstanceId, std::pair<InstanceId, StepId>> children_;
+  int64_t child_counter_ = 0;
+
+  /// Predecessor-failure protocol: outstanding StepStatus polls.
+  struct StatusPoll {
+    InstanceId instance;
+    StepId step = kInvalidStep;
+    int outstanding = 0;
+    int skipped_down = 0;  ///< eligible agents unreachable when polled
+    bool any_done = false;
+    bool any_executing = false;
+  };
+
+  /// Acts on a completed StepStatus poll round (§5.2): someone has the
+  /// result -> wait for its packet; all reachable agents unknown and a
+  /// query step (or nobody unreachable at all, so the work is simply
+  /// lost) -> re-request execution at the elected living agent; an
+  /// update step with an unreachable agent -> wait and re-poll after the
+  /// recovery window.
+  void ResolvePoll(const StatusPoll& poll);
+  std::map<std::pair<InstanceId, StepId>, StatusPoll> polls_;
+  /// Rate limiter: last poll time per (instance, step).
+  std::map<std::pair<InstanceId, StepId>, sim::Time> last_poll_;
+
+  storage::Database agdb_;
+  int64_t committed_count_ = 0;
+  int64_t aborted_count_ = 0;
+  int64_t active_programs_ = 0;
+};
+
+}  // namespace crew::dist
+
+#endif  // CREW_DIST_AGENT_H_

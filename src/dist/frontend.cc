@@ -1,0 +1,163 @@
+#include "dist/frontend.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace crew::dist {
+
+FrontEnd::FrontEnd(NodeId id, sim::Simulator* simulator,
+                   const model::Deployment* deployment,
+                   const runtime::CoordinationSpec* coordination)
+    : id_(id),
+      simulator_(simulator),
+      deployment_(deployment),
+      tracker_(coordination) {
+  simulator_->network().Register(id_, this);
+}
+
+void FrontEnd::RegisterSchema(model::CompiledSchemaPtr schema) {
+  schemas_[schema->schema().name()] = std::move(schema);
+}
+
+Result<NodeId> FrontEnd::CoordinationAgentFor(
+    const std::string& workflow) const {
+  auto it = schemas_.find(workflow);
+  if (it == schemas_.end()) {
+    return Status::NotFound("no schema registered as " + workflow);
+  }
+  return deployment_->CoordinationAgent(*it->second);
+}
+
+Result<InstanceId> FrontEnd::StartWorkflow(
+    const std::string& workflow, std::map<std::string, Value> inputs) {
+  Result<NodeId> coordination_agent = CoordinationAgentFor(workflow);
+  if (!coordination_agent.ok()) return coordination_agent.status();
+
+  runtime::WorkflowStartMsg msg;
+  msg.instance = {workflow, next_instance_++};
+  msg.inputs = std::move(inputs);
+  msg.reply_to = id_;
+
+  // Bind coordinated-execution requirements against live instances: the
+  // new instance lags every binding's leading instance.
+  for (const runtime::RoBinding& binding :
+       tracker_.OnInstanceStart(msg.instance)) {
+    for (const auto& [lead_step, lag_step] : binding.step_pairs) {
+      runtime::RoLink link;
+      link.other = binding.leading;
+      link.my_step = lag_step;
+      link.other_step = lead_step;
+      link.leading = false;
+      msg.ro_links.push_back(link);
+    }
+  }
+
+  statuses_[msg.instance] = runtime::WorkflowState::kExecuting;
+  sim::Message out{id_, coordination_agent.value(),
+                   runtime::wi::kWorkflowStart, msg.Serialize(),
+                   sim::MsgCategory::kAdmin};
+  CREW_RETURN_IF_ERROR(simulator_->network().Send(std::move(out)));
+  return msg.instance;
+}
+
+Status FrontEnd::RequestAbort(const InstanceId& instance) {
+  Result<NodeId> coordination_agent =
+      CoordinationAgentFor(instance.workflow);
+  if (!coordination_agent.ok()) return coordination_agent.status();
+  runtime::WorkflowAbortMsg msg;
+  msg.instance = instance;
+  sim::Message out{id_, coordination_agent.value(),
+                   runtime::wi::kWorkflowAbort, msg.Serialize(),
+                   sim::MsgCategory::kAdmin};
+  return simulator_->network().Send(std::move(out));
+}
+
+Status FrontEnd::RequestChangeInputs(
+    const InstanceId& instance, std::map<std::string, Value> new_inputs) {
+  Result<NodeId> coordination_agent =
+      CoordinationAgentFor(instance.workflow);
+  if (!coordination_agent.ok()) return coordination_agent.status();
+  runtime::WorkflowChangeInputsMsg msg;
+  msg.instance = instance;
+  msg.new_inputs = std::move(new_inputs);
+  sim::Message out{id_, coordination_agent.value(),
+                   runtime::wi::kWorkflowChangeInputs, msg.Serialize(),
+                   sim::MsgCategory::kAdmin};
+  return simulator_->network().Send(std::move(out));
+}
+
+Status FrontEnd::RequestStatus(const InstanceId& instance) {
+  Result<NodeId> coordination_agent =
+      CoordinationAgentFor(instance.workflow);
+  if (!coordination_agent.ok()) return coordination_agent.status();
+  runtime::WorkflowStatusMsg msg;
+  msg.instance = instance;
+  msg.reply_to = id_;
+  sim::Message out{id_, coordination_agent.value(),
+                   runtime::wi::kWorkflowStatus, msg.Serialize(),
+                   sim::MsgCategory::kAdmin};
+  return simulator_->network().Send(std::move(out));
+}
+
+runtime::WorkflowState FrontEnd::KnownStatus(
+    const InstanceId& instance) const {
+  auto it = statuses_.find(instance);
+  return it == statuses_.end() ? runtime::WorkflowState::kUnknown
+                               : it->second;
+}
+
+void FrontEnd::HandleMessage(const sim::Message& message) {
+  if (message.type == runtime::wi::kAddEvent) {
+    // Rollback-dependency notice from a rollback-target agent: fan the
+    // rollback out to the live dependent instances (§3). The front end
+    // holds the only global view of the live instance set, mirroring its
+    // administrative role in §4.1.
+    Result<runtime::AddEventMsg> parsed =
+        runtime::AddEventMsg::Parse(message.payload);
+    if (!parsed.ok()) return;
+    const std::string& token = parsed.value().event_token;
+    if (token.rfind("rd.rollback:S", 0) != 0) return;
+    StepId origin = static_cast<StepId>(
+        strtol(token.c_str() + strlen("rd.rollback:S"), nullptr, 10));
+    for (const auto& [dependent, to_step] :
+         tracker_.RollbackDependents(parsed.value().instance, origin)) {
+      auto schema_it = schemas_.find(dependent.workflow);
+      if (schema_it == schemas_.end()) continue;
+      runtime::WorkflowRollbackMsg rollback;
+      rollback.instance = dependent;
+      rollback.origin_step = to_step;
+      rollback.new_epoch = 0;  // RD marker: target computes its own epoch
+      rollback.state.instance = dependent;
+      for (NodeId agent :
+           deployment_->Eligible(dependent.workflow, to_step)) {
+        sim::Message out{id_, agent, runtime::wi::kWorkflowRollback,
+                         rollback.Serialize(),
+                         sim::MsgCategory::kCoordination};
+        (void)simulator_->network().Send(std::move(out));
+      }
+    }
+    return;
+  }
+  if (message.type != runtime::wi::kWorkflowStatusReply) {
+    CREW_LOG(Warn) << "front end ignoring message type " << message.type;
+    return;
+  }
+  Result<runtime::WorkflowStatusReplyMsg> parsed =
+      runtime::WorkflowStatusReplyMsg::Parse(message.payload);
+  if (!parsed.ok()) return;
+  const runtime::WorkflowStatusReplyMsg& msg = parsed.value();
+  runtime::WorkflowState previous = KnownStatus(msg.instance);
+  statuses_[msg.instance] = msg.state;
+  if (previous != msg.state) {
+    if (msg.state == runtime::WorkflowState::kCommitted) {
+      ++known_committed_;
+      tracker_.OnInstanceEnd(msg.instance);
+    } else if (msg.state == runtime::WorkflowState::kAborted) {
+      ++known_aborted_;
+      tracker_.OnInstanceEnd(msg.instance);
+    }
+  }
+}
+
+}  // namespace crew::dist

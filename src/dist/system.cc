@@ -1,0 +1,74 @@
+#include "dist/system.h"
+
+namespace crew::dist {
+
+DistributedSystem::DistributedSystem(
+    sim::Simulator* simulator, const runtime::ProgramRegistry* programs,
+    const model::Deployment* deployment,
+    const runtime::CoordinationSpec* coordination, int num_agents,
+    AgentOptions options)
+    : simulator_(simulator), deployment_(deployment) {
+  front_end_ = std::make_unique<FrontEnd>(kFrontEndNode, simulator,
+                                          deployment, coordination);
+  for (int i = 0; i < num_agents; ++i) {
+    agent_ids_.push_back(1 + i);
+  }
+  for (int i = 0; i < num_agents; ++i) {
+    agents_.push_back(std::make_unique<Agent>(
+        1 + i, simulator, programs, deployment, coordination, agent_ids_,
+        options));
+  }
+}
+
+void DistributedSystem::RegisterSchema(model::CompiledSchemaPtr schema) {
+  schemas_[schema->schema().name()] = schema;
+  front_end_->RegisterSchema(schema);
+  for (auto& agent : agents_) {
+    agent->RegisterSchema(schema);
+  }
+}
+
+Agent* DistributedSystem::agent_by_id(NodeId id) {
+  for (auto& agent : agents_) {
+    if (agent->id() == id) return agent.get();
+  }
+  return nullptr;
+}
+
+runtime::WorkflowState DistributedSystem::CoordinationStatus(
+    const InstanceId& instance) {
+  auto it = schemas_.find(instance.workflow);
+  if (it == schemas_.end()) return runtime::WorkflowState::kUnknown;
+  Result<NodeId> coordination_agent =
+      deployment_->CoordinationAgent(*it->second);
+  if (!coordination_agent.ok()) return runtime::WorkflowState::kUnknown;
+  Agent* agent = agent_by_id(coordination_agent.value());
+  if (agent == nullptr) return runtime::WorkflowState::kUnknown;
+  return agent->CoordinationStatus(instance);
+}
+
+std::map<std::string, Value> DistributedSystem::ArchivedData(
+    const InstanceId& instance) {
+  auto it = schemas_.find(instance.workflow);
+  if (it == schemas_.end()) return {};
+  Result<NodeId> coordination_agent =
+      deployment_->CoordinationAgent(*it->second);
+  if (!coordination_agent.ok()) return {};
+  Agent* agent = agent_by_id(coordination_agent.value());
+  if (agent == nullptr) return {};
+  return agent->ArchivedData(instance);
+}
+
+int64_t DistributedSystem::committed_count() const {
+  int64_t sum = 0;
+  for (const auto& agent : agents_) sum += agent->committed_count();
+  return sum;
+}
+
+int64_t DistributedSystem::aborted_count() const {
+  int64_t sum = 0;
+  for (const auto& agent : agents_) sum += agent->aborted_count();
+  return sum;
+}
+
+}  // namespace crew::dist

@@ -1,0 +1,53 @@
+#ifndef CREW_DIST_SYSTEM_H_
+#define CREW_DIST_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/agent.h"
+#include "dist/frontend.h"
+
+namespace crew::dist {
+
+/// Assembles a distributed-control deployment (Figure 6(c)): the front
+/// end at node 0 and `num_agents` full agents at nodes 1..z. Navigation,
+/// state, failure handling and coordination all live at the agents; there
+/// is no central engine.
+class DistributedSystem {
+ public:
+  DistributedSystem(sim::Simulator* simulator,
+                    const runtime::ProgramRegistry* programs,
+                    const model::Deployment* deployment,
+                    const runtime::CoordinationSpec* coordination,
+                    int num_agents, AgentOptions options = {});
+
+  /// Registers a schema with the front end and every agent.
+  void RegisterSchema(model::CompiledSchemaPtr schema);
+
+  FrontEnd& front_end() { return *front_end_; }
+  Agent& agent(size_t index) { return *agents_[index]; }
+  Agent* agent_by_id(NodeId id);
+  size_t num_agents() const { return agents_.size(); }
+  const std::vector<NodeId>& agent_ids() const { return agent_ids_; }
+
+  /// Status as recorded by the instance's coordination agent.
+  runtime::WorkflowState CoordinationStatus(const InstanceId& instance);
+  /// Data archived at commit by the coordination agent.
+  std::map<std::string, Value> ArchivedData(const InstanceId& instance);
+
+  int64_t committed_count() const;
+  int64_t aborted_count() const;
+
+ private:
+  sim::Simulator* simulator_;
+  const model::Deployment* deployment_;
+  std::unique_ptr<FrontEnd> front_end_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<NodeId> agent_ids_;
+  std::map<std::string, model::CompiledSchemaPtr> schemas_;
+};
+
+}  // namespace crew::dist
+
+#endif  // CREW_DIST_SYSTEM_H_

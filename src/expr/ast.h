@@ -1,0 +1,62 @@
+#ifndef CREW_EXPR_AST_H_
+#define CREW_EXPR_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace crew::expr {
+
+enum class NodeKind {
+  kLiteral,
+  kVariable,   // data item reference, resolved against an Environment
+  kUnary,      // not, negate
+  kBinary,     // arithmetic / comparison / logical
+  kCall,       // builtin function: exists(x), changed(x), abs(x), min, max
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+/// Returns the operator's source spelling ("+", "==", "and", ...).
+const char* BinaryOpName(BinaryOp op);
+
+/// An immutable expression tree node. Trees are shared via shared_ptr so
+/// compiled schemas can hand the same condition to many rule instances.
+struct Node {
+  NodeKind kind;
+  // kLiteral
+  Value literal;
+  // kVariable / kCall
+  std::string name;
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  std::vector<std::shared_ptr<const Node>> children;
+
+  /// Renders the subtree back to (parenthesized) source form.
+  std::string ToString() const;
+};
+
+using NodePtr = std::shared_ptr<const Node>;
+
+NodePtr MakeLiteral(Value v);
+NodePtr MakeVariable(std::string name);
+NodePtr MakeUnary(UnaryOp op, NodePtr operand);
+NodePtr MakeBinary(BinaryOp op, NodePtr lhs, NodePtr rhs);
+NodePtr MakeCall(std::string name, std::vector<NodePtr> args);
+
+/// Collects the set of variable names referenced in the tree (sorted,
+/// deduplicated). Used for dependency analysis of conditions.
+std::vector<std::string> CollectVariables(const NodePtr& root);
+
+}  // namespace crew::expr
+
+#endif  // CREW_EXPR_AST_H_

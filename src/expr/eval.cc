@@ -1,0 +1,213 @@
+#include "expr/eval.h"
+
+#include <cmath>
+
+namespace crew::expr {
+namespace {
+
+Result<Value> EvalNode(const Node& node, const Environment& env);
+
+Result<Value> EvalUnary(const Node& node, const Environment& env) {
+  Result<Value> inner = EvalNode(*node.children[0], env);
+  if (!inner.ok()) return inner;
+  const Value& v = inner.value();
+  switch (node.unary_op) {
+    case UnaryOp::kNot:
+      return Value(!v.Truthy());
+    case UnaryOp::kNegate:
+      if (v.is_int()) return Value(-v.AsInt());
+      if (v.is_double()) return Value(-v.AsDouble());
+      return Status::InvalidArgument("negation of non-numeric value " +
+                                     v.ToString());
+  }
+  return Status::Internal("bad unary op");
+}
+
+Result<Value> EvalBinary(const Node& node, const Environment& env) {
+  // Short-circuit logicals first.
+  if (node.binary_op == BinaryOp::kAnd || node.binary_op == BinaryOp::kOr) {
+    Result<Value> lhs = EvalNode(*node.children[0], env);
+    if (!lhs.ok()) return lhs;
+    bool l = lhs.value().Truthy();
+    if (node.binary_op == BinaryOp::kAnd && !l) return Value(false);
+    if (node.binary_op == BinaryOp::kOr && l) return Value(true);
+    Result<Value> rhs = EvalNode(*node.children[1], env);
+    if (!rhs.ok()) return rhs;
+    return Value(rhs.value().Truthy());
+  }
+
+  Result<Value> lhs = EvalNode(*node.children[0], env);
+  if (!lhs.ok()) return lhs;
+  Result<Value> rhs = EvalNode(*node.children[1], env);
+  if (!rhs.ok()) return rhs;
+  const Value& a = lhs.value();
+  const Value& b = rhs.value();
+
+  auto type_error = [&]() {
+    return Status::InvalidArgument(
+        std::string("operator '") + BinaryOpName(node.binary_op) +
+        "' applied to " + a.ToString() + " and " + b.ToString());
+  };
+
+  switch (node.binary_op) {
+    case BinaryOp::kAdd:
+      if (a.is_string() && b.is_string()) {
+        return Value(a.AsString() + b.AsString());
+      }
+      [[fallthrough]];
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod: {
+      if (!a.is_numeric() || !b.is_numeric()) return type_error();
+      if (a.is_int() && b.is_int()) {
+        int64_t x = a.AsInt(), y = b.AsInt();
+        switch (node.binary_op) {
+          case BinaryOp::kAdd: return Value(x + y);
+          case BinaryOp::kSub: return Value(x - y);
+          case BinaryOp::kMul: return Value(x * y);
+          case BinaryOp::kDiv:
+            if (y == 0) return Status::InvalidArgument("division by zero");
+            return Value(x / y);
+          case BinaryOp::kMod:
+            if (y == 0) return Status::InvalidArgument("modulo by zero");
+            return Value(x % y);
+          default: break;
+        }
+      }
+      double x = a.NumericValue(), y = b.NumericValue();
+      switch (node.binary_op) {
+        case BinaryOp::kAdd: return Value(x + y);
+        case BinaryOp::kSub: return Value(x - y);
+        case BinaryOp::kMul: return Value(x * y);
+        case BinaryOp::kDiv:
+          if (y == 0.0) return Status::InvalidArgument("division by zero");
+          return Value(x / y);
+        case BinaryOp::kMod:
+          if (y == 0.0) return Status::InvalidArgument("modulo by zero");
+          return Value(std::fmod(x, y));
+        default: break;
+      }
+      return Status::Internal("bad arithmetic op");
+    }
+    case BinaryOp::kEq:
+      return Value(a == b);
+    case BinaryOp::kNe:
+      return Value(!(a == b));
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      int cmp;
+      if (a.is_numeric() && b.is_numeric()) {
+        double x = a.NumericValue(), y = b.NumericValue();
+        cmp = (x < y) ? -1 : (x > y) ? 1 : 0;
+      } else if (a.is_string() && b.is_string()) {
+        cmp = a.AsString().compare(b.AsString());
+        cmp = (cmp < 0) ? -1 : (cmp > 0) ? 1 : 0;
+      } else {
+        return type_error();
+      }
+      switch (node.binary_op) {
+        case BinaryOp::kLt: return Value(cmp < 0);
+        case BinaryOp::kLe: return Value(cmp <= 0);
+        case BinaryOp::kGt: return Value(cmp > 0);
+        case BinaryOp::kGe: return Value(cmp >= 0);
+        default: break;
+      }
+      return Status::Internal("bad comparison op");
+    }
+    default:
+      return Status::Internal("bad binary op");
+  }
+}
+
+Result<Value> EvalCall(const Node& node, const Environment& env) {
+  auto arity_error = [&](size_t want) {
+    return Status::InvalidArgument("builtin " + node.name + " expects " +
+                                   std::to_string(want) + " argument(s)");
+  };
+  if (node.name == "exists") {
+    if (node.children.size() != 1 ||
+        node.children[0]->kind != NodeKind::kVariable) {
+      return Status::InvalidArgument(
+          "exists() takes exactly one data-item name");
+    }
+    return Value(env.Lookup(node.children[0]->name).has_value());
+  }
+  if (node.name == "changed") {
+    // changed(x): x's current value differs from its value at the step's
+    // previous execution (or the previous value is unknown). This is the
+    // primary OCR trigger: "re-execute only if the inputs changed".
+    if (node.children.size() != 1 ||
+        node.children[0]->kind != NodeKind::kVariable) {
+      return Status::InvalidArgument(
+          "changed() takes exactly one data-item name");
+    }
+    const std::string& var = node.children[0]->name;
+    std::optional<Value> now = env.Lookup(var);
+    std::optional<Value> before = env.LookupPrevious(var);
+    if (!now.has_value() && !before.has_value()) return Value(false);
+    if (!now.has_value() || !before.has_value()) return Value(true);
+    return Value(!(*now == *before));
+  }
+  if (node.name == "abs") {
+    if (node.children.size() != 1) return arity_error(1);
+    Result<Value> v = EvalNode(*node.children[0], env);
+    if (!v.ok()) return v;
+    if (v.value().is_int()) return Value(std::abs(v.value().AsInt()));
+    if (v.value().is_double()) return Value(std::fabs(v.value().AsDouble()));
+    return Status::InvalidArgument("abs() of non-numeric value");
+  }
+  if (node.name == "min" || node.name == "max") {
+    if (node.children.size() != 2) return arity_error(2);
+    Result<Value> a = EvalNode(*node.children[0], env);
+    if (!a.ok()) return a;
+    Result<Value> b = EvalNode(*node.children[1], env);
+    if (!b.ok()) return b;
+    if (!a.value().is_numeric() || !b.value().is_numeric()) {
+      return Status::InvalidArgument(node.name + "() of non-numeric values");
+    }
+    double x = a.value().NumericValue(), y = b.value().NumericValue();
+    bool take_a = node.name == "min" ? (x <= y) : (x >= y);
+    return take_a ? a : b;
+  }
+  return Status::InvalidArgument("unknown builtin: " + node.name);
+}
+
+Result<Value> EvalNode(const Node& node, const Environment& env) {
+  switch (node.kind) {
+    case NodeKind::kLiteral:
+      return node.literal;
+    case NodeKind::kVariable: {
+      std::optional<Value> v = env.Lookup(node.name);
+      if (!v.has_value()) {
+        return Status::NotFound("unbound data item: " + node.name);
+      }
+      return *v;
+    }
+    case NodeKind::kUnary:
+      return EvalUnary(node, env);
+    case NodeKind::kBinary:
+      return EvalBinary(node, env);
+    case NodeKind::kCall:
+      return EvalCall(node, env);
+  }
+  return Status::Internal("bad node kind");
+}
+
+}  // namespace
+
+Result<Value> Evaluate(const NodePtr& root, const Environment& env) {
+  if (!root) return Status::InvalidArgument("null expression");
+  return EvalNode(*root, env);
+}
+
+bool EvaluateCondition(const NodePtr& root, const Environment& env) {
+  if (!root) return true;  // absent condition == unconditional
+  Result<Value> v = Evaluate(root, env);
+  if (!v.ok()) return false;
+  return v.value().Truthy();
+}
+
+}  // namespace crew::expr

@@ -1,0 +1,64 @@
+#ifndef CREW_EXPR_EVAL_H_
+#define CREW_EXPR_EVAL_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "expr/ast.h"
+
+namespace crew::expr {
+
+/// Variable resolution interface for expression evaluation. A workflow
+/// instance's data table implements this; tests use map-backed ones.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Returns the current binding of `name`, or nullopt if unbound.
+  virtual std::optional<Value> Lookup(const std::string& name) const = 0;
+
+  /// Returns the binding of `name` captured at the step's *previous*
+  /// execution, for the changed() builtin in OCR re-execution conditions.
+  /// Default: unbound.
+  virtual std::optional<Value> LookupPrevious(
+      const std::string& /*name*/) const {
+    return std::nullopt;
+  }
+};
+
+/// Environment backed by a std::function, convenient for tests.
+class FunctionEnvironment : public Environment {
+ public:
+  using LookupFn = std::function<std::optional<Value>(const std::string&)>;
+
+  explicit FunctionEnvironment(LookupFn lookup, LookupFn previous = nullptr)
+      : lookup_(std::move(lookup)), previous_(std::move(previous)) {}
+
+  std::optional<Value> Lookup(const std::string& name) const override {
+    return lookup_(name);
+  }
+  std::optional<Value> LookupPrevious(
+      const std::string& name) const override {
+    return previous_ ? previous_(name) : std::nullopt;
+  }
+
+ private:
+  LookupFn lookup_;
+  LookupFn previous_;
+};
+
+/// Evaluates the tree against the environment. Errors:
+///  - kNotFound for an unbound variable (except inside exists()/changed()),
+///  - kInvalidArgument for type mismatches and division by zero.
+Result<Value> Evaluate(const NodePtr& root, const Environment& env);
+
+/// Evaluates and coerces to truthiness. Unbound variables make the
+/// condition false rather than an error — the paper's rules simply do not
+/// fire until their data items arrive.
+bool EvaluateCondition(const NodePtr& root, const Environment& env);
+
+}  // namespace crew::expr
+
+#endif  // CREW_EXPR_EVAL_H_

@@ -1,0 +1,209 @@
+#include "expr/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace crew::expr {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDouble: return "double";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kAnd: return "and";
+    case TokenKind::kOr: return "or";
+    case TokenKind::kNot: return "not";
+    case TokenKind::kTrue: return "true";
+    case TokenKind::kFalse: return "false";
+    case TokenKind::kNull: return "null";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Dots join identifier segments so "S1.O2" lexes as one token.
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = src.size();
+  auto error_at = [&](size_t pos, const std::string& what) {
+    return Status::ParseError(what + " at offset " + std::to_string(pos) +
+                              " in expression: " + src);
+  };
+  while (i < n) {
+    char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentBody(src[i])) ++i;
+      tok.text = src.substr(start, i - start);
+      if (tok.text == "and") {
+        tok.kind = TokenKind::kAnd;
+      } else if (tok.text == "or") {
+        tok.kind = TokenKind::kOr;
+      } else if (tok.text == "not") {
+        tok.kind = TokenKind::kNot;
+      } else if (tok.text == "true") {
+        tok.kind = TokenKind::kTrue;
+      } else if (tok.text == "false") {
+        tok.kind = TokenKind::kFalse;
+      } else if (tok.text == "null") {
+        tok.kind = TokenKind::kNull;
+      } else {
+        tok.kind = TokenKind::kIdent;
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+      // A '.' is part of the number only if followed by a digit; this
+      // keeps "1..2" (malformed) from silently lexing.
+      if (i + 1 < n && src[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(src[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+      }
+      if (i < n && (src[i] == 'e' || src[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (src[j] == '+' || src[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) {
+          is_double = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(src[i])))
+            ++i;
+        }
+      }
+      std::string text = src.substr(start, i - start);
+      if (is_double) {
+        tok.kind = TokenKind::kDouble;
+        tok.double_value = strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInt;
+        tok.int_value = strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        char d = src[i++];
+        if (d == '\\' && i < n) {
+          char e = src[i++];
+          text += (e == 'n') ? '\n' : e;
+        } else if (d == '"') {
+          closed = true;
+          break;
+        } else {
+          text += d;
+        }
+      }
+      if (!closed) return error_at(tok.offset, "unterminated string");
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    auto two = [&](char second) { return i + 1 < n && src[i + 1] == second; };
+    switch (c) {
+      case '(': tok.kind = TokenKind::kLParen; ++i; break;
+      case ')': tok.kind = TokenKind::kRParen; ++i; break;
+      case ',': tok.kind = TokenKind::kComma; ++i; break;
+      case '+': tok.kind = TokenKind::kPlus; ++i; break;
+      case '-': tok.kind = TokenKind::kMinus; ++i; break;
+      case '*': tok.kind = TokenKind::kStar; ++i; break;
+      case '/': tok.kind = TokenKind::kSlash; ++i; break;
+      case '%': tok.kind = TokenKind::kPercent; ++i; break;
+      case '=':
+        if (!two('=')) return error_at(i, "lone '=' (use '==')");
+        tok.kind = TokenKind::kEq;
+        i += 2;
+        break;
+      case '!':
+        if (two('=')) {
+          tok.kind = TokenKind::kNe;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kNot;
+          ++i;
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          tok.kind = TokenKind::kLe;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          tok.kind = TokenKind::kGe;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kGt;
+          ++i;
+        }
+        break;
+      case '&':
+        if (!two('&')) return error_at(i, "lone '&' (use '&&')");
+        tok.kind = TokenKind::kAnd;
+        i += 2;
+        break;
+      case '|':
+        if (!two('|')) return error_at(i, "lone '|' (use '||')");
+        tok.kind = TokenKind::kOr;
+        i += 2;
+        break;
+      default:
+        return error_at(i, std::string("unexpected character '") + c + "'");
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace crew::expr

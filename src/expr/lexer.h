@@ -1,0 +1,56 @@
+#ifndef CREW_EXPR_LEXER_H_
+#define CREW_EXPR_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crew::expr {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,     // data item names like S1.O2, WF.I1, amount
+  kInt,
+  kDouble,
+  kString,    // "quoted"
+  kLParen,
+  kRParen,
+  kComma,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,        // ==
+  kNe,        // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,       // and / &&
+  kOr,        // or / ||
+  kNot,       // not / !
+  kTrue,
+  kFalse,
+  kNull,
+};
+
+/// Returns a printable token-kind name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier / string payload
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;   // byte offset in source, for error messages
+};
+
+/// Tokenizes a condition expression. Identifiers may contain dots so that
+/// workflow data items ("S2.O1", "WF.I1") are single tokens.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace crew::expr
+
+#endif  // CREW_EXPR_LEXER_H_

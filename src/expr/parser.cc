@@ -1,0 +1,308 @@
+#include "expr/parser.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "expr/lexer.h"
+
+namespace crew::expr {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+  }
+  return "?";
+}
+
+std::string Node::ToString() const {
+  switch (kind) {
+    case NodeKind::kLiteral:
+      return literal.ToString();
+    case NodeKind::kVariable:
+      return name;
+    case NodeKind::kUnary: {
+      std::string inner = children[0]->ToString();
+      return unary_op == UnaryOp::kNot ? "(not " + inner + ")"
+                                       : "(-" + inner + ")";
+    }
+    case NodeKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(binary_op) +
+             " " + children[1]->ToString() + ")";
+    case NodeKind::kCall: {
+      std::string out = name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+NodePtr MakeLiteral(Value v) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kLiteral;
+  n->literal = std::move(v);
+  return n;
+}
+
+NodePtr MakeVariable(std::string name) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kVariable;
+  n->name = std::move(name);
+  return n;
+}
+
+NodePtr MakeUnary(UnaryOp op, NodePtr operand) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kUnary;
+  n->unary_op = op;
+  n->children.push_back(std::move(operand));
+  return n;
+}
+
+NodePtr MakeBinary(BinaryOp op, NodePtr lhs, NodePtr rhs) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kBinary;
+  n->binary_op = op;
+  n->children.push_back(std::move(lhs));
+  n->children.push_back(std::move(rhs));
+  return n;
+}
+
+NodePtr MakeCall(std::string name, std::vector<NodePtr> args) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kCall;
+  n->name = std::move(name);
+  n->children = std::move(args);
+  return n;
+}
+
+namespace {
+
+void CollectInto(const NodePtr& node, std::vector<std::string>* out) {
+  if (node->kind == NodeKind::kVariable) out->push_back(node->name);
+  for (const auto& c : node->children) CollectInto(c, out);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<NodePtr> Parse() {
+    Result<NodePtr> e = ParseOr();
+    if (!e.ok()) return e;
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) {
+    return Status::ParseError(what + " (near offset " +
+                              std::to_string(Peek().offset) + ", token '" +
+                              TokenKindName(Peek().kind) + "')");
+  }
+
+  Result<NodePtr> ParseOr() {
+    Result<NodePtr> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    while (Accept(TokenKind::kOr)) {
+      Result<NodePtr> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      node = MakeBinary(BinaryOp::kOr, node, std::move(rhs).value());
+    }
+    return node;
+  }
+
+  Result<NodePtr> ParseAnd() {
+    Result<NodePtr> lhs = ParseCmp();
+    if (!lhs.ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    while (Accept(TokenKind::kAnd)) {
+      Result<NodePtr> rhs = ParseCmp();
+      if (!rhs.ok()) return rhs;
+      node = MakeBinary(BinaryOp::kAnd, node, std::move(rhs).value());
+    }
+    return node;
+  }
+
+  Result<NodePtr> ParseCmp() {
+    Result<NodePtr> lhs = ParseSum();
+    if (!lhs.ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNe: op = BinaryOp::kNe; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default:
+        return node;
+    }
+    Take();
+    Result<NodePtr> rhs = ParseSum();
+    if (!rhs.ok()) return rhs;
+    return MakeBinary(op, node, std::move(rhs).value());
+  }
+
+  Result<NodePtr> ParseSum() {
+    Result<NodePtr> lhs = ParseTerm();
+    if (!lhs.ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinaryOp::kSub;
+      } else {
+        return node;
+      }
+      Take();
+      Result<NodePtr> rhs = ParseTerm();
+      if (!rhs.ok()) return rhs;
+      node = MakeBinary(op, node, std::move(rhs).value());
+    }
+  }
+
+  Result<NodePtr> ParseTerm() {
+    Result<NodePtr> lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    NodePtr node = std::move(lhs).value();
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinaryOp::kMul;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinaryOp::kDiv;
+      } else if (Peek().kind == TokenKind::kPercent) {
+        op = BinaryOp::kMod;
+      } else {
+        return node;
+      }
+      Take();
+      Result<NodePtr> rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      node = MakeBinary(op, node, std::move(rhs).value());
+    }
+  }
+
+  Result<NodePtr> ParseUnary() {
+    if (Accept(TokenKind::kNot)) {
+      Result<NodePtr> inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return MakeUnary(UnaryOp::kNot, std::move(inner).value());
+    }
+    if (Accept(TokenKind::kMinus)) {
+      Result<NodePtr> inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return MakeUnary(UnaryOp::kNegate, std::move(inner).value());
+    }
+    return ParsePrimary();
+  }
+
+  Result<NodePtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInt: {
+        Token t = Take();
+        return MakeLiteral(Value(t.int_value));
+      }
+      case TokenKind::kDouble: {
+        Token t = Take();
+        return MakeLiteral(Value(t.double_value));
+      }
+      case TokenKind::kString: {
+        Token t = Take();
+        return MakeLiteral(Value(std::move(t.text)));
+      }
+      case TokenKind::kTrue:
+        Take();
+        return MakeLiteral(Value(true));
+      case TokenKind::kFalse:
+        Take();
+        return MakeLiteral(Value(false));
+      case TokenKind::kNull:
+        Take();
+        return MakeLiteral(Value());
+      case TokenKind::kLParen: {
+        Take();
+        Result<NodePtr> inner = ParseOr();
+        if (!inner.ok()) return inner;
+        if (!Accept(TokenKind::kRParen)) return Error("expected ')'");
+        return inner;
+      }
+      case TokenKind::kIdent: {
+        Token t = Take();
+        if (Accept(TokenKind::kLParen)) {
+          std::vector<NodePtr> args;
+          if (!Accept(TokenKind::kRParen)) {
+            while (true) {
+              Result<NodePtr> arg = ParseOr();
+              if (!arg.ok()) return arg;
+              args.push_back(std::move(arg).value());
+              if (Accept(TokenKind::kRParen)) break;
+              if (!Accept(TokenKind::kComma)) {
+                return Error("expected ',' or ')' in call arguments");
+              }
+            }
+          }
+          return MakeCall(std::move(t.text), std::move(args));
+        }
+        return MakeVariable(std::move(t.text));
+      }
+      default:
+        return Error("expected a value, identifier, or '('");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::string> CollectVariables(const NodePtr& root) {
+  std::vector<std::string> out;
+  CollectInto(root, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<NodePtr> ParseExpression(const std::string& source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace crew::expr

@@ -1,0 +1,30 @@
+#ifndef CREW_EXPR_PARSER_H_
+#define CREW_EXPR_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "expr/ast.h"
+
+namespace crew::expr {
+
+/// Parses a condition expression into an AST.
+///
+/// Grammar (standard precedence, loosest first):
+///   or      := and ( ("or" | "||") and )*
+///   and     := cmp ( ("and" | "&&") cmp )*
+///   cmp     := sum ( ("=="|"!="|"<"|"<="|">"|">=") sum )?
+///   sum     := term ( ("+"|"-") term )*
+///   term    := unary ( ("*"|"/"|"%") unary )*
+///   unary   := ("not"|"!"|"-")* primary
+///   primary := literal | ident | ident "(" args ")" | "(" or ")"
+///
+/// Identifiers may contain dots: S2.O1, WF.I1. Builtin calls:
+///   exists(x)   -- x is bound in the environment
+///   changed(x)  -- x differs from its value at the step's prior execution
+///   abs(e), min(a,b), max(a,b)
+Result<NodePtr> ParseExpression(const std::string& source);
+
+}  // namespace crew::expr
+
+#endif  // CREW_EXPR_PARSER_H_

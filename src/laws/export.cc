@@ -1,0 +1,192 @@
+#include "laws/export.h"
+
+#include <sstream>
+
+namespace crew::laws {
+namespace {
+
+std::string Quote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+const std::string& StepName(const model::Schema& schema, StepId id) {
+  return schema.step(id).name;
+}
+
+std::string FindName(const std::vector<const model::Schema*>& schemas,
+                     const std::string& workflow, StepId id) {
+  for (const model::Schema* schema : schemas) {
+    if (schema->name() == workflow) return StepName(*schema, id);
+  }
+  return "S" + std::to_string(id);
+}
+
+}  // namespace
+
+std::string ExportWorkflow(const model::Schema& schema) {
+  std::ostringstream os;
+  os << "workflow " << schema.name() << " {\n";
+  for (const std::string& input : schema.workflow_inputs()) {
+    os << "  input " << input << "\n";
+  }
+
+  for (const model::Step& step : schema.steps()) {
+    if (step.kind == model::StepKind::kSubWorkflow) {
+      os << "  subworkflow " << step.name << " schema "
+         << step.sub_workflow;
+    } else {
+      os << "  step " << step.name << " program " << Quote(step.program)
+         << " cost " << step.cost;
+    }
+    if (step.access == model::AccessKind::kQuery) os << " query";
+    if (!step.compensate_on_abort) os << " no_abort_comp";
+    if (!step.inputs.empty()) {
+      os << " inputs ";
+      for (size_t i = 0; i < step.inputs.size(); ++i) {
+        if (i) os << ", ";
+        os << step.inputs[i];
+      }
+    }
+    os << "\n";
+  }
+
+  for (const model::ControlArc& arc : schema.control_arcs()) {
+    os << "  " << (arc.is_back_edge ? "back " : "arc ")
+       << StepName(schema, arc.from) << " -> " << StepName(schema, arc.to);
+    if (arc.condition) {
+      os << " when " << Quote(arc.condition->ToString());
+    } else if (arc.is_else) {
+      os << " else";
+    }
+    os << "\n";
+  }
+  for (const model::DataArc& arc : schema.data_arcs()) {
+    os << "  data " << StepName(schema, arc.from) << " -> "
+       << StepName(schema, arc.to) << " " << arc.item << "\n";
+  }
+
+  for (const model::Step& step : schema.steps()) {
+    if (step.join == model::JoinKind::kAnd) {
+      os << "  join " << step.name << " and\n";
+    } else if (step.join == model::JoinKind::kOr) {
+      os << "  join " << step.name << " or\n";
+    }
+  }
+  os << "  start " << StepName(schema, schema.start_step()) << "\n";
+
+  for (const model::Step& step : schema.steps()) {
+    if (step.failure.rollback_to != kInvalidStep) {
+      os << "  on_fail " << step.name << " rollback_to "
+         << StepName(schema, step.failure.rollback_to) << " max_attempts "
+         << step.failure.max_attempts << "\n";
+    }
+    if (step.ocr.reexec_condition) {
+      os << "  reexec " << step.name << " when "
+         << Quote(step.ocr.reexec_condition->ToString()) << "\n";
+    }
+    bool has_compensation =
+        !step.compensation_program.empty() ||
+        step.ocr.partial_compensation_fraction < 1.0 ||
+        step.ocr.incremental_reexec_fraction < 1.0 ||
+        step.ocr.partial_applicable_condition != nullptr;
+    if (has_compensation) {
+      os << "  compensation " << step.name;
+      if (!step.compensation_program.empty()) {
+        os << " program " << Quote(step.compensation_program);
+      }
+      if (step.ocr.partial_compensation_fraction < 1.0) {
+        os << " partial " << step.ocr.partial_compensation_fraction;
+      }
+      if (step.ocr.incremental_reexec_fraction < 1.0) {
+        os << " incremental " << step.ocr.incremental_reexec_fraction;
+      }
+      if (step.ocr.partial_applicable_condition) {
+        os << " applicable "
+           << Quote(step.ocr.partial_applicable_condition->ToString());
+      }
+      os << "\n";
+    }
+  }
+
+  for (const model::CompDepSet& set : schema.comp_dep_sets()) {
+    os << "  comp_dep_set ";
+    for (size_t i = 0; i < set.steps.size(); ++i) {
+      if (i) os << ", ";
+      os << StepName(schema, set.steps[i]);
+    }
+    os << "\n";
+  }
+  // Singleton terminal groups are implicit; emit only multi-step groups.
+  for (const auto& group : schema.terminal_groups()) {
+    if (group.size() < 2) continue;
+    os << "  terminal_group ";
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (i) os << ", ";
+      os << StepName(schema, group[i]);
+    }
+    os << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ExportCoordination(
+    const runtime::CoordinationSpec& coordination,
+    const std::vector<const model::Schema*>& schemas) {
+  if (coordination.relative_orders.empty() &&
+      coordination.mutexes.empty() && coordination.rollback_deps.empty()) {
+    return "";
+  }
+  std::ostringstream os;
+  os << "coordination {\n";
+  for (const runtime::RelativeOrderReq& ro : coordination.relative_orders) {
+    os << "  relative_order " << ro.id << " between " << ro.workflow_a
+       << " and " << ro.workflow_b << " pairs ";
+    for (size_t i = 0; i < ro.step_pairs.size(); ++i) {
+      if (i) os << ", ";
+      os << "( " << FindName(schemas, ro.workflow_a, ro.step_pairs[i].first)
+         << " , "
+         << FindName(schemas, ro.workflow_b, ro.step_pairs[i].second)
+         << " )";
+    }
+    os << "\n";
+  }
+  for (const runtime::MutexReq& me : coordination.mutexes) {
+    os << "  mutex " << me.id << " resource " << Quote(me.resource)
+       << " steps ";
+    for (size_t i = 0; i < me.critical_steps.size(); ++i) {
+      if (i) os << ", ";
+      os << me.critical_steps[i].first << "."
+         << FindName(schemas, me.critical_steps[i].first,
+                     me.critical_steps[i].second);
+    }
+    os << "\n";
+  }
+  for (const runtime::RollbackDepReq& rd : coordination.rollback_deps) {
+    os << "  rollback_dep " << rd.id << " from " << rd.workflow_a << "."
+       << FindName(schemas, rd.workflow_a, rd.step_a) << " to "
+       << rd.workflow_b << "."
+       << FindName(schemas, rd.workflow_b, rd.step_b) << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ExportLaws(const std::vector<const model::Schema*>& schemas,
+                       const runtime::CoordinationSpec& coordination) {
+  std::string out;
+  for (const model::Schema* schema : schemas) {
+    out += ExportWorkflow(*schema);
+    out += "\n";
+  }
+  out += ExportCoordination(coordination, schemas);
+  return out;
+}
+
+}  // namespace crew::laws

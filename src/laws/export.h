@@ -1,0 +1,31 @@
+#ifndef CREW_LAWS_EXPORT_H_
+#define CREW_LAWS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "model/schema.h"
+#include "runtime/coord.h"
+
+namespace crew::laws {
+
+/// Renders a schema back to LAWS source — the inverse of ParseLaws. The
+/// output parses back to a structurally identical schema (round-trip
+/// property), which is how the paper's modelling tool would persist a
+/// designer's workflow definition.
+std::string ExportWorkflow(const model::Schema& schema);
+
+/// Renders a coordination block. Step ids are rendered through the step
+/// names of the given schemas (which must include every workflow the
+/// spec references).
+std::string ExportCoordination(
+    const runtime::CoordinationSpec& coordination,
+    const std::vector<const model::Schema*>& schemas);
+
+/// Full LAWS file: every workflow plus the coordination block.
+std::string ExportLaws(const std::vector<const model::Schema*>& schemas,
+                       const runtime::CoordinationSpec& coordination);
+
+}  // namespace crew::laws
+
+#endif  // CREW_LAWS_EXPORT_H_

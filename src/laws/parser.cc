@@ -1,0 +1,589 @@
+#include "laws/parser.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+#include "expr/parser.h"
+#include "model/builder.h"
+
+namespace crew::laws {
+namespace {
+
+/// One word of a LAWS line: bare word, quoted string, or punctuation
+/// ("->", ",", "(", ")", "{", "}").
+struct Word {
+  std::string text;
+  bool quoted = false;
+};
+
+Result<std::vector<Word>> SplitWords(const std::string& line, int lineno) {
+  std::vector<Word> out;
+  size_t i = 0;
+  auto error = [&](const std::string& what) {
+    return Status::ParseError("line " + std::to_string(lineno) + ": " +
+                              what);
+  };
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '#') break;  // comment
+    if (c == '"') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        char d = line[i++];
+        if (d == '\\' && i < line.size()) {
+          text += line[i++];
+        } else if (d == '"') {
+          closed = true;
+          break;
+        } else {
+          text += d;
+        }
+      }
+      if (!closed) return error("unterminated string");
+      out.push_back({text, true});
+      continue;
+    }
+    if (c == ',' || c == '(' || c == ')' || c == '{' || c == '}') {
+      out.push_back({std::string(1, c), false});
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+      out.push_back({"->", false});
+      i += 2;
+      continue;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != ',' && line[i] != '(' && line[i] != ')' &&
+           line[i] != '{' && line[i] != '}' && line[i] != '#' &&
+           !(line[i] == '-' && i + 1 < line.size() && line[i + 1] == '>')) {
+      ++i;
+    }
+    out.push_back({line.substr(start, i - start), false});
+  }
+  return out;
+}
+
+/// Parses a comma-separated list of bare words starting at `*pos`.
+Result<std::vector<std::string>> ParseNameList(const std::vector<Word>& w,
+                                               size_t* pos, int lineno) {
+  std::vector<std::string> names;
+  while (*pos < w.size()) {
+    if (w[*pos].text == ",") {
+      ++*pos;
+      continue;
+    }
+    // Stop at a keyword-looking boundary? Lists run to end of line.
+    names.push_back(w[*pos].text);
+    ++*pos;
+  }
+  if (names.empty()) {
+    return Status::ParseError("line " + std::to_string(lineno) +
+                              ": expected a name list");
+  }
+  return names;
+}
+
+/// State for one `workflow` block under construction.
+struct WorkflowBlock {
+  std::string name;
+  model::SchemaBuilder builder;
+  std::map<std::string, StepId> steps;
+
+  explicit WorkflowBlock(std::string workflow_name)
+      : name(workflow_name), builder(workflow_name) {}
+
+  Result<StepId> Lookup(const std::string& step, int lineno) const {
+    auto it = steps.find(step);
+    if (it == steps.end()) {
+      return Status::ParseError("line " + std::to_string(lineno) +
+                                ": unknown step '" + step + "' in workflow " +
+                                name);
+    }
+    return it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : source_(source) {}
+
+  Result<LawsFile> Parse() {
+    std::istringstream stream(source_);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(stream, raw)) {
+      ++lineno;
+      Result<std::vector<Word>> words = SplitWords(raw, lineno);
+      if (!words.ok()) return words.status();
+      if (words.value().empty()) continue;
+      Status status = HandleLine(words.value(), lineno);
+      if (!status.ok()) return status;
+    }
+    if (workflow_ != nullptr || in_coordination_) {
+      return Status::ParseError("unterminated block at end of input");
+    }
+    // Resolve coordination step names now that every schema is known.
+    CREW_RETURN_IF_ERROR(ResolveCoordination());
+    return std::move(file_);
+  }
+
+ private:
+  Status Error(int lineno, const std::string& what) {
+    return Status::ParseError("line " + std::to_string(lineno) + ": " +
+                              what);
+  }
+
+  Status HandleLine(const std::vector<Word>& w, int lineno) {
+    const std::string& head = w[0].text;
+    if (workflow_ == nullptr && !in_coordination_) {
+      if (head == "workflow") {
+        if (w.size() < 3 || w.back().text != "{") {
+          return Error(lineno, "expected: workflow <Name> {");
+        }
+        workflow_ = std::make_unique<WorkflowBlock>(w[1].text);
+        return Status::OK();
+      }
+      if (head == "coordination") {
+        if (w.size() < 2 || w.back().text != "{") {
+          return Error(lineno, "expected: coordination {");
+        }
+        in_coordination_ = true;
+        return Status::OK();
+      }
+      return Error(lineno, "expected 'workflow' or 'coordination' block");
+    }
+    if (head == "}") {
+      if (workflow_ != nullptr) return FinishWorkflow(lineno);
+      in_coordination_ = false;
+      return Status::OK();
+    }
+    if (workflow_ != nullptr) return HandleWorkflowLine(w, lineno);
+    return HandleCoordinationLine(w, lineno);
+  }
+
+  Status FinishWorkflow(int lineno) {
+    Result<model::Schema> schema = workflow_->builder.Build();
+    if (!schema.ok()) {
+      return Error(lineno, "workflow " + workflow_->name + ": " +
+                               schema.status().message());
+    }
+    Result<model::CompiledSchemaPtr> compiled =
+        model::CompiledSchema::Compile(std::move(schema).value());
+    if (!compiled.ok()) return compiled.status();
+    step_names_[workflow_->name] = workflow_->steps;
+    file_.schemas.push_back(std::move(compiled).value());
+    workflow_.reset();
+    return Status::OK();
+  }
+
+  Status HandleWorkflowLine(const std::vector<Word>& w, int lineno) {
+    WorkflowBlock& wf = *workflow_;
+    const std::string& head = w[0].text;
+
+    if (head == "input") {
+      if (w.size() != 2) return Error(lineno, "expected: input <item>");
+      wf.builder.DeclareInput(w[1].text);
+      return Status::OK();
+    }
+
+    if (head == "step" || head == "subworkflow") {
+      if (w.size() < 2) return Error(lineno, "expected a step name");
+      const std::string& name = w[1].text;
+      if (wf.steps.count(name)) {
+        return Error(lineno, "duplicate step '" + name + "'");
+      }
+      model::Step step;
+      step.name = name;
+      size_t i = 2;
+      if (head == "subworkflow") {
+        step.kind = model::StepKind::kSubWorkflow;
+      }
+      while (i < w.size()) {
+        const std::string& key = w[i].text;
+        if (key == "program" && i + 1 < w.size()) {
+          step.program = w[i + 1].text;
+          i += 2;
+        } else if (key == "schema" && i + 1 < w.size()) {
+          step.sub_workflow = w[i + 1].text;
+          i += 2;
+        } else if (key == "cost" && i + 1 < w.size()) {
+          step.cost = strtoll(w[i + 1].text.c_str(), nullptr, 10);
+          i += 2;
+        } else if (key == "outputs" && i + 1 < w.size()) {
+          step.num_outputs =
+              static_cast<int>(strtol(w[i + 1].text.c_str(), nullptr, 10));
+          i += 2;
+        } else if (key == "query") {
+          step.access = model::AccessKind::kQuery;
+          ++i;
+        } else if (key == "update") {
+          step.access = model::AccessKind::kUpdate;
+          ++i;
+        } else if (key == "no_abort_comp") {
+          step.compensate_on_abort = false;
+          ++i;
+        } else if (key == "inputs") {
+          ++i;
+          while (i < w.size()) {
+            if (w[i].text == ",") {
+              ++i;
+              continue;
+            }
+            // Inputs run until the next known keyword.
+            const std::string& t = w[i].text;
+            if (t == "program" || t == "cost" || t == "query" ||
+                t == "update" || t == "outputs" || t == "no_abort_comp" ||
+                t == "schema") {
+              break;
+            }
+            step.inputs.push_back(t);
+            ++i;
+          }
+        } else {
+          return Error(lineno, "unknown step attribute '" + key + "'");
+        }
+      }
+      StepId id = wf.builder.AddStep(std::move(step));
+      wf.steps[name] = id;
+      return Status::OK();
+    }
+
+    if (head == "arc" || head == "back" || head == "data") {
+      if (w.size() < 4 || w[2].text != "->") {
+        return Error(lineno, "expected: " + head + " A -> B ...");
+      }
+      Result<StepId> from = wf.Lookup(w[1].text, lineno);
+      if (!from.ok()) return from.status();
+      Result<StepId> to = wf.Lookup(w[3].text, lineno);
+      if (!to.ok()) return to.status();
+      if (head == "data") {
+        if (w.size() != 5) {
+          return Error(lineno, "expected: data A -> B <item>");
+        }
+        wf.builder.DataFlow(from.value(), to.value(), w[4].text);
+        return Status::OK();
+      }
+      if (w.size() == 4) {
+        if (head == "back") {
+          return Error(lineno, "back arcs need: when \"<expr>\"");
+        }
+        wf.builder.Arc(from.value(), to.value());
+        return Status::OK();
+      }
+      if (w.size() == 5 && w[4].text == "else" && head == "arc") {
+        wf.builder.ElseArc(from.value(), to.value());
+        return Status::OK();
+      }
+      if (w.size() == 6 && w[4].text == "when" && w[5].quoted) {
+        if (head == "back") {
+          wf.builder.BackArc(from.value(), to.value(), w[5].text);
+        } else {
+          wf.builder.CondArc(from.value(), to.value(), w[5].text);
+        }
+        return Status::OK();
+      }
+      return Error(lineno, "bad arc clause");
+    }
+
+    if (head == "join") {
+      if (w.size() != 3 || (w[2].text != "and" && w[2].text != "or")) {
+        return Error(lineno, "expected: join <Name> and|or");
+      }
+      Result<StepId> step = wf.Lookup(w[1].text, lineno);
+      if (!step.ok()) return step.status();
+      wf.builder.SetJoin(step.value(), w[2].text == "and"
+                                           ? model::JoinKind::kAnd
+                                           : model::JoinKind::kOr);
+      return Status::OK();
+    }
+
+    if (head == "start") {
+      if (w.size() != 2) return Error(lineno, "expected: start <Name>");
+      Result<StepId> step = wf.Lookup(w[1].text, lineno);
+      if (!step.ok()) return step.status();
+      wf.builder.SetStart(step.value());
+      return Status::OK();
+    }
+
+    if (head == "on_fail") {
+      if (w.size() < 4 || w[2].text != "rollback_to") {
+        return Error(lineno,
+                     "expected: on_fail <Name> rollback_to <Target> "
+                     "[max_attempts N]");
+      }
+      Result<StepId> step = wf.Lookup(w[1].text, lineno);
+      if (!step.ok()) return step.status();
+      Result<StepId> target = wf.Lookup(w[3].text, lineno);
+      if (!target.ok()) return target.status();
+      int attempts = 3;
+      if (w.size() == 6 && w[4].text == "max_attempts") {
+        attempts = static_cast<int>(strtol(w[5].text.c_str(), nullptr, 10));
+      } else if (w.size() != 4) {
+        return Error(lineno, "bad on_fail clause");
+      }
+      wf.builder.OnFail(step.value(), target.value(), attempts);
+      return Status::OK();
+    }
+
+    if (head == "reexec") {
+      if (w.size() != 4 || w[2].text != "when" || !w[3].quoted) {
+        return Error(lineno, "expected: reexec <Name> when \"<expr>\"");
+      }
+      Result<StepId> step = wf.Lookup(w[1].text, lineno);
+      if (!step.ok()) return step.status();
+      Result<expr::NodePtr> condition = expr::ParseExpression(w[3].text);
+      if (!condition.ok()) {
+        return Error(lineno, condition.status().message());
+      }
+      wf.builder.step(step.value()).ocr.reexec_condition =
+          std::move(condition).value();
+      return Status::OK();
+    }
+
+    if (head == "compensation") {
+      if (w.size() < 2) return Error(lineno, "expected a step name");
+      Result<StepId> step = wf.Lookup(w[1].text, lineno);
+      if (!step.ok()) return step.status();
+      model::Step& spec = wf.builder.step(step.value());
+      size_t i = 2;
+      while (i < w.size()) {
+        const std::string& key = w[i].text;
+        if (key == "program" && i + 1 < w.size()) {
+          spec.compensation_program = w[i + 1].text;
+          i += 2;
+        } else if (key == "partial" && i + 1 < w.size()) {
+          spec.ocr.partial_compensation_fraction =
+              strtod(w[i + 1].text.c_str(), nullptr);
+          i += 2;
+        } else if (key == "incremental" && i + 1 < w.size()) {
+          spec.ocr.incremental_reexec_fraction =
+              strtod(w[i + 1].text.c_str(), nullptr);
+          i += 2;
+        } else if (key == "applicable" && i + 1 < w.size() &&
+                   w[i + 1].quoted) {
+          Result<expr::NodePtr> condition =
+              expr::ParseExpression(w[i + 1].text);
+          if (!condition.ok()) {
+            return Error(lineno, condition.status().message());
+          }
+          spec.ocr.partial_applicable_condition =
+              std::move(condition).value();
+          i += 2;
+        } else {
+          return Error(lineno, "unknown compensation attribute '" + key +
+                                   "'");
+        }
+      }
+      return Status::OK();
+    }
+
+    if (head == "comp_dep_set" || head == "terminal_group") {
+      size_t pos = 1;
+      Result<std::vector<std::string>> names =
+          ParseNameList(w, &pos, lineno);
+      if (!names.ok()) return names.status();
+      std::vector<StepId> ids;
+      for (const std::string& name : names.value()) {
+        Result<StepId> step = wf.Lookup(name, lineno);
+        if (!step.ok()) return step.status();
+        ids.push_back(step.value());
+      }
+      if (head == "comp_dep_set") {
+        wf.builder.AddCompDepSet(std::move(ids));
+      } else {
+        wf.builder.TerminalGroup(std::move(ids));
+      }
+      return Status::OK();
+    }
+
+    return Error(lineno, "unknown statement '" + head + "'");
+  }
+
+  // ---- coordination block: collected raw, resolved after parsing ----
+
+  struct RawRo {
+    std::string id, wf_a, wf_b;
+    std::vector<std::pair<std::string, std::string>> pairs;
+    int lineno;
+  };
+  struct RawMutex {
+    std::string id, resource;
+    std::vector<std::pair<std::string, std::string>> steps;  // (wf, step)
+    int lineno;
+  };
+  struct RawRd {
+    std::string id, wf_a, step_a, wf_b, step_b;
+    int lineno;
+  };
+
+  Status HandleCoordinationLine(const std::vector<Word>& w, int lineno) {
+    const std::string& head = w[0].text;
+    if (head == "relative_order") {
+      // relative_order <id> between <A> and <B> pairs (a1, b1), (a2, b2)
+      if (w.size() < 10 || w[2].text != "between" || w[4].text != "and" ||
+          w[6].text != "pairs") {
+        return Error(lineno,
+                     "expected: relative_order <id> between <A> and <B> "
+                     "pairs (a, b), ...");
+      }
+      RawRo ro{w[1].text, w[3].text, w[5].text, {}, lineno};
+      size_t i = 7;
+      while (i < w.size()) {
+        if (w[i].text == "," ) {
+          ++i;
+          continue;
+        }
+        if (w[i].text != "(" || i + 4 >= w.size() ||
+            w[i + 2].text != "," || w[i + 4].text != ")") {
+          return Error(lineno, "expected a (stepA, stepB) pair");
+        }
+        ro.pairs.emplace_back(w[i + 1].text, w[i + 3].text);
+        i += 5;
+      }
+      if (ro.pairs.empty()) return Error(lineno, "no pairs given");
+      raw_ro_.push_back(std::move(ro));
+      return Status::OK();
+    }
+    if (head == "mutex") {
+      // mutex <id> resource "<r>" steps A.S1, B.S2
+      if (w.size() < 6 || w[2].text != "resource" || !w[3].quoted ||
+          w[4].text != "steps") {
+        return Error(lineno,
+                     "expected: mutex <id> resource \"<r>\" steps "
+                     "Wf.Step, ...");
+      }
+      RawMutex mutex{w[1].text, w[3].text, {}, lineno};
+      size_t pos = 5;
+      Result<std::vector<std::string>> names =
+          ParseNameList(w, &pos, lineno);
+      if (!names.ok()) return names.status();
+      for (const std::string& qualified : names.value()) {
+        size_t dot = qualified.find('.');
+        if (dot == std::string::npos) {
+          return Error(lineno, "mutex steps must be Wf.Step, got '" +
+                                   qualified + "'");
+        }
+        mutex.steps.emplace_back(qualified.substr(0, dot),
+                                 qualified.substr(dot + 1));
+      }
+      raw_mutex_.push_back(std::move(mutex));
+      return Status::OK();
+    }
+    if (head == "rollback_dep") {
+      // rollback_dep <id> from <A>.<S> to <B>.<S>
+      if (w.size() != 6 || w[2].text != "from" || w[4].text != "to") {
+        return Error(lineno,
+                     "expected: rollback_dep <id> from A.Step to B.Step");
+      }
+      auto split = [&](const std::string& qualified,
+                       std::pair<std::string, std::string>* out) {
+        size_t dot = qualified.find('.');
+        if (dot == std::string::npos) return false;
+        out->first = qualified.substr(0, dot);
+        out->second = qualified.substr(dot + 1);
+        return true;
+      };
+      std::pair<std::string, std::string> a, b;
+      if (!split(w[3].text, &a) || !split(w[5].text, &b)) {
+        return Error(lineno, "rollback_dep endpoints must be Wf.Step");
+      }
+      raw_rd_.push_back({w[1].text, a.first, a.second, b.first, b.second,
+                         lineno});
+      return Status::OK();
+    }
+    return Error(lineno, "unknown coordination statement '" + head + "'");
+  }
+
+  Result<StepId> ResolveStep(const std::string& workflow,
+                             const std::string& step, int lineno) {
+    auto wf_it = step_names_.find(workflow);
+    if (wf_it == step_names_.end()) {
+      return Error(lineno, "unknown workflow '" + workflow + "'");
+    }
+    auto step_it = wf_it->second.find(step);
+    if (step_it == wf_it->second.end()) {
+      return Error(lineno, "unknown step '" + step + "' in workflow " +
+                               workflow);
+    }
+    return step_it->second;
+  }
+
+  Status ResolveCoordination() {
+    for (const RawRo& raw : raw_ro_) {
+      runtime::RelativeOrderReq ro;
+      ro.id = raw.id;
+      ro.workflow_a = raw.wf_a;
+      ro.workflow_b = raw.wf_b;
+      for (const auto& [step_a, step_b] : raw.pairs) {
+        Result<StepId> a = ResolveStep(raw.wf_a, step_a, raw.lineno);
+        if (!a.ok()) return a.status();
+        Result<StepId> b = ResolveStep(raw.wf_b, step_b, raw.lineno);
+        if (!b.ok()) return b.status();
+        ro.step_pairs.emplace_back(a.value(), b.value());
+      }
+      file_.coordination.relative_orders.push_back(std::move(ro));
+    }
+    for (const RawMutex& raw : raw_mutex_) {
+      runtime::MutexReq mutex;
+      mutex.id = raw.id;
+      mutex.resource = raw.resource;
+      for (const auto& [workflow, step] : raw.steps) {
+        Result<StepId> id = ResolveStep(workflow, step, raw.lineno);
+        if (!id.ok()) return id.status();
+        mutex.critical_steps.emplace_back(workflow, id.value());
+      }
+      file_.coordination.mutexes.push_back(std::move(mutex));
+    }
+    for (const RawRd& raw : raw_rd_) {
+      runtime::RollbackDepReq rd;
+      rd.id = raw.id;
+      rd.workflow_a = raw.wf_a;
+      rd.workflow_b = raw.wf_b;
+      Result<StepId> a = ResolveStep(raw.wf_a, raw.step_a, raw.lineno);
+      if (!a.ok()) return a.status();
+      Result<StepId> b = ResolveStep(raw.wf_b, raw.step_b, raw.lineno);
+      if (!b.ok()) return b.status();
+      rd.step_a = a.value();
+      rd.step_b = b.value();
+      file_.coordination.rollback_deps.push_back(std::move(rd));
+    }
+    return Status::OK();
+  }
+
+  const std::string& source_;
+  LawsFile file_;
+  std::unique_ptr<WorkflowBlock> workflow_;
+  bool in_coordination_ = false;
+  std::map<std::string, std::map<std::string, StepId>> step_names_;
+  std::vector<RawRo> raw_ro_;
+  std::vector<RawMutex> raw_mutex_;
+  std::vector<RawRd> raw_rd_;
+};
+
+}  // namespace
+
+Result<LawsFile> ParseLaws(const std::string& source) {
+  Parser parser(source);
+  return parser.Parse();
+}
+
+Result<LawsFile> ParseLawsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open LAWS file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseLaws(buffer.str());
+}
+
+}  // namespace crew::laws

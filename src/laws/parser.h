@@ -1,0 +1,76 @@
+#ifndef CREW_LAWS_PARSER_H_
+#define CREW_LAWS_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/compiled.h"
+#include "runtime/coord.h"
+
+namespace crew::laws {
+
+/// The result of parsing a LAWS source: validated, compiled workflow
+/// schemas plus the coordinated-execution requirements declared across
+/// them.
+struct LawsFile {
+  std::vector<model::CompiledSchemaPtr> schemas;
+  runtime::CoordinationSpec coordination;
+};
+
+/// Parses a LAWS-style workflow specification (the paper's Language for
+/// Workflow Specification, §3, reconstructed from the constructs the
+/// paper names). The format is line-oriented; `#` starts a comment.
+///
+/// ```
+/// workflow OrderProcessing {
+///   input WF.I1
+///   step Receive  program "recv" cost 500
+///   step Check    program "check" query inputs WF.I1
+///   step Reserve  program "reserve" inputs S2.O1
+///   step Ship     program "ship"
+///   step Refuse   program "refuse" no_abort_comp
+///   arc Receive -> Check
+///   arc Check -> Reserve when "S2.O1 >= 1"
+///   arc Check -> Refuse else
+///   arc Reserve -> Ship
+///   join Ship or                     # declare a join kind
+///   on_fail Ship rollback_to Reserve max_attempts 3
+///   reexec Reserve when "changed(S2.O1)"
+///   compensation Reserve program "unreserve" partial 0.25 incremental 0.5
+///   comp_dep_set Reserve, Ship
+///   terminal_group Ship, Refuse
+/// }
+///
+/// coordination {
+///   relative_order ro1 between OrderProcessing and OrderProcessing
+///       pairs (Reserve, Reserve), (Ship, Ship)
+///   mutex m1 resource "warehouse" steps OrderProcessing.Reserve
+///   rollback_dep rd1 from OrderProcessing.Reserve to Billing.Start
+/// }
+/// ```
+///
+/// Statements inside `workflow`:
+///  - input <item>
+///  - step <Name> program "<p>" [cost N] [query] [inputs i1, i2]
+///    [outputs N] [no_abort_comp]
+///  - subworkflow <Name> schema <Child> [inputs i1, i2]
+///  - arc A -> B [when "<expr>"] | [else]
+///  - back A -> B when "<expr>"           (loop back-edge)
+///  - data A -> B <item>                  (explicit data arc)
+///  - join <Name> and|or
+///  - start <Name>
+///  - on_fail <Name> rollback_to <Target> [max_attempts N]
+///  - reexec <Name> when "<expr>"         (OCR re-execution condition)
+///  - compensation <Name> [program "<p>"] [partial F] [incremental F]
+///    [applicable "<expr>"]
+///  - comp_dep_set A, B, ...
+///  - terminal_group A, B, ...
+Result<LawsFile> ParseLaws(const std::string& source);
+
+/// Convenience: parses a file from disk.
+Result<LawsFile> ParseLawsFile(const std::string& path);
+
+}  // namespace crew::laws
+
+#endif  // CREW_LAWS_PARSER_H_

@@ -1,0 +1,426 @@
+#include "model/builder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "expr/parser.h"
+
+namespace crew::model {
+
+SchemaBuilder::SchemaBuilder(std::string workflow_name) {
+  schema_.name_ = std::move(workflow_name);
+}
+
+StepId SchemaBuilder::AddStep(Step step) {
+  step.id = static_cast<StepId>(schema_.steps_.size() + 1);
+  if (step.name.empty()) step.name = "S" + std::to_string(step.id);
+  schema_.steps_.push_back(std::move(step));
+  return schema_.steps_.back().id;
+}
+
+StepId SchemaBuilder::AddTask(const std::string& name,
+                              const std::string& program, int64_t cost) {
+  Step s;
+  s.name = name;
+  s.program = program;
+  s.cost = cost;
+  return AddStep(std::move(s));
+}
+
+StepId SchemaBuilder::AddSubWorkflow(const std::string& name,
+                                     const std::string& child_schema) {
+  Step s;
+  s.name = name;
+  s.kind = StepKind::kSubWorkflow;
+  s.sub_workflow = child_schema;
+  return AddStep(std::move(s));
+}
+
+Step& SchemaBuilder::step(StepId id) { return schema_.mutable_step(id); }
+
+SchemaBuilder& SchemaBuilder::Arc(StepId from, StepId to) {
+  pending_arcs_.push_back({from, to, "", false, false});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::CondArc(StepId from, StepId to,
+                                      const std::string& condition) {
+  pending_arcs_.push_back({from, to, condition, false, false});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::ElseArc(StepId from, StepId to) {
+  pending_arcs_.push_back({from, to, "", true, false});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::BackArc(StepId from, StepId to,
+                                      const std::string& condition) {
+  pending_arcs_.push_back({from, to, condition, false, true});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::DataFlow(StepId from, StepId to,
+                                       const std::string& item) {
+  schema_.data_arcs_.push_back({from, to, item});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::SetJoin(StepId id, JoinKind join) {
+  if (schema_.has_step(id)) {
+    schema_.mutable_step(id).join = join;
+  } else {
+    errors_.push_back("SetJoin: no step S" + std::to_string(id));
+  }
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::SetStart(StepId id) {
+  schema_.start_step_ = id;
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::DeclareInput(const std::string& item) {
+  schema_.workflow_inputs_.push_back(item);
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::AddCompDepSet(std::vector<StepId> steps) {
+  schema_.comp_dep_sets_.push_back({std::move(steps)});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::TerminalGroup(std::vector<StepId> steps) {
+  schema_.terminal_groups_.push_back(std::move(steps));
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::OnFail(StepId step_id, StepId rollback_to,
+                                     int max_attempts) {
+  if (schema_.has_step(step_id)) {
+    schema_.mutable_step(step_id).failure.rollback_to = rollback_to;
+    schema_.mutable_step(step_id).failure.max_attempts = max_attempts;
+  } else {
+    errors_.push_back("OnFail: no step S" + std::to_string(step_id));
+  }
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Sequence(const std::vector<StepId>& ids) {
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    Arc(ids[i], ids[i + 1]);
+  }
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Parallel(
+    StepId from,
+    const std::vector<std::pair<StepId, StepId>>& branch_entry_exits,
+    StepId join_step) {
+  for (const auto& [entry, exit] : branch_entry_exits) {
+    Arc(from, entry);
+    Arc(exit, join_step);
+  }
+  SetJoin(join_step, JoinKind::kAnd);
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Choice(
+    StepId from,
+    const std::vector<std::pair<std::string, StepId>>& cond_entries,
+    StepId else_entry, const std::vector<StepId>& branch_exits,
+    StepId join_step) {
+  for (const auto& [condition, entry] : cond_entries) {
+    CondArc(from, entry, condition);
+  }
+  if (else_entry != kInvalidStep) ElseArc(from, else_entry);
+  for (StepId exit : branch_exits) Arc(exit, join_step);
+  SetJoin(join_step, JoinKind::kOr);
+  return *this;
+}
+
+Result<Schema> SchemaBuilder::Build() {
+  if (built_) return Status::FailedPrecondition("Build() called twice");
+  built_ = true;
+  if (!errors_.empty()) {
+    return Status::InvalidArgument("schema " + schema_.name_ + ": " +
+                                   errors_.front());
+  }
+  if (schema_.steps_.empty()) {
+    return Status::InvalidArgument("schema " + schema_.name_ +
+                                   " has no steps");
+  }
+
+  // Materialize arcs, parsing conditions.
+  for (const PendingArc& p : pending_arcs_) {
+    if (!schema_.has_step(p.from) || !schema_.has_step(p.to)) {
+      return Status::InvalidArgument(
+          "arc references missing step: S" + std::to_string(p.from) +
+          " -> S" + std::to_string(p.to));
+    }
+    ControlArc arc;
+    arc.from = p.from;
+    arc.to = p.to;
+    arc.is_else = p.is_else;
+    arc.is_back_edge = p.is_back_edge;
+    if (!p.condition.empty()) {
+      Result<expr::NodePtr> cond = expr::ParseExpression(p.condition);
+      if (!cond.ok()) {
+        return Status::ParseError("arc S" + std::to_string(p.from) +
+                                  "->S" + std::to_string(p.to) + ": " +
+                                  cond.status().message());
+      }
+      arc.condition = std::move(cond).value();
+    }
+    schema_.control_arcs_.push_back(std::move(arc));
+  }
+
+  // Determine the start step if not set: unique step with no incoming
+  // forward arcs.
+  if (schema_.start_step_ == kInvalidStep) {
+    std::vector<int> in_degree(schema_.steps_.size() + 1, 0);
+    for (const ControlArc& a : schema_.control_arcs_) {
+      if (!a.is_back_edge) ++in_degree[a.to];
+    }
+    for (const Step& s : schema_.steps_) {
+      if (in_degree[s.id] == 0) {
+        if (schema_.start_step_ != kInvalidStep) {
+          return Status::InvalidArgument(
+              "multiple start candidates (S" +
+              std::to_string(schema_.start_step_) + ", S" +
+              std::to_string(s.id) + "); use SetStart()");
+        }
+        schema_.start_step_ = s.id;
+      }
+    }
+    if (schema_.start_step_ == kInvalidStep) {
+      return Status::InvalidArgument("no start step (cycle without entry)");
+    }
+  }
+
+  // Default terminal groups: terminals not covered by an explicit group
+  // become singleton groups.
+  {
+    std::vector<int> out_degree(schema_.steps_.size() + 1, 0);
+    for (const ControlArc& a : schema_.control_arcs_) {
+      if (!a.is_back_edge) ++out_degree[a.from];
+    }
+    std::set<StepId> grouped;
+    for (const auto& g : schema_.terminal_groups_) {
+      grouped.insert(g.begin(), g.end());
+    }
+    for (const Step& s : schema_.steps_) {
+      if (out_degree[s.id] == 0 && grouped.count(s.id) == 0) {
+        schema_.terminal_groups_.push_back({s.id});
+      }
+    }
+  }
+
+  // Mark loop-body steps: for each back edge (from -> to), every step on
+  // a forward path from `to` to `from` (inclusive) is loop-enclosed and
+  // must not be compensated on plain loop re-execution.
+  {
+    const int n = schema_.num_steps();
+    std::vector<std::vector<StepId>> succ(n + 1);
+    for (const ControlArc& a : schema_.control_arcs_) {
+      if (!a.is_back_edge) succ[a.from].push_back(a.to);
+    }
+    auto reaches = [&](StepId from, StepId to) {
+      std::vector<bool> seen(n + 1, false);
+      std::vector<StepId> stack = {from};
+      seen[from] = true;
+      while (!stack.empty()) {
+        StepId cur = stack.back();
+        stack.pop_back();
+        if (cur == to) return true;
+        for (StepId next : succ[cur]) {
+          if (!seen[next]) {
+            seen[next] = true;
+            stack.push_back(next);
+          }
+        }
+      }
+      return false;
+    };
+    for (const ControlArc& a : schema_.control_arcs_) {
+      if (!a.is_back_edge) continue;
+      for (StepId id = 1; id <= n; ++id) {
+        bool in_body = (id == a.to || id == a.from) ||
+                       (reaches(a.to, id) && reaches(id, a.from));
+        if (in_body) {
+          schema_.mutable_step(id).ocr.compensate_before_reexec = false;
+        }
+      }
+    }
+  }
+
+  CREW_RETURN_IF_ERROR(Validate(schema_));
+  return std::move(schema_);
+}
+
+Status SchemaBuilder::Validate(const Schema& schema) const {
+  const int n = schema.num_steps();
+
+  // Split consistency: outgoing forward arcs are either all unconditional
+  // or (>=1 conditional, <=1 else, 0 plain unconditional).
+  for (StepId id = 1; id <= n; ++id) {
+    int conditional = 0, plain = 0, else_arcs = 0;
+    for (const ControlArc& a : schema.control_arcs()) {
+      if (a.from != id || a.is_back_edge) continue;
+      if (a.condition) {
+        ++conditional;
+      } else if (a.is_else) {
+        ++else_arcs;
+      } else {
+        ++plain;
+      }
+    }
+    if (conditional > 0 && plain > 0) {
+      return Status::InvalidArgument(
+          "S" + std::to_string(id) +
+          " mixes conditional and unconditional outgoing arcs");
+    }
+    if (else_arcs > 1) {
+      return Status::InvalidArgument("S" + std::to_string(id) +
+                                     " has multiple else arcs");
+    }
+    if (else_arcs == 1 && conditional == 0) {
+      return Status::InvalidArgument(
+          "S" + std::to_string(id) +
+          " has an else arc but no conditional arcs");
+    }
+  }
+
+  // Join declarations for multi-input steps.
+  {
+    std::vector<int> in_degree(n + 1, 0);
+    for (const ControlArc& a : schema.control_arcs()) ++in_degree[a.to];
+    for (StepId id = 1; id <= n; ++id) {
+      if (in_degree[id] > 1 && schema.step(id).join == JoinKind::kNone) {
+        return Status::InvalidArgument(
+            "S" + std::to_string(id) +
+            " has multiple incoming arcs but no declared join kind");
+      }
+    }
+  }
+
+  // Acyclicity of the forward graph (back edges removed): Kahn's
+  // algorithm must consume every step.
+  {
+    std::vector<int> in_degree(n + 1, 0);
+    std::vector<std::vector<StepId>> succ(n + 1);
+    for (const ControlArc& a : schema.control_arcs()) {
+      if (a.is_back_edge) continue;
+      ++in_degree[a.to];
+      succ[a.from].push_back(a.to);
+    }
+    std::vector<StepId> frontier;
+    for (StepId id = 1; id <= n; ++id) {
+      if (in_degree[id] == 0) frontier.push_back(id);
+    }
+    int seen = 0;
+    while (!frontier.empty()) {
+      StepId cur = frontier.back();
+      frontier.pop_back();
+      ++seen;
+      for (StepId next : succ[cur]) {
+        if (--in_degree[next] == 0) frontier.push_back(next);
+      }
+    }
+    if (seen != n) {
+      return Status::InvalidArgument(
+          "forward control graph has a cycle; mark loop arcs with "
+          "BackArc()");
+    }
+  }
+
+  // Reachability from the start step (forward + back edges).
+  {
+    std::vector<std::vector<StepId>> succ(n + 1);
+    for (const ControlArc& a : schema.control_arcs()) {
+      succ[a.from].push_back(a.to);
+    }
+    std::vector<bool> reachable(n + 1, false);
+    std::vector<StepId> frontier = {schema.start_step()};
+    reachable[schema.start_step()] = true;
+    while (!frontier.empty()) {
+      StepId cur = frontier.back();
+      frontier.pop_back();
+      for (StepId next : succ[cur]) {
+        if (!reachable[next]) {
+          reachable[next] = true;
+          frontier.push_back(next);
+        }
+      }
+    }
+    for (StepId id = 1; id <= n; ++id) {
+      if (!reachable[id]) {
+        return Status::InvalidArgument("S" + std::to_string(id) +
+                                       " is unreachable from the start step");
+      }
+    }
+  }
+
+  // Rollback targets and comp-dep-set members must exist.
+  for (const Step& s : schema.steps()) {
+    if (s.failure.rollback_to != kInvalidStep &&
+        !schema.has_step(s.failure.rollback_to)) {
+      return Status::InvalidArgument(
+          "S" + std::to_string(s.id) + " rollback target S" +
+          std::to_string(s.failure.rollback_to) + " does not exist");
+    }
+    if (s.kind == StepKind::kSubWorkflow && s.sub_workflow.empty()) {
+      return Status::InvalidArgument("S" + std::to_string(s.id) +
+                                     " is a sub-workflow with no schema");
+    }
+    if (s.kind == StepKind::kTask && s.program.empty()) {
+      return Status::InvalidArgument("S" + std::to_string(s.id) +
+                                     " has no program");
+    }
+  }
+  for (const CompDepSet& set : schema.comp_dep_sets()) {
+    for (StepId id : set.steps) {
+      if (!schema.has_step(id)) {
+        return Status::InvalidArgument(
+            "comp-dep-set references missing step S" + std::to_string(id));
+      }
+    }
+  }
+
+  // Terminal groups exactly cover the terminal steps, no duplicates.
+  {
+    std::vector<int> out_degree(n + 1, 0);
+    for (const ControlArc& a : schema.control_arcs()) {
+      if (!a.is_back_edge) ++out_degree[a.from];
+    }
+    std::set<StepId> grouped;
+    for (const auto& group : schema.terminal_groups()) {
+      for (StepId id : group) {
+        if (!schema.has_step(id)) {
+          return Status::InvalidArgument(
+              "terminal group references missing step S" +
+              std::to_string(id));
+        }
+        if (out_degree[id] != 0) {
+          return Status::InvalidArgument(
+              "terminal group member S" + std::to_string(id) +
+              " is not a terminal step");
+        }
+        if (!grouped.insert(id).second) {
+          return Status::InvalidArgument(
+              "S" + std::to_string(id) + " appears in two terminal groups");
+        }
+      }
+    }
+    for (StepId id = 1; id <= n; ++id) {
+      if (out_degree[id] == 0 && grouped.count(id) == 0) {
+        return Status::Internal("terminal step S" + std::to_string(id) +
+                                " not grouped (builder bug)");
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace crew::model

@@ -1,0 +1,116 @@
+#ifndef CREW_MODEL_BUILDER_H_
+#define CREW_MODEL_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/schema.h"
+
+namespace crew::model {
+
+/// Constructs and validates workflow schemas.
+///
+/// Two usage styles:
+///  - Raw graph: AddStep() + Arc()/CondArc()/ElseArc()/BackArc() +
+///    SetJoin() + TerminalGroup(); Build() validates.
+///  - Structured helpers: Sequence(), Parallel(), Choice(), LoopBack() —
+///    thin wrappers over the raw API that also set join kinds.
+///
+/// Build() validation rules:
+///  - exactly one start step (no incoming forward arcs) unless SetStart();
+///  - every step reachable from the start (following forward arcs);
+///  - outgoing arcs of a step are either all unconditional (sequential /
+///    parallel split) or all-but-one conditional with at most one else arc
+///    (if-then-else split);
+///  - steps with >1 incoming forward arcs must declare a JoinKind;
+///  - back-edges must target an ancestor... (validated as: removing back
+///    edges leaves an acyclic graph);
+///  - rollback targets exist and are upstream of the failing step;
+///  - comp-dep-set members exist;
+///  - terminal groups exactly partition the terminal steps (steps with no
+///    outgoing forward arcs). Ungrouped terminals each form their own
+///    singleton group.
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string workflow_name);
+
+  /// Adds a step; assigns and returns its id (1-based, in call order).
+  /// `step.id` is overwritten.
+  StepId AddStep(Step step);
+
+  /// Convenience: task step with a program and cost.
+  StepId AddTask(const std::string& name, const std::string& program,
+                 int64_t cost = 1000);
+
+  /// Convenience: nested workflow step.
+  StepId AddSubWorkflow(const std::string& name,
+                        const std::string& child_schema);
+
+  Step& step(StepId id);
+
+  /// Unconditional control arc.
+  SchemaBuilder& Arc(StepId from, StepId to);
+  /// Conditional (if-then-else) arc; `condition` is an expression source.
+  /// Parse errors surface at Build().
+  SchemaBuilder& CondArc(StepId from, StepId to,
+                         const std::string& condition);
+  /// The default branch of an if-then-else split.
+  SchemaBuilder& ElseArc(StepId from, StepId to);
+  /// Loop back-edge, taken while `condition` holds (exit otherwise is a
+  /// separate forward arc, typically an ElseArc from the same step).
+  SchemaBuilder& BackArc(StepId from, StepId to,
+                         const std::string& condition);
+  /// Explicit data arc (documentation of cross-branch flow).
+  SchemaBuilder& DataFlow(StepId from, StepId to, const std::string& item);
+
+  SchemaBuilder& SetJoin(StepId id, JoinKind join);
+  SchemaBuilder& SetStart(StepId id);
+  SchemaBuilder& DeclareInput(const std::string& item);
+  SchemaBuilder& AddCompDepSet(std::vector<StepId> steps);
+  SchemaBuilder& TerminalGroup(std::vector<StepId> steps);
+  SchemaBuilder& OnFail(StepId step, StepId rollback_to,
+                        int max_attempts = 3);
+
+  // ---- structured helpers ----
+
+  /// Chains arcs: ids[0] -> ids[1] -> ... Returns *this.
+  SchemaBuilder& Sequence(const std::vector<StepId>& ids);
+  /// AND-split from `from` to each branch entry; AND-join at `join_step`
+  /// from each branch exit.
+  SchemaBuilder& Parallel(StepId from,
+                          const std::vector<std::pair<StepId, StepId>>&
+                              branch_entry_exits,
+                          StepId join_step);
+  /// OR-split from `from`: conditional arcs to each (condition, entry);
+  /// `else_entry` optional (kInvalidStep for none); OR-join at
+  /// `join_step` from the exits.
+  SchemaBuilder& Choice(
+      StepId from,
+      const std::vector<std::pair<std::string, StepId>>& cond_entries,
+      StepId else_entry, const std::vector<StepId>& branch_exits,
+      StepId join_step);
+
+  /// Validates and produces the schema. The builder is left unusable.
+  Result<Schema> Build();
+
+ private:
+  struct PendingArc {
+    StepId from;
+    StepId to;
+    std::string condition;  // unparsed; empty => none
+    bool is_else = false;
+    bool is_back_edge = false;
+  };
+
+  Status Validate(const Schema& schema) const;
+
+  Schema schema_;
+  std::vector<PendingArc> pending_arcs_;
+  std::vector<std::string> errors_;
+  bool built_ = false;
+};
+
+}  // namespace crew::model
+
+#endif  // CREW_MODEL_BUILDER_H_

@@ -1,0 +1,58 @@
+#include "model/deployment.h"
+
+#include <algorithm>
+
+namespace crew::model {
+
+const std::vector<NodeId> Deployment::kEmpty;
+
+void Deployment::SetEligible(const std::string& workflow, StepId step,
+                             std::vector<NodeId> agents) {
+  eligible_[{workflow, step}] = std::move(agents);
+}
+
+const std::vector<NodeId>& Deployment::Eligible(const std::string& workflow,
+                                                StepId step) const {
+  auto it = eligible_.find({workflow, step});
+  return it == eligible_.end() ? kEmpty : it->second;
+}
+
+Result<NodeId> Deployment::CoordinationAgent(
+    const CompiledSchema& schema) const {
+  const std::vector<NodeId>& agents =
+      Eligible(schema.schema().name(), schema.schema().start_step());
+  if (agents.empty()) {
+    return Status::FailedPrecondition(
+        "no eligible agents for start step of " + schema.schema().name());
+  }
+  return agents.front();
+}
+
+void Deployment::AssignRandom(const CompiledSchema& schema,
+                              const std::vector<NodeId>& agents,
+                              int eligible_per_step, Rng* rng) {
+  const int n = schema.schema().num_steps();
+  int k = std::min<int>(eligible_per_step, static_cast<int>(agents.size()));
+  for (StepId id = 1; id <= n; ++id) {
+    std::vector<NodeId> pool = agents;
+    std::shuffle(pool.begin(), pool.end(), rng->engine());
+    pool.resize(static_cast<size_t>(std::max(1, k)));
+    // Deterministic preference order within the eligible set: lowest id
+    // first, so selection behaviour is reproducible across runs.
+    std::sort(pool.begin(), pool.end());
+    SetEligible(schema.schema().name(), id, std::move(pool));
+  }
+}
+
+Status Deployment::Check(const CompiledSchema& schema) const {
+  for (StepId id = 1; id <= schema.schema().num_steps(); ++id) {
+    if (Eligible(schema.schema().name(), id).empty()) {
+      return Status::FailedPrecondition(
+          "step S" + std::to_string(id) + " of " + schema.schema().name() +
+          " has no eligible agents");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace crew::model

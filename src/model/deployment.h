@@ -1,0 +1,52 @@
+#ifndef CREW_MODEL_DEPLOYMENT_H_
+#define CREW_MODEL_DEPLOYMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "model/compiled.h"
+
+namespace crew::model {
+
+/// Maps every (schema, step) to the agents *eligible* to execute it —
+/// the step-table information the paper keeps in the workflow class
+/// tables. The same schema can be deployed differently on different
+/// system topologies, so eligibility lives outside the Schema.
+class Deployment {
+ public:
+  /// Declares the eligible agents for a step (>= 1 agent).
+  void SetEligible(const std::string& workflow, StepId step,
+                   std::vector<NodeId> agents);
+
+  /// Eligible agents for a step; empty vector if never declared.
+  const std::vector<NodeId>& Eligible(const std::string& workflow,
+                                      StepId step) const;
+
+  /// The coordination agent of a workflow is the first eligible agent of
+  /// its start step (§4.1: "typically the agent responsible for executing
+  /// the first step").
+  Result<NodeId> CoordinationAgent(const CompiledSchema& schema) const;
+
+  /// Assigns every step of `schema` a uniformly random eligible set of
+  /// size `eligible_per_step` drawn from `agents`. Used by the workload
+  /// generator (Table 3's parameter a).
+  void AssignRandom(const CompiledSchema& schema,
+                    const std::vector<NodeId>& agents,
+                    int eligible_per_step, Rng* rng);
+
+  /// Validates that every step of `schema` has at least one eligible
+  /// agent.
+  Status Check(const CompiledSchema& schema) const;
+
+ private:
+  std::map<std::pair<std::string, StepId>, std::vector<NodeId>> eligible_;
+  static const std::vector<NodeId> kEmpty;
+};
+
+}  // namespace crew::model
+
+#endif  // CREW_MODEL_DEPLOYMENT_H_

@@ -1,0 +1,53 @@
+#include "model/schema.h"
+
+#include <sstream>
+
+namespace crew::model {
+
+StepId Schema::FindStepByName(const std::string& name) const {
+  for (const Step& s : steps_) {
+    if (s.name == name) return s.id;
+  }
+  return kInvalidStep;
+}
+
+std::string Schema::Describe() const {
+  std::ostringstream os;
+  os << "workflow " << name_ << " (v" << version_ << "), " << steps_.size()
+     << " steps, start=S" << start_step_ << "\n";
+  for (const Step& s : steps_) {
+    os << "  S" << s.id << " '" << s.name << "'";
+    if (s.kind == StepKind::kSubWorkflow) {
+      os << " sub-workflow=" << s.sub_workflow;
+    } else {
+      os << " program=" << s.program;
+    }
+    os << (s.access == AccessKind::kUpdate ? " update" : " query");
+    if (s.join == JoinKind::kAnd) os << " join=and";
+    if (s.join == JoinKind::kOr) os << " join=or";
+    if (s.failure.rollback_to != kInvalidStep) {
+      os << " on-fail->S" << s.failure.rollback_to;
+    }
+    os << "\n";
+  }
+  for (const ControlArc& a : control_arcs_) {
+    os << "  S" << a.from << " -> S" << a.to;
+    if (a.condition) os << " when " << a.condition->ToString();
+    if (a.is_else) os << " (else)";
+    if (a.is_back_edge) os << " (back-edge)";
+    os << "\n";
+  }
+  for (const CompDepSet& set : comp_dep_sets_) {
+    os << "  comp-dep-set:";
+    for (StepId id : set.steps) os << " S" << id;
+    os << "\n";
+  }
+  for (const auto& group : terminal_groups_) {
+    os << "  terminal-group:";
+    for (StepId id : group) os << " S" << id;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace crew::model

@@ -1,0 +1,106 @@
+#ifndef CREW_MODEL_SCHEMA_H_
+#define CREW_MODEL_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/ast.h"
+#include "model/step.h"
+
+namespace crew::model {
+
+/// A control arc orders two steps. A non-null `condition` makes it an
+/// if-then-else branch arc (exclusive with its sibling arcs); `is_else`
+/// marks the default branch. `is_back_edge` marks a loop's closing arc so
+/// graph analyses do not cycle.
+struct ControlArc {
+  StepId from = kInvalidStep;
+  StepId to = kInvalidStep;
+  expr::NodePtr condition;  // null => unconditional
+  bool is_else = false;
+  bool is_back_edge = false;
+};
+
+/// A data arc: `item` produced at (or flowing through) `from` is consumed
+/// by `to`. Data arcs are implied by Step::inputs; explicit ones exist for
+/// cross-branch data flow documentation and validation.
+struct DataArc {
+  StepId from = kInvalidStep;
+  StepId to = kInvalidStep;
+  std::string item;
+};
+
+/// A compensation dependent set (§3): its member steps must be compensated
+/// in reverse execution order. Stored in schema (execution) order.
+struct CompDepSet {
+  std::vector<StepId> steps;
+};
+
+/// A workflow schema (class definition): the directed graph of steps the
+/// paper's modeling tool produces. Immutable after Build(); shared by all
+/// instances of the class.
+class Schema {
+ public:
+  Schema() = default;
+
+  const std::string& name() const { return name_; }
+  int version() const { return version_; }
+
+  /// Steps are stored with ids 1..n; step(id) is O(1).
+  const Step& step(StepId id) const { return steps_[id - 1]; }
+  Step& mutable_step(StepId id) { return steps_[id - 1]; }
+  bool has_step(StepId id) const {
+    return id >= 1 && static_cast<size_t>(id) <= steps_.size();
+  }
+  int num_steps() const { return static_cast<int>(steps_.size()); }
+  const std::vector<Step>& steps() const { return steps_; }
+
+  const std::vector<ControlArc>& control_arcs() const {
+    return control_arcs_;
+  }
+  const std::vector<DataArc>& data_arcs() const { return data_arcs_; }
+  const std::vector<CompDepSet>& comp_dep_sets() const {
+    return comp_dep_sets_;
+  }
+
+  /// Entry step of the workflow. The coordination agent of an instance is
+  /// the agent that executes this step (§4.1).
+  StepId start_step() const { return start_step_; }
+
+  /// Terminal-step groups: the workflow commits when every group has at
+  /// least one completed member (parallel branches => separate groups;
+  /// if-then-else alternatives => same group). See DESIGN.md §5.
+  const std::vector<std::vector<StepId>>& terminal_groups() const {
+    return terminal_groups_;
+  }
+
+  /// Declared workflow input items (names like "WF.I1").
+  const std::vector<std::string>& workflow_inputs() const {
+    return workflow_inputs_;
+  }
+
+  /// Finds a step id by name; kInvalidStep if absent.
+  StepId FindStepByName(const std::string& name) const;
+
+  /// Multi-line structural dump for docs/debugging.
+  std::string Describe() const;
+
+ private:
+  friend class SchemaBuilder;
+
+  std::string name_;
+  int version_ = 1;
+  std::vector<Step> steps_;
+  std::vector<ControlArc> control_arcs_;
+  std::vector<DataArc> data_arcs_;
+  std::vector<CompDepSet> comp_dep_sets_;
+  std::vector<std::vector<StepId>> terminal_groups_;
+  std::vector<std::string> workflow_inputs_;
+  StepId start_step_ = kInvalidStep;
+};
+
+}  // namespace crew::model
+
+#endif  // CREW_MODEL_SCHEMA_H_

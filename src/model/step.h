@@ -1,0 +1,101 @@
+#ifndef CREW_MODEL_STEP_H_
+#define CREW_MODEL_STEP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "expr/ast.h"
+
+namespace crew::model {
+
+/// Whether the step's program updates shared resources or only queries
+/// them. The distributed recovery protocol treats them differently when a
+/// predecessor agent fails (§5.2): a query step may be re-run elsewhere,
+/// an update step must wait for its agent to come back.
+enum class AccessKind { kUpdate, kQuery };
+
+/// Regular black-box task vs. a nested workflow invocation.
+enum class StepKind { kTask, kSubWorkflow };
+
+/// Join semantics for a step with multiple incoming control arcs.
+/// kAnd: confluence step — fires when *all* incoming branches arrive.
+/// kOr:  fires on the first arriving branch (after an if-then-else, or a
+///       loop head fed by entry + back edge).
+enum class JoinKind { kNone, kAnd, kOr };
+
+/// Per-step failure-handling specification: on step.fail, the workflow is
+/// partially rolled back to `rollback_to` and re-executed from there
+/// (§3, Figure 3). After `max_attempts` failures of this step the
+/// workflow aborts.
+struct FailureSpec {
+  StepId rollback_to = kInvalidStep;  ///< kInvalidStep => abort on failure
+  int max_attempts = 3;
+};
+
+/// Opportunistic compensation and re-execution knobs (§3, Figure 5).
+struct OcrSpec {
+  /// Evaluated when a StepExecute arrives for an already-executed step.
+  /// False => the previous results are reused (no compensation, no
+  /// re-execution; a step.done is generated from the stored outputs).
+  /// Null => always re-execute. Typical value: changed(S2.O1).
+  expr::NodePtr reexec_condition;
+
+  /// Cost of *partial* compensation relative to complete compensation
+  /// (1.0 = only complete compensation available).
+  double partial_compensation_fraction = 1.0;
+
+  /// Cost of *incremental* re-execution relative to complete re-execution
+  /// (1.0 = only complete re-execution available).
+  double incremental_reexec_fraction = 1.0;
+
+  /// Evaluated (when partial/incremental fractions < 1) to decide whether
+  /// the cheap path applies in the current context; null => always
+  /// applicable when fractions < 1.
+  expr::NodePtr partial_applicable_condition;
+
+  /// False for loop-body steps: a loop iteration re-executes the step
+  /// without compensating the previous iteration. SchemaBuilder::Build()
+  /// sets this automatically for steps enclosed by a BackArc().
+  bool compensate_before_reexec = true;
+};
+
+/// One node of the workflow graph. Steps are black boxes: the WFMS sees
+/// only the program name, declared inputs/outputs, and cost.
+struct Step {
+  StepId id = kInvalidStep;
+  std::string name;
+
+  StepKind kind = StepKind::kTask;
+  AccessKind access = AccessKind::kUpdate;
+
+  /// ProgramRegistry key executed to perform the step (kTask).
+  std::string program;
+  /// Optional compensation program; empty => compensation is a pure
+  /// state rollback with the same cost class as the program.
+  std::string compensation_program;
+  /// Schema name of the child workflow (kSubWorkflow).
+  std::string sub_workflow;
+
+  /// Data items the program reads (e.g. "WF.I1", "S2.O1"). Outputs are
+  /// written under this step's namespace: "S<id>.O<n>".
+  std::vector<std::string> inputs;
+  /// Number of outputs the program produces.
+  int num_outputs = 1;
+
+  /// Nominal program cost in instructions (the black-box part of load).
+  int64_t cost = 1000;
+
+  JoinKind join = JoinKind::kNone;
+  FailureSpec failure;
+  OcrSpec ocr;
+
+  /// True if this step's effects must be compensated when the whole
+  /// workflow is aborted by the user (the paper's "steps which are to be
+  /// compensated ... as specified in the workflow schema").
+  bool compensate_on_abort = true;
+};
+
+}  // namespace crew::model
+
+#endif  // CREW_MODEL_STEP_H_

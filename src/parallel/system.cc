@@ -1,0 +1,98 @@
+#include "parallel/system.h"
+
+#include <functional>
+
+namespace crew::parallel {
+
+ParallelSystem::ParallelSystem(sim::Simulator* simulator,
+                               const runtime::ProgramRegistry* programs,
+                               const model::Deployment* deployment,
+                               const runtime::CoordinationSpec* coordination,
+                               int num_engines, int num_agents,
+                               central::EngineOptions options)
+    : simulator_(simulator), tracker_(coordination) {
+  for (int i = 0; i < num_engines; ++i) {
+    NodeId id = 1 + i;
+    engines_.push_back(std::make_unique<central::WorkflowEngine>(
+        id, simulator, programs, deployment, coordination, options));
+    engines_.back()->set_shared_tracker(&tracker_);
+    engines_.back()->set_topology(this);
+    engine_ids_.push_back(id);
+  }
+  for (int i = 0; i < num_agents; ++i) {
+    NodeId id = 1 + num_engines + i;
+    agents_.push_back(
+        std::make_unique<central::ThinAgent>(id, simulator, programs));
+    agent_ids_.push_back(id);
+  }
+}
+
+void ParallelSystem::RegisterSchema(model::CompiledSchemaPtr schema) {
+  for (auto& engine : engines_) {
+    engine->RegisterSchema(schema);
+  }
+}
+
+central::WorkflowEngine& ParallelSystem::OwnerOf(
+    const InstanceId& instance) {
+  return *engines_[static_cast<size_t>(OwnerEngine(instance) - 1)];
+}
+
+const central::WorkflowEngine& ParallelSystem::OwnerOf(
+    const InstanceId& instance) const {
+  return *engines_[static_cast<size_t>(
+      static_cast<size_t>(instance.number) % engines_.size())];
+}
+
+Status ParallelSystem::StartWorkflow(const std::string& workflow,
+                                     int64_t number,
+                                     std::map<std::string, Value> inputs) {
+  return OwnerOf({workflow, number})
+      .StartWorkflow(workflow, number, std::move(inputs));
+}
+
+Status ParallelSystem::AbortWorkflow(const InstanceId& instance) {
+  return OwnerOf(instance).AbortWorkflow(instance);
+}
+
+Status ParallelSystem::ChangeInputs(
+    const InstanceId& instance, std::map<std::string, Value> new_inputs) {
+  return OwnerOf(instance).ChangeInputs(instance, std::move(new_inputs));
+}
+
+runtime::WorkflowState ParallelSystem::QueryStatus(
+    const InstanceId& instance) const {
+  return OwnerOf(instance).QueryStatus(instance);
+}
+
+std::map<std::string, Value> ParallelSystem::FinalData(
+    const InstanceId& instance) const {
+  return OwnerOf(instance).FinalData(instance);
+}
+
+NodeId ParallelSystem::OwnerEngine(const InstanceId& instance) const {
+  return engine_ids_[static_cast<size_t>(instance.number) %
+                     engines_.size()];
+}
+
+NodeId ParallelSystem::LockOwnerEngine(const std::string& resource) const {
+  return engine_ids_[std::hash<std::string>()(resource) % engines_.size()];
+}
+
+std::vector<NodeId> ParallelSystem::AllEngines() const {
+  return engine_ids_;
+}
+
+int64_t ParallelSystem::committed_count() const {
+  int64_t sum = 0;
+  for (const auto& engine : engines_) sum += engine->committed_count();
+  return sum;
+}
+
+int64_t ParallelSystem::aborted_count() const {
+  int64_t sum = 0;
+  for (const auto& engine : engines_) sum += engine->aborted_count();
+  return sum;
+}
+
+}  // namespace crew::parallel

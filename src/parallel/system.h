@@ -1,0 +1,69 @@
+#ifndef CREW_PARALLEL_SYSTEM_H_
+#define CREW_PARALLEL_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "central/agent.h"
+#include "central/engine.h"
+#include "runtime/coord.h"
+
+namespace crew::parallel {
+
+/// Parallel workflow control (Figure 6(b)): `e` centralized engines share
+/// the instance load; each instance is controlled by exactly one engine
+/// (assigned round-robin at start). Engines exchange coordination
+/// messages — RO broadcasts, ME lock arbitration, RD rollbacks — which is
+/// the traffic the paper's (me+ro+rd)·e·s expression models.
+///
+/// Engines occupy nodes 1..e; thin agents nodes e+1..e+z.
+class ParallelSystem : public central::ParallelTopology {
+ public:
+  ParallelSystem(sim::Simulator* simulator,
+                 const runtime::ProgramRegistry* programs,
+                 const model::Deployment* deployment,
+                 const runtime::CoordinationSpec* coordination,
+                 int num_engines, int num_agents,
+                 central::EngineOptions options = {});
+
+  /// Registers a schema with every engine.
+  void RegisterSchema(model::CompiledSchemaPtr schema);
+
+  /// Starts an instance on its owner engine (round-robin by number).
+  Status StartWorkflow(const std::string& workflow, int64_t number,
+                       std::map<std::string, Value> inputs);
+  Status AbortWorkflow(const InstanceId& instance);
+  Status ChangeInputs(const InstanceId& instance,
+                      std::map<std::string, Value> new_inputs);
+  runtime::WorkflowState QueryStatus(const InstanceId& instance) const;
+  std::map<std::string, Value> FinalData(const InstanceId& instance) const;
+
+  // ParallelTopology:
+  NodeId OwnerEngine(const InstanceId& instance) const override;
+  NodeId LockOwnerEngine(const std::string& resource) const override;
+  std::vector<NodeId> AllEngines() const override;
+
+  central::WorkflowEngine& engine(int index) { return *engines_[index]; }
+  int num_engines() const { return static_cast<int>(engines_.size()); }
+  const std::vector<NodeId>& agent_ids() const { return agent_ids_; }
+
+  int64_t committed_count() const;
+  int64_t aborted_count() const;
+
+ private:
+  central::WorkflowEngine& OwnerOf(const InstanceId& instance);
+  const central::WorkflowEngine& OwnerOf(const InstanceId& instance) const;
+
+  sim::Simulator* simulator_;
+  runtime::ConflictTracker tracker_;
+  std::vector<std::unique_ptr<central::WorkflowEngine>> engines_;
+  std::vector<std::unique_ptr<central::ThinAgent>> agents_;
+  std::vector<NodeId> engine_ids_;
+  std::vector<NodeId> agent_ids_;
+};
+
+}  // namespace crew::parallel
+
+#endif  // CREW_PARALLEL_SYSTEM_H_

@@ -1,0 +1,120 @@
+#include "rules/engine.h"
+
+#include <algorithm>
+
+namespace crew::rules {
+
+Status RuleEngine::AddRule(Rule rule) {
+  if (rule.id.empty()) {
+    return Status::InvalidArgument("rule id must not be empty");
+  }
+  if (rule.events.empty()) {
+    return Status::InvalidArgument("rule " + rule.id +
+                                   " has no trigger events");
+  }
+  auto [it, inserted] = rules_.try_emplace(rule.id);
+  if (!inserted) {
+    return Status::AlreadyExists("rule " + rule.id + " already present");
+  }
+  it->second.rule = std::move(rule);
+  return Status::OK();
+}
+
+bool RuleEngine::RemoveRule(const std::string& rule_id) {
+  return rules_.erase(rule_id) > 0;
+}
+
+Status RuleEngine::AddPrecondition(const std::string& rule_id,
+                                   const std::string& extra_event) {
+  auto it = rules_.find(rule_id);
+  if (it == rules_.end()) {
+    return Status::NotFound("no rule " + rule_id);
+  }
+  std::vector<std::string>& events = it->second.rule.events;
+  if (std::find(events.begin(), events.end(), extra_event) == events.end()) {
+    events.push_back(extra_event);
+  }
+  return Status::OK();
+}
+
+void RuleEngine::Post(const std::string& event_token) {
+  EventState& state = events_[event_token];
+  state.valid = true;
+  state.stamp = next_stamp_++;
+}
+
+void RuleEngine::Invalidate(const std::string& event_token) {
+  auto it = events_.find(event_token);
+  if (it != events_.end()) it->second.valid = false;
+}
+
+bool RuleEngine::Occurred(const std::string& event_token) const {
+  auto it = events_.find(event_token);
+  return it != events_.end() && it->second.valid;
+}
+
+bool RuleEngine::Fireable(const RuleState& state,
+                          const expr::Environment& env,
+                          uint64_t* newest_stamp) const {
+  uint64_t newest = 0;
+  for (const std::string& token : state.rule.events) {
+    auto it = events_.find(token);
+    if (it == events_.end() || !it->second.valid) return false;
+    newest = std::max(newest, it->second.stamp);
+  }
+  if (newest <= state.last_fired_stamp) return false;  // nothing new
+  if (!expr::EvaluateCondition(state.rule.condition, env)) return false;
+  *newest_stamp = newest;
+  return true;
+}
+
+std::vector<RuleAction> RuleEngine::CollectFireable(
+    const expr::Environment& env) {
+  std::vector<RuleAction> fired;
+  // Map iteration is id-ordered, giving deterministic firing order.
+  for (auto& [id, state] : rules_) {
+    uint64_t newest = 0;
+    if (Fireable(state, env, &newest)) {
+      state.last_fired_stamp = newest;
+      fired.push_back(state.rule.action);
+      ++fire_count_;
+    }
+  }
+  return fired;
+}
+
+std::vector<std::pair<std::string, std::vector<std::string>>>
+RuleEngine::PendingRules() const {
+  std::vector<std::pair<std::string, std::vector<std::string>>> out;
+  for (const auto& [id, state] : rules_) {
+    std::vector<std::string> missing = MissingEvents(id);
+    if (!missing.empty()) out.emplace_back(id, std::move(missing));
+  }
+  return out;
+}
+
+std::vector<std::string> RuleEngine::MissingEvents(
+    const std::string& rule_id) const {
+  std::vector<std::string> missing;
+  auto it = rules_.find(rule_id);
+  if (it == rules_.end()) return missing;
+  for (const std::string& token : it->second.rule.events) {
+    auto jt = events_.find(token);
+    if (jt == events_.end() || !jt->second.valid) missing.push_back(token);
+  }
+  return missing;
+}
+
+void RuleEngine::ResetFiringIf(
+    const std::function<bool(const Rule&)>& pred) {
+  for (auto& [id, state] : rules_) {
+    if (pred(state.rule)) state.last_fired_stamp = 0;
+  }
+}
+
+const Rule* RuleEngine::FindRule(const std::string& rule_id) const {
+  auto it = rules_.find(rule_id);
+  return it == rules_.end() ? nullptr : &it->second.rule;
+}
+
+}  // namespace crew::rules

@@ -1,0 +1,122 @@
+#ifndef CREW_RULES_ENGINE_H_
+#define CREW_RULES_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "expr/ast.h"
+#include "expr/eval.h"
+
+namespace crew::rules {
+
+/// What a fired rule asks the runtime to do. The rule engine itself is
+/// action-agnostic; runtimes interpret these descriptors.
+enum class ActionKind {
+  kExecuteStep,
+  kCompensateStep,
+  kCommitWorkflow,
+  kAbortWorkflow,
+};
+
+struct RuleAction {
+  ActionKind kind = ActionKind::kExecuteStep;
+  StepId step = kInvalidStep;
+};
+
+/// An Event-Condition-Action rule instance (§3): fires when every trigger
+/// event has occurred (and is currently valid) and the condition holds.
+struct Rule {
+  std::string id;                    ///< unique within one engine
+  std::vector<std::string> events;   ///< ALL must be valid to fire
+  expr::NodePtr condition;           ///< null => unconditional
+  RuleAction action;
+};
+
+/// Per-instance event table + rule store implementing the paper's
+/// general-rule and pending-rule tables, with the three implementation
+/// primitives AddRule() / AddEvent() (via Post) / AddPrecondition().
+///
+/// Firing semantics:
+///  - Every Post() stamps the event with a fresh sequence number and
+///    marks it valid.
+///  - Invalidate() marks an event no-longer-occurred; pending progress of
+///    rules that depend on it is discarded (the paper's rollback step).
+///  - A rule is *fireable* when every trigger event is valid, the newest
+///    trigger stamp exceeds the rule's last-fired stamp (so loop rules
+///    re-fire on re-posted events, but a rule does not re-fire
+///    spuriously), and its condition evaluates true.
+class RuleEngine {
+ public:
+  /// AddRule() primitive. Rejects duplicate ids.
+  Status AddRule(Rule rule);
+
+  /// Removes a rule; returns false if absent.
+  bool RemoveRule(const std::string& rule_id);
+
+  /// AddPrecondition() primitive: appends an extra trigger event to an
+  /// existing rule, so the step it guards cannot fire until that event
+  /// arrives (used for relative ordering / mutual exclusion).
+  Status AddPrecondition(const std::string& rule_id,
+                         const std::string& extra_event);
+
+  /// AddEvent() primitive: posts an event occurrence.
+  void Post(const std::string& event_token);
+
+  /// Invalidates an occurred event (rollback). No-op if never posted.
+  void Invalidate(const std::string& event_token);
+
+  bool Occurred(const std::string& event_token) const;
+
+  /// Returns the actions of every rule that can fire now, in rule-id
+  /// order, marking them fired. Conditions are evaluated against `env`.
+  /// Call after each Post()/AddRule()/AddPrecondition() batch.
+  std::vector<RuleAction> CollectFireable(const expr::Environment& env);
+
+  /// Rules that are waiting on at least one missing/invalid event —
+  /// the paper's pending-rule table view. Pairs of (rule id, missing
+  /// events).
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+  PendingRules() const;
+
+  /// Events a given rule still needs (empty if all triggers are valid).
+  std::vector<std::string> MissingEvents(const std::string& rule_id) const;
+
+  const Rule* FindRule(const std::string& rule_id) const;
+  size_t num_rules() const { return rules_.size(); }
+
+  /// Resets the fired marker of every rule matching `pred`, so it can
+  /// fire again on its *existing* (still valid) trigger events. Used when
+  /// a rollback re-enables the rules of downstream steps (§5.2).
+  void ResetFiringIf(const std::function<bool(const Rule&)>& pred);
+
+  /// Total number of rule firings (metrics).
+  int64_t fire_count() const { return fire_count_; }
+
+ private:
+  struct EventState {
+    bool valid = false;
+    uint64_t stamp = 0;  // sequence of the latest Post
+  };
+  struct RuleState {
+    Rule rule;
+    uint64_t last_fired_stamp = 0;
+  };
+
+  bool Fireable(const RuleState& state, const expr::Environment& env,
+                uint64_t* newest_stamp) const;
+
+  std::map<std::string, EventState> events_;
+  std::map<std::string, RuleState> rules_;  // keyed by rule id
+  uint64_t next_stamp_ = 1;
+  int64_t fire_count_ = 0;
+};
+
+}  // namespace crew::rules
+
+#endif  // CREW_RULES_ENGINE_H_

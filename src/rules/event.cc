@@ -1,0 +1,45 @@
+#include "rules/event.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace crew::rules::event {
+
+std::string WorkflowStart() { return "WF.start"; }
+std::string WorkflowDone() { return "WF.done"; }
+std::string WorkflowAbort() { return "WF.abort"; }
+
+std::string StepDone(StepId step) {
+  return "S" + std::to_string(step) + ".done";
+}
+
+std::string StepFail(StepId step) {
+  return "S" + std::to_string(step) + ".fail";
+}
+
+std::string StepCompensated(StepId step) {
+  return "S" + std::to_string(step) + ".comp";
+}
+
+std::string RelativeOrder(const InstanceId& leading, StepId step) {
+  return "RO:" + leading.ToString() + ":S" + std::to_string(step) + ".done";
+}
+
+std::string MutexFree(const std::string& resource) {
+  return "ME:" + resource + ".free";
+}
+
+StepId ParseStepEvent(const std::string& token, const std::string& suffix) {
+  if (token.size() < 2 || token[0] != 'S') return kInvalidStep;
+  size_t dot = token.find('.');
+  if (dot == std::string::npos || token.substr(dot + 1) != suffix) {
+    return kInvalidStep;
+  }
+  char* end = nullptr;
+  long id = strtol(token.c_str() + 1, &end, 10);
+  if (end != token.c_str() + dot || id <= 0) return kInvalidStep;
+  return static_cast<StepId>(id);
+}
+
+}  // namespace crew::rules::event

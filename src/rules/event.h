@@ -1,0 +1,39 @@
+#ifndef CREW_RULES_EVENT_H_
+#define CREW_RULES_EVENT_H_
+
+#include <string>
+
+#include "common/ids.h"
+
+namespace crew::rules {
+
+/// Events are string tokens scoped to a workflow instance. The tokens the
+/// runtime generates mirror the paper's event vocabulary:
+///   WF.start, WF.done, WF.abort          — workflow lifecycle
+///   S<k>.done, S<k>.fail, S<k>.comp      — step lifecycle
+///   RO:<instance>:S<k>.done              — cross-instance ordering event
+///   ME:<resource>.free                   — mutual-exclusion release
+namespace event {
+
+std::string WorkflowStart();
+std::string WorkflowDone();
+std::string WorkflowAbort();
+std::string StepDone(StepId step);
+std::string StepFail(StepId step);
+std::string StepCompensated(StepId step);
+
+/// Relative-ordering precondition: the named step of the *leading*
+/// instance has completed. Delivered across instances via AddEvent().
+std::string RelativeOrder(const InstanceId& leading, StepId step);
+
+/// Mutual-exclusion token: the named logical resource is free.
+std::string MutexFree(const std::string& resource);
+
+/// Parses "S<k>.done" / "S<k>.fail" / "S<k>.comp"; returns kInvalidStep
+/// if `token` is not a step event of the given suffix.
+StepId ParseStepEvent(const std::string& token, const std::string& suffix);
+
+}  // namespace event
+}  // namespace crew::rules
+
+#endif  // CREW_RULES_EVENT_H_

@@ -1,0 +1,117 @@
+#include "runtime/coord.h"
+
+#include <algorithm>
+
+namespace crew::runtime {
+
+std::vector<const RelativeOrderReq*> CoordinationSpec::RelativeOrdersOf(
+    const std::string& workflow) const {
+  std::vector<const RelativeOrderReq*> out;
+  for (const RelativeOrderReq& req : relative_orders) {
+    if (req.workflow_a == workflow || req.workflow_b == workflow) {
+      out.push_back(&req);
+    }
+  }
+  return out;
+}
+
+std::vector<const MutexReq*> CoordinationSpec::MutexesOf(
+    const std::string& workflow, StepId step) const {
+  std::vector<const MutexReq*> out;
+  for (const MutexReq& req : mutexes) {
+    for (const auto& [wf, s] : req.critical_steps) {
+      if (wf == workflow && s == step) {
+        out.push_back(&req);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const RollbackDepReq*> CoordinationSpec::RollbackDepsLeading(
+    const std::string& workflow) const {
+  std::vector<const RollbackDepReq*> out;
+  for (const RollbackDepReq& req : rollback_deps) {
+    if (req.workflow_a == workflow) out.push_back(&req);
+  }
+  return out;
+}
+
+int CoordinationSpec::RequirementCount(const std::string& workflow) const {
+  int count = 0;
+  for (const RelativeOrderReq& req : relative_orders) {
+    if (req.workflow_a == workflow || req.workflow_b == workflow) {
+      count += static_cast<int>(req.step_pairs.size());
+    }
+  }
+  for (const MutexReq& req : mutexes) {
+    for (const auto& [wf, step] : req.critical_steps) {
+      if (wf == workflow) ++count;
+    }
+  }
+  for (const RollbackDepReq& req : rollback_deps) {
+    if (req.workflow_a == workflow || req.workflow_b == workflow) ++count;
+  }
+  return count;
+}
+
+std::vector<RoBinding> ConflictTracker::OnInstanceStart(
+    const InstanceId& instance) {
+  std::vector<RoBinding> bindings;
+  for (const RelativeOrderReq& req : spec_->relative_orders) {
+    // The new instance may play role B (lagging behind a live A instance)
+    // or role A (lagging behind a live earlier B instance, when the
+    // requirement relates a class to itself or classes started
+    // interleaved). Ordering follows start order: earlier leads.
+    auto bind_against = [&](const std::string& lead_class, bool new_is_a) {
+      auto it = live_.find(lead_class);
+      if (it == live_.end() || it->second.empty()) return;
+      const InstanceId& lead = it->second.back();
+      if (lead == instance) return;
+      RoBinding binding;
+      binding.leading = lead;
+      binding.lagging = instance;
+      for (const auto& [step_a, step_b] : req.step_pairs) {
+        // Pair is (A-step, B-step); map onto (lead step, lag step).
+        binding.step_pairs.emplace_back(new_is_a ? step_b : step_a,
+                                        new_is_a ? step_a : step_b);
+      }
+      bindings.push_back(std::move(binding));
+    };
+    if (req.workflow_b == instance.workflow) {
+      bind_against(req.workflow_a, /*new_is_a=*/false);
+    } else if (req.workflow_a == instance.workflow) {
+      bind_against(req.workflow_b, /*new_is_a=*/true);
+    }
+  }
+  live_[instance.workflow].push_back(instance);
+  return bindings;
+}
+
+std::vector<std::pair<InstanceId, StepId>>
+ConflictTracker::RollbackDependents(const InstanceId& instance,
+                                    StepId to_step) const {
+  std::vector<std::pair<InstanceId, StepId>> out;
+  for (const RollbackDepReq& req : spec_->rollback_deps) {
+    if (req.workflow_a != instance.workflow) continue;
+    // Dependency triggers when rolling back to or above step_a.
+    if (req.step_a != kInvalidStep && to_step > req.step_a) continue;
+    auto it = live_.find(req.workflow_b);
+    if (it == live_.end()) continue;
+    for (const InstanceId& dependent : it->second) {
+      if (dependent == instance) continue;
+      out.emplace_back(dependent, req.step_b);
+    }
+  }
+  return out;
+}
+
+void ConflictTracker::OnInstanceEnd(const InstanceId& instance) {
+  auto it = live_.find(instance.workflow);
+  if (it == live_.end()) return;
+  auto& list = it->second;
+  list.erase(std::remove(list.begin(), list.end(), instance), list.end());
+}
+
+}  // namespace crew::runtime

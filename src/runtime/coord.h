@@ -1,0 +1,105 @@
+#ifndef CREW_RUNTIME_COORD_H_
+#define CREW_RUNTIME_COORD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "model/schema.h"
+
+namespace crew::runtime {
+
+/// The three coordinated-execution building blocks of §3, declared at the
+/// class (schema) level and bound to concrete instance pairs at start
+/// time.
+
+/// Relative ordering: conflicting step pairs of two workflow classes must
+/// execute in the same relative order. The first pair establishes which
+/// instance leads; subsequent pairs inherit the direction.
+struct RelativeOrderReq {
+  std::string id;
+  std::string workflow_a;
+  std::string workflow_b;
+  /// (step in A, step in B) pairs, first pair = ordering-establishing.
+  std::vector<std::pair<StepId, StepId>> step_pairs;
+};
+
+/// Mutual exclusion: the named steps (across classes) must never execute
+/// concurrently; modelled as a logical resource acquired for the step's
+/// duration.
+struct MutexReq {
+  std::string id;
+  std::string resource;
+  std::vector<std::pair<std::string, StepId>> critical_steps;  // (wf, step)
+};
+
+/// Rollback dependency: when an instance of `workflow_a` rolls back to or
+/// past `step_a`, bound instances of `workflow_b` must roll back to
+/// `step_b`.
+struct RollbackDepReq {
+  std::string id;
+  std::string workflow_a;
+  StepId step_a = kInvalidStep;
+  std::string workflow_b;
+  StepId step_b = kInvalidStep;
+};
+
+/// All coordinated-execution requirements of a deployed system.
+struct CoordinationSpec {
+  std::vector<RelativeOrderReq> relative_orders;
+  std::vector<MutexReq> mutexes;
+  std::vector<RollbackDepReq> rollback_deps;
+
+  /// Requirements whose workflow_a or workflow_b equals `workflow`.
+  std::vector<const RelativeOrderReq*> RelativeOrdersOf(
+      const std::string& workflow) const;
+  std::vector<const MutexReq*> MutexesOf(const std::string& workflow,
+                                         StepId step) const;
+  std::vector<const RollbackDepReq*> RollbackDepsLeading(
+      const std::string& workflow) const;
+
+  /// Total per-step coordination intensity (me+ro+rd in the paper's
+  /// Table 3 terms) for a workflow class, used for reporting.
+  int RequirementCount(const std::string& workflow) const;
+};
+
+/// A concrete binding between two live instances, produced when a new
+/// instance starts against the latest prior conflicting instance (order
+/// processing semantics: earlier instance leads).
+struct RoBinding {
+  InstanceId leading;
+  InstanceId lagging;
+  /// (leading step, lagging step) pairs.
+  std::vector<std::pair<StepId, StepId>> step_pairs;
+};
+
+/// Tracks the newest instance per workflow class and mints RO bindings
+/// for new instances. Used by the front end / engines at instance start.
+class ConflictTracker {
+ public:
+  explicit ConflictTracker(const CoordinationSpec* spec) : spec_(spec) {}
+
+  /// Registers the new instance and returns the RO bindings created
+  /// against previously started instances (the new instance lags).
+  std::vector<RoBinding> OnInstanceStart(const InstanceId& instance);
+
+  /// Rollback-dependency fan-out: instances of workflow_b started while
+  /// an instance of workflow_a was live. Returns (dependent instance,
+  /// rollback-to step) pairs for a rollback of `instance` to `to_step`.
+  std::vector<std::pair<InstanceId, StepId>> RollbackDependents(
+      const InstanceId& instance, StepId to_step) const;
+
+  /// Removes a terminated instance from conflict consideration.
+  void OnInstanceEnd(const InstanceId& instance);
+
+ private:
+  const CoordinationSpec* spec_;
+  /// Live instances per class, in start order.
+  std::map<std::string, std::vector<InstanceId>> live_;
+};
+
+}  // namespace crew::runtime
+
+#endif  // CREW_RUNTIME_COORD_H_

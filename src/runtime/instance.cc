@@ -1,0 +1,171 @@
+#include "runtime/instance.h"
+
+#include <algorithm>
+
+namespace crew::runtime {
+
+void InstanceState::SetData(const std::string& item, Value value) {
+  data_[item] = std::move(value);
+}
+
+std::optional<Value> InstanceState::GetData(const std::string& item) const {
+  auto it = data_.find(item);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void InstanceState::MergeData(const std::map<std::string, Value>& data) {
+  for (const auto& [name, value] : data) {
+    data_[name] = value;
+  }
+}
+
+const StepRecord* InstanceState::FindStepRecord(StepId step) const {
+  auto it = steps_.find(step);
+  return it == steps_.end() ? nullptr : &it->second;
+}
+
+StepRunState InstanceState::StepState(StepId step) const {
+  const StepRecord* record = FindStepRecord(step);
+  return record == nullptr ? StepRunState::kUnknown : record->state;
+}
+
+void InstanceState::NoteForwarded(StepId step, NodeId agent) {
+  std::vector<NodeId>& agents = forwarded_[step];
+  if (std::find(agents.begin(), agents.end(), agent) == agents.end()) {
+    agents.push_back(agent);
+  }
+}
+
+void InstanceState::ClearForwarded() { forwarded_.clear(); }
+
+void InstanceState::MergeRoLinks(const std::vector<RoLink>& links) {
+  for (const RoLink& link : links) {
+    if (std::find(ro_links_.begin(), ro_links_.end(), link) ==
+        ro_links_.end()) {
+      ro_links_.push_back(link);
+    }
+  }
+}
+
+bool InstanceState::MergeEvent(const EventOcc& event) {
+  EventEntry& entry = events_[event.token];
+  if (event.occ > entry.occ) {
+    entry.occ = event.occ;
+    entry.epoch = event.epoch;
+    entry.valid = true;
+    return true;
+  }
+  // Same or older occurrence: never resurrects an invalidated event.
+  return false;
+}
+
+EventOcc InstanceState::PostLocalEvent(const std::string& token) {
+  EventEntry& entry = events_[token];
+  entry.occ += 1;
+  entry.epoch = epoch_;
+  entry.valid = true;
+  return EventOcc{token, entry.occ, entry.epoch};
+}
+
+std::vector<std::string> InstanceState::InvalidateDownstream(
+    StepId origin, int64_t new_epoch) {
+  std::vector<std::string> invalidated;
+  if (!schema_) return invalidated;
+  for (StepId step : schema_->downstream_including(origin)) {
+    for (const std::string& token :
+         {std::string("S") + std::to_string(step) + ".done",
+          std::string("S") + std::to_string(step) + ".fail"}) {
+      auto it = events_.find(token);
+      if (it != events_.end() && it->second.valid &&
+          it->second.epoch < new_epoch) {
+        it->second.valid = false;
+        invalidated.push_back(token);
+      }
+    }
+  }
+  return invalidated;
+}
+
+std::vector<EventOcc> InstanceState::ValidEvents() const {
+  std::vector<EventOcc> out;
+  for (const auto& [token, entry] : events_) {
+    if (entry.valid) out.push_back(EventOcc{token, entry.occ, entry.epoch});
+  }
+  return out;
+}
+
+bool InstanceState::EventValid(const std::string& token) const {
+  auto it = events_.find(token);
+  return it != events_.end() && it->second.valid;
+}
+
+void InstanceState::MergeRdLinks(const std::vector<RdLink>& links) {
+  for (const RdLink& link : links) {
+    if (std::find(rd_links_.begin(), rd_links_.end(), link) ==
+        rd_links_.end()) {
+      rd_links_.push_back(link);
+    }
+  }
+}
+
+std::map<std::string, Value> InstanceState::ResolveInputs(
+    StepId step) const {
+  std::map<std::string, Value> inputs;
+  if (!schema_) return inputs;
+  for (const std::string& item : schema_->schema().step(step).inputs) {
+    std::optional<Value> v = GetData(item);
+    if (v.has_value()) inputs[item] = *v;
+  }
+  return inputs;
+}
+
+expr::FunctionEnvironment InstanceState::DataEnv() const {
+  return expr::FunctionEnvironment(
+      [this](const std::string& name) { return GetData(name); });
+}
+
+expr::FunctionEnvironment InstanceState::OcrEnv(StepId step) const {
+  return expr::FunctionEnvironment(
+      [this](const std::string& name) { return GetData(name); },
+      [this, step](const std::string& name) -> std::optional<Value> {
+        const StepRecord* record = FindStepRecord(step);
+        if (record == nullptr) return std::nullopt;
+        auto it = record->prev_inputs.find(name);
+        if (it != record->prev_inputs.end()) return it->second;
+        auto jt = record->prev_outputs.find(name);
+        if (jt != record->prev_outputs.end()) return jt->second;
+        return std::nullopt;
+      });
+}
+
+void InstanceState::MergePacket(const WorkflowPacket& packet) {
+  MergeData(packet.data);
+  MergeRoLinks(packet.ro_links);
+  MergeRdLinks(packet.rd_links);
+  for (const auto& [step, agent] : packet.executed_by) {
+    executed_by_[step] = agent;
+  }
+  if (packet.epoch > epoch_) {
+    epoch_ = packet.epoch;
+  }
+}
+
+WorkflowPacket InstanceState::MakePacket(StepId target_step) const {
+  WorkflowPacket packet;
+  packet.instance = id_;
+  packet.target_step = target_step;
+  packet.epoch = epoch_;
+  packet.data = data_;
+  packet.events = ValidEvents();
+  packet.executed_by = executed_by_;
+  packet.ro_links = ro_links_;
+  packet.rd_links = rd_links_;
+  return packet;
+}
+
+void InstanceState::SetExecutedBy(StepId step, NodeId agent) {
+  executed_by_[step] = agent;
+}
+
+}  // namespace crew::runtime

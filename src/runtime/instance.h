@@ -1,0 +1,160 @@
+#ifndef CREW_RUNTIME_INSTANCE_H_
+#define CREW_RUNTIME_INSTANCE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "expr/eval.h"
+#include "model/compiled.h"
+#include "runtime/packet.h"
+#include "runtime/wire.h"
+
+namespace crew::runtime {
+
+/// Per-step execution record within an instance (the "step status table").
+/// `state` records the last *completed* outcome; `in_flight` marks a
+/// program run in progress (the two together yield the StepStatus wire
+/// answer: in_flight => "executing").
+struct StepRecord {
+  StepRunState state = StepRunState::kUnknown;
+  bool in_flight = false;
+  int attempts = 0;          ///< program invocations so far
+  int64_t exec_seq = 0;      ///< global order stamp of the last completion
+  int64_t epoch = -1;        ///< epoch of the last completion
+  NodeId executed_by = kInvalidNode;
+  /// Inputs as seen at the last execution — drives changed() in OCR
+  /// re-execution conditions.
+  std::map<std::string, Value> prev_inputs;
+  /// Outputs of the last execution — reused when OCR decides kReuse.
+  std::map<std::string, Value> prev_outputs;
+};
+
+/// The state of one workflow instance as known at one node: the workflow
+/// instance table (data + context), the step status table, and the
+/// bookkeeping the distributed protocols need (epoch, halt flags,
+/// forwarded-to sets, RO obligations). In distributed control each agent
+/// holds a *partial* copy, merged from arriving packets; in centralized
+/// control the engine's copy is complete.
+class InstanceState {
+ public:
+  InstanceState() = default;
+  InstanceState(InstanceId id, model::CompiledSchemaPtr schema)
+      : id_(std::move(id)), schema_(std::move(schema)) {}
+
+  const InstanceId& id() const { return id_; }
+  const model::CompiledSchemaPtr& schema() const { return schema_; }
+
+  // ---- data table ----
+  void SetData(const std::string& item, Value value);
+  std::optional<Value> GetData(const std::string& item) const;
+  const std::map<std::string, Value>& data() const { return data_; }
+  /// Merges items from a packet (packet values win: they are newer).
+  void MergeData(const std::map<std::string, Value>& data);
+
+  // ---- step status table ----
+  StepRecord& step_record(StepId step) { return steps_[step]; }
+  const StepRecord* FindStepRecord(StepId step) const;
+  StepRunState StepState(StepId step) const;
+  /// Next global execution sequence stamp.
+  int64_t NextExecSeq() { return ++exec_seq_; }
+  /// Current (last issued) execution sequence stamp.
+  int64_t exec_seq() const { return exec_seq_; }
+
+  // ---- epochs & halting (distributed failure handling) ----
+  int64_t epoch() const { return epoch_; }
+  void set_epoch(int64_t epoch) { epoch_ = epoch; }
+  /// True while a HaltThread for `>= epoch` quiesced this node's thread:
+  /// completions must not forward packets.
+  bool halted() const { return halted_; }
+  void set_halted(bool halted) { halted_ = halted; }
+
+  /// Agents this node already forwarded packets to for this instance
+  /// (per target step), so HaltThread can chase them (§5.2).
+  void NoteForwarded(StepId step, NodeId agent);
+  const std::map<StepId, std::vector<NodeId>>& forwarded() const {
+    return forwarded_;
+  }
+  void ClearForwarded();
+
+  // ---- event occurrence table ----
+  /// Per-token occurrence tracking mirroring the packet's event entries.
+  struct EventEntry {
+    int64_t occ = 0;
+    int64_t epoch = 0;
+    bool valid = false;
+  };
+
+  /// Merges an event occurrence from a packet. Returns true iff the
+  /// occurrence is *fresh* here (new token or higher occurrence number) —
+  /// only then should the caller Post() it into the rule engine.
+  bool MergeEvent(const EventOcc& event);
+
+  /// Posts a locally generated occurrence (occ+1 at the current epoch).
+  EventOcc PostLocalEvent(const std::string& token);
+
+  /// Invalidates step.done/step.fail events of steps downstream of
+  /// `origin` (inclusive) that were produced under an epoch older than
+  /// `new_epoch`. Returns the invalidated tokens so the caller can
+  /// Invalidate() them in the rule engine. WF-level events are untouched.
+  std::vector<std::string> InvalidateDownstream(StepId origin,
+                                                int64_t new_epoch);
+
+  /// All currently valid event occurrences (packet payload).
+  std::vector<EventOcc> ValidEvents() const;
+
+  bool EventValid(const std::string& token) const;
+
+  // ---- relative ordering obligations ----
+  void MergeRoLinks(const std::vector<RoLink>& links);
+  const std::vector<RoLink>& ro_links() const { return ro_links_; }
+
+  // ---- rollback dependency obligations ----
+  void MergeRdLinks(const std::vector<RdLink>& links);
+  const std::vector<RdLink>& rd_links() const { return rd_links_; }
+
+  // ---- input snapshots for OCR ----
+  /// Resolves the declared inputs of `step` from the data table.
+  std::map<std::string, Value> ResolveInputs(StepId step) const;
+
+  /// Environment for evaluating a rule/arc condition: looks up the data
+  /// table only.
+  expr::FunctionEnvironment DataEnv() const;
+  /// Environment for a step's OCR re-execution condition: current data
+  /// table + the step's previous-execution snapshot.
+  expr::FunctionEnvironment OcrEnv(StepId step) const;
+
+  /// Applies an arriving packet: merge data, RO links, executed_by.
+  /// (Events go to the rule engine, owned by the caller.)
+  void MergePacket(const WorkflowPacket& packet);
+
+  /// Builds the outgoing packet state: full data table, executed_by map
+  /// and RO links (events are supplied by the caller).
+  WorkflowPacket MakePacket(StepId target_step) const;
+
+  const std::map<StepId, NodeId>& executed_by() const {
+    return executed_by_;
+  }
+  void SetExecutedBy(StepId step, NodeId agent);
+
+ private:
+  InstanceId id_;
+  model::CompiledSchemaPtr schema_;
+  std::map<std::string, Value> data_;
+  std::map<StepId, StepRecord> steps_;
+  std::map<StepId, NodeId> executed_by_;
+  std::map<StepId, std::vector<NodeId>> forwarded_;
+  std::vector<RoLink> ro_links_;
+  std::vector<RdLink> rd_links_;
+  std::map<std::string, EventEntry> events_;
+  int64_t exec_seq_ = 0;
+  int64_t epoch_ = 0;
+  bool halted_ = false;
+};
+
+}  // namespace crew::runtime
+
+#endif  // CREW_RUNTIME_INSTANCE_H_

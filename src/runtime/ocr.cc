@@ -1,0 +1,74 @@
+#include "runtime/ocr.h"
+
+#include <cmath>
+
+#include "expr/eval.h"
+
+namespace crew::runtime {
+
+const char* OcrDecisionName(OcrDecision decision) {
+  switch (decision) {
+    case OcrDecision::kFirstExecution: return "first-execution";
+    case OcrDecision::kReuse: return "reuse";
+    case OcrDecision::kPartialCompIncrReexec: return "partial+incremental";
+    case OcrDecision::kFullCompReexec: return "full-comp+reexec";
+  }
+  return "?";
+}
+
+OcrDecision DecideOcr(const model::Step& step, const InstanceState& state) {
+  const StepRecord* record = state.FindStepRecord(step.id);
+  if (record == nullptr || record->state != StepRunState::kDone) {
+    // Never completed here (or already compensated): plain execution.
+    return OcrDecision::kFirstExecution;
+  }
+
+  expr::FunctionEnvironment env = state.OcrEnv(step.id);
+
+  // Figure 5: "check the compensation and re-execution condition first".
+  // A null condition means the designer gave no reuse opportunity: the
+  // step always re-executes.
+  if (step.ocr.reexec_condition) {
+    if (!expr::EvaluateCondition(step.ocr.reexec_condition, env)) {
+      return OcrDecision::kReuse;
+    }
+  }
+
+  const bool partial_configured =
+      step.ocr.partial_compensation_fraction < 1.0 ||
+      step.ocr.incremental_reexec_fraction < 1.0;
+  if (partial_configured) {
+    if (!step.ocr.partial_applicable_condition ||
+        expr::EvaluateCondition(step.ocr.partial_applicable_condition,
+                                env)) {
+      return OcrDecision::kPartialCompIncrReexec;
+    }
+  }
+  return OcrDecision::kFullCompReexec;
+}
+
+OcrCost CostOf(const model::Step& step, OcrDecision decision) {
+  OcrCost cost;
+  const double nominal = static_cast<double>(step.cost);
+  switch (decision) {
+    case OcrDecision::kFirstExecution:
+      cost.reexecution = step.cost;
+      break;
+    case OcrDecision::kReuse:
+      // Only the condition check, charged as navigation by the caller.
+      break;
+    case OcrDecision::kPartialCompIncrReexec:
+      cost.compensation = static_cast<int64_t>(
+          std::llround(nominal * step.ocr.partial_compensation_fraction));
+      cost.reexecution = static_cast<int64_t>(
+          std::llround(nominal * step.ocr.incremental_reexec_fraction));
+      break;
+    case OcrDecision::kFullCompReexec:
+      cost.compensation = step.cost;
+      cost.reexecution = step.cost;
+      break;
+  }
+  return cost;
+}
+
+}  // namespace crew::runtime

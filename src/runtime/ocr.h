@@ -1,0 +1,48 @@
+#ifndef CREW_RUNTIME_OCR_H_
+#define CREW_RUNTIME_OCR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "model/step.h"
+#include "runtime/instance.h"
+
+namespace crew::runtime {
+
+/// What to do when a StepExecute arrives for a step in the context of a
+/// partial rollback + re-execution (the OCR algorithm, Figure 5).
+enum class OcrDecision {
+  kFirstExecution,         ///< never executed: run normally
+  kReuse,                  ///< previous results stand: emit step.done only
+  kPartialCompIncrReexec,  ///< partial compensation + incremental re-exec
+  kFullCompReexec,         ///< complete compensation + complete re-exec
+};
+
+const char* OcrDecisionName(OcrDecision decision);
+
+/// Costs (in instructions) the decision implies, split so load accounting
+/// can attribute compensation vs re-execution work.
+struct OcrCost {
+  int64_t compensation = 0;
+  int64_t reexecution = 0;
+  int64_t total() const { return compensation + reexecution; }
+};
+
+/// Implements the decision box of the OCR algorithm:
+///  - no prior completed execution           -> kFirstExecution
+///  - reexec condition false                 -> kReuse (savings!)
+///  - partial path configured and applicable -> kPartialCompIncrReexec
+///  - otherwise                              -> kFullCompReexec
+///
+/// The re-execution condition is evaluated with the step's OcrEnv so
+/// changed(x) compares against the previous execution's snapshot.
+OcrDecision DecideOcr(const model::Step& step, const InstanceState& state);
+
+/// Cost model for a decision given the step's nominal cost. Compensation
+/// cost equals program cost scaled by the partial fraction; re-execution
+/// likewise with the incremental fraction.
+OcrCost CostOf(const model::Step& step, OcrDecision decision);
+
+}  // namespace crew::runtime
+
+#endif  // CREW_RUNTIME_OCR_H_

@@ -1,0 +1,150 @@
+#include "runtime/packet.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "runtime/kv.h"
+
+namespace crew::runtime {
+
+std::string RoLink::Serialize() const {
+  return other.workflow + "#" + std::to_string(other.number) + ":S" +
+         std::to_string(my_step) + ">S" + std::to_string(other_step);
+}
+
+Result<RoLink> RoLink::Parse(const std::string& text, bool leading) {
+  // Format: <wf>#<num>:S<my>>S<other>
+  size_t hash = text.rfind('#');
+  size_t colon = text.find(':', hash == std::string::npos ? 0 : hash);
+  if (hash == std::string::npos || colon == std::string::npos) {
+    return Status::Corruption("bad RO link: " + text);
+  }
+  RoLink link;
+  link.leading = leading;
+  link.other.workflow = text.substr(0, hash);
+  link.other.number = strtoll(text.c_str() + hash + 1, nullptr, 10);
+  const char* p = text.c_str() + colon + 1;
+  if (*p != 'S') return Status::Corruption("bad RO link steps: " + text);
+  char* end = nullptr;
+  link.my_step = static_cast<StepId>(strtol(p + 1, &end, 10));
+  if (end == nullptr || *end != '>' || *(end + 1) != 'S') {
+    return Status::Corruption("bad RO link steps: " + text);
+  }
+  link.other_step = static_cast<StepId>(strtol(end + 2, nullptr, 10));
+  if (link.my_step <= 0 || link.other_step <= 0) {
+    return Status::Corruption("bad RO link steps: " + text);
+  }
+  return link;
+}
+
+std::string RdLink::Serialize() const {
+  return other.workflow + "#" + std::to_string(other.number) + ":S" +
+         std::to_string(my_step) + ">S" + std::to_string(other_step);
+}
+
+Result<RdLink> RdLink::Parse(const std::string& text) {
+  Result<RoLink> ro = RoLink::Parse(text, /*leading=*/true);
+  if (!ro.ok()) return ro.status();
+  RdLink link;
+  link.other = ro.value().other;
+  link.my_step = ro.value().my_step;
+  link.other_step = ro.value().other_step;
+  return link;
+}
+
+std::string EventOcc::Serialize() const {
+  return token + "@" + std::to_string(occ) + "@" + std::to_string(epoch);
+}
+
+Result<EventOcc> EventOcc::Parse(const std::string& text) {
+  size_t at2 = text.rfind('@');
+  if (at2 == std::string::npos || at2 == 0) {
+    return Status::Corruption("bad event occurrence: " + text);
+  }
+  size_t at1 = text.rfind('@', at2 - 1);
+  if (at1 == std::string::npos) {
+    return Status::Corruption("bad event occurrence: " + text);
+  }
+  EventOcc e;
+  e.token = text.substr(0, at1);
+  e.occ = strtoll(text.c_str() + at1 + 1, nullptr, 10);
+  e.epoch = strtoll(text.c_str() + at2 + 1, nullptr, 10);
+  if (e.token.empty() || e.occ <= 0) {
+    return Status::Corruption("bad event occurrence: " + text);
+  }
+  return e;
+}
+
+std::string WorkflowPacket::Serialize() const {
+  KvWriter w;
+  w.Add("wf", instance.workflow);
+  w.AddInt("inst", instance.number);
+  w.AddInt("step", target_step);
+  w.AddInt("epoch", epoch);
+  for (const auto& [name, value] : data) {
+    w.Add("d." + name, value.ToString());
+  }
+  for (const EventOcc& e : events) {
+    w.Add("ev", e.Serialize());
+  }
+  for (const auto& [step, agent] : executed_by) {
+    w.Add("by", std::to_string(step) + ":" + std::to_string(agent));
+  }
+  for (const RoLink& link : ro_links) {
+    w.Add(link.leading ? "ro_lead" : "ro_lag", link.Serialize());
+  }
+  for (const RdLink& link : rd_links) {
+    w.Add("rd", link.Serialize());
+  }
+  return w.Finish();
+}
+
+Result<WorkflowPacket> WorkflowPacket::Parse(const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  const KvReader& r = reader.value();
+
+  WorkflowPacket p;
+  Result<std::string> wf = r.GetRequired("wf");
+  if (!wf.ok()) return wf.status();
+  p.instance.workflow = std::move(wf).value();
+  Result<int64_t> inst = r.GetInt("inst");
+  if (!inst.ok()) return inst.status();
+  p.instance.number = inst.value();
+  Result<int64_t> step = r.GetInt("step");
+  if (!step.ok()) return step.status();
+  p.target_step = static_cast<StepId>(step.value());
+  p.epoch = r.GetIntOr("epoch", 0);
+
+  for (const auto& [key, raw] : r.entries()) {
+    if (StartsWith(key, "d.")) {
+      Result<Value> v = Value::Parse(raw);
+      if (!v.ok()) return v.status();
+      p.data[key.substr(2)] = std::move(v).value();
+    } else if (key == "ev") {
+      Result<EventOcc> e = EventOcc::Parse(raw);
+      if (!e.ok()) return e.status();
+      p.events.push_back(std::move(e).value());
+    } else if (key == "by") {
+      size_t colon = raw.find(':');
+      if (colon == std::string::npos) {
+        return Status::Corruption("bad by entry: " + raw);
+      }
+      StepId s = static_cast<StepId>(strtol(raw.c_str(), nullptr, 10));
+      NodeId n =
+          static_cast<NodeId>(strtol(raw.c_str() + colon + 1, nullptr, 10));
+      p.executed_by[s] = n;
+    } else if (key == "ro_lead" || key == "ro_lag") {
+      Result<RoLink> link = RoLink::Parse(raw, key == "ro_lead");
+      if (!link.ok()) return link.status();
+      p.ro_links.push_back(std::move(link).value());
+    } else if (key == "rd") {
+      Result<RdLink> link = RdLink::Parse(raw);
+      if (!link.ok()) return link.status();
+      p.rd_links.push_back(std::move(link).value());
+    }
+  }
+  return p;
+}
+
+}  // namespace crew::runtime

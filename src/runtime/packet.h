@@ -1,0 +1,89 @@
+#ifndef CREW_RUNTIME_PACKET_H_
+#define CREW_RUNTIME_PACKET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace crew::runtime {
+
+/// One relative-ordering obligation carried with a workflow instance
+/// (the "R.O. Leading / R.O. Lagging" lines of the sample packet in
+/// Figure 7). `leading == true` means *this* instance leads: after
+/// executing `my_step` the agent must notify the lagging instance's
+/// agent with an AddEvent. `leading == false` means this instance lags:
+/// the rule firing `my_step` gets an AddPrecondition on the leading
+/// instance's corresponding step.done.
+struct RoLink {
+  InstanceId other;          ///< the other instance of the ordered pair
+  StepId my_step = kInvalidStep;
+  StepId other_step = kInvalidStep;
+  bool leading = false;
+
+  bool operator==(const RoLink& o) const {
+    return other == o.other && my_step == o.my_step &&
+           other_step == o.other_step && leading == o.leading;
+  }
+
+  /// "WF3#15:S2>S4" wire form (see packet.cc).
+  std::string Serialize() const;
+  static Result<RoLink> Parse(const std::string& text, bool leading);
+};
+
+/// A rollback-dependency binding carried with the *leading* instance:
+/// if this instance rolls back to or above `my_step`, the dependent
+/// instance must be rolled back to `other_step` (§3 rollback dependency).
+struct RdLink {
+  InstanceId other;  ///< the dependent (lagging) instance
+  StepId my_step = kInvalidStep;
+  StepId other_step = kInvalidStep;
+
+  bool operator==(const RdLink& o) const {
+    return other == o.other && my_step == o.my_step &&
+           other_step == o.other_step;
+  }
+
+  std::string Serialize() const;
+  static Result<RdLink> Parse(const std::string& text);
+};
+
+/// One event occurrence carried in a packet: the token, its occurrence
+/// number at the producing instance (so loop iterations re-post and
+/// duplicate fan-out packets do not), and the epoch it was produced in
+/// (so halt-thread invalidation never kills newer-epoch events).
+struct EventOcc {
+  std::string token;
+  int64_t occ = 1;
+  int64_t epoch = 0;
+
+  std::string Serialize() const;  // "token@occ@epoch"
+  static Result<EventOcc> Parse(const std::string& text);
+};
+
+/// The workflow packet exchanged between distributed agents (§4.1,
+/// Figure 7). It accumulates the instance's state as control flows from
+/// agent to agent: data items, (valid) events, which agent executed which
+/// step, relative-ordering obligations, and the re-execution epoch.
+struct WorkflowPacket {
+  InstanceId instance;
+  StepId target_step = kInvalidStep;  ///< Action: Execute S<target_step>
+  int64_t epoch = 0;                  ///< re-execution generation
+
+  std::map<std::string, Value> data;          ///< data table snapshot
+  std::vector<EventOcc> events;               ///< valid event occurrences
+  std::map<StepId, NodeId> executed_by;       ///< step -> executing agent
+  std::vector<RoLink> ro_links;               ///< ordering obligations
+  std::vector<RdLink> rd_links;               ///< rollback dependencies
+
+  /// Serialized size is the wire size used for byte metrics.
+  std::string Serialize() const;
+  static Result<WorkflowPacket> Parse(const std::string& payload);
+};
+
+}  // namespace crew::runtime
+
+#endif  // CREW_RUNTIME_PACKET_H_

@@ -1,0 +1,96 @@
+#include "runtime/programs.h"
+
+namespace crew::runtime {
+
+void ProgramRegistry::Register(const std::string& name, ProgramFn fn) {
+  programs_[name] = std::move(fn);
+}
+
+bool ProgramRegistry::Contains(const std::string& name) const {
+  return programs_.count(name) > 0;
+}
+
+Result<ProgramOutcome> ProgramRegistry::Run(
+    const std::string& name, const ProgramContext& context) const {
+  auto it = programs_.find(name);
+  if (it == programs_.end()) {
+    return Status::NotFound("no program registered as '" + name + "'");
+  }
+  return it->second(context);
+}
+
+void ProgramRegistry::RegisterBuiltins() {
+  Register("noop", [](const ProgramContext& ctx) {
+    ProgramOutcome out;
+    out.outputs["O1"] = Value(static_cast<int64_t>(ctx.attempt));
+    return out;
+  });
+  Register("copy", [](const ProgramContext& ctx) {
+    ProgramOutcome out;
+    int i = 1;
+    for (const auto& [name, value] : ctx.inputs) {
+      out.outputs["O" + std::to_string(i++)] = value;
+    }
+    return out;
+  });
+  Register("sum", [](const ProgramContext& ctx) {
+    ProgramOutcome out;
+    double sum = 0;
+    bool all_int = true;
+    for (const auto& [name, value] : ctx.inputs) {
+      if (value.is_numeric()) {
+        sum += value.NumericValue();
+        all_int = all_int && value.is_int();
+      }
+    }
+    out.outputs["O1"] =
+        all_int ? Value(static_cast<int64_t>(sum)) : Value(sum);
+    return out;
+  });
+  Register("fail_always", [](const ProgramContext&) {
+    ProgramOutcome out;
+    out.success = false;
+    return out;
+  });
+  Register("negate", [](const ProgramContext& ctx) {
+    ProgramOutcome out;
+    for (const auto& [name, value] : ctx.inputs) {
+      if (value.is_int()) {
+        out.outputs["O1"] = Value(-value.AsInt());
+        return out;
+      }
+      if (value.is_double()) {
+        out.outputs["O1"] = Value(-value.AsDouble());
+        return out;
+      }
+    }
+    out.outputs["O1"] = Value();
+    return out;
+  });
+}
+
+void ProgramRegistry::RegisterFlaky(const std::string& name, double pf) {
+  Register(name, [pf](const ProgramContext& ctx) {
+    ProgramOutcome out;
+    if (ctx.rng != nullptr && ctx.rng->Bernoulli(pf)) {
+      out.success = false;
+      return out;
+    }
+    out.outputs["O1"] = Value(static_cast<int64_t>(ctx.attempt));
+    return out;
+  });
+}
+
+void ProgramRegistry::RegisterFailFirstN(const std::string& name, int n) {
+  Register(name, [n](const ProgramContext& ctx) {
+    ProgramOutcome out;
+    if (ctx.attempt <= n) {
+      out.success = false;
+      return out;
+    }
+    out.outputs["O1"] = Value(static_cast<int64_t>(ctx.attempt));
+    return out;
+  });
+}
+
+}  // namespace crew::runtime

@@ -1,0 +1,69 @@
+#ifndef CREW_RUNTIME_PROGRAMS_H_
+#define CREW_RUNTIME_PROGRAMS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace crew::runtime {
+
+/// Inputs handed to a step program when executed (or compensated).
+/// Output names are unqualified ("O1"); the runtime namespaces them under
+/// the step ("S3.O1") before writing to the instance data table.
+struct ProgramContext {
+  InstanceId instance;
+  StepId step = kInvalidStep;
+  int attempt = 1;           ///< 1 on first execution, grows on retries
+  bool compensation = false; ///< true when running a compensation program
+  std::map<std::string, Value> inputs;
+  Rng* rng = nullptr;        ///< per-agent stream; may be null in tests
+};
+
+struct ProgramOutcome {
+  bool success = true;
+  std::map<std::string, Value> outputs;  // unqualified: "O1", "O2"...
+  int64_t cost = 0;  ///< instructions actually consumed (0 = step's nominal)
+};
+
+using ProgramFn = std::function<ProgramOutcome(const ProgramContext&)>;
+
+/// Step programs are black boxes registered by name. The registry is
+/// shared (read-only at run time) by all agents/engines.
+class ProgramRegistry {
+ public:
+  /// Registers (or replaces) a program.
+  void Register(const std::string& name, ProgramFn fn);
+
+  bool Contains(const std::string& name) const;
+
+  /// Runs the program; kNotFound if not registered.
+  Result<ProgramOutcome> Run(const std::string& name,
+                             const ProgramContext& context) const;
+
+  /// Registers the builtin programs used by tests/examples:
+  ///  - "noop": succeeds, O1 = attempt number;
+  ///  - "copy": O<i> = i-th input value (in name order);
+  ///  - "sum":  O1 = sum of numeric inputs;
+  ///  - "fail_always": always fails;
+  ///  - "negate": O1 = -first numeric input.
+  void RegisterBuiltins();
+
+  /// Registers "<base>" failing with probability `pf` per attempt (rng
+  /// draw), else O1 = attempt.
+  void RegisterFlaky(const std::string& name, double pf);
+
+  /// Registers "<base>" failing on attempts 1..n and succeeding after.
+  void RegisterFailFirstN(const std::string& name, int n);
+
+ private:
+  std::map<std::string, ProgramFn> programs_;
+};
+
+}  // namespace crew::runtime
+
+#endif  // CREW_RUNTIME_PROGRAMS_H_

@@ -1,0 +1,109 @@
+#include "runtime/rulegen.h"
+
+#include <algorithm>
+
+#include "expr/parser.h"
+#include "rules/event.h"
+
+namespace crew::runtime {
+namespace {
+
+/// Negated-conjunction condition for an else arc: not(c1) and not(c2)...
+expr::NodePtr ElseCondition(const model::CompiledSchema& schema,
+                            const model::ControlArc& else_arc) {
+  expr::NodePtr acc;
+  for (const model::ControlArc* sibling :
+       schema.forward_out(else_arc.from)) {
+    if (sibling->condition == nullptr) continue;
+    expr::NodePtr negated =
+        expr::MakeUnary(expr::UnaryOp::kNot, sibling->condition);
+    acc = acc ? expr::MakeBinary(expr::BinaryOp::kAnd, acc, negated)
+              : negated;
+  }
+  return acc;  // null if the split had no conditional siblings
+}
+
+/// done-events of steps that feed `step` through declared data arcs and
+/// are not already among `triggers`. Rules must wait for cross-branch
+/// data producers (§4.2: "the rule may require other step.done events
+/// depending on which of the steps it gets its input data from").
+void AppendDataTriggers(const model::CompiledSchema& schema, StepId step,
+                        std::vector<std::string>* triggers) {
+  for (const model::DataArc& arc : schema.schema().data_arcs()) {
+    if (arc.to != step) continue;
+    std::string token = rules::event::StepDone(arc.from);
+    if (std::find(triggers->begin(), triggers->end(), token) ==
+        triggers->end()) {
+      triggers->push_back(token);
+    }
+  }
+}
+
+}  // namespace
+
+std::string StepRulePrefix(StepId step) {
+  return "exec.S" + std::to_string(step) + ".";
+}
+
+std::vector<rules::Rule> MakeStepRules(const model::CompiledSchema& schema,
+                                       StepId step) {
+  std::vector<rules::Rule> out;
+  const model::Step& s = schema.schema().step(step);
+  const std::string prefix = StepRulePrefix(step);
+
+  if (step == schema.schema().start_step() &&
+      schema.forward_in(step).empty()) {
+    rules::Rule rule;
+    rule.id = prefix + "start";
+    rule.events = {rules::event::WorkflowStart()};
+    rule.action = {rules::ActionKind::kExecuteStep, step};
+    out.push_back(std::move(rule));
+  } else if (s.join == model::JoinKind::kAnd) {
+    rules::Rule rule;
+    rule.id = prefix + "join";
+    for (const model::ControlArc* arc : schema.forward_in(step)) {
+      rule.events.push_back(rules::event::StepDone(arc->from));
+    }
+    AppendDataTriggers(schema, step, &rule.events);
+    rule.action = {rules::ActionKind::kExecuteStep, step};
+    out.push_back(std::move(rule));
+  } else {
+    for (const model::ControlArc* arc : schema.forward_in(step)) {
+      rules::Rule rule;
+      rule.id = prefix + "via.S" + std::to_string(arc->from);
+      rule.events = {rules::event::StepDone(arc->from)};
+      AppendDataTriggers(schema, step, &rule.events);
+      if (arc->condition) {
+        rule.condition = arc->condition;
+      } else if (arc->is_else) {
+        rule.condition = ElseCondition(schema, *arc);
+      }
+      rule.action = {rules::ActionKind::kExecuteStep, step};
+      out.push_back(std::move(rule));
+    }
+  }
+
+  // Loop back-edges re-fire the loop head.
+  for (const model::ControlArc* arc : schema.back_in(step)) {
+    rules::Rule rule;
+    rule.id = prefix + "loop.S" + std::to_string(arc->from);
+    rule.events = {rules::event::StepDone(arc->from)};
+    rule.condition = arc->condition;
+    rule.action = {rules::ActionKind::kExecuteStep, step};
+    out.push_back(std::move(rule));
+  }
+
+  return out;
+}
+
+std::vector<rules::Rule> MakeAllRules(
+    const model::CompiledSchema& schema) {
+  std::vector<rules::Rule> out;
+  for (StepId id = 1; id <= schema.schema().num_steps(); ++id) {
+    std::vector<rules::Rule> step_rules = MakeStepRules(schema, id);
+    for (rules::Rule& rule : step_rules) out.push_back(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace crew::runtime

@@ -1,0 +1,39 @@
+#ifndef CREW_RUNTIME_RULEGEN_H_
+#define CREW_RUNTIME_RULEGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "model/compiled.h"
+#include "rules/engine.h"
+
+namespace crew::runtime {
+
+/// Instantiates the Event-Condition-Action rules that fire a step, from
+/// the compiled schema (the paper's "instances of the appropriate rules
+/// are created for each workflow instance", §3). Shared by all three
+/// control architectures.
+///
+/// Generated rules per step S:
+///  - start step: id "exec.S<k>.start", trigger {WF.start};
+///  - AND-join:   id "exec.S<k>.join", triggers = done events of every
+///                incoming forward arc source (+ data-arc producers);
+///  - otherwise:  one rule per incoming forward arc j->k:
+///                id "exec.S<k>.via.S<j>", trigger {S<j>.done} (+ data
+///                producers), condition = the arc's condition (an else
+///                arc gets the conjunction of its siblings' negations);
+///  - loop back-edges j->k: id "exec.S<k>.loop.S<j>", trigger
+///                {S<j>.done}, condition = the back arc's condition.
+std::vector<rules::Rule> MakeStepRules(const model::CompiledSchema& schema,
+                                       StepId step);
+
+/// All rules for every step of the schema.
+std::vector<rules::Rule> MakeAllRules(const model::CompiledSchema& schema);
+
+/// Rule-id prefix for the rules that fire `step` ("exec.S<k>."): used by
+/// AddPrecondition() to target every firing rule of a step.
+std::string StepRulePrefix(StepId step);
+
+}  // namespace crew::runtime
+
+#endif  // CREW_RUNTIME_RULEGEN_H_

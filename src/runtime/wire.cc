@@ -1,0 +1,706 @@
+#include "runtime/wire.h"
+
+#include "common/strings.h"
+#include "runtime/kv.h"
+
+namespace crew::runtime {
+namespace {
+
+void WriteInstance(KvWriter* w, const InstanceId& instance) {
+  w->Add("wf", instance.workflow);
+  w->AddInt("inst", instance.number);
+}
+
+Status ReadInstance(const KvReader& r, InstanceId* instance) {
+  Result<std::string> wf = r.GetRequired("wf");
+  if (!wf.ok()) return wf.status();
+  instance->workflow = std::move(wf).value();
+  Result<int64_t> number = r.GetInt("inst");
+  if (!number.ok()) return number.status();
+  instance->number = number.value();
+  return Status::OK();
+}
+
+void WriteDataMap(KvWriter* w, const std::string& prefix,
+                  const std::map<std::string, Value>& data) {
+  for (const auto& [name, value] : data) {
+    w->Add(prefix + name, value.ToString());
+  }
+}
+
+Status ReadDataMap(const KvReader& r, const std::string& prefix,
+                   std::map<std::string, Value>* data) {
+  for (const auto& [key, raw] : r.entries()) {
+    if (!StartsWith(key, prefix)) continue;
+    Result<Value> v = Value::Parse(raw);
+    if (!v.ok()) return v.status();
+    (*data)[key.substr(prefix.size())] = std::move(v).value();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* WorkflowStateName(WorkflowState state) {
+  switch (state) {
+    case WorkflowState::kUnknown: return "unknown";
+    case WorkflowState::kExecuting: return "executing";
+    case WorkflowState::kCommitted: return "committed";
+    case WorkflowState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+WorkflowState ParseWorkflowState(const std::string& name) {
+  if (name == "executing") return WorkflowState::kExecuting;
+  if (name == "committed") return WorkflowState::kCommitted;
+  if (name == "aborted") return WorkflowState::kAborted;
+  return WorkflowState::kUnknown;
+}
+
+const char* StepRunStateName(StepRunState state) {
+  switch (state) {
+    case StepRunState::kUnknown: return "unknown";
+    case StepRunState::kExecuting: return "executing";
+    case StepRunState::kDone: return "done";
+    case StepRunState::kFailed: return "failed";
+    case StepRunState::kCompensated: return "compensated";
+  }
+  return "?";
+}
+
+StepRunState ParseStepRunState(const std::string& name) {
+  if (name == "executing") return StepRunState::kExecuting;
+  if (name == "done") return StepRunState::kDone;
+  if (name == "failed") return StepRunState::kFailed;
+  if (name == "compensated") return StepRunState::kCompensated;
+  return StepRunState::kUnknown;
+}
+
+// ---- WorkflowStartMsg ----
+
+std::string WorkflowStartMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("reply_to", reply_to);
+  WriteDataMap(&w, "i.", inputs);
+  for (const RoLink& link : ro_links) {
+    w.Add(link.leading ? "ro_lead" : "ro_lag", link.Serialize());
+  }
+  for (const RdLink& link : rd_links) {
+    w.Add("rd", link.Serialize());
+  }
+  if (!parent.workflow.empty()) {
+    w.Add("parent_wf", parent.workflow);
+    w.AddInt("parent_inst", parent.number);
+    w.AddInt("parent_step", parent_step);
+  }
+  return w.Finish();
+}
+
+Result<WorkflowStartMsg> WorkflowStartMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  WorkflowStartMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  m.reply_to = static_cast<NodeId>(
+      reader.value().GetIntOr("reply_to", kInvalidNode));
+  CREW_RETURN_IF_ERROR(ReadDataMap(reader.value(), "i.", &m.inputs));
+  for (const auto& [key, raw] : reader.value().entries()) {
+    if (key == "ro_lead" || key == "ro_lag") {
+      Result<RoLink> link = RoLink::Parse(raw, key == "ro_lead");
+      if (!link.ok()) return link.status();
+      m.ro_links.push_back(std::move(link).value());
+    } else if (key == "rd") {
+      Result<RdLink> link = RdLink::Parse(raw);
+      if (!link.ok()) return link.status();
+      m.rd_links.push_back(std::move(link).value());
+    }
+  }
+  m.parent.workflow = reader.value().Get("parent_wf").value_or("");
+  m.parent.number = reader.value().GetIntOr("parent_inst", 0);
+  m.parent_step = static_cast<StepId>(
+      reader.value().GetIntOr("parent_step", kInvalidStep));
+  return m;
+}
+
+// ---- WorkflowChangeInputsMsg ----
+
+std::string WorkflowChangeInputsMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("origin", origin_step);
+  WriteDataMap(&w, "i.", new_inputs);
+  return w.Finish();
+}
+
+Result<WorkflowChangeInputsMsg> WorkflowChangeInputsMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  WorkflowChangeInputsMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  m.origin_step = static_cast<StepId>(
+      reader.value().GetIntOr("origin", kInvalidStep));
+  CREW_RETURN_IF_ERROR(ReadDataMap(reader.value(), "i.", &m.new_inputs));
+  return m;
+}
+
+// ---- WorkflowAbortMsg ----
+
+std::string WorkflowAbortMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  return w.Finish();
+}
+
+Result<WorkflowAbortMsg> WorkflowAbortMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  WorkflowAbortMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  return m;
+}
+
+// ---- WorkflowStatusMsg ----
+
+std::string WorkflowStatusMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("reply_to", reply_to);
+  return w.Finish();
+}
+
+Result<WorkflowStatusMsg> WorkflowStatusMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  WorkflowStatusMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  m.reply_to = static_cast<NodeId>(
+      reader.value().GetIntOr("reply_to", kInvalidNode));
+  return m;
+}
+
+// ---- WorkflowStatusReplyMsg ----
+
+std::string WorkflowStatusReplyMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.Add("state", WorkflowStateName(state));
+  return w.Finish();
+}
+
+Result<WorkflowStatusReplyMsg> WorkflowStatusReplyMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  WorkflowStatusReplyMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<std::string> state = reader.value().GetRequired("state");
+  if (!state.ok()) return state.status();
+  m.state = ParseWorkflowState(state.value());
+  return m;
+}
+
+// ---- StepExecuteMsg ----
+
+Result<StepExecuteMsg> StepExecuteMsg::Parse(const std::string& payload) {
+  Result<WorkflowPacket> packet = WorkflowPacket::Parse(payload);
+  if (!packet.ok()) return packet.status();
+  return StepExecuteMsg{std::move(packet).value()};
+}
+
+// ---- StepCompensateMsg ----
+
+std::string StepCompensateMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("step", step);
+  w.AddInt("epoch", epoch);
+  return w.Finish();
+}
+
+Result<StepCompensateMsg> StepCompensateMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  StepCompensateMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<int64_t> step = reader.value().GetInt("step");
+  if (!step.ok()) return step.status();
+  m.step = static_cast<StepId>(step.value());
+  m.epoch = reader.value().GetIntOr("epoch", 0);
+  return m;
+}
+
+// ---- StepCompletedMsg ----
+
+std::string StepCompletedMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("step", step);
+  w.AddInt("epoch", epoch);
+  WriteDataMap(&w, "r.", results);
+  return w.Finish();
+}
+
+Result<StepCompletedMsg> StepCompletedMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  StepCompletedMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<int64_t> step = reader.value().GetInt("step");
+  if (!step.ok()) return step.status();
+  m.step = static_cast<StepId>(step.value());
+  m.epoch = reader.value().GetIntOr("epoch", 0);
+  CREW_RETURN_IF_ERROR(ReadDataMap(reader.value(), "r.", &m.results));
+  return m;
+}
+
+// ---- StepStatusMsg ----
+
+std::string StepStatusMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("step", step);
+  w.AddInt("reply_to", reply_to);
+  return w.Finish();
+}
+
+Result<StepStatusMsg> StepStatusMsg::Parse(const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  StepStatusMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<int64_t> step = reader.value().GetInt("step");
+  if (!step.ok()) return step.status();
+  m.step = static_cast<StepId>(step.value());
+  m.reply_to = static_cast<NodeId>(
+      reader.value().GetIntOr("reply_to", kInvalidNode));
+  return m;
+}
+
+// ---- StepStatusReplyMsg ----
+
+std::string StepStatusReplyMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("step", step);
+  w.Add("state", StepRunStateName(state));
+  w.AddInt("responder", responder);
+  return w.Finish();
+}
+
+Result<StepStatusReplyMsg> StepStatusReplyMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  StepStatusReplyMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<int64_t> step = reader.value().GetInt("step");
+  if (!step.ok()) return step.status();
+  m.step = static_cast<StepId>(step.value());
+  Result<std::string> state = reader.value().GetRequired("state");
+  if (!state.ok()) return state.status();
+  m.state = ParseStepRunState(state.value());
+  m.responder = static_cast<NodeId>(
+      reader.value().GetIntOr("responder", kInvalidNode));
+  return m;
+}
+
+// ---- WorkflowRollbackMsg ----
+
+std::string WorkflowRollbackMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("origin", origin_step);
+  w.AddInt("new_epoch", new_epoch);
+  // Embed the packet with escaped newlines.
+  std::string inner = state.Serialize();
+  std::string escaped;
+  for (char c : inner) {
+    if (c == '\n') {
+      escaped += "\\n";
+    } else if (c == '\\') {
+      escaped += "\\\\";
+    } else {
+      escaped += c;
+    }
+  }
+  w.Add("state", escaped);
+  return w.Finish();
+}
+
+Result<WorkflowRollbackMsg> WorkflowRollbackMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  WorkflowRollbackMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<int64_t> origin = reader.value().GetInt("origin");
+  if (!origin.ok()) return origin.status();
+  m.origin_step = static_cast<StepId>(origin.value());
+  m.new_epoch = reader.value().GetIntOr("new_epoch", 0);
+  Result<std::string> escaped = reader.value().GetRequired("state");
+  if (!escaped.ok()) return escaped.status();
+  std::string inner;
+  const std::string& e = escaped.value();
+  for (size_t i = 0; i < e.size(); ++i) {
+    if (e[i] == '\\' && i + 1 < e.size()) {
+      ++i;
+      inner += (e[i] == 'n') ? '\n' : e[i];
+    } else {
+      inner += e[i];
+    }
+  }
+  Result<WorkflowPacket> packet = WorkflowPacket::Parse(inner);
+  if (!packet.ok()) return packet.status();
+  m.state = std::move(packet).value();
+  return m;
+}
+
+// ---- HaltThreadMsg ----
+
+std::string HaltThreadMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("origin", origin_step);
+  w.AddInt("new_epoch", new_epoch);
+  return w.Finish();
+}
+
+Result<HaltThreadMsg> HaltThreadMsg::Parse(const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  HaltThreadMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<int64_t> origin = reader.value().GetInt("origin");
+  if (!origin.ok()) return origin.status();
+  m.origin_step = static_cast<StepId>(origin.value());
+  m.new_epoch = reader.value().GetIntOr("new_epoch", 0);
+  return m;
+}
+
+// ---- CompensateSetMsg ----
+
+std::string CompensateSetMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("origin", origin_step);
+  w.AddInt("epoch", epoch);
+  w.AddInt("resume_agent", resume_agent);
+  for (StepId s : remaining) w.AddInt("s", s);
+  std::string inner = resume.Serialize();
+  std::string escaped;
+  for (char c : inner) {
+    if (c == '\n') {
+      escaped += "\\n";
+    } else if (c == '\\') {
+      escaped += "\\\\";
+    } else {
+      escaped += c;
+    }
+  }
+  w.Add("resume", escaped);
+  return w.Finish();
+}
+
+Result<CompensateSetMsg> CompensateSetMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  CompensateSetMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<int64_t> origin = reader.value().GetInt("origin");
+  if (!origin.ok()) return origin.status();
+  m.origin_step = static_cast<StepId>(origin.value());
+  m.epoch = reader.value().GetIntOr("epoch", 0);
+  m.resume_agent = static_cast<NodeId>(
+      reader.value().GetIntOr("resume_agent", kInvalidNode));
+  for (const std::string& raw : reader.value().GetAll("s")) {
+    m.remaining.push_back(
+        static_cast<StepId>(strtol(raw.c_str(), nullptr, 10)));
+  }
+  Result<std::string> escaped = reader.value().GetRequired("resume");
+  if (!escaped.ok()) return escaped.status();
+  std::string inner;
+  const std::string& e = escaped.value();
+  for (size_t i = 0; i < e.size(); ++i) {
+    if (e[i] == '\\' && i + 1 < e.size()) {
+      ++i;
+      inner += (e[i] == 'n') ? '\n' : e[i];
+    } else {
+      inner += e[i];
+    }
+  }
+  Result<WorkflowPacket> packet = WorkflowPacket::Parse(inner);
+  if (!packet.ok()) return packet.status();
+  m.resume = std::move(packet).value();
+  return m;
+}
+
+// ---- CompensateThreadMsg ----
+
+std::string CompensateThreadMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("step", step);
+  w.AddInt("until", until_join);
+  w.AddInt("epoch", epoch);
+  return w.Finish();
+}
+
+Result<CompensateThreadMsg> CompensateThreadMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  CompensateThreadMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<int64_t> step = reader.value().GetInt("step");
+  if (!step.ok()) return step.status();
+  m.step = static_cast<StepId>(step.value());
+  m.until_join =
+      static_cast<StepId>(reader.value().GetIntOr("until", kInvalidStep));
+  m.epoch = reader.value().GetIntOr("epoch", 0);
+  return m;
+}
+
+// ---- StateInformationMsg ----
+
+std::string StateInformationMsg::Serialize() const {
+  KvWriter w;
+  w.AddInt("reply_to", reply_to);
+  w.Add("wf", instance.workflow);
+  w.AddInt("inst", instance.number);
+  w.AddInt("step", step);
+  return w.Finish();
+}
+
+Result<StateInformationMsg> StateInformationMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  StateInformationMsg m;
+  m.reply_to = static_cast<NodeId>(
+      reader.value().GetIntOr("reply_to", kInvalidNode));
+  m.instance.workflow = reader.value().Get("wf").value_or("");
+  m.instance.number = reader.value().GetIntOr("inst", 0);
+  m.step = static_cast<StepId>(reader.value().GetIntOr("step", 0));
+  return m;
+}
+
+// ---- StateInformationReplyMsg ----
+
+std::string StateInformationReplyMsg::Serialize() const {
+  KvWriter w;
+  w.AddInt("responder", responder);
+  w.AddInt("load", load);
+  w.Add("wf", instance.workflow);
+  w.AddInt("inst", instance.number);
+  w.AddInt("step", step);
+  return w.Finish();
+}
+
+Result<StateInformationReplyMsg> StateInformationReplyMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  StateInformationReplyMsg m;
+  m.responder = static_cast<NodeId>(
+      reader.value().GetIntOr("responder", kInvalidNode));
+  m.load = reader.value().GetIntOr("load", 0);
+  m.instance.workflow = reader.value().Get("wf").value_or("");
+  m.instance.number = reader.value().GetIntOr("inst", 0);
+  m.step = static_cast<StepId>(reader.value().GetIntOr("step", 0));
+  return m;
+}
+
+// ---- AddRuleMsg ----
+
+std::string AddRuleMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.Add("rule", rule_id);
+  for (const std::string& token : trigger_events) w.Add("ev", token);
+  if (!condition_source.empty()) w.Add("cond", condition_source);
+  w.AddInt("action_step", action_step);
+  return w.Finish();
+}
+
+Result<AddRuleMsg> AddRuleMsg::Parse(const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  AddRuleMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<std::string> rule = reader.value().GetRequired("rule");
+  if (!rule.ok()) return rule.status();
+  m.rule_id = std::move(rule).value();
+  m.trigger_events = reader.value().GetAll("ev");
+  m.condition_source = reader.value().Get("cond").value_or("");
+  m.action_step =
+      static_cast<StepId>(reader.value().GetIntOr("action_step", 0));
+  return m;
+}
+
+// ---- AddEventMsg ----
+
+std::string AddEventMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.Add("event", event_token);
+  return w.Finish();
+}
+
+Result<AddEventMsg> AddEventMsg::Parse(const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  AddEventMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<std::string> event = reader.value().GetRequired("event");
+  if (!event.ok()) return event.status();
+  m.event_token = std::move(event).value();
+  return m;
+}
+
+// ---- AddPreconditionMsg ----
+
+std::string AddPreconditionMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.Add("rule", rule_id);
+  w.Add("event", event_token);
+  return w.Finish();
+}
+
+Result<AddPreconditionMsg> AddPreconditionMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  AddPreconditionMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<std::string> rule = reader.value().GetRequired("rule");
+  if (!rule.ok()) return rule.status();
+  m.rule_id = std::move(rule).value();
+  Result<std::string> event = reader.value().GetRequired("event");
+  if (!event.ok()) return event.status();
+  m.event_token = std::move(event).value();
+  return m;
+}
+
+// ---- RunProgramMsg ----
+
+std::string RunProgramMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("step", step);
+  w.Add("program", program);
+  w.AddInt("attempt", attempt);
+  w.AddInt("compensation", compensation ? 1 : 0);
+  w.AddInt("cost_fraction_ppm",
+           static_cast<int64_t>(cost_fraction * 1'000'000));
+  w.AddInt("nominal_cost", nominal_cost);
+  w.AddInt("designated", designated);
+  w.AddInt("reply_to", reply_to);
+  w.AddInt("epoch", epoch);
+  WriteDataMap(&w, "i.", inputs);
+  return w.Finish();
+}
+
+Result<RunProgramMsg> RunProgramMsg::Parse(const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  RunProgramMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<int64_t> step = reader.value().GetInt("step");
+  if (!step.ok()) return step.status();
+  m.step = static_cast<StepId>(step.value());
+  Result<std::string> program = reader.value().GetRequired("program");
+  if (!program.ok()) return program.status();
+  m.program = std::move(program).value();
+  m.attempt = static_cast<int>(reader.value().GetIntOr("attempt", 1));
+  m.compensation = reader.value().GetIntOr("compensation", 0) != 0;
+  m.cost_fraction =
+      static_cast<double>(reader.value().GetIntOr("cost_fraction_ppm",
+                                                  1'000'000)) /
+      1'000'000.0;
+  m.nominal_cost = reader.value().GetIntOr("nominal_cost", 0);
+  m.designated = static_cast<NodeId>(
+      reader.value().GetIntOr("designated", kInvalidNode));
+  m.reply_to = static_cast<NodeId>(
+      reader.value().GetIntOr("reply_to", kInvalidNode));
+  m.epoch = reader.value().GetIntOr("epoch", 0);
+  CREW_RETURN_IF_ERROR(ReadDataMap(reader.value(), "i.", &m.inputs));
+  return m;
+}
+
+// ---- RunProgramReplyMsg ----
+
+std::string RunProgramReplyMsg::Serialize() const {
+  KvWriter w;
+  WriteInstance(&w, instance);
+  w.AddInt("step", step);
+  w.AddInt("ack_only", ack_only ? 1 : 0);
+  w.AddInt("success", success ? 1 : 0);
+  w.AddInt("compensation", compensation ? 1 : 0);
+  w.AddInt("cost", cost);
+  w.AddInt("epoch", epoch);
+  w.AddInt("agent_load", agent_load);
+  w.AddInt("responder", responder);
+  WriteDataMap(&w, "o.", outputs);
+  return w.Finish();
+}
+
+Result<RunProgramReplyMsg> RunProgramReplyMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  RunProgramReplyMsg m;
+  CREW_RETURN_IF_ERROR(ReadInstance(reader.value(), &m.instance));
+  Result<int64_t> step = reader.value().GetInt("step");
+  if (!step.ok()) return step.status();
+  m.step = static_cast<StepId>(step.value());
+  m.ack_only = reader.value().GetIntOr("ack_only", 0) != 0;
+  m.success = reader.value().GetIntOr("success", 0) != 0;
+  m.compensation = reader.value().GetIntOr("compensation", 0) != 0;
+  m.cost = reader.value().GetIntOr("cost", 0);
+  m.epoch = reader.value().GetIntOr("epoch", 0);
+  m.agent_load = reader.value().GetIntOr("agent_load", 0);
+  m.responder = static_cast<NodeId>(
+      reader.value().GetIntOr("responder", kInvalidNode));
+  CREW_RETURN_IF_ERROR(ReadDataMap(reader.value(), "o.", &m.outputs));
+  return m;
+}
+
+// ---- PurgeInstancesMsg ----
+
+std::string PurgeInstancesMsg::Serialize() const {
+  KvWriter w;
+  for (const InstanceId& id : committed) {
+    w.Add("c", id.workflow + "#" + std::to_string(id.number));
+  }
+  return w.Finish();
+}
+
+Result<PurgeInstancesMsg> PurgeInstancesMsg::Parse(
+    const std::string& payload) {
+  Result<KvReader> reader = KvReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  PurgeInstancesMsg m;
+  for (const std::string& raw : reader.value().GetAll("c")) {
+    size_t hash = raw.rfind('#');
+    if (hash == std::string::npos) {
+      return Status::Corruption("bad committed id: " + raw);
+    }
+    InstanceId id;
+    id.workflow = raw.substr(0, hash);
+    id.number = strtoll(raw.c_str() + hash + 1, nullptr, 10);
+    m.committed.push_back(std::move(id));
+  }
+  return m;
+}
+
+}  // namespace crew::runtime

@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace crew::sim {
+
+void EventQueue::ScheduleAt(Time at, Callback fn) {
+  if (at < now_) at = now_;  // clamp: never schedule into the past
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle (shared ownership inside std::function).
+  Entry top = heap_.top();
+  heap_.pop();
+  now_ = top.at;
+  top.fn();
+  return true;
+}
+
+int64_t EventQueue::RunAll(int64_t max_events) {
+  int64_t n = 0;
+  while (n < max_events && RunOne()) ++n;
+  return n;
+}
+
+int64_t EventQueue::RunUntil(Time until) {
+  int64_t n = 0;
+  while (!heap_.empty() && heap_.top().at <= until && RunOne()) ++n;
+  return n;
+}
+
+}  // namespace crew::sim

@@ -1,0 +1,63 @@
+#ifndef CREW_SIM_EVENT_QUEUE_H_
+#define CREW_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace crew::sim {
+
+/// Virtual time, in abstract ticks. A tick is roughly "one network hop";
+/// computation cost is accounted separately (in instructions) by Metrics.
+using Time = int64_t;
+
+/// A scheduled callback. Events at equal time fire in insertion order
+/// (stable), which keeps simulations deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`. Precondition: at >= now().
+  void ScheduleAt(Time at, Callback fn);
+
+  /// Schedules `fn` `delay` ticks from now.
+  void ScheduleAfter(Time delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Runs the next event; returns false if the queue is empty.
+  bool RunOne();
+
+  /// Runs events until the queue drains or `max_events` fire. Returns the
+  /// number of events run.
+  int64_t RunAll(int64_t max_events = INT64_MAX);
+
+  /// Runs events with firing time <= `until`.
+  int64_t RunUntil(Time until);
+
+  Time now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    uint64_t seq;  // tie-breaker: insertion order
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace crew::sim
+
+#endif  // CREW_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,151 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace crew::sim {
+
+const char* MsgCategoryName(MsgCategory category) {
+  switch (category) {
+    case MsgCategory::kNormal: return "normal";
+    case MsgCategory::kFailureHandling: return "failure";
+    case MsgCategory::kInputChange: return "input-change";
+    case MsgCategory::kAbort: return "abort";
+    case MsgCategory::kCoordination: return "coordination";
+    case MsgCategory::kElection: return "election";
+    case MsgCategory::kAdmin: return "admin";
+  }
+  return "?";
+}
+
+const char* LoadCategoryName(LoadCategory category) {
+  switch (category) {
+    case LoadCategory::kNavigation: return "navigation";
+    case LoadCategory::kFailureHandling: return "failure";
+    case LoadCategory::kInputChange: return "input-change";
+    case LoadCategory::kAbort: return "abort";
+    case LoadCategory::kCoordination: return "coordination";
+    case LoadCategory::kProgram: return "program";
+  }
+  return "?";
+}
+
+void Metrics::CountMessage(NodeId /*from*/, NodeId /*to*/,
+                           MsgCategory category, size_t bytes,
+                           const std::string& type) {
+  ++total_messages_;
+  total_bytes_ += static_cast<int64_t>(bytes);
+  ++messages_by_category_[static_cast<int>(category)];
+  if (!type.empty()) {
+    ++by_type_[{static_cast<int>(category), type}];
+  }
+}
+
+std::string Metrics::TypeBreakdown(MsgCategory category) const {
+  std::ostringstream os;
+  for (const auto& [key, count] : by_type_) {
+    if (key.first != static_cast<int>(category)) continue;
+    os << "    " << key.second << " = " << count << "\n";
+  }
+  return os.str();
+}
+
+void Metrics::AddLoad(NodeId node, LoadCategory category,
+                      int64_t instructions) {
+  load_[node][static_cast<int>(category)] += instructions;
+}
+
+int64_t Metrics::MessagesIn(MsgCategory category) const {
+  return messages_by_category_[static_cast<int>(category)];
+}
+
+int64_t Metrics::ModelledMessages() const {
+  return total_messages_ - MessagesIn(MsgCategory::kElection) -
+         MessagesIn(MsgCategory::kAdmin);
+}
+
+int64_t Metrics::LoadAt(NodeId node) const {
+  auto it = load_.find(node);
+  if (it == load_.end()) return 0;
+  int64_t sum = 0;
+  for (const auto& [cat, n] : it->second) sum += n;
+  return sum;
+}
+
+int64_t Metrics::LoadAt(NodeId node, LoadCategory category) const {
+  auto it = load_.find(node);
+  if (it == load_.end()) return 0;
+  auto jt = it->second.find(static_cast<int>(category));
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+int64_t Metrics::TotalLoad(LoadCategory category) const {
+  int64_t sum = 0;
+  for (const auto& [node, per_cat] : load_) {
+    auto it = per_cat.find(static_cast<int>(category));
+    if (it != per_cat.end()) sum += it->second;
+  }
+  return sum;
+}
+
+int64_t Metrics::TotalLoad() const {
+  int64_t sum = 0;
+  for (const auto& [node, per_cat] : load_) {
+    for (const auto& [cat, n] : per_cat) sum += n;
+  }
+  return sum;
+}
+
+int64_t Metrics::MaxNodeLoad() const {
+  int64_t best = 0;
+  for (const auto& [node, per_cat] : load_) {
+    best = std::max(best, LoadAt(node));
+  }
+  return best;
+}
+
+double Metrics::MeanNodeLoad() const {
+  int64_t sum = 0;
+  int64_t n = 0;
+  for (const auto& [node, per_cat] : load_) {
+    int64_t l = LoadAt(node);
+    if (l > 0) {
+      sum += l;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
+std::vector<NodeId> Metrics::LoadedNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, per_cat] : load_) {
+    if (LoadAt(node) > 0) out.push_back(node);
+  }
+  return out;
+}
+
+void Metrics::Reset() {
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  std::fill(std::begin(messages_by_category_),
+            std::end(messages_by_category_), 0);
+  by_type_.clear();
+  load_.clear();
+}
+
+std::string Metrics::Report() const {
+  std::ostringstream os;
+  os << "messages total=" << total_messages_ << " bytes=" << total_bytes_
+     << "\n";
+  for (int i = 0; i < kNumMsgCategories; ++i) {
+    if (messages_by_category_[i] == 0) continue;
+    os << "  " << MsgCategoryName(static_cast<MsgCategory>(i)) << "="
+       << messages_by_category_[i] << "\n";
+  }
+  os << "load max-node=" << MaxNodeLoad() << " mean-node=" << MeanNodeLoad()
+     << " total=" << TotalLoad() << "\n";
+  return os.str();
+}
+
+}  // namespace crew::sim

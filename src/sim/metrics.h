@@ -1,0 +1,95 @@
+#ifndef CREW_SIM_METRICS_H_
+#define CREW_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace crew::sim {
+
+/// Message categories mirroring the mechanisms in the paper's Tables 4-6.
+/// Every physical message is tagged with exactly one category so benches
+/// can report per-mechanism counts.
+enum class MsgCategory {
+  kNormal = 0,        // step scheduling / packets / step-completion
+  kFailureHandling,   // rollback, halt, compensate-set, step-status probes
+  kInputChange,       // workflow input change propagation
+  kAbort,             // user-initiated abort + its compensations
+  kCoordination,      // AddRule/AddEvent/AddPrecondition traffic
+  kElection,          // successor-selection / leader-election traffic
+  kAdmin,             // front-end requests, status queries, purge broadcast
+};
+
+/// Returns a short label for a category ("normal", "failure", ...).
+const char* MsgCategoryName(MsgCategory category);
+inline constexpr int kNumMsgCategories = 7;
+
+/// Load categories: what kind of work a node performed. Navigation load
+/// (`l` per step in the paper) is separated from black-box program cost.
+enum class LoadCategory {
+  kNavigation = 0,    // scheduling / rule evaluation for normal execution
+  kFailureHandling,   // rollback / halt / OCR decision work
+  kInputChange,
+  kAbort,
+  kCoordination,      // ME / RO / RD requirement processing
+  kProgram,           // the step program itself (black box)
+};
+
+const char* LoadCategoryName(LoadCategory category);
+inline constexpr int kNumLoadCategories = 6;
+
+/// Per-run counters: messages by (node, category) and load (instructions)
+/// by (node, category). Owned by the Simulator; all components hold a
+/// pointer to it.
+class Metrics {
+ public:
+  void CountMessage(NodeId from, NodeId to, MsgCategory category,
+                    size_t bytes, const std::string& type = "");
+  void AddLoad(NodeId node, LoadCategory category, int64_t instructions);
+
+  int64_t TotalMessages() const { return total_messages_; }
+  int64_t TotalBytes() const { return total_bytes_; }
+  int64_t MessagesIn(MsgCategory category) const;
+  /// Total messages excluding `kElection` and `kAdmin` — the categories the
+  /// paper's expressions do not model (see DESIGN.md §5).
+  int64_t ModelledMessages() const;
+
+  int64_t LoadAt(NodeId node) const;
+  int64_t LoadAt(NodeId node, LoadCategory category) const;
+  int64_t TotalLoad(LoadCategory category) const;
+  int64_t TotalLoad() const;
+
+  /// Maximum per-node load over all nodes that registered any load
+  /// (the paper's "load at engine / at an agent" headline number).
+  int64_t MaxNodeLoad() const;
+  /// Mean per-node load over nodes with nonzero load.
+  double MeanNodeLoad() const;
+  /// Nodes that recorded any load.
+  std::vector<NodeId> LoadedNodes() const;
+
+  void Reset();
+
+  /// Message counts by (category, wire type) — the per-WI breakdown.
+  const std::map<std::pair<int, std::string>, int64_t>& by_type() const {
+    return by_type_;
+  }
+  /// Formats the per-type breakdown of one category.
+  std::string TypeBreakdown(MsgCategory category) const;
+
+  /// Multi-line human-readable dump used by benches.
+  std::string Report() const;
+
+ private:
+  int64_t total_messages_ = 0;
+  int64_t total_bytes_ = 0;
+  int64_t messages_by_category_[kNumMsgCategories] = {};
+  std::map<std::pair<int, std::string>, int64_t> by_type_;
+  std::map<NodeId, std::map<int, int64_t>> load_;  // node -> category -> n
+};
+
+}  // namespace crew::sim
+
+#endif  // CREW_SIM_METRICS_H_

@@ -1,0 +1,59 @@
+#include "sim/network.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace crew::sim {
+
+void Network::Register(NodeId id, MessageHandler* handler) {
+  handlers_[id] = handler;
+}
+
+void Network::SetNodeDown(NodeId id, bool down) {
+  down_[id] = down;
+  if (!down) {
+    // Recovery: flush parked messages in arrival order.
+    auto it = parked_.find(id);
+    if (it == parked_.end()) return;
+    std::vector<Message> batch = std::move(it->second);
+    parked_.erase(it);
+    for (Message& m : batch) {
+      queue_->ScheduleAfter(latency_,
+                            [this, m = std::move(m)]() { Deliver(m); });
+    }
+  }
+}
+
+bool Network::IsNodeDown(NodeId id) const {
+  auto it = down_.find(id);
+  return it != down_.end() && it->second;
+}
+
+Status Network::Send(Message message) {
+  auto it = handlers_.find(message.to);
+  if (it == handlers_.end()) {
+    return Status::NotFound("no node registered with id " +
+                            std::to_string(message.to));
+  }
+  metrics_->CountMessage(message.from, message.to, message.category,
+                         message.payload.size(), message.type);
+  queue_->ScheduleAfter(
+      latency_, [this, m = std::move(message)]() { Deliver(m); });
+  return Status::OK();
+}
+
+void Network::Deliver(const Message& message) {
+  if (IsNodeDown(message.to)) {
+    parked_[message.to].push_back(message);
+    return;
+  }
+  auto it = handlers_.find(message.to);
+  if (it == handlers_.end()) {
+    CREW_LOG(Warn) << "dropping message to vanished node " << message.to;
+    return;
+  }
+  it->second->HandleMessage(message);
+}
+
+}  // namespace crew::sim

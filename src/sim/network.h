@@ -1,0 +1,79 @@
+#ifndef CREW_SIM_NETWORK_H_
+#define CREW_SIM_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+
+namespace crew::sim {
+
+/// A message in flight between nodes. `payload` is the serialized wire
+/// form; `type` is the workflow-interface name ("StepExecute", ...),
+/// carried out-of-band so the receiver can dispatch without parsing.
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::string type;
+  std::string payload;
+  MsgCategory category = MsgCategory::kNormal;
+};
+
+/// Destination for messages. Agents and engines implement this.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void HandleMessage(const Message& message) = 0;
+};
+
+/// Reliable, in-order (per sender-receiver pair by construction of the
+/// event queue) message transport with fixed latency. Implements the
+/// paper's assumption that "messages are reliably delivered between
+/// agents" [AAE+95]: messages to a *down* node are queued and delivered
+/// once the node recovers (persistent-queue semantics).
+class Network {
+ public:
+  Network(EventQueue* queue, Metrics* metrics)
+      : queue_(queue), metrics_(metrics) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node. Replaces any prior registration for the id.
+  void Register(NodeId id, MessageHandler* handler);
+
+  /// Marks a node down: deliveries are deferred, not lost.
+  void SetNodeDown(NodeId id, bool down);
+  bool IsNodeDown(NodeId id) const;
+
+  /// Sends a message; counts it in Metrics; schedules delivery after
+  /// `latency()` ticks (or on recovery if the target is down).
+  /// Unregistered destinations are a programming error -> kNotFound.
+  Status Send(Message message);
+
+  /// Delivery latency in ticks; default 1.
+  Time latency() const { return latency_; }
+  void set_latency(Time latency) { latency_ = latency; }
+
+  EventQueue* queue() { return queue_; }
+  Metrics* metrics() { return metrics_; }
+
+ private:
+  void Deliver(const Message& message);
+
+  EventQueue* queue_;
+  Metrics* metrics_;
+  Time latency_ = 1;
+  std::map<NodeId, MessageHandler*> handlers_;
+  std::map<NodeId, bool> down_;
+  std::map<NodeId, std::vector<Message>> parked_;  // queued for down nodes
+};
+
+}  // namespace crew::sim
+
+#endif  // CREW_SIM_NETWORK_H_

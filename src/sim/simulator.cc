@@ -1,0 +1,14 @@
+#include "sim/simulator.h"
+
+namespace crew::sim {
+
+void InjectCrash(Simulator* simulator, NodeId node, Time at, Time outage) {
+  simulator->queue().ScheduleAt(at, [simulator, node]() {
+    simulator->network().SetNodeDown(node, true);
+  });
+  simulator->queue().ScheduleAt(at + outage, [simulator, node]() {
+    simulator->network().SetNodeDown(node, false);
+  });
+}
+
+}  // namespace crew::sim

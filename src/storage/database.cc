@@ -1,0 +1,127 @@
+#include "storage/database.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace crew::storage {
+namespace {
+
+// Journal record: "<table>\x1f<key>\x1fP<row>" for put, "...\x1fD" delete.
+constexpr char kUnitSep = '\x1f';
+
+}  // namespace
+
+Status Database::OpenDurable(const std::string& dir) {
+  return wal_.Open(dir + "/" + name_ + ".wal");
+}
+
+Status Database::Recover(const std::string& dir) {
+  // Load the checkpoint snapshot first (if any); the WAL holds only the
+  // mutations after it.
+  {
+    Wal snapshot_reader;
+    Status status = snapshot_reader.Replay(
+        dir + "/" + name_ + ".snap", [this](const std::string& record) {
+          std::vector<std::string> parts = Split(record, kUnitSep);
+          if (parts.size() != 3 || parts[2].empty() ||
+              parts[2][0] != 'P') {
+            return;
+          }
+          Result<Row> row = Row::Deserialize(parts[2].substr(1));
+          if (row.ok()) table(parts[0]).ApplyRaw(parts[1], &row.value());
+        });
+    if (!status.ok()) return status;
+  }
+  Wal reader;
+  Status status = reader.Replay(
+      dir + "/" + name_ + ".wal", [this](const std::string& record) {
+        std::vector<std::string> parts = Split(record, kUnitSep);
+        if (parts.size() != 3) {
+          CREW_LOG(Warn) << "skipping malformed WAL record in " << name_;
+          return;
+        }
+        Table& t = table(parts[0]);
+        if (parts[2].empty()) return;
+        if (parts[2][0] == 'D') {
+          t.ApplyRaw(parts[1], nullptr);
+        } else if (parts[2][0] == 'P') {
+          Result<Row> row = Row::Deserialize(parts[2].substr(1));
+          if (row.ok()) {
+            t.ApplyRaw(parts[1], &row.value());
+          } else {
+            CREW_LOG(Warn) << "skipping corrupt row in WAL of " << name_
+                           << ": " << row.status().ToString();
+          }
+        }
+      });
+  return status;
+}
+
+Status Database::Checkpoint(const std::string& dir) {
+  if (!wal_.is_open()) {
+    return Status::FailedPrecondition(
+        "checkpoint requires a durable database");
+  }
+  const std::string snap_path = dir + "/" + name_ + ".snap";
+  const std::string tmp_path = snap_path + ".tmp";
+  {
+    Wal snapshot;
+    CREW_RETURN_IF_ERROR(snapshot.Open(tmp_path));
+    for (const auto& [table_name, table] : tables_) {
+      for (const auto& [key, row] : table->rows()) {
+        std::string record = table_name;
+        record += kUnitSep;
+        record += key;
+        record += kUnitSep;
+        record += 'P';
+        record += row.Serialize();
+        CREW_RETURN_IF_ERROR(snapshot.Append(record));
+      }
+    }
+  }
+  if (std::rename(tmp_path.c_str(), snap_path.c_str()) != 0) {
+    return Status::Unavailable("cannot publish snapshot " + snap_path);
+  }
+  return wal_.Truncate();
+}
+
+Table& Database::table(const std::string& table_name) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    auto t = std::make_unique<Table>(table_name);
+    t->set_mutation_hook([this](const std::string& table,
+                                const std::string& key, const Row* row) {
+      JournalMutation(table, key, row);
+    });
+    it = tables_.emplace(table_name, std::move(t)).first;
+  }
+  return *it->second;
+}
+
+const Table* Database::FindTable(const std::string& table_name) const {
+  auto it = tables_.find(table_name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+void Database::JournalMutation(const std::string& table,
+                               const std::string& key, const Row* row) {
+  ++journaled_;
+  if (!wal_.is_open()) return;
+  std::string record = table;
+  record += kUnitSep;
+  record += key;
+  record += kUnitSep;
+  if (row == nullptr) {
+    record += 'D';
+  } else {
+    record += 'P';
+    record += row->Serialize();
+  }
+  Status status = wal_.Append(record);
+  if (!status.ok()) {
+    CREW_LOG(Error) << "WAL append failed for " << name_ << ": "
+                    << status.ToString();
+  }
+}
+
+}  // namespace crew::storage

@@ -1,0 +1,111 @@
+#include "storage/table.h"
+
+#include "common/strings.h"
+
+namespace crew::storage {
+
+void Row::Set(const std::string& field, Value value) {
+  fields_[field] = std::move(value);
+}
+
+std::optional<Value> Row::Get(const std::string& field) const {
+  auto it = fields_.find(field);
+  if (it == fields_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Row::Has(const std::string& field) const {
+  return fields_.count(field) > 0;
+}
+
+void Row::Erase(const std::string& field) { fields_.erase(field); }
+
+std::string Row::Serialize() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const auto& [name, value] : fields_) {
+    parts.push_back(name + "=" + value.ToString());
+  }
+  return Join(parts, ';');
+}
+
+Result<Row> Row::Deserialize(const std::string& text) {
+  Row row;
+  if (text.empty()) return row;
+  for (const std::string& part : SplitQuoted(text, ';')) {
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      return Status::Corruption("bad row field: " + part);
+    }
+    Result<Value> value = Value::Parse(part.substr(eq + 1));
+    if (!value.ok()) return value.status();
+    row.Set(part.substr(0, eq), std::move(value).value());
+  }
+  return row;
+}
+
+void Table::Put(const std::string& key, Row row) {
+  rows_[key] = std::move(row);
+  Journal(key, &rows_[key]);
+}
+
+void Table::Update(const std::string& key, const Row& fields) {
+  Row& row = rows_[key];
+  for (const auto& [name, value] : fields.fields()) {
+    row.Set(name, value);
+  }
+  Journal(key, &row);
+}
+
+const Row* Table::Get(const std::string& key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Row* Table::GetMutable(const std::string& key) {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+bool Table::Delete(const std::string& key) {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return false;
+  rows_.erase(it);
+  Journal(key, nullptr);
+  return true;
+}
+
+bool Table::Contains(const std::string& key) const {
+  return rows_.count(key) > 0;
+}
+
+std::vector<std::string> Table::Keys() const {
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& [key, row] : rows_) out.push_back(key);
+  return out;
+}
+
+std::vector<const Row*> Table::Select(const std::string& field,
+                                      const Value& value) const {
+  std::vector<const Row*> out;
+  for (const auto& [key, row] : rows_) {
+    std::optional<Value> v = row.Get(field);
+    if (v.has_value() && *v == value) out.push_back(&row);
+  }
+  return out;
+}
+
+void Table::ApplyRaw(const std::string& key, const Row* row) {
+  if (row == nullptr) {
+    rows_.erase(key);
+  } else {
+    rows_[key] = *row;
+  }
+}
+
+void Table::Journal(const std::string& key, const Row* row) {
+  if (hook_) hook_(name_, key, row);
+}
+
+}  // namespace crew::storage

@@ -1,0 +1,105 @@
+#include "storage/wal.h"
+
+#include <array>
+#include <cinttypes>
+#include <cstring>
+#include <vector>
+
+namespace crew::storage {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Wal::Crc32(const std::string& payload) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char c : payload) {
+    crc = table[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Wal::~Wal() { Close(); }
+
+Status Wal::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Unavailable("cannot open WAL at " + path);
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status Wal::Append(const std::string& payload) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  uint32_t crc = Crc32(payload);
+  if (std::fprintf(file_, "%zu %" PRIu32 "\n", payload.size(), crc) < 0 ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size() ||
+      std::fputc('\n', file_) == EOF) {
+    return Status::Unavailable("WAL write failed: " + path_);
+  }
+  std::fflush(file_);
+  return Status::OK();
+}
+
+Status Wal::Replay(
+    const std::string& path,
+    const std::function<void(const std::string&)>& apply) const {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // no log yet: nothing to replay
+  char header[128];
+  while (std::fgets(header, sizeof(header), f) != nullptr) {
+    size_t length = 0;
+    uint32_t crc = 0;
+    if (std::sscanf(header, "%zu %" PRIu32, &length, &crc) != 2) break;
+    if (length > (64u << 20)) break;  // implausible: corrupt header
+    std::string payload(length, '\0');
+    if (length > 0 && std::fread(payload.data(), 1, length, f) != length) {
+      break;  // torn record at the tail
+    }
+    int trailer = std::fgetc(f);
+    if (trailer != '\n') break;
+    if (Crc32(payload) != crc) break;  // corrupt record: stop replay
+    apply(payload);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  if (path_.empty()) return Status::FailedPrecondition("WAL never opened");
+  Close();
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot truncate WAL at " + path_);
+  }
+  std::fclose(f);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Unavailable("cannot reopen WAL at " + path_);
+  }
+  return Status::OK();
+}
+
+void Wal::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace crew::storage

@@ -1,0 +1,55 @@
+#ifndef CREW_STORAGE_WAL_H_
+#define CREW_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace crew::storage {
+
+/// A minimal write-ahead log: length+checksum framed records appended to a
+/// file. Provides the persistence the paper's WFDB/AGDB need for forward
+/// recovery after an engine or agent crash.
+///
+/// Record frame: "<length> <crc32>\n<payload>\n". Replay stops cleanly at
+/// the first torn/corrupt record (crash-consistent).
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating if needed) the log at `path` for appending.
+  Status Open(const std::string& path);
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(const std::string& payload);
+
+  /// Replays all intact records in order. A corrupt tail is tolerated
+  /// (records after it are ignored) — that is the crash case.
+  /// The WAL may be open or closed during replay.
+  Status Replay(const std::string& path,
+                const std::function<void(const std::string&)>& apply) const;
+
+  /// Truncates the log (after a checkpoint/snapshot has been taken).
+  Status Truncate();
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// CRC-32 (polynomial 0xEDB88320) of a payload; exposed for tests.
+  static uint32_t Crc32(const std::string& payload);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace crew::storage
+
+#endif  // CREW_STORAGE_WAL_H_

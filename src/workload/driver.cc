@@ -1,0 +1,274 @@
+#include "workload/driver.h"
+
+#include <memory>
+#include <sstream>
+
+#include "central/system.h"
+#include "dist/system.h"
+#include "parallel/system.h"
+#include "sim/simulator.h"
+
+namespace crew::workload {
+
+const char* ArchitectureName(Architecture architecture) {
+  switch (architecture) {
+    case Architecture::kCentral: return "central";
+    case Architecture::kParallel: return "parallel";
+    case Architecture::kDistributed: return "distributed";
+  }
+  return "?";
+}
+
+double RunResult::NormalizedMaxLoad(sim::LoadCategory category,
+                                    int64_t l) const {
+  // Per-node maximum over nodes with any load in the category.
+  int64_t best = 0;
+  for (NodeId node : metrics.LoadedNodes()) {
+    best = std::max(best, metrics.LoadAt(node, category));
+  }
+  return static_cast<double>(best) /
+         (static_cast<double>(l) * instances());
+}
+
+double RunResult::NormalizedTotalLoad(sim::LoadCategory category,
+                                      int64_t l) const {
+  return static_cast<double>(metrics.TotalLoad(category)) /
+         (static_cast<double>(l) * instances());
+}
+
+std::string RunResult::Describe() const {
+  std::ostringstream os;
+  os << ArchitectureName(architecture) << ": started=" << started
+     << " committed=" << committed << " aborted=" << aborted
+     << " ticks=" << sim_ticks << "\n"
+     << metrics.Report();
+  return os.str();
+}
+
+namespace {
+
+/// Common pieces of a run shared by the three architecture variants.
+struct Workbench {
+  explicit Workbench(const Params& params)
+      : simulator(params.seed), generator(params, &simulator.rng()) {}
+
+  Status Prepare() {
+    Result<std::vector<GeneratedSchema>> generated =
+        generator.GenerateAll();
+    if (!generated.ok()) return generated.status();
+    schemas = std::move(generated).value();
+    coordination = generator.MakeCoordinationSpec(schemas);
+    generator.RegisterPrograms(schemas, &programs);
+    return Status::OK();
+  }
+
+  void AssignDeployment(const std::vector<NodeId>& agents,
+                        int eligible_per_step) {
+    for (const GeneratedSchema& generated : schemas) {
+      deployment.AssignRandom(*generated.schema, agents,
+                              eligible_per_step, &simulator.rng());
+    }
+  }
+
+  sim::Simulator simulator;
+  WorkloadGenerator generator;
+  std::vector<GeneratedSchema> schemas;
+  runtime::CoordinationSpec coordination;
+  runtime::ProgramRegistry programs;
+  model::Deployment deployment;
+};
+
+/// Stagger between instance starts, in ticks: enough that consecutive
+/// instances overlap (exercising coordination) without unbounded queues.
+constexpr sim::Time kStartStagger = 3;
+/// Delay after an instance's start before its scheduled disruption
+/// (input change or abort) fires.
+constexpr sim::Time kDisruptionDelay = 8;
+
+RunResult FinishRun(Architecture architecture, Workbench* bench,
+                    int64_t started, int64_t committed, int64_t aborted) {
+  RunResult result;
+  result.architecture = architecture;
+  result.started = started;
+  result.committed = committed;
+  result.aborted = aborted;
+  result.sim_ticks = bench->simulator.now();
+  result.metrics = bench->simulator.metrics();
+  return result;
+}
+
+RunResult RunCentralLike(const Params& params, Architecture architecture) {
+  Workbench bench(params);
+  Status prepared = bench.Prepare();
+  if (!prepared.ok()) {
+    RunResult failed;
+    failed.architecture = architecture;
+    return failed;
+  }
+
+  const bool parallel = architecture == Architecture::kParallel;
+  const int engines = parallel ? params.num_engines : 1;
+  central::EngineOptions options;
+  options.navigation_load = params.navigation_load;
+
+  std::unique_ptr<central::CentralSystem> central_system;
+  std::unique_ptr<parallel::ParallelSystem> parallel_system;
+  std::vector<NodeId> agent_ids;
+  if (parallel) {
+    parallel_system = std::make_unique<parallel::ParallelSystem>(
+        &bench.simulator, &bench.programs, &bench.deployment,
+        &bench.coordination, engines, params.num_agents, options);
+    agent_ids = parallel_system->agent_ids();
+  } else {
+    central_system = std::make_unique<central::CentralSystem>(
+        &bench.simulator, &bench.programs, &bench.deployment,
+        &bench.coordination, params.num_agents, options);
+    agent_ids = central_system->agent_ids();
+  }
+  bench.AssignDeployment(agent_ids, params.eligible_per_step);
+  for (const GeneratedSchema& generated : bench.schemas) {
+    if (parallel) {
+      parallel_system->RegisterSchema(generated.schema);
+    } else {
+      central_system->engine().RegisterSchema(generated.schema);
+    }
+  }
+
+  auto start_instance = [&](const std::string& workflow, int64_t number,
+                            bool fail) {
+    std::map<std::string, Value> inputs{{"WF.I1", Value(int64_t{10})}};
+    if (fail) inputs["WF.FAIL1"] = Value(true);
+    if (parallel) {
+      (void)parallel_system->StartWorkflow(workflow, number,
+                                           std::move(inputs));
+    } else {
+      (void)central_system->engine().StartWorkflow(workflow, number,
+                                                   std::move(inputs));
+    }
+  };
+  auto abort_instance = [&](const InstanceId& instance) {
+    if (parallel) {
+      (void)parallel_system->AbortWorkflow(instance);
+    } else {
+      (void)central_system->engine().AbortWorkflow(instance);
+    }
+  };
+  auto change_inputs = [&](const InstanceId& instance) {
+    std::map<std::string, Value> inputs{{"WF.I1", Value(int64_t{77})}};
+    if (parallel) {
+      (void)parallel_system->ChangeInputs(instance, std::move(inputs));
+    } else {
+      (void)central_system->engine().ChangeInputs(instance,
+                                                  std::move(inputs));
+    }
+  };
+
+  int64_t started = 0;
+  sim::Time at = 0;
+  for (size_t index = 0; index < bench.schemas.size(); ++index) {
+    const std::string name =
+        bench.schemas[index].schema->schema().name();
+    for (int64_t n = 1; n <= params.instances_per_schema; ++n) {
+      ++started;
+      at += kStartStagger;
+      bool fail = bench.generator.failing_instances(static_cast<int>(index))
+                      .count(n) > 0;
+      bench.simulator.queue().ScheduleAt(at, [=]() {
+        start_instance(name, n, fail);
+      });
+      InstanceId instance{name, n};
+      if (bench.generator.abort_instances(static_cast<int>(index))
+              .count(n) > 0) {
+        bench.simulator.queue().ScheduleAt(
+            at + kDisruptionDelay, [=]() { abort_instance(instance); });
+      } else if (bench.generator
+                     .input_change_instances(static_cast<int>(index))
+                     .count(n) > 0) {
+        bench.simulator.queue().ScheduleAt(
+            at + kDisruptionDelay, [=]() { change_inputs(instance); });
+      }
+    }
+  }
+  bench.simulator.Run();
+
+  int64_t committed = parallel ? parallel_system->committed_count()
+                               : central_system->engine().committed_count();
+  int64_t aborted = parallel ? parallel_system->aborted_count()
+                             : central_system->engine().aborted_count();
+  return FinishRun(architecture, &bench, started, committed, aborted);
+}
+
+RunResult RunDistributedImpl(const Params& params) {
+  Workbench bench(params);
+  Status prepared = bench.Prepare();
+  if (!prepared.ok()) {
+    RunResult failed;
+    failed.architecture = Architecture::kDistributed;
+    return failed;
+  }
+
+  dist::AgentOptions options;
+  options.navigation_load = params.navigation_load;
+  dist::DistributedSystem system(&bench.simulator, &bench.programs,
+                                 &bench.deployment, &bench.coordination,
+                                 params.num_agents, options);
+  bench.AssignDeployment(system.agent_ids(), params.eligible_per_step);
+  for (const GeneratedSchema& generated : bench.schemas) {
+    system.RegisterSchema(generated.schema);
+  }
+
+  int64_t started = 0;
+  sim::Time at = 0;
+  dist::FrontEnd* front_end = &system.front_end();
+  for (size_t index = 0; index < bench.schemas.size(); ++index) {
+    const std::string name =
+        bench.schemas[index].schema->schema().name();
+    for (int64_t n = 1; n <= params.instances_per_schema; ++n) {
+      ++started;
+      at += kStartStagger;
+      bool abort = bench.generator.abort_instances(static_cast<int>(index))
+                       .count(n) > 0;
+      bool change =
+          bench.generator.input_change_instances(static_cast<int>(index))
+              .count(n) > 0;
+      bool fail = bench.generator.failing_instances(static_cast<int>(index))
+                      .count(n) > 0;
+      sim::Time when = at;
+      bench.simulator.queue().ScheduleAt(when, [=]() {
+        std::map<std::string, Value> inputs{{"WF.I1", Value(int64_t{10})}};
+        if (fail) inputs["WF.FAIL1"] = Value(true);
+        (void)front_end->StartWorkflow(name, std::move(inputs));
+      });
+      if (abort || change) {
+        // The front end assigns sequential numbers in start order, and
+        // starts are scheduled at strictly increasing times, so this
+        // start receives instance number `started`.
+        int64_t number = started;
+        bench.simulator.queue().ScheduleAt(
+            when + kDisruptionDelay, [=]() {
+              InstanceId instance{name, number};
+              if (abort) {
+                (void)front_end->RequestAbort(instance);
+              } else {
+                (void)front_end->RequestChangeInputs(
+                    instance, {{"WF.I1", Value(int64_t{77})}});
+              }
+            });
+      }
+    }
+  }
+  bench.simulator.Run();
+  return FinishRun(Architecture::kDistributed, &bench, started,
+                   system.committed_count(), system.aborted_count());
+}
+
+}  // namespace
+
+RunResult RunWorkload(const Params& params, Architecture architecture) {
+  if (architecture == Architecture::kDistributed) {
+    return RunDistributedImpl(params);
+  }
+  return RunCentralLike(params, architecture);
+}
+
+}  // namespace crew::workload

@@ -1,0 +1,49 @@
+#ifndef CREW_WORKLOAD_DRIVER_H_
+#define CREW_WORKLOAD_DRIVER_H_
+
+#include <string>
+
+#include "sim/metrics.h"
+#include "workload/generator.h"
+#include "workload/params.h"
+
+namespace crew::workload {
+
+/// Which control architecture a run exercises (Figure 6).
+enum class Architecture { kCentral, kParallel, kDistributed };
+
+const char* ArchitectureName(Architecture architecture);
+
+/// Aggregated outcome of one workload run.
+struct RunResult {
+  Architecture architecture = Architecture::kCentral;
+  int64_t started = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  int64_t sim_ticks = 0;
+  sim::Metrics metrics;  ///< full per-category message/load counters
+
+  double instances() const {
+    return started > 0 ? static_cast<double>(started) : 1.0;
+  }
+  /// Messages of a category per instance.
+  double MessagesPerInstance(sim::MsgCategory category) const {
+    return static_cast<double>(metrics.MessagesIn(category)) / instances();
+  }
+  /// Load of a category at the *maximum-loaded* node, per instance,
+  /// normalized by l (the paper's "Load at Engine" unit).
+  double NormalizedMaxLoad(sim::LoadCategory category, int64_t l) const;
+  /// Same but total across nodes (used to sanity-check conservation).
+  double NormalizedTotalLoad(sim::LoadCategory category, int64_t l) const;
+
+  std::string Describe() const;
+};
+
+/// Runs the Table 3 workload against one architecture and reports the
+/// measured per-instance loads and message counts. Deterministic for a
+/// given Params::seed.
+RunResult RunWorkload(const Params& params, Architecture architecture);
+
+}  // namespace crew::workload
+
+#endif  // CREW_WORKLOAD_DRIVER_H_

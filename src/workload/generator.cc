@@ -1,0 +1,246 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "expr/parser.h"
+#include "model/builder.h"
+
+namespace crew::workload {
+
+Result<GeneratedSchema> WorkloadGenerator::Generate(int index) {
+  const std::string name = "WF" + std::to_string(index);
+  const int s = std::max(2, params_.steps_per_workflow);
+
+  model::SchemaBuilder builder(name);
+  std::vector<StepId> steps;
+  for (int k = 1; k <= s; ++k) {
+    StepId id = builder.AddTask("T" + std::to_string(k), "syn_" + name,
+                                /*cost=*/1000);
+    steps.push_back(id);
+  }
+  builder.Sequence(steps);
+  builder.DeclareInput("WF.I1");
+
+  GeneratedSchema out;
+  // Failure site: deep enough that rolling back r steps stays in range.
+  int failure_index =
+      std::min(s - 1, std::max(1, params_.rollback_depth));  // 0-based
+  out.failure_step = steps[failure_index];
+  StepId origin = steps[std::max(
+      0, failure_index - std::max(1, params_.rollback_depth))];
+  builder.OnFail(out.failure_step, origin, /*max_attempts=*/4);
+
+  // The rollback origin consumes the workflow input, so an input change
+  // rolls back to it as well.
+  out.input_consumer = origin;
+  builder.step(origin).inputs = {"WF.I1"};
+  // Failure injection is signalled through a workflow input so it works
+  // identically under every architecture's instance-numbering scheme.
+  builder.step(out.failure_step).inputs.push_back("WF.FAIL1");
+
+  // Data-flow chain: each step consumes its predecessor's output, so
+  // changed() conditions propagate re-execution decisions.
+  for (int k = 1; k < s; ++k) {
+    builder.step(steps[k]).inputs.push_back(
+        "S" + std::to_string(steps[k - 1]) + ".O1");
+  }
+
+  // OCR calibration: with probability pr a step always re-executes on a
+  // rollback re-visit; otherwise it reuses while its input is unchanged.
+  for (int k = 0; k < s; ++k) {
+    model::Step& step = builder.step(steps[k]);
+    if (steps[k] == out.failure_step) continue;  // fails, so re-runs
+    if (rng_->Bernoulli(params_.p_reexecution)) continue;  // always re-run
+    std::string watched =
+        k == 0 ? "WF.I1" : "S" + std::to_string(steps[k - 1]) + ".O1";
+    Result<expr::NodePtr> condition =
+        expr::ParseExpression("changed(" + watched + ")");
+    if (!condition.ok()) return condition.status();
+    step.ocr.reexec_condition = std::move(condition).value();
+  }
+
+  // Compensate-on-abort marking: the first w steps (the ones most likely
+  // to have executed when an abort arrives).
+  for (int k = 0; k < s; ++k) {
+    builder.step(steps[k]).compensate_on_abort =
+        k < params_.abort_compensated_steps;
+  }
+
+  Result<model::Schema> schema = builder.Build();
+  if (!schema.ok()) return schema.status();
+  Result<model::CompiledSchemaPtr> compiled =
+      model::CompiledSchema::Compile(std::move(schema).value());
+  if (!compiled.ok()) return compiled.status();
+  out.schema = std::move(compiled).value();
+  return out;
+}
+
+Result<GeneratedSchema> WorkloadGenerator::GenerateStructured(int index) {
+  const std::string name = "SWF" + std::to_string(index);
+  const std::string program = "syn_" + name;
+  model::SchemaBuilder builder(name);
+  builder.DeclareInput("WF.I1");
+
+  // Prologue.
+  StepId intake = builder.AddTask("Intake", program, 500);
+  builder.step(intake).inputs = {"WF.I1"};
+
+  // If-then-else on the workflow input.
+  StepId decide = builder.AddTask("Decide", program, 400);
+  StepId expedite = builder.AddTask("Expedite", program, 700);
+  StepId standard = builder.AddTask("Standard", program, 700);
+  StepId merge = builder.AddTask("Merge", program, 300);
+  builder.Arc(intake, decide);
+  builder.CondArc(decide, expedite, "WF.I1 >= 50");
+  builder.ElseArc(decide, standard);
+  builder.Arc(expedite, merge);
+  builder.Arc(standard, merge);
+  builder.SetJoin(merge, model::JoinKind::kOr);
+
+  // Parallel block with an AND-join.
+  StepId left = builder.AddTask("Left", program, 900);
+  StepId right = builder.AddTask("Right", program, 600);
+  StepId join = builder.AddTask("Join", program, 300);
+  builder.Parallel(merge, {{left, left}, {right, right}}, join);
+
+  // Bounded loop: Polish repeats until its attempt count reaches 2.
+  StepId polish = builder.AddTask("Polish", "loop_" + name, 400);
+  StepId finish = builder.AddTask("Finish", program, 500);
+  builder.Arc(join, polish);
+  builder.BackArc(polish, polish, "S" + std::to_string(polish) +
+                                      ".O1 < 2");
+  builder.CondArc(polish, finish,
+                  "S" + std::to_string(polish) + ".O1 >= 2");
+  builder.SetJoin(polish, model::JoinKind::kOr);
+
+  // Failure spec on the epilogue: roll back into the parallel block.
+  GeneratedSchema out;
+  out.failure_step = finish;
+  out.input_consumer = intake;
+  builder.OnFail(finish, join, /*max_attempts=*/4);
+  builder.step(finish).inputs = {"WF.FAIL1"};
+
+  Result<model::Schema> schema = builder.Build();
+  if (!schema.ok()) return schema.status();
+  Result<model::CompiledSchemaPtr> compiled =
+      model::CompiledSchema::Compile(std::move(schema).value());
+  if (!compiled.ok()) return compiled.status();
+  out.schema = std::move(compiled).value();
+  return out;
+}
+
+Result<std::vector<GeneratedSchema>> WorkloadGenerator::GenerateAll() {
+  std::vector<GeneratedSchema> out;
+  failing_.assign(params_.num_schemas, {});
+  input_changes_.assign(params_.num_schemas, {});
+  aborts_.assign(params_.num_schemas, {});
+  for (int index = 0; index < params_.num_schemas; ++index) {
+    Result<GeneratedSchema> one = Generate(index);
+    if (!one.ok()) return one.status();
+    out.push_back(std::move(one).value());
+    for (int64_t n = 1; n <= params_.instances_per_schema; ++n) {
+      // Disruptions are mutually exclusive per instance so the per-
+      // mechanism accounting stays clean.
+      if (rng_->Bernoulli(params_.p_step_failure)) {
+        failing_[index].insert(n);
+      } else if (rng_->Bernoulli(params_.p_input_change)) {
+        input_changes_[index].insert(n);
+      } else if (rng_->Bernoulli(params_.p_abort)) {
+        aborts_[index].insert(n);
+      }
+    }
+  }
+  return out;
+}
+
+runtime::CoordinationSpec WorkloadGenerator::MakeCoordinationSpec(
+    const std::vector<GeneratedSchema>& schemas) const {
+  runtime::CoordinationSpec spec;
+  for (size_t index = 0; index < schemas.size(); ++index) {
+    const std::string& name = schemas[index].schema->schema().name();
+    const int s = schemas[index].schema->schema().num_steps();
+
+    // Relative ordering between consecutive instances of the class on
+    // `ro` step pairs (order-processing semantics).
+    if (params_.relative_order_steps > 0) {
+      runtime::RelativeOrderReq ro;
+      ro.id = "ro_" + name;
+      ro.workflow_a = name;
+      ro.workflow_b = name;
+      for (int k = 0;
+           k < params_.relative_order_steps && k < s; ++k) {
+        StepId step = static_cast<StepId>(2 + k);
+        if (step > s) break;
+        ro.step_pairs.emplace_back(step, step);
+      }
+      if (!ro.step_pairs.empty()) spec.relative_orders.push_back(ro);
+    }
+
+    // Mutual exclusion on per-class resources.
+    for (int k = 0; k < params_.mutex_steps && k < s; ++k) {
+      StepId step = static_cast<StepId>(1 + k);
+      runtime::MutexReq me;
+      me.id = "me_" + name + "_" + std::to_string(step);
+      me.resource = "res_" + name + "_" + std::to_string(step);
+      me.critical_steps = {{name, step}};
+      spec.mutexes.push_back(me);
+    }
+
+    // Rollback dependency from this class to the next one.
+    if (params_.rollback_dep_steps > 0 && schemas.size() > 1) {
+      const std::string& next =
+          schemas[(index + 1) % schemas.size()].schema->schema().name();
+      for (int k = 0; k < params_.rollback_dep_steps; ++k) {
+        runtime::RollbackDepReq rd;
+        rd.id = "rd_" + name + "_" + std::to_string(k);
+        rd.workflow_a = name;
+        rd.step_a = static_cast<StepId>(std::min(s, 2 + k));
+        rd.workflow_b = next;
+        rd.step_b = 1;
+        spec.rollback_deps.push_back(rd);
+      }
+    }
+  }
+  return spec;
+}
+
+void WorkloadGenerator::RegisterPrograms(
+    const std::vector<GeneratedSchema>& schemas,
+    runtime::ProgramRegistry* programs) {
+  for (size_t index = 0; index < schemas.size(); ++index) {
+    const GeneratedSchema& generated = schemas[index];
+    const std::string program_name =
+        "syn_" + generated.schema->schema().name();
+    StepId failure_step = generated.failure_step;
+    programs->Register(
+        program_name,
+        [failure_step](const runtime::ProgramContext& context) {
+          runtime::ProgramOutcome outcome;
+          if (context.step == failure_step && context.attempt == 1) {
+            auto it = context.inputs.find("WF.FAIL1");
+            if (it != context.inputs.end() && it->second.Truthy()) {
+              outcome.success = false;
+              return outcome;
+            }
+          }
+          // Outputs are stable across attempts so that re-execution does
+          // not cascade through every changed() condition downstream —
+          // the paper's model assumes only a pr fraction of rolled-back
+          // steps re-execute.
+          outcome.outputs["O1"] = Value(int64_t{1});
+          return outcome;
+        });
+    // Loop bodies (structured schemas) count their attempts so the loop
+    // exit condition terminates.
+    programs->Register(
+        "loop_" + generated.schema->schema().name(),
+        [](const runtime::ProgramContext& context) {
+          runtime::ProgramOutcome outcome;
+          outcome.outputs["O1"] =
+              Value(static_cast<int64_t>(context.attempt));
+          return outcome;
+        });
+  }
+}
+
+}  // namespace crew::workload

@@ -1,0 +1,88 @@
+#ifndef CREW_WORKLOAD_GENERATOR_H_
+#define CREW_WORKLOAD_GENERATOR_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/compiled.h"
+#include "runtime/coord.h"
+#include "runtime/programs.h"
+#include "workload/params.h"
+
+namespace crew::workload {
+
+/// One generated workflow class plus the bookkeeping the driver needs to
+/// reproduce the paper's failure/recovery behaviour.
+struct GeneratedSchema {
+  model::CompiledSchemaPtr schema;
+  /// The step designated to fail (on its first attempt) in instances
+  /// selected for failure; its FailureSpec rolls back `r` steps.
+  StepId failure_step = kInvalidStep;
+  /// The step consuming WF.I1 — the input-change rollback origin.
+  StepId input_consumer = kInvalidStep;
+};
+
+/// Synthesizes the Table 3 workload: `c` workflow classes of `s` steps
+/// each, with failure specs of depth `r`, OCR re-execution conditions
+/// calibrated so a fraction `pr` of rolled-back steps re-execute (the
+/// rest reuse), `w` compensate-on-abort steps, and RO/ME/RD requirements
+/// on `ro`/`me`/`rd` steps per class.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const Params& params, Rng* rng)
+      : params_(params), rng_(rng) {}
+
+  /// Generates schema `index` (class name "WF<index>"): a sequential
+  /// chain of `s` steps (the Table 3 analysis shape).
+  Result<GeneratedSchema> Generate(int index);
+
+  /// Generates a *structured* schema "SWF<index>" exercising every
+  /// control construct: a prologue, an if-then-else block, a parallel
+  /// block with an AND-join, a bounded loop, and an epilogue carrying
+  /// the failure spec. Used by integration/property tests to cover the
+  /// constructs the sequential analysis shape does not.
+  Result<GeneratedSchema> GenerateStructured(int index);
+
+  /// Generates the full class set.
+  Result<std::vector<GeneratedSchema>> GenerateAll();
+
+  /// Builds the coordination requirements across the generated classes:
+  /// RO between consecutive instances of each class (ro step pairs), ME
+  /// on shared resources (me steps), RD from each class to the next
+  /// (rd links).
+  runtime::CoordinationSpec MakeCoordinationSpec(
+      const std::vector<GeneratedSchema>& schemas) const;
+
+  /// Registers the synthetic step program for each class:
+  ///  - "syn_WF<index>": O1 = attempt number; fails on attempt 1 when the
+  ///    instance number is in the failing set.
+  void RegisterPrograms(const std::vector<GeneratedSchema>& schemas,
+                        runtime::ProgramRegistry* programs);
+
+  /// Instance numbers (1..i) of class `index` designated to fail, drawn
+  /// with probability pf.
+  const std::set<int64_t>& failing_instances(int index) const {
+    return failing_[index];
+  }
+  /// Instances designated for a user input change (probability pi).
+  const std::set<int64_t>& input_change_instances(int index) const {
+    return input_changes_[index];
+  }
+  /// Instances designated for a user abort (probability pa).
+  const std::set<int64_t>& abort_instances(int index) const {
+    return aborts_[index];
+  }
+
+ private:
+  Params params_;
+  Rng* rng_;
+  std::vector<std::set<int64_t>> failing_;
+  std::vector<std::set<int64_t>> input_changes_;
+  std::vector<std::set<int64_t>> aborts_;
+};
+
+}  // namespace crew::workload
+
+#endif  // CREW_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,35 @@
+#include "workload/params.h"
+
+#include <sstream>
+
+namespace crew::workload {
+
+std::string Params::Describe() const {
+  std::ostringstream os;
+  os << "  s  (steps/workflow)            = " << steps_per_workflow << "\n"
+     << "  c  (workflow schemas)          = " << num_schemas << "\n"
+     << "  i  (instances/schema)          = " << instances_per_schema
+     << "\n"
+     << "  e  (engines)                   = " << num_engines << "\n"
+     << "  z  (agents)                    = " << num_agents << "\n"
+     << "  a  (eligible agents/step)      = " << eligible_per_step << "\n"
+     << "  d  (conflicting defs/step)     = " << conflicting_defs_per_step
+     << "\n"
+     << "  r  (steps rolled back)         = " << rollback_depth << "\n"
+     << "  v  (steps invalidated)         = " << invalidated_steps << "\n"
+     << "  f  (final steps)               = " << final_steps << "\n"
+     << "  w  (steps compensated/abort)   = " << abort_compensated_steps
+     << "\n"
+     << "  me (mutex steps/WF)            = " << mutex_steps << "\n"
+     << "  ro (relative-order steps/WF)   = " << relative_order_steps
+     << "\n"
+     << "  rd (rollback-dep steps/WF)     = " << rollback_dep_steps << "\n"
+     << "  l  (navigation load/step)      = " << navigation_load << "\n"
+     << "  pf (P[step failure])           = " << p_step_failure << "\n"
+     << "  pi (P[input change])           = " << p_input_change << "\n"
+     << "  pa (P[abort])                  = " << p_abort << "\n"
+     << "  pr (P[re-execution])           = " << p_reexecution << "\n";
+  return os.str();
+}
+
+}  // namespace crew::workload

@@ -1,0 +1,45 @@
+#ifndef CREW_WORKLOAD_PARAMS_H_
+#define CREW_WORKLOAD_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crew::workload {
+
+/// The analysis parameters of Table 3, with the paper's value ranges in
+/// comments and the midpoints the normalized values assume as defaults.
+struct Params {
+  int steps_per_workflow = 15;        ///< s: 5 - 25
+  int num_schemas = 20;               ///< c: 20
+  int instances_per_schema = 10;      ///< i: 10 - 1000
+  int num_engines = 4;                ///< e: 1 - 8 (parallel control)
+  int num_agents = 50;                ///< z: 10 - 100
+  int eligible_per_step = 2;          ///< a: 1 - 4
+  int conflicting_defs_per_step = 1;  ///< d: 0 - 2
+  int rollback_depth = 5;             ///< r: 1 - 10
+  int invalidated_steps = 4;          ///< v: 0 - 8
+  int final_steps = 2;                ///< f: 1 - 4
+  int abort_compensated_steps = 2;    ///< w: 0 - 4
+  int mutex_steps = 2;                ///< me: 0 - 4
+  int relative_order_steps = 2;       ///< ro: 0 - 4
+  int rollback_dep_steps = 1;         ///< rd: 0 - 2
+  int64_t navigation_load = 100;      ///< l: instructions per step
+  double p_step_failure = 0.1;        ///< pf: 0.0 - 0.2
+  double p_input_change = 0.025;      ///< pi: 0.0 - 0.05
+  double p_abort = 0.025;             ///< pa: 0.0 - 0.05
+  double p_reexecution = 0.25;        ///< pr: 0.0 - 0.5
+
+  uint64_t seed = 42;
+
+  /// Total coordination intensity me + ro + rd.
+  int coordination_intensity() const {
+    return mutex_steps + relative_order_steps + rollback_dep_steps;
+  }
+
+  /// Multi-line "name = value" dump (printed by every bench header).
+  std::string Describe() const;
+};
+
+}  // namespace crew::workload
+
+#endif  // CREW_WORKLOAD_PARAMS_H_

@@ -1,0 +1,175 @@
+// Edge cases of the centralized engine's administrative surface and of
+// designer-error handling.
+#include <gtest/gtest.h>
+
+#include "central/system.h"
+#include "model/builder.h"
+
+namespace crew::central {
+namespace {
+
+using model::SchemaBuilder;
+using runtime::WorkflowState;
+
+class EdgeFixture {
+ public:
+  EdgeFixture() : simulator_(42) {
+    programs_.RegisterBuiltins();
+    system_ = std::make_unique<CentralSystem>(
+        &simulator_, &programs_, &deployment_, &coordination_, 4);
+  }
+
+  void Register(model::Schema schema) {
+    auto compiled = model::CompiledSchema::Compile(std::move(schema));
+    ASSERT_TRUE(compiled.ok());
+    for (StepId s = 1; s <= compiled.value()->schema().num_steps(); ++s) {
+      deployment_.SetEligible(compiled.value()->schema().name(), s,
+                              {system_->agent_ids()[0],
+                               system_->agent_ids()[1]});
+    }
+    system_->engine().RegisterSchema(compiled.value());
+  }
+
+  sim::Simulator simulator_;
+  runtime::ProgramRegistry programs_;
+  model::Deployment deployment_;
+  runtime::CoordinationSpec coordination_;
+  std::unique_ptr<CentralSystem> system_;
+};
+
+model::Schema Seq2(const std::string& name,
+                   const std::string& second_program = "noop") {
+  SchemaBuilder b(name);
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", second_program);
+  b.Sequence({s1, s2});
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(CentralEdgeTest, UnknownInstanceQueriesAndRequests) {
+  EdgeFixture fix;
+  fix.Register(Seq2("Wf"));
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Wf", 404}),
+            WorkflowState::kUnknown);
+  EXPECT_TRUE(fix.system_->engine().AbortWorkflow({"Wf", 404}).IsNotFound());
+  EXPECT_TRUE(fix.system_->engine()
+                  .ChangeInputs({"Wf", 404}, {{"WF.I1", Value(int64_t{1})}})
+                  .IsNotFound());
+  EXPECT_TRUE(fix.system_->engine().FinalData({"Wf", 404}).empty());
+}
+
+TEST(CentralEdgeTest, ChangeInputsWithIdenticalValuesIsNoOp) {
+  EdgeFixture fix;
+  SchemaBuilder b("Wf");
+  StepId s1 = b.AddTask("A", "copy");
+  b.step(s1).inputs = {"WF.I1"};
+  StepId s2 = b.AddTask("B", "noop");
+  b.Sequence({s1, s2});
+  fix.Register(std::move(b.Build()).value());
+
+  ASSERT_TRUE(fix.system_->engine()
+                  .StartWorkflow("Wf", 1, {{"WF.I1", Value(int64_t{5})}})
+                  .ok());
+  fix.simulator_.queue().RunUntil(2);
+  int64_t messages_before = fix.simulator_.metrics().TotalMessages();
+  // Same value: no rollback, no extra traffic beyond what's in flight.
+  ASSERT_TRUE(fix.system_->engine()
+                  .ChangeInputs({"Wf", 1}, {{"WF.I1", Value(int64_t{5})}})
+                  .ok());
+  EXPECT_EQ(fix.simulator_.metrics().MessagesIn(
+                sim::MsgCategory::kInputChange),
+            0);
+  fix.simulator_.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Wf", 1}),
+            WorkflowState::kCommitted);
+  (void)messages_before;
+}
+
+TEST(CentralEdgeTest, ChangeInputsBeforeConsumerRanMergesSilently) {
+  EdgeFixture fix;
+  SchemaBuilder b("Wf");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "copy");
+  b.step(s2).inputs = {"WF.I1"};
+  b.Sequence({s1, s2});
+  fix.Register(std::move(b.Build()).value());
+
+  ASSERT_TRUE(fix.system_->engine()
+                  .StartWorkflow("Wf", 1, {{"WF.I1", Value(int64_t{5})}})
+                  .ok());
+  // Change before B (the consumer) has run: just a data merge.
+  ASSERT_TRUE(fix.system_->engine()
+                  .ChangeInputs({"Wf", 1}, {{"WF.I1", Value(int64_t{9})}})
+                  .ok());
+  fix.simulator_.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Wf", 1}),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->engine().FinalData({"Wf", 1}).at("S2.O1"),
+            Value(int64_t{9}));
+}
+
+TEST(CentralEdgeTest, MissingProgramFailsStepAndAborts) {
+  EdgeFixture fix;
+  fix.Register(Seq2("Wf", "never_registered"));
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Wf", 1, {}).ok());
+  fix.simulator_.Run();
+  // The unknown program behaves as a failing step; with no rollback
+  // target the workflow aborts rather than hanging.
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Wf", 1}),
+            WorkflowState::kAborted);
+}
+
+TEST(CentralEdgeTest, ChoiceWithNoMatchingBranchHangsNotCrashes) {
+  EdgeFixture fix;
+  // Designer error: conditions cover nothing and there is no else.
+  SchemaBuilder b("Stuck");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("L", "noop");
+  StepId s3 = b.AddTask("R", "noop");
+  b.CondArc(s1, s2, "S1.O1 > 100");
+  b.CondArc(s1, s3, "S1.O1 > 200");
+  b.TerminalGroup({s2, s3});
+  fix.Register(std::move(b.Build()).value());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Stuck", 1, {}).ok());
+  fix.simulator_.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Stuck", 1}),
+            WorkflowState::kExecuting);  // hangs, by design
+}
+
+TEST(CentralEdgeTest, AbortedLeaderReleasesOrderedFollowers) {
+  EdgeFixture fix;
+  runtime::RelativeOrderReq ro;
+  ro.id = "fifo";
+  ro.workflow_a = "Wf";
+  ro.workflow_b = "Wf";
+  ro.step_pairs = {{2, 2}};
+  fix.coordination_.relative_orders.push_back(ro);
+  fix.Register(Seq2("Wf"));
+
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Wf", 1, {}).ok());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Wf", 2, {}).ok());
+  // Abort the leader before its ordered step completes.
+  ASSERT_TRUE(fix.system_->engine().AbortWorkflow({"Wf", 1}).ok());
+  fix.simulator_.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Wf", 1}),
+            WorkflowState::kAborted);
+  // The follower must not hang on the dead leader's ordering token.
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Wf", 2}),
+            WorkflowState::kCommitted);
+}
+
+TEST(CentralEdgeTest, ManyInstancesInterleaveDeterministically) {
+  EdgeFixture fix;
+  fix.Register(Seq2("Wf"));
+  for (int64_t n = 1; n <= 40; ++n) {
+    ASSERT_TRUE(fix.system_->engine().StartWorkflow("Wf", n, {}).ok());
+  }
+  fix.simulator_.Run();
+  EXPECT_EQ(fix.system_->engine().committed_count(), 40);
+  EXPECT_EQ(fix.system_->engine().live_instances(), 40u);  // archived
+}
+
+}  // namespace
+}  // namespace crew::central

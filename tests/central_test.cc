@@ -1,0 +1,449 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "central/system.h"
+#include "expr/parser.h"
+#include "model/builder.h"
+#include "rules/event.h"
+
+namespace crew::central {
+namespace {
+
+using model::CompiledSchema;
+using model::CompiledSchemaPtr;
+using model::SchemaBuilder;
+
+using runtime::WorkflowState;
+
+/// Test harness: one engine, `agents` thin agents, every step eligible on
+/// `eligible` agents chosen round-robin.
+class CentralFixture {
+ public:
+  explicit CentralFixture(int agents = 4, uint64_t seed = 42)
+      : simulator_(seed) {
+    programs_.RegisterBuiltins();
+    system_ = std::make_unique<CentralSystem>(
+        &simulator_, &programs_, &deployment_, &coordination_, agents);
+  }
+
+  CompiledSchemaPtr Register(model::Schema schema, int eligible = 2) {
+    auto compiled = CompiledSchema::Compile(std::move(schema));
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    CompiledSchemaPtr ptr = compiled.value();
+    const auto& ids = system_->agent_ids();
+    for (StepId s = 1; s <= ptr->schema().num_steps(); ++s) {
+      std::vector<NodeId> agents;
+      for (int k = 0; k < eligible; ++k) {
+        agents.push_back(ids[(s - 1 + k) % ids.size()]);
+      }
+      std::sort(agents.begin(), agents.end());
+      deployment_.SetEligible(ptr->schema().name(), s, agents);
+    }
+    system_->engine().RegisterSchema(ptr);
+    return ptr;
+  }
+
+  void Run() { simulator_.Run(); }
+
+  sim::Simulator simulator_;
+  runtime::ProgramRegistry programs_;
+  model::Deployment deployment_;
+  runtime::CoordinationSpec coordination_;
+  std::unique_ptr<CentralSystem> system_;
+};
+
+model::Schema Seq3(const std::string& name = "Seq3") {
+  SchemaBuilder b(name);
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  b.Sequence({s1, s2, s3});
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+TEST(CentralEngineTest, SequentialWorkflowCommits) {
+  CentralFixture fix;
+  fix.Register(Seq3());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Seq3", 1, {}).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Seq3", 1}),
+            WorkflowState::kCommitted);
+  std::map<std::string, Value> data =
+      fix.system_->engine().FinalData({"Seq3", 1});
+  EXPECT_EQ(data.at("S1.O1"), Value(int64_t{1}));
+  EXPECT_EQ(data.at("S3.O1"), Value(int64_t{1}));
+}
+
+TEST(CentralEngineTest, DuplicateInstanceRejected) {
+  CentralFixture fix;
+  fix.Register(Seq3());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Seq3", 1, {}).ok());
+  EXPECT_EQ(fix.system_->engine().StartWorkflow("Seq3", 1, {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CentralEngineTest, UnknownSchemaRejected) {
+  CentralFixture fix;
+  EXPECT_TRUE(
+      fix.system_->engine().StartWorkflow("Ghost", 1, {}).IsNotFound());
+}
+
+TEST(CentralEngineTest, ParallelBranchesJoinBeforeCommit) {
+  CentralFixture fix;
+  SchemaBuilder b("Par");
+  StepId s1 = b.AddTask("split", "noop");
+  StepId s2 = b.AddTask("left", "noop");
+  StepId s3 = b.AddTask("right", "noop");
+  StepId s4 = b.AddTask("join", "sum");
+  b.Parallel(s1, {{s2, s2}, {s3, s3}}, s4);
+  fix.system_->engine();
+  fix.Register(std::move(b.Build()).value());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Par", 1, {}).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Par", 1}),
+            WorkflowState::kCommitted);
+}
+
+TEST(CentralEngineTest, ChoiceTakesConditionBranch) {
+  CentralFixture fix;
+  SchemaBuilder b("Choice");
+  StepId s1 = b.AddTask("decide", "copy");
+  b.step(s1).inputs = {"WF.I1"};
+  StepId s2 = b.AddTask("big", "noop");
+  StepId s3 = b.AddTask("small", "noop");
+  StepId s4 = b.AddTask("merge", "noop");
+  b.CondArc(s1, s2, "S1.O1 >= 10");
+  b.ElseArc(s1, s3);
+  b.Arc(s2, s4);
+  b.Arc(s3, s4);
+  b.SetJoin(s4, model::JoinKind::kOr);
+  fix.Register(std::move(b.Build()).value());
+
+  ASSERT_TRUE(fix.system_->engine()
+                  .StartWorkflow("Choice", 1,
+                                 {{"WF.I1", Value(int64_t{42})}})
+                  .ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Choice", 1}),
+            WorkflowState::kCommitted);
+  std::map<std::string, Value> data =
+      fix.system_->engine().FinalData({"Choice", 1});
+  EXPECT_TRUE(data.count("S2.O1"));   // big branch ran
+  EXPECT_FALSE(data.count("S3.O1"));  // small branch did not
+
+  ASSERT_TRUE(fix.system_->engine()
+                  .StartWorkflow("Choice", 2,
+                                 {{"WF.I1", Value(int64_t{3})}})
+                  .ok());
+  fix.Run();
+  data = fix.system_->engine().FinalData({"Choice", 2});
+  EXPECT_FALSE(data.count("S2.O1"));
+  EXPECT_TRUE(data.count("S3.O1"));
+}
+
+TEST(CentralEngineTest, LoopIteratesUntilExit) {
+  CentralFixture fix;
+  // Program counts attempts; loop until the counter reaches 3.
+  SchemaBuilder b("Loop");
+  StepId s1 = b.AddTask("body", "noop");  // O1 = attempt number
+  StepId s2 = b.AddTask("after", "noop");
+  b.CondArc(s1, s2, "S1.O1 >= 3");
+  b.BackArc(s1, s1, "S1.O1 < 3");
+  b.SetJoin(s1, model::JoinKind::kOr);
+  fix.Register(std::move(b.Build()).value());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Loop", 1, {}).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Loop", 1}),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->engine().FinalData({"Loop", 1}).at("S1.O1"),
+            Value(int64_t{3}));
+}
+
+TEST(CentralEngineTest, StepFailureRollsBackAndRetries) {
+  CentralFixture fix;
+  fix.programs_.RegisterFailFirstN("flaky", 1);
+  SchemaBuilder b("Retry");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "flaky");
+  StepId s3 = b.AddTask("C", "noop");
+  b.Sequence({s1, s2, s3});
+  b.OnFail(s2, s1, /*max_attempts=*/3);
+  fix.Register(std::move(b.Build()).value());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Retry", 1, {}).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Retry", 1}),
+            WorkflowState::kCommitted);
+  // Second attempt of B succeeded.
+  EXPECT_EQ(fix.system_->engine().FinalData({"Retry", 1}).at("S2.O1"),
+            Value(int64_t{2}));
+}
+
+TEST(CentralEngineTest, ExhaustedRetriesAbortWorkflow) {
+  CentralFixture fix;
+  SchemaBuilder b("Doomed");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "fail_always");
+  b.Sequence({s1, s2});
+  b.OnFail(s2, s1, /*max_attempts=*/2);
+  fix.Register(std::move(b.Build()).value());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Doomed", 1, {}).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Doomed", 1}),
+            WorkflowState::kAborted);
+  EXPECT_EQ(fix.system_->engine().aborted_count(), 1);
+}
+
+TEST(CentralEngineTest, FailureWithoutRollbackTargetAborts) {
+  CentralFixture fix;
+  SchemaBuilder b("NoTarget");
+  StepId s1 = b.AddTask("A", "fail_always");
+  (void)s1;
+  fix.Register(std::move(b.Build()).value());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("NoTarget", 1, {}).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"NoTarget", 1}),
+            WorkflowState::kAborted);
+}
+
+TEST(CentralEngineTest, OcrReusesUnchangedResults) {
+  CentralFixture fix;
+  fix.programs_.RegisterFailFirstN("flaky", 1);
+  // S1 -> S2 -> S3(flaky, rollback to S1). S2's re-exec condition reuses
+  // results when its input S1.O1 did not change — and "noop" output is
+  // the attempt count of S1... S1 reuse too: S1 has no reexec condition?
+  // Give S1 and S2 changed()-based conditions so both are reused.
+  SchemaBuilder b("Ocr");
+  StepId s1 = b.AddTask("A", "noop");
+  b.step(s1).ocr.reexec_condition =
+      expr::ParseExpression("changed(WF.I1)").value();
+  b.step(s1).inputs = {"WF.I1"};
+  StepId s2 = b.AddTask("B", "noop");
+  b.step(s2).inputs = {"S1.O1"};
+  b.step(s2).ocr.reexec_condition =
+      expr::ParseExpression("changed(S1.O1)").value();
+  StepId s3 = b.AddTask("C", "flaky");
+  b.Sequence({s1, s2, s3});
+  b.OnFail(s3, s1, 3);
+  fix.Register(std::move(b.Build()).value());
+  ASSERT_TRUE(fix.system_->engine()
+                  .StartWorkflow("Ocr", 1, {{"WF.I1", Value(int64_t{7})}})
+                  .ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Ocr", 1}),
+            WorkflowState::kCommitted);
+  std::map<std::string, Value> data =
+      fix.system_->engine().FinalData({"Ocr", 1});
+  // S1 and S2 were reused (outputs still from attempt 1), S3 retried.
+  EXPECT_EQ(data.at("S1.O1"), Value(int64_t{1}));
+  EXPECT_EQ(data.at("S2.O1"), Value(int64_t{1}));
+  EXPECT_EQ(data.at("S3.O1"), Value(int64_t{2}));
+}
+
+TEST(CentralEngineTest, UserAbortCompensatesExecutedSteps) {
+  CentralFixture fix;
+  SchemaBuilder b("AbortMe");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  b.Sequence({s1, s2, s3});
+  fix.Register(std::move(b.Build()).value());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("AbortMe", 1, {}).ok());
+  // Let a couple of steps run, then abort.
+  fix.simulator_.queue().RunUntil(3);
+  Status aborted = fix.system_->engine().AbortWorkflow({"AbortMe", 1});
+  EXPECT_TRUE(aborted.ok()) << aborted.ToString();
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"AbortMe", 1}),
+            WorkflowState::kAborted);
+}
+
+TEST(CentralEngineTest, AbortAfterCommitRejected) {
+  CentralFixture fix;
+  fix.Register(Seq3());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Seq3", 1, {}).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().AbortWorkflow({"Seq3", 1}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CentralEngineTest, InputChangeReexecutesAffectedSteps) {
+  CentralFixture fix;
+  SchemaBuilder b("InChange");
+  StepId s1 = b.AddTask("A", "copy");
+  b.step(s1).inputs = {"WF.I1"};
+  StepId s2 = b.AddTask("B", "copy");
+  b.step(s2).inputs = {"S1.O1"};
+  b.Sequence({s1, s2});
+  fix.Register(std::move(b.Build()).value());
+  ASSERT_TRUE(fix.system_->engine()
+                  .StartWorkflow("InChange", 1,
+                                 {{"WF.I1", Value(int64_t{10})}})
+                  .ok());
+  fix.Run();
+  ASSERT_EQ(fix.system_->engine().QueryStatus({"InChange", 1}),
+            WorkflowState::kCommitted);
+
+  // Change inputs of a committed workflow: rejected.
+  EXPECT_EQ(fix.system_->engine()
+                .ChangeInputs({"InChange", 1},
+                              {{"WF.I1", Value(int64_t{20})}})
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  // Now a live one: change inputs mid-flight.
+  ASSERT_TRUE(fix.system_->engine()
+                  .StartWorkflow("InChange", 2,
+                                 {{"WF.I1", Value(int64_t{10})}})
+                  .ok());
+  fix.simulator_.queue().RunUntil(3);
+  ASSERT_TRUE(fix.system_->engine()
+                  .ChangeInputs({"InChange", 2},
+                                {{"WF.I1", Value(int64_t{99})}})
+                  .ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"InChange", 2}),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->engine().FinalData({"InChange", 2}).at("S2.O1"),
+            Value(int64_t{99}));
+}
+
+TEST(CentralEngineTest, RelativeOrderingHoldsAcrossInstances) {
+  CentralFixture fix;
+  runtime::RelativeOrderReq ro;
+  ro.id = "orders";
+  ro.workflow_a = "Ordered";
+  ro.workflow_b = "Ordered";
+  ro.step_pairs = {{2, 2}};
+  fix.coordination_.relative_orders.push_back(ro);
+
+  SchemaBuilder b("Ordered");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  b.Sequence({s1, s2});
+  fix.Register(std::move(b.Build()).value());
+
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Ordered", 1, {}).ok());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Ordered", 2, {}).ok());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Ordered", 3, {}).ok());
+  fix.Run();
+  for (int64_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(fix.system_->engine().QueryStatus({"Ordered", i}),
+              WorkflowState::kCommitted)
+        << i;
+  }
+}
+
+TEST(CentralEngineTest, MutualExclusionSerializesCriticalSteps) {
+  CentralFixture fix;
+  runtime::MutexReq me;
+  me.id = "m";
+  me.resource = "machine";
+  me.critical_steps = {{"Crit", 2}};
+  fix.coordination_.mutexes.push_back(me);
+
+  SchemaBuilder b("Crit");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  b.Sequence({s1, s2});
+  fix.Register(std::move(b.Build()).value());
+  for (int64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(fix.system_->engine().StartWorkflow("Crit", i, {}).ok());
+  }
+  fix.Run();
+  for (int64_t i = 1; i <= 4; ++i) {
+    EXPECT_EQ(fix.system_->engine().QueryStatus({"Crit", i}),
+              WorkflowState::kCommitted)
+        << i;
+  }
+}
+
+TEST(CentralEngineTest, BranchSwitchCompensatesOldBranch) {
+  CentralFixture fix;
+  fix.programs_.RegisterFailFirstN("flaky", 1);
+  // decide(copy of WF.I1-dependent attempt): first run takes the "top"
+  // branch, after failure + re-execution the condition flips because
+  // decide's output changes with the attempt count.
+  SchemaBuilder b("Switch");
+  StepId s1 = b.AddTask("decide", "noop");  // O1 = attempt number
+  StepId s2 = b.AddTask("top", "noop");
+  StepId s3 = b.AddTask("bottom", "noop");
+  StepId s4 = b.AddTask("final", "flaky");
+  b.CondArc(s1, s2, "S1.O1 == 1");  // taken on attempt 1
+  b.ElseArc(s1, s3);                // taken on attempt >= 2
+  b.Arc(s2, s4);
+  b.Arc(s3, s4);
+  b.SetJoin(s4, model::JoinKind::kOr);
+  b.OnFail(s4, s1, 3);
+  fix.Register(std::move(b.Build()).value());
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Switch", 1, {}).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Switch", 1}),
+            WorkflowState::kCommitted);
+  std::map<std::string, Value> data =
+      fix.system_->engine().FinalData({"Switch", 1});
+  // Bottom branch ran on the second pass.
+  EXPECT_TRUE(data.count("S3.O1"));
+}
+
+TEST(CentralEngineTest, MessageCountsMatchRedundantFanout) {
+  CentralFixture fix(/*agents=*/4);
+  fix.Register(Seq3(), /*eligible=*/2);
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Seq3", 1, {}).ok());
+  fix.Run();
+  // 3 steps x (2 requests + 2 replies) = 12 normal messages (paper: 2·s·a).
+  EXPECT_EQ(fix.simulator_.metrics().MessagesIn(sim::MsgCategory::kNormal),
+            12);
+}
+
+TEST(CentralEngineTest, EngineSurvivesAgentCrash) {
+  CentralFixture fix(/*agents=*/3);
+  fix.Register(Seq3(), /*eligible=*/2);
+  // Crash one agent for a while; the engine must route around it (or the
+  // parked messages get delivered on recovery).
+  sim::InjectCrash(&fix.simulator_, CentralSystem::kFirstAgentId, 0, 50);
+  ASSERT_TRUE(fix.system_->engine().StartWorkflow("Seq3", 1, {}).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->engine().QueryStatus({"Seq3", 1}),
+            WorkflowState::kCommitted);
+}
+
+TEST(CentralEngineTest, WfdbPersistsStatusAcrossRestart) {
+  namespace fs = std::filesystem;
+  std::string dir =
+      (fs::temp_directory_path() / "crew_central_wfdb").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    CentralFixture fix;
+    EngineOptions options;
+    options.wfdb_dir = dir;
+    WorkflowEngine engine(/*id=*/90, &fix.simulator_, &fix.programs_,
+                          &fix.deployment_, &fix.coordination_, options);
+    auto compiled = CompiledSchema::Compile(Seq3());
+    ASSERT_TRUE(compiled.ok());
+    for (StepId s = 1; s <= 3; ++s) {
+      fix.deployment_.SetEligible("Seq3", s,
+                                  {fix.system_->agent_ids()[0]});
+    }
+    engine.RegisterSchema(compiled.value());
+    ASSERT_TRUE(engine.StartWorkflow("Seq3", 77, {}).ok());
+    fix.Run();
+    ASSERT_EQ(engine.QueryStatus({"Seq3", 77}), WorkflowState::kCommitted);
+  }
+  {
+    // A fresh engine recovers the committed status from the WFDB.
+    CentralFixture fix;
+    EngineOptions options;
+    options.wfdb_dir = dir;
+    WorkflowEngine engine(/*id=*/90, &fix.simulator_, &fix.programs_,
+                          &fix.deployment_, &fix.coordination_, options);
+    EXPECT_EQ(engine.QueryStatus({"Seq3", 77}), WorkflowState::kCommitted);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace crew::central

@@ -1,0 +1,651 @@
+#include <gtest/gtest.h>
+#include <filesystem>
+
+#include "dist/system.h"
+#include "expr/parser.h"
+#include "model/builder.h"
+
+namespace crew::dist {
+namespace {
+
+using model::SchemaBuilder;
+using runtime::WorkflowState;
+
+class DistFixture {
+ public:
+  explicit DistFixture(int agents = 6, uint64_t seed = 42,
+                       AgentOptions options = {})
+      : simulator_(seed) {
+    programs_.RegisterBuiltins();
+    system_ = std::make_unique<DistributedSystem>(
+        &simulator_, &programs_, &deployment_, &coordination_, agents,
+        options);
+  }
+
+  void Register(model::Schema schema, int eligible = 2) {
+    auto compiled = model::CompiledSchema::Compile(std::move(schema));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    const auto& ids = system_->agent_ids();
+    for (StepId s = 1; s <= compiled.value()->schema().num_steps(); ++s) {
+      std::vector<NodeId> agents;
+      for (int k = 0; k < eligible; ++k) {
+        agents.push_back(ids[(s - 1 + k) % ids.size()]);
+      }
+      std::sort(agents.begin(), agents.end());
+      deployment_.SetEligible(compiled.value()->schema().name(), s,
+                              agents);
+    }
+    system_->RegisterSchema(compiled.value());
+  }
+
+  InstanceId Start(const std::string& workflow,
+                   std::map<std::string, Value> inputs = {}) {
+    Result<InstanceId> id =
+        system_->front_end().StartWorkflow(workflow, std::move(inputs));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return id.value_or(InstanceId{});
+  }
+
+  void Run() { simulator_.Run(); }
+
+  sim::Simulator simulator_;
+  runtime::ProgramRegistry programs_;
+  model::Deployment deployment_;
+  runtime::CoordinationSpec coordination_;
+  std::unique_ptr<DistributedSystem> system_;
+};
+
+model::Schema Seq(const std::string& name, int steps,
+                  const std::string& program = "noop") {
+  SchemaBuilder b(name);
+  std::vector<StepId> ids;
+  for (int i = 0; i < steps; ++i) {
+    ids.push_back(b.AddTask("T" + std::to_string(i + 1), program));
+  }
+  b.Sequence(ids);
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+TEST(DistAgentTest, SequentialWorkflowCommits) {
+  DistFixture fix;
+  fix.Register(Seq("Wf", 4));
+  InstanceId id = fix.Start("Wf");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  // Terminal data reached the coordination agent.
+  std::map<std::string, Value> data = fix.system_->ArchivedData(id);
+  EXPECT_EQ(data.at("S4.O1"), Value(int64_t{1}));
+}
+
+TEST(DistAgentTest, NoEngineNodeCarriesNavigationLoad) {
+  DistFixture fix(/*agents=*/6);
+  fix.Register(Seq("Wf", 6));
+  for (int i = 0; i < 6; ++i) fix.Start("Wf");
+  fix.Run();
+  EXPECT_EQ(fix.system_->committed_count(), 6);
+  // Navigation load is spread across agents; no node dominates like a
+  // central engine would.
+  std::vector<NodeId> loaded = fix.simulator_.metrics().LoadedNodes();
+  int with_nav = 0;
+  for (NodeId node : loaded) {
+    if (fix.simulator_.metrics().LoadAt(
+            node, sim::LoadCategory::kNavigation) > 0) {
+      ++with_nav;
+    }
+  }
+  EXPECT_GE(with_nav, 4);
+}
+
+TEST(DistAgentTest, ParallelBranchesJoinAcrossAgents) {
+  DistFixture fix;
+  SchemaBuilder b("Par");
+  StepId s1 = b.AddTask("split", "noop");
+  StepId s2 = b.AddTask("left", "noop");
+  StepId s3 = b.AddTask("right", "noop");
+  StepId s4 = b.AddTask("join", "noop");
+  b.Parallel(s1, {{s2, s2}, {s3, s3}}, s4);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+  InstanceId id = fix.Start("Par");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+}
+
+TEST(DistAgentTest, ChoiceBranchEvaluatedAtReceivingAgents) {
+  DistFixture fix;
+  SchemaBuilder b("Choice");
+  StepId s1 = b.AddTask("decide", "copy");
+  b.step(s1).inputs = {"WF.I1"};
+  StepId s2 = b.AddTask("big", "noop");
+  StepId s3 = b.AddTask("small", "noop");
+  b.CondArc(s1, s2, "S1.O1 >= 10");
+  b.ElseArc(s1, s3);
+  b.TerminalGroup({s2, s3});
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+
+  InstanceId big = fix.Start("Choice", {{"WF.I1", Value(int64_t{50})}});
+  InstanceId small = fix.Start("Choice", {{"WF.I1", Value(int64_t{2})}});
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(big),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(small),
+            WorkflowState::kCommitted);
+  EXPECT_TRUE(fix.system_->ArchivedData(big).count("S2.O1"));
+  EXPECT_TRUE(fix.system_->ArchivedData(small).count("S3.O1"));
+}
+
+TEST(DistAgentTest, LoopIteratesViaBackEdgePackets) {
+  DistFixture fix;
+  SchemaBuilder b("Loop");
+  StepId s1 = b.AddTask("body", "noop");
+  StepId s2 = b.AddTask("after", "noop");
+  b.CondArc(s1, s2, "S1.O1 >= 3");
+  b.BackArc(s1, s1, "S1.O1 < 3");
+  b.SetJoin(s1, model::JoinKind::kOr);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+  InstanceId id = fix.Start("Loop");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->ArchivedData(id).at("S1.O1"), Value(int64_t{3}));
+}
+
+TEST(DistAgentTest, StepFailureRollsBackViaHaltProbes) {
+  DistFixture fix;
+  fix.programs_.RegisterFailFirstN("flaky", 1);
+  SchemaBuilder b("Retry");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "flaky");
+  b.Sequence({s1, s2, s3});
+  b.OnFail(s3, s2, 3);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+  InstanceId id = fix.Start("Retry");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->ArchivedData(id).at("S3.O1"), Value(int64_t{2}));
+  EXPECT_GT(fix.simulator_.metrics().MessagesIn(
+                sim::MsgCategory::kFailureHandling),
+            0);
+}
+
+TEST(DistAgentTest, OcrReuseAvoidsReexecution) {
+  DistFixture fix;
+  fix.programs_.RegisterFailFirstN("flaky", 1);
+  SchemaBuilder b("Ocr");
+  StepId s1 = b.AddTask("A", "noop");
+  b.step(s1).inputs = {"WF.I1"};
+  b.step(s1).ocr.reexec_condition =
+      expr::ParseExpression("changed(WF.I1)").value();
+  StepId s2 = b.AddTask("B", "noop");
+  b.step(s2).inputs = {"S1.O1"};
+  b.step(s2).ocr.reexec_condition =
+      expr::ParseExpression("changed(S1.O1)").value();
+  StepId s3 = b.AddTask("C", "flaky");
+  b.Sequence({s1, s2, s3});
+  b.OnFail(s3, s1, 3);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+  InstanceId id = fix.Start("Ocr", {{"WF.I1", Value(int64_t{7})}});
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  std::map<std::string, Value> data = fix.system_->ArchivedData(id);
+  EXPECT_EQ(data.at("S1.O1"), Value(int64_t{1}));  // reused
+  EXPECT_EQ(data.at("S2.O1"), Value(int64_t{1}));  // reused
+  EXPECT_EQ(data.at("S3.O1"), Value(int64_t{2}));  // retried
+}
+
+TEST(DistAgentTest, ExhaustedRetriesAbortViaCoordinationAgent) {
+  DistFixture fix;
+  SchemaBuilder b("Doomed");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "fail_always");
+  b.Sequence({s1, s2});
+  b.OnFail(s2, s1, 2);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+  InstanceId id = fix.Start("Doomed");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kAborted);
+}
+
+TEST(DistAgentTest, UserAbortCompensatesAndHalts) {
+  DistFixture fix;
+  fix.Register(Seq("Wf", 5));
+  InstanceId id = fix.Start("Wf");
+  fix.simulator_.queue().RunUntil(6);
+  ASSERT_TRUE(fix.system_->front_end().RequestAbort(id).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kAborted);
+  EXPECT_GT(
+      fix.simulator_.metrics().MessagesIn(sim::MsgCategory::kAbort), 0);
+}
+
+TEST(DistAgentTest, AbortAfterCommitIsRejected) {
+  DistFixture fix;
+  fix.Register(Seq("Wf", 3));
+  InstanceId id = fix.Start("Wf");
+  fix.Run();
+  ASSERT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  ASSERT_TRUE(fix.system_->front_end().RequestAbort(id).ok());
+  fix.Run();
+  // Still committed: the coordination agent rejected the abort.
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->committed_count(), 1);
+  EXPECT_EQ(fix.system_->aborted_count(), 0);
+}
+
+TEST(DistAgentTest, InputChangeRollsBackAffectedSteps) {
+  DistFixture fix;
+  SchemaBuilder b("InChange");
+  StepId s1 = b.AddTask("A", "copy");
+  b.step(s1).inputs = {"WF.I1"};
+  StepId s2 = b.AddTask("B", "copy");
+  b.step(s2).inputs = {"S1.O1"};
+  StepId s3 = b.AddTask("C", "copy");
+  b.step(s3).inputs = {"S2.O1"};
+  b.Sequence({s1, s2, s3});
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+
+  InstanceId id = fix.Start("InChange", {{"WF.I1", Value(int64_t{10})}});
+  fix.simulator_.queue().RunUntil(5);
+  ASSERT_TRUE(fix.system_->front_end()
+                  .RequestChangeInputs(id, {{"WF.I1", Value(int64_t{99})}})
+                  .ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->ArchivedData(id).at("S3.O1"),
+            Value(int64_t{99}));
+}
+
+TEST(DistAgentTest, RelativeOrderingViaAddRuleProtocol) {
+  DistFixture fix;
+  runtime::RelativeOrderReq ro;
+  ro.id = "orders";
+  ro.workflow_a = "Wf";
+  ro.workflow_b = "Wf";
+  ro.step_pairs = {{2, 2}, {3, 3}};
+  fix.coordination_.relative_orders.push_back(ro);
+  fix.Register(Seq("Wf", 4));
+  InstanceId first = fix.Start("Wf");
+  InstanceId second = fix.Start("Wf");
+  InstanceId third = fix.Start("Wf");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(first),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(second),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(third),
+            WorkflowState::kCommitted);
+  EXPECT_GT(fix.simulator_.metrics().MessagesIn(
+                sim::MsgCategory::kCoordination),
+            0);
+}
+
+TEST(DistAgentTest, MutualExclusionViaArbiterAgent) {
+  DistFixture fix;
+  runtime::MutexReq me;
+  me.id = "m";
+  me.resource = "machine";
+  me.critical_steps = {{"Wf", 2}};
+  fix.coordination_.mutexes.push_back(me);
+  fix.Register(Seq("Wf", 3));
+  std::vector<InstanceId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(fix.Start("Wf"));
+  fix.Run();
+  for (const InstanceId& id : ids) {
+    EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+              WorkflowState::kCommitted)
+        << id.ToString();
+  }
+}
+
+TEST(DistAgentTest, CompensationDependentSetChains) {
+  DistFixture fix;
+  fix.programs_.RegisterFailFirstN("flaky", 1);
+  // S1 S2 S3 S4(flaky; rollback to S2). Comp-dep set {S2, S3}: when S2
+  // re-executes, S3 (executed after S2) must compensate first.
+  SchemaBuilder b("Sets");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  StepId s4 = b.AddTask("D", "flaky");
+  b.Sequence({s1, s2, s3, s4});
+  b.OnFail(s4, s2, 3);
+  b.AddCompDepSet({s2, s3});
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+  InstanceId id = fix.Start("Sets");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  // Re-execution happened: S2/S3 ran twice.
+  EXPECT_EQ(fix.system_->ArchivedData(id).at("S2.O1"), Value(int64_t{2}));
+  EXPECT_EQ(fix.system_->ArchivedData(id).at("S3.O1"), Value(int64_t{2}));
+}
+
+TEST(DistAgentTest, BranchSwitchCompensatesOldBranchThread) {
+  DistFixture fix;
+  fix.programs_.RegisterFailFirstN("flaky", 1);
+  SchemaBuilder b("Switch");
+  StepId s1 = b.AddTask("decide", "noop");  // O1 = attempt
+  StepId s2 = b.AddTask("top", "noop");
+  StepId s3 = b.AddTask("bottom", "noop");
+  StepId s4 = b.AddTask("final", "flaky");
+  b.CondArc(s1, s2, "S1.O1 == 1");
+  b.ElseArc(s1, s3);
+  b.Arc(s2, s4);
+  b.Arc(s3, s4);
+  b.SetJoin(s4, model::JoinKind::kOr);
+  b.OnFail(s4, s1, 3);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+  InstanceId id = fix.Start("Switch");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  EXPECT_TRUE(fix.system_->ArchivedData(id).count("S3.O1"));
+}
+
+TEST(DistAgentTest, RollbackDependencyPropagatesViaFrontEnd) {
+  DistFixture fix;
+  fix.programs_.RegisterFailFirstN("flaky", 1);
+  // "Lead" fails at S3 and rolls back to S1; the RD requirement then
+  // rolls every live "Dep" instance back to its S1 as well. The re-run
+  // is observable through Dep's S1 attempt count.
+  runtime::RollbackDepReq rd;
+  rd.id = "rd";
+  rd.workflow_a = "Lead";
+  rd.step_a = 2;
+  rd.workflow_b = "Dep";
+  rd.step_b = 1;
+  fix.coordination_.rollback_deps.push_back(rd);
+
+  {
+    model::SchemaBuilder b("Lead");
+    StepId s1 = b.AddTask("l1", "noop");
+    StepId s2 = b.AddTask("l2", "noop");
+    StepId s3 = b.AddTask("l3", "flaky");
+    b.Sequence({s1, s2, s3});
+    b.OnFail(s3, s1, 3);
+    auto schema = b.Build();
+    ASSERT_TRUE(schema.ok());
+    fix.Register(std::move(schema).value());
+  }
+  {
+    // Dep is long enough to still be live when Lead's failure hits, and
+    // its steps always re-execute on revisit (no reuse condition).
+    fix.Register(Seq("Dep", 8));
+  }
+  InstanceId dep = fix.Start("Dep");
+  InstanceId lead = fix.Start("Lead");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(lead),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(dep),
+            WorkflowState::kCommitted);
+  // Dep's first step ran at least twice: once normally, once after the
+  // RD-induced rollback.
+  std::map<std::string, Value> data = fix.system_->ArchivedData(dep);
+  ASSERT_TRUE(data.count("S1.O1"));
+  EXPECT_GE(data.at("S1.O1").AsInt(), 2);
+}
+
+TEST(DistAgentTest, NestedWorkflowRunsChildToCommit) {
+  DistFixture fix;
+  fix.Register(Seq("Child", 3));
+  SchemaBuilder b("Parent");
+  StepId s1 = b.AddTask("pre", "noop");
+  StepId s2 = b.AddSubWorkflow("child", "Child");
+  b.step(s2).inputs = {"S1.O1"};
+  StepId s3 = b.AddTask("post", "noop");
+  b.Sequence({s1, s2, s3});
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+  InstanceId id = fix.Start("Parent");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  // The child's terminal results surfaced under the parent step.
+  std::map<std::string, Value> data = fix.system_->ArchivedData(id);
+  EXPECT_TRUE(data.count("S2.sub.S3.O1"));
+}
+
+TEST(DistAgentTest, SuccessorAgentFailureRoutesAroundDownNode) {
+  DistFixture fix(/*agents=*/4);
+  fix.Register(Seq("Wf", 3), /*eligible=*/2);
+  // Take one agent down for the whole interesting window.
+  sim::InjectCrash(&fix.simulator_, fix.system_->agent_ids()[1], 0, 200);
+  InstanceId id = fix.Start("Wf");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+}
+
+TEST(DistAgentTest, QueryStepReexecutedWhenPredecessorDown) {
+  AgentOptions options;
+  options.pending_timeout = 30;
+  DistFixture fix(/*agents=*/6, /*seed=*/42, options);
+  // Parallel split: S1 -> (S2 || S3) -> S4. S2 is a *query* step whose
+  // elected executor crashes after receiving the packet but before
+  // completing — the work is lost. S4's agent holds a pending join rule
+  // missing only S2.done; after the timeout it polls S2's eligible
+  // agents (all reply "unknown"), and because S2 is a query it
+  // re-requests execution at a living eligible agent (§5.2).
+  SchemaBuilder b("Poll");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  b.step(s2).access = model::AccessKind::kQuery;
+  StepId s3 = b.AddTask("C", "noop");
+  StepId s4 = b.AddTask("D", "noop");
+  b.Parallel(s1, {{s2, s2}, {s3, s3}}, s4);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value(), /*eligible=*/3);
+  InstanceId id = fix.Start("Poll");
+  // The S2 executor is elected by hash over the eligible agents (all up
+  // at election time). Crash it after it receives the packet (t=3) but
+  // before its completion callback (t=5); keep it down long past the
+  // poll window.
+  const auto& eligible = fix.deployment_.Eligible("Poll", s2);
+  NodeId executor =
+      eligible[static_cast<size_t>(id.number + s2) % eligible.size()];
+  // t=4: the executor has already received the packet; its completion
+  // callback is due at t=6 and is lost to the crash.
+  sim::InjectCrash(&fix.simulator_, executor, 5, 2000);
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  EXPECT_GT(fix.simulator_.metrics().MessagesIn(
+                sim::MsgCategory::kFailureHandling),
+            0);
+}
+
+TEST(DistAgentTest, MessageCountMatchesFanoutModel) {
+  DistFixture fix(/*agents=*/6);
+  fix.Register(Seq("Wf", 5), /*eligible=*/2);
+  InstanceId id = fix.Start("Wf");
+  fix.Run();
+  ASSERT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  // Paper model: s·a + f. Five steps: the four non-terminal completions
+  // fan out to a=2 eligible successors; terminal completion sends one
+  // StepCompleted. Self-deliveries are free, so the measured count is
+  // bounded by the model.
+  int64_t normal =
+      fix.simulator_.metrics().MessagesIn(sim::MsgCategory::kNormal);
+  EXPECT_LE(normal, 4 * 2 + 1);
+  EXPECT_GE(normal, 4);
+}
+
+TEST(DistAgentTest, ElectionProbesAreMeteredSeparately) {
+  // With election probes on, successor selection exchanges
+  // StateInformation messages among the eligible agents; they are
+  // metered in their own category and never change the outcome.
+  AgentOptions probing;
+  probing.election_probes = true;
+  DistFixture with(/*agents=*/6, /*seed=*/42, probing);
+  DistFixture without(/*agents=*/6, /*seed=*/42);
+  for (DistFixture* fix : {&with, &without}) {
+    fix->Register(Seq("Wf", 5), /*eligible=*/3);
+    InstanceId id = fix->Start("Wf");
+    fix->Run();
+    ASSERT_EQ(fix->system_->front_end().KnownStatus(id),
+              WorkflowState::kCommitted);
+  }
+  EXPECT_GT(with.simulator_.metrics().MessagesIn(
+                sim::MsgCategory::kElection),
+            0);
+  EXPECT_EQ(without.simulator_.metrics().MessagesIn(
+                sim::MsgCategory::kElection),
+            0);
+  // The modelled (headline) message count is unaffected by probing.
+  EXPECT_EQ(
+      with.simulator_.metrics().MessagesIn(sim::MsgCategory::kNormal),
+      without.simulator_.metrics().MessagesIn(sim::MsgCategory::kNormal));
+}
+
+TEST(DistAgentTest, PurgeBroadcastClearsAgentState) {
+  DistFixture fix(/*agents=*/4);
+  fix.Register(Seq("Wf", 3));
+  InstanceId id = fix.Start("Wf");
+  fix.Run();
+  ASSERT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  for (size_t i = 0; i < fix.system_->num_agents(); ++i) {
+    EXPECT_EQ(fix.system_->agent(i).live_instances(), 0u)
+        << "agent " << fix.system_->agent(i).id();
+  }
+}
+
+TEST(DistAgentTest, CoordinationAgentOutageDelaysButCommits) {
+  // The coordination agent (agent 1, owner of the start step) is down
+  // when the workflow is started: the WorkflowStart parks in its queue
+  // (persistent messaging) and the instance runs to commit once it
+  // recovers.
+  DistFixture fix(/*agents=*/4);
+  fix.Register(Seq("Wf", 3), /*eligible=*/2);
+  sim::InjectCrash(&fix.simulator_, 1, /*at=*/0, /*outage=*/60);
+  InstanceId id = fix.Start("Wf");
+  fix.simulator_.queue().RunUntil(50);
+  EXPECT_NE(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+}
+
+TEST(DistAgentTest, CrashDuringRecoveryStillConverges) {
+  // A step fails (rollback in progress) while one of the re-execution
+  // agents is down; parked packets deliver on recovery and the workflow
+  // commits.
+  DistFixture fix(/*agents=*/5);
+  fix.programs_.RegisterFailFirstN("flaky", 1);
+  SchemaBuilder b("Wf");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  StepId s4 = b.AddTask("D", "flaky");
+  b.Sequence({s1, s2, s3, s4});
+  b.OnFail(s4, s2, 3);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value(), /*eligible=*/2);
+  // Crash an agent in the middle of the recovery window.
+  sim::InjectCrash(&fix.simulator_, 3, /*at=*/8, /*outage=*/100);
+  InstanceId id = fix.Start("Wf");
+  fix.Run();
+  EXPECT_EQ(fix.system_->front_end().KnownStatus(id),
+            WorkflowState::kCommitted);
+}
+
+TEST(DistAgentTest, ManyConcurrentInstancesWithFailuresAllTerminate) {
+  DistFixture fix(/*agents=*/10);
+  fix.programs_.RegisterFlaky("maybe", 0.15);
+  SchemaBuilder b("Wf");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "maybe");
+  StepId s3 = b.AddTask("C", "maybe");
+  StepId s4 = b.AddTask("D", "noop");
+  b.Sequence({s1, s2, s3, s4});
+  b.OnFail(s2, s1, 6);
+  b.OnFail(s3, s1, 6);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+  std::vector<InstanceId> ids;
+  for (int i = 0; i < 30; ++i) ids.push_back(fix.Start("Wf"));
+  fix.Run();
+  int committed = 0, aborted = 0;
+  for (const InstanceId& id : ids) {
+    WorkflowState state = fix.system_->front_end().KnownStatus(id);
+    committed += state == WorkflowState::kCommitted ? 1 : 0;
+    aborted += state == WorkflowState::kAborted ? 1 : 0;
+  }
+  EXPECT_EQ(committed + aborted, 30);
+  EXPECT_GT(committed, 20);  // p(6 consecutive failures) is tiny
+}
+
+TEST(DistAgentTest, AgdbPersistsStepRecords) {
+  namespace fs = std::filesystem;
+  std::string dir = (fs::temp_directory_path() / "crew_agdb").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  AgentOptions options;
+  options.agdb_dir = dir;
+  {
+    DistFixture fix(/*agents=*/3, /*seed=*/42, options);
+    fix.Register(Seq("Wf", 3), /*eligible=*/1);
+    InstanceId id = fix.Start("Wf");
+    fix.Run();
+    ASSERT_EQ(fix.system_->front_end().KnownStatus(id),
+              WorkflowState::kCommitted);
+    bool any_journal = false;
+    for (size_t i = 0; i < fix.system_->num_agents(); ++i) {
+      if (fix.system_->agent(i).agdb().journaled_mutations() > 0) {
+        any_journal = true;
+      }
+    }
+    EXPECT_TRUE(any_journal);
+  }
+  {
+    // Restarted agents recover their AGDB tables from the WAL.
+    DistFixture fix(/*agents=*/3, /*seed=*/42, options);
+    bool recovered = false;
+    for (size_t i = 0; i < fix.system_->num_agents(); ++i) {
+      const storage::Table* steps =
+          fix.system_->agent(i).agdb().FindTable("steps");
+      if (steps != nullptr && steps->size() > 0) recovered = true;
+    }
+    EXPECT_TRUE(recovered);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace crew::dist

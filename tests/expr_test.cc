@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "expr/eval.h"
+#include "expr/lexer.h"
+#include "expr/parser.h"
+
+namespace crew::expr {
+namespace {
+
+class MapEnv : public Environment {
+ public:
+  std::map<std::string, Value> now;
+  std::map<std::string, Value> before;
+
+  std::optional<Value> Lookup(const std::string& name) const override {
+    auto it = now.find(name);
+    if (it == now.end()) return std::nullopt;
+    return it->second;
+  }
+  std::optional<Value> LookupPrevious(
+      const std::string& name) const override {
+    auto it = before.find(name);
+    if (it == before.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+Value Eval(const std::string& src, const Environment& env) {
+  Result<NodePtr> parsed = ParseExpression(src);
+  EXPECT_TRUE(parsed.ok()) << src << ": " << parsed.status().ToString();
+  Result<Value> v = Evaluate(parsed.value(), env);
+  EXPECT_TRUE(v.ok()) << src << ": " << v.status().ToString();
+  return v.ok() ? v.value() : Value();
+}
+
+TEST(LexerTest, TokenizesOperatorsAndIdents) {
+  Result<std::vector<Token>> tokens =
+      Tokenize("S1.O2 >= 10 and not(x != \"s\")");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens.value().size(), 9u);
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens.value()[0].text, "S1.O2");
+  EXPECT_EQ(tokens.value()[1].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens.value().back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, RejectsLoneEquals) {
+  EXPECT_FALSE(Tokenize("a = b").ok());
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("\"abc").ok());
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  Result<std::vector<Token>> tokens = Tokenize("42 4.5 1e3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens.value()[0].int_value, 42);
+  EXPECT_EQ(tokens.value()[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens.value()[1].double_value, 4.5);
+  EXPECT_EQ(tokens.value()[2].kind, TokenKind::kDouble);
+}
+
+TEST(ParserTest, PrecedenceArithmeticOverComparison) {
+  MapEnv env;
+  EXPECT_EQ(Eval("2 + 3 * 4", env), Value(int64_t{14}));
+  EXPECT_EQ(Eval("(2 + 3) * 4", env), Value(int64_t{20}));
+  EXPECT_EQ(Eval("2 + 3 * 4 == 14", env), Value(true));
+}
+
+TEST(ParserTest, LogicalPrecedence) {
+  MapEnv env;
+  EXPECT_EQ(Eval("true or false and false", env), Value(true));
+  EXPECT_EQ(Eval("(true or false) and false", env), Value(false));
+  EXPECT_EQ(Eval("not true or true", env), Value(true));
+}
+
+TEST(ParserTest, RejectsTrailingInput) {
+  EXPECT_FALSE(ParseExpression("1 + 2 3").ok());
+  EXPECT_FALSE(ParseExpression("(1 + 2").ok());
+  EXPECT_FALSE(ParseExpression("").ok());
+}
+
+TEST(ParserTest, ToStringRoundTripsSemantics) {
+  Result<NodePtr> parsed = ParseExpression("a + 2 * b >= 10 and c");
+  ASSERT_TRUE(parsed.ok());
+  Result<NodePtr> reparsed = ParseExpression(parsed.value()->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  MapEnv env;
+  env.now["a"] = Value(int64_t{4});
+  env.now["b"] = Value(int64_t{3});
+  env.now["c"] = Value(true);
+  EXPECT_EQ(Evaluate(parsed.value(), env).value(),
+            Evaluate(reparsed.value(), env).value());
+}
+
+TEST(EvalTest, VariablesResolveFromEnvironment) {
+  MapEnv env;
+  env.now["S1.O1"] = Value(int64_t{90});
+  env.now["WF.I2"] = Value("Blower");
+  EXPECT_EQ(Eval("S1.O1 / 2", env), Value(int64_t{45}));
+  EXPECT_EQ(Eval("WF.I2 == \"Blower\"", env), Value(true));
+}
+
+TEST(EvalTest, UnboundVariableIsError) {
+  MapEnv env;
+  Result<NodePtr> parsed = ParseExpression("missing + 1");
+  ASSERT_TRUE(parsed.ok());
+  Result<Value> v = Evaluate(parsed.value(), env);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EvalTest, ConditionFalseOnUnbound) {
+  MapEnv env;
+  Result<NodePtr> parsed = ParseExpression("missing > 1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(EvaluateCondition(parsed.value(), env));
+}
+
+TEST(EvalTest, NullConditionIsTrue) {
+  MapEnv env;
+  EXPECT_TRUE(EvaluateCondition(nullptr, env));
+}
+
+TEST(EvalTest, DivisionByZeroIsError) {
+  MapEnv env;
+  Result<NodePtr> parsed = ParseExpression("1 / 0");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(Evaluate(parsed.value(), env).ok());
+}
+
+TEST(EvalTest, StringConcatAndCompare) {
+  MapEnv env;
+  EXPECT_EQ(Eval("\"ab\" + \"cd\"", env), Value("abcd"));
+  EXPECT_EQ(Eval("\"abc\" < \"abd\"", env), Value(true));
+}
+
+TEST(EvalTest, MixedNumericArithmetic) {
+  MapEnv env;
+  EXPECT_EQ(Eval("1 + 0.5", env), Value(1.5));
+  EXPECT_EQ(Eval("7 % 3", env), Value(int64_t{1}));
+  EXPECT_EQ(Eval("-(3)", env), Value(int64_t{-3}));
+}
+
+TEST(EvalTest, BuiltinExists) {
+  MapEnv env;
+  env.now["x"] = Value(int64_t{1});
+  EXPECT_EQ(Eval("exists(x)", env), Value(true));
+  EXPECT_EQ(Eval("exists(y)", env), Value(false));
+}
+
+TEST(EvalTest, BuiltinChangedComparesWithPrevious) {
+  MapEnv env;
+  env.now["x"] = Value(int64_t{5});
+  env.before["x"] = Value(int64_t{5});
+  EXPECT_EQ(Eval("changed(x)", env), Value(false));
+  env.now["x"] = Value(int64_t{6});
+  EXPECT_EQ(Eval("changed(x)", env), Value(true));
+  // No previous record at all: treated as changed.
+  EXPECT_EQ(Eval("changed(z)", env), Value(false));
+  env.now["z"] = Value(int64_t{1});
+  EXPECT_EQ(Eval("changed(z)", env), Value(true));
+}
+
+TEST(EvalTest, BuiltinsAbsMinMax) {
+  MapEnv env;
+  EXPECT_EQ(Eval("abs(-4)", env), Value(int64_t{4}));
+  EXPECT_EQ(Eval("min(3, 7)", env), Value(int64_t{3}));
+  EXPECT_EQ(Eval("max(3, 7.5)", env), Value(7.5));
+}
+
+TEST(EvalTest, UnknownBuiltinIsError) {
+  MapEnv env;
+  Result<NodePtr> parsed = ParseExpression("frobnicate(1)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(Evaluate(parsed.value(), env).ok());
+}
+
+TEST(EvalTest, ShortCircuitSkipsErrors) {
+  MapEnv env;
+  // Right side would error (unbound), but left decides.
+  EXPECT_EQ(Eval("false and missing > 1", env), Value(false));
+  EXPECT_EQ(Eval("true or missing > 1", env), Value(true));
+}
+
+TEST(AstTest, CollectVariablesDeduplicates) {
+  Result<NodePtr> parsed = ParseExpression("a + b * a - S1.O1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(CollectVariables(parsed.value()),
+            (std::vector<std::string>{"S1.O1", "a", "b"}));
+}
+
+}  // namespace
+}  // namespace crew::expr

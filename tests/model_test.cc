@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "model/builder.h"
+#include "model/compiled.h"
+#include "model/deployment.h"
+
+namespace crew::model {
+namespace {
+
+// The paper's Figure 3 workflow: S1 -> S2 -> choice(S3 | S5') ... here
+// modelled as: S1 -> S2 -> {S3 (top) | S4 (bottom)} -> S5.
+Schema MakeIfThenElse() {
+  SchemaBuilder b("Fig3");
+  StepId s1 = b.AddTask("S1", "noop");
+  StepId s2 = b.AddTask("S2", "noop");
+  StepId s3 = b.AddTask("S3", "noop");
+  StepId s4 = b.AddTask("S4", "noop");
+  StepId s5 = b.AddTask("S5", "noop");
+  b.Arc(s1, s2);
+  b.CondArc(s2, s3, "S2.O1 >= 10");
+  b.ElseArc(s2, s4);
+  b.Arc(s3, s5);
+  b.Arc(s4, s5);
+  b.SetJoin(s5, JoinKind::kOr);
+  Result<Schema> schema = b.Build();
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+TEST(BuilderTest, SequentialWorkflowBuilds) {
+  SchemaBuilder b("Seq");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  b.Sequence({s1, s2, s3});
+  Result<Schema> schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().start_step(), s1);
+  EXPECT_EQ(schema.value().num_steps(), 3);
+  ASSERT_EQ(schema.value().terminal_groups().size(), 1u);
+  EXPECT_EQ(schema.value().terminal_groups()[0],
+            (std::vector<StepId>{s3}));
+}
+
+TEST(BuilderTest, RejectsEmptySchema) {
+  SchemaBuilder b("Empty");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, RejectsMissingJoinKind) {
+  SchemaBuilder b("BadJoin");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  StepId s4 = b.AddTask("D", "noop");
+  b.Arc(s1, s2).Arc(s1, s3).Arc(s2, s4).Arc(s3, s4);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, RejectsMixedConditionalSplit) {
+  SchemaBuilder b("BadSplit");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  b.CondArc(s1, s2, "x > 1");
+  b.Arc(s1, s3);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, RejectsUndeclaredCycle) {
+  SchemaBuilder b("Cycle");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  b.Arc(s1, s2);
+  b.Arc(s2, s1);  // should have been BackArc
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, AcceptsDeclaredLoop) {
+  SchemaBuilder b("Loop");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  b.Arc(s1, s2);
+  b.BackArc(s2, s1, "S2.O1 < 3");
+  b.CondArc(s2, s3, "S2.O1 >= 3");
+  b.SetJoin(s1, JoinKind::kOr);
+  Result<Schema> schema = b.Build();
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  // Loop body steps must not compensate on plain re-execution.
+  EXPECT_FALSE(schema.value().step(s1).ocr.compensate_before_reexec);
+  EXPECT_FALSE(schema.value().step(s2).ocr.compensate_before_reexec);
+  EXPECT_TRUE(schema.value().step(s3).ocr.compensate_before_reexec);
+}
+
+TEST(BuilderTest, RejectsUnreachableStep) {
+  SchemaBuilder b("Island");
+  StepId s1 = b.AddTask("A", "noop");
+  b.AddTask("B", "noop");  // no arcs at all -> two start candidates
+  (void)s1;
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, RejectsBadArcCondition) {
+  SchemaBuilder b("BadCond");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  b.CondArc(s1, s2, "1 +");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, TerminalGroupsCoverChoiceAlternatives) {
+  SchemaBuilder b("TwoEnds");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  b.CondArc(s1, s2, "x > 0");
+  b.ElseArc(s1, s3);
+  b.TerminalGroup({s2, s3});
+  Result<Schema> schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().terminal_groups().size(), 1u);
+}
+
+TEST(BuilderTest, RejectsNonTerminalInGroup) {
+  SchemaBuilder b("BadGroup");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  b.Arc(s1, s2);
+  b.TerminalGroup({s1});
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(CompiledTest, SuccessorsAndJoinRequirements) {
+  SchemaBuilder b("Par");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  StepId s4 = b.AddTask("D", "noop");
+  b.Parallel(s1, {{s2, s2}, {s3, s3}}, s4);
+  Result<Schema> schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  Result<CompiledSchemaPtr> compiled =
+      CompiledSchema::Compile(std::move(schema).value());
+  ASSERT_TRUE(compiled.ok());
+  const CompiledSchema& cs = *compiled.value();
+  EXPECT_EQ(cs.forward_out(s1).size(), 2u);
+  EXPECT_EQ(cs.required_incoming(s4), 2);
+  EXPECT_EQ(cs.required_incoming(s2), 1);
+  EXPECT_TRUE(cs.IsDownstream(s1, s4));
+  EXPECT_FALSE(cs.IsDownstream(s2, s3));
+  EXPECT_EQ(cs.terminal_steps(), (std::vector<StepId>{s4}));
+}
+
+TEST(CompiledTest, DownstreamIncludesSelfAndIsSorted) {
+  Schema schema = MakeIfThenElse();
+  Result<CompiledSchemaPtr> compiled =
+      CompiledSchema::Compile(std::move(schema));
+  ASSERT_TRUE(compiled.ok());
+  const CompiledSchema& cs = *compiled.value();
+  std::vector<StepId> down = cs.downstream_including(2);
+  EXPECT_EQ(down, (std::vector<StepId>{2, 3, 4, 5}));
+  EXPECT_EQ(cs.downstream_including(5), (std::vector<StepId>{5}));
+}
+
+TEST(CompiledTest, UpstreamOfFindsAncestors) {
+  Schema schema = MakeIfThenElse();
+  Result<CompiledSchemaPtr> compiled =
+      CompiledSchema::Compile(std::move(schema));
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled.value()->UpstreamOf(5),
+            (std::vector<StepId>{1, 2, 3, 4}));
+  EXPECT_EQ(compiled.value()->UpstreamOf(1), (std::vector<StepId>{}));
+}
+
+TEST(CompiledTest, TopoOrderRespectsArcs) {
+  Schema schema = MakeIfThenElse();
+  Result<CompiledSchemaPtr> compiled =
+      CompiledSchema::Compile(std::move(schema));
+  ASSERT_TRUE(compiled.ok());
+  const std::vector<StepId>& topo = compiled.value()->topo_order();
+  auto pos = [&](StepId id) {
+    return std::find(topo.begin(), topo.end(), id) - topo.begin();
+  };
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(2), pos(3));
+  EXPECT_LT(pos(2), pos(4));
+  EXPECT_LT(pos(3), pos(5));
+}
+
+TEST(CompiledTest, ChoiceSplitFlag) {
+  Schema schema = MakeIfThenElse();
+  Result<CompiledSchemaPtr> compiled =
+      CompiledSchema::Compile(std::move(schema));
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(compiled.value()->is_choice_split(2));
+  EXPECT_FALSE(compiled.value()->is_choice_split(1));
+}
+
+TEST(CompiledTest, CompDepSetsIndexed) {
+  SchemaBuilder b("Sets");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  StepId s3 = b.AddTask("C", "noop");
+  b.Sequence({s1, s2, s3});
+  b.AddCompDepSet({s1, s3});
+  Result<Schema> schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  Result<CompiledSchemaPtr> compiled =
+      CompiledSchema::Compile(std::move(schema).value());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled.value()->comp_dep_sets_of(s1).size(), 1u);
+  EXPECT_EQ(compiled.value()->comp_dep_sets_of(s2).size(), 0u);
+}
+
+TEST(DeploymentTest, EligibleAndCoordinationAgent) {
+  SchemaBuilder b("Dep");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  b.Arc(s1, s2);
+  Result<Schema> schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  Result<CompiledSchemaPtr> compiled =
+      CompiledSchema::Compile(std::move(schema).value());
+  ASSERT_TRUE(compiled.ok());
+
+  Deployment deployment;
+  EXPECT_FALSE(deployment.Check(*compiled.value()).ok());
+  deployment.SetEligible("Dep", s1, {5, 3});
+  deployment.SetEligible("Dep", s2, {7});
+  ASSERT_TRUE(deployment.Check(*compiled.value()).ok());
+  Result<NodeId> coord = deployment.CoordinationAgent(*compiled.value());
+  ASSERT_TRUE(coord.ok());
+  EXPECT_EQ(coord.value(), 5);
+}
+
+TEST(DeploymentTest, AssignRandomRespectsCount) {
+  SchemaBuilder b("Rand");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "noop");
+  b.Arc(s1, s2);
+  Result<Schema> schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  Result<CompiledSchemaPtr> compiled =
+      CompiledSchema::Compile(std::move(schema).value());
+  ASSERT_TRUE(compiled.ok());
+
+  Rng rng(5);
+  Deployment deployment;
+  deployment.AssignRandom(*compiled.value(), {10, 11, 12, 13, 14}, 3, &rng);
+  for (StepId id = 1; id <= 2; ++id) {
+    const std::vector<NodeId>& eligible = deployment.Eligible("Rand", id);
+    EXPECT_EQ(eligible.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(eligible.begin(), eligible.end()));
+  }
+}
+
+TEST(SchemaTest, DescribeMentionsStructure) {
+  Schema schema = MakeIfThenElse();
+  std::string text = schema.Describe();
+  EXPECT_NE(text.find("Fig3"), std::string::npos);
+  EXPECT_NE(text.find("S2 -> S3"), std::string::npos);
+  EXPECT_NE(text.find("(else)"), std::string::npos);
+}
+
+TEST(SchemaTest, FindStepByName) {
+  Schema schema = MakeIfThenElse();
+  EXPECT_EQ(schema.FindStepByName("S3"), 3);
+  EXPECT_EQ(schema.FindStepByName("nope"), kInvalidStep);
+}
+
+}  // namespace
+}  // namespace crew::model

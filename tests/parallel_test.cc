@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "model/builder.h"
+#include "parallel/system.h"
+
+namespace crew::parallel {
+namespace {
+
+using model::SchemaBuilder;
+using runtime::WorkflowState;
+
+class ParallelFixture {
+ public:
+  explicit ParallelFixture(int engines = 4, int agents = 8,
+                           uint64_t seed = 42)
+      : simulator_(seed) {
+    programs_.RegisterBuiltins();
+    system_ = std::make_unique<ParallelSystem>(
+        &simulator_, &programs_, &deployment_, &coordination_, engines,
+        agents);
+  }
+
+  void Register(model::Schema schema, int eligible = 2) {
+    auto compiled = model::CompiledSchema::Compile(std::move(schema));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    const auto& ids = system_->agent_ids();
+    for (StepId s = 1; s <= compiled.value()->schema().num_steps(); ++s) {
+      std::vector<NodeId> agents;
+      for (int k = 0; k < eligible; ++k) {
+        agents.push_back(ids[(s - 1 + k) % ids.size()]);
+      }
+      std::sort(agents.begin(), agents.end());
+      deployment_.SetEligible(compiled.value()->schema().name(), s,
+                              agents);
+    }
+    system_->RegisterSchema(compiled.value());
+  }
+
+  void Run() { simulator_.Run(); }
+
+  sim::Simulator simulator_;
+  runtime::ProgramRegistry programs_;
+  model::Deployment deployment_;
+  runtime::CoordinationSpec coordination_;
+  std::unique_ptr<ParallelSystem> system_;
+};
+
+model::Schema Seq(const std::string& name, int steps) {
+  SchemaBuilder b(name);
+  std::vector<StepId> ids;
+  for (int i = 0; i < steps; ++i) {
+    ids.push_back(b.AddTask("T" + std::to_string(i + 1), "noop"));
+  }
+  b.Sequence(ids);
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(ParallelSystemTest, InstancesPartitionAcrossEngines) {
+  ParallelFixture fix(/*engines=*/4);
+  fix.Register(Seq("Wf", 5));
+  for (int64_t i = 1; i <= 12; ++i) {
+    ASSERT_TRUE(fix.system_->StartWorkflow("Wf", i, {}).ok());
+  }
+  fix.Run();
+  EXPECT_EQ(fix.system_->committed_count(), 12);
+  // Every engine saw some instances (12 round-robin over 4).
+  for (int e = 0; e < 4; ++e) {
+    EXPECT_EQ(fix.system_->engine(e).committed_count(), 3) << e;
+  }
+}
+
+TEST(ParallelSystemTest, StatusRoutingFindsOwner) {
+  ParallelFixture fix;
+  fix.Register(Seq("Wf", 3));
+  ASSERT_TRUE(fix.system_->StartWorkflow("Wf", 7, {}).ok());
+  fix.Run();
+  EXPECT_EQ(fix.system_->QueryStatus({"Wf", 7}),
+            WorkflowState::kCommitted);
+  EXPECT_EQ(fix.system_->QueryStatus({"Wf", 999}),
+            WorkflowState::kUnknown);
+}
+
+TEST(ParallelSystemTest, EngineLoadIsShared) {
+  ParallelFixture fix(/*engines=*/4, /*agents=*/8);
+  fix.Register(Seq("Wf", 6));
+  for (int64_t i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(fix.system_->StartWorkflow("Wf", i, {}).ok());
+  }
+  fix.Run();
+  // Navigation load must be spread over the 4 engine nodes.
+  int64_t max_engine = 0;
+  int64_t total = 0;
+  for (NodeId e = 1; e <= 4; ++e) {
+    int64_t load = fix.simulator_.metrics().LoadAt(
+        e, sim::LoadCategory::kNavigation);
+    EXPECT_GT(load, 0) << "engine " << e;
+    max_engine = std::max(max_engine, load);
+    total += load;
+  }
+  EXPECT_LT(max_engine, total);  // nobody carries everything
+}
+
+TEST(ParallelSystemTest, RelativeOrderingAcrossEngines) {
+  ParallelFixture fix(/*engines=*/3);
+  runtime::RelativeOrderReq ro;
+  ro.id = "orders";
+  ro.workflow_a = "Wf";
+  ro.workflow_b = "Wf";
+  ro.step_pairs = {{2, 2}};
+  fix.coordination_.relative_orders.push_back(ro);
+  fix.Register(Seq("Wf", 4));
+  // Consecutive instances land on different engines (round-robin), so the
+  // RO notification must cross engines.
+  for (int64_t i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(fix.system_->StartWorkflow("Wf", i, {}).ok());
+  }
+  fix.Run();
+  EXPECT_EQ(fix.system_->committed_count(), 6);
+  // Cross-engine coordination generated messages.
+  EXPECT_GT(fix.simulator_.metrics().MessagesIn(
+                sim::MsgCategory::kCoordination),
+            0);
+}
+
+TEST(ParallelSystemTest, MutualExclusionArbitratedAcrossEngines) {
+  ParallelFixture fix(/*engines=*/3);
+  runtime::MutexReq me;
+  me.id = "m";
+  me.resource = "machine";
+  me.critical_steps = {{"Wf", 2}};
+  fix.coordination_.mutexes.push_back(me);
+  fix.Register(Seq("Wf", 3));
+  for (int64_t i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(fix.system_->StartWorkflow("Wf", i, {}).ok());
+  }
+  fix.Run();
+  EXPECT_EQ(fix.system_->committed_count(), 6);
+}
+
+TEST(ParallelSystemTest, FailureHandlingIndependentPerEngine) {
+  ParallelFixture fix(/*engines=*/2);
+  fix.programs_.RegisterFailFirstN("flaky", 1);
+  SchemaBuilder b("Retry");
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "flaky");
+  b.Sequence({s1, s2});
+  b.OnFail(s2, s1, 3);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  fix.Register(std::move(schema).value());
+  for (int64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(fix.system_->StartWorkflow("Retry", i, {}).ok());
+  }
+  fix.Run();
+  EXPECT_EQ(fix.system_->committed_count(), 4);
+}
+
+TEST(ParallelSystemTest, CoordinationBroadcastMatchesModel) {
+  // The paper models parallel coordination traffic as growing with e;
+  // verify broadcasts go to all peer engines.
+  ParallelFixture small(/*engines=*/2);
+  ParallelFixture large(/*engines=*/6);
+  runtime::RelativeOrderReq ro;
+  ro.id = "o";
+  ro.workflow_a = "Wf";
+  ro.workflow_b = "Wf";
+  ro.step_pairs = {{1, 1}};
+  for (ParallelFixture* fix : {&small, &large}) {
+    fix->coordination_.relative_orders.push_back(ro);
+    fix->Register(Seq("Wf", 3));
+    for (int64_t i = 1; i <= 6; ++i) {
+      ASSERT_TRUE(fix->system_->StartWorkflow("Wf", i, {}).ok());
+    }
+    fix->Run();
+    EXPECT_EQ(fix->system_->committed_count(), 6);
+  }
+  EXPECT_GT(large.simulator_.metrics().MessagesIn(
+                sim::MsgCategory::kCoordination),
+            small.simulator_.metrics().MessagesIn(
+                sim::MsgCategory::kCoordination));
+}
+
+TEST(ParallelSystemTest, RepeatedRollbacksWithMutexesNeverWedge) {
+  // Regression: a stale compensation reply (dropped by the epoch check
+  // after a second rollback) used to stall the serialized compensation
+  // queue forever while holding a mutual-exclusion lock. Rollback
+  // dependencies make every WF-B instance roll back whenever a WF-A
+  // instance fails, driving repeated epochs under lock contention.
+  ParallelFixture fix(/*engines=*/3, /*agents=*/9);
+  fix.programs_.RegisterFailFirstN("flaky", 2);
+  runtime::MutexReq me;
+  me.id = "m";
+  me.resource = "shared";
+  me.critical_steps = {{"B", 1}};
+  fix.coordination_.mutexes.push_back(me);
+  runtime::RollbackDepReq rd;
+  rd.id = "rd";
+  rd.workflow_a = "A";
+  rd.step_a = 3;
+  rd.workflow_b = "B";
+  rd.step_b = 1;
+  fix.coordination_.rollback_deps.push_back(rd);
+
+  {
+    SchemaBuilder b("A");
+    StepId s1 = b.AddTask("a1", "noop");
+    StepId s2 = b.AddTask("a2", "flaky");
+    StepId s3 = b.AddTask("a3", "noop");
+    b.Sequence({s1, s2, s3});
+    b.OnFail(s2, s1, 5);
+    fix.Register(std::move(b.Build()).value());
+  }
+  {
+    SchemaBuilder b("B");
+    StepId s1 = b.AddTask("b1", "noop");
+    StepId s2 = b.AddTask("b2", "noop");
+    StepId s3 = b.AddTask("b3", "noop");
+    b.Sequence({s1, s2, s3});
+    fix.Register(std::move(b.Build()).value());
+  }
+  for (int64_t i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(fix.system_->StartWorkflow("B", i, {}).ok());
+    ASSERT_TRUE(fix.system_->StartWorkflow("A", i, {}).ok());
+  }
+  fix.Run();
+  EXPECT_EQ(fix.system_->committed_count(), 12);
+}
+
+}  // namespace
+}  // namespace crew::parallel

@@ -1,0 +1,458 @@
+// Cross-architecture property suite: the same schemas, workloads and
+// disruptions run under centralized, parallel, and distributed control,
+// and the paper's correctness invariants are asserted on execution
+// traces recorded inside the step programs:
+//  - every instance terminates (commits or aborts);
+//  - results are deterministic for a seed;
+//  - relative ordering holds between consecutive instances;
+//  - mutual exclusion admits no overlapping critical sections;
+//  - compensation dependent sets compensate in reverse execution order;
+//  - committed workflows are "net executed": every step either completed
+//    more often than it was compensated, or lies on an untaken branch.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "central/system.h"
+#include "dist/system.h"
+#include "model/builder.h"
+#include "parallel/system.h"
+#include "workload/driver.h"
+#include "workload/generator.h"
+
+namespace crew {
+namespace {
+
+using model::SchemaBuilder;
+using runtime::WorkflowState;
+using workload::Architecture;
+
+/// One recorded program invocation.
+struct TraceEvent {
+  sim::Time at = 0;
+  InstanceId instance;
+  StepId step = kInvalidStep;
+  bool compensation = false;
+  int attempt = 0;
+};
+
+/// Uniform facade over the three architectures for the property tests.
+class AnySystem {
+ public:
+  AnySystem(Architecture architecture, int nodes, uint64_t seed,
+            const runtime::CoordinationSpec* coordination)
+      : architecture_(architecture), simulator_(seed) {
+    programs_.RegisterBuiltins();
+    RegisterTracer("traced");
+    RegisterTracer("traced2");
+    switch (architecture) {
+      case Architecture::kCentral:
+        central_ = std::make_unique<central::CentralSystem>(
+            &simulator_, &programs_, &deployment_, coordination, nodes);
+        agent_ids_ = central_->agent_ids();
+        break;
+      case Architecture::kParallel:
+        parallel_ = std::make_unique<parallel::ParallelSystem>(
+            &simulator_, &programs_, &deployment_, coordination,
+            /*num_engines=*/3, nodes);
+        agent_ids_ = parallel_->agent_ids();
+        break;
+      case Architecture::kDistributed:
+        dist_ = std::make_unique<dist::DistributedSystem>(
+            &simulator_, &programs_, &deployment_, coordination, nodes);
+        agent_ids_ = dist_->agent_ids();
+        break;
+    }
+  }
+
+  void Register(model::Schema schema, int eligible = 2) {
+    auto compiled = model::CompiledSchema::Compile(std::move(schema));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    deployment_.AssignRandom(*compiled.value(), agent_ids_, eligible,
+                             &simulator_.rng());
+    if (central_ != nullptr) {
+      central_->engine().RegisterSchema(compiled.value());
+    } else if (parallel_ != nullptr) {
+      parallel_->RegisterSchema(compiled.value());
+    } else {
+      dist_->RegisterSchema(compiled.value());
+    }
+  }
+
+  InstanceId Start(const std::string& workflow, int64_t number,
+                   std::map<std::string, Value> inputs = {}) {
+    if (dist_ != nullptr) {
+      Result<InstanceId> id =
+          dist_->front_end().StartWorkflow(workflow, std::move(inputs));
+      EXPECT_TRUE(id.ok());
+      return id.value_or(InstanceId{});
+    }
+    InstanceId id{workflow, number};
+    Status started =
+        central_ != nullptr
+            ? central_->engine().StartWorkflow(workflow, number,
+                                               std::move(inputs))
+            : parallel_->StartWorkflow(workflow, number, std::move(inputs));
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return id;
+  }
+
+  WorkflowState StatusOf(const InstanceId& instance) {
+    if (central_ != nullptr) return central_->engine().QueryStatus(instance);
+    if (parallel_ != nullptr) return parallel_->QueryStatus(instance);
+    return dist_->CoordinationStatus(instance);
+  }
+
+  std::map<std::string, Value> FinalData(const InstanceId& instance) {
+    if (central_ != nullptr) return central_->engine().FinalData(instance);
+    if (parallel_ != nullptr) return parallel_->FinalData(instance);
+    return dist_->ArchivedData(instance);
+  }
+
+  void Run() { simulator_.Run(); }
+  void RunFor(sim::Time ticks) {
+    simulator_.queue().RunUntil(simulator_.now() + ticks);
+  }
+
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  sim::Simulator& simulator() { return simulator_; }
+  runtime::ProgramRegistry& programs() { return programs_; }
+  Architecture architecture() const { return architecture_; }
+
+ private:
+  void RegisterTracer(const std::string& name) {
+    programs_.Register(name, [this](const runtime::ProgramContext& ctx) {
+      trace_.push_back({simulator_.now(), ctx.instance, ctx.step,
+                        ctx.compensation, ctx.attempt});
+      runtime::ProgramOutcome out;
+      out.outputs["O1"] = Value(int64_t{1});
+      return out;
+    });
+  }
+
+  Architecture architecture_;
+  sim::Simulator simulator_;
+  runtime::ProgramRegistry programs_;
+  model::Deployment deployment_;
+  std::vector<NodeId> agent_ids_;
+  std::vector<TraceEvent> trace_;
+  std::unique_ptr<central::CentralSystem> central_;
+  std::unique_ptr<parallel::ParallelSystem> parallel_;
+  std::unique_ptr<dist::DistributedSystem> dist_;
+};
+
+model::Schema TracedSeq(const std::string& name, int steps) {
+  SchemaBuilder b(name);
+  std::vector<StepId> ids;
+  for (int i = 0; i < steps; ++i) {
+    ids.push_back(b.AddTask("T" + std::to_string(i + 1), "traced"));
+  }
+  b.Sequence(ids);
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+class ArchitectureProperty
+    : public ::testing::TestWithParam<Architecture> {};
+
+TEST_P(ArchitectureProperty, RelativeOrderingInvariant) {
+  runtime::CoordinationSpec coordination;
+  runtime::RelativeOrderReq ro;
+  ro.id = "fifo";
+  ro.workflow_a = "Wf";
+  ro.workflow_b = "Wf";
+  ro.step_pairs = {{2, 2}, {4, 4}};
+  coordination.relative_orders.push_back(ro);
+
+  AnySystem system(GetParam(), /*nodes=*/8, /*seed=*/42, &coordination);
+  system.Register(TracedSeq("Wf", 5));
+  std::vector<InstanceId> ids;
+  for (int64_t n = 1; n <= 5; ++n) {
+    ids.push_back(system.Start("Wf", n));
+    system.RunFor(2);
+  }
+  system.Run();
+  for (const InstanceId& id : ids) {
+    ASSERT_EQ(system.StatusOf(id), WorkflowState::kCommitted)
+        << id.ToString();
+  }
+
+  // For each ordered step, completion times must follow instance order.
+  for (StepId ordered : {2, 4}) {
+    std::map<int64_t, sim::Time> at;
+    for (const TraceEvent& event : system.trace()) {
+      if (event.step == ordered && !event.compensation) {
+        at[event.instance.number] = event.at;
+      }
+    }
+    ASSERT_EQ(at.size(), ids.size());
+    sim::Time previous = -1;
+    for (const auto& [number, when] : at) {
+      EXPECT_GE(when, previous)
+          << "step S" << ordered << " of instance " << number
+          << " overtook its predecessor";
+      previous = when;
+    }
+  }
+}
+
+TEST_P(ArchitectureProperty, MutualExclusionNoOverlap) {
+  runtime::CoordinationSpec coordination;
+  runtime::MutexReq me;
+  me.id = "m";
+  me.resource = "machine";
+  me.critical_steps = {{"Wf", 2}, {"Wf", 3}};
+  coordination.mutexes.push_back(me);
+
+  AnySystem system(GetParam(), 8, 42, &coordination);
+  system.Register(TracedSeq("Wf", 4));
+  std::vector<InstanceId> ids;
+  for (int64_t n = 1; n <= 6; ++n) ids.push_back(system.Start("Wf", n));
+  system.Run();
+  for (const InstanceId& id : ids) {
+    ASSERT_EQ(system.StatusOf(id), WorkflowState::kCommitted);
+  }
+  // Critical executions (steps 2 and 3, sharing one resource) must be
+  // strictly serialized: with exec_latency 2 (distributed) or agent
+  // round-trips (central), no two critical starts may coincide.
+  std::vector<sim::Time> critical;
+  for (const TraceEvent& event : system.trace()) {
+    if ((event.step == 2 || event.step == 3) && !event.compensation) {
+      critical.push_back(event.at);
+    }
+  }
+  std::sort(critical.begin(), critical.end());
+  for (size_t i = 1; i < critical.size(); ++i) {
+    EXPECT_GT(critical[i], critical[i - 1])
+        << "two critical sections started at t=" << critical[i];
+  }
+}
+
+TEST_P(ArchitectureProperty, CompDepSetCompensatesInReverseOrder) {
+  runtime::CoordinationSpec coordination;
+  AnySystem system(GetParam(), 8, 42, &coordination);
+  system.programs().RegisterFailFirstN("flaky", 1);
+
+  SchemaBuilder b("Sets");
+  StepId s1 = b.AddTask("A", "traced");
+  StepId s2 = b.AddTask("B", "traced");
+  StepId s3 = b.AddTask("C", "traced");
+  StepId s4 = b.AddTask("D", "flaky");
+  b.Sequence({s1, s2, s3, s4});
+  b.OnFail(s4, s2, 3);
+  b.AddCompDepSet({s2, s3});
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  system.Register(std::move(schema).value());
+
+  InstanceId id = system.Start("Sets", 1);
+  system.Run();
+  ASSERT_EQ(system.StatusOf(id), WorkflowState::kCommitted);
+
+  // Collect compensation events; S3 (executed after S2) must compensate
+  // strictly before S2.
+  sim::Time comp2 = -1, comp3 = -1;
+  for (const TraceEvent& event : system.trace()) {
+    if (!event.compensation) continue;
+    if (event.step == s2) comp2 = event.at;
+    if (event.step == s3) comp3 = event.at;
+  }
+  ASSERT_GE(comp2, 0) << "S2 was never compensated";
+  ASSERT_GE(comp3, 0) << "S3 was never compensated";
+  EXPECT_LT(comp3, comp2)
+      << "compensation dependent set not compensated in reverse order";
+}
+
+TEST_P(ArchitectureProperty, CommittedInstanceIsNetExecuted) {
+  runtime::CoordinationSpec coordination;
+  AnySystem system(GetParam(), 8, 42, &coordination);
+  system.programs().RegisterFailFirstN("flaky", 2);
+
+  // Choice with a failing join successor: exercises re-execution and
+  // branch handling, then asserts net execution counts.
+  SchemaBuilder b("Net");
+  StepId s1 = b.AddTask("A", "traced");
+  StepId s2 = b.AddTask("L", "traced");
+  StepId s3 = b.AddTask("R", "traced");
+  StepId s4 = b.AddTask("J", "flaky");
+  b.CondArc(s1, s2, "S1.O1 == 1");
+  b.ElseArc(s1, s3);
+  b.Arc(s2, s4);
+  b.Arc(s3, s4);
+  b.SetJoin(s4, model::JoinKind::kOr);
+  b.OnFail(s4, s1, 5);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  system.Register(std::move(schema).value());
+
+  InstanceId id = system.Start("Net", 1);
+  system.Run();
+  ASSERT_EQ(system.StatusOf(id), WorkflowState::kCommitted);
+
+  std::map<StepId, int> net;  // executions minus compensations
+  for (const TraceEvent& event : system.trace()) {
+    if (event.instance != id) continue;
+    net[event.step] += event.compensation ? -1 : 1;
+  }
+  // Start step executed net-once; traced branch steps net >= 0 and the
+  // overall outcome consistent: at least one branch net-executed.
+  EXPECT_GE(net[s1], 1);
+  EXPECT_GE(net[s2] + net[s3], 1);
+  for (const auto& [step, count] : net) {
+    EXPECT_GE(count, 0) << "step S" << step
+                        << " compensated more often than executed";
+  }
+}
+
+TEST_P(ArchitectureProperty, WorkloadTerminatesAndIsDeterministic) {
+  workload::Params params;
+  params.steps_per_workflow = 8;
+  params.num_schemas = 4;
+  params.instances_per_schema = 6;
+  params.num_engines = 3;
+  params.num_agents = 12;
+  params.p_step_failure = 0.25;
+  params.p_input_change = 0.1;
+  params.p_abort = 0.1;
+  params.rollback_depth = 3;
+
+  workload::RunResult first = workload::RunWorkload(params, GetParam());
+  EXPECT_EQ(first.committed + first.aborted, first.started)
+      << first.Describe();
+  workload::RunResult second = workload::RunWorkload(params, GetParam());
+  EXPECT_EQ(first.metrics.TotalMessages(), second.metrics.TotalMessages());
+  EXPECT_EQ(first.metrics.TotalLoad(), second.metrics.TotalLoad());
+  EXPECT_EQ(first.sim_ticks, second.sim_ticks);
+}
+
+TEST_P(ArchitectureProperty, LoadConservationAcrossNodes) {
+  // Total navigation load must equal the per-architecture expectation:
+  // one charge per step scheduling, regardless of where it runs.
+  workload::Params params;
+  params.steps_per_workflow = 6;
+  params.num_schemas = 3;
+  params.instances_per_schema = 4;
+  params.num_agents = 10;
+  params.p_step_failure = 0;
+  params.p_input_change = 0;
+  params.p_abort = 0;
+  params.mutex_steps = 0;
+  params.relative_order_steps = 0;
+  params.rollback_dep_steps = 0;
+
+  workload::RunResult result = workload::RunWorkload(params, GetParam());
+  ASSERT_EQ(result.committed, result.started);
+  double navigation = result.NormalizedTotalLoad(
+      sim::LoadCategory::kNavigation, params.navigation_load);
+  // Central/parallel: exactly s per instance. Distributed: s per
+  // elected execution plus one merge charge per received packet —
+  // bounded by s * (a + 1).
+  EXPECT_GE(navigation, params.steps_per_workflow * 0.95);
+  EXPECT_LE(navigation,
+            params.steps_per_workflow *
+                (params.eligible_per_step + 1.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, ArchitectureProperty,
+                         ::testing::Values(Architecture::kCentral,
+                                           Architecture::kParallel,
+                                           Architecture::kDistributed),
+                         [](const auto& info) {
+                           return std::string(
+                               workload::ArchitectureName(info.param));
+                         });
+
+TEST_P(ArchitectureProperty, StructuredSchemaSurvivesFailures) {
+  // The generator's structured shape (choice + parallel + loop +
+  // rollback into the parallel block) must commit under every
+  // architecture, with and without the injected failure.
+  workload::Params params;
+  Rng rng(42);
+  workload::WorkloadGenerator generator(params, &rng);
+  Result<workload::GeneratedSchema> generated =
+      generator.GenerateStructured(0);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+
+  runtime::CoordinationSpec coordination;
+  AnySystem system(GetParam(), 8, 42, &coordination);
+  std::vector<workload::GeneratedSchema> one = {std::move(generated).value()};
+  generator.RegisterPrograms(one, &system.programs());
+
+  // Register through the fixture path (deployment + system).
+  auto compiled = one[0].schema;
+  model::Schema copy = compiled->schema();  // re-register via AnySystem
+  // AnySystem::Register compiles its own copy, so hand it the raw schema.
+  system.Register(std::move(copy));
+
+  // Instance 1 runs clean; instance 2 fails at the epilogue and recovers.
+  InstanceId clean =
+      system.Start("SWF0", 1, {{"WF.I1", Value(int64_t{80})}});
+  InstanceId failing = system.Start(
+      "SWF0", 2,
+      {{"WF.I1", Value(int64_t{10})}, {"WF.FAIL1", Value(true)}});
+  system.Run();
+  EXPECT_EQ(system.StatusOf(clean), WorkflowState::kCommitted);
+  EXPECT_EQ(system.StatusOf(failing), WorkflowState::kCommitted);
+
+  // The clean instance took the expedite branch (WF.I1 >= 50); the
+  // failing one took standard; both looped Polish to its second
+  // iteration (the loop program outputs its attempt count).
+  const model::Schema& schema = compiled->schema();
+  auto key = [&](const char* name) {
+    return "S" + std::to_string(schema.FindStepByName(name)) + ".O1";
+  };
+  std::map<std::string, Value> clean_data = system.FinalData(clean);
+  std::map<std::string, Value> failing_data = system.FinalData(failing);
+  EXPECT_TRUE(clean_data.count(key("Expedite")));
+  EXPECT_FALSE(clean_data.count(key("Standard")));
+  EXPECT_TRUE(failing_data.count(key("Standard")));
+  EXPECT_FALSE(failing_data.count(key("Expedite")));
+  EXPECT_EQ(clean_data.at(key("Polish")), Value(int64_t{2}));
+  // The failing instance re-runs Polish during recovery (it is inside
+  // the rollback region), so its attempt count can exceed the loop's
+  // two iterations.
+  ASSERT_TRUE(failing_data.at(key("Polish")).is_int());
+  EXPECT_GE(failing_data.at(key("Polish")).AsInt(), 2);
+  // The failing instance actually exercised recovery.
+  EXPECT_GT(system.simulator().metrics().MessagesIn(
+                sim::MsgCategory::kFailureHandling),
+            0);
+}
+
+/// Parameterized structural sweep: sequential chains of varying length
+/// committed under every architecture.
+class ChainLengthProperty
+    : public ::testing::TestWithParam<std::tuple<Architecture, int>> {};
+
+TEST_P(ChainLengthProperty, ChainsOfAnyLengthCommit) {
+  auto [architecture, length] = GetParam();
+  runtime::CoordinationSpec coordination;
+  AnySystem system(architecture, 6, 42, &coordination);
+  system.Register(TracedSeq("Chain", length));
+  InstanceId id = system.Start("Chain", 1);
+  system.Run();
+  EXPECT_EQ(system.StatusOf(id), WorkflowState::kCommitted);
+  int executions = 0;
+  for (const TraceEvent& event : system.trace()) {
+    if (!event.compensation) ++executions;
+  }
+  EXPECT_EQ(executions, length);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lengths, ChainLengthProperty,
+    ::testing::Combine(::testing::Values(Architecture::kCentral,
+                                         Architecture::kParallel,
+                                         Architecture::kDistributed),
+                       ::testing::Values(1, 2, 5, 12, 25)),
+    [](const auto& info) {
+      return std::string(
+                 workload::ArchitectureName(std::get<0>(info.param))) +
+             "_len" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace crew

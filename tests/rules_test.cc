@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+#include "expr/parser.h"
+#include "rules/engine.h"
+#include "rules/event.h"
+
+namespace crew::rules {
+namespace {
+
+expr::FunctionEnvironment EmptyEnv() {
+  return expr::FunctionEnvironment(
+      [](const std::string&) { return std::nullopt; });
+}
+
+Rule MakeRule(std::string id, std::vector<std::string> events,
+              StepId step) {
+  Rule rule;
+  rule.id = std::move(id);
+  rule.events = std::move(events);
+  rule.action = {ActionKind::kExecuteStep, step};
+  return rule;
+}
+
+TEST(EventTest, TokenFormats) {
+  EXPECT_EQ(event::WorkflowStart(), "WF.start");
+  EXPECT_EQ(event::StepDone(3), "S3.done");
+  EXPECT_EQ(event::StepFail(12), "S12.fail");
+  EXPECT_EQ(event::StepCompensated(4), "S4.comp");
+  InstanceId lead{"WF1", 5};
+  EXPECT_EQ(event::RelativeOrder(lead, 2), "RO:WF1#5:S2.done");
+  EXPECT_EQ(event::MutexFree("printer"), "ME:printer.free");
+}
+
+TEST(EventTest, ParseStepEvent) {
+  EXPECT_EQ(event::ParseStepEvent("S7.done", "done"), 7);
+  EXPECT_EQ(event::ParseStepEvent("S7.done", "fail"), kInvalidStep);
+  EXPECT_EQ(event::ParseStepEvent("X7.done", "done"), kInvalidStep);
+  EXPECT_EQ(event::ParseStepEvent("S.done", "done"), kInvalidStep);
+}
+
+TEST(RuleEngineTest, FiresWhenAllEventsPresent) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A", "B"}, 1)).ok());
+  auto env = EmptyEnv();
+  engine.Post("A");
+  EXPECT_TRUE(engine.CollectFireable(env).empty());
+  engine.Post("B");
+  std::vector<RuleAction> fired = engine.CollectFireable(env);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].step, 1);
+}
+
+TEST(RuleEngineTest, DoesNotRefireWithoutNewEvents) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A"}, 1)).ok());
+  auto env = EmptyEnv();
+  engine.Post("A");
+  EXPECT_EQ(engine.CollectFireable(env).size(), 1u);
+  EXPECT_TRUE(engine.CollectFireable(env).empty());
+}
+
+TEST(RuleEngineTest, RefiresOnRepostedEvent) {
+  // Loop semantics: a re-posted trigger re-fires the rule.
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A"}, 1)).ok());
+  auto env = EmptyEnv();
+  engine.Post("A");
+  EXPECT_EQ(engine.CollectFireable(env).size(), 1u);
+  engine.Post("A");
+  EXPECT_EQ(engine.CollectFireable(env).size(), 1u);
+}
+
+TEST(RuleEngineTest, ConditionGatesFiring) {
+  RuleEngine engine;
+  Rule rule = MakeRule("r1", {"A"}, 1);
+  rule.condition = expr::ParseExpression("x > 5").value();
+  ASSERT_TRUE(engine.AddRule(std::move(rule)).ok());
+
+  int x = 0;
+  expr::FunctionEnvironment env(
+      [&x](const std::string& name) -> std::optional<Value> {
+        if (name == "x") return Value(int64_t{x});
+        return std::nullopt;
+      });
+  engine.Post("A");
+  EXPECT_TRUE(engine.CollectFireable(env).empty());
+  x = 6;
+  // No new event, but the rule never fired: the condition is re-checked
+  // only on a fresh stamp, so re-post to re-evaluate.
+  engine.Post("A");
+  EXPECT_EQ(engine.CollectFireable(env).size(), 1u);
+}
+
+TEST(RuleEngineTest, InvalidationDisarmsRule) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A", "B"}, 1)).ok());
+  auto env = EmptyEnv();
+  engine.Post("A");
+  engine.Invalidate("A");
+  engine.Post("B");
+  EXPECT_TRUE(engine.CollectFireable(env).empty());
+  EXPECT_FALSE(engine.Occurred("A"));
+  EXPECT_TRUE(engine.Occurred("B"));
+}
+
+TEST(RuleEngineTest, ResetFiringAllowsRefireOnOldEvents) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A"}, 1)).ok());
+  auto env = EmptyEnv();
+  engine.Post("A");
+  EXPECT_EQ(engine.CollectFireable(env).size(), 1u);
+  engine.ResetFiringIf([](const Rule& rule) { return rule.id == "r1"; });
+  EXPECT_EQ(engine.CollectFireable(env).size(), 1u);
+}
+
+TEST(RuleEngineTest, AddPreconditionBlocksUntilEventArrives) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A"}, 1)).ok());
+  ASSERT_TRUE(engine.AddPrecondition("r1", "RO:WF1#1:S2.done").ok());
+  auto env = EmptyEnv();
+  engine.Post("A");
+  EXPECT_TRUE(engine.CollectFireable(env).empty());
+  engine.Post("RO:WF1#1:S2.done");
+  EXPECT_EQ(engine.CollectFireable(env).size(), 1u);
+}
+
+TEST(RuleEngineTest, AddPreconditionIsIdempotent) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A"}, 1)).ok());
+  ASSERT_TRUE(engine.AddPrecondition("r1", "X").ok());
+  ASSERT_TRUE(engine.AddPrecondition("r1", "X").ok());
+  EXPECT_EQ(engine.FindRule("r1")->events.size(), 2u);
+}
+
+TEST(RuleEngineTest, AddPreconditionOnMissingRuleFails) {
+  RuleEngine engine;
+  EXPECT_TRUE(engine.AddPrecondition("ghost", "X").IsNotFound());
+}
+
+TEST(RuleEngineTest, DuplicateRuleIdRejected) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A"}, 1)).ok());
+  EXPECT_EQ(engine.AddRule(MakeRule("r1", {"B"}, 2)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RuleEngineTest, RuleValidationRejectsEmpty) {
+  RuleEngine engine;
+  EXPECT_FALSE(engine.AddRule(MakeRule("", {"A"}, 1)).ok());
+  EXPECT_FALSE(engine.AddRule(MakeRule("r", {}, 1)).ok());
+}
+
+TEST(RuleEngineTest, PendingRulesListsMissingEvents) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A", "B", "C"}, 1)).ok());
+  engine.Post("B");
+  auto pending = engine.PendingRules();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].first, "r1");
+  EXPECT_EQ(pending[0].second, (std::vector<std::string>{"A", "C"}));
+  EXPECT_EQ(engine.MissingEvents("r1"),
+            (std::vector<std::string>{"A", "C"}));
+}
+
+TEST(RuleEngineTest, FiringOrderIsDeterministicById) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("b", {"X"}, 2)).ok());
+  ASSERT_TRUE(engine.AddRule(MakeRule("a", {"X"}, 1)).ok());
+  auto env = EmptyEnv();
+  engine.Post("X");
+  std::vector<RuleAction> fired = engine.CollectFireable(env);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].step, 1);  // rule "a" first
+  EXPECT_EQ(fired[1].step, 2);
+}
+
+TEST(RuleEngineTest, RemoveRule) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A"}, 1)).ok());
+  EXPECT_TRUE(engine.RemoveRule("r1"));
+  EXPECT_FALSE(engine.RemoveRule("r1"));
+  auto env = EmptyEnv();
+  engine.Post("A");
+  EXPECT_TRUE(engine.CollectFireable(env).empty());
+}
+
+TEST(RuleEngineTest, FireCountAccumulates) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule(MakeRule("r1", {"A"}, 1)).ok());
+  auto env = EmptyEnv();
+  engine.Post("A");
+  engine.CollectFireable(env);
+  engine.Post("A");
+  engine.CollectFireable(env);
+  EXPECT_EQ(engine.fire_count(), 2);
+}
+
+}  // namespace
+}  // namespace crew::rules

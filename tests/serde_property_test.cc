@@ -1,0 +1,151 @@
+// Property tests for the wire formats: randomly generated packets and
+// messages must round-trip exactly, and parsers must survive random
+// mutations of valid payloads (reject or parse, never crash).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/packet.h"
+#include "runtime/wire.h"
+
+namespace crew::runtime {
+namespace {
+
+Value RandomValue(Rng* rng) {
+  switch (rng->Index(5)) {
+    case 0: return Value();
+    case 1: return Value(rng->Bernoulli(0.5));
+    case 2: return Value(rng->Uniform(-1'000'000, 1'000'000));
+    case 3: return Value(rng->NextDouble() * 1e6 - 5e5);
+    default: {
+      std::string s;
+      int64_t length = rng->Uniform(0, 20);
+      for (int64_t i = 0; i < length; ++i) {
+        // Include separators, quotes and newlines to stress escaping.
+        const char alphabet[] =
+            "abcXYZ019 ;,=\"\\\n@#(){}";
+        s += alphabet[rng->Index(sizeof(alphabet) - 1)];
+      }
+      return Value(s);
+    }
+  }
+}
+
+WorkflowPacket RandomPacket(Rng* rng) {
+  WorkflowPacket p;
+  p.instance.workflow = "WF" + std::to_string(rng->Uniform(0, 30));
+  p.instance.number = rng->Uniform(1, 1'000'000);
+  p.target_step = static_cast<StepId>(rng->Uniform(1, 40));
+  p.epoch = rng->Uniform(0, 12);
+  int64_t items = rng->Uniform(0, 12);
+  for (int64_t i = 0; i < items; ++i) {
+    p.data["S" + std::to_string(i) + ".O1"] = RandomValue(rng);
+  }
+  int64_t events = rng->Uniform(0, 10);
+  for (int64_t i = 0; i < events; ++i) {
+    p.events.push_back({"S" + std::to_string(i) + ".done",
+                        rng->Uniform(1, 5), rng->Uniform(0, 3)});
+  }
+  int64_t by = rng->Uniform(0, 6);
+  for (int64_t i = 0; i < by; ++i) {
+    p.executed_by[static_cast<StepId>(i + 1)] =
+        static_cast<NodeId>(rng->Uniform(1, 100));
+  }
+  if (rng->Bernoulli(0.5)) {
+    p.ro_links.push_back({{"WF9", rng->Uniform(1, 9)},
+                          static_cast<StepId>(rng->Uniform(1, 9)),
+                          static_cast<StepId>(rng->Uniform(1, 9)),
+                          rng->Bernoulli(0.5)});
+  }
+  if (rng->Bernoulli(0.3)) {
+    p.rd_links.push_back({{"WF3", rng->Uniform(1, 9)},
+                          static_cast<StepId>(rng->Uniform(1, 9)),
+                          static_cast<StepId>(rng->Uniform(1, 9))});
+  }
+  return p;
+}
+
+TEST(SerdeProperty, RandomPacketsRoundTripExactly) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 300; ++trial) {
+    WorkflowPacket p = RandomPacket(&rng);
+    Result<WorkflowPacket> q = WorkflowPacket::Parse(p.Serialize());
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_EQ(q.value().instance, p.instance);
+    EXPECT_EQ(q.value().target_step, p.target_step);
+    EXPECT_EQ(q.value().epoch, p.epoch);
+    EXPECT_EQ(q.value().data, p.data);
+    ASSERT_EQ(q.value().events.size(), p.events.size());
+    for (size_t i = 0; i < p.events.size(); ++i) {
+      EXPECT_EQ(q.value().events[i].token, p.events[i].token);
+      EXPECT_EQ(q.value().events[i].occ, p.events[i].occ);
+      EXPECT_EQ(q.value().events[i].epoch, p.events[i].epoch);
+    }
+    EXPECT_EQ(q.value().executed_by, p.executed_by);
+    EXPECT_EQ(q.value().ro_links.size(), p.ro_links.size());
+    EXPECT_EQ(q.value().rd_links.size(), p.rd_links.size());
+  }
+}
+
+TEST(SerdeProperty, MutatedPayloadsNeverCrashParsers) {
+  Rng rng(4096);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string payload = RandomPacket(&rng).Serialize();
+    // Apply 1-4 random byte mutations.
+    int64_t mutations = rng.Uniform(1, 4);
+    for (int64_t m = 0; m < mutations && !payload.empty(); ++m) {
+      size_t pos = rng.Index(payload.size());
+      switch (rng.Index(3)) {
+        case 0:
+          payload[pos] = static_cast<char>(rng.Uniform(32, 126));
+          break;
+        case 1:
+          payload.erase(pos, 1);
+          break;
+        default:
+          payload.insert(pos, 1,
+                         static_cast<char>(rng.Uniform(32, 126)));
+      }
+    }
+    // Must not crash; outcome (ok or error) is free.
+    (void)WorkflowPacket::Parse(payload);
+    (void)WorkflowStartMsg::Parse(payload);
+    (void)WorkflowRollbackMsg::Parse(payload);
+    (void)CompensateSetMsg::Parse(payload);
+    (void)StepCompletedMsg::Parse(payload);
+    (void)RunProgramMsg::Parse(payload);
+  }
+}
+
+TEST(SerdeProperty, NestedPacketEscapingSurvivesHostileStrings) {
+  // Rollback messages embed a serialized packet with escaped newlines;
+  // data values full of backslashes and newlines must survive.
+  WorkflowRollbackMsg m;
+  m.instance = {"WF1", 1};
+  m.origin_step = 2;
+  m.new_epoch = 5;
+  m.state.instance = m.instance;
+  m.state.target_step = 2;
+  m.state.data["S1.O1"] = Value("\\n\\\\weird\n\\\nmix\\n");
+  m.state.data["S1.O2"] = Value("line1\nline2\nline3");
+  Result<WorkflowRollbackMsg> parsed =
+      WorkflowRollbackMsg::Parse(m.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().state.data.at("S1.O1"),
+            Value("\\n\\\\weird\n\\\nmix\\n"));
+  EXPECT_EQ(parsed.value().state.data.at("S1.O2"),
+            Value("line1\nline2\nline3"));
+}
+
+TEST(SerdeProperty, RandomValuesRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    Value v = RandomValue(&rng);
+    Result<Value> back = Value::Parse(v.ToString());
+    ASSERT_TRUE(back.ok()) << v.ToString();
+    EXPECT_EQ(back.value(), v) << v.ToString();
+    EXPECT_EQ(back.value().kind(), v.kind()) << v.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace crew::runtime

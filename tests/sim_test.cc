@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace crew::sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(5, [&]() { order.push_back(5); });
+  queue.ScheduleAt(1, [&]() { order.push_back(1); });
+  queue.ScheduleAt(3, [&]() { order.push_back(3); });
+  EXPECT_EQ(queue.RunAll(), 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(queue.now(), 5);
+}
+
+TEST(EventQueueTest, StableAtEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.ScheduleAt(7, [&order, i]() { order.push_back(i); });
+  }
+  queue.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ScheduleAfterIsRelative) {
+  EventQueue queue;
+  Time seen = -1;
+  queue.ScheduleAt(10, [&]() {
+    queue.ScheduleAfter(5, [&]() { seen = queue.now(); });
+  });
+  queue.RunAll();
+  EXPECT_EQ(seen, 15);
+}
+
+TEST(EventQueueTest, PastSchedulesClampToNow) {
+  EventQueue queue;
+  Time seen = -1;
+  queue.ScheduleAt(10, [&]() {
+    queue.ScheduleAt(3, [&]() { seen = queue.now(); });  // in the past
+  });
+  queue.RunAll();
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  int fired = 0;
+  for (Time t : {1, 2, 3, 4, 5}) {
+    queue.ScheduleAt(t, [&]() { ++fired; });
+  }
+  EXPECT_EQ(queue.RunUntil(3), 3);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(EventQueueTest, MaxEventsGuard) {
+  EventQueue queue;
+  // Self-perpetuating event chain: the guard must stop it.
+  std::function<void()> loop = [&]() { queue.ScheduleAfter(1, loop); };
+  queue.ScheduleAfter(1, loop);
+  EXPECT_EQ(queue.RunAll(/*max_events=*/100), 100);
+}
+
+class Recorder : public MessageHandler {
+ public:
+  std::vector<Message> received;
+  void HandleMessage(const Message& message) override {
+    received.push_back(message);
+  }
+};
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Simulator simulator;
+  Recorder recorder;
+  simulator.network().Register(7, &recorder);
+  simulator.network().set_latency(3);
+  ASSERT_TRUE(simulator.network()
+                  .Send({1, 7, "Ping", "payload", MsgCategory::kNormal})
+                  .ok());
+  simulator.queue().RunUntil(2);
+  EXPECT_TRUE(recorder.received.empty());
+  simulator.Run();
+  ASSERT_EQ(recorder.received.size(), 1u);
+  EXPECT_EQ(recorder.received[0].payload, "payload");
+  EXPECT_EQ(simulator.now(), 3);
+}
+
+TEST(NetworkTest, UnknownDestinationRejected) {
+  Simulator simulator;
+  EXPECT_TRUE(simulator.network()
+                  .Send({1, 99, "Ping", "", MsgCategory::kNormal})
+                  .IsNotFound());
+}
+
+TEST(NetworkTest, DownNodeParksMessagesUntilRecovery) {
+  Simulator simulator;
+  Recorder recorder;
+  simulator.network().Register(7, &recorder);
+  simulator.network().SetNodeDown(7, true);
+  ASSERT_TRUE(simulator.network()
+                  .Send({1, 7, "A", "first", MsgCategory::kNormal})
+                  .ok());
+  ASSERT_TRUE(simulator.network()
+                  .Send({1, 7, "B", "second", MsgCategory::kNormal})
+                  .ok());
+  simulator.Run();
+  EXPECT_TRUE(recorder.received.empty());  // parked, not lost
+  simulator.network().SetNodeDown(7, false);
+  simulator.Run();
+  ASSERT_EQ(recorder.received.size(), 2u);
+  EXPECT_EQ(recorder.received[0].payload, "first");   // order preserved
+  EXPECT_EQ(recorder.received[1].payload, "second");
+}
+
+TEST(NetworkTest, InjectCrashTogglesLiveness) {
+  Simulator simulator;
+  Recorder recorder;
+  simulator.network().Register(5, &recorder);
+  InjectCrash(&simulator, 5, /*at=*/10, /*outage=*/20);
+  simulator.queue().RunUntil(15);
+  EXPECT_TRUE(simulator.network().IsNodeDown(5));
+  simulator.queue().RunUntil(31);
+  EXPECT_FALSE(simulator.network().IsNodeDown(5));
+}
+
+TEST(MetricsTest, CountsByCategoryAndType) {
+  Metrics metrics;
+  metrics.CountMessage(1, 2, MsgCategory::kNormal, 100, "StepExecute");
+  metrics.CountMessage(1, 2, MsgCategory::kNormal, 50, "StepExecute");
+  metrics.CountMessage(2, 3, MsgCategory::kFailureHandling, 10,
+                       "HaltThread");
+  EXPECT_EQ(metrics.TotalMessages(), 3);
+  EXPECT_EQ(metrics.TotalBytes(), 160);
+  EXPECT_EQ(metrics.MessagesIn(MsgCategory::kNormal), 2);
+  EXPECT_EQ(metrics.MessagesIn(MsgCategory::kFailureHandling), 1);
+  EXPECT_NE(metrics.TypeBreakdown(MsgCategory::kNormal)
+                .find("StepExecute = 2"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, ModelledMessagesExcludesElectionAndAdmin) {
+  Metrics metrics;
+  metrics.CountMessage(1, 2, MsgCategory::kNormal, 1);
+  metrics.CountMessage(1, 2, MsgCategory::kElection, 1);
+  metrics.CountMessage(1, 2, MsgCategory::kAdmin, 1);
+  EXPECT_EQ(metrics.TotalMessages(), 3);
+  EXPECT_EQ(metrics.ModelledMessages(), 1);
+}
+
+TEST(MetricsTest, LoadAccounting) {
+  Metrics metrics;
+  metrics.AddLoad(1, LoadCategory::kNavigation, 100);
+  metrics.AddLoad(1, LoadCategory::kProgram, 500);
+  metrics.AddLoad(2, LoadCategory::kNavigation, 300);
+  EXPECT_EQ(metrics.LoadAt(1), 600);
+  EXPECT_EQ(metrics.LoadAt(1, LoadCategory::kNavigation), 100);
+  EXPECT_EQ(metrics.TotalLoad(LoadCategory::kNavigation), 400);
+  EXPECT_EQ(metrics.MaxNodeLoad(), 600);
+  EXPECT_DOUBLE_EQ(metrics.MeanNodeLoad(), 450.0);
+  EXPECT_EQ(metrics.LoadedNodes(), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  Metrics metrics;
+  metrics.CountMessage(1, 2, MsgCategory::kNormal, 10, "X");
+  metrics.AddLoad(1, LoadCategory::kProgram, 5);
+  metrics.Reset();
+  EXPECT_EQ(metrics.TotalMessages(), 0);
+  EXPECT_EQ(metrics.TotalLoad(), 0);
+  EXPECT_TRUE(metrics.TypeBreakdown(MsgCategory::kNormal).empty());
+}
+
+TEST(SimulatorTest, DeterministicRngFork) {
+  Simulator a(99), b(99);
+  Rng fork_a = a.rng().Fork();
+  Rng fork_b = b.rng().Fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fork_a.Uniform(0, 1 << 20), fork_b.Uniform(0, 1 << 20));
+  }
+}
+
+}  // namespace
+}  // namespace crew::sim
