@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_election.dir/bench_ablation_election.cc.o"
+  "CMakeFiles/bench_ablation_election.dir/bench_ablation_election.cc.o.d"
+  "bench_ablation_election"
+  "bench_ablation_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

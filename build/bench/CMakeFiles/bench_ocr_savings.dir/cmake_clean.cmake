@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ocr_savings.dir/bench_ocr_savings.cc.o"
+  "CMakeFiles/bench_ocr_savings.dir/bench_ocr_savings.cc.o.d"
+  "bench_ocr_savings"
+  "bench_ocr_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ocr_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_coordination.dir/bench_sweep_coordination.cc.o"
+  "CMakeFiles/bench_sweep_coordination.dir/bench_sweep_coordination.cc.o.d"
+  "bench_sweep_coordination"
+  "bench_sweep_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_failures.dir/bench_sweep_failures.cc.o"
+  "CMakeFiles/bench_sweep_failures.dir/bench_sweep_failures.cc.o.d"
+  "bench_sweep_failures"
+  "bench_sweep_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_scalability.dir/bench_sweep_scalability.cc.o"
+  "CMakeFiles/bench_sweep_scalability.dir/bench_sweep_scalability.cc.o.d"
+  "bench_sweep_scalability"
+  "bench_sweep_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

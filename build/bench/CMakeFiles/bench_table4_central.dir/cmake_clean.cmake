@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_central.dir/bench_table4_central.cc.o"
+  "CMakeFiles/bench_table4_central.dir/bench_table4_central.cc.o.d"
+  "bench_table4_central"
+  "bench_table4_central.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_parallel.cc" "bench/CMakeFiles/bench_table5_parallel.dir/bench_table5_parallel.cc.o" "gcc" "bench/CMakeFiles/bench_table5_parallel.dir/bench_table5_parallel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/crew_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/crew_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/crew_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/crew_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/central/CMakeFiles/crew_central.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/crew_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/crew_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/crew_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/crew_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/crew_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crew_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/crew_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

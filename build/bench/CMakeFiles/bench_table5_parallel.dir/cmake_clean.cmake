@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_parallel.dir/bench_table5_parallel.cc.o"
+  "CMakeFiles/bench_table5_parallel.dir/bench_table5_parallel.cc.o.d"
+  "bench_table5_parallel"
+  "bench_table5_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_distributed.dir/bench_table6_distributed.cc.o"
+  "CMakeFiles/bench_table6_distributed.dir/bench_table6_distributed.cc.o.d"
+  "bench_table6_distributed"
+  "bench_table6_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_recommend.dir/bench_table7_recommend.cc.o"
+  "CMakeFiles/bench_table7_recommend.dir/bench_table7_recommend.cc.o.d"
+  "bench_table7_recommend"
+  "bench_table7_recommend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/crew_bench_common.dir/bench_common.cc.o.d"
+  "libcrew_bench_common.a"
+  "libcrew_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_processing.dir/claims_processing.cpp.o"
+  "CMakeFiles/claims_processing.dir/claims_processing.cpp.o.d"
+  "claims_processing"
+  "claims_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

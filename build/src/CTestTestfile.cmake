@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("expr")
+subdirs("sim")
+subdirs("storage")
+subdirs("model")
+subdirs("rules")
+subdirs("laws")
+subdirs("runtime")
+subdirs("central")
+subdirs("parallel")
+subdirs("dist")
+subdirs("workload")
+subdirs("analysis")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_analysis.dir/model.cc.o"
+  "CMakeFiles/crew_analysis.dir/model.cc.o.d"
+  "CMakeFiles/crew_analysis.dir/recommend.cc.o"
+  "CMakeFiles/crew_analysis.dir/recommend.cc.o.d"
+  "libcrew_analysis.a"
+  "libcrew_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

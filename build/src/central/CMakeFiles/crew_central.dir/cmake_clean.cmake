@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_central.dir/agent.cc.o"
+  "CMakeFiles/crew_central.dir/agent.cc.o.d"
+  "CMakeFiles/crew_central.dir/engine.cc.o"
+  "CMakeFiles/crew_central.dir/engine.cc.o.d"
+  "CMakeFiles/crew_central.dir/system.cc.o"
+  "CMakeFiles/crew_central.dir/system.cc.o.d"
+  "libcrew_central.a"
+  "libcrew_central.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_common.dir/logging.cc.o"
+  "CMakeFiles/crew_common.dir/logging.cc.o.d"
+  "CMakeFiles/crew_common.dir/status.cc.o"
+  "CMakeFiles/crew_common.dir/status.cc.o.d"
+  "CMakeFiles/crew_common.dir/strings.cc.o"
+  "CMakeFiles/crew_common.dir/strings.cc.o.d"
+  "CMakeFiles/crew_common.dir/value.cc.o"
+  "CMakeFiles/crew_common.dir/value.cc.o.d"
+  "libcrew_common.a"
+  "libcrew_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

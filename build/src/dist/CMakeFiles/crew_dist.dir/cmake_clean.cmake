@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_dist.dir/agent.cc.o"
+  "CMakeFiles/crew_dist.dir/agent.cc.o.d"
+  "CMakeFiles/crew_dist.dir/frontend.cc.o"
+  "CMakeFiles/crew_dist.dir/frontend.cc.o.d"
+  "CMakeFiles/crew_dist.dir/system.cc.o"
+  "CMakeFiles/crew_dist.dir/system.cc.o.d"
+  "libcrew_dist.a"
+  "libcrew_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_expr.dir/eval.cc.o"
+  "CMakeFiles/crew_expr.dir/eval.cc.o.d"
+  "CMakeFiles/crew_expr.dir/lexer.cc.o"
+  "CMakeFiles/crew_expr.dir/lexer.cc.o.d"
+  "CMakeFiles/crew_expr.dir/parser.cc.o"
+  "CMakeFiles/crew_expr.dir/parser.cc.o.d"
+  "libcrew_expr.a"
+  "libcrew_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

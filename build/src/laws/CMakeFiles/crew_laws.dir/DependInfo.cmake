@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/laws/export.cc" "src/laws/CMakeFiles/crew_laws.dir/export.cc.o" "gcc" "src/laws/CMakeFiles/crew_laws.dir/export.cc.o.d"
+  "/root/repo/src/laws/parser.cc" "src/laws/CMakeFiles/crew_laws.dir/parser.cc.o" "gcc" "src/laws/CMakeFiles/crew_laws.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/crew_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/crew_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/crew_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/crew_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crew_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/crew_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_laws.dir/export.cc.o"
+  "CMakeFiles/crew_laws.dir/export.cc.o.d"
+  "CMakeFiles/crew_laws.dir/parser.cc.o"
+  "CMakeFiles/crew_laws.dir/parser.cc.o.d"
+  "libcrew_laws.a"
+  "libcrew_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/builder.cc" "src/model/CMakeFiles/crew_model.dir/builder.cc.o" "gcc" "src/model/CMakeFiles/crew_model.dir/builder.cc.o.d"
+  "/root/repo/src/model/compiled.cc" "src/model/CMakeFiles/crew_model.dir/compiled.cc.o" "gcc" "src/model/CMakeFiles/crew_model.dir/compiled.cc.o.d"
+  "/root/repo/src/model/deployment.cc" "src/model/CMakeFiles/crew_model.dir/deployment.cc.o" "gcc" "src/model/CMakeFiles/crew_model.dir/deployment.cc.o.d"
+  "/root/repo/src/model/schema.cc" "src/model/CMakeFiles/crew_model.dir/schema.cc.o" "gcc" "src/model/CMakeFiles/crew_model.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/crew_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_model.dir/builder.cc.o"
+  "CMakeFiles/crew_model.dir/builder.cc.o.d"
+  "CMakeFiles/crew_model.dir/compiled.cc.o"
+  "CMakeFiles/crew_model.dir/compiled.cc.o.d"
+  "CMakeFiles/crew_model.dir/deployment.cc.o"
+  "CMakeFiles/crew_model.dir/deployment.cc.o.d"
+  "CMakeFiles/crew_model.dir/schema.cc.o"
+  "CMakeFiles/crew_model.dir/schema.cc.o.d"
+  "libcrew_model.a"
+  "libcrew_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

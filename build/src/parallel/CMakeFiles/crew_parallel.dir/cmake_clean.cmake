@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_parallel.dir/system.cc.o"
+  "CMakeFiles/crew_parallel.dir/system.cc.o.d"
+  "libcrew_parallel.a"
+  "libcrew_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

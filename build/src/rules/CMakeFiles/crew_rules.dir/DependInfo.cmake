@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/engine.cc" "src/rules/CMakeFiles/crew_rules.dir/engine.cc.o" "gcc" "src/rules/CMakeFiles/crew_rules.dir/engine.cc.o.d"
+  "/root/repo/src/rules/event.cc" "src/rules/CMakeFiles/crew_rules.dir/event.cc.o" "gcc" "src/rules/CMakeFiles/crew_rules.dir/event.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/crew_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

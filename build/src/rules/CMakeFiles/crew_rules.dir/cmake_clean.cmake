@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_rules.dir/engine.cc.o"
+  "CMakeFiles/crew_rules.dir/engine.cc.o.d"
+  "CMakeFiles/crew_rules.dir/event.cc.o"
+  "CMakeFiles/crew_rules.dir/event.cc.o.d"
+  "libcrew_rules.a"
+  "libcrew_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

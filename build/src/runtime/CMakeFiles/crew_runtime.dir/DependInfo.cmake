@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/coord.cc" "src/runtime/CMakeFiles/crew_runtime.dir/coord.cc.o" "gcc" "src/runtime/CMakeFiles/crew_runtime.dir/coord.cc.o.d"
+  "/root/repo/src/runtime/instance.cc" "src/runtime/CMakeFiles/crew_runtime.dir/instance.cc.o" "gcc" "src/runtime/CMakeFiles/crew_runtime.dir/instance.cc.o.d"
+  "/root/repo/src/runtime/kv.cc" "src/runtime/CMakeFiles/crew_runtime.dir/kv.cc.o" "gcc" "src/runtime/CMakeFiles/crew_runtime.dir/kv.cc.o.d"
+  "/root/repo/src/runtime/ocr.cc" "src/runtime/CMakeFiles/crew_runtime.dir/ocr.cc.o" "gcc" "src/runtime/CMakeFiles/crew_runtime.dir/ocr.cc.o.d"
+  "/root/repo/src/runtime/packet.cc" "src/runtime/CMakeFiles/crew_runtime.dir/packet.cc.o" "gcc" "src/runtime/CMakeFiles/crew_runtime.dir/packet.cc.o.d"
+  "/root/repo/src/runtime/programs.cc" "src/runtime/CMakeFiles/crew_runtime.dir/programs.cc.o" "gcc" "src/runtime/CMakeFiles/crew_runtime.dir/programs.cc.o.d"
+  "/root/repo/src/runtime/rulegen.cc" "src/runtime/CMakeFiles/crew_runtime.dir/rulegen.cc.o" "gcc" "src/runtime/CMakeFiles/crew_runtime.dir/rulegen.cc.o.d"
+  "/root/repo/src/runtime/wire.cc" "src/runtime/CMakeFiles/crew_runtime.dir/wire.cc.o" "gcc" "src/runtime/CMakeFiles/crew_runtime.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/crew_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/crew_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/crew_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crew_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/crew_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

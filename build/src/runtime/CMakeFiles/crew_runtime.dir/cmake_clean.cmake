@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_runtime.dir/coord.cc.o"
+  "CMakeFiles/crew_runtime.dir/coord.cc.o.d"
+  "CMakeFiles/crew_runtime.dir/instance.cc.o"
+  "CMakeFiles/crew_runtime.dir/instance.cc.o.d"
+  "CMakeFiles/crew_runtime.dir/kv.cc.o"
+  "CMakeFiles/crew_runtime.dir/kv.cc.o.d"
+  "CMakeFiles/crew_runtime.dir/ocr.cc.o"
+  "CMakeFiles/crew_runtime.dir/ocr.cc.o.d"
+  "CMakeFiles/crew_runtime.dir/packet.cc.o"
+  "CMakeFiles/crew_runtime.dir/packet.cc.o.d"
+  "CMakeFiles/crew_runtime.dir/programs.cc.o"
+  "CMakeFiles/crew_runtime.dir/programs.cc.o.d"
+  "CMakeFiles/crew_runtime.dir/rulegen.cc.o"
+  "CMakeFiles/crew_runtime.dir/rulegen.cc.o.d"
+  "CMakeFiles/crew_runtime.dir/wire.cc.o"
+  "CMakeFiles/crew_runtime.dir/wire.cc.o.d"
+  "libcrew_runtime.a"
+  "libcrew_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

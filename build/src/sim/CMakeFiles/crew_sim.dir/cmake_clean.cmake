@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_sim.dir/event_queue.cc.o"
+  "CMakeFiles/crew_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/crew_sim.dir/metrics.cc.o"
+  "CMakeFiles/crew_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/crew_sim.dir/network.cc.o"
+  "CMakeFiles/crew_sim.dir/network.cc.o.d"
+  "CMakeFiles/crew_sim.dir/simulator.cc.o"
+  "CMakeFiles/crew_sim.dir/simulator.cc.o.d"
+  "libcrew_sim.a"
+  "libcrew_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

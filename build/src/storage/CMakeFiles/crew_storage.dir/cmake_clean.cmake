@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_storage.dir/database.cc.o"
+  "CMakeFiles/crew_storage.dir/database.cc.o.d"
+  "CMakeFiles/crew_storage.dir/table.cc.o"
+  "CMakeFiles/crew_storage.dir/table.cc.o.d"
+  "CMakeFiles/crew_storage.dir/wal.cc.o"
+  "CMakeFiles/crew_storage.dir/wal.cc.o.d"
+  "libcrew_storage.a"
+  "libcrew_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_workload.dir/driver.cc.o"
+  "CMakeFiles/crew_workload.dir/driver.cc.o.d"
+  "CMakeFiles/crew_workload.dir/generator.cc.o"
+  "CMakeFiles/crew_workload.dir/generator.cc.o.d"
+  "CMakeFiles/crew_workload.dir/params.cc.o"
+  "CMakeFiles/crew_workload.dir/params.cc.o.d"
+  "libcrew_workload.a"
+  "libcrew_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

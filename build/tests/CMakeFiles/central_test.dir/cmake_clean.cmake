@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/central_test.dir/central_test.cc.o"
+  "CMakeFiles/central_test.dir/central_test.cc.o.d"
+  "central_test"
+  "central_test.pdb"
+  "central_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/central_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_sweep_test.dir/expr_sweep_test.cc.o"
+  "CMakeFiles/expr_sweep_test.dir/expr_sweep_test.cc.o.d"
+  "expr_sweep_test"
+  "expr_sweep_test.pdb"
+  "expr_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

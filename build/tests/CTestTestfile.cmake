@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/central_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/laws_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/serde_property_test[1]_include.cmake")
+include("/root/repo/build/tests/central_edge_test[1]_include.cmake")
