@@ -20,8 +20,9 @@ struct Cell {
   int64_t committed = 0;
 };
 
-Cell RunOnce(int eligible, bool probes) {
+Cell RunOnce(int eligible, bool probes, obs::Tracer* tracer = nullptr) {
   sim::Simulator simulator(42);
+  if (tracer != nullptr) simulator.set_tracer(tracer);
   runtime::ProgramRegistry programs;
   programs.RegisterBuiltins();
   model::Deployment deployment;
@@ -59,7 +60,8 @@ Cell RunOnce(int eligible, bool probes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchSession session("ablation_election", argc, argv);
   printf(
       "\nAblation: distributed successor-election probe traffic\n"
       "(20 instances x 10 steps, 20 agents; probes metered separately)\n\n");
@@ -68,7 +70,7 @@ int main() {
   printf("%s\n", std::string(70, '-').c_str());
   for (int a : {1, 2, 3, 4}) {
     Cell off = RunOnce(a, /*probes=*/false);
-    Cell on = RunOnce(a, /*probes=*/true);
+    Cell on = RunOnce(a, /*probes=*/true, session.tracer());
     printf("%3d | %14lld | %16lld | %16lld | %6lld/20\n", a,
            static_cast<long long>(off.normal),
            static_cast<long long>(off.election),
@@ -79,5 +81,6 @@ int main() {
       "\nExpected shape: probe traffic grows ~a*(a-1) per multi-eligible\n"
       "step while the modelled packet fan-out grows only with a; the\n"
       "deterministic election keeps outcomes identical either way.\n");
+  session.Finish();
   return 0;
 }

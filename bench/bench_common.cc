@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <sstream>
 
 namespace crew::bench {
 
@@ -118,6 +120,122 @@ std::vector<NodeId> DistributedAgentNodes(int num_agents) {
   std::vector<NodeId> nodes;
   for (int i = 0; i < num_agents; ++i) nodes.push_back(1 + i);
   return nodes;
+}
+
+std::string RunResultJson(const workload::RunResult& result) {
+  std::ostringstream os;
+  os << "{\"architecture\":\""
+     << workload::ArchitectureName(result.architecture)
+     << "\",\"started\":" << result.started
+     << ",\"committed\":" << result.committed
+     << ",\"aborted\":" << result.aborted
+     << ",\"sim_ticks\":" << result.sim_ticks
+     << ",\"metrics\":" << result.metrics.ReportJson() << "}";
+  return os.str();
+}
+
+namespace {
+
+/// Returns the value of a `--flag=value` argument, or nullptr.
+const char* FlagValue(const char* arg, const char* flag) {
+  size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=') {
+    return arg + len + 1;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+BenchSession::BenchSession(std::string name, int argc, char** argv,
+                           bool default_json)
+    : name_(std::move(name)), want_json_(default_json) {
+  json_path_ = "BENCH_" + name_ + ".json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = FlagValue(arg, "--trace")) {
+      trace_path_ = v;
+    } else if (const char* v = FlagValue(arg, "--jsonl")) {
+      jsonl_path_ = v;
+    } else if (const char* v = FlagValue(arg, "--json")) {
+      json_path_ = v;
+      want_json_ = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      want_json_ = true;
+    } else if (std::strcmp(arg, "--no-json") == 0) {
+      want_json_ = false;
+    } else {
+      fprintf(stderr,
+              "%s: unknown argument '%s' (accepted: --trace=<path> "
+              "--jsonl=<path> --json[=<path>] --no-json)\n",
+              name_.c_str(), arg);
+    }
+  }
+  if (!trace_path_.empty() || !jsonl_path_.empty()) {
+    ring_ = std::make_unique<obs::RingBufferTracer>();
+  }
+}
+
+BenchSession::~BenchSession() { Finish(); }
+
+obs::Tracer* BenchSession::tracer() {
+  if (ring_ == nullptr || handed_out_) return nullptr;
+  handed_out_ = true;
+  return ring_.get();
+}
+
+void BenchSession::Record(const std::string& label,
+                          const workload::RunResult& result) {
+  runs_.emplace_back(label, RunResultJson(result));
+}
+
+void BenchSession::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (ring_ != nullptr) {
+    printf("\n%s", ring_->SummaryReport().c_str());
+    if (!trace_path_.empty()) {
+      Status status = ring_->WriteChromeTrace(trace_path_);
+      if (status.ok()) {
+        printf("trace: wrote %s (load in chrome://tracing or "
+               "https://ui.perfetto.dev)\n",
+               trace_path_.c_str());
+      } else {
+        fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+      }
+    }
+    if (!jsonl_path_.empty()) {
+      Status status = ring_->WriteJsonl(jsonl_path_);
+      if (status.ok()) {
+        printf("trace: wrote %s\n", jsonl_path_.c_str());
+      } else {
+        fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+      }
+    }
+  }
+  if (want_json_ && !runs_.empty()) {
+    std::ostringstream os;
+    os << "{\"bench\":\"" << obs::JsonEscape(name_) << "\",\"runs\":[";
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"label\":\"" << obs::JsonEscape(runs_[i].first)
+         << "\",\"result\":" << runs_[i].second << "}";
+    }
+    os << "]";
+    if (ring_ != nullptr) {
+      os << ",\"latency\":" << ring_->HistogramsJson();
+    }
+    os << "}\n";
+    FILE* f = fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "json: cannot open %s\n", json_path_.c_str());
+    } else {
+      std::string text = os.str();
+      fwrite(text.data(), 1, text.size(), f);
+      fclose(f);
+      printf("json: wrote %s\n", json_path_.c_str());
+    }
+  }
 }
 
 }  // namespace crew::bench

@@ -1,11 +1,14 @@
 #ifndef CREW_BENCH_BENCH_COMMON_H_
 #define CREW_BENCH_BENCH_COMMON_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/model.h"
 #include "analysis/recommend.h"
+#include "obs/trace.h"
 #include "workload/driver.h"
 
 namespace crew::bench {
@@ -44,6 +47,57 @@ void PrintHeader(const std::string& title,
 std::vector<NodeId> CentralEngineNodes();
 std::vector<NodeId> ParallelEngineNodes(int num_engines);
 std::vector<NodeId> DistributedAgentNodes(int num_agents);
+
+/// One run's summary as a JSON object (counts + full metrics).
+std::string RunResultJson(const workload::RunResult& result);
+
+/// Shared flight-recorder harness for the bench mains. Parses the
+/// telemetry flags every bench accepts:
+///
+///   --trace=<path>   write a Chrome trace_event JSON of the first run
+///                    (load in chrome://tracing or https://ui.perfetto.dev)
+///   --jsonl=<path>   write the same records as compact JSONL
+///   --json[=<path>]  write BENCH_<name>.json with per-run results
+///   --no-json        suppress the default JSON dump (table benches)
+///
+/// Usage:
+///   BenchSession session("table4_central", argc, argv, /*default_json=*/true);
+///   RunResult r = RunWorkload(params, arch, session.tracer());
+///   session.Record("central", r);
+///   ... more runs ...
+///   session.Finish();  // writes files, prints latency percentiles
+class BenchSession {
+ public:
+  BenchSession(std::string name, int argc, char** argv,
+               bool default_json = false);
+  ~BenchSession();
+
+  /// Tracer to pass to RunWorkload. Non-null only on the *first* call
+  /// and only when --trace/--jsonl was given: multi-run benches trace
+  /// their first run only, so one trace never mixes virtual-time axes.
+  obs::Tracer* tracer();
+
+  /// Whether any tracing output was requested.
+  bool tracing() const { return ring_ != nullptr; }
+
+  /// Adds one run's result to the JSON dump.
+  void Record(const std::string& label, const workload::RunResult& result);
+
+  /// Writes the requested files and prints the latency summary. Called
+  /// by the destructor if the bench main forgets.
+  void Finish();
+
+ private:
+  std::string name_;
+  std::string trace_path_;
+  std::string jsonl_path_;
+  std::string json_path_;
+  bool want_json_ = false;
+  bool handed_out_ = false;
+  bool finished_ = false;
+  std::unique_ptr<obs::RingBufferTracer> ring_;
+  std::vector<std::pair<std::string, std::string>> runs_;  // label, json
+};
 
 }  // namespace crew::bench
 

@@ -25,7 +25,8 @@ crew::workload::Params BaseParams() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  crew::bench::BenchSession session("ocr_savings", argc, argv);
   crew::workload::Params base = BaseParams();
   crew::bench::PrintHeader(
       "OCR savings (§6): recovery program-work vs P[re-execution]", base);
@@ -39,7 +40,9 @@ int main() {
     crew::workload::Params params = base;
     params.p_reexecution = pr;
     crew::workload::RunResult result = crew::workload::RunWorkload(
-        params, crew::workload::Architecture::kDistributed);
+        params, crew::workload::Architecture::kDistributed,
+        session.tracer());
+    session.Record("pr=" + std::to_string(pr), result);
     double program_load =
         static_cast<double>(
             result.metrics.TotalLoad(crew::sim::LoadCategory::kProgram)) /
@@ -53,5 +56,6 @@ int main() {
       "\nExpected shape: program load and failure traffic grow with pr;\n"
       "pr=1 is the conservative compensate-everything baseline the paper\n"
       "argues against, pr->0 is maximal reuse.\n");
+  session.Finish();
   return 0;
 }

@@ -33,7 +33,8 @@ double CoordPlusNormalMessages(const crew::workload::RunResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  crew::bench::BenchSession session("sweep_coordination", argc, argv);
   crew::bench::PrintHeader(
       "Sweep B: normal+coordination messages/instance vs me+ro+rd",
       BaseParams(3));
@@ -44,15 +45,21 @@ int main() {
   using crew::workload::Architecture;
   for (int intensity : {0, 3, 6, 9, 12}) {
     crew::workload::Params params = BaseParams(intensity);
-    double central = CoordPlusNormalMessages(
-        crew::workload::RunWorkload(params, Architecture::kCentral));
-    double parallel = CoordPlusNormalMessages(
-        crew::workload::RunWorkload(params, Architecture::kParallel));
-    double distributed = CoordPlusNormalMessages(
-        crew::workload::RunWorkload(params, Architecture::kDistributed));
+    std::string suffix = "-i=" + std::to_string(intensity);
+    crew::workload::RunResult central_run = crew::workload::RunWorkload(
+        params, Architecture::kCentral, session.tracer());
+    crew::workload::RunResult parallel_run =
+        crew::workload::RunWorkload(params, Architecture::kParallel);
+    crew::workload::RunResult distributed_run =
+        crew::workload::RunWorkload(params, Architecture::kDistributed);
+    session.Record("central" + suffix, central_run);
+    session.Record("parallel" + suffix, parallel_run);
+    session.Record("distributed" + suffix, distributed_run);
     printf("%10d | %10.2f | %10.2f | %12.2f\n",
-           params.coordination_intensity(), central, parallel,
-           distributed);
+           params.coordination_intensity(),
+           CoordPlusNormalMessages(central_run),
+           CoordPlusNormalMessages(parallel_run),
+           CoordPlusNormalMessages(distributed_run));
   }
   printf(
       "\nExpected shape: central stays flat (coordination is engine-"
@@ -60,5 +67,6 @@ int main() {
       "starts\nlowest (s*a+f < 2*s*a) and the growing coordination "
       "traffic erodes\nits lead — the paper's 'central or parallel "
       "preferable in the\nunlikely case of heavy coordination'.\n");
+  session.Finish();
   return 0;
 }

@@ -30,7 +30,8 @@ double FailureMessages(const crew::workload::RunResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  crew::bench::BenchSession session("sweep_failures", argc, argv);
   crew::bench::PrintHeader(
       "Sweep C: failure-handling messages/instance vs pf and r",
       BaseParams());
@@ -43,13 +44,19 @@ int main() {
   for (double pf : {0.0, 0.05, 0.1, 0.2}) {
     crew::workload::Params params = BaseParams();
     params.p_step_failure = pf;
+    std::string suffix = "-pf=" + std::to_string(pf);
+    crew::workload::RunResult central_run = crew::workload::RunWorkload(
+        params, Architecture::kCentral, session.tracer());
+    crew::workload::RunResult parallel_run =
+        crew::workload::RunWorkload(params, Architecture::kParallel);
+    crew::workload::RunResult distributed_run =
+        crew::workload::RunWorkload(params, Architecture::kDistributed);
+    session.Record("central" + suffix, central_run);
+    session.Record("parallel" + suffix, parallel_run);
+    session.Record("distributed" + suffix, distributed_run);
     printf("%6.2f | %10.3f | %10.3f | %12.3f\n", pf,
-           FailureMessages(crew::workload::RunWorkload(
-               params, Architecture::kCentral)),
-           FailureMessages(crew::workload::RunWorkload(
-               params, Architecture::kParallel)),
-           FailureMessages(crew::workload::RunWorkload(
-               params, Architecture::kDistributed)));
+           FailureMessages(central_run), FailureMessages(parallel_run),
+           FailureMessages(distributed_run));
   }
 
   printf("\nvs rollback depth (pf = 0.2):\n");
@@ -60,17 +67,24 @@ int main() {
     crew::workload::Params params = BaseParams();
     params.p_step_failure = 0.2;
     params.rollback_depth = r;
+    std::string suffix = "-r=" + std::to_string(r);
+    crew::workload::RunResult central_run =
+        crew::workload::RunWorkload(params, Architecture::kCentral);
+    crew::workload::RunResult parallel_run =
+        crew::workload::RunWorkload(params, Architecture::kParallel);
+    crew::workload::RunResult distributed_run =
+        crew::workload::RunWorkload(params, Architecture::kDistributed);
+    session.Record("central" + suffix, central_run);
+    session.Record("parallel" + suffix, parallel_run);
+    session.Record("distributed" + suffix, distributed_run);
     printf("%6d | %10.3f | %10.3f | %12.3f\n", r,
-           FailureMessages(crew::workload::RunWorkload(
-               params, Architecture::kCentral)),
-           FailureMessages(crew::workload::RunWorkload(
-               params, Architecture::kParallel)),
-           FailureMessages(crew::workload::RunWorkload(
-               params, Architecture::kDistributed)));
+           FailureMessages(central_run), FailureMessages(parallel_run),
+           FailureMessages(distributed_run));
   }
   printf(
       "\nExpected shape: all series grow with pf and r; central and\n"
       "parallel coincide (same mechanism); distributed is the same order\n"
       "of magnitude — the paper's 'no clear winner'.\n");
+  session.Finish();
   return 0;
 }

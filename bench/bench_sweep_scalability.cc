@@ -37,7 +37,8 @@ double BusiestNodeLoad(const crew::workload::RunResult& result,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  crew::bench::BenchSession session("sweep_scalability", argc, argv);
   crew::workload::Params base = BaseParams();
   crew::bench::PrintHeader(
       "Sweep A: busiest-node load vs engines (parallel) / agents "
@@ -52,7 +53,9 @@ int main() {
     crew::workload::Params params = base;
     params.num_engines = e;
     crew::workload::RunResult result = crew::workload::RunWorkload(
-        params, crew::workload::Architecture::kParallel);
+        params, crew::workload::Architecture::kParallel,
+        session.tracer());
+    session.Record("parallel-e=" + std::to_string(e), result);
     printf("%4d | %10.3f | %12.3f\n", e,
            BusiestNodeLoad(result, crew::bench::ParallelEngineNodes(e),
                            params.navigation_load),
@@ -68,6 +71,7 @@ int main() {
     params.num_agents = z;
     crew::workload::RunResult result = crew::workload::RunWorkload(
         params, crew::workload::Architecture::kDistributed);
+    session.Record("distributed-z=" + std::to_string(z), result);
     printf("%4d | %10.3f | %12.3f\n", z,
            BusiestNodeLoad(result, crew::bench::DistributedAgentNodes(z),
                            params.navigation_load),
@@ -76,5 +80,6 @@ int main() {
   printf(
       "\nExpected shape: both series fall roughly as 1/nodes; the\n"
       "distributed agents end far below any engine (z >> e).\n");
+  session.Finish();
   return 0;
 }

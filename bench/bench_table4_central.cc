@@ -3,18 +3,22 @@
 // prints the paper's analytic expressions next to measured values.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  crew::bench::BenchSession session("table4_central", argc, argv,
+                                    /*default_json=*/true);
   crew::workload::Params params;  // Table 3 midpoints
   params.num_schemas = 20;
   params.instances_per_schema = 10;
 
   crew::workload::RunResult result = crew::workload::RunWorkload(
-      params, crew::workload::Architecture::kCentral);
+      params, crew::workload::Architecture::kCentral, session.tracer());
+  session.Record("central", result);
 
   crew::bench::PrintTable(
       "Table 4: Centralized Workflow Control (paper vs measured)", params,
       result, crew::analysis::CentralLoad(params),
       crew::analysis::CentralMessages(params),
       crew::bench::CentralEngineNodes());
+  session.Finish();
   return 0;
 }

@@ -2,19 +2,23 @@
 // Control (e engines sharing the instance load).
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  crew::bench::BenchSession session("table5_parallel", argc, argv,
+                                    /*default_json=*/true);
   crew::workload::Params params;  // Table 3 midpoints
   params.num_schemas = 20;
   params.instances_per_schema = 10;
   params.num_engines = 4;
 
   crew::workload::RunResult result = crew::workload::RunWorkload(
-      params, crew::workload::Architecture::kParallel);
+      params, crew::workload::Architecture::kParallel, session.tracer());
+  session.Record("parallel", result);
 
   crew::bench::PrintTable(
       "Table 5: Parallel Workflow Control (paper vs measured)", params,
       result, crew::analysis::ParallelLoad(params),
       crew::analysis::ParallelMessages(params),
       crew::bench::ParallelEngineNodes(params.num_engines));
+  session.Finish();
   return 0;
 }

@@ -2,19 +2,24 @@
 // Control (agents navigate by exchanging workflow packets).
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  crew::bench::BenchSession session("table6_distributed", argc, argv,
+                                    /*default_json=*/true);
   crew::workload::Params params;  // Table 3 midpoints
   params.num_schemas = 20;
   params.instances_per_schema = 10;
   params.num_agents = 50;
 
   crew::workload::RunResult result = crew::workload::RunWorkload(
-      params, crew::workload::Architecture::kDistributed);
+      params, crew::workload::Architecture::kDistributed,
+      session.tracer());
+  session.Record("distributed", result);
 
   crew::bench::PrintTable(
       "Table 6: Distributed Workflow Control (paper vs measured)", params,
       result, crew::analysis::DistributedLoad(params),
       crew::analysis::DistributedMessages(params),
       crew::bench::DistributedAgentNodes(params.num_agents));
+  session.Finish();
   return 0;
 }

@@ -5,7 +5,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  crew::bench::BenchSession session("table7_recommend", argc, argv,
+                                    /*default_json=*/true);
   crew::workload::Params params;  // Table 3 midpoints
   params.num_schemas = 20;
   params.instances_per_schema = 10;
@@ -17,12 +19,16 @@ int main() {
       params);
 
   using crew::workload::Architecture;
-  crew::workload::RunResult central =
-      crew::workload::RunWorkload(params, Architecture::kCentral);
+  // Only the first run is traced (one trace, one virtual-time axis).
+  crew::workload::RunResult central = crew::workload::RunWorkload(
+      params, Architecture::kCentral, session.tracer());
   crew::workload::RunResult parallel =
       crew::workload::RunWorkload(params, Architecture::kParallel);
   crew::workload::RunResult distributed =
       crew::workload::RunWorkload(params, Architecture::kDistributed);
+  session.Record("central", central);
+  session.Record("parallel", parallel);
+  session.Record("distributed", distributed);
 
   printf("\n%s", central.Describe().c_str());
   printf("\n%s", parallel.Describe().c_str());
@@ -38,5 +44,6 @@ int main() {
       "scenario.\n"
       "  Messages: distributed (1) normal & failures; central (1) under "
       "heavy coordination.\n");
+  session.Finish();
   return 0;
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure, build, and run the full test suite.
+#
+#   scripts/check.sh                 # RelWithDebInfo into build/
+#   scripts/check.sh --sanitize      # ASan+UBSan into build-asan/
+#   BUILD_DIR=out scripts/check.sh   # custom build directory
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CMAKE_ARGS=()
+if [[ "${1:-}" == "--sanitize" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-asan}"
+  CMAKE_ARGS+=(-DCREW_SANITIZE=ON)
+  shift
+else
+  BUILD_DIR="${BUILD_DIR:-build}"
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

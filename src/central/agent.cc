@@ -82,6 +82,14 @@ void ThinAgent::HandleRunProgram(const sim::Message& message) {
   // The black-box program cost is charged at this agent.
   simulator_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
                                 reply.cost);
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.Instant(obs::SpanKind::kProgram, id_, req.instance, req.step,
+               req.compensation ? "program.compensate" : "program.run",
+               reply.cost,
+               req.program + (reply.success ? "" : " FAILED"),
+               static_cast<int>(message.category));
+  }
 
   sim::Message out{id_, message.from, runtime::wi::kRunProgramReply,
                    reply.Serialize(), message.category};

@@ -123,6 +123,11 @@ Status WorkflowEngine::StartWorkflow(const std::string& workflow,
   summary_[id] = WorkflowState::kExecuting;
   PersistInstanceStatus(*raw);
 
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.Begin(obs::SpanKind::kInstance, id_, id, kInvalidStep, "instance");
+  }
+
   ApplyRoBindings(raw);
 
   runtime::EventOcc start =
@@ -154,6 +159,14 @@ void WorkflowEngine::ApplyRoBindings(Instance* inst) {
       }
       simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                     options_.navigation_load);
+      // RO wait span: ends when the ordering token is delivered. Keyed
+      // by token (not lag step) so DeliverCoordinationEvent can close it.
+      obs::Tracer& tr = simulator_->tracer();
+      if (tr.enabled()) {
+        tr.Begin(obs::SpanKind::kCoord, id_, inst->state.id(), kInvalidStep,
+                 "ro.wait:" + token,
+                 static_cast<int>(sim::MsgCategory::kCoordination));
+      }
       Instance* lead = Find(binding.leading);
       if (lead != nullptr) {
         ro_watch_[{binding.leading, lead_step}].push_back(
@@ -188,6 +201,11 @@ void WorkflowEngine::DeliverCoordinationEvent(
   if (inst == nullptr) return;
   // Coordination tokens are one-shot; duplicates must not re-fire rules.
   if (inst->state.EventValid(event_token)) return;
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.End(obs::SpanKind::kCoord, id_, instance, kInvalidStep,
+           "ro.wait:" + event_token);
+  }
   inst->state.PostLocalEvent(event_token);
   inst->rules.Post(event_token);
   simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
@@ -396,15 +414,40 @@ void WorkflowEngine::StartStep(Instance* inst, StepId step) {
   simulator_->metrics().AddLoad(id_, LoadFor(inst->mode),
                                 options_.navigation_load);
 
+  // Step lifecycle span opens at scheduling time (first Begin wins, so a
+  // lock-blocked re-entry keeps the original start and the span covers
+  // the full wait).
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.Begin(obs::SpanKind::kStep, id_, inst->state.id(), step, "step",
+             static_cast<int>(CategoryFor(inst->mode)));
+  }
+
   if (!AcquireMutexes(inst, step)) {
     // Blocked on a mutual-exclusion resource; resumed by ReleaseMutexes.
     // Leave `starting` set so duplicate fires stay suppressed; clear it
     // so the resume path can re-enter.
+    if (tr.enabled()) {
+      tr.Begin(obs::SpanKind::kCoord, id_, inst->state.id(), step,
+               "mutex.wait",
+               static_cast<int>(sim::MsgCategory::kCoordination));
+    }
     inst->starting.erase(step);
     return;
   }
+  if (tr.enabled()) {
+    // Closes the wait span if this entry was a lock-grant resume; a
+    // never-blocked step has no open span and the End is dropped.
+    tr.End(obs::SpanKind::kCoord, id_, inst->state.id(), step,
+           "mutex.wait");
+  }
 
   runtime::OcrDecision decision = runtime::DecideOcr(spec, inst->state);
+  if (tr.enabled()) {
+    tr.Instant(obs::SpanKind::kOcr, id_, inst->state.id(), step,
+               std::string("ocr.") + runtime::OcrDecisionName(decision), 0,
+               {}, static_cast<int>(sim::MsgCategory::kFailureHandling));
+  }
   switch (decision) {
     case runtime::OcrDecision::kReuse: {
       // Previous results suffice: emit step.done without re-executing
@@ -529,6 +572,13 @@ void WorkflowEngine::DispatchProgram(Instance* inst, StepId step,
   sim::MsgCategory category = record.attempts > 1
                                   ? CategoryFor(inst->mode)
                                   : sim::MsgCategory::kNormal;
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.Instant(obs::SpanKind::kStep, id_, inst->state.id(), step,
+               "step.dispatch", record.attempts,
+               "agent=" + std::to_string(chosen),
+               static_cast<int>(category));
+  }
   // Redundant fan-out: every eligible agent receives the step info and
   // acknowledges; the designated one executes (DESIGN.md §5).
   for (NodeId agent : eligible) {
@@ -596,6 +646,12 @@ void WorkflowEngine::DispatchCompensation(Instance* inst, StepId step) {
   msg.designated = target;
   simulator_->metrics().AddLoad(id_, LoadFor(inst->mode),
                                 options_.navigation_load);
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.Begin(obs::SpanKind::kOcr, id_, inst->state.id(), step, "compensate",
+             static_cast<int>(CategoryFor(inst->mode)),
+             "agent=" + std::to_string(target));
+  }
   sim::Message out{id_, target, runtime::wi::kRunProgram, msg.Serialize(),
                    CategoryFor(inst->mode)};
   (void)simulator_->network().Send(std::move(out));
@@ -790,6 +846,16 @@ void WorkflowEngine::OnProgramReply(
 }
 
 void WorkflowEngine::OnStepDone(Instance* inst, StepId step, bool reused) {
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    if (reused) {
+      tr.Instant(obs::SpanKind::kOcr, id_, inst->state.id(), step,
+                 "ocr.result-reused", 0, {},
+                 static_cast<int>(sim::MsgCategory::kFailureHandling));
+    }
+    tr.End(obs::SpanKind::kStep, id_, inst->state.id(), step, "step", 0,
+           reused ? "reused" : "done");
+  }
   runtime::EventOcc done =
       inst->state.PostLocalEvent(rules::event::StepDone(step));
   inst->rules.Post(done.token);
@@ -878,6 +944,14 @@ void WorkflowEngine::HandleBranchSwitch(Instance* inst, StepId split_step) {
 }
 
 void WorkflowEngine::OnStepFailed(Instance* inst, StepId step) {
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.End(obs::SpanKind::kStep, id_, inst->state.id(), step, "step",
+           static_cast<int>(sim::MsgCategory::kFailureHandling), "failed");
+    tr.Instant(obs::SpanKind::kOcr, id_, inst->state.id(), step,
+               "step.failed", inst->state.step_record(step).attempts, {},
+               static_cast<int>(sim::MsgCategory::kFailureHandling));
+  }
   runtime::EventOcc fail =
       inst->state.PostLocalEvent(rules::event::StepFail(step));
   inst->rules.Post(fail.token);
@@ -925,6 +999,7 @@ void WorkflowEngine::Rollback(Instance* inst, StepId origin, Mode mode,
   // dropped by the epoch check. The recovery work is charged per step
   // actually rolled back (i.e., with an execution record), matching the
   // paper's l·r accounting.
+  int64_t touched_steps = 0;
   for (StepId step : schema->downstream_including(origin)) {
     const StepRecord* existing = inst->state.FindStepRecord(step);
     bool touched = existing != nullptr &&
@@ -934,9 +1009,19 @@ void WorkflowEngine::Rollback(Instance* inst, StepId origin, Mode mode,
     record->in_flight = false;
     inst->starting.erase(step);
     if (touched) {
+      ++touched_steps;
       simulator_->metrics().AddLoad(id_, LoadFor(mode),
                                     options_.navigation_load);
     }
+  }
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.Instant(obs::SpanKind::kOcr, id_, inst->state.id(), origin,
+               "rollback", touched_steps,
+               std::string("origin=S") + std::to_string(origin) +
+                   (rd_induced ? " rd-induced" : "") + " epoch=" +
+                   std::to_string(new_epoch),
+               static_cast<int>(CategoryFor(mode)));
   }
 
   // Rollback dependencies: dependent instances roll back too (§3).
@@ -947,6 +1032,11 @@ void WorkflowEngine::Rollback(Instance* inst, StepId origin, Mode mode,
        tracker().RollbackDependents(inst->state.id(), origin)) {
     simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                   options_.navigation_load);
+    if (tr.enabled()) {
+      tr.Instant(obs::SpanKind::kCoord, id_, inst->state.id(), origin,
+                 "rd.trigger", to_step, "dependent=" + dependent.ToString(),
+                 static_cast<int>(sim::MsgCategory::kCoordination));
+    }
     Instance* dep = Find(dependent);
     if (dep != nullptr && dep->status == WorkflowState::kExecuting) {
       Rollback(dep, to_step, Mode::kFailure, /*rd_induced=*/true);
@@ -965,6 +1055,10 @@ void WorkflowEngine::Rollback(Instance* inst, StepId origin, Mode mode,
 }
 
 void WorkflowEngine::OnCompensated(Instance* inst, StepId step) {
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.End(obs::SpanKind::kOcr, id_, inst->state.id(), step, "compensate");
+  }
   StepRecord& record = inst->state.step_record(step);
   record.state = StepRunState::kCompensated;
   runtime::EventOcc comp =
@@ -1012,6 +1106,11 @@ void WorkflowEngine::ResolveCoordinationAtEnd(Instance* inst) {
 }
 
 void WorkflowEngine::Commit(Instance* inst) {
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.End(obs::SpanKind::kInstance, id_, inst->state.id(), kInvalidStep,
+           "instance", 0, "committed");
+  }
   inst->status = WorkflowState::kCommitted;
   summary_[inst->state.id()] = WorkflowState::kCommitted;
   PersistInstanceStatus(*inst);
@@ -1046,6 +1145,12 @@ Status WorkflowEngine::AbortWorkflow(const InstanceId& instance) {
 }
 
 void WorkflowEngine::DoAbort(Instance* inst) {
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.End(obs::SpanKind::kInstance, id_, inst->state.id(), kInvalidStep,
+           "instance", static_cast<int>(sim::MsgCategory::kAbort),
+           "aborted");
+  }
   inst->mode = Mode::kAbort;
   inst->status = WorkflowState::kAborted;
   summary_[inst->state.id()] = WorkflowState::kAborted;

@@ -11,10 +11,12 @@ CentralSystem::CentralSystem(sim::Simulator* simulator,
   engine_ = std::make_unique<WorkflowEngine>(
       /*id=*/1, simulator, programs, deployment, coordination,
       std::move(options));
+  simulator->tracer().SetNodeName(1, "engine-1");
   for (int i = 0; i < num_agents; ++i) {
     NodeId id = kFirstAgentId + i;
     agents_.push_back(std::make_unique<ThinAgent>(id, simulator, programs));
     agent_ids_.push_back(id);
+    simulator->tracer().SetNodeName(id, "agent-" + std::to_string(id));
   }
 }
 

@@ -1,11 +1,16 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cinttypes>
 #include <cstdio>
+#include <mutex>
 
 namespace crew {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+std::atomic<const int64_t*> g_virtual_clock{nullptr};
+std::mutex g_write_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,9 +34,26 @@ LogLevel Logger::level() { return g_level; }
 
 void Logger::set_level(LogLevel level) { g_level = level; }
 
+void Logger::SetVirtualClock(const int64_t* clock) {
+  g_virtual_clock.store(clock, std::memory_order_release);
+}
+
+void Logger::ClearVirtualClock(const int64_t* clock) {
+  const int64_t* expected = clock;
+  g_virtual_clock.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel);
+}
+
 void Logger::Write(LogLevel level, const std::string& message) {
   if (level < g_level) return;
-  fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  const int64_t* clock = g_virtual_clock.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  if (clock != nullptr) {
+    fprintf(stderr, "[%s t=%" PRId64 "] %s\n", LevelName(level), *clock,
+            message.c_str());
+  } else {
+    fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
 }
 
 }  // namespace crew

@@ -1,6 +1,7 @@
 #ifndef CREW_COMMON_LOGGING_H_
 #define CREW_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -10,13 +11,24 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
 /// Process-wide log sink. Defaults to kWarn so tests and benches stay
 /// quiet; examples raise it to kInfo to narrate the protocol.
+/// Write() is thread-safe; interleaved engine/agent lines stay whole.
 class Logger {
  public:
   static LogLevel level();
   static void set_level(LogLevel level);
 
-  /// Writes one line to stderr if `level` is enabled.
+  /// Writes one line to stderr if `level` is enabled. Lines carry the
+  /// level and, while a virtual clock is registered, the current
+  /// virtual time: "[INFO  t=123] ...".
   static void Write(LogLevel level, const std::string& message);
+
+  /// Registers the active simulation's virtual clock so log lines are
+  /// attributable to a point in virtual time. The pointer must stay
+  /// valid until cleared. The Simulator does this automatically.
+  static void SetVirtualClock(const int64_t* clock);
+  /// Clears the clock, but only if `clock` is the one registered —
+  /// a destructed simulator must not unhook a newer one's clock.
+  static void ClearVirtualClock(const int64_t* clock);
 };
 
 namespace log_internal {

@@ -178,6 +178,12 @@ void Agent::OnWorkflowStart(const sim::Message& message) {
   coord.parent = msg.parent;
   coord.parent_step = msg.parent_step;
   summary_[msg.instance] = WorkflowState::kExecuting;
+  // The coordination agent owns the instance's end-to-end span.
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.Begin(obs::SpanKind::kInstance, id_, msg.instance, kInvalidStep,
+             "instance");
+  }
   {
     storage::Row row;
     row.Set("status", Value(std::string("executing")));
@@ -258,6 +264,11 @@ void Agent::MaybeCommit(const InstanceId& instance) {
     return;
   }
   // Committed: make it permanent and let everyone purge (§4.2).
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.End(obs::SpanKind::kInstance, id_, instance, kInvalidStep,
+           "instance", 0, "committed");
+  }
   coord.status = WorkflowState::kCommitted;
   summary_[instance] = WorkflowState::kCommitted;
   {
@@ -388,6 +399,12 @@ void Agent::OnWorkflowAbort(const sim::Message& message) {
            reply.Serialize(), sim::MsgCategory::kAdmin);
     }
     return;
+  }
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.End(obs::SpanKind::kInstance, id_, instance, kInvalidStep,
+           "instance", static_cast<int>(sim::MsgCategory::kAbort),
+           "aborted");
   }
   coord.status = WorkflowState::kAborted;
   summary_[instance] = WorkflowState::kAborted;
@@ -677,9 +694,25 @@ void Agent::StartStepLocal(AgentInstance* inst, StepId step) {
   inst->starting.insert(step);
   const model::Step& spec = inst->schema->schema().step(step);
 
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.Begin(obs::SpanKind::kStep, id_, inst->state.id(), step, "step",
+             static_cast<int>(inst->mode));
+  }
+
   if (!AcquireMutexesDistributed(inst, step)) {
+    if (tr.enabled()) {
+      tr.Begin(obs::SpanKind::kCoord, id_, inst->state.id(), step,
+               "mutex.wait",
+               static_cast<int>(sim::MsgCategory::kCoordination));
+    }
     inst->starting.erase(step);
     return;  // resumed when the grant arrives
+  }
+  if (tr.enabled()) {
+    // Closes a grant-resume wait; dropped when the step never blocked.
+    tr.End(obs::SpanKind::kCoord, id_, inst->state.id(), step,
+           "mutex.wait");
   }
 
   if (spec.kind == model::StepKind::kSubWorkflow) {
@@ -688,6 +721,16 @@ void Agent::StartStepLocal(AgentInstance* inst, StepId step) {
   }
 
   runtime::OcrDecision decision = runtime::DecideOcr(spec, inst->state);
+  if (tr.enabled()) {
+    tr.Instant(obs::SpanKind::kOcr, id_, inst->state.id(), step,
+               std::string("ocr.") + runtime::OcrDecisionName(decision), 0,
+               {}, static_cast<int>(sim::MsgCategory::kFailureHandling));
+    if (decision == runtime::OcrDecision::kReuse) {
+      tr.Instant(obs::SpanKind::kOcr, id_, inst->state.id(), step,
+                 "ocr.result-reused", 0, {},
+                 static_cast<int>(sim::MsgCategory::kFailureHandling));
+    }
+  }
   switch (decision) {
     case runtime::OcrDecision::kReuse: {
       inst->starting.erase(step);
@@ -800,11 +843,23 @@ void Agent::RunProgramLocal(AgentInstance* inst, StepId step,
   InstanceId instance = inst->state.id();
   int64_t epoch = inst->state.epoch();
   std::map<std::string, Value> inputs_snapshot = context.inputs;
+  {
+    obs::Tracer& tr = simulator_->tracer();
+    if (tr.enabled()) {
+      tr.Begin(obs::SpanKind::kProgram, id_, instance, step, "program", 0,
+               spec.program);
+    }
+  }
   simulator_->queue().ScheduleAfter(
       options_.exec_latency,
       [this, instance, step, epoch, success, cost, outputs,
        inputs_snapshot]() {
         --active_programs_;
+        obs::Tracer& tr = simulator_->tracer();
+        if (tr.enabled()) {
+          tr.End(obs::SpanKind::kProgram, id_, instance, step, "program", 0,
+                 success ? "" : "failed");
+        }
         AgentInstance* inst = FindInstance(instance);
         if (inst == nullptr) return;
         StepRecord& record = inst->state.step_record(step);
@@ -862,6 +917,11 @@ void Agent::PersistStepRecord(const InstanceId& instance, StepId step) {
 
 void Agent::OnStepDoneLocal(AgentInstance* inst, StepId step,
                             bool first_execution) {
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.End(obs::SpanKind::kStep, id_, inst->state.id(), step, "step", 0,
+           "done");
+  }
   runtime::EventOcc done =
       inst->state.PostLocalEvent(rules::event::StepDone(step));
   inst->rules.Post(done.token);
@@ -1007,6 +1067,14 @@ void Agent::HandleBranchSwitch(AgentInstance* inst, StepId split_step) {
 // ---------------------------------------------------------------------
 
 void Agent::OnStepFailedLocal(AgentInstance* inst, StepId step) {
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    tr.End(obs::SpanKind::kStep, id_, inst->state.id(), step, "step",
+           static_cast<int>(sim::MsgCategory::kFailureHandling), "failed");
+    tr.Instant(obs::SpanKind::kOcr, id_, inst->state.id(), step,
+               "step.failed", 0, {},
+               static_cast<int>(sim::MsgCategory::kFailureHandling));
+  }
   runtime::EventOcc fail =
       inst->state.PostLocalEvent(rules::event::StepFail(step));
   inst->rules.Post(fail.token);
@@ -1077,6 +1145,13 @@ void Agent::OnWorkflowRollback(const sim::Message& message) {
   // Rollback dependencies: this instance leads rd-linked dependents.
   for (const runtime::RdLink& link : inst->state.rd_links()) {
     if (msg.origin_step > link.my_step) continue;
+    obs::Tracer& tr = simulator_->tracer();
+    if (tr.enabled()) {
+      tr.Instant(obs::SpanKind::kCoord, id_, inst->state.id(),
+                 msg.origin_step, "rd.trigger", link.other_step,
+                 "dependent=" + link.other.ToString(),
+                 static_cast<int>(sim::MsgCategory::kCoordination));
+    }
     runtime::WorkflowRollbackMsg dep;
     dep.instance = link.other;
     dep.origin_step = link.other_step;
@@ -1139,6 +1214,7 @@ void Agent::LocalHalt(AgentInstance* inst, StepId origin,
     return rule.action.kind == rules::ActionKind::kExecuteStep &&
            schema->IsDownstream(origin, rule.action.step);
   });
+  int64_t touched_steps = 0;
   for (StepId step : schema->downstream_including(origin)) {
     const StepRecord* existing = inst->state.FindStepRecord(step);
     bool touched = existing != nullptr &&
@@ -1148,12 +1224,23 @@ void Agent::LocalHalt(AgentInstance* inst, StepId origin,
     record->in_flight = false;
     inst->starting.erase(step);
     if (touched) {
+      ++touched_steps;
       // Recovery work is charged per step actually rolled back (the
       // paper's l·r accounting), not per reachable step.
       simulator_->metrics().AddLoad(
           id_, sim::LoadCategory::kFailureHandling,
           options_.navigation_load);
     }
+  }
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    // One "halt" instant per node touched by the rollback; its value is
+    // that node's share of rolled-back steps (rollback-depth histogram).
+    tr.Instant(obs::SpanKind::kOcr, id_, inst->state.id(), origin, "halt",
+               touched_steps,
+               "origin=S" + std::to_string(origin) +
+                   " epoch=" + std::to_string(new_epoch),
+               static_cast<int>(sim::MsgCategory::kFailureHandling));
   }
 
   if (!propagate) return;
@@ -1216,8 +1303,20 @@ void Agent::CompensateLocal(AgentInstance* inst, StepId step,
   cost = static_cast<int64_t>(cost *
                               spec.ocr.partial_compensation_fraction);
   InstanceId instance = inst->state.id();
+  {
+    obs::Tracer& tr = simulator_->tracer();
+    if (tr.enabled()) {
+      tr.Begin(obs::SpanKind::kOcr, id_, instance, step, "compensate",
+               static_cast<int>(sim::MsgCategory::kFailureHandling),
+               program);
+    }
+  }
   simulator_->queue().ScheduleAfter(
       options_.exec_latency, [this, instance, step, cost, then]() {
+        obs::Tracer& tr = simulator_->tracer();
+        if (tr.enabled()) {
+          tr.End(obs::SpanKind::kOcr, id_, instance, step, "compensate");
+        }
         AgentInstance* inst = FindInstance(instance);
         if (inst == nullptr) return;
         StepRecord& record = inst->state.step_record(step);
@@ -1249,6 +1348,16 @@ void Agent::OnCompensateSet(const sim::Message& message) {
   if (inst == nullptr) return;
   simulator_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
                                 options_.navigation_load);
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    // Compensation-set traversal: one instant per visited member, value
+    // is how many members remain after this one.
+    tr.Instant(obs::SpanKind::kOcr, id_, msg.instance, step,
+               "compensate.set",
+               static_cast<int64_t>(msg.remaining.size()),
+               "origin=S" + std::to_string(msg.origin_step),
+               static_cast<int>(sim::MsgCategory::kFailureHandling));
+  }
 
   auto forward = [this, msg]() mutable {
     if (msg.remaining.empty()) {
@@ -1337,6 +1446,14 @@ void Agent::ApplyRoGating(AgentInstance* inst) {
     if (link.leading) continue;  // leaders act via registrations
     std::string token =
         rules::event::RelativeOrder(link.other, link.other_step);
+    // RO wait span: opens when the gate is installed, closes when the
+    // ordering token posts (here or in OnAddEvent).
+    obs::Tracer& tr = simulator_->tracer();
+    if (tr.enabled() && !inst->state.EventValid(token)) {
+      tr.Begin(obs::SpanKind::kCoord, id_, inst->state.id(), kInvalidStep,
+               "ro.wait:" + token,
+               static_cast<int>(sim::MsgCategory::kCoordination));
+    }
     // Gate every rule that can fire the lagging step.
     for (const rules::Rule& rule :
          runtime::MakeStepRules(*inst->schema, link.my_step)) {
@@ -1355,6 +1472,10 @@ void Agent::ApplyRoGating(AgentInstance* inst) {
                                     options_.navigation_load);
       if (ended_instances_.count(link.other) > 0) {
         // Leading instance already finished: ordering holds trivially.
+        if (tr.enabled()) {
+          tr.End(obs::SpanKind::kCoord, id_, inst->state.id(),
+                 kInvalidStep, "ro.wait:" + token);
+        }
         inst->state.PostLocalEvent(token);
         inst->rules.Post(token);
         continue;
@@ -1531,6 +1652,11 @@ void Agent::OnAddEvent(const sim::Message& message) {
     if (inst->state.EventValid(token)) {
       delivered = true;
       continue;
+    }
+    obs::Tracer& tr = simulator_->tracer();
+    if (tr.enabled()) {
+      tr.End(obs::SpanKind::kCoord, id_, id, kInvalidStep,
+             "ro.wait:" + token);
     }
     inst->state.PostLocalEvent(token);
     inst->rules.Post(token);

@@ -54,6 +54,15 @@ Result<InstanceId> FrontEnd::StartWorkflow(
   }
 
   statuses_[msg.instance] = runtime::WorkflowState::kExecuting;
+  obs::Tracer& tr = simulator_->tracer();
+  if (tr.enabled()) {
+    // End-to-end span as the submitter sees it: closes when a status
+    // reply first reports the instance committed or aborted. Named
+    // "instance.e2e" (not "instance") so it does not double-feed the
+    // instance-latency histogram owned by the coordination agent.
+    tr.Begin(obs::SpanKind::kInstance, id_, msg.instance, kInvalidStep,
+             "instance.e2e", static_cast<int>(sim::MsgCategory::kAdmin));
+  }
   sim::Message out{id_, coordination_agent.value(),
                    runtime::wi::kWorkflowStart, msg.Serialize(),
                    sim::MsgCategory::kAdmin};
@@ -150,6 +159,17 @@ void FrontEnd::HandleMessage(const sim::Message& message) {
   runtime::WorkflowState previous = KnownStatus(msg.instance);
   statuses_[msg.instance] = msg.state;
   if (previous != msg.state) {
+    if (msg.state == runtime::WorkflowState::kCommitted ||
+        msg.state == runtime::WorkflowState::kAborted) {
+      obs::Tracer& tr = simulator_->tracer();
+      if (tr.enabled()) {
+        tr.End(obs::SpanKind::kInstance, id_, msg.instance, kInvalidStep,
+               "instance.e2e", 0,
+               msg.state == runtime::WorkflowState::kCommitted
+                   ? "committed"
+                   : "aborted");
+      }
+    }
     if (msg.state == runtime::WorkflowState::kCommitted) {
       ++known_committed_;
       tracker_.OnInstanceEnd(msg.instance);

@@ -10,8 +10,11 @@ DistributedSystem::DistributedSystem(
     : simulator_(simulator), deployment_(deployment) {
   front_end_ = std::make_unique<FrontEnd>(kFrontEndNode, simulator,
                                           deployment, coordination);
+  simulator->tracer().SetNodeName(kFrontEndNode, "front-end-0");
   for (int i = 0; i < num_agents; ++i) {
     agent_ids_.push_back(1 + i);
+    simulator->tracer().SetNodeName(1 + i,
+                                    "agent-" + std::to_string(1 + i));
   }
   for (int i = 0; i < num_agents; ++i) {
     agents_.push_back(std::make_unique<Agent>(

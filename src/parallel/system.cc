@@ -18,12 +18,14 @@ ParallelSystem::ParallelSystem(sim::Simulator* simulator,
     engines_.back()->set_shared_tracker(&tracker_);
     engines_.back()->set_topology(this);
     engine_ids_.push_back(id);
+    simulator->tracer().SetNodeName(id, "engine-" + std::to_string(id));
   }
   for (int i = 0; i < num_agents; ++i) {
     NodeId id = 1 + num_engines + i;
     agents_.push_back(
         std::make_unique<central::ThinAgent>(id, simulator, programs));
     agent_ids_.push_back(id);
+    simulator->tracer().SetNodeName(id, "agent-" + std::to_string(id));
   }
 }
 

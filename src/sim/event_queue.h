@@ -37,6 +37,9 @@ class EventQueue {
   int64_t RunUntil(Time until);
 
   Time now() const { return now_; }
+  /// Stable pointer to the clock, for observers (tracer, log prefixes)
+  /// that outlive individual calls. Valid for the queue's lifetime.
+  const Time* now_ptr() const { return &now_; }
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace crew::sim {
 
 const char* MsgCategoryName(MsgCategory category) {
@@ -145,6 +147,45 @@ std::string Metrics::Report() const {
   }
   os << "load max-node=" << MaxNodeLoad() << " mean-node=" << MeanNodeLoad()
      << " total=" << TotalLoad() << "\n";
+  return os.str();
+}
+
+std::string Metrics::ReportJson() const {
+  std::ostringstream os;
+  os << "{\"messages\":{\"total\":" << total_messages_
+     << ",\"bytes\":" << total_bytes_ << ",\"by_category\":{";
+  bool first = true;
+  for (int i = 0; i < kNumMsgCategories; ++i) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << MsgCategoryName(static_cast<MsgCategory>(i))
+       << "\":" << messages_by_category_[i];
+  }
+  os << "},\"by_type\":[";
+  first = true;
+  for (const auto& [key, count] : by_type_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"category\":\""
+       << MsgCategoryName(static_cast<MsgCategory>(key.first))
+       << "\",\"type\":\"" << obs::JsonEscape(key.second)
+       << "\",\"count\":" << count << "}";
+  }
+  os << "]},\"load\":{\"total\":" << TotalLoad()
+     << ",\"max_node\":" << MaxNodeLoad()
+     << ",\"mean_node\":" << MeanNodeLoad() << ",\"by_node\":[";
+  first = true;
+  for (const auto& [node, per_cat] : load_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"node\":" << node;
+    for (const auto& [cat, n] : per_cat) {
+      os << ",\"" << LoadCategoryName(static_cast<LoadCategory>(cat))
+         << "\":" << n;
+    }
+    os << "}";
+  }
+  os << "]}}";
   return os.str();
 }
 

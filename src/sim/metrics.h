@@ -82,6 +82,12 @@ class Metrics {
   /// Multi-line human-readable dump used by benches.
   std::string Report() const;
 
+  /// Machine-readable counterpart of Report(): one JSON object with
+  /// message totals, per-category and per-type counts, and per-node
+  /// load. Benches write this next to their stdout tables so
+  /// BENCH_*.json trajectories need no text scraping.
+  std::string ReportJson() const;
+
  private:
   int64_t total_messages_ = 0;
   int64_t total_bytes_ = 0;

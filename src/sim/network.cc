@@ -12,15 +12,20 @@ void Network::Register(NodeId id, MessageHandler* handler) {
 
 void Network::SetNodeDown(NodeId id, bool down) {
   down_[id] = down;
+  if (tracer_->enabled()) {
+    tracer_->Instant(obs::SpanKind::kNode, id, InstanceId{}, kInvalidStep,
+                     down ? "node.down" : "node.up");
+  }
   if (!down) {
     // Recovery: flush parked messages in arrival order.
     auto it = parked_.find(id);
     if (it == parked_.end()) return;
-    std::vector<Message> batch = std::move(it->second);
+    std::vector<std::pair<Time, Message>> batch = std::move(it->second);
     parked_.erase(it);
-    for (Message& m : batch) {
-      queue_->ScheduleAfter(latency_,
-                            [this, m = std::move(m)]() { Deliver(m); });
+    for (auto& [sent, m] : batch) {
+      queue_->ScheduleAfter(latency_, [this, sent = sent, m = std::move(m)]() {
+        Deliver(m, sent);
+      });
     }
   }
 }
@@ -38,20 +43,32 @@ Status Network::Send(Message message) {
   }
   metrics_->CountMessage(message.from, message.to, message.category,
                          message.payload.size(), message.type);
-  queue_->ScheduleAfter(
-      latency_, [this, m = std::move(message)]() { Deliver(m); });
+  Time sent = queue_->now();
+  queue_->ScheduleAfter(latency_, [this, sent, m = std::move(message)]() {
+    Deliver(m, sent);
+  });
   return Status::OK();
 }
 
-void Network::Deliver(const Message& message) {
+void Network::Deliver(const Message& message, Time sent) {
   if (IsNodeDown(message.to)) {
-    parked_[message.to].push_back(message);
+    parked_[message.to].emplace_back(sent, message);
     return;
   }
   auto it = handlers_.find(message.to);
   if (it == handlers_.end()) {
     CREW_LOG(Warn) << "dropping message to vanished node " << message.to;
     return;
+  }
+  if (tracer_->enabled()) {
+    // Record before dispatch so the message span precedes any spans the
+    // handler emits at the same tick.
+    tracer_->Complete(obs::SpanKind::kMessage, message.to, InstanceId{},
+                      kInvalidStep, "msg:" + message.type, sent,
+                      queue_->now() - sent,
+                      static_cast<int>(message.category),
+                      std::to_string(message.from) + "->" +
+                          std::to_string(message.to));
   }
   it->second->HandleMessage(message);
 }

@@ -4,10 +4,12 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 
@@ -63,15 +65,26 @@ class Network {
   EventQueue* queue() { return queue_; }
   Metrics* metrics() { return metrics_; }
 
+  /// Sink for message-latency spans and node up/down instants. Never
+  /// null; defaults to the no-op tracer.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer != nullptr ? tracer : obs::Tracer::Null();
+  }
+
  private:
-  void Deliver(const Message& message);
+  /// `sent` is the virtual time Send() was called, carried through
+  /// parking so the exported message span covers the true in-flight
+  /// window (including time spent queued for a down node).
+  void Deliver(const Message& message, Time sent);
 
   EventQueue* queue_;
   Metrics* metrics_;
+  obs::Tracer* tracer_ = obs::Tracer::Null();
   Time latency_ = 1;
   std::map<NodeId, MessageHandler*> handlers_;
   std::map<NodeId, bool> down_;
-  std::map<NodeId, std::vector<Message>> parked_;  // queued for down nodes
+  // Messages queued for down nodes, with their original send time.
+  std::map<NodeId, std::vector<std::pair<Time, Message>>> parked_;
 };
 
 }  // namespace crew::sim

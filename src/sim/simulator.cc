@@ -1,6 +1,23 @@
 #include "sim/simulator.h"
 
+#include "common/logging.h"
+
 namespace crew::sim {
+
+Simulator::Simulator(uint64_t seed)
+    : rng_(seed), network_(&queue_, &metrics_), tracer_(obs::Tracer::Null()) {
+  tracer_->SetClock(queue_.now_ptr());
+  // Log lines carry this run's virtual time while the simulator lives.
+  Logger::SetVirtualClock(queue_.now_ptr());
+}
+
+Simulator::~Simulator() { Logger::ClearVirtualClock(queue_.now_ptr()); }
+
+void Simulator::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer != nullptr ? tracer : obs::Tracer::Null();
+  tracer_->SetClock(queue_.now_ptr());
+  network_.set_tracer(tracer_);
+}
 
 void InjectCrash(Simulator* simulator, NodeId node, Time at, Time outage) {
   simulator->queue().ScheduleAt(at, [simulator, node]() {

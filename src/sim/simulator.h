@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -11,11 +12,11 @@
 namespace crew::sim {
 
 /// Owns the shared simulation state: virtual clock / event queue, network,
-/// metrics, and the root RNG. One Simulator per experiment run.
+/// metrics, trace sink, and the root RNG. One Simulator per experiment run.
 class Simulator {
  public:
-  explicit Simulator(uint64_t seed = 42)
-      : rng_(seed), network_(&queue_, &metrics_) {}
+  explicit Simulator(uint64_t seed = 42);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -24,6 +25,13 @@ class Simulator {
   Network& network() { return network_; }
   Metrics& metrics() { return metrics_; }
   Rng& rng() { return rng_; }
+
+  /// The active trace sink. Never null: defaults to the no-op tracer, so
+  /// instrumentation sites only pay an `enabled()` check when off.
+  obs::Tracer& tracer() { return *tracer_; }
+  /// Installs a sink (nullptr restores the no-op default). Call before
+  /// constructing engines/agents so node-name registration is captured.
+  void set_tracer(obs::Tracer* tracer);
 
   Time now() const { return queue_.now(); }
 
@@ -38,6 +46,7 @@ class Simulator {
   Metrics metrics_;
   Rng rng_;
   Network network_;
+  obs::Tracer* tracer_;
 };
 
 /// Crash/recovery injection: schedules a node to go down at `at` and come

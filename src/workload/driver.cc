@@ -5,6 +5,7 @@
 
 #include "central/system.h"
 #include "dist/system.h"
+#include "obs/trace.h"
 #include "parallel/system.h"
 #include "sim/simulator.h"
 
@@ -97,8 +98,11 @@ RunResult FinishRun(Architecture architecture, Workbench* bench,
   return result;
 }
 
-RunResult RunCentralLike(const Params& params, Architecture architecture) {
+RunResult RunCentralLike(const Params& params, Architecture architecture,
+                         obs::Tracer* tracer) {
   Workbench bench(params);
+  // Attach before system construction so node-name registrations land.
+  if (tracer != nullptr) bench.simulator.set_tracer(tracer);
   Status prepared = bench.Prepare();
   if (!prepared.ok()) {
     RunResult failed;
@@ -198,8 +202,9 @@ RunResult RunCentralLike(const Params& params, Architecture architecture) {
   return FinishRun(architecture, &bench, started, committed, aborted);
 }
 
-RunResult RunDistributedImpl(const Params& params) {
+RunResult RunDistributedImpl(const Params& params, obs::Tracer* tracer) {
   Workbench bench(params);
+  if (tracer != nullptr) bench.simulator.set_tracer(tracer);
   Status prepared = bench.Prepare();
   if (!prepared.ok()) {
     RunResult failed;
@@ -264,11 +269,12 @@ RunResult RunDistributedImpl(const Params& params) {
 
 }  // namespace
 
-RunResult RunWorkload(const Params& params, Architecture architecture) {
+RunResult RunWorkload(const Params& params, Architecture architecture,
+                      obs::Tracer* tracer) {
   if (architecture == Architecture::kDistributed) {
-    return RunDistributedImpl(params);
+    return RunDistributedImpl(params, tracer);
   }
-  return RunCentralLike(params, architecture);
+  return RunCentralLike(params, architecture, tracer);
 }
 
 }  // namespace crew::workload

@@ -7,6 +7,10 @@
 #include "workload/generator.h"
 #include "workload/params.h"
 
+namespace crew::obs {
+class Tracer;
+}  // namespace crew::obs
+
 namespace crew::workload {
 
 /// Which control architecture a run exercises (Figure 6).
@@ -41,8 +45,10 @@ struct RunResult {
 
 /// Runs the Table 3 workload against one architecture and reports the
 /// measured per-instance loads and message counts. Deterministic for a
-/// given Params::seed.
-RunResult RunWorkload(const Params& params, Architecture architecture);
+/// given Params::seed. When `tracer` is non-null the simulator records
+/// the run's spans into it (virtual-time-stamped; see obs/trace.h).
+RunResult RunWorkload(const Params& params, Architecture architecture,
+                      obs::Tracer* tracer = nullptr);
 
 }  // namespace crew::workload
 
