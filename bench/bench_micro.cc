@@ -1,12 +1,16 @@
 // Micro-benchmarks of the rule-plumbing hot paths: rule-engine firing,
 // packet serialization/parsing, expression evaluation, and WAL appends.
+// Writes BENCH_micro.json with items/sec (and bytes/sec) per benchmark.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <filesystem>
+#include <sstream>
 
 #include "expr/eval.h"
 #include "expr/parser.h"
 #include "rules/engine.h"
+#include "rules/event.h"
 #include "runtime/packet.h"
 #include "storage/wal.h"
 
@@ -17,11 +21,13 @@ using crew::Value;
 void BM_RuleEnginePostAndFire(benchmark::State& state) {
   const int num_rules = static_cast<int>(state.range(0));
   crew::rules::RuleEngine engine;
+  std::vector<crew::rules::EventToken> tokens;
   for (int i = 0; i < num_rules; ++i) {
+    tokens.push_back(crew::rules::event::StepDoneToken(i));
     crew::rules::Rule rule;
     rule.id = "exec.S" + std::to_string(i + 1) + ".via.S" +
               std::to_string(i);
-    rule.events = {"S" + std::to_string(i) + ".done"};
+    rule.events = {tokens.back()};
     rule.action = {crew::rules::ActionKind::kExecuteStep, i + 1};
     (void)engine.AddRule(std::move(rule));
   }
@@ -29,7 +35,7 @@ void BM_RuleEnginePostAndFire(benchmark::State& state) {
       [](const std::string&) { return std::nullopt; });
   int step = 0;
   for (auto _ : state) {
-    engine.Post("S" + std::to_string(step % num_rules) + ".done");
+    engine.Post(tokens[step % num_rules]);
     benchmark::DoNotOptimize(engine.CollectFireable(env));
     ++step;
   }
@@ -114,6 +120,64 @@ void BM_WalAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_WalAppend)->Arg(64)->Arg(512);
 
+/// Console reporter that additionally collects per-benchmark throughput
+/// counters and dumps them as BENCH_micro.json (the bench-trajectory
+/// format the table benches emit through BenchSession).
+class ItemsJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      std::ostringstream os;
+      os << "{\"name\":\"" << run.benchmark_name() << "\"";
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        os << ",\"items_per_second\":" << items->second.value;
+      }
+      auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        os << ",\"bytes_per_second\":" << bytes->second.value;
+      }
+      os << ",\"real_time_ns\":" << run.GetAdjustedRealTime() << "}";
+      entries_.push_back(os.str());
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    FILE* f = fopen("BENCH_micro.json", "w");
+    if (f == nullptr) {
+      fprintf(stderr, "json: cannot open BENCH_micro.json\n");
+      return;
+    }
+    std::ostringstream os;
+    os << "{\"bench\":\"micro\",\"benchmarks\":[";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) os << ",";
+      os << entries_[i];
+    }
+    os << "]}\n";
+    std::string text = os.str();
+    fwrite(text.data(), 1, text.size(), f);
+    fclose(f);
+    printf("json: wrote BENCH_micro.json\n");
+  }
+
+ private:
+  std::vector<std::string> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ItemsJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

@@ -131,7 +131,7 @@ Status WorkflowEngine::StartWorkflow(const std::string& workflow,
   ApplyRoBindings(raw);
 
   runtime::EventOcc start =
-      raw->state.PostLocalEvent(rules::event::WorkflowStart());
+      raw->state.PostLocalEvent(rules::event::WorkflowStartToken());
   raw->rules.Post(start.token);
   Pump(raw);
   return Status::OK();
@@ -142,8 +142,8 @@ void WorkflowEngine::ApplyRoBindings(Instance* inst) {
       tracker().OnInstanceStart(inst->state.id());
   for (const runtime::RoBinding& binding : bindings) {
     for (const auto& [lead_step, lag_step] : binding.step_pairs) {
-      std::string token =
-          rules::event::RelativeOrder(binding.leading, lead_step);
+      rules::EventToken token =
+          rules::event::RelativeOrderToken(binding.leading, lead_step);
       // Guard every rule that can fire the lagging step; the rule ids are
       // regenerated deterministically from the schema.
       bool guarded = false;
@@ -164,14 +164,14 @@ void WorkflowEngine::ApplyRoBindings(Instance* inst) {
       obs::Tracer& tr = simulator_->tracer();
       if (tr.enabled()) {
         tr.Begin(obs::SpanKind::kCoord, id_, inst->state.id(), kInvalidStep,
-                 "ro.wait:" + token,
+                 "ro.wait:" + rules::TokenNameStr(token),
                  static_cast<int>(sim::MsgCategory::kCoordination));
       }
       Instance* lead = Find(binding.leading);
       if (lead != nullptr) {
         ro_watch_[{binding.leading, lead_step}].push_back(
             {inst->state.id(), token});
-        if (lead->state.EventValid(rules::event::StepDone(lead_step))) {
+        if (lead->state.EventValid(rules::event::StepDoneToken(lead_step))) {
           DeliverCoordinationEvent(inst->state.id(), token);
         }
       } else if (topology_ != nullptr) {
@@ -195,8 +195,8 @@ void WorkflowEngine::ApplyRoBindings(Instance* inst) {
   }
 }
 
-void WorkflowEngine::DeliverCoordinationEvent(
-    const InstanceId& instance, const std::string& event_token) {
+void WorkflowEngine::DeliverCoordinationEvent(const InstanceId& instance,
+                                              rules::EventToken event_token) {
   Instance* inst = Find(instance);
   if (inst == nullptr) return;
   // Coordination tokens are one-shot; duplicates must not re-fire rules.
@@ -204,7 +204,7 @@ void WorkflowEngine::DeliverCoordinationEvent(
   obs::Tracer& tr = simulator_->tracer();
   if (tr.enabled()) {
     tr.End(obs::SpanKind::kCoord, id_, instance, kInvalidStep,
-           "ro.wait:" + event_token);
+           "ro.wait:" + rules::TokenNameStr(event_token));
   }
   inst->state.PostLocalEvent(event_token);
   inst->rules.Post(event_token);
@@ -216,7 +216,7 @@ void WorkflowEngine::DeliverCoordinationEvent(
 void WorkflowEngine::NotifyRoWatchers(Instance* inst, StepId step) {
   auto it = ro_watch_.find({inst->state.id(), step});
   if (it == ro_watch_.end()) return;
-  std::vector<std::pair<InstanceId, std::string>> watchers =
+  std::vector<std::pair<InstanceId, rules::EventToken>> watchers =
       std::move(it->second);
   ro_watch_.erase(it);
   for (const auto& [watcher, token] : watchers) {
@@ -765,7 +765,7 @@ void WorkflowEngine::OnCoordinationMessage(const sim::Message& message) {
     coord_done_log_.insert({msg.instance, step});
     auto it = remote_ro_watch_.find({msg.instance, step});
     if (it != remote_ro_watch_.end()) {
-      std::vector<std::pair<InstanceId, std::string>> watchers =
+      std::vector<std::pair<InstanceId, rules::EventToken>> watchers =
           std::move(it->second);
       remote_ro_watch_.erase(it);
       for (const auto& [watcher, ro_token] : watchers) {
@@ -778,7 +778,7 @@ void WorkflowEngine::OnCoordinationMessage(const sim::Message& message) {
   if (token == "coord.end") {
     coord_ended_log_.insert(msg.instance);
     // Resolve every watch on the ended instance.
-    std::vector<std::pair<InstanceId, std::string>> to_deliver;
+    std::vector<std::pair<InstanceId, rules::EventToken>> to_deliver;
     for (auto it = remote_ro_watch_.begin();
          it != remote_ro_watch_.end();) {
       if (it->first.first == msg.instance) {
@@ -797,7 +797,7 @@ void WorkflowEngine::OnCoordinationMessage(const sim::Message& message) {
   }
 
   // Plain event (e.g., a relative-ordering token).
-  DeliverCoordinationEvent(msg.instance, token);
+  DeliverCoordinationEvent(msg.instance, rules::InternToken(token));
 }
 
 void WorkflowEngine::OnProgramReply(
@@ -857,7 +857,7 @@ void WorkflowEngine::OnStepDone(Instance* inst, StepId step, bool reused) {
            reused ? "reused" : "done");
   }
   runtime::EventOcc done =
-      inst->state.PostLocalEvent(rules::event::StepDone(step));
+      inst->state.PostLocalEvent(rules::event::StepDoneToken(step));
   inst->rules.Post(done.token);
 
   // A first-attempt completion means recovery has passed the re-executed
@@ -882,7 +882,7 @@ void WorkflowEngine::OnStepDone(Instance* inst, StepId step, bool reused) {
     for (const auto& group : inst->schema->schema().terminal_groups()) {
       bool any = false;
       for (StepId member : group) {
-        if (inst->state.EventValid(rules::event::StepDone(member))) {
+        if (inst->state.EventValid(rules::event::StepDoneToken(member))) {
           any = true;
           break;
         }
@@ -953,7 +953,7 @@ void WorkflowEngine::OnStepFailed(Instance* inst, StepId step) {
                static_cast<int>(sim::MsgCategory::kFailureHandling));
   }
   runtime::EventOcc fail =
-      inst->state.PostLocalEvent(rules::event::StepFail(step));
+      inst->state.PostLocalEvent(rules::event::StepFailToken(step));
   inst->rules.Post(fail.token);
   ReleaseMutexes(inst, step);
 
@@ -985,9 +985,9 @@ void WorkflowEngine::Rollback(Instance* inst, StepId origin, Mode mode,
   // Two-pronged §5.2 strategy, engine-locally: invalidate old events of
   // downstream steps, discard their pending-rule progress, and reset the
   // fired markers so still-valid triggers can re-fire the origin.
-  std::vector<std::string> invalidated =
+  std::vector<rules::EventToken> invalidated =
       inst->state.InvalidateDownstream(origin, new_epoch);
-  for (const std::string& token : invalidated) {
+  for (rules::EventToken token : invalidated) {
     inst->rules.Invalidate(token);
   }
   const model::CompiledSchema* schema = inst->schema.get();
@@ -1062,7 +1062,7 @@ void WorkflowEngine::OnCompensated(Instance* inst, StepId step) {
   StepRecord& record = inst->state.step_record(step);
   record.state = StepRunState::kCompensated;
   runtime::EventOcc comp =
-      inst->state.PostLocalEvent(rules::event::StepCompensated(step));
+      inst->state.PostLocalEvent(rules::event::StepCompensatedToken(step));
   inst->rules.Post(comp.token);
   inst->comp_running = false;
   RunCompQueue(inst);
@@ -1072,7 +1072,7 @@ void WorkflowEngine::OnCompensated(Instance* inst, StepId step) {
 void WorkflowEngine::ResolveCoordinationAtEnd(Instance* inst) {
   // Ordering against an ended instance is trivially satisfied: release
   // every local watcher still waiting on one of its steps.
-  std::vector<std::pair<InstanceId, std::string>> to_deliver;
+  std::vector<std::pair<InstanceId, rules::EventToken>> to_deliver;
   for (auto it = ro_watch_.begin(); it != ro_watch_.end();) {
     if (it->first.first == inst->state.id()) {
       for (const auto& watcher : it->second) to_deliver.push_back(watcher);
@@ -1157,7 +1157,7 @@ void WorkflowEngine::DoAbort(Instance* inst) {
   PersistInstanceStatus(*inst);
   BroadcastCoordination(inst, "coord.end");
   runtime::EventOcc abort =
-      inst->state.PostLocalEvent(rules::event::WorkflowAbort());
+      inst->state.PostLocalEvent(rules::event::WorkflowAbortToken());
   inst->rules.Post(abort.token);
 
   // Quiesce: bump the epoch so in-flight replies become stale.

@@ -96,7 +96,7 @@ class WorkflowEngine : public sim::MessageHandler {
   /// Delivers a coordination event raised at a peer engine (or locally)
   /// for an instance owned here.
   void DeliverCoordinationEvent(const InstanceId& instance,
-                                const std::string& event_token);
+                                rules::EventToken event_token);
   /// Parallel control shares one tracker across engines (it models the
   /// front end's global view of instance start order); central control
   /// uses the engine's own. Non-owning.
@@ -244,12 +244,12 @@ class WorkflowEngine : public sim::MessageHandler {
 
   /// (lead instance, lead step) -> local watchers to notify on completion.
   std::map<std::pair<InstanceId, StepId>,
-           std::vector<std::pair<InstanceId, std::string>>>
+           std::vector<std::pair<InstanceId, rules::EventToken>>>
       ro_watch_;
   /// Parallel control: watches on *remote* leading instances, resolved by
   /// coordination broadcasts.
   std::map<std::pair<InstanceId, StepId>,
-           std::vector<std::pair<InstanceId, std::string>>>
+           std::vector<std::pair<InstanceId, rules::EventToken>>>
       remote_ro_watch_;
   /// Coordination-event log built from broadcasts: completed coordination
   /// -relevant steps and ended instances at peer engines.

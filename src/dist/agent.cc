@@ -200,7 +200,7 @@ void Agent::OnWorkflowStart(const sim::Message& message) {
   ApplyRoGating(inst);
 
   runtime::EventOcc start =
-      inst->state.PostLocalEvent(rules::event::WorkflowStart());
+      inst->state.PostLocalEvent(rules::event::WorkflowStartToken());
   inst->rules.Post(start.token);
   simulator_->metrics().AddLoad(id_, sim::LoadCategory::kNavigation,
                                 options_.navigation_load);
@@ -589,7 +589,7 @@ void Agent::OnStepExecute(const sim::Message& message) {
   if (inst->schema->schema().has_step(target)) {
     const StepRecord* record = inst->state.FindStepRecord(target);
     bool done_now =
-        inst->state.EventValid(rules::event::StepDone(target));
+        inst->state.EventValid(rules::event::StepDoneToken(target));
     if (!done_now && (record == nullptr || !record->in_flight) &&
         inst->starting.count(target) == 0 &&
         ElectedExecutor(inst, target)) {
@@ -602,7 +602,7 @@ void Agent::OnStepExecute(const sim::Message& message) {
         const rules::Rule* live = inst->rules.FindRule(generated.id);
         const rules::Rule& rule = live != nullptr ? *live : generated;
         bool all_valid = true;
-        for (const std::string& token : rule.events) {
+        for (rules::EventToken token : rule.events) {
           if (!inst->state.EventValid(token)) {
             all_valid = false;
             break;
@@ -923,7 +923,7 @@ void Agent::OnStepDoneLocal(AgentInstance* inst, StepId step,
            "done");
   }
   runtime::EventOcc done =
-      inst->state.PostLocalEvent(rules::event::StepDone(step));
+      inst->state.PostLocalEvent(rules::event::StepDoneToken(step));
   inst->rules.Post(done.token);
 
   // Passing the re-executed region: a first-ever completion means the
@@ -1076,7 +1076,7 @@ void Agent::OnStepFailedLocal(AgentInstance* inst, StepId step) {
                static_cast<int>(sim::MsgCategory::kFailureHandling));
   }
   runtime::EventOcc fail =
-      inst->state.PostLocalEvent(rules::event::StepFail(step));
+      inst->state.PostLocalEvent(rules::event::StepFailToken(step));
   inst->rules.Post(fail.token);
   ReleaseMutexesDistributed(inst, step);
 
@@ -1204,9 +1204,9 @@ void Agent::LocalHalt(AgentInstance* inst, StepId origin,
 
   // Invalidate old-epoch events of downstream steps, discard pending
   // rule progress, and re-arm their rules (§5.2's two-pronged strategy).
-  std::vector<std::string> invalidated =
+  std::vector<rules::EventToken> invalidated =
       inst->state.InvalidateDownstream(origin, new_epoch);
-  for (const std::string& token : invalidated) {
+  for (rules::EventToken token : invalidated) {
     inst->rules.Invalidate(token);
   }
   const model::CompiledSchema* schema = inst->schema.get();
@@ -1324,7 +1324,7 @@ void Agent::CompensateLocal(AgentInstance* inst, StepId step,
         simulator_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
                                       cost);
         runtime::EventOcc comp = inst->state.PostLocalEvent(
-            rules::event::StepCompensated(step));
+            rules::event::StepCompensatedToken(step));
         inst->rules.Post(comp.token);
         PersistStepRecord(instance, step);
         then();
@@ -1444,14 +1444,14 @@ void Agent::OnStepCompensate(const sim::Message& message) {
 void Agent::ApplyRoGating(AgentInstance* inst) {
   for (const runtime::RoLink& link : inst->state.ro_links()) {
     if (link.leading) continue;  // leaders act via registrations
-    std::string token =
-        rules::event::RelativeOrder(link.other, link.other_step);
+    rules::EventToken token =
+        rules::event::RelativeOrderToken(link.other, link.other_step);
     // RO wait span: opens when the gate is installed, closes when the
     // ordering token posts (here or in OnAddEvent).
     obs::Tracer& tr = simulator_->tracer();
     if (tr.enabled() && !inst->state.EventValid(token)) {
       tr.Begin(obs::SpanKind::kCoord, id_, inst->state.id(), kInvalidStep,
-               "ro.wait:" + token,
+               "ro.wait:" + rules::TokenNameStr(token),
                static_cast<int>(sim::MsgCategory::kCoordination));
     }
     // Gate every rule that can fire the lagging step.
@@ -1474,7 +1474,7 @@ void Agent::ApplyRoGating(AgentInstance* inst) {
         // Leading instance already finished: ordering holds trivially.
         if (tr.enabled()) {
           tr.End(obs::SpanKind::kCoord, id_, inst->state.id(),
-                 kInvalidStep, "ro.wait:" + token);
+                 kInvalidStep, "ro.wait:" + rules::TokenNameStr(token));
         }
         inst->state.PostLocalEvent(token);
         inst->rules.Post(token);
@@ -1484,7 +1484,7 @@ void Agent::ApplyRoGating(AgentInstance* inst) {
       // step (AddRule protocol, Figure 4).
       runtime::AddRuleMsg reg;
       reg.instance = link.other;
-      reg.rule_id = token;
+      reg.rule_id = rules::TokenNameStr(token);
       reg.trigger_events = {std::to_string(id_)};
       reg.action_step = link.other_step;
       for (NodeId agent :
@@ -1569,7 +1569,7 @@ void Agent::OnAddRule(const sim::Message& message) {
   }
   AgentInstance* inst = FindInstance(msg.instance);
   if (inst != nullptr &&
-      inst->state.EventValid(rules::event::StepDone(msg.action_step))) {
+      inst->state.EventValid(rules::event::StepDoneToken(msg.action_step))) {
     runtime::AddEventMsg notify;
     notify.instance = msg.instance;
     notify.event_token = msg.rule_id;
@@ -1634,13 +1634,14 @@ void Agent::OnAddEvent(const sim::Message& message) {
   // The token may arrive before any packet created the instance: the
   // *RO event* itself concerns the lagging instance, but msg.instance is
   // the *leading* one. Deliver to every local instance that waits for it.
+  rules::EventToken tok = rules::InternToken(token);
   bool delivered = false;
   for (auto& [id, inst] : instances_) {
     bool waits = false;
     for (const runtime::RoLink& link : inst->state.ro_links()) {
       if (!link.leading &&
-          rules::event::RelativeOrder(link.other, link.other_step) ==
-              token) {
+          rules::event::RelativeOrderToken(link.other, link.other_step) ==
+              tok) {
         waits = true;
         break;
       }
@@ -1649,7 +1650,7 @@ void Agent::OnAddEvent(const sim::Message& message) {
     // Ordering tokens are one-shot: a duplicate notification (e.g. the
     // executor's AddEvent plus the purge-time resolution of a parked
     // registration) must not re-fire the gated rule.
-    if (inst->state.EventValid(token)) {
+    if (inst->state.EventValid(tok)) {
       delivered = true;
       continue;
     }
@@ -1658,8 +1659,8 @@ void Agent::OnAddEvent(const sim::Message& message) {
       tr.End(obs::SpanKind::kCoord, id_, id, kInvalidStep,
              "ro.wait:" + token);
     }
-    inst->state.PostLocalEvent(token);
-    inst->rules.Post(token);
+    inst->state.PostLocalEvent(tok);
+    inst->rules.Post(tok);
     Pump(inst.get());
     delivered = true;
   }
@@ -1817,7 +1818,7 @@ void Agent::CheckPendingRules(const InstanceId& instance) {
       const rules::Rule* live = inst->rules.FindRule(generated.id);
       const rules::Rule& step_rule = live != nullptr ? *live : generated;
       bool all_valid = true;
-      for (const std::string& token : step_rule.events) {
+      for (rules::EventToken token : step_rule.events) {
         if (!inst->state.EventValid(token)) {
           all_valid = false;
           break;
@@ -1917,7 +1918,7 @@ void Agent::ResolvePoll(const StatusPoll& poll) {
   AgentInstance* inst = FindInstance(poll.instance);
   if (inst == nullptr) return;
   StepId step = poll.step;
-  if (inst->state.EventValid(rules::event::StepDone(step))) return;
+  if (inst->state.EventValid(rules::event::StepDoneToken(step))) return;
 
   if (poll.any_done || poll.any_executing) {
     // Someone has or will have the result; its packet will arrive

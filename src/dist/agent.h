@@ -98,7 +98,7 @@ class Agent : public sim::MessageHandler {
     /// Branch taken at each choice split (successor entry), per agent.
     std::map<StepId, StepId> taken_branch;
     /// RO links for which the lagging-side registration was sent.
-    std::set<std::string> ro_registered;
+    std::set<rules::EventToken> ro_registered;
     /// ME resources granted for a step (by the arbiter).
     std::set<std::pair<StepId, std::string>> me_granted;
     std::set<std::pair<StepId, std::string>> me_pending;

@@ -4,6 +4,26 @@
 
 namespace crew::rules {
 
+uint32_t RuleEngine::EventSlot(EventToken token) {
+  auto [it, inserted] =
+      event_index_.try_emplace(token, static_cast<uint32_t>(events_.size()));
+  if (inserted) events_.emplace_back();
+  return it->second;
+}
+
+const RuleEngine::EventState* RuleEngine::FindEvent(
+    EventToken token) const {
+  auto it = event_index_.find(token);
+  return it == event_index_.end() ? nullptr : &events_[it->second];
+}
+
+void RuleEngine::MarkDirty(uint32_t rule_slot) {
+  RuleState& state = rules_[rule_slot];
+  if (!state.alive || state.dirty) return;
+  state.dirty = true;
+  dirty_.push_back(rule_slot);
+}
+
 Status RuleEngine::AddRule(Rule rule) {
   if (rule.id.empty()) {
     return Status::InvalidArgument("rule id must not be empty");
@@ -12,109 +32,185 @@ Status RuleEngine::AddRule(Rule rule) {
     return Status::InvalidArgument("rule " + rule.id +
                                    " has no trigger events");
   }
-  auto [it, inserted] = rules_.try_emplace(rule.id);
-  if (!inserted) {
+  if (rule_index_.find(rule.id) != rule_index_.end()) {
     return Status::AlreadyExists("rule " + rule.id + " already present");
   }
-  it->second.rule = std::move(rule);
+  uint32_t slot = static_cast<uint32_t>(rules_.size());
+  rule_index_.emplace(rule.id, slot);
+  rules_.push_back(RuleState{std::move(rule), 0, true, false});
+  for (EventToken token : rules_[slot].rule.events) {
+    events_[EventSlot(token)].watchers.push_back(slot);
+  }
+  // The new rule may be fireable on already-posted events.
+  MarkDirty(slot);
   return Status::OK();
 }
 
-bool RuleEngine::RemoveRule(const std::string& rule_id) {
-  return rules_.erase(rule_id) > 0;
+bool RuleEngine::RemoveRule(std::string_view rule_id) {
+  auto it = rule_index_.find(rule_id);
+  if (it == rule_index_.end()) return false;
+  RuleState& state = rules_[it->second];
+  state.alive = false;
+  state.dirty = false;
+  state.rule = Rule{};  // release triggers/condition; slot is tombstoned
+  rule_index_.erase(it);
+  return true;
 }
 
-Status RuleEngine::AddPrecondition(const std::string& rule_id,
-                                   const std::string& extra_event) {
-  auto it = rules_.find(rule_id);
-  if (it == rules_.end()) {
-    return Status::NotFound("no rule " + rule_id);
+Status RuleEngine::AddPrecondition(std::string_view rule_id,
+                                   EventToken extra_event) {
+  auto it = rule_index_.find(rule_id);
+  if (it == rule_index_.end()) {
+    return Status::NotFound("no rule " + std::string(rule_id));
   }
-  std::vector<std::string>& events = it->second.rule.events;
-  if (std::find(events.begin(), events.end(), extra_event) == events.end()) {
+  uint32_t slot = it->second;
+  std::vector<EventToken>& events = rules_[slot].rule.events;
+  if (std::find(events.begin(), events.end(), extra_event) ==
+      events.end()) {
     events.push_back(extra_event);
+    events_[EventSlot(extra_event)].watchers.push_back(slot);
+    // A valid extra event can raise the rule's newest trigger stamp
+    // above its last-fired stamp, making it fireable right now.
+    MarkDirty(slot);
   }
   return Status::OK();
 }
 
-void RuleEngine::Post(const std::string& event_token) {
-  EventState& state = events_[event_token];
+Status RuleEngine::AddPrecondition(std::string_view rule_id,
+                                   std::string_view extra_event) {
+  return AddPrecondition(rule_id, InternToken(extra_event));
+}
+
+void RuleEngine::Post(EventToken token) {
+  EventState& state = events_[EventSlot(token)];
   state.valid = true;
   state.stamp = next_stamp_++;
+  for (uint32_t slot : state.watchers) MarkDirty(slot);
 }
 
-void RuleEngine::Invalidate(const std::string& event_token) {
-  auto it = events_.find(event_token);
-  if (it != events_.end()) it->second.valid = false;
+void RuleEngine::Post(std::string_view token) { Post(InternToken(token)); }
+
+void RuleEngine::Invalidate(EventToken token) {
+  auto it = event_index_.find(token);
+  if (it != event_index_.end()) events_[it->second].valid = false;
 }
 
-bool RuleEngine::Occurred(const std::string& event_token) const {
-  auto it = events_.find(event_token);
-  return it != events_.end() && it->second.valid;
+void RuleEngine::Invalidate(std::string_view token) {
+  EventToken interned = FindToken(token);
+  if (interned != kInvalidEventToken) Invalidate(interned);
 }
 
-bool RuleEngine::Fireable(const RuleState& state,
-                          const expr::Environment& env,
-                          uint64_t* newest_stamp) const {
+bool RuleEngine::Occurred(EventToken token) const {
+  const EventState* state = FindEvent(token);
+  return state != nullptr && state->valid;
+}
+
+bool RuleEngine::Occurred(std::string_view token) const {
+  EventToken interned = FindToken(token);
+  return interned != kInvalidEventToken && Occurred(interned);
+}
+
+RuleEngine::Readiness RuleEngine::Evaluate(const RuleState& state,
+                                           const expr::Environment& env,
+                                           uint64_t* newest_stamp) const {
   uint64_t newest = 0;
-  for (const std::string& token : state.rule.events) {
-    auto it = events_.find(token);
-    if (it == events_.end() || !it->second.valid) return false;
-    newest = std::max(newest, it->second.stamp);
+  for (EventToken token : state.rule.events) {
+    const EventState* event = FindEvent(token);
+    if (event == nullptr || !event->valid) return Readiness::kNotReady;
+    newest = std::max(newest, event->stamp);
   }
-  if (newest <= state.last_fired_stamp) return false;  // nothing new
-  if (!expr::EvaluateCondition(state.rule.condition, env)) return false;
+  if (newest <= state.last_fired_stamp) return Readiness::kNotReady;
+  if (!expr::EvaluateCondition(state.rule.condition, env)) {
+    return Readiness::kConditionFalse;
+  }
   *newest_stamp = newest;
-  return true;
+  return Readiness::kFire;
 }
 
 std::vector<RuleAction> RuleEngine::CollectFireable(
     const expr::Environment& env) {
   std::vector<RuleAction> fired;
-  // Map iteration is id-ordered, giving deterministic firing order.
-  for (auto& [id, state] : rules_) {
+  if (dirty_.empty()) return fired;
+  // Rule-id order reproduces the firing order of a full id-ordered scan.
+  std::sort(dirty_.begin(), dirty_.end(),
+            [this](uint32_t a, uint32_t b) {
+              return rules_[a].rule.id < rules_[b].rule.id;
+            });
+  std::vector<uint32_t> retained;
+  for (uint32_t slot : dirty_) {
+    RuleState& state = rules_[slot];
+    state.dirty = false;
+    if (!state.alive) continue;
     uint64_t newest = 0;
-    if (Fireable(state, env, &newest)) {
-      state.last_fired_stamp = newest;
-      fired.push_back(state.rule.action);
-      ++fire_count_;
+    switch (Evaluate(state, env, &newest)) {
+      case Readiness::kFire:
+        state.last_fired_stamp = newest;
+        fired.push_back(state.rule.action);
+        ++fire_count_;
+        break;
+      case Readiness::kConditionFalse:
+        // Events satisfied, condition not (yet): the environment can
+        // change without another Post, so keep the candidate hot.
+        state.dirty = true;
+        retained.push_back(slot);
+        break;
+      case Readiness::kNotReady:
+        // Missing event or no fresh stamp: only a mutation that re-marks
+        // this rule dirty can change that.
+        break;
     }
   }
+  dirty_ = std::move(retained);
   return fired;
+}
+
+void RuleEngine::AppendMissing(const RuleState& state,
+                               std::vector<std::string>* missing) const {
+  for (EventToken token : state.rule.events) {
+    const EventState* event = FindEvent(token);
+    if (event == nullptr || !event->valid) {
+      missing->push_back(TokenNameStr(token));
+    }
+  }
 }
 
 std::vector<std::pair<std::string, std::vector<std::string>>>
 RuleEngine::PendingRules() const {
   std::vector<std::pair<std::string, std::vector<std::string>>> out;
-  for (const auto& [id, state] : rules_) {
-    std::vector<std::string> missing = MissingEvents(id);
-    if (!missing.empty()) out.emplace_back(id, std::move(missing));
+  for (const RuleState& state : rules_) {
+    if (!state.alive) continue;
+    std::vector<std::string> missing;
+    AppendMissing(state, &missing);
+    if (!missing.empty()) out.emplace_back(state.rule.id, std::move(missing));
   }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
 std::vector<std::string> RuleEngine::MissingEvents(
-    const std::string& rule_id) const {
+    std::string_view rule_id) const {
   std::vector<std::string> missing;
-  auto it = rules_.find(rule_id);
-  if (it == rules_.end()) return missing;
-  for (const std::string& token : it->second.rule.events) {
-    auto jt = events_.find(token);
-    if (jt == events_.end() || !jt->second.valid) missing.push_back(token);
-  }
+  auto it = rule_index_.find(rule_id);
+  if (it == rule_index_.end()) return missing;
+  AppendMissing(rules_[it->second], &missing);
   return missing;
 }
 
 void RuleEngine::ResetFiringIf(
     const std::function<bool(const Rule&)>& pred) {
-  for (auto& [id, state] : rules_) {
-    if (pred(state.rule)) state.last_fired_stamp = 0;
+  for (uint32_t slot = 0; slot < rules_.size(); ++slot) {
+    RuleState& state = rules_[slot];
+    if (!state.alive || !pred(state.rule)) continue;
+    state.last_fired_stamp = 0;
+    // Still-valid triggers can now re-fire the rule.
+    MarkDirty(slot);
   }
 }
 
-const Rule* RuleEngine::FindRule(const std::string& rule_id) const {
-  auto it = rules_.find(rule_id);
-  return it == rules_.end() ? nullptr : &it->second.rule;
+const Rule* RuleEngine::FindRule(std::string_view rule_id) const {
+  auto it = rule_index_.find(rule_id);
+  return it == rule_index_.end() ? nullptr : &rules_[it->second].rule;
 }
 
 }  // namespace crew::rules

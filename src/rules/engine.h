@@ -3,15 +3,17 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
 #include "expr/ast.h"
 #include "expr/eval.h"
+#include "rules/token.h"
 
 namespace crew::rules {
 
@@ -31,9 +33,10 @@ struct RuleAction {
 
 /// An Event-Condition-Action rule instance (§3): fires when every trigger
 /// event has occurred (and is currently valid) and the condition holds.
+/// Trigger events are interned EventTokens (see rules/token.h).
 struct Rule {
   std::string id;                    ///< unique within one engine
-  std::vector<std::string> events;   ///< ALL must be valid to fire
+  std::vector<EventToken> events;    ///< ALL must be valid to fire
   expr::NodePtr condition;           ///< null => unconditional
   RuleAction action;
 };
@@ -51,27 +54,43 @@ struct Rule {
 ///    trigger stamp exceeds the rule's last-fired stamp (so loop rules
 ///    re-fire on re-posted events, but a rule does not re-fire
 ///    spuriously), and its condition evaluates true.
+///
+/// Dispatch is indexed rather than scanned: rules live in a dense vector,
+/// an inverted index maps each event to the rules it triggers, and every
+/// mutation that can newly enable a rule (Post / AddRule /
+/// AddPrecondition / ResetFiringIf) marks only the dependent rules dirty.
+/// CollectFireable() evaluates the dirty candidates in rule-id order —
+/// the same order the original full scan produced — so the fired-action
+/// sequence is bit-identical to the scanning engine's. A candidate whose
+/// trigger events are satisfied but whose condition is false stays dirty
+/// (the environment can change between calls without a new event); one
+/// that is missing an event or a fresh stamp is dropped, because only a
+/// mutation that re-marks it can make it fireable again.
 class RuleEngine {
  public:
   /// AddRule() primitive. Rejects duplicate ids.
   Status AddRule(Rule rule);
 
   /// Removes a rule; returns false if absent.
-  bool RemoveRule(const std::string& rule_id);
+  bool RemoveRule(std::string_view rule_id);
 
   /// AddPrecondition() primitive: appends an extra trigger event to an
   /// existing rule, so the step it guards cannot fire until that event
   /// arrives (used for relative ordering / mutual exclusion).
-  Status AddPrecondition(const std::string& rule_id,
-                         const std::string& extra_event);
+  Status AddPrecondition(std::string_view rule_id, EventToken extra_event);
+  Status AddPrecondition(std::string_view rule_id,
+                         std::string_view extra_event);
 
   /// AddEvent() primitive: posts an event occurrence.
-  void Post(const std::string& event_token);
+  void Post(EventToken token);
+  void Post(std::string_view token);
 
   /// Invalidates an occurred event (rollback). No-op if never posted.
-  void Invalidate(const std::string& event_token);
+  void Invalidate(EventToken token);
+  void Invalidate(std::string_view token);
 
-  bool Occurred(const std::string& event_token) const;
+  bool Occurred(EventToken token) const;
+  bool Occurred(std::string_view token) const;
 
   /// Returns the actions of every rule that can fire now, in rule-id
   /// order, marking them fired. Conditions are evaluated against `env`.
@@ -79,16 +98,16 @@ class RuleEngine {
   std::vector<RuleAction> CollectFireable(const expr::Environment& env);
 
   /// Rules that are waiting on at least one missing/invalid event —
-  /// the paper's pending-rule table view. Pairs of (rule id, missing
-  /// events).
+  /// the paper's pending-rule table view, in rule-id order. Pairs of
+  /// (rule id, missing event names).
   std::vector<std::pair<std::string, std::vector<std::string>>>
   PendingRules() const;
 
   /// Events a given rule still needs (empty if all triggers are valid).
-  std::vector<std::string> MissingEvents(const std::string& rule_id) const;
+  std::vector<std::string> MissingEvents(std::string_view rule_id) const;
 
-  const Rule* FindRule(const std::string& rule_id) const;
-  size_t num_rules() const { return rules_.size(); }
+  const Rule* FindRule(std::string_view rule_id) const;
+  size_t num_rules() const { return rule_index_.size(); }
 
   /// Resets the fired marker of every rule matching `pred`, so it can
   /// fire again on its *existing* (still valid) trigger events. Used when
@@ -102,17 +121,45 @@ class RuleEngine {
   struct EventState {
     bool valid = false;
     uint64_t stamp = 0;  // sequence of the latest Post
+    /// Inverted index: slots of the rules triggered by this event. May
+    /// hold tombstoned slots after RemoveRule; MarkDirty() skips them.
+    std::vector<uint32_t> watchers;
   };
   struct RuleState {
     Rule rule;
     uint64_t last_fired_stamp = 0;
+    bool alive = true;
+    bool dirty = false;  // queued in dirty_
   };
 
-  bool Fireable(const RuleState& state, const expr::Environment& env,
-                uint64_t* newest_stamp) const;
+  /// Outcome of evaluating one dirty candidate.
+  enum class Readiness { kFire, kConditionFalse, kNotReady };
 
-  std::map<std::string, EventState> events_;
-  std::map<std::string, RuleState> rules_;  // keyed by rule id
+  /// Engine-local dense slot for `token`, created on first sight.
+  uint32_t EventSlot(EventToken token);
+  const EventState* FindEvent(EventToken token) const;
+  void MarkDirty(uint32_t rule_slot);
+  Readiness Evaluate(const RuleState& state, const expr::Environment& env,
+                     uint64_t* newest_stamp) const;
+  void AppendMissing(const RuleState& state,
+                     std::vector<std::string>* missing) const;
+
+  /// Dense rule store. Slots are stable for the engine's lifetime:
+  /// RemoveRule tombstones (alive=false) and slots are never reused, so
+  /// inverted-index entries stay valid.
+  std::vector<RuleState> rules_;
+  std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>>
+      rule_index_;  // id -> slot (alive rules only)
+
+  /// Event table, compacted to engine-local dense slots (global tokens
+  /// are process-wide; one engine only touches a few of them).
+  std::unordered_map<EventToken, uint32_t> event_index_;
+  std::vector<EventState> events_;
+
+  /// Candidate rules to evaluate at the next CollectFireable(), each at
+  /// most once (RuleState::dirty guards duplicates).
+  std::vector<uint32_t> dirty_;
+
   uint64_t next_stamp_ = 1;
   int64_t fire_count_ = 0;
 };

@@ -1,14 +1,79 @@
 #include "rules/event.h"
 
-#include <cstdlib>
+#include <charconv>
+#include <cstdio>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
 
 #include "common/strings.h"
 
 namespace crew::rules::event {
+namespace {
+
+/// Dense StepId -> EventToken cache for one step-event suffix, so hot
+/// call sites (every step completion/failure) neither allocate nor hash.
+class StepTokenCache {
+ public:
+  explicit StepTokenCache(const char* suffix) : suffix_(suffix) {}
+
+  EventToken Get(StepId step) {
+    if (step < 0) return kInvalidEventToken;
+    size_t index = static_cast<size_t>(step);
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      if (index < tokens_.size() && tokens_[index] != kInvalidEventToken) {
+        return tokens_[index];
+      }
+    }
+    char buf[32];
+    int n = std::snprintf(buf, sizeof(buf), "S%d.%s", step, suffix_);
+    EventToken token = InternToken(std::string_view(buf, n));
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (index >= tokens_.size()) {
+      tokens_.resize(index + 1, kInvalidEventToken);
+    }
+    tokens_[index] = token;
+    return token;
+  }
+
+ private:
+  const char* suffix_;
+  std::shared_mutex mu_;
+  std::vector<EventToken> tokens_;
+};
+
+StepTokenCache& DoneCache() {
+  static StepTokenCache* cache = new StepTokenCache("done");
+  return *cache;
+}
+StepTokenCache& FailCache() {
+  static StepTokenCache* cache = new StepTokenCache("fail");
+  return *cache;
+}
+StepTokenCache& CompCache() {
+  static StepTokenCache* cache = new StepTokenCache("comp");
+  return *cache;
+}
+
+}  // namespace
 
 std::string WorkflowStart() { return "WF.start"; }
 std::string WorkflowDone() { return "WF.done"; }
 std::string WorkflowAbort() { return "WF.abort"; }
+
+EventToken WorkflowStartToken() {
+  static const EventToken token = InternToken("WF.start");
+  return token;
+}
+EventToken WorkflowDoneToken() {
+  static const EventToken token = InternToken("WF.done");
+  return token;
+}
+EventToken WorkflowAbortToken() {
+  static const EventToken token = InternToken("WF.abort");
+  return token;
+}
 
 std::string StepDone(StepId step) {
   return "S" + std::to_string(step) + ".done";
@@ -22,24 +87,45 @@ std::string StepCompensated(StepId step) {
   return "S" + std::to_string(step) + ".comp";
 }
 
+EventToken StepDoneToken(StepId step) { return DoneCache().Get(step); }
+EventToken StepFailToken(StepId step) { return FailCache().Get(step); }
+EventToken StepCompensatedToken(StepId step) {
+  return CompCache().Get(step);
+}
+
 std::string RelativeOrder(const InstanceId& leading, StepId step) {
   return "RO:" + leading.ToString() + ":S" + std::to_string(step) + ".done";
+}
+
+EventToken RelativeOrderToken(const InstanceId& leading, StepId step) {
+  return InternToken(RelativeOrder(leading, step));
 }
 
 std::string MutexFree(const std::string& resource) {
   return "ME:" + resource + ".free";
 }
 
-StepId ParseStepEvent(const std::string& token, const std::string& suffix) {
+EventToken MutexFreeToken(const std::string& resource) {
+  return InternToken(MutexFree(resource));
+}
+
+StepId ParseStepEvent(std::string_view token, std::string_view suffix) {
   if (token.size() < 2 || token[0] != 'S') return kInvalidStep;
   size_t dot = token.find('.');
-  if (dot == std::string::npos || token.substr(dot + 1) != suffix) {
+  if (dot == std::string_view::npos || token.substr(dot + 1) != suffix) {
     return kInvalidStep;
   }
-  char* end = nullptr;
-  long id = strtol(token.c_str() + 1, &end, 10);
-  if (end != token.c_str() + dot || id <= 0) return kInvalidStep;
+  long id = 0;
+  auto [end, ec] =
+      std::from_chars(token.data() + 1, token.data() + dot, id);
+  if (ec != std::errc() || end != token.data() + dot || id <= 0) {
+    return kInvalidStep;
+  }
   return static_cast<StepId>(id);
+}
+
+StepId ParseStepEvent(EventToken token, std::string_view suffix) {
+  return ParseStepEvent(TokenName(token), suffix);
 }
 
 }  // namespace crew::rules::event

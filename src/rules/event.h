@@ -2,8 +2,10 @@
 #define CREW_RULES_EVENT_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/ids.h"
+#include "rules/token.h"
 
 namespace crew::rules {
 
@@ -13,6 +15,10 @@ namespace crew::rules {
 ///   S<k>.done, S<k>.fail, S<k>.comp      — step lifecycle
 ///   RO:<instance>:S<k>.done              — cross-instance ordering event
 ///   ME:<resource>.free                   — mutual-exclusion release
+///
+/// Hot-path call sites use the *Token variants, which return the interned
+/// EventToken without allocating (step tokens are served from a dense
+/// per-suffix cache); the string variants remain for wire/debug output.
 namespace event {
 
 std::string WorkflowStart();
@@ -22,16 +28,26 @@ std::string StepDone(StepId step);
 std::string StepFail(StepId step);
 std::string StepCompensated(StepId step);
 
+EventToken WorkflowStartToken();
+EventToken WorkflowDoneToken();
+EventToken WorkflowAbortToken();
+EventToken StepDoneToken(StepId step);
+EventToken StepFailToken(StepId step);
+EventToken StepCompensatedToken(StepId step);
+
 /// Relative-ordering precondition: the named step of the *leading*
 /// instance has completed. Delivered across instances via AddEvent().
 std::string RelativeOrder(const InstanceId& leading, StepId step);
+EventToken RelativeOrderToken(const InstanceId& leading, StepId step);
 
 /// Mutual-exclusion token: the named logical resource is free.
 std::string MutexFree(const std::string& resource);
+EventToken MutexFreeToken(const std::string& resource);
 
 /// Parses "S<k>.done" / "S<k>.fail" / "S<k>.comp"; returns kInvalidStep
 /// if `token` is not a step event of the given suffix.
-StepId ParseStepEvent(const std::string& token, const std::string& suffix);
+StepId ParseStepEvent(std::string_view token, std::string_view suffix);
+StepId ParseStepEvent(EventToken token, std::string_view suffix);
 
 }  // namespace event
 }  // namespace crew::rules

@@ -1,0 +1,50 @@
+#include "rules/token.h"
+
+#include <mutex>
+
+namespace crew::rules {
+
+TokenTable::~TokenTable() {
+  for (auto& chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
+}
+
+EventToken TokenTable::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;  // raced: interned meanwhile
+  uint32_t token = count_.load(std::memory_order_relaxed);
+  uint32_t chunk = token >> kChunkBits;
+  if (chunk >= kMaxChunks) return kInvalidEventToken;  // table full
+  std::string* block = chunks_[chunk].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new std::string[kChunkSize];
+    chunks_[chunk].store(block, std::memory_order_relaxed);
+  }
+  std::string& stored = block[token & (kChunkSize - 1)];
+  stored.assign(name);
+  index_.emplace(std::string_view(stored), token);
+  // Publish: the release store orders the slot write before any reader
+  // that observes the new count.
+  count_.store(token + 1, std::memory_order_release);
+  return token;
+}
+
+EventToken TokenTable::Find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidEventToken : it->second;
+}
+
+TokenTable& GlobalTokens() {
+  static TokenTable* table = new TokenTable();  // leaked: outlives statics
+  return *table;
+}
+
+}  // namespace crew::rules

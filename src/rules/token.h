@@ -1,0 +1,92 @@
+#ifndef CREW_RULES_TOKEN_H_
+#define CREW_RULES_TOKEN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace crew::rules {
+
+/// Interned event token: a dense process-wide id for one event-name
+/// string. All hot-path rule/event bookkeeping (rule triggers, event
+/// tables, inverted indexes, packet payloads) stores and compares these
+/// instead of strings; the spelled-out name only materializes at the
+/// wire/debug boundary.
+using EventToken = uint32_t;
+inline constexpr EventToken kInvalidEventToken = 0xFFFFFFFFu;
+
+/// Transparent hash so std::string-keyed maps can be probed with a
+/// string_view without allocating.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// String <-> EventToken interner. Tokens are assigned densely in
+/// first-intern order and never recycled, so a token is valid for the
+/// table's lifetime and Name() views stay stable. Thread-safe:
+/// interning and Find() take the mutex; Name() is lock-free — names
+/// live in fixed-size chunks that never move, and a token is published
+/// with a release store of the count after its chunk slot is written.
+class TokenTable {
+ public:
+  TokenTable() = default;
+  ~TokenTable();
+  TokenTable(const TokenTable&) = delete;
+  TokenTable& operator=(const TokenTable&) = delete;
+
+  /// Returns the token for `name`, interning it on first sight.
+  EventToken Intern(std::string_view name);
+
+  /// Returns the token for `name`, or kInvalidEventToken if it was never
+  /// interned. Never allocates.
+  EventToken Find(std::string_view name) const;
+
+  /// Spelled-out name of `token`; empty view for invalid tokens. The
+  /// view is valid for the table's lifetime. Lock-free.
+  std::string_view Name(EventToken token) const {
+    if (token >= count_.load(std::memory_order_acquire)) return {};
+    return chunks_[token >> kChunkBits].load(std::memory_order_relaxed)
+        [token & (kChunkSize - 1)];
+  }
+
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+
+ private:
+  static constexpr uint32_t kChunkBits = 10;
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+  static constexpr uint32_t kMaxChunks = 1u << 14;  // 16M tokens
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string_view, EventToken> index_;
+  /// token -> name, in kChunkSize-string blocks that never move or free
+  /// while the table lives (so Name() views stay valid).
+  std::atomic<std::string*> chunks_[kMaxChunks] = {};
+  std::atomic<uint32_t> count_ = 0;
+};
+
+/// The process-wide table every engine, instance table, and packet codec
+/// shares, so token ids agree across nodes of one simulation.
+TokenTable& GlobalTokens();
+
+inline EventToken InternToken(std::string_view name) {
+  return GlobalTokens().Intern(name);
+}
+inline EventToken FindToken(std::string_view name) {
+  return GlobalTokens().Find(name);
+}
+inline std::string_view TokenName(EventToken token) {
+  return GlobalTokens().Name(token);
+}
+inline std::string TokenNameStr(EventToken token) {
+  return std::string(GlobalTokens().Name(token));
+}
+
+}  // namespace crew::rules
+
+#endif  // CREW_RULES_TOKEN_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rules/event.h"
+
 namespace crew::runtime {
 
 void InstanceState::SetData(const std::string& item, Value value) {
@@ -60,7 +62,7 @@ bool InstanceState::MergeEvent(const EventOcc& event) {
   return false;
 }
 
-EventOcc InstanceState::PostLocalEvent(const std::string& token) {
+EventOcc InstanceState::PostLocalEvent(rules::EventToken token) {
   EventEntry& entry = events_[token];
   entry.occ += 1;
   entry.epoch = epoch_;
@@ -68,14 +70,17 @@ EventOcc InstanceState::PostLocalEvent(const std::string& token) {
   return EventOcc{token, entry.occ, entry.epoch};
 }
 
-std::vector<std::string> InstanceState::InvalidateDownstream(
+EventOcc InstanceState::PostLocalEvent(std::string_view token) {
+  return PostLocalEvent(rules::InternToken(token));
+}
+
+std::vector<rules::EventToken> InstanceState::InvalidateDownstream(
     StepId origin, int64_t new_epoch) {
-  std::vector<std::string> invalidated;
+  std::vector<rules::EventToken> invalidated;
   if (!schema_) return invalidated;
   for (StepId step : schema_->downstream_including(origin)) {
-    for (const std::string& token :
-         {std::string("S") + std::to_string(step) + ".done",
-          std::string("S") + std::to_string(step) + ".fail"}) {
+    for (rules::EventToken token : {rules::event::StepDoneToken(step),
+                                    rules::event::StepFailToken(step)}) {
       auto it = events_.find(token);
       if (it != events_.end() && it->second.valid &&
           it->second.epoch < new_epoch) {
@@ -89,15 +94,27 @@ std::vector<std::string> InstanceState::InvalidateDownstream(
 
 std::vector<EventOcc> InstanceState::ValidEvents() const {
   std::vector<EventOcc> out;
+  out.reserve(events_.size());
   for (const auto& [token, entry] : events_) {
     if (entry.valid) out.push_back(EventOcc{token, entry.occ, entry.epoch});
   }
+  // The table used to be a name-keyed std::map, so packets carried events
+  // in name order; sort by name to keep the wire order (and everything
+  // derived from it) byte-identical.
+  std::sort(out.begin(), out.end(), [](const EventOcc& a, const EventOcc& b) {
+    return a.name() < b.name();
+  });
   return out;
 }
 
-bool InstanceState::EventValid(const std::string& token) const {
+bool InstanceState::EventValid(rules::EventToken token) const {
   auto it = events_.find(token);
   return it != events_.end() && it->second.valid;
+}
+
+bool InstanceState::EventValid(std::string_view token) const {
+  rules::EventToken t = rules::FindToken(token);
+  return t != rules::kInvalidEventToken && EventValid(t);
 }
 
 void InstanceState::MergeRdLinks(const std::vector<RdLink>& links) {

@@ -4,6 +4,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -82,6 +84,7 @@ class InstanceState {
 
   // ---- event occurrence table ----
   /// Per-token occurrence tracking mirroring the packet's event entries.
+  /// Keyed by interned EventToken (see rules/token.h).
   struct EventEntry {
     int64_t occ = 0;
     int64_t epoch = 0;
@@ -94,19 +97,22 @@ class InstanceState {
   bool MergeEvent(const EventOcc& event);
 
   /// Posts a locally generated occurrence (occ+1 at the current epoch).
-  EventOcc PostLocalEvent(const std::string& token);
+  EventOcc PostLocalEvent(rules::EventToken token);
+  EventOcc PostLocalEvent(std::string_view token);  ///< interns
 
   /// Invalidates step.done/step.fail events of steps downstream of
   /// `origin` (inclusive) that were produced under an epoch older than
   /// `new_epoch`. Returns the invalidated tokens so the caller can
   /// Invalidate() them in the rule engine. WF-level events are untouched.
-  std::vector<std::string> InvalidateDownstream(StepId origin,
-                                                int64_t new_epoch);
+  std::vector<rules::EventToken> InvalidateDownstream(StepId origin,
+                                                      int64_t new_epoch);
 
-  /// All currently valid event occurrences (packet payload).
+  /// All currently valid event occurrences (packet payload), ordered by
+  /// token name (the wire order of the original string-keyed table).
   std::vector<EventOcc> ValidEvents() const;
 
-  bool EventValid(const std::string& token) const;
+  bool EventValid(rules::EventToken token) const;
+  bool EventValid(std::string_view token) const;
 
   // ---- relative ordering obligations ----
   void MergeRoLinks(const std::vector<RoLink>& links);
@@ -149,7 +155,7 @@ class InstanceState {
   std::map<StepId, std::vector<NodeId>> forwarded_;
   std::vector<RoLink> ro_links_;
   std::vector<RdLink> rd_links_;
-  std::map<std::string, EventEntry> events_;
+  std::unordered_map<rules::EventToken, EventEntry> events_;
   int64_t exec_seq_ = 0;
   int64_t epoch_ = 0;
   bool halted_ = false;

@@ -1,12 +1,13 @@
 #include "runtime/kv.h"
 
+#include <charconv>
 #include <cstdlib>
 
 #include "common/strings.h"
 
 namespace crew::runtime {
 
-KvWriter& KvWriter::Add(const std::string& key, const std::string& raw) {
+KvWriter& KvWriter::Add(std::string_view key, std::string_view raw) {
   buffer_ += key;
   buffer_ += '=';
   buffer_ += raw;
@@ -14,11 +15,24 @@ KvWriter& KvWriter::Add(const std::string& key, const std::string& raw) {
   return *this;
 }
 
-KvWriter& KvWriter::AddInt(const std::string& key, int64_t v) {
-  return Add(key, std::to_string(v));
+KvWriter& KvWriter::AddPrefixed(std::string_view prefix,
+                                std::string_view key,
+                                std::string_view raw) {
+  buffer_ += prefix;
+  buffer_ += key;
+  buffer_ += '=';
+  buffer_ += raw;
+  buffer_ += '\n';
+  return *this;
 }
 
-KvWriter& KvWriter::AddValue(const std::string& key, const Value& v) {
+KvWriter& KvWriter::AddInt(std::string_view key, int64_t v) {
+  char buf[24];
+  char* end = std::to_chars(buf, buf + sizeof(buf), v).ptr;
+  return Add(key, std::string_view(buf, static_cast<size_t>(end - buf)));
+}
+
+KvWriter& KvWriter::AddValue(std::string_view key, const Value& v) {
   return Add(key, v.ToString());
 }
 

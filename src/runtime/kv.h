@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -16,9 +17,16 @@ namespace crew::runtime {
 /// newlines must be escaped by the caller (Value::ToString already does).
 class KvWriter {
  public:
-  KvWriter& Add(const std::string& key, const std::string& raw);
-  KvWriter& AddInt(const std::string& key, int64_t v);
-  KvWriter& AddValue(const std::string& key, const Value& v);
+  KvWriter& Add(std::string_view key, std::string_view raw);
+  /// Emits "<prefix><key>=<raw>" without building the concatenated key.
+  KvWriter& AddPrefixed(std::string_view prefix, std::string_view key,
+                        std::string_view raw);
+  KvWriter& AddInt(std::string_view key, int64_t v);
+  KvWriter& AddValue(std::string_view key, const Value& v);
+
+  /// Pre-sizes the output buffer (callers that know their payload size
+  /// avoid repeated reallocation).
+  void Reserve(size_t bytes) { buffer_.reserve(bytes); }
 
   std::string Finish() const { return buffer_; }
 

@@ -1,5 +1,6 @@
 #include "runtime/packet.h"
 
+#include <charconv>
 #include <cstdlib>
 
 #include "common/strings.h"
@@ -53,7 +54,20 @@ Result<RdLink> RdLink::Parse(const std::string& text) {
 }
 
 std::string EventOcc::Serialize() const {
-  return token + "@" + std::to_string(occ) + "@" + std::to_string(epoch);
+  std::string out;
+  AppendTo(&out);
+  return out;
+}
+
+void EventOcc::AppendTo(std::string* out) const {
+  out->append(name());
+  char buf[48];
+  char* p = buf;
+  *p++ = '@';
+  p = std::to_chars(p, buf + sizeof(buf), occ).ptr;
+  *p++ = '@';
+  p = std::to_chars(p, buf + sizeof(buf), epoch).ptr;
+  out->append(buf, static_cast<size_t>(p - buf));
 }
 
 Result<EventOcc> EventOcc::Parse(const std::string& text) {
@@ -62,14 +76,14 @@ Result<EventOcc> EventOcc::Parse(const std::string& text) {
     return Status::Corruption("bad event occurrence: " + text);
   }
   size_t at1 = text.rfind('@', at2 - 1);
-  if (at1 == std::string::npos) {
+  if (at1 == std::string::npos || at1 == 0) {
     return Status::Corruption("bad event occurrence: " + text);
   }
   EventOcc e;
-  e.token = text.substr(0, at1);
+  e.token = rules::InternToken(std::string_view(text).substr(0, at1));
   e.occ = strtoll(text.c_str() + at1 + 1, nullptr, 10);
   e.epoch = strtoll(text.c_str() + at2 + 1, nullptr, 10);
-  if (e.token.empty() || e.occ <= 0) {
+  if (e.occ <= 0) {
     return Status::Corruption("bad event occurrence: " + text);
   }
   return e;
@@ -77,18 +91,39 @@ Result<EventOcc> EventOcc::Parse(const std::string& text) {
 
 std::string WorkflowPacket::Serialize() const {
   KvWriter w;
+  // Pre-size the buffer: fixed header plus a per-entry estimate (key,
+  // separators, and typical value widths) so growth never reallocates
+  // more than once for ordinary packets.
+  size_t estimate = 64 + instance.workflow.size();
+  for (const auto& [name, value] : data) {
+    (void)value;
+    estimate += name.size() + 24;
+  }
+  for (const EventOcc& e : events) estimate += e.name().size() + 16;
+  estimate += executed_by.size() * 16;
+  estimate += (ro_links.size() + rd_links.size()) *
+              (instance.workflow.size() + 28);
+  w.Reserve(estimate);
+
   w.Add("wf", instance.workflow);
   w.AddInt("inst", instance.number);
   w.AddInt("step", target_step);
   w.AddInt("epoch", epoch);
   for (const auto& [name, value] : data) {
-    w.Add("d." + name, value.ToString());
+    w.AddPrefixed("d.", name, value.ToString());
   }
+  std::string scratch;
   for (const EventOcc& e : events) {
-    w.Add("ev", e.Serialize());
+    scratch.clear();
+    e.AppendTo(&scratch);
+    w.Add("ev", scratch);
   }
+  char buf[32];
   for (const auto& [step, agent] : executed_by) {
-    w.Add("by", std::to_string(step) + ":" + std::to_string(agent));
+    char* p = std::to_chars(buf, buf + sizeof(buf), step).ptr;
+    *p++ = ':';
+    p = std::to_chars(p, buf + sizeof(buf), agent).ptr;
+    w.Add("by", std::string_view(buf, static_cast<size_t>(p - buf)));
   }
   for (const RoLink& link : ro_links) {
     w.Add(link.leading ? "ro_lead" : "ro_lag", link.Serialize());

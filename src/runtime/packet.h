@@ -3,11 +3,13 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
 #include "common/value.h"
+#include "rules/token.h"
 
 namespace crew::runtime {
 
@@ -55,12 +57,28 @@ struct RdLink {
 /// number at the producing instance (so loop iterations re-post and
 /// duplicate fan-out packets do not), and the epoch it was produced in
 /// (so halt-thread invalidation never kills newer-epoch events).
+///
+/// In memory the token is interned (rules::EventToken); the spelled-out
+/// name only exists on the wire — Parse() interns, Serialize()
+/// stringifies, and the wire format is unchanged.
 struct EventOcc {
-  std::string token;
+  rules::EventToken token = rules::kInvalidEventToken;
   int64_t occ = 1;
   int64_t epoch = 0;
 
+  EventOcc() = default;
+  EventOcc(rules::EventToken t, int64_t o, int64_t e)
+      : token(t), occ(o), epoch(e) {}
+  /// Convenience: interns `name` (tests and cold call sites).
+  EventOcc(std::string_view name, int64_t o, int64_t e)
+      : token(rules::InternToken(name)), occ(o), epoch(e) {}
+
+  /// Spelled-out token name.
+  std::string_view name() const { return rules::TokenName(token); }
+
   std::string Serialize() const;  // "token@occ@epoch"
+  /// Appends the wire form to `*out` without temporaries.
+  void AppendTo(std::string* out) const;
   static Result<EventOcc> Parse(const std::string& text);
 };
 

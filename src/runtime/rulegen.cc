@@ -28,10 +28,10 @@ expr::NodePtr ElseCondition(const model::CompiledSchema& schema,
 /// data producers (§4.2: "the rule may require other step.done events
 /// depending on which of the steps it gets its input data from").
 void AppendDataTriggers(const model::CompiledSchema& schema, StepId step,
-                        std::vector<std::string>* triggers) {
+                        std::vector<rules::EventToken>* triggers) {
   for (const model::DataArc& arc : schema.schema().data_arcs()) {
     if (arc.to != step) continue;
-    std::string token = rules::event::StepDone(arc.from);
+    rules::EventToken token = rules::event::StepDoneToken(arc.from);
     if (std::find(triggers->begin(), triggers->end(), token) ==
         triggers->end()) {
       triggers->push_back(token);
@@ -55,14 +55,14 @@ std::vector<rules::Rule> MakeStepRules(const model::CompiledSchema& schema,
       schema.forward_in(step).empty()) {
     rules::Rule rule;
     rule.id = prefix + "start";
-    rule.events = {rules::event::WorkflowStart()};
+    rule.events = {rules::event::WorkflowStartToken()};
     rule.action = {rules::ActionKind::kExecuteStep, step};
     out.push_back(std::move(rule));
   } else if (s.join == model::JoinKind::kAnd) {
     rules::Rule rule;
     rule.id = prefix + "join";
     for (const model::ControlArc* arc : schema.forward_in(step)) {
-      rule.events.push_back(rules::event::StepDone(arc->from));
+      rule.events.push_back(rules::event::StepDoneToken(arc->from));
     }
     AppendDataTriggers(schema, step, &rule.events);
     rule.action = {rules::ActionKind::kExecuteStep, step};
@@ -71,7 +71,7 @@ std::vector<rules::Rule> MakeStepRules(const model::CompiledSchema& schema,
     for (const model::ControlArc* arc : schema.forward_in(step)) {
       rules::Rule rule;
       rule.id = prefix + "via.S" + std::to_string(arc->from);
-      rule.events = {rules::event::StepDone(arc->from)};
+      rule.events = {rules::event::StepDoneToken(arc->from)};
       AppendDataTriggers(schema, step, &rule.events);
       if (arc->condition) {
         rule.condition = arc->condition;
@@ -87,7 +87,7 @@ std::vector<rules::Rule> MakeStepRules(const model::CompiledSchema& schema,
   for (const model::ControlArc* arc : schema.back_in(step)) {
     rules::Rule rule;
     rule.id = prefix + "loop.S" + std::to_string(arc->from);
-    rule.events = {rules::event::StepDone(arc->from)};
+    rule.events = {rules::event::StepDoneToken(arc->from)};
     rule.condition = arc->condition;
     rule.action = {rules::ActionKind::kExecuteStep, step};
     out.push_back(std::move(rule));

@@ -1,20 +1,26 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace crew::sim {
 
 void EventQueue::ScheduleAt(Time at, Callback fn) {
   if (at < now_) at = now_;  // clamp: never schedule into the past
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  if (heap_.capacity() == heap_.size()) {
+    // Simulations steady-state around a few thousand in-flight events;
+    // start with a generous block to skip the early doubling churn.
+    heap_.reserve(heap_.empty() ? 256 : heap_.size() * 2);
+  }
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::RunOne() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback handle (shared ownership inside std::function).
-  Entry top = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry top = std::move(heap_.back());
+  heap_.pop_back();
   now_ = top.at;
   top.fn();
   return true;
@@ -28,7 +34,7 @@ int64_t EventQueue::RunAll(int64_t max_events) {
 
 int64_t EventQueue::RunUntil(Time until) {
   int64_t n = 0;
-  while (!heap_.empty() && heap_.top().at <= until && RunOne()) ++n;
+  while (!heap_.empty() && heap_.front().at <= until && RunOne()) ++n;
   return n;
 }
 

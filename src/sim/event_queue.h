@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace crew::sim {
@@ -56,7 +55,11 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Binary heap managed with std::push_heap/std::pop_heap over a plain
+  /// vector: identical ordering to std::priority_queue, but the popped
+  /// entry can be *moved* out (priority_queue::top() is const, which
+  /// forces a copy of the std::function payload on every dispatch).
+  std::vector<Entry> heap_;
   Time now_ = 0;
   uint64_t next_seq_ = 0;
 };

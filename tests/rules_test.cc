@@ -17,7 +17,9 @@ Rule MakeRule(std::string id, std::vector<std::string> events,
               StepId step) {
   Rule rule;
   rule.id = std::move(id);
-  rule.events = std::move(events);
+  for (const std::string& event : events) {
+    rule.events.push_back(InternToken(event));
+  }
   rule.action = {ActionKind::kExecuteStep, step};
   return rule;
 }

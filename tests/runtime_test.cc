@@ -10,6 +10,7 @@
 #include "runtime/programs.h"
 #include "runtime/rulegen.h"
 #include "runtime/wire.h"
+#include "rules/event.h"
 
 namespace crew::runtime {
 namespace {
@@ -70,7 +71,7 @@ TEST(PacketTest, SerializeParseRoundTrip) {
   EXPECT_EQ(q.epoch, 2);
   EXPECT_EQ(q.data, p.data);
   ASSERT_EQ(q.events.size(), 2u);
-  EXPECT_EQ(q.events[1].token, "S1.done");
+  EXPECT_EQ(q.events[1].name(), "S1.done");
   EXPECT_EQ(q.events[1].occ, 2);
   EXPECT_EQ(q.events[1].epoch, 1);
   EXPECT_EQ(q.executed_by, p.executed_by);
@@ -223,8 +224,10 @@ TEST(InstanceTest, InvalidateDownstreamRespectsEpoch) {
   // Roll back to step 2 under epoch 1: S2/S3 events (epoch 0) die, S1
   // survives (not downstream of 2).
   state.set_epoch(1);
-  std::vector<std::string> killed = state.InvalidateDownstream(2, 1);
-  EXPECT_EQ(killed, (std::vector<std::string>{"S2.done", "S3.done"}));
+  std::vector<rules::EventToken> killed = state.InvalidateDownstream(2, 1);
+  EXPECT_EQ(killed,
+            (std::vector<rules::EventToken>{rules::event::StepDoneToken(2),
+                                            rules::event::StepDoneToken(3)}));
   EXPECT_TRUE(state.EventValid("S1.done"));
   EXPECT_FALSE(state.EventValid("S2.done"));
 
@@ -242,7 +245,7 @@ TEST(InstanceTest, MakePacketCarriesOnlyValidEvents) {
   state.InvalidateDownstream(2, 1);
   WorkflowPacket packet = state.MakePacket(3);
   ASSERT_EQ(packet.events.size(), 1u);
-  EXPECT_EQ(packet.events[0].token, "S1.done");
+  EXPECT_EQ(packet.events[0].name(), "S1.done");
   EXPECT_EQ(packet.epoch, 1);
 }
 
@@ -329,9 +332,11 @@ TEST(RulegenTest, SequentialRules) {
   std::vector<rules::Rule> all = MakeAllRules(*schema);
   ASSERT_EQ(all.size(), 3u);
   EXPECT_EQ(all[0].id, "exec.S1.start");
-  EXPECT_EQ(all[0].events, (std::vector<std::string>{"WF.start"}));
+  EXPECT_EQ(all[0].events, (std::vector<rules::EventToken>{
+                               rules::event::WorkflowStartToken()}));
   EXPECT_EQ(all[1].id, "exec.S2.via.S1");
-  EXPECT_EQ(all[2].events, (std::vector<std::string>{"S2.done"}));
+  EXPECT_EQ(all[2].events, (std::vector<rules::EventToken>{
+                               rules::event::StepDoneToken(2)}));
 }
 
 TEST(RulegenTest, ChoiceRulesGetConditions) {
@@ -367,7 +372,8 @@ TEST(RulegenTest, AndJoinWaitsForAllBranches) {
   std::vector<rules::Rule> join = MakeStepRules(*compiled.value(), s4);
   ASSERT_EQ(join.size(), 1u);
   EXPECT_EQ(join[0].events,
-            (std::vector<std::string>{"S2.done", "S3.done"}));
+            (std::vector<rules::EventToken>{rules::event::StepDoneToken(2),
+                                            rules::event::StepDoneToken(3)}));
 }
 
 TEST(RulegenTest, DataArcAddsTrigger) {
@@ -384,7 +390,8 @@ TEST(RulegenTest, DataArcAddsTrigger) {
   std::vector<rules::Rule> r3 = MakeStepRules(*compiled.value(), s3);
   ASSERT_EQ(r3.size(), 1u);
   EXPECT_EQ(r3[0].events,
-            (std::vector<std::string>{"S1.done", "S2.done"}));
+            (std::vector<rules::EventToken>{rules::event::StepDoneToken(1),
+                                            rules::event::StepDoneToken(2)}));
 }
 
 TEST(RulegenTest, LoopBackEdgeRule) {
