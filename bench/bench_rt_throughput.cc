@@ -1,0 +1,282 @@
+// Live-runtime throughput bench: sustained WorkflowStart traffic against
+// the real-thread backend (src/rt), one run per architecture. Reports
+// workflows/sec and wall-clock completion-latency percentiles (p50/p95/
+// p99) from the flight recorder's instance histogram, and writes the
+// machine-readable summary to BENCH_rt.json.
+//
+// Flags:
+//   --smoke        tiny workload (<2s total) for CI
+//   --workflows=N  instances per architecture (default 4000; smoke 250)
+//   --agents=N     agent count (default 4)
+//   --engines=N    parallel-control engine count (default 2)
+//   --json=PATH    output path (default BENCH_rt.json)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "central/system.h"
+#include "dist/system.h"
+#include "model/builder.h"
+#include "obs/trace.h"
+#include "parallel/system.h"
+#include "rt/runtime.h"
+
+namespace crew {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+constexpr int64_t kTickUs = 10;
+
+model::CompiledSchemaPtr JobSchema() {
+  model::SchemaBuilder b("Job");
+  StepId s1 = b.AddTask("T1", "noop");
+  StepId s2 = b.AddTask("T2", "noop");
+  StepId s3 = b.AddTask("T3", "noop");
+  StepId s4 = b.AddTask("T4", "noop");
+  b.Sequence({s1, s2, s3, s4});
+  auto compiled = model::CompiledSchema::Compile(std::move(b.Build()).value());
+  return compiled.value();
+}
+
+void SetEligibleRoundRobin(model::Deployment* deployment,
+                           const std::vector<NodeId>& ids,
+                           const model::CompiledSchema& schema) {
+  for (StepId s = 1; s <= schema.schema().num_steps(); ++s) {
+    std::vector<NodeId> agents = {ids[(s - 1) % ids.size()],
+                                  ids[s % ids.size()]};
+    std::sort(agents.begin(), agents.end());
+    deployment->SetEligible(schema.schema().name(), s, agents);
+  }
+}
+
+struct ArchResult {
+  std::string label;
+  int workflows = 0;
+  int64_t committed = 0;
+  double wall_ms = 0;
+  double wf_per_sec = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0, max_us = 0;
+  rt::RuntimeStats stats;
+  std::string metrics_json;
+};
+
+double Ticks2Us(double ticks) { return ticks * static_cast<double>(kTickUs); }
+
+ArchResult Summarize(const std::string& label, int workflows,
+                     int64_t committed,
+                     std::chrono::steady_clock::duration wall,
+                     const obs::RingBufferTracer& ring,
+                     const rt::Runtime& runtime) {
+  ArchResult r;
+  r.label = label;
+  r.workflows = workflows;
+  r.committed = committed;
+  r.wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(wall).count() /
+      1000.0;
+  r.wf_per_sec = r.wall_ms > 0 ? workflows / (r.wall_ms / 1000.0) : 0;
+  const obs::LatencyHistogram& h = ring.instance_latency();
+  r.p50_us = Ticks2Us(h.Percentile(50));
+  r.p95_us = Ticks2Us(h.Percentile(95));
+  r.p99_us = Ticks2Us(h.Percentile(99));
+  r.max_us = Ticks2Us(static_cast<double>(h.max()));
+  r.stats = runtime.Stats();
+  r.metrics_json = runtime.MergedMetrics().ReportJson();
+  return r;
+}
+
+void Print(const ArchResult& r) {
+  std::printf(
+      "%-12s %6d wf in %8.1f ms  => %9.0f wf/s   "
+      "latency p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus\n",
+      r.label.c_str(), r.workflows, r.wall_ms, r.wf_per_sec, r.p50_us,
+      r.p95_us, r.p99_us, r.max_us);
+  std::printf(
+      "             workers=%d delivered=%lld timers=%lld "
+      "mailbox_parks=%lld max_depth=%zu\n",
+      r.stats.num_workers,
+      static_cast<long long>(r.stats.messages_delivered),
+      static_cast<long long>(r.stats.timers_fired),
+      static_cast<long long>(r.stats.mailbox_parks),
+      r.stats.max_mailbox_depth);
+}
+
+std::string Json(const ArchResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"arch\":\"%s\",\"workflows\":%d,\"committed\":%lld,"
+      "\"wall_ms\":%.3f,\"wf_per_sec\":%.1f,"
+      "\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,"
+      "\"max\":%.1f},"
+      "\"rt\":{\"workers\":%d,\"delivered\":%lld,\"parked\":%lld,"
+      "\"timers\":%lld,\"mailbox_parks\":%lld,\"max_depth\":%zu},"
+      "\"metrics\":",
+      r.label.c_str(), r.workflows, static_cast<long long>(r.committed),
+      r.wall_ms, r.wf_per_sec, r.p50_us, r.p95_us, r.p99_us, r.max_us,
+      r.stats.num_workers,
+      static_cast<long long>(r.stats.messages_delivered),
+      static_cast<long long>(r.stats.messages_parked),
+      static_cast<long long>(r.stats.timers_fired),
+      static_cast<long long>(r.stats.mailbox_parks),
+      r.stats.max_mailbox_depth);
+  return std::string(buf) + r.metrics_json + "}";
+}
+
+ArchResult RunCentral(int workflows, int agents) {
+  obs::RingBufferTracer ring;
+  rt::Runtime runtime({.seed = kSeed, .tick_us = kTickUs, .tracer = &ring});
+  runtime::ProgramRegistry programs;
+  programs.RegisterBuiltins();
+  model::Deployment deployment;
+  runtime::CoordinationSpec coordination;
+  central::CentralSystem system(&runtime, &programs, &deployment,
+                                &coordination, agents);
+  auto schema = JobSchema();
+  SetEligibleRoundRobin(&deployment, system.agent_ids(), *schema);
+  system.engine().RegisterSchema(schema);
+  runtime.Start();
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 1; i <= workflows; ++i) {
+    runtime.Post(1, [&system, i]() {
+      (void)system.engine().StartWorkflow("Job", i, {});
+    });
+  }
+  runtime.Quiesce();
+  auto wall = std::chrono::steady_clock::now() - t0;
+  runtime.Shutdown();
+  return Summarize("central", workflows, system.engine().committed_count(),
+                   wall, ring, runtime);
+}
+
+ArchResult RunParallel(int workflows, int engines, int agents) {
+  obs::RingBufferTracer ring;
+  rt::Runtime runtime({.seed = kSeed, .tick_us = kTickUs, .tracer = &ring});
+  runtime::ProgramRegistry programs;
+  programs.RegisterBuiltins();
+  model::Deployment deployment;
+  runtime::CoordinationSpec coordination;
+  parallel::ParallelSystem system(&runtime, &programs, &deployment,
+                                  &coordination, engines, agents);
+  auto schema = JobSchema();
+  SetEligibleRoundRobin(&deployment, system.agent_ids(), *schema);
+  system.RegisterSchema(schema);
+  runtime.Start();
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 1; i <= workflows; ++i) {
+    NodeId owner = system.OwnerEngine({"Job", i});
+    runtime.Post(owner, [&system, i]() {
+      (void)system.StartWorkflow("Job", i, {});
+    });
+  }
+  runtime.Quiesce();
+  auto wall = std::chrono::steady_clock::now() - t0;
+  runtime.Shutdown();
+  return Summarize("parallel", workflows, system.committed_count(), wall,
+                   ring, runtime);
+}
+
+ArchResult RunDistributed(int workflows, int agents) {
+  obs::RingBufferTracer ring;
+  rt::Runtime runtime({.seed = kSeed, .tick_us = kTickUs, .tracer = &ring});
+  runtime::ProgramRegistry programs;
+  programs.RegisterBuiltins();
+  model::Deployment deployment;
+  runtime::CoordinationSpec coordination;
+  dist::AgentOptions options;
+  options.exec_latency = 1;
+  // Keep overdue-step probes out of a healthy run even when the machine
+  // stalls: 5000 ticks = 50ms at the bench tick rate.
+  options.pending_timeout = 5000;
+  dist::DistributedSystem system(&runtime, &programs, &deployment,
+                                 &coordination, agents, options);
+  auto schema = JobSchema();
+  SetEligibleRoundRobin(&deployment, system.agent_ids(), *schema);
+  system.RegisterSchema(schema);
+  runtime.Start();
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 1; i <= workflows; ++i) {
+    runtime.Post(kFrontEndNode, [&system]() {
+      (void)system.front_end().StartWorkflow("Job", {});
+    });
+  }
+  runtime.Quiesce();
+  auto wall = std::chrono::steady_clock::now() - t0;
+  runtime.Shutdown();
+  return Summarize("dist", workflows, system.committed_count(), wall, ring,
+                   runtime);
+}
+
+int Main(int argc, char** argv) {
+  int workflows = 4000;
+  int agents = 4;
+  int engines = 2;
+  std::string json_path = "BENCH_rt.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--workflows=", 0) == 0) {
+      workflows = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--agents=", 0) == 0) {
+      agents = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--engines=", 0) == 0) {
+      engines = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (smoke) workflows = 250;
+
+  std::printf("rt throughput: %d workflows/arch, %d agents, %d engines, "
+              "tick=%lldus\n",
+              workflows, agents, engines,
+              static_cast<long long>(kTickUs));
+  std::vector<ArchResult> results;
+  results.push_back(RunCentral(workflows, agents));
+  Print(results.back());
+  results.push_back(RunParallel(workflows, engines, agents));
+  Print(results.back());
+  results.push_back(RunDistributed(workflows, agents));
+  Print(results.back());
+
+  int failures = 0;
+  for (const ArchResult& r : results) {
+    if (r.committed != r.workflows) {
+      std::fprintf(stderr, "FAIL: %s committed %lld of %d workflows\n",
+                   r.label.c_str(), static_cast<long long>(r.committed),
+                   r.workflows);
+      ++failures;
+    }
+    if (r.stats.num_workers < 4) {
+      std::fprintf(stderr, "FAIL: %s ran on %d workers (< 4)\n",
+                   r.label.c_str(), r.stats.num_workers);
+      ++failures;
+    }
+  }
+
+  std::ofstream out(json_path);
+  out << "{\"bench\":\"rt_throughput\",\"smoke\":" << (smoke ? "true" : "false")
+      << ",\"tick_us\":" << kTickUs << ",\"runs\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out << ",";
+    out << Json(results[i]);
+  }
+  out << "]}\n";
+  out.close();
+  std::printf("wrote %s\n", json_path.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace crew
+
+int main(int argc, char** argv) { return crew::Main(argc, argv); }

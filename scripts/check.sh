@@ -3,16 +3,22 @@
 #
 #   scripts/check.sh                 # RelWithDebInfo into build/
 #   scripts/check.sh --sanitize      # ASan+UBSan into build-asan/
+#   scripts/check.sh --tsan          # ThreadSanitizer into build-tsan/
+#   CREW_SANITIZE=thread scripts/check.sh   # same as --tsan
 #   BUILD_DIR=out scripts/check.sh   # custom build directory
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 CMAKE_ARGS=()
-if [[ "${1:-}" == "--sanitize" ]]; then
+if [[ "${1:-}" == "--sanitize" || "${CREW_SANITIZE:-}" == "address" ]]; then
   BUILD_DIR="${BUILD_DIR:-build-asan}"
   CMAKE_ARGS+=(-DCREW_SANITIZE=ON)
-  shift
+  [[ "${1:-}" == "--sanitize" ]] && shift
+elif [[ "${1:-}" == "--tsan" || "${CREW_SANITIZE:-}" == "thread" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  CMAKE_ARGS+=(-DCREW_SANITIZE=thread)
+  [[ "${1:-}" == "--tsan" ]] && shift
 else
   BUILD_DIR="${BUILD_DIR:-build}"
 fi

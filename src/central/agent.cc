@@ -7,13 +7,13 @@
 
 namespace crew::central {
 
-ThinAgent::ThinAgent(NodeId id, sim::Simulator* simulator,
+ThinAgent::ThinAgent(NodeId id, sim::Context* context,
                      const runtime::ProgramRegistry* programs)
     : id_(id),
-      simulator_(simulator),
+      ctx_(context),
       programs_(programs),
-      rng_(simulator->rng().Fork()) {
-  simulator_->network().Register(id_, this);
+      rng_(context->rng().Fork()) {
+  ctx_->network().Register(id_, this);
 }
 
 void ThinAgent::HandleMessage(const sim::Message& message) {
@@ -49,7 +49,7 @@ void ThinAgent::HandleRunProgram(const sim::Message& message) {
     reply.agent_load = active_programs_;
     sim::Message out{id_, message.from, runtime::wi::kRunProgramReply,
                      reply.Serialize(), message.category};
-    (void)simulator_->network().Send(std::move(out));
+    (void)ctx_->network().Send(std::move(out));
     return;
   }
 
@@ -80,9 +80,9 @@ void ThinAgent::HandleRunProgram(const sim::Message& message) {
   }
   reply.agent_load = active_programs_;
   // The black-box program cost is charged at this agent.
-  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
+  ctx_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
                                 reply.cost);
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.Instant(obs::SpanKind::kProgram, id_, req.instance, req.step,
                req.compensation ? "program.compensate" : "program.run",
@@ -93,7 +93,7 @@ void ThinAgent::HandleRunProgram(const sim::Message& message) {
 
   sim::Message out{id_, message.from, runtime::wi::kRunProgramReply,
                    reply.Serialize(), message.category};
-  (void)simulator_->network().Send(std::move(out));
+  (void)ctx_->network().Send(std::move(out));
 }
 
 }  // namespace crew::central

@@ -15,7 +15,7 @@ namespace crew::central {
 /// acknowledge with their current load.
 class ThinAgent : public sim::MessageHandler {
  public:
-  ThinAgent(NodeId id, sim::Simulator* simulator,
+  ThinAgent(NodeId id, sim::Context* context,
             const runtime::ProgramRegistry* programs);
 
   ThinAgent(const ThinAgent&) = delete;
@@ -33,7 +33,7 @@ class ThinAgent : public sim::MessageHandler {
   void HandleRunProgram(const sim::Message& message);
 
   NodeId id_;
-  sim::Simulator* simulator_;
+  sim::Context* ctx_;
   const runtime::ProgramRegistry* programs_;
   Rng rng_;
   int64_t active_programs_ = 0;

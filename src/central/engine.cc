@@ -14,20 +14,20 @@ using runtime::StepRecord;
 using runtime::StepRunState;
 using runtime::WorkflowState;
 
-WorkflowEngine::WorkflowEngine(NodeId id, sim::Simulator* simulator,
+WorkflowEngine::WorkflowEngine(NodeId id, sim::Context* context,
                                const runtime::ProgramRegistry* programs,
                                const model::Deployment* deployment,
                                const runtime::CoordinationSpec* coordination,
                                EngineOptions options)
     : id_(id),
-      simulator_(simulator),
+      ctx_(context),
       programs_(programs),
       deployment_(deployment),
       coordination_(coordination),
       options_(std::move(options)),
       own_tracker_(coordination),
       wfdb_("wfdb-engine-" + std::to_string(id)) {
-  simulator_->network().Register(id_, this);
+  ctx_->network().Register(id_, this);
   if (!options_.wfdb_dir.empty()) {
     Status status = wfdb_.Recover(options_.wfdb_dir);
     if (status.ok()) status = wfdb_.OpenDurable(options_.wfdb_dir);
@@ -123,7 +123,7 @@ Status WorkflowEngine::StartWorkflow(const std::string& workflow,
   summary_[id] = WorkflowState::kExecuting;
   PersistInstanceStatus(*raw);
 
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.Begin(obs::SpanKind::kInstance, id_, id, kInvalidStep, "instance");
   }
@@ -157,11 +157,11 @@ void WorkflowEngine::ApplyRoBindings(Instance* inst) {
         CREW_LOG(Warn) << "RO binding found no rules for step S" << lag_step
                        << " of " << inst->state.id().ToString();
       }
-      simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+      ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                     options_.navigation_load);
       // RO wait span: ends when the ordering token is delivered. Keyed
       // by token (not lag step) so DeliverCoordinationEvent can close it.
-      obs::Tracer& tr = simulator_->tracer();
+      obs::Tracer& tr = ctx_->tracer();
       if (tr.enabled()) {
         tr.Begin(obs::SpanKind::kCoord, id_, inst->state.id(), kInvalidStep,
                  "ro.wait:" + rules::TokenNameStr(token),
@@ -201,14 +201,14 @@ void WorkflowEngine::DeliverCoordinationEvent(const InstanceId& instance,
   if (inst == nullptr) return;
   // Coordination tokens are one-shot; duplicates must not re-fire rules.
   if (inst->state.EventValid(event_token)) return;
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.End(obs::SpanKind::kCoord, id_, instance, kInvalidStep,
            "ro.wait:" + rules::TokenNameStr(event_token));
   }
   inst->state.PostLocalEvent(event_token);
   inst->rules.Post(event_token);
-  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+  ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                 options_.navigation_load);
   Pump(inst);
 }
@@ -220,7 +220,7 @@ void WorkflowEngine::NotifyRoWatchers(Instance* inst, StepId step) {
       std::move(it->second);
   ro_watch_.erase(it);
   for (const auto& [watcher, token] : watchers) {
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                   options_.navigation_load);
     if (Find(watcher) != nullptr) {
       DeliverCoordinationEvent(watcher, token);
@@ -234,7 +234,7 @@ void WorkflowEngine::SendEngineMessage(NodeId to, const std::string& type,
                                        const std::string& payload) {
   sim::Message out{id_, to, type, payload,
                    sim::MsgCategory::kCoordination};
-  (void)simulator_->network().Send(std::move(out));
+  (void)ctx_->network().Send(std::move(out));
 }
 
 void WorkflowEngine::BroadcastCoordination(Instance* inst,
@@ -277,7 +277,7 @@ void WorkflowEngine::LockReleaseLocal(const std::string& resource,
     return;
   }
   lock.held = false;
-  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+  ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                 options_.navigation_load);
   while (!lock.waiters.empty()) {
     auto [next_inst, next_step, next_engine] = lock.waiters.front();
@@ -313,7 +313,7 @@ bool WorkflowEngine::AcquireMutexes(Instance* inst, StepId step) {
   std::vector<const runtime::MutexReq*> reqs =
       coordination_->MutexesOf(inst->state.id().workflow, step);
   for (const runtime::MutexReq* req : reqs) {
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                   options_.navigation_load);
     NodeId owner = topology_ != nullptr
                        ? topology_->LockOwnerEngine(req->resource)
@@ -379,7 +379,7 @@ void WorkflowEngine::ChargeCoordination(Instance* inst) {
   int requirements =
       coordination_->RequirementCount(inst->state.id().workflow);
   if (requirements > 0) {
-    simulator_->metrics().AddLoad(
+    ctx_->metrics().AddLoad(
         id_, sim::LoadCategory::kCoordination,
         options_.navigation_load * requirements);
   }
@@ -411,13 +411,13 @@ void WorkflowEngine::StartStep(Instance* inst, StepId step) {
   inst->starting.insert(step);
 
   const model::Step& spec = inst->schema->schema().step(step);
-  simulator_->metrics().AddLoad(id_, LoadFor(inst->mode),
+  ctx_->metrics().AddLoad(id_, LoadFor(inst->mode),
                                 options_.navigation_load);
 
   // Step lifecycle span opens at scheduling time (first Begin wins, so a
   // lock-blocked re-entry keeps the original start and the span covers
   // the full wait).
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.Begin(obs::SpanKind::kStep, id_, inst->state.id(), step, "step",
              static_cast<int>(CategoryFor(inst->mode)));
@@ -542,7 +542,7 @@ void WorkflowEngine::DispatchProgram(Instance* inst, StepId step,
   NodeId chosen = kInvalidNode;
   int64_t best_load = INT64_MAX;
   for (NodeId agent : eligible) {
-    if (simulator_->network().IsNodeDown(agent)) continue;
+    if (ctx_->network().IsNodeDown(agent)) continue;
     int64_t load = 0;
     auto it = agent_load_.find(agent);
     if (it != agent_load_.end()) load = it->second;
@@ -555,7 +555,7 @@ void WorkflowEngine::DispatchProgram(Instance* inst, StepId step,
     // All eligible agents down: retry after their recovery window.
     record.in_flight = false;
     InstanceId id = inst->state.id();
-    simulator_->queue().ScheduleAfter(20, [this, id, step]() {
+    ctx_->queue().ScheduleAfter(20, [this, id, step]() {
       Instance* retry = Find(id);
       if (retry != nullptr && retry->status == WorkflowState::kExecuting) {
         StartStep(retry, step);
@@ -572,7 +572,7 @@ void WorkflowEngine::DispatchProgram(Instance* inst, StepId step,
   sim::MsgCategory category = record.attempts > 1
                                   ? CategoryFor(inst->mode)
                                   : sim::MsgCategory::kNormal;
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.Instant(obs::SpanKind::kStep, id_, inst->state.id(), step,
                "step.dispatch", record.attempts,
@@ -584,7 +584,7 @@ void WorkflowEngine::DispatchProgram(Instance* inst, StepId step,
   for (NodeId agent : eligible) {
     sim::Message out{id_, agent, runtime::wi::kRunProgram, msg.Serialize(),
                      category};
-    (void)simulator_->network().Send(std::move(out));
+    (void)ctx_->network().Send(std::move(out));
   }
 }
 
@@ -644,9 +644,9 @@ void WorkflowEngine::DispatchCompensation(Instance* inst, StepId step) {
                                               step)
                             .front();
   msg.designated = target;
-  simulator_->metrics().AddLoad(id_, LoadFor(inst->mode),
+  ctx_->metrics().AddLoad(id_, LoadFor(inst->mode),
                                 options_.navigation_load);
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.Begin(obs::SpanKind::kOcr, id_, inst->state.id(), step, "compensate",
              static_cast<int>(CategoryFor(inst->mode)),
@@ -654,7 +654,7 @@ void WorkflowEngine::DispatchCompensation(Instance* inst, StepId step) {
   }
   sim::Message out{id_, target, runtime::wi::kRunProgram, msg.Serialize(),
                    CategoryFor(inst->mode)};
-  (void)simulator_->network().Send(std::move(out));
+  (void)ctx_->network().Send(std::move(out));
 }
 
 void WorkflowEngine::HandleMessage(const sim::Message& message) {
@@ -705,7 +705,7 @@ void WorkflowEngine::OnCoordinationMessage(const sim::Message& message) {
     if (req.trigger_events.empty()) return;
     NodeId requester = static_cast<NodeId>(
         strtol(req.trigger_events[0].c_str(), nullptr, 10));
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                   options_.navigation_load);
     if (req.rule_id == "me.acquire") {
       if (LockAcquireLocal(req.condition_source, req.instance,
@@ -846,7 +846,7 @@ void WorkflowEngine::OnProgramReply(
 }
 
 void WorkflowEngine::OnStepDone(Instance* inst, StepId step, bool reused) {
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     if (reused) {
       tr.Instant(obs::SpanKind::kOcr, id_, inst->state.id(), step,
@@ -944,7 +944,7 @@ void WorkflowEngine::HandleBranchSwitch(Instance* inst, StepId split_step) {
 }
 
 void WorkflowEngine::OnStepFailed(Instance* inst, StepId step) {
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.End(obs::SpanKind::kStep, id_, inst->state.id(), step, "step",
            static_cast<int>(sim::MsgCategory::kFailureHandling), "failed");
@@ -1010,11 +1010,11 @@ void WorkflowEngine::Rollback(Instance* inst, StepId origin, Mode mode,
     inst->starting.erase(step);
     if (touched) {
       ++touched_steps;
-      simulator_->metrics().AddLoad(id_, LoadFor(mode),
+      ctx_->metrics().AddLoad(id_, LoadFor(mode),
                                     options_.navigation_load);
     }
   }
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.Instant(obs::SpanKind::kOcr, id_, inst->state.id(), origin,
                "rollback", touched_steps,
@@ -1030,7 +1030,7 @@ void WorkflowEngine::Rollback(Instance* inst, StepId origin, Mode mode,
   if (!rd_induced)
   for (const auto& [dependent, to_step] :
        tracker().RollbackDependents(inst->state.id(), origin)) {
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                   options_.navigation_load);
     if (tr.enabled()) {
       tr.Instant(obs::SpanKind::kCoord, id_, inst->state.id(), origin,
@@ -1055,7 +1055,7 @@ void WorkflowEngine::Rollback(Instance* inst, StepId origin, Mode mode,
 }
 
 void WorkflowEngine::OnCompensated(Instance* inst, StepId step) {
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.End(obs::SpanKind::kOcr, id_, inst->state.id(), step, "compensate");
   }
@@ -1106,7 +1106,7 @@ void WorkflowEngine::ResolveCoordinationAtEnd(Instance* inst) {
 }
 
 void WorkflowEngine::Commit(Instance* inst) {
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.End(obs::SpanKind::kInstance, id_, inst->state.id(), kInvalidStep,
            "instance", 0, "committed");
@@ -1145,7 +1145,7 @@ Status WorkflowEngine::AbortWorkflow(const InstanceId& instance) {
 }
 
 void WorkflowEngine::DoAbort(Instance* inst) {
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.End(obs::SpanKind::kInstance, id_, inst->state.id(), kInvalidStep,
            "instance", static_cast<int>(sim::MsgCategory::kAbort),
@@ -1187,7 +1187,7 @@ void WorkflowEngine::DoAbort(Instance* inst) {
            inst->state.FindStepRecord(b)->exec_seq;
   });
   for (StepId step : to_comp) {
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kAbort,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kAbort,
                                   options_.navigation_load);
     EnqueueCompensation(inst, step);
   }

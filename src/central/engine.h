@@ -57,7 +57,7 @@ class ParallelTopology {
 /// CoordinationPeer hook.
 class WorkflowEngine : public sim::MessageHandler {
  public:
-  WorkflowEngine(NodeId id, sim::Simulator* simulator,
+  WorkflowEngine(NodeId id, sim::Context* context,
                  const runtime::ProgramRegistry* programs,
                  const model::Deployment* deployment,
                  const runtime::CoordinationSpec* coordination,
@@ -230,7 +230,7 @@ class WorkflowEngine : public sim::MessageHandler {
   sim::LoadCategory LoadFor(Mode mode) const;
 
   NodeId id_;
-  sim::Simulator* simulator_;
+  sim::Context* ctx_;
   const runtime::ProgramRegistry* programs_;
   const model::Deployment* deployment_;
   const runtime::CoordinationSpec* coordination_;

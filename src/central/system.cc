@@ -2,21 +2,22 @@
 
 namespace crew::central {
 
-CentralSystem::CentralSystem(sim::Simulator* simulator,
+CentralSystem::CentralSystem(sim::Backend* backend,
                              const runtime::ProgramRegistry* programs,
                              const model::Deployment* deployment,
                              const runtime::CoordinationSpec* coordination,
                              int num_agents, EngineOptions options)
-    : simulator_(simulator) {
+    : engine_context_(backend->ContextFor(1)) {
   engine_ = std::make_unique<WorkflowEngine>(
-      /*id=*/1, simulator, programs, deployment, coordination,
+      /*id=*/1, engine_context_, programs, deployment, coordination,
       std::move(options));
-  simulator->tracer().SetNodeName(1, "engine-1");
+  engine_context_->tracer().SetNodeName(1, "engine-1");
   for (int i = 0; i < num_agents; ++i) {
     NodeId id = kFirstAgentId + i;
-    agents_.push_back(std::make_unique<ThinAgent>(id, simulator, programs));
+    sim::Context* context = backend->ContextFor(id);
+    agents_.push_back(std::make_unique<ThinAgent>(id, context, programs));
     agent_ids_.push_back(id);
-    simulator->tracer().SetNodeName(id, "agent-" + std::to_string(id));
+    context->tracer().SetNodeName(id, "agent-" + std::to_string(id));
   }
 }
 

@@ -17,16 +17,20 @@ namespace crew::central {
 /// Assembles a complete centralized-control deployment (Figure 6(a)):
 /// one engine (node 1) plus `num_agents` thin agents (nodes 2..). The
 /// caller owns the ProgramRegistry, Deployment, and CoordinationSpec.
+/// Construct over a sim::Simulator for virtual-time runs or an
+/// rt::Runtime for live multi-threaded execution.
 class CentralSystem {
  public:
-  CentralSystem(sim::Simulator* simulator,
+  CentralSystem(sim::Backend* backend,
                 const runtime::ProgramRegistry* programs,
                 const model::Deployment* deployment,
                 const runtime::CoordinationSpec* coordination,
                 int num_agents, EngineOptions options = {});
 
   WorkflowEngine& engine() { return *engine_; }
-  sim::Simulator& simulator() { return *simulator_; }
+  /// The engine node's execution context (shared global context under
+  /// sim; the engine worker's cell under rt).
+  sim::Context& context() { return *engine_context_; }
 
   /// Node ids of the agents, usable when building the Deployment.
   const std::vector<NodeId>& agent_ids() const { return agent_ids_; }
@@ -35,7 +39,7 @@ class CentralSystem {
   static constexpr NodeId kFirstAgentId = 2;
 
  private:
-  sim::Simulator* simulator_;
+  sim::Context* engine_context_;
   std::unique_ptr<WorkflowEngine> engine_;
   std::vector<std::unique_ptr<ThinAgent>> agents_;
   std::vector<NodeId> agent_ids_;

@@ -8,7 +8,9 @@
 namespace crew {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: the live runtime reads the level from every worker thread
+// while tests/examples may adjust it from the main thread.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::atomic<const int64_t*> g_virtual_clock{nullptr};
 std::mutex g_write_mutex;
 
@@ -30,9 +32,13 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel Logger::level() { return g_level; }
+LogLevel Logger::level() {
+  return g_level.load(std::memory_order_relaxed);
+}
 
-void Logger::set_level(LogLevel level) { g_level = level; }
+void Logger::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void Logger::SetVirtualClock(const int64_t* clock) {
   g_virtual_clock.store(clock, std::memory_order_release);
@@ -45,7 +51,7 @@ void Logger::ClearVirtualClock(const int64_t* clock) {
 }
 
 void Logger::Write(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   const int64_t* clock = g_virtual_clock.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(g_write_mutex);
   if (clock != nullptr) {

@@ -6,6 +6,17 @@
 
 namespace crew {
 
+/// One SplitMix64 step: mixes `x` into a well-distributed 64-bit value.
+/// Used to derive independent per-node RNG streams from a root seed so
+/// stream identity depends only on (seed, node), never on construction
+/// or thread order — the live runtime's determinism hinges on that.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic random source used throughout the simulator and the
 /// workload generator. Every experiment takes an explicit seed so runs
 /// are exactly reproducible.

@@ -14,21 +14,21 @@ using runtime::StepRecord;
 using runtime::StepRunState;
 using runtime::WorkflowState;
 
-Agent::Agent(NodeId id, sim::Simulator* simulator,
+Agent::Agent(NodeId id, sim::Context* context,
              const runtime::ProgramRegistry* programs,
              const model::Deployment* deployment,
              const runtime::CoordinationSpec* coordination,
              std::vector<NodeId> all_agents, AgentOptions options)
     : id_(id),
-      simulator_(simulator),
+      ctx_(context),
       programs_(programs),
       deployment_(deployment),
       coordination_(coordination),
       all_agents_(std::move(all_agents)),
       options_(std::move(options)),
-      rng_(simulator->rng().Fork()),
+      rng_(context->rng().Fork()),
       agdb_("agdb-" + std::to_string(id)) {
-  simulator_->network().Register(id_, this);
+  ctx_->network().Register(id_, this);
   if (!options_.agdb_dir.empty()) {
     Status status = agdb_.Recover(options_.agdb_dir);
     if (status.ok()) status = agdb_.OpenDurable(options_.agdb_dir);
@@ -78,13 +78,13 @@ void Agent::Send(NodeId to, const std::string& type,
     // that is still live on the call stack (a synchronous self-call
     // could, e.g., purge the instance the caller is working on).
     sim::Message self{id_, id_, type, payload, category};
-    simulator_->queue().ScheduleAfter(0, [this, self]() {
+    ctx_->queue().ScheduleAfter(0, [this, self]() {
       HandleMessage(self);
     });
     return;
   }
   sim::Message out{id_, to, type, payload, category};
-  Status status = simulator_->network().Send(std::move(out));
+  Status status = ctx_->network().Send(std::move(out));
   if (!status.ok()) {
     CREW_LOG(Error) << "agent " << id_ << " send failed: "
                     << status.ToString();
@@ -179,7 +179,7 @@ void Agent::OnWorkflowStart(const sim::Message& message) {
   coord.parent_step = msg.parent_step;
   summary_[msg.instance] = WorkflowState::kExecuting;
   // The coordination agent owns the instance's end-to-end span.
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.Begin(obs::SpanKind::kInstance, id_, msg.instance, kInvalidStep,
              "instance");
@@ -202,7 +202,7 @@ void Agent::OnWorkflowStart(const sim::Message& message) {
   runtime::EventOcc start =
       inst->state.PostLocalEvent(rules::event::WorkflowStartToken());
   inst->rules.Post(start.token);
-  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kNavigation,
+  ctx_->metrics().AddLoad(id_, sim::LoadCategory::kNavigation,
                                 options_.navigation_load);
   Pump(inst);
 }
@@ -249,7 +249,7 @@ void Agent::OnStepCompleted(const sim::Message& message) {
   for (const auto& [name, value] : msg.results) {
     coord.results[name] = value;
   }
-  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kNavigation,
+  ctx_->metrics().AddLoad(id_, sim::LoadCategory::kNavigation,
                                 options_.navigation_load);
   MaybeCommit(msg.instance);
 }
@@ -264,7 +264,7 @@ void Agent::MaybeCommit(const InstanceId& instance) {
     return;
   }
   // Committed: make it permanent and let everyone purge (§4.2).
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.End(obs::SpanKind::kInstance, id_, instance, kInvalidStep,
            "instance", 0, "committed");
@@ -400,7 +400,7 @@ void Agent::OnWorkflowAbort(const sim::Message& message) {
     }
     return;
   }
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.End(obs::SpanKind::kInstance, id_, instance, kInvalidStep,
            "instance", static_cast<int>(sim::MsgCategory::kAbort),
@@ -426,7 +426,7 @@ void Agent::OnWorkflowAbort(const sim::Message& message) {
   }
   for (StepId step = 1; step <= schema.num_steps(); ++step) {
     if (!schema.step(step).compensate_on_abort) continue;
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kAbort,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kAbort,
                                   options_.navigation_load);
     runtime::StepCompensateMsg comp;
     comp.instance = instance;
@@ -462,7 +462,7 @@ void Agent::OnWorkflowAbort(const sim::Message& message) {
   }
   // Purge later so in-flight compensations still find their state.
   InstanceId copy = instance;
-  simulator_->queue().ScheduleAfter(options_.purge_delay, [this, copy]() {
+  ctx_->queue().ScheduleAfter(options_.purge_delay, [this, copy]() {
     BroadcastPurge(copy);
   });
 }
@@ -502,7 +502,7 @@ void Agent::OnWorkflowChangeInputs(const sim::Message& message) {
   relay.origin_step = origin;
   for (NodeId agent :
        deployment_->Eligible(msg.instance.workflow, origin)) {
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kInputChange,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kInputChange,
                                   options_.navigation_load);
     Send(agent, runtime::wi::kInputsChanged, relay.Serialize(),
            sim::MsgCategory::kInputChange);
@@ -558,7 +558,7 @@ void Agent::OnStepExecute(const sim::Message& message) {
     }
   }
   ApplyRoGating(inst);
-  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kNavigation,
+  ctx_->metrics().AddLoad(id_, sim::LoadCategory::kNavigation,
                                 options_.navigation_load);
 
   // Comp-dep-set resume: the chain finished and handed execution back.
@@ -654,7 +654,7 @@ bool Agent::ElectedExecutor(AgentInstance* inst, StepId step) {
   if (it != inst->state.executed_by().end()) {
     if (std::find(eligible.begin(), eligible.end(), it->second) !=
         eligible.end()) {
-      if (!simulator_->network().IsNodeDown(it->second)) {
+      if (!ctx_->network().IsNodeDown(it->second)) {
         return it->second == id_;
       }
     }
@@ -676,7 +676,7 @@ bool Agent::ElectedExecutor(AgentInstance* inst, StepId step) {
   }
   std::vector<NodeId> up;
   for (NodeId agent : eligible) {
-    if (!simulator_->network().IsNodeDown(agent)) up.push_back(agent);
+    if (!ctx_->network().IsNodeDown(agent)) up.push_back(agent);
   }
   if (up.empty()) up = eligible;
   size_t index =
@@ -694,7 +694,7 @@ void Agent::StartStepLocal(AgentInstance* inst, StepId step) {
   inst->starting.insert(step);
   const model::Step& spec = inst->schema->schema().step(step);
 
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.Begin(obs::SpanKind::kStep, id_, inst->state.id(), step, "step",
              static_cast<int>(inst->mode));
@@ -802,7 +802,7 @@ void Agent::StartStepLocal(AgentInstance* inst, StepId step) {
         inst->awaiting_comp_resume.erase(step);
         return;
       }
-      simulator_->metrics().AddLoad(
+      ctx_->metrics().AddLoad(
           id_, sim::LoadCategory::kFailureHandling,
           options_.navigation_load);
       Send(first, runtime::wi::kCompensateSet, msg.Serialize(),
@@ -844,18 +844,18 @@ void Agent::RunProgramLocal(AgentInstance* inst, StepId step,
   int64_t epoch = inst->state.epoch();
   std::map<std::string, Value> inputs_snapshot = context.inputs;
   {
-    obs::Tracer& tr = simulator_->tracer();
+    obs::Tracer& tr = ctx_->tracer();
     if (tr.enabled()) {
       tr.Begin(obs::SpanKind::kProgram, id_, instance, step, "program", 0,
                spec.program);
     }
   }
-  simulator_->queue().ScheduleAfter(
+  ctx_->queue().ScheduleAfter(
       options_.exec_latency,
       [this, instance, step, epoch, success, cost, outputs,
        inputs_snapshot]() {
         --active_programs_;
-        obs::Tracer& tr = simulator_->tracer();
+        obs::Tracer& tr = ctx_->tracer();
         if (tr.enabled()) {
           tr.End(obs::SpanKind::kProgram, id_, instance, step, "program", 0,
                  success ? "" : "failed");
@@ -863,7 +863,7 @@ void Agent::RunProgramLocal(AgentInstance* inst, StepId step,
         AgentInstance* inst = FindInstance(instance);
         if (inst == nullptr) return;
         StepRecord& record = inst->state.step_record(step);
-        if (simulator_->network().IsNodeDown(id_)) {
+        if (ctx_->network().IsNodeDown(id_)) {
           // This agent crashed mid-step: the work is lost. The
           // predecessor-failure protocol (§5.2) recovers query steps at
           // other agents; update steps resume when we come back and the
@@ -874,7 +874,7 @@ void Agent::RunProgramLocal(AgentInstance* inst, StepId step,
         if (inst->state.epoch() != epoch) return;  // halted meanwhile
         if (!record.in_flight) return;  // reset by a halt
         record.in_flight = false;
-        simulator_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
+        ctx_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
                                       cost);
         if (success) {
           const std::string prefix = "S" + std::to_string(step) + ".";
@@ -917,7 +917,7 @@ void Agent::PersistStepRecord(const InstanceId& instance, StepId step) {
 
 void Agent::OnStepDoneLocal(AgentInstance* inst, StepId step,
                             bool first_execution) {
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.End(obs::SpanKind::kStep, id_, inst->state.id(), step, "step", 0,
            "done");
@@ -940,7 +940,7 @@ void Agent::OnStepDoneLocal(AgentInstance* inst, StepId step,
   int requirements =
       coordination_->RequirementCount(inst->state.id().workflow);
   if (requirements > 0) {
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                   options_.navigation_load * requirements);
   }
 
@@ -1052,7 +1052,7 @@ void Agent::HandleBranchSwitch(AgentInstance* inst, StepId split_step) {
       if (!eligible.empty()) target = eligible.front();
     }
     if (target != kInvalidNode) {
-      simulator_->metrics().AddLoad(
+      ctx_->metrics().AddLoad(
           id_, sim::LoadCategory::kFailureHandling,
           options_.navigation_load);
       Send(target, runtime::wi::kCompensateThread, msg.Serialize(),
@@ -1067,7 +1067,7 @@ void Agent::HandleBranchSwitch(AgentInstance* inst, StepId split_step) {
 // ---------------------------------------------------------------------
 
 void Agent::OnStepFailedLocal(AgentInstance* inst, StepId step) {
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     tr.End(obs::SpanKind::kStep, id_, inst->state.id(), step, "step",
            static_cast<int>(sim::MsgCategory::kFailureHandling), "failed");
@@ -1089,7 +1089,7 @@ void Agent::OnStepFailedLocal(AgentInstance* inst, StepId step) {
     runtime::WorkflowAbortMsg abort;
     abort.instance = inst->state.id();
     NodeId coordination_agent = CoordinationAgentOf(*inst);
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
                                   options_.navigation_load);
     Send(coordination_agent, runtime::wi::kWorkflowAbort,
            abort.Serialize(), sim::MsgCategory::kAbort);
@@ -1114,7 +1114,7 @@ void Agent::OnStepFailedLocal(AgentInstance* inst, StepId step) {
     if (!eligible.empty()) target = eligible.front();
   }
   if (target == kInvalidNode) return;
-  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
+  ctx_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
                                 options_.navigation_load);
   inst->mode = sim::MsgCategory::kFailureHandling;
   Send(target, runtime::wi::kWorkflowRollback, msg.Serialize(),
@@ -1145,7 +1145,7 @@ void Agent::OnWorkflowRollback(const sim::Message& message) {
   // Rollback dependencies: this instance leads rd-linked dependents.
   for (const runtime::RdLink& link : inst->state.rd_links()) {
     if (msg.origin_step > link.my_step) continue;
-    obs::Tracer& tr = simulator_->tracer();
+    obs::Tracer& tr = ctx_->tracer();
     if (tr.enabled()) {
       tr.Instant(obs::SpanKind::kCoord, id_, inst->state.id(),
                  msg.origin_step, "rd.trigger", link.other_step,
@@ -1160,7 +1160,7 @@ void Agent::OnWorkflowRollback(const sim::Message& message) {
     const std::vector<NodeId>& eligible =
         deployment_->Eligible(link.other.workflow, link.other_step);
     for (NodeId agent : eligible) {
-      simulator_->metrics().AddLoad(
+      ctx_->metrics().AddLoad(
           id_, sim::LoadCategory::kCoordination, options_.navigation_load);
       if (agent == id_) continue;
       Send(agent, runtime::wi::kWorkflowRollback, dep.Serialize(),
@@ -1227,12 +1227,12 @@ void Agent::LocalHalt(AgentInstance* inst, StepId origin,
       ++touched_steps;
       // Recovery work is charged per step actually rolled back (the
       // paper's l·r accounting), not per reachable step.
-      simulator_->metrics().AddLoad(
+      ctx_->metrics().AddLoad(
           id_, sim::LoadCategory::kFailureHandling,
           options_.navigation_load);
     }
   }
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     // One "halt" instant per node touched by the rollback; its value is
     // that node's share of rolled-back steps (rollback-depth histogram).
@@ -1304,16 +1304,16 @@ void Agent::CompensateLocal(AgentInstance* inst, StepId step,
                               spec.ocr.partial_compensation_fraction);
   InstanceId instance = inst->state.id();
   {
-    obs::Tracer& tr = simulator_->tracer();
+    obs::Tracer& tr = ctx_->tracer();
     if (tr.enabled()) {
       tr.Begin(obs::SpanKind::kOcr, id_, instance, step, "compensate",
                static_cast<int>(sim::MsgCategory::kFailureHandling),
                program);
     }
   }
-  simulator_->queue().ScheduleAfter(
+  ctx_->queue().ScheduleAfter(
       options_.exec_latency, [this, instance, step, cost, then]() {
-        obs::Tracer& tr = simulator_->tracer();
+        obs::Tracer& tr = ctx_->tracer();
         if (tr.enabled()) {
           tr.End(obs::SpanKind::kOcr, id_, instance, step, "compensate");
         }
@@ -1321,7 +1321,7 @@ void Agent::CompensateLocal(AgentInstance* inst, StepId step,
         if (inst == nullptr) return;
         StepRecord& record = inst->state.step_record(step);
         record.state = StepRunState::kCompensated;
-        simulator_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
+        ctx_->metrics().AddLoad(id_, sim::LoadCategory::kProgram,
                                       cost);
         runtime::EventOcc comp = inst->state.PostLocalEvent(
             rules::event::StepCompensatedToken(step));
@@ -1346,9 +1346,9 @@ void Agent::OnCompensateSet(const sim::Message& message) {
   msg.remaining.erase(msg.remaining.begin());
   AgentInstance* inst = GetOrCreateInstance(msg.instance);
   if (inst == nullptr) return;
-  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
+  ctx_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
                                 options_.navigation_load);
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     // Compensation-set traversal: one instant per visited member, value
     // is how many members remain after this one.
@@ -1393,7 +1393,7 @@ void Agent::OnCompensateThread(const sim::Message& message) {
   const runtime::CompensateThreadMsg& msg = parsed.value();
   AgentInstance* inst = FindInstance(msg.instance);
   if (inst == nullptr) return;
-  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
+  ctx_->metrics().AddLoad(id_, sim::LoadCategory::kFailureHandling,
                                 options_.navigation_load);
 
   InstanceId instance = msg.instance;
@@ -1448,7 +1448,7 @@ void Agent::ApplyRoGating(AgentInstance* inst) {
         rules::event::RelativeOrderToken(link.other, link.other_step);
     // RO wait span: opens when the gate is installed, closes when the
     // ordering token posts (here or in OnAddEvent).
-    obs::Tracer& tr = simulator_->tracer();
+    obs::Tracer& tr = ctx_->tracer();
     if (tr.enabled() && !inst->state.EventValid(token)) {
       tr.Begin(obs::SpanKind::kCoord, id_, inst->state.id(), kInvalidStep,
                "ro.wait:" + rules::TokenNameStr(token),
@@ -1468,7 +1468,7 @@ void Agent::ApplyRoGating(AgentInstance* inst) {
       continue;
     }
     if (inst->ro_registered.insert(token).second) {
-      simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+      ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                     options_.navigation_load);
       if (ended_instances_.count(link.other) > 0) {
         // Leading instance already finished: ordering holds trivially.
@@ -1511,7 +1511,7 @@ void Agent::OnAddRule(const sim::Message& message) {
                                  10));
     const std::string& resource = msg.condition_source;
     LockState& lock = locks_[resource];
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                   options_.navigation_load);
     if (msg.rule_id == "me.acquire") {
       if (!lock.held) {
@@ -1557,7 +1557,7 @@ void Agent::OnAddRule(const sim::Message& message) {
                           : static_cast<NodeId>(strtol(
                                 msg.trigger_events[0].c_str(), nullptr,
                                 10));
-  simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+  ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                 options_.navigation_load);
   if (ended_instances_.count(msg.instance) > 0) {
     runtime::AddEventMsg notify;
@@ -1588,7 +1588,7 @@ void Agent::NotifyRoRegistrants(const InstanceId& instance, StepId step) {
       std::move(it->second);
   ro_registrations_.erase(it);
   for (const auto& [registrant, token] : registrants) {
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                   options_.navigation_load);
     runtime::AddEventMsg notify;
     notify.instance = instance;
@@ -1654,7 +1654,7 @@ void Agent::OnAddEvent(const sim::Message& message) {
       delivered = true;
       continue;
     }
-    obs::Tracer& tr = simulator_->tracer();
+    obs::Tracer& tr = ctx_->tracer();
     if (tr.enabled()) {
       tr.End(obs::SpanKind::kCoord, id_, id, kInvalidStep,
              "ro.wait:" + token);
@@ -1683,7 +1683,7 @@ bool Agent::AcquireMutexesDistributed(AgentInstance* inst, StepId step) {
   std::vector<const runtime::MutexReq*> reqs =
       coordination_->MutexesOf(inst->state.id().workflow, step);
   for (const runtime::MutexReq* req : reqs) {
-    simulator_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
+    ctx_->metrics().AddLoad(id_, sim::LoadCategory::kCoordination,
                                   options_.navigation_load);
     std::pair<StepId, std::string> key{step, req->resource};
     if (inst->me_granted.count(key) > 0) continue;
@@ -1780,7 +1780,7 @@ void Agent::LaunchSubWorkflow(AgentInstance* inst, StepId step) {
 
 void Agent::SchedulePendingCheck(const InstanceId& instance) {
   InstanceId copy = instance;
-  simulator_->queue().ScheduleAfter(options_.pending_timeout,
+  ctx_->queue().ScheduleAfter(options_.pending_timeout,
                                     [this, copy]() {
                                       CheckPendingRules(copy);
                                     });
@@ -1835,10 +1835,10 @@ void Agent::CheckPendingRules(const InstanceId& instance) {
     // Rate-limit: at most one poll per step per timeout window.
     auto last = last_poll_.find(key);
     if (last != last_poll_.end() &&
-        simulator_->now() - last->second < options_.pending_timeout) {
+        ctx_->now() - last->second < options_.pending_timeout) {
       continue;
     }
-    last_poll_[key] = simulator_->now();
+    last_poll_[key] = ctx_->now();
     StatusPoll poll;
     poll.instance = instance;
     poll.step = step;
@@ -1847,7 +1847,7 @@ void Agent::CheckPendingRules(const InstanceId& instance) {
     for (NodeId agent : eligible) {
       // Down agents are unreachable — the failure detector the paper
       // assumes; their silence is what the protocol reacts to.
-      if (simulator_->network().IsNodeDown(agent)) {
+      if (ctx_->network().IsNodeDown(agent)) {
         ++poll.skipped_down;
         continue;
       }
@@ -1942,7 +1942,7 @@ void Agent::ResolvePoll(const StatusPoll& poll) {
       deployment_->Eligible(poll.instance.workflow, step);
   std::vector<NodeId> up;
   for (NodeId agent : eligible) {
-    if (!simulator_->network().IsNodeDown(agent)) up.push_back(agent);
+    if (!ctx_->network().IsNodeDown(agent)) up.push_back(agent);
   }
   if (up.empty()) {
     SchedulePendingCheck(poll.instance);

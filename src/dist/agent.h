@@ -58,7 +58,7 @@ struct AgentOptions {
 /// arrive as messages and are dispatched in HandleMessage.
 class Agent : public sim::MessageHandler {
  public:
-  Agent(NodeId id, sim::Simulator* simulator,
+  Agent(NodeId id, sim::Context* context,
         const runtime::ProgramRegistry* programs,
         const model::Deployment* deployment,
         const runtime::CoordinationSpec* coordination,
@@ -195,7 +195,7 @@ class Agent : public sim::MessageHandler {
   NodeId MutexArbiter(const runtime::MutexReq& req) const;
 
   NodeId id_;
-  sim::Simulator* simulator_;
+  sim::Context* ctx_;
   const runtime::ProgramRegistry* programs_;
   const model::Deployment* deployment_;
   const runtime::CoordinationSpec* coordination_;

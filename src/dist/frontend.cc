@@ -6,14 +6,14 @@
 
 namespace crew::dist {
 
-FrontEnd::FrontEnd(NodeId id, sim::Simulator* simulator,
+FrontEnd::FrontEnd(NodeId id, sim::Context* context,
                    const model::Deployment* deployment,
                    const runtime::CoordinationSpec* coordination)
     : id_(id),
-      simulator_(simulator),
+      ctx_(context),
       deployment_(deployment),
       tracker_(coordination) {
-  simulator_->network().Register(id_, this);
+  ctx_->network().Register(id_, this);
 }
 
 void FrontEnd::RegisterSchema(model::CompiledSchemaPtr schema) {
@@ -54,7 +54,7 @@ Result<InstanceId> FrontEnd::StartWorkflow(
   }
 
   statuses_[msg.instance] = runtime::WorkflowState::kExecuting;
-  obs::Tracer& tr = simulator_->tracer();
+  obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
     // End-to-end span as the submitter sees it: closes when a status
     // reply first reports the instance committed or aborted. Named
@@ -66,7 +66,7 @@ Result<InstanceId> FrontEnd::StartWorkflow(
   sim::Message out{id_, coordination_agent.value(),
                    runtime::wi::kWorkflowStart, msg.Serialize(),
                    sim::MsgCategory::kAdmin};
-  CREW_RETURN_IF_ERROR(simulator_->network().Send(std::move(out)));
+  CREW_RETURN_IF_ERROR(ctx_->network().Send(std::move(out)));
   return msg.instance;
 }
 
@@ -79,7 +79,7 @@ Status FrontEnd::RequestAbort(const InstanceId& instance) {
   sim::Message out{id_, coordination_agent.value(),
                    runtime::wi::kWorkflowAbort, msg.Serialize(),
                    sim::MsgCategory::kAdmin};
-  return simulator_->network().Send(std::move(out));
+  return ctx_->network().Send(std::move(out));
 }
 
 Status FrontEnd::RequestChangeInputs(
@@ -93,7 +93,7 @@ Status FrontEnd::RequestChangeInputs(
   sim::Message out{id_, coordination_agent.value(),
                    runtime::wi::kWorkflowChangeInputs, msg.Serialize(),
                    sim::MsgCategory::kAdmin};
-  return simulator_->network().Send(std::move(out));
+  return ctx_->network().Send(std::move(out));
 }
 
 Status FrontEnd::RequestStatus(const InstanceId& instance) {
@@ -106,7 +106,7 @@ Status FrontEnd::RequestStatus(const InstanceId& instance) {
   sim::Message out{id_, coordination_agent.value(),
                    runtime::wi::kWorkflowStatus, msg.Serialize(),
                    sim::MsgCategory::kAdmin};
-  return simulator_->network().Send(std::move(out));
+  return ctx_->network().Send(std::move(out));
 }
 
 runtime::WorkflowState FrontEnd::KnownStatus(
@@ -143,7 +143,7 @@ void FrontEnd::HandleMessage(const sim::Message& message) {
         sim::Message out{id_, agent, runtime::wi::kWorkflowRollback,
                          rollback.Serialize(),
                          sim::MsgCategory::kCoordination};
-        (void)simulator_->network().Send(std::move(out));
+        (void)ctx_->network().Send(std::move(out));
       }
     }
     return;
@@ -161,7 +161,7 @@ void FrontEnd::HandleMessage(const sim::Message& message) {
   if (previous != msg.state) {
     if (msg.state == runtime::WorkflowState::kCommitted ||
         msg.state == runtime::WorkflowState::kAborted) {
-      obs::Tracer& tr = simulator_->tracer();
+      obs::Tracer& tr = ctx_->tracer();
       if (tr.enabled()) {
         tr.End(obs::SpanKind::kInstance, id_, msg.instance, kInvalidStep,
                "instance.e2e", 0,

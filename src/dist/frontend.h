@@ -25,7 +25,7 @@ namespace crew::dist {
 /// instances against the live instance set.
 class FrontEnd : public sim::MessageHandler {
  public:
-  FrontEnd(NodeId id, sim::Simulator* simulator,
+  FrontEnd(NodeId id, sim::Context* context,
            const model::Deployment* deployment,
            const runtime::CoordinationSpec* coordination);
 
@@ -56,7 +56,7 @@ class FrontEnd : public sim::MessageHandler {
   Result<NodeId> CoordinationAgentFor(const std::string& workflow) const;
 
   NodeId id_;
-  sim::Simulator* simulator_;
+  sim::Context* ctx_;
   const model::Deployment* deployment_;
   runtime::ConflictTracker tracker_;
   std::map<std::string, model::CompiledSchemaPtr> schemas_;

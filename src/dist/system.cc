@@ -3,23 +3,25 @@
 namespace crew::dist {
 
 DistributedSystem::DistributedSystem(
-    sim::Simulator* simulator, const runtime::ProgramRegistry* programs,
+    sim::Backend* backend, const runtime::ProgramRegistry* programs,
     const model::Deployment* deployment,
     const runtime::CoordinationSpec* coordination, int num_agents,
     AgentOptions options)
-    : simulator_(simulator), deployment_(deployment) {
-  front_end_ = std::make_unique<FrontEnd>(kFrontEndNode, simulator,
+    : deployment_(deployment) {
+  sim::Context* front_context = backend->ContextFor(kFrontEndNode);
+  front_end_ = std::make_unique<FrontEnd>(kFrontEndNode, front_context,
                                           deployment, coordination);
-  simulator->tracer().SetNodeName(kFrontEndNode, "front-end-0");
+  front_context->tracer().SetNodeName(kFrontEndNode, "front-end-0");
   for (int i = 0; i < num_agents; ++i) {
     agent_ids_.push_back(1 + i);
-    simulator->tracer().SetNodeName(1 + i,
-                                    "agent-" + std::to_string(1 + i));
   }
   for (int i = 0; i < num_agents; ++i) {
+    NodeId id = 1 + i;
+    sim::Context* context = backend->ContextFor(id);
     agents_.push_back(std::make_unique<Agent>(
-        1 + i, simulator, programs, deployment, coordination, agent_ids_,
+        id, context, programs, deployment, coordination, agent_ids_,
         options));
+    context->tracer().SetNodeName(id, "agent-" + std::to_string(id));
   }
 }
 

@@ -16,7 +16,7 @@ namespace crew::dist {
 /// is no central engine.
 class DistributedSystem {
  public:
-  DistributedSystem(sim::Simulator* simulator,
+  DistributedSystem(sim::Backend* backend,
                     const runtime::ProgramRegistry* programs,
                     const model::Deployment* deployment,
                     const runtime::CoordinationSpec* coordination,
@@ -40,7 +40,6 @@ class DistributedSystem {
   int64_t aborted_count() const;
 
  private:
-  sim::Simulator* simulator_;
   const model::Deployment* deployment_;
   std::unique_ptr<FrontEnd> front_end_;
   std::vector<std::unique_ptr<Agent>> agents_;

@@ -76,7 +76,10 @@ class Tracer {
   /// Registers the virtual clock the helpers stamp records with
   /// (the Simulator points this at its event queue's now()).
   void SetClock(const int64_t* clock) { clock_ = clock; }
-  int64_t now() const { return clock_ != nullptr ? *clock_ : 0; }
+  /// Time the helpers stamp records with. Virtual so a wall-clock
+  /// backend (rt::Runtime's serializing wrapper) can stamp real ticks
+  /// without a clock variable to point at.
+  virtual int64_t now() const { return clock_ != nullptr ? *clock_ : 0; }
 
   /// Process-wide null sink (never deleted).
   static Tracer* Null();

@@ -4,28 +4,30 @@
 
 namespace crew::parallel {
 
-ParallelSystem::ParallelSystem(sim::Simulator* simulator,
+ParallelSystem::ParallelSystem(sim::Backend* backend,
                                const runtime::ProgramRegistry* programs,
                                const model::Deployment* deployment,
                                const runtime::CoordinationSpec* coordination,
                                int num_engines, int num_agents,
                                central::EngineOptions options)
-    : simulator_(simulator), tracker_(coordination) {
+    : tracker_(coordination) {
   for (int i = 0; i < num_engines; ++i) {
     NodeId id = 1 + i;
+    sim::Context* context = backend->ContextFor(id);
     engines_.push_back(std::make_unique<central::WorkflowEngine>(
-        id, simulator, programs, deployment, coordination, options));
+        id, context, programs, deployment, coordination, options));
     engines_.back()->set_shared_tracker(&tracker_);
     engines_.back()->set_topology(this);
     engine_ids_.push_back(id);
-    simulator->tracer().SetNodeName(id, "engine-" + std::to_string(id));
+    context->tracer().SetNodeName(id, "engine-" + std::to_string(id));
   }
   for (int i = 0; i < num_agents; ++i) {
     NodeId id = 1 + num_engines + i;
+    sim::Context* context = backend->ContextFor(id);
     agents_.push_back(
-        std::make_unique<central::ThinAgent>(id, simulator, programs));
+        std::make_unique<central::ThinAgent>(id, context, programs));
     agent_ids_.push_back(id);
-    simulator->tracer().SetNodeName(id, "agent-" + std::to_string(id));
+    context->tracer().SetNodeName(id, "agent-" + std::to_string(id));
   }
 }
 

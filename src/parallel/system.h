@@ -21,7 +21,7 @@ namespace crew::parallel {
 /// Engines occupy nodes 1..e; thin agents nodes e+1..e+z.
 class ParallelSystem : public central::ParallelTopology {
  public:
-  ParallelSystem(sim::Simulator* simulator,
+  ParallelSystem(sim::Backend* backend,
                  const runtime::ProgramRegistry* programs,
                  const model::Deployment* deployment,
                  const runtime::CoordinationSpec* coordination,
@@ -56,7 +56,6 @@ class ParallelSystem : public central::ParallelTopology {
   central::WorkflowEngine& OwnerOf(const InstanceId& instance);
   const central::WorkflowEngine& OwnerOf(const InstanceId& instance) const;
 
-  sim::Simulator* simulator_;
   runtime::ConflictTracker tracker_;
   std::vector<std::unique_ptr<central::WorkflowEngine>> engines_;
   std::vector<std::unique_ptr<central::ThinAgent>> agents_;

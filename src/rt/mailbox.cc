@@ -1,0 +1,92 @@
+#include "rt/mailbox.h"
+
+#include <thread>
+#include <utility>
+
+namespace crew::rt {
+
+bool Mailbox::PushLocked(Task task, bool bounded) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (bounded) {
+    not_full_.wait(lock, [this]() {
+      return closed_ || queue_.size() < capacity_;
+    });
+  }
+  if (closed_) return false;
+  queue_.push_back(std::move(task));
+  size_t depth = queue_.size();
+  if (depth > max_depth_) max_depth_ = depth;
+  approx_size_.store(depth, std::memory_order_release);
+  pushed_total_.fetch_add(1, std::memory_order_release);
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool Mailbox::Push(Task task) {
+  return PushLocked(std::move(task), /*bounded=*/true);
+}
+
+bool Mailbox::ForcePush(Task task) {
+  return PushLocked(std::move(task), /*bounded=*/false);
+}
+
+bool Mailbox::Pop(Task* out) {
+  // Fast path: spin on the approximate size before touching the lock.
+  // The counter may be stale in either direction; it only gates how soon
+  // we take the mutex, never correctness.
+  for (int i = 0; i < spin_iterations_; ++i) {
+    if (approx_size_.load(std::memory_order_acquire) > 0) break;
+    std::this_thread::yield();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  executing_ = false;  // the previous task (if any) is finished
+  while (queue_.empty() && !closed_) {
+    ++parks_;
+    not_empty_.wait(lock);
+  }
+  if (queue_.empty()) return false;  // closed and drained
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  approx_size_.store(queue_.size(), std::memory_order_release);
+  executing_ = true;
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void Mailbox::PopDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  executing_ = false;
+}
+
+void Mailbox::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool Mailbox::QuietNow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && !executing_;
+}
+
+size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int64_t Mailbox::parks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parks_;
+}
+
+size_t Mailbox::max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
+}
+
+}  // namespace crew::rt

@@ -1,0 +1,94 @@
+#ifndef CREW_RT_MAILBOX_H_
+#define CREW_RT_MAILBOX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace crew::rt {
+
+/// Bounded multi-producer / single-consumer task queue: the inbox of one
+/// worker cell in the live runtime. Producers are other nodes' workers
+/// (message deliveries), the timer thread (due callbacks), and the
+/// driver (admin posts).
+///
+/// Baseline is mutex + condvar; the consumer fast path spins on an
+/// approximate size counter before parking, so a loaded mailbox never
+/// pays a futex wait per task. FIFO order is total per mailbox, which is
+/// stronger than the per-sender-pair in-order delivery the paper assumes.
+class Mailbox {
+ public:
+  using Task = std::function<void()>;
+
+  explicit Mailbox(size_t capacity, int spin_iterations = 256)
+      : capacity_(capacity), spin_iterations_(spin_iterations) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues `task`, blocking while the mailbox is at capacity
+  /// (backpressure on remote senders and admin drivers). Returns false —
+  /// and drops the task — once the mailbox is closed.
+  bool Push(Task task);
+
+  /// Enqueues ignoring the capacity bound. Self-posts and timer
+  /// deliveries use this: the owning worker blocking on its *own* full
+  /// mailbox would deadlock the cell, and the timer thread must never
+  /// stall behind one slow node. Returns false once closed.
+  bool ForcePush(Task task);
+
+  /// Takes the next task, marking the consumer busy until the next Pop
+  /// (or PopDone) call. Spins briefly, then parks on the condvar.
+  /// Returns false once the mailbox is closed *and* drained.
+  bool Pop(Task* out);
+
+  /// Marks the in-flight task finished without taking another (the
+  /// worker calls Pop in a loop, which does this implicitly; PopDone is
+  /// for the final task before exit).
+  void PopDone();
+
+  /// Closes the mailbox: producers are refused, the consumer drains what
+  /// remains and then Pop returns false.
+  void Close();
+
+  /// True when nothing is queued and the consumer is between tasks.
+  /// Acquires the mailbox lock, so a true result is also a memory
+  /// barrier against everything the consumer wrote before going quiet.
+  bool QuietNow() const;
+
+  size_t size() const;
+
+  // ---- counters for RuntimeStats ----
+  /// Total tasks accepted (lock-free read; exact only when quiet).
+  int64_t pushed() const {
+    return pushed_total_.load(std::memory_order_acquire);
+  }
+  /// Times the consumer parked on the condvar (spin fast-path misses).
+  int64_t parks() const;
+  /// High-water mark of the queue depth.
+  size_t max_depth() const;
+
+ private:
+  bool PushLocked(Task task, bool bounded);
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Task> queue_;
+  const size_t capacity_;
+  const int spin_iterations_;
+  bool closed_ = false;
+  bool executing_ = false;
+  /// Mirror of queue_.size() the consumer can spin on without the lock.
+  std::atomic<size_t> approx_size_{0};
+  std::atomic<int64_t> pushed_total_{0};
+  int64_t parks_ = 0;
+  size_t max_depth_ = 0;
+};
+
+}  // namespace crew::rt
+
+#endif  // CREW_RT_MAILBOX_H_

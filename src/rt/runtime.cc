@@ -1,0 +1,414 @@
+#include "rt/runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace crew::rt {
+
+namespace {
+/// Derives the per-node RNG seed from the root seed and the node id.
+/// Depends only on (seed, id) — never on cell-construction or thread
+/// order — so a node's stream is stable across backends and runs.
+uint64_t NodeSeed(uint64_t root, NodeId id) {
+  return SplitMix64(root ^ SplitMix64(static_cast<uint64_t>(id) + 1));
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SerialTracer: wraps the user's sink with a mutex (nodes trace
+// concurrently) and stamps records with wall ticks. The mutex is a leaf
+// lock: nothing is acquired while holding it.
+
+class Runtime::SerialTracer : public obs::Tracer {
+ public:
+  SerialTracer(Runtime* rt, obs::Tracer* target)
+      : rt_(rt), target_(target) {}
+
+  bool enabled() const override { return target_->enabled(); }
+  int64_t now() const override { return rt_->now(); }
+
+  void Record(obs::TraceRecord record) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    target_->Record(std::move(record));
+  }
+
+  void SetNodeName(NodeId node, const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    target_->SetNodeName(node, name);
+  }
+
+ private:
+  Runtime* rt_;
+  obs::Tracer* target_;
+  std::mutex mu_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-node seam implementations. Each is owned by its Cell and holds the
+// cell + runtime back-pointers; all are constructed before Start().
+
+class Runtime::NodeTransport : public sim::Transport {
+ public:
+  NodeTransport(Runtime* rt, Cell* cell) : rt_(rt), cell_(cell) {}
+
+  void Register(NodeId id, sim::MessageHandler* handler) override;
+  void SetNodeDown(NodeId id, bool down) override {
+    rt_->SetNodeDown(id, down);
+  }
+  bool IsNodeDown(NodeId id) const override { return rt_->IsNodeDown(id); }
+  Status Send(sim::Message message) override;
+
+ private:
+  Runtime* rt_;
+  Cell* cell_;  // the sending node: its metrics shard counts the send
+};
+
+class Runtime::NodeScheduler : public sim::Scheduler {
+ public:
+  NodeScheduler(Runtime* rt, Cell* cell) : rt_(rt), cell_(cell) {}
+
+  void ScheduleAt(sim::Time at, Callback fn) override {
+    rt_->ScheduleTimer(cell_, at, std::move(fn));
+  }
+  sim::Time now() const override { return rt_->now(); }
+
+ private:
+  Runtime* rt_;
+  Cell* cell_;
+};
+
+class Runtime::NodeContext : public sim::Context {
+ public:
+  NodeContext(Runtime* rt, Cell* cell) : rt_(rt), cell_(cell) {}
+
+  sim::Transport& network() override;
+  sim::Scheduler& queue() override;
+  sim::Metrics& metrics() override;
+  obs::Tracer& tracer() override { return *rt_->tracer_; }
+  Rng& rng() override;
+  sim::Time now() const override { return rt_->now(); }
+
+ private:
+  Runtime* rt_;
+  Cell* cell_;
+};
+
+// ---------------------------------------------------------------------------
+// Cell: one node = one worker thread + one mailbox + single-writer
+// metrics shard + per-node RNG stream. route_mu guards the down flag and
+// the parked queue; the down-check and the mailbox push happen under it
+// so a recovery flush can never be overtaken by a later send (in-order
+// per pair, as the Transport contract requires).
+
+struct Runtime::Cell {
+  Cell(Runtime* rt, NodeId node_id, const RuntimeOptions& options)
+      : id(node_id),
+        mailbox(options.mailbox_capacity, options.spin_iterations),
+        rng(NodeSeed(options.seed, node_id)),
+        transport(new NodeTransport(rt, this)),
+        scheduler(new NodeScheduler(rt, this)),
+        context(new NodeContext(rt, this)) {}
+
+  const NodeId id;
+  Mailbox mailbox;
+  sim::Metrics metrics;  // written only by this cell's worker
+  Rng rng;               // drawn only by this cell's worker
+  std::unique_ptr<NodeTransport> transport;
+  std::unique_ptr<NodeScheduler> scheduler;
+  std::unique_ptr<NodeContext> context;
+  sim::MessageHandler* handler = nullptr;  // set before Start()
+
+  std::mutex route_mu;
+  bool down = false;
+  std::vector<std::pair<sim::Time, sim::Message>> parked;
+
+  std::atomic<int64_t> delivered{0};
+  std::atomic<int64_t> parked_total{0};
+
+  std::thread worker;
+};
+
+sim::Transport& Runtime::NodeContext::network() { return *cell_->transport; }
+sim::Scheduler& Runtime::NodeContext::queue() { return *cell_->scheduler; }
+sim::Metrics& Runtime::NodeContext::metrics() { return cell_->metrics; }
+Rng& Runtime::NodeContext::rng() { return cell_->rng; }
+
+void Runtime::NodeTransport::Register(NodeId id,
+                                      sim::MessageHandler* handler) {
+  Cell* cell = rt_->FindCell(id);
+  if (cell == nullptr) {
+    CREW_LOG(Error) << "rt: Register(" << id
+                    << ") for a node with no context; ignored";
+    return;
+  }
+  cell->handler = handler;
+}
+
+Status Runtime::NodeTransport::Send(sim::Message message) {
+  Cell* dest = rt_->FindCell(message.to);
+  if (dest == nullptr || dest->handler == nullptr) {
+    return Status::NotFound("no node registered with id " +
+                            std::to_string(message.to));
+  }
+  // Count in the sender's shard (single writer: this cell's worker),
+  // mirroring sim::Network::Send's count-before-delivery semantics.
+  cell_->metrics.CountMessage(message.from, message.to, message.category,
+                              message.payload.size(), message.type);
+  rt_->EnqueueDelivery(dest, std::move(message), rt_->now());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+
+Runtime::Runtime(RuntimeOptions options)
+    : options_(options),
+      start_(std::chrono::steady_clock::now()),
+      tracer_(new SerialTracer(
+          this, options.tracer != nullptr ? options.tracer
+                                          : obs::Tracer::Null())) {}
+
+Runtime::~Runtime() { Shutdown(); }
+
+sim::Context* Runtime::ContextFor(NodeId id) {
+  auto it = cells_.find(id);
+  if (it != cells_.end()) return it->second->context.get();
+  if (started_) {
+    CREW_LOG(Error) << "rt: ContextFor(" << id
+                    << ") after Start(); nodes must be wired during "
+                       "system assembly";
+    return nullptr;
+  }
+  auto cell = std::make_unique<Cell>(this, id, options_);
+  sim::Context* context = cell->context.get();
+  cells_.emplace(id, std::move(cell));
+  return context;
+}
+
+Runtime::Cell* Runtime::FindCell(NodeId id) const {
+  auto it = cells_.find(id);
+  return it == cells_.end() ? nullptr : it->second.get();
+}
+
+sim::Time Runtime::now() const {
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  int64_t us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  return us / options_.tick_us;
+}
+
+void Runtime::Start() {
+  if (started_) return;
+  started_ = true;
+  timer_thread_ = std::thread(&Runtime::TimerLoop, this);
+  for (auto& [id, cell] : cells_) {
+    cell->worker = std::thread(&Runtime::WorkerLoop, this, cell.get());
+  }
+}
+
+void Runtime::Post(NodeId node, std::function<void()> fn) {
+  Cell* cell = FindCell(node);
+  if (cell == nullptr) {
+    CREW_LOG(Error) << "rt: Post to unknown node " << node;
+    return;
+  }
+  // Bounded push: the external driver absorbs backpressure when the
+  // node falls behind. (Internal routing uses ForcePush — a bounded
+  // push there could deadlock two mutually-blocked workers.)
+  cell->mailbox.Push(std::move(fn));
+}
+
+void Runtime::EnqueueDelivery(Cell* cell, sim::Message message,
+                              sim::Time sent) {
+  std::lock_guard<std::mutex> lock(cell->route_mu);
+  if (cell->down) {
+    cell->parked.emplace_back(sent, std::move(message));
+    cell->parked_total.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  cell->mailbox.ForcePush([this, cell, sent, m = std::move(message)]() {
+    cell->delivered.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_->enabled()) {
+      // Same span the sim Network emits: send -> dispatch, covering any
+      // time parked for a down node.
+      tracer_->Complete(obs::SpanKind::kMessage, m.to, InstanceId{},
+                        kInvalidStep, "msg:" + m.type, sent, now() - sent,
+                        static_cast<int>(m.category),
+                        std::to_string(m.from) + "->" +
+                            std::to_string(m.to));
+    }
+    cell->handler->HandleMessage(m);
+  });
+}
+
+void Runtime::SetNodeDown(NodeId id, bool down) {
+  Cell* cell = FindCell(id);
+  if (cell == nullptr) {
+    CREW_LOG(Error) << "rt: SetNodeDown on unknown node " << id;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cell->route_mu);
+  if (cell->down == down) return;
+  cell->down = down;
+  if (tracer_->enabled()) {
+    tracer_->Instant(obs::SpanKind::kNode, id, InstanceId{}, kInvalidStep,
+                     down ? "node.down" : "node.up");
+  }
+  if (down) return;
+  // Recovery: flush parked messages in arrival order, still under
+  // route_mu so no concurrent send can slot in ahead of them.
+  for (auto& [sent, m] : cell->parked) {
+    sim::Time sent_at = sent;
+    sim::Message msg = std::move(m);
+    cell->mailbox.ForcePush([this, cell, sent_at, m2 = std::move(msg)]() {
+      cell->delivered.fetch_add(1, std::memory_order_relaxed);
+      if (tracer_->enabled()) {
+        tracer_->Complete(obs::SpanKind::kMessage, m2.to, InstanceId{},
+                          kInvalidStep, "msg:" + m2.type, sent_at,
+                          now() - sent_at, static_cast<int>(m2.category),
+                          std::to_string(m2.from) + "->" +
+                              std::to_string(m2.to));
+      }
+      cell->handler->HandleMessage(m2);
+    });
+  }
+  cell->parked.clear();
+}
+
+bool Runtime::IsNodeDown(NodeId id) const {
+  Cell* cell = FindCell(id);
+  if (cell == nullptr) return false;
+  std::lock_guard<std::mutex> lock(cell->route_mu);
+  return cell->down;
+}
+
+void Runtime::ScheduleTimer(Cell* cell, sim::Time at, Mailbox::Task fn) {
+  if (at <= now()) {
+    // Already due: still defer through the mailbox (a ScheduleAfter(0)
+    // must run *after* the current task, exactly as under sim).
+    cell->mailbox.ForcePush(std::move(fn));
+    timers_fired_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (timer_stop_) return;
+    timer_heap_.push_back(
+        TimerEntry{at * options_.tick_us, timer_seq_++, cell, std::move(fn)});
+    std::push_heap(timer_heap_.begin(), timer_heap_.end(), TimerLater{});
+  }
+  timer_cv_.notify_one();
+}
+
+void Runtime::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  while (!timer_stop_) {
+    if (timer_heap_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    auto due = start_ + std::chrono::microseconds(timer_heap_.front().due_us);
+    if (std::chrono::steady_clock::now() < due) {
+      // Re-evaluate after waking: an earlier timer may have arrived, or
+      // stop may have been requested.
+      timer_cv_.wait_until(lock, due);
+      continue;
+    }
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), TimerLater{});
+    TimerEntry entry = std::move(timer_heap_.back());
+    timer_heap_.pop_back();
+    ++timer_in_flight_;  // visible to Quiesce between unlock and re-lock
+    lock.unlock();
+    entry.cell->mailbox.ForcePush(std::move(entry.fn));
+    timers_fired_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    --timer_in_flight_;
+  }
+}
+
+void Runtime::WorkerLoop(Cell* cell) {
+  Mailbox::Task task;
+  while (cell->mailbox.Pop(&task)) {
+    task();
+    task = nullptr;  // release captures before (possibly) parking
+  }
+  cell->mailbox.PopDone();
+}
+
+void Runtime::Quiesce() {
+  auto all_quiet = [this]() {
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      if (!timer_heap_.empty() || timer_in_flight_ != 0) return false;
+    }
+    for (const auto& [id, cell] : cells_) {
+      if (!cell->mailbox.QuietNow()) return false;
+    }
+    return true;
+  };
+  auto work_counter = [this]() {
+    int64_t sum = timers_fired_.load(std::memory_order_acquire);
+    for (const auto& [id, cell] : cells_) sum += cell->mailbox.pushed();
+    return sum;
+  };
+  // Termination detection: two consecutive all-quiet sweeps bracketing
+  // an unchanged admission counter. Any task in flight during a sweep
+  // keeps some mailbox busy or the timer heap non-empty; any task
+  // admitted between the sweeps bumps the counter. Both stable => no
+  // work exists anywhere.
+  for (;;) {
+    if (!all_quiet()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    int64_t before = work_counter();
+    if (!all_quiet()) continue;
+    if (work_counter() == before) return;
+  }
+}
+
+void Runtime::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  for (auto& [id, cell] : cells_) cell->mailbox.Close();
+  for (auto& [id, cell] : cells_) {
+    if (cell->worker.joinable()) cell->worker.join();
+  }
+}
+
+sim::Metrics Runtime::MergedMetrics() const {
+  sim::Metrics merged;
+  for (const auto& [id, cell] : cells_) {
+    // QuietNow takes the mailbox lock: acquire-barrier against the
+    // worker's last writes (callers hold the quiescence precondition).
+    (void)cell->mailbox.QuietNow();
+    merged.MergeFrom(cell->metrics);
+  }
+  return merged;
+}
+
+RuntimeStats Runtime::Stats() const {
+  RuntimeStats stats;
+  stats.num_workers = static_cast<int>(cells_.size());
+  stats.timers_fired = timers_fired_.load(std::memory_order_relaxed);
+  for (const auto& [id, cell] : cells_) {
+    stats.messages_delivered +=
+        cell->delivered.load(std::memory_order_relaxed);
+    stats.messages_parked +=
+        cell->parked_total.load(std::memory_order_relaxed);
+    stats.mailbox_parks += cell->mailbox.parks();
+    stats.max_mailbox_depth =
+        std::max(stats.max_mailbox_depth, cell->mailbox.max_depth());
+  }
+  return stats;
+}
+
+}  // namespace crew::rt

@@ -58,6 +58,7 @@ int CoordinationSpec::RequirementCount(const std::string& workflow) const {
 
 std::vector<RoBinding> ConflictTracker::OnInstanceStart(
     const InstanceId& instance) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<RoBinding> bindings;
   for (const RelativeOrderReq& req : spec_->relative_orders) {
     // The new instance may play role B (lagging behind a live A instance)
@@ -92,6 +93,7 @@ std::vector<RoBinding> ConflictTracker::OnInstanceStart(
 std::vector<std::pair<InstanceId, StepId>>
 ConflictTracker::RollbackDependents(const InstanceId& instance,
                                     StepId to_step) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<InstanceId, StepId>> out;
   for (const RollbackDepReq& req : spec_->rollback_deps) {
     if (req.workflow_a != instance.workflow) continue;
@@ -108,6 +110,7 @@ ConflictTracker::RollbackDependents(const InstanceId& instance,
 }
 
 void ConflictTracker::OnInstanceEnd(const InstanceId& instance) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(instance.workflow);
   if (it == live_.end()) return;
   auto& list = it->second;

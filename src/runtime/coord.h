@@ -2,6 +2,7 @@
 #define CREW_RUNTIME_COORD_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,9 @@ struct RoBinding {
 
 /// Tracks the newest instance per workflow class and mints RO bindings
 /// for new instances. Used by the front end / engines at instance start.
+/// Thread-safe: parallel control shares one tracker across all engines,
+/// which under the live runtime (src/rt) call in from their own worker
+/// threads concurrently.
 class ConflictTracker {
  public:
   explicit ConflictTracker(const CoordinationSpec* spec) : spec_(spec) {}
@@ -96,7 +100,8 @@ class ConflictTracker {
 
  private:
   const CoordinationSpec* spec_;
-  /// Live instances per class, in start order.
+  mutable std::mutex mu_;
+  /// Live instances per class, in start order. Guarded by mu_.
   std::map<std::string, std::vector<InstanceId>> live_;
 };
 

@@ -1,0 +1,52 @@
+#ifndef CREW_SIM_CONTEXT_H_
+#define CREW_SIM_CONTEXT_H_
+
+#include "common/rng.h"
+#include "obs/trace.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+
+namespace crew::sim {
+
+/// Execution context handed to one node (engine, agent, front end). It
+/// bundles the backend services a node touches while running: transport,
+/// deferred execution, metrics, tracing, randomness and the clock.
+///
+/// The virtual-time Simulator is one Context shared by every node (one
+/// thread, one clock, one metrics ledger). The live runtime (rt::Runtime)
+/// vends a *distinct* Context per node whose scheduler targets that
+/// node's worker thread, whose metrics land in a per-node shard, and
+/// whose RNG is an independent per-node stream — so the same engine code
+/// is single-threaded with respect to its own state on both backends.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual Transport& network() = 0;
+  virtual Scheduler& queue() = 0;
+  virtual Metrics& metrics() = 0;
+  /// Never null; defaults to the no-op tracer.
+  virtual obs::Tracer& tracer() = 0;
+  virtual Rng& rng() = 0;
+  /// Current time in ticks: virtual under sim, scaled monotonic wall
+  /// clock under rt. Only differences of now() values are meaningful to
+  /// node code (timeout windows, span durations).
+  virtual Time now() const = 0;
+};
+
+/// Vends per-node execution contexts; the systems (central/parallel/dist)
+/// are constructed over a Backend and wire each node they create to
+/// `ContextFor(node)`. The Simulator returns itself for every node; the
+/// live runtime creates one worker cell per node. All ContextFor calls
+/// happen during system assembly, before any node executes.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual Context* ContextFor(NodeId id) = 0;
+};
+
+}  // namespace crew::sim
+
+#endif  // CREW_SIM_CONTEXT_H_

@@ -9,21 +9,40 @@ namespace crew::sim {
 
 /// Virtual time, in abstract ticks. A tick is roughly "one network hop";
 /// computation cost is accounted separately (in instructions) by Metrics.
+/// The live runtime (src/rt) reuses the same unit as wall microseconds
+/// scaled by its tick length, so timeouts written in ticks keep their
+/// relative magnitudes on both backends.
 using Time = int64_t;
 
-/// A scheduled callback. Events at equal time fire in insertion order
-/// (stable), which keeps simulations deterministic.
-class EventQueue {
+/// Clock + deferred-execution seam between the virtual-time simulator and
+/// the live runtime. Engines and agents schedule delayed self-callbacks
+/// through this interface only; the backend decides whether "later" means
+/// a later event-queue entry (sim) or a timer firing on the calling
+/// node's worker thread (rt).
+class Scheduler {
  public:
   using Callback = std::function<void()>;
 
+  virtual ~Scheduler() = default;
+
   /// Schedules `fn` at absolute time `at`. Precondition: at >= now().
-  void ScheduleAt(Time at, Callback fn);
+  virtual void ScheduleAt(Time at, Callback fn) = 0;
+
+  /// Current time in ticks (virtual or scaled-wall, per backend).
+  virtual Time now() const = 0;
 
   /// Schedules `fn` `delay` ticks from now.
   void ScheduleAfter(Time delay, Callback fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+    ScheduleAt(now() + delay, std::move(fn));
   }
+};
+
+/// A scheduled callback. Events at equal time fire in insertion order
+/// (stable), which keeps simulations deterministic.
+class EventQueue : public Scheduler {
+ public:
+  /// Schedules `fn` at absolute time `at`. Precondition: at >= now().
+  void ScheduleAt(Time at, Callback fn) override;
 
   /// Runs the next event; returns false if the queue is empty.
   bool RunOne();
@@ -35,7 +54,7 @@ class EventQueue {
   /// Runs events with firing time <= `until`.
   int64_t RunUntil(Time until);
 
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
   /// Stable pointer to the clock, for observers (tracer, log prefixes)
   /// that outlive individual calls. Valid for the queue's lifetime.
   const Time* now_ptr() const { return &now_; }

@@ -127,6 +127,21 @@ std::vector<NodeId> Metrics::LoadedNodes() const {
   return out;
 }
 
+void Metrics::MergeFrom(const Metrics& other) {
+  total_messages_ += other.total_messages_;
+  total_bytes_ += other.total_bytes_;
+  for (int i = 0; i < kNumMsgCategories; ++i) {
+    messages_by_category_[i] += other.messages_by_category_[i];
+  }
+  for (const auto& [key, count] : other.by_type_) {
+    by_type_[key] += count;
+  }
+  for (const auto& [node, per_cat] : other.load_) {
+    auto& mine = load_[node];
+    for (const auto& [cat, n] : per_cat) mine[cat] += n;
+  }
+}
+
 void Metrics::Reset() {
   total_messages_ = 0;
   total_bytes_ = 0;

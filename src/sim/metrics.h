@@ -72,6 +72,11 @@ class Metrics {
 
   void Reset();
 
+  /// Adds every counter of `other` into this. The live runtime keeps one
+  /// Metrics shard per node (single-writer, no locks on the hot path)
+  /// and merges the shards into one report after quiescing.
+  void MergeFrom(const Metrics& other);
+
   /// Message counts by (category, wire type) — the per-WI breakdown.
   const std::map<std::pair<int, std::string>, int64_t>& by_type() const {
     return by_type_;

@@ -33,12 +33,35 @@ class MessageHandler {
   virtual void HandleMessage(const Message& message) = 0;
 };
 
+/// Message-transport seam between execution backends. The virtual-time
+/// Network below and the live runtime's router (rt::Runtime) both
+/// implement it, so engines and agents are written once against this
+/// interface and run unmodified on either backend. Every implementation
+/// must provide reliable, in-order (per sender-receiver pair) delivery
+/// with down-node parking — the paper's messaging assumption [AAE+95].
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers a node. Replaces any prior registration for the id.
+  virtual void Register(NodeId id, MessageHandler* handler) = 0;
+
+  /// Marks a node down: deliveries are deferred, not lost.
+  virtual void SetNodeDown(NodeId id, bool down) = 0;
+  virtual bool IsNodeDown(NodeId id) const = 0;
+
+  /// Sends a message; counts it in Metrics; delivers after the backend's
+  /// latency (or on recovery if the target is down). Unregistered
+  /// destinations are a programming error -> kNotFound.
+  virtual Status Send(Message message) = 0;
+};
+
 /// Reliable, in-order (per sender-receiver pair by construction of the
 /// event queue) message transport with fixed latency. Implements the
 /// paper's assumption that "messages are reliably delivered between
 /// agents" [AAE+95]: messages to a *down* node are queued and delivered
 /// once the node recovers (persistent-queue semantics).
-class Network {
+class Network : public Transport {
  public:
   Network(EventQueue* queue, Metrics* metrics)
       : queue_(queue), metrics_(metrics) {}
@@ -46,17 +69,14 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Registers a node. Replaces any prior registration for the id.
-  void Register(NodeId id, MessageHandler* handler);
+  void Register(NodeId id, MessageHandler* handler) override;
 
-  /// Marks a node down: deliveries are deferred, not lost.
-  void SetNodeDown(NodeId id, bool down);
-  bool IsNodeDown(NodeId id) const;
+  void SetNodeDown(NodeId id, bool down) override;
+  bool IsNodeDown(NodeId id) const override;
 
   /// Sends a message; counts it in Metrics; schedules delivery after
   /// `latency()` ticks (or on recovery if the target is down).
-  /// Unregistered destinations are a programming error -> kNotFound.
-  Status Send(Message message);
+  Status Send(Message message) override;
 
   /// Delivery latency in ticks; default 1.
   Time latency() const { return latency_; }

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "obs/trace.h"
+#include "sim/context.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -13,27 +14,34 @@ namespace crew::sim {
 
 /// Owns the shared simulation state: virtual clock / event queue, network,
 /// metrics, trace sink, and the root RNG. One Simulator per experiment run.
-class Simulator {
+///
+/// As a Backend it hands every node the same Context — itself: one
+/// thread, one clock, one metrics ledger. The live runtime (rt::Runtime)
+/// is the other Backend; systems built over either run the same engines.
+class Simulator : public Context, public Backend {
  public:
   explicit Simulator(uint64_t seed = 42);
-  ~Simulator();
+  ~Simulator() override;
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  EventQueue& queue() { return queue_; }
-  Network& network() { return network_; }
-  Metrics& metrics() { return metrics_; }
-  Rng& rng() { return rng_; }
+  EventQueue& queue() override { return queue_; }
+  Network& network() override { return network_; }
+  Metrics& metrics() override { return metrics_; }
+  Rng& rng() override { return rng_; }
 
   /// The active trace sink. Never null: defaults to the no-op tracer, so
   /// instrumentation sites only pay an `enabled()` check when off.
-  obs::Tracer& tracer() { return *tracer_; }
+  obs::Tracer& tracer() override { return *tracer_; }
   /// Installs a sink (nullptr restores the no-op default). Call before
   /// constructing engines/agents so node-name registration is captured.
   void set_tracer(obs::Tracer* tracer);
 
-  Time now() const { return queue_.now(); }
+  /// Every node shares this simulator as its context.
+  Context* ContextFor(NodeId /*id*/) override { return this; }
+
+  Time now() const override { return queue_.now(); }
 
   /// Drains the event queue. Returns the number of events processed;
   /// `max_events` guards against livelock in buggy protocols.

@@ -3,6 +3,7 @@
 #include <array>
 #include <cinttypes>
 #include <cstring>
+#include <filesystem>
 #include <vector>
 
 namespace crew::storage {
@@ -56,12 +57,17 @@ Status Wal::Append(const std::string& payload) {
   return Status::OK();
 }
 
-Status Wal::Replay(
-    const std::string& path,
-    const std::function<void(const std::string&)>& apply) const {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::OK();  // no log yet: nothing to replay
+namespace {
+
+/// Applies every intact record of the open stream in order, stopping at
+/// the first torn/corrupt frame. Returns the record count; *intact_end
+/// receives the byte offset just past the last intact record.
+int64_t ScanIntact(std::FILE* f,
+                   const std::function<void(const std::string&)>& apply,
+                   long* intact_end) {
   char header[128];
+  int64_t records = 0;
+  *intact_end = 0;
   while (std::fgets(header, sizeof(header), f) != nullptr) {
     size_t length = 0;
     uint32_t crc = 0;
@@ -73,11 +79,49 @@ Status Wal::Replay(
     }
     int trailer = std::fgetc(f);
     if (trailer != '\n') break;
-    if (Crc32(payload) != crc) break;  // corrupt record: stop replay
+    if (Wal::Crc32(payload) != crc) break;  // corrupt record: stop replay
     apply(payload);
+    ++records;
+    *intact_end = std::ftell(f);
   }
+  return records;
+}
+
+}  // namespace
+
+Status Wal::Replay(
+    const std::string& path,
+    const std::function<void(const std::string&)>& apply) const {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // no log yet: nothing to replay
+  long intact_end = 0;
+  ScanIntact(f, apply, &intact_end);
   std::fclose(f);
   return Status::OK();
+}
+
+Result<int64_t> Wal::Recover(
+    const std::string& path,
+    const std::function<void(const std::string&)>& apply) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return int64_t{0};  // no log yet: nothing to recover
+  long intact_end = 0;
+  int64_t records = ScanIntact(f, apply, &intact_end);
+  std::fclose(f);
+  std::error_code ec;
+  uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::Unavailable("cannot stat WAL at " + path);
+  }
+  if (static_cast<uintmax_t>(intact_end) < size) {
+    std::filesystem::resize_file(path, static_cast<uintmax_t>(intact_end),
+                                 ec);
+    if (ec) {
+      return Status::Unavailable("cannot truncate torn WAL tail at " +
+                                 path);
+    }
+  }
+  return records;
 }
 
 Status Wal::Truncate() {

@@ -35,6 +35,17 @@ class Wal {
   Status Replay(const std::string& path,
                 const std::function<void(const std::string&)>& apply) const;
 
+  /// Crash recovery: replays the intact prefix like Replay, then
+  /// truncates the file to that prefix. Without the truncation a torn
+  /// tail left by a crash would sit between the old records and anything
+  /// appended after reopening, making every later record unreadable (a
+  /// replay stops at the first corrupt frame). Call before Open when
+  /// taking over a log that may have died mid-append. Returns the number
+  /// of records recovered. Precondition: the log is not open here.
+  static Result<int64_t> Recover(
+      const std::string& path,
+      const std::function<void(const std::string&)>& apply);
+
   /// Truncates the log (after a checkpoint/snapshot has been taken).
   Status Truncate();
 

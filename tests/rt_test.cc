@@ -1,0 +1,608 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "central/system.h"
+#include "dist/system.h"
+#include "model/builder.h"
+#include "parallel/system.h"
+#include "rt/mailbox.h"
+#include "rt/runtime.h"
+
+namespace crew {
+namespace {
+
+using model::SchemaBuilder;
+using runtime::WorkflowState;
+
+constexpr uint64_t kSeed = 42;
+
+// ---------------------------------------------------------------------------
+// Mailbox
+
+TEST(MailboxTest, FifoPerProducerAndDrainOnClose) {
+  rt::Mailbox box(/*capacity=*/4096);
+  std::vector<std::pair<int, int>> seen;  // (producer, seq), consumer-only
+  std::thread consumer([&]() {
+    rt::Mailbox::Task task;
+    while (box.Pop(&task)) task();
+    box.PopDone();
+  });
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, &seen, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        box.Push([&seen, p, i]() { seen.emplace_back(p, i); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  box.Close();
+  consumer.join();
+
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(box.pushed(), kProducers * kPerProducer);
+  std::vector<int> next(kProducers, 0);
+  for (const auto& [p, i] : seen) {
+    EXPECT_EQ(i, next[p]) << "producer " << p << " reordered";
+    next[p] = i + 1;
+  }
+  EXPECT_TRUE(box.QuietNow());
+}
+
+TEST(MailboxTest, BoundedPushBlocksUntilConsumerMakesRoom) {
+  rt::Mailbox box(/*capacity=*/2);
+  int ran = 0;
+  ASSERT_TRUE(box.Push([&ran]() { ++ran; }));
+  ASSERT_TRUE(box.Push([&ran]() { ++ran; }));
+  std::atomic<bool> third_in{false};
+  std::thread producer([&]() {
+    box.Push([&ran]() { ++ran; });
+    third_in.store(true);
+  });
+  // The third push can only complete after a pop frees a slot: no pop
+  // has happened, so this is state-determined, not a timing guess.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(third_in.load());
+  rt::Mailbox::Task task;
+  ASSERT_TRUE(box.Pop(&task));
+  task();
+  producer.join();
+  EXPECT_TRUE(third_in.load());
+  box.Close();
+  while (box.Pop(&task)) task();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(MailboxTest, ForcePushIgnoresCapacityAndCloseDrains) {
+  rt::Mailbox box(/*capacity=*/1);
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(box.ForcePush([&ran]() { ++ran; }));
+  }
+  EXPECT_EQ(box.size(), 10u);
+  EXPECT_FALSE(box.QuietNow());
+  box.Close();
+  EXPECT_FALSE(box.Push([]() {}));       // refused once closed
+  EXPECT_FALSE(box.ForcePush([]() {}));  // likewise
+  rt::Mailbox::Task task;
+  while (box.Pop(&task)) task();
+  EXPECT_EQ(ran, 10);
+  EXPECT_EQ(box.max_depth(), 10u);
+  EXPECT_TRUE(box.QuietNow());
+}
+
+// ---------------------------------------------------------------------------
+// Runtime basics
+
+TEST(RuntimeTest, PostsAndTimersRunOnOwningWorkerInOrder) {
+  rt::Runtime runtime({.seed = 1, .tick_us = 10});
+  sim::Context* ctx = runtime.ContextFor(1);
+  ASSERT_NE(ctx, nullptr);
+  std::vector<int> order;  // written only by node 1's worker
+  runtime.Start();
+  runtime.Post(1, [&]() {
+    ctx->queue().ScheduleAfter(30, [&order]() { order.push_back(3); });
+    ctx->queue().ScheduleAfter(10, [&order]() { order.push_back(2); });
+    // Already-due callbacks still run *after* the current task, exactly
+    // as a same-tick event does under sim.
+    ctx->queue().ScheduleAfter(0, [&order]() { order.push_back(1); });
+    order.push_back(0);
+  });
+  runtime.Quiesce();
+  runtime.Shutdown();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_GE(runtime.now(), 30);
+  EXPECT_GE(runtime.Stats().timers_fired, 3);
+}
+
+struct Recorder : sim::MessageHandler {
+  std::vector<std::string> types;  // written only by the owning worker
+  void HandleMessage(const sim::Message& message) override {
+    types.push_back(message.type);
+  }
+};
+
+TEST(RuntimeTest, DownNodeParksAndFlushesInOrder) {
+  rt::Runtime runtime({.seed = 1, .tick_us = 10});
+  sim::Context* sender = runtime.ContextFor(1);
+  sim::Context* receiver = runtime.ContextFor(2);
+  Recorder recorder;
+  receiver->network().Register(2, &recorder);
+  runtime.SetNodeDown(2, true);
+  EXPECT_TRUE(runtime.IsNodeDown(2));
+  runtime.Start();
+  runtime.Post(1, [&]() {
+    for (int i = 0; i < 10; ++i) {
+      sim::Message m;
+      m.from = 1;
+      m.to = 2;
+      m.type = "m" + std::to_string(i);
+      (void)sender->network().Send(std::move(m));
+    }
+  });
+  runtime.Quiesce();  // quiescent with all ten parked at the down node
+  EXPECT_EQ(runtime.Stats().messages_parked, 10);
+  EXPECT_EQ(runtime.Stats().messages_delivered, 0);
+  runtime.SetNodeDown(2, false);
+  runtime.Quiesce();
+  runtime.Shutdown();
+  ASSERT_EQ(recorder.types.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(recorder.types[static_cast<size_t>(i)],
+              "m" + std::to_string(i));
+  }
+  EXPECT_EQ(runtime.Stats().messages_delivered, 10);
+}
+
+TEST(RuntimeTest, SendToUnregisteredNodeIsNotFound) {
+  rt::Runtime runtime({.seed = 1});
+  sim::Context* ctx = runtime.ContextFor(1);
+  sim::Message m;
+  m.from = 1;
+  m.to = 99;
+  EXPECT_TRUE(ctx->network().Send(std::move(m)).IsNotFound());
+}
+
+TEST(RuntimeTest, MergedMetricsSumsPerNodeShards) {
+  rt::Runtime runtime({.seed = 1, .tick_us = 10});
+  sim::Context* a = runtime.ContextFor(1);
+  sim::Context* b = runtime.ContextFor(2);
+  Recorder rec_a;
+  Recorder rec_b;
+  a->network().Register(1, &rec_a);
+  b->network().Register(2, &rec_b);
+  runtime.Start();
+  runtime.Post(1, [&]() {
+    for (int i = 0; i < 3; ++i) {
+      sim::Message m;
+      m.from = 1;
+      m.to = 2;
+      m.type = "ping";
+      m.category = sim::MsgCategory::kNormal;
+      (void)a->network().Send(std::move(m));
+    }
+  });
+  runtime.Post(2, [&]() {
+    for (int i = 0; i < 2; ++i) {
+      sim::Message m;
+      m.from = 2;
+      m.to = 1;
+      m.type = "probe";
+      m.category = sim::MsgCategory::kAdmin;
+      (void)b->network().Send(std::move(m));
+    }
+  });
+  runtime.Quiesce();
+  runtime.Shutdown();
+  sim::Metrics merged = runtime.MergedMetrics();
+  EXPECT_EQ(merged.TotalMessages(), 5);
+  EXPECT_EQ(merged.MessagesIn(sim::MsgCategory::kNormal), 3);
+  EXPECT_EQ(merged.MessagesIn(sim::MsgCategory::kAdmin), 2);
+}
+
+TEST(RuntimeTest, PerNodeRngStreamsDependOnlyOnSeedAndNode) {
+  rt::Runtime first({.seed = 7});
+  rt::Runtime second({.seed = 7});
+  rt::Runtime other({.seed = 8});
+  // Create in different orders: streams must match by node id anyway.
+  sim::Context* f5 = first.ContextFor(5);
+  sim::Context* f3 = first.ContextFor(3);
+  sim::Context* s3 = second.ContextFor(3);
+  sim::Context* s5 = second.ContextFor(5);
+  sim::Context* o5 = other.ContextFor(5);
+  int64_t v5 = f5->rng().Uniform(0, 1 << 30);
+  int64_t v3 = f3->rng().Uniform(0, 1 << 30);
+  EXPECT_EQ(s5->rng().Uniform(0, 1 << 30), v5);
+  EXPECT_EQ(s3->rng().Uniform(0, 1 << 30), v3);
+  EXPECT_NE(v5, v3);
+  EXPECT_NE(o5->rng().Uniform(0, 1 << 30), v5);
+}
+
+// ---------------------------------------------------------------------------
+// sim/rt equivalence: the same workload, driven through the unmodified
+// systems over both backends, must reach the same per-instance terminal
+// states and the same message counts per category and wire type. Uses
+// deterministic programs only (attempt-count failures, no rng draws) and
+// an empty CoordinationSpec, since RO/RD bind against the timing-
+// dependent live-instance set.
+
+model::CompiledSchemaPtr Compile(model::Schema schema) {
+  auto compiled = model::CompiledSchema::Compile(std::move(schema));
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return compiled.value();
+}
+
+model::Schema SeqSchema(const std::string& name, int steps,
+                        const std::string& program = "noop") {
+  SchemaBuilder b(name);
+  std::vector<StepId> ids;
+  for (int i = 0; i < steps; ++i) {
+    ids.push_back(b.AddTask("T" + std::to_string(i + 1), program));
+  }
+  b.Sequence(ids);
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+/// A -> B(flaky: fails on attempt 1) with rollback to A: commits after
+/// one deterministic rollback-and-retry round.
+model::Schema FlakySchema(const std::string& name) {
+  SchemaBuilder b(name);
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "flaky");
+  b.Sequence({s1, s2});
+  b.OnFail(s2, s1, /*max_attempts=*/3);
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+/// A -> B(fail_always) with two attempts: deterministically aborts.
+model::Schema DoomedSchema(const std::string& name) {
+  SchemaBuilder b(name);
+  StepId s1 = b.AddTask("A", "noop");
+  StepId s2 = b.AddTask("B", "fail_always");
+  b.Sequence({s1, s2});
+  b.OnFail(s2, s1, /*max_attempts=*/2);
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+/// split -> (left | right) -> join: exercises concurrent branch
+/// execution under rt (the join must accept either arrival order).
+model::Schema ParSchema(const std::string& name) {
+  SchemaBuilder b(name);
+  StepId s1 = b.AddTask("split", "noop");
+  StepId s2 = b.AddTask("left", "noop");
+  StepId s3 = b.AddTask("right", "noop");
+  StepId s4 = b.AddTask("join", "noop");
+  b.Parallel(s1, {{s2, s2}, {s3, s3}}, s4);
+  auto schema = b.Build();
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+void SetEligibleRoundRobin(model::Deployment* deployment,
+                           const std::vector<NodeId>& ids,
+                           const model::CompiledSchema& schema,
+                           int eligible = 2) {
+  for (StepId s = 1; s <= schema.schema().num_steps(); ++s) {
+    std::vector<NodeId> agents;
+    for (int k = 0; k < eligible; ++k) {
+      agents.push_back(ids[(s - 1 + k) % ids.size()]);
+    }
+    std::sort(agents.begin(), agents.end());
+    deployment->SetEligible(schema.schema().name(), s, agents);
+  }
+}
+
+void ExpectSameCounts(const sim::Metrics& sim_metrics,
+                      const sim::Metrics& rt_metrics) {
+  EXPECT_EQ(sim_metrics.TotalMessages(), rt_metrics.TotalMessages());
+  for (int i = 0; i < sim::kNumMsgCategories; ++i) {
+    auto category = static_cast<sim::MsgCategory>(i);
+    EXPECT_EQ(sim_metrics.MessagesIn(category),
+              rt_metrics.MessagesIn(category))
+        << "category " << sim::MsgCategoryName(category);
+  }
+  EXPECT_EQ(sim_metrics.by_type(), rt_metrics.by_type());
+}
+
+/// The mixed workload: schema name for the i-th instance (1-based).
+std::string WorkloadSchema(int i) {
+  switch (i % 4) {
+    case 0: return "Doomed";
+    case 1: return "Good";
+    case 2: return "Flaky";
+    default: return "Par";
+  }
+}
+
+WorkflowState ExpectedState(const std::string& schema) {
+  return schema == "Doomed" ? WorkflowState::kAborted
+                            : WorkflowState::kCommitted;
+}
+
+struct EquivalenceResult {
+  std::map<int, WorkflowState> states;
+  sim::Metrics metrics;
+};
+
+// ---- central ----
+
+struct CentralParts {
+  runtime::ProgramRegistry programs;
+  model::Deployment deployment;
+  runtime::CoordinationSpec coordination;
+  std::unique_ptr<central::CentralSystem> system;
+
+  explicit CentralParts(sim::Backend* backend, int num_agents) {
+    programs.RegisterBuiltins();
+    programs.RegisterFailFirstN("flaky", 1);
+    system = std::make_unique<central::CentralSystem>(
+        backend, &programs, &deployment, &coordination, num_agents);
+    for (auto schema : {Compile(SeqSchema("Good", 4)),
+                        Compile(FlakySchema("Flaky")),
+                        Compile(DoomedSchema("Doomed")),
+                        Compile(ParSchema("Par"))}) {
+      SetEligibleRoundRobin(&deployment, system->agent_ids(), *schema);
+      system->engine().RegisterSchema(schema);
+    }
+  }
+};
+
+EquivalenceResult RunCentralSim(int num_agents, int num_instances) {
+  sim::Simulator simulator(kSeed);
+  CentralParts parts(&simulator, num_agents);
+  for (int i = 1; i <= num_instances; ++i) {
+    EXPECT_TRUE(
+        parts.system->engine().StartWorkflow(WorkloadSchema(i), i, {}).ok());
+  }
+  simulator.Run();
+  EquivalenceResult result;
+  for (int i = 1; i <= num_instances; ++i) {
+    result.states[i] =
+        parts.system->engine().QueryStatus({WorkloadSchema(i), i});
+  }
+  result.metrics = simulator.metrics();
+  return result;
+}
+
+EquivalenceResult RunCentralRt(int num_agents, int num_instances) {
+  rt::Runtime runtime({.seed = kSeed, .tick_us = 20});
+  CentralParts parts(&runtime, num_agents);
+  runtime.Start();
+  std::atomic<int> start_failures{0};
+  for (int i = 1; i <= num_instances; ++i) {
+    runtime.Post(1, [&parts, &start_failures, i]() {
+      if (!parts.system->engine()
+               .StartWorkflow(WorkloadSchema(i), i, {})
+               .ok()) {
+        start_failures.fetch_add(1);
+      }
+    });
+  }
+  runtime.Quiesce();
+  runtime.Shutdown();
+  EXPECT_EQ(start_failures.load(), 0);
+  EquivalenceResult result;
+  for (int i = 1; i <= num_instances; ++i) {
+    result.states[i] =
+        parts.system->engine().QueryStatus({WorkloadSchema(i), i});
+  }
+  result.metrics = runtime.MergedMetrics();
+  return result;
+}
+
+TEST(RtEquivalenceTest, CentralSameStatesAndMessageCounts) {
+  constexpr int kAgents = 4;
+  constexpr int kInstances = 12;
+  EquivalenceResult sim_run = RunCentralSim(kAgents, kInstances);
+  EquivalenceResult rt_run = RunCentralRt(kAgents, kInstances);
+  for (int i = 1; i <= kInstances; ++i) {
+    EXPECT_EQ(sim_run.states[i], ExpectedState(WorkloadSchema(i)))
+        << "instance " << i;
+    EXPECT_EQ(sim_run.states[i], rt_run.states[i]) << "instance " << i;
+  }
+  ExpectSameCounts(sim_run.metrics, rt_run.metrics);
+}
+
+// ---- parallel ----
+
+struct ParallelParts {
+  runtime::ProgramRegistry programs;
+  model::Deployment deployment;
+  runtime::CoordinationSpec coordination;
+  std::unique_ptr<parallel::ParallelSystem> system;
+
+  ParallelParts(sim::Backend* backend, int num_engines, int num_agents) {
+    programs.RegisterBuiltins();
+    programs.RegisterFailFirstN("flaky", 1);
+    system = std::make_unique<parallel::ParallelSystem>(
+        backend, &programs, &deployment, &coordination, num_engines,
+        num_agents);
+    for (auto schema : {Compile(SeqSchema("Good", 4)),
+                        Compile(FlakySchema("Flaky")),
+                        Compile(DoomedSchema("Doomed")),
+                        Compile(ParSchema("Par"))}) {
+      SetEligibleRoundRobin(&deployment, system->agent_ids(), *schema);
+      system->RegisterSchema(schema);
+    }
+  }
+};
+
+TEST(RtEquivalenceTest, ParallelSameStatesAndMessageCounts) {
+  constexpr int kEngines = 2;
+  constexpr int kAgents = 4;
+  constexpr int kInstances = 12;
+
+  sim::Simulator simulator(kSeed);
+  ParallelParts sim_parts(&simulator, kEngines, kAgents);
+  for (int i = 1; i <= kInstances; ++i) {
+    EXPECT_TRUE(
+        sim_parts.system->StartWorkflow(WorkloadSchema(i), i, {}).ok());
+  }
+  simulator.Run();
+
+  rt::Runtime runtime({.seed = kSeed, .tick_us = 20});
+  ParallelParts rt_parts(&runtime, kEngines, kAgents);
+  runtime.Start();
+  std::atomic<int> start_failures{0};
+  for (int i = 1; i <= kInstances; ++i) {
+    // An instance must be started on its owner engine's worker.
+    NodeId owner = rt_parts.system->OwnerEngine({WorkloadSchema(i), i});
+    runtime.Post(owner, [&rt_parts, &start_failures, i]() {
+      if (!rt_parts.system->StartWorkflow(WorkloadSchema(i), i, {}).ok()) {
+        start_failures.fetch_add(1);
+      }
+    });
+  }
+  runtime.Quiesce();
+  runtime.Shutdown();
+  EXPECT_EQ(start_failures.load(), 0);
+
+  for (int i = 1; i <= kInstances; ++i) {
+    InstanceId id{WorkloadSchema(i), i};
+    EXPECT_EQ(sim_parts.system->QueryStatus(id),
+              ExpectedState(WorkloadSchema(i)))
+        << "instance " << i;
+    EXPECT_EQ(sim_parts.system->QueryStatus(id),
+              rt_parts.system->QueryStatus(id))
+        << "instance " << i;
+  }
+  EXPECT_EQ(sim_parts.system->committed_count(),
+            rt_parts.system->committed_count());
+  EXPECT_EQ(sim_parts.system->aborted_count(),
+            rt_parts.system->aborted_count());
+  ExpectSameCounts(simulator.metrics(), runtime.MergedMetrics());
+}
+
+// ---- distributed ----
+
+struct DistParts {
+  runtime::ProgramRegistry programs;
+  model::Deployment deployment;
+  runtime::CoordinationSpec coordination;
+  std::unique_ptr<dist::DistributedSystem> system;
+
+  DistParts(sim::Backend* backend, int num_agents) {
+    programs.RegisterBuiltins();
+    programs.RegisterFailFirstN("flaky", 1);
+    // Generous pending-rule timeout: the overdue-step probe must fire in
+    // neither backend (under sim the run finishes at a tiny virtual
+    // time; under rt a wall-slow step could otherwise cross the default
+    // window and inject probe messages sim never sends).
+    dist::AgentOptions options;
+    options.pending_timeout = 5000;
+    system = std::make_unique<dist::DistributedSystem>(
+        backend, &programs, &deployment, &coordination, num_agents,
+        options);
+    for (auto schema : {Compile(SeqSchema("Good", 4)),
+                        Compile(FlakySchema("Flaky")),
+                        Compile(DoomedSchema("Doomed"))}) {
+      SetEligibleRoundRobin(&deployment, system->agent_ids(), *schema);
+      system->RegisterSchema(schema);
+    }
+  }
+};
+
+TEST(RtEquivalenceTest, DistributedSameStatesAndMessageCounts) {
+  constexpr int kAgents = 5;
+  constexpr int kInstances = 9;
+  auto schema_for = [](int i) {
+    switch (i % 3) {
+      case 0: return std::string("Doomed");
+      case 1: return std::string("Good");
+      default: return std::string("Flaky");
+    }
+  };
+
+  sim::Simulator simulator(kSeed);
+  DistParts sim_parts(&simulator, kAgents);
+  for (int i = 1; i <= kInstances; ++i) {
+    // The front end numbers instances from its global counter: the i-th
+    // start is instance i in both backends (FIFO admin posts under rt).
+    Result<InstanceId> id =
+        sim_parts.system->front_end().StartWorkflow(schema_for(i), {});
+    ASSERT_TRUE(id.ok());
+    ASSERT_EQ(id.value().number, i);
+  }
+  simulator.Run();
+
+  rt::Runtime runtime({.seed = kSeed, .tick_us = 20});
+  DistParts rt_parts(&runtime, kAgents);
+  runtime.Start();
+  std::atomic<int> start_failures{0};
+  for (int i = 1; i <= kInstances; ++i) {
+    runtime.Post(kFrontEndNode, [&rt_parts, &start_failures, &schema_for,
+                                 i]() {
+      Result<InstanceId> id =
+          rt_parts.system->front_end().StartWorkflow(schema_for(i), {});
+      if (!id.ok() || id.value().number != i) start_failures.fetch_add(1);
+    });
+  }
+  runtime.Quiesce();
+  runtime.Shutdown();
+  EXPECT_EQ(start_failures.load(), 0);
+
+  for (int i = 1; i <= kInstances; ++i) {
+    InstanceId id{schema_for(i), i};
+    EXPECT_EQ(sim_parts.system->CoordinationStatus(id),
+              ExpectedState(schema_for(i)))
+        << "instance " << i;
+    EXPECT_EQ(sim_parts.system->CoordinationStatus(id),
+              rt_parts.system->CoordinationStatus(id))
+        << "instance " << i;
+  }
+  EXPECT_EQ(sim_parts.system->committed_count(),
+            rt_parts.system->committed_count());
+  EXPECT_EQ(sim_parts.system->aborted_count(),
+            rt_parts.system->aborted_count());
+  ExpectSameCounts(simulator.metrics(), runtime.MergedMetrics());
+}
+
+// ---------------------------------------------------------------------------
+// Crash/recovery under live threads: an agent goes down mid-run, inbound
+// work parks, and the workflows still commit after recovery (the
+// transport contract's reliable-delivery half).
+
+TEST(RtCrashTest, CentralCommitsAcrossAgentCrashAndRecovery) {
+  rt::Runtime runtime({.seed = kSeed, .tick_us = 20});
+  CentralParts parts(&runtime, /*num_agents=*/4);
+  NodeId victim = parts.system->agent_ids()[0];
+  runtime.SetNodeDown(victim, true);
+  runtime.Start();
+  constexpr int kInstances = 8;
+  std::atomic<int> start_failures{0};
+  for (int i = 1; i <= kInstances; ++i) {
+    runtime.Post(1, [&parts, &start_failures, i]() {
+      if (!parts.system->engine().StartWorkflow("Good", i, {}).ok()) {
+        start_failures.fetch_add(1);
+      }
+    });
+  }
+  // Let traffic pile up against the down agent, then recover it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  runtime.SetNodeDown(victim, false);
+  runtime.Quiesce();
+  runtime.Shutdown();
+  EXPECT_EQ(start_failures.load(), 0);
+  for (int i = 1; i <= kInstances; ++i) {
+    EXPECT_EQ(parts.system->engine().QueryStatus({"Good", i}),
+              WorkflowState::kCommitted)
+        << "instance " << i;
+  }
+}
+
+}  // namespace
+}  // namespace crew

@@ -91,6 +91,93 @@ TEST(WalTest, ReplayDetectsBitFlip) {
   EXPECT_EQ(count, 0);
 }
 
+TEST(WalTest, RecoverKeepsPrefixTruncatesTornPayload) {
+  TempDir dir;
+  std::string path = dir.path() + "/log.wal";
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append("one").ok());
+    ASSERT_TRUE(wal.Append("two").ok());
+    ASSERT_TRUE(wal.Append("three").ok());
+  }
+  uintmax_t intact_size = std::filesystem::file_size(path);
+  // Crash mid-append: a header promising 32 bytes, payload cut short.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("32 12345\npartial", f);
+    std::fclose(f);
+  }
+  std::vector<std::string> seen;
+  Result<int64_t> recovered =
+      Wal::Recover(path, [&](const std::string& p) { seen.push_back(p); });
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value(), 3);
+  EXPECT_EQ(seen, (std::vector<std::string>{"one", "two", "three"}));
+  EXPECT_EQ(std::filesystem::file_size(path), intact_size);
+}
+
+TEST(WalTest, AppendAfterRecoverStaysReplayable) {
+  TempDir dir;
+  std::string path = dir.path() + "/log.wal";
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append("survivor").ok());
+  }
+  // Crash leaves an unparsable torn header at the tail. Without
+  // Recover's truncation, a record appended after reopening would sit
+  // behind this garbage and be invisible to every future replay.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage-not-a-header", f);
+    std::fclose(f);
+  }
+  Result<int64_t> recovered = Wal::Recover(path, [](const std::string&) {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 1);
+
+  Wal wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  ASSERT_TRUE(wal.Append("post-crash").ok());
+  wal.Close();
+  std::vector<std::string> seen;
+  Wal reader;
+  ASSERT_TRUE(
+      reader.Replay(path, [&](const std::string& p) { seen.push_back(p); })
+          .ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"survivor", "post-crash"}));
+}
+
+TEST(WalTest, RecoverOnCleanLogIsNoOp) {
+  TempDir dir;
+  std::string path = dir.path() + "/log.wal";
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append("a").ok());
+    ASSERT_TRUE(wal.Append("b").ok());
+  }
+  uintmax_t size = std::filesystem::file_size(path);
+  int count = 0;
+  Result<int64_t> recovered =
+      Wal::Recover(path, [&](const std::string&) { ++count; });
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 2);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(std::filesystem::file_size(path), size);
+}
+
+TEST(WalTest, RecoverOnMissingFileIsZero) {
+  TempDir dir;
+  Result<int64_t> recovered =
+      Wal::Recover(dir.path() + "/absent.wal", [](const std::string&) {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 0);
+}
+
 TEST(WalTest, TruncateEmptiesLog) {
   TempDir dir;
   std::string path = dir.path() + "/log.wal";
