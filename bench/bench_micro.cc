@@ -3,12 +3,16 @@
 // Writes BENCH_micro.json with items/sec (and bytes/sec) per benchmark.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "expr/eval.h"
 #include "expr/parser.h"
+#include "rt/mailbox.h"
 #include "rules/engine.h"
 #include "rules/event.h"
 #include "runtime/packet.h"
@@ -17,6 +21,51 @@
 namespace {
 
 using crew::Value;
+
+// Tracked micro number for the rt::Mailbox queue swap. Arg(0) is the
+// uncontended single-thread ping-pong (push one, pop one, run it);
+// Arg(N>0) runs N producer threads pushing a 64K-item batch against the
+// consumer on the bench thread, so the exchange/link hot path is
+// measured under real contention.
+void BM_MailboxPushPop(benchmark::State& state) {
+  const int producers = static_cast<int>(state.range(0));
+  if (producers == 0) {
+    crew::rt::Mailbox box(1 << 16);
+    int64_t sink = 0;
+    for (auto _ : state) {
+      box.ForcePush([&sink]() { ++sink; });
+      crew::rt::Mailbox::Popped task = box.Pop();
+      task.Run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+    return;
+  }
+  constexpr int kBatch = 1 << 16;
+  const int per_producer = kBatch / producers;
+  const int64_t total = int64_t{per_producer} * producers;
+  for (auto _ : state) {
+    crew::rt::Mailbox box(1 << 16);
+    std::atomic<int64_t> sink{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&box, &sink, per_producer]() {
+        for (int i = 0; i < per_producer; ++i) {
+          box.Push(
+              [&sink]() { sink.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    for (int64_t i = 0; i < total; ++i) {
+      crew::rt::Mailbox::Popped task = box.Pop();
+      task.Run();
+    }
+    for (auto& t : threads) t.join();
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_MailboxPushPop)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_RuleEnginePostAndFire(benchmark::State& state) {
   const int num_rules = static_cast<int>(state.range(0));

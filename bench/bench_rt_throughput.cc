@@ -1,21 +1,40 @@
-// Live-runtime throughput bench: sustained WorkflowStart traffic against
-// the real-thread backend (src/rt), one run per architecture. Reports
-// workflows/sec and wall-clock completion-latency percentiles (p50/p95/
-// p99) from the flight recorder's instance histogram, and writes the
-// machine-readable summary to BENCH_rt.json.
+// Live-runtime load bench: WorkflowStart traffic against the real-thread
+// backend (src/rt), one calibration run plus an open-loop arrival-rate
+// sweep per architecture.
+//
+// Phase 1 (calibration, closed-loop): blast all workflows at once and
+// measure saturation throughput — the number comparable across PRs
+// ("wf_per_sec") and the input to phase 2.
+//
+// Phase 2 (open-loop): a pacing thread schedules arrival i at
+// t0 + i/rate and posts it regardless of how far the system has fallen
+// behind, for a sweep of rates expressed as fractions of the calibrated
+// saturation throughput. Per-instance *sojourn* latency is measured from
+// the scheduled arrival tick to the instance-commit tick (flight
+// recorder kInstance span end), so queueing delay is charged to the
+// system rather than silently absorbed by a blocked driver (no
+// coordinated omission). This yields latency-under-load curves.
+//
+// Everything is written machine-readable to BENCH_rt.json.
 //
 // Flags:
-//   --smoke        tiny workload (<2s total) for CI
-//   --workflows=N  instances per architecture (default 4000; smoke 250)
-//   --agents=N     agent count (default 4)
-//   --engines=N    parallel-control engine count (default 2)
-//   --json=PATH    output path (default BENCH_rt.json)
+//   --smoke            tiny workload (<2s total) for CI
+//   --workflows=N      calibration instances per arch (default 4000)
+//   --open-workflows=N instances per open-loop point (default: workflows/2)
+//   --rates=a,b,c      open-loop rates as fractions of the calibrated
+//                      saturation rate (default 0.5,0.75,0.9)
+//   --agents=N         agent count (default 4)
+//   --engines=N        parallel-control engine count (default 2)
+//   --json=PATH        output path (default BENCH_rt.json)
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "central/system.h"
@@ -53,47 +72,237 @@ void SetEligibleRoundRobin(model::Deployment* deployment,
   }
 }
 
-struct ArchResult {
-  std::string label;
+double Ticks2Us(double ticks) { return ticks * static_cast<double>(kTickUs); }
+
+// ---------------------------------------------------------------------------
+// Architecture adapters: one system behind a uniform start-the-Nth-
+// workflow interface so the load driver is arch-agnostic. Instance
+// numbers are sequential from 1 in post order for every arch (central/
+// parallel number explicitly; the dist front end assigns 1,2,... and the
+// single pacing thread posts FIFO), which is what lets the sojourn pass
+// map a trace record back to its scheduled arrival.
+
+class BenchSystem {
+ public:
+  virtual ~BenchSystem() = default;
+  virtual void Post(rt::Runtime* rt, int seq) = 0;  // seq is 1-based
+  virtual int64_t committed() = 0;
+  /// Folds subsystem counters (conflict-tracker shards) into `metrics`.
+  virtual void ExportStats(sim::Metrics* metrics) const { (void)metrics; }
+};
+
+struct BenchConfig {
+  int agents = 4;
+  int engines = 2;
+};
+
+class CentralBench : public BenchSystem {
+ public:
+  CentralBench(rt::Runtime* rt, runtime::ProgramRegistry* programs,
+               model::Deployment* deployment,
+               runtime::CoordinationSpec* coordination,
+               const BenchConfig& config)
+      : system_(rt, programs, deployment, coordination, config.agents) {
+    auto schema = JobSchema();
+    SetEligibleRoundRobin(deployment, system_.agent_ids(), *schema);
+    system_.engine().RegisterSchema(schema);
+  }
+  void Post(rt::Runtime* rt, int seq) override {
+    rt->Post(1, [this, seq]() {
+      (void)system_.engine().StartWorkflow("Job", seq, {});
+    });
+  }
+  int64_t committed() override { return system_.engine().committed_count(); }
+
+ private:
+  central::CentralSystem system_;
+};
+
+class ParallelBench : public BenchSystem {
+ public:
+  ParallelBench(rt::Runtime* rt, runtime::ProgramRegistry* programs,
+                model::Deployment* deployment,
+                runtime::CoordinationSpec* coordination,
+                const BenchConfig& config)
+      : system_(rt, programs, deployment, coordination, config.engines,
+                config.agents) {
+    auto schema = JobSchema();
+    SetEligibleRoundRobin(deployment, system_.agent_ids(), *schema);
+    system_.RegisterSchema(schema);
+  }
+  void Post(rt::Runtime* rt, int seq) override {
+    NodeId owner = system_.OwnerEngine({"Job", seq});
+    rt->Post(owner,
+             [this, seq]() { (void)system_.StartWorkflow("Job", seq, {}); });
+  }
+  int64_t committed() override { return system_.committed_count(); }
+  void ExportStats(sim::Metrics* metrics) const override {
+    system_.tracker().ExportStats(metrics);
+  }
+
+ private:
+  parallel::ParallelSystem system_;
+};
+
+class DistBench : public BenchSystem {
+ public:
+  DistBench(rt::Runtime* rt, runtime::ProgramRegistry* programs,
+            model::Deployment* deployment,
+            runtime::CoordinationSpec* coordination,
+            const BenchConfig& config)
+      : system_(rt, programs, deployment, coordination, config.agents,
+                MakeAgentOptions()) {
+    auto schema = JobSchema();
+    SetEligibleRoundRobin(deployment, system_.agent_ids(), *schema);
+    system_.RegisterSchema(schema);
+  }
+  void Post(rt::Runtime* rt, int /*seq*/) override {
+    rt->Post(kFrontEndNode, [this]() {
+      (void)system_.front_end().StartWorkflow("Job", {});
+    });
+  }
+  int64_t committed() override { return system_.committed_count(); }
+
+ private:
+  static dist::AgentOptions MakeAgentOptions() {
+    dist::AgentOptions options;
+    options.exec_latency = 1;
+    // Keep overdue-step probes out of a healthy run even when the
+    // machine stalls: 5000 ticks = 50ms at the bench tick rate.
+    options.pending_timeout = 5000;
+    return options;
+  }
+  dist::DistributedSystem system_;
+};
+
+template <typename System>
+std::unique_ptr<BenchSystem> Make(rt::Runtime* rt,
+                                  runtime::ProgramRegistry* programs,
+                                  model::Deployment* deployment,
+                                  runtime::CoordinationSpec* coordination,
+                                  const BenchConfig& config) {
+  return std::make_unique<System>(rt, programs, deployment, coordination,
+                                  config);
+}
+
+using Factory = std::unique_ptr<BenchSystem> (*)(rt::Runtime*,
+                                                 runtime::ProgramRegistry*,
+                                                 model::Deployment*,
+                                                 runtime::CoordinationSpec*,
+                                                 const BenchConfig&);
+
+// ---------------------------------------------------------------------------
+// One run: fresh runtime + system, driven closed-loop (rate <= 0) or
+// open-loop at `rate` workflows/sec.
+
+struct RunResult {
   int workflows = 0;
   int64_t committed = 0;
   double wall_ms = 0;
-  double wf_per_sec = 0;
+  double achieved_per_sec = 0;  // workflows / wall (incl. drain)
+  // Service latency: StartWorkflow dispatch -> commit (kInstance span).
   double p50_us = 0, p95_us = 0, p99_us = 0, max_us = 0;
+  // Open-loop only: sojourn latency, scheduled arrival -> commit.
+  bool open_loop = false;
+  double target_rate = 0;    // workflows/sec offered
+  double rate_fraction = 0;  // of the calibrated saturation rate
+  int64_t sojourn_samples = 0;
+  double sojourn_p50_us = 0, sojourn_p95_us = 0, sojourn_p99_us = 0,
+         sojourn_max_us = 0;
   rt::RuntimeStats stats;
   std::string metrics_json;
 };
 
-double Ticks2Us(double ticks) { return ticks * static_cast<double>(kTickUs); }
+RunResult RunOnce(Factory factory, const BenchConfig& config, int workflows,
+                  double rate) {
+  obs::RingBufferTracer ring;
+  rt::Runtime rt({.seed = kSeed, .tick_us = kTickUs, .tracer = &ring});
+  runtime::ProgramRegistry programs;
+  programs.RegisterBuiltins();
+  model::Deployment deployment;
+  runtime::CoordinationSpec coordination;
+  std::unique_ptr<BenchSystem> system =
+      factory(&rt, &programs, &deployment, &coordination, config);
+  rt.Start();
 
-ArchResult Summarize(const std::string& label, int workflows,
-                     int64_t committed,
-                     std::chrono::steady_clock::duration wall,
-                     const obs::RingBufferTracer& ring,
-                     const rt::Runtime& runtime) {
-  ArchResult r;
-  r.label = label;
+  auto t0 = std::chrono::steady_clock::now();
+  int64_t tick0 = rt.now();
+  double period_us = rate > 0 ? 1e6 / rate : 0;
+  if (rate <= 0) {
+    for (int i = 1; i <= workflows; ++i) system->Post(&rt, i);
+  } else {
+    // The pacing thread is the open-loop arrival process: arrival i is
+    // *scheduled* at t0 + i*period and posted then, no matter how far
+    // behind the system is. (Post can still block on mailbox
+    // backpressure; the sojourn clock keeps charging the system either
+    // way, because it starts at the scheduled tick.)
+    std::thread pacer([&]() {
+      for (int i = 0; i < workflows; ++i) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::microseconds(
+                     static_cast<int64_t>(i * period_us)));
+        system->Post(&rt, i + 1);
+      }
+    });
+    pacer.join();
+  }
+  rt.Quiesce();
+  auto wall = std::chrono::steady_clock::now() - t0;
+  rt.Shutdown();
+
+  RunResult r;
   r.workflows = workflows;
-  r.committed = committed;
+  r.committed = system->committed();
   r.wall_ms =
       std::chrono::duration_cast<std::chrono::microseconds>(wall).count() /
       1000.0;
-  r.wf_per_sec = r.wall_ms > 0 ? workflows / (r.wall_ms / 1000.0) : 0;
+  r.achieved_per_sec = r.wall_ms > 0 ? workflows / (r.wall_ms / 1000.0) : 0;
   const obs::LatencyHistogram& h = ring.instance_latency();
   r.p50_us = Ticks2Us(h.Percentile(50));
   r.p95_us = Ticks2Us(h.Percentile(95));
   r.p99_us = Ticks2Us(h.Percentile(99));
   r.max_us = Ticks2Us(static_cast<double>(h.max()));
-  r.stats = runtime.Stats();
-  r.metrics_json = runtime.MergedMetrics().ReportJson();
+  r.stats = rt.Stats();
+
+  if (rate > 0) {
+    r.open_loop = true;
+    r.target_rate = rate;
+    obs::LatencyHistogram sojourn("sojourn", "ticks");
+    for (const obs::TraceRecord& rec : ring.records()) {
+      if (rec.kind != obs::SpanKind::kInstance ||
+          rec.phase != obs::TracePhase::kComplete ||
+          rec.name != "instance") {
+        continue;
+      }
+      int64_t arrival = rec.instance.number - 1;  // 0-based arrival index
+      if (arrival < 0 || arrival >= workflows) continue;
+      int64_t scheduled_tick =
+          tick0 + static_cast<int64_t>(arrival * period_us) / kTickUs;
+      int64_t complete_tick = rec.time + rec.dur;
+      int64_t lat = complete_tick - scheduled_tick;
+      sojourn.Add(lat < 0 ? 0 : lat);
+    }
+    r.sojourn_samples = sojourn.count();
+    r.sojourn_p50_us = Ticks2Us(sojourn.Percentile(50));
+    r.sojourn_p95_us = Ticks2Us(sojourn.Percentile(95));
+    r.sojourn_p99_us = Ticks2Us(sojourn.Percentile(99));
+    r.sojourn_max_us = Ticks2Us(static_cast<double>(sojourn.max()));
+  }
+
+  sim::Metrics merged = rt.MergedMetrics();
+  system->ExportStats(&merged);
+  r.metrics_json = merged.ReportJson();
   return r;
 }
 
-void Print(const ArchResult& r) {
+// ---------------------------------------------------------------------------
+// Reporting
+
+void PrintClosed(const std::string& label, const RunResult& r) {
   std::printf(
-      "%-12s %6d wf in %8.1f ms  => %9.0f wf/s   "
+      "%-12s closed-loop %6d wf in %8.1f ms  => %9.0f wf/s   "
       "latency p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus\n",
-      r.label.c_str(), r.workflows, r.wall_ms, r.wf_per_sec, r.p50_us,
+      label.c_str(), r.workflows, r.wall_ms, r.achieved_per_sec, r.p50_us,
       r.p95_us, r.p99_us, r.max_us);
   std::printf(
       "             workers=%d delivered=%lld timers=%lld "
@@ -105,116 +314,62 @@ void Print(const ArchResult& r) {
       r.stats.max_mailbox_depth);
 }
 
-std::string Json(const ArchResult& r) {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"arch\":\"%s\",\"workflows\":%d,\"committed\":%lld,"
-      "\"wall_ms\":%.3f,\"wf_per_sec\":%.1f,"
-      "\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,"
-      "\"max\":%.1f},"
-      "\"rt\":{\"workers\":%d,\"delivered\":%lld,\"parked\":%lld,"
-      "\"timers\":%lld,\"mailbox_parks\":%lld,\"max_depth\":%zu},"
-      "\"metrics\":",
-      r.label.c_str(), r.workflows, static_cast<long long>(r.committed),
-      r.wall_ms, r.wf_per_sec, r.p50_us, r.p95_us, r.p99_us, r.max_us,
-      r.stats.num_workers,
-      static_cast<long long>(r.stats.messages_delivered),
-      static_cast<long long>(r.stats.messages_parked),
-      static_cast<long long>(r.stats.timers_fired),
-      static_cast<long long>(r.stats.mailbox_parks),
-      r.stats.max_mailbox_depth);
-  return std::string(buf) + r.metrics_json + "}";
+void PrintOpen(const std::string& label, const RunResult& r) {
+  std::printf(
+      "%-12s open-loop @%7.0f wf/s (%.2fx sat) %5d wf  "
+      "sojourn p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus  parks=%lld\n",
+      label.c_str(), r.target_rate, r.rate_fraction, r.workflows,
+      r.sojourn_p50_us, r.sojourn_p95_us, r.sojourn_p99_us, r.sojourn_max_us,
+      static_cast<long long>(r.stats.mailbox_parks));
 }
 
-ArchResult RunCentral(int workflows, int agents) {
-  obs::RingBufferTracer ring;
-  rt::Runtime runtime({.seed = kSeed, .tick_us = kTickUs, .tracer = &ring});
-  runtime::ProgramRegistry programs;
-  programs.RegisterBuiltins();
-  model::Deployment deployment;
-  runtime::CoordinationSpec coordination;
-  central::CentralSystem system(&runtime, &programs, &deployment,
-                                &coordination, agents);
-  auto schema = JobSchema();
-  SetEligibleRoundRobin(&deployment, system.agent_ids(), *schema);
-  system.engine().RegisterSchema(schema);
-  runtime.Start();
-  auto t0 = std::chrono::steady_clock::now();
-  for (int i = 1; i <= workflows; ++i) {
-    runtime.Post(1, [&system, i]() {
-      (void)system.engine().StartWorkflow("Job", i, {});
-    });
+std::string Json(const RunResult& r) {
+  char buf[1024];
+  std::string head;
+  if (r.open_loop) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"mode\":\"open\",\"target_rate_per_sec\":%.1f,"
+                  "\"rate_fraction\":%.3f,\"workflows\":%d,"
+                  "\"committed\":%lld,\"wall_ms\":%.3f,"
+                  "\"achieved_per_sec\":%.1f,"
+                  "\"sojourn_us\":{\"samples\":%lld,\"p50\":%.1f,"
+                  "\"p95\":%.1f,\"p99\":%.1f,\"max\":%.1f},"
+                  "\"service_us\":{\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,"
+                  "\"max\":%.1f},",
+                  r.target_rate, r.rate_fraction, r.workflows,
+                  static_cast<long long>(r.committed), r.wall_ms,
+                  r.achieved_per_sec,
+                  static_cast<long long>(r.sojourn_samples), r.sojourn_p50_us,
+                  r.sojourn_p95_us, r.sojourn_p99_us, r.sojourn_max_us,
+                  r.p50_us, r.p95_us, r.p99_us, r.max_us);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"mode\":\"closed\",\"workflows\":%d,\"committed\":%lld,"
+                  "\"wall_ms\":%.3f,\"wf_per_sec\":%.1f,"
+                  "\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,"
+                  "\"max\":%.1f},",
+                  r.workflows, static_cast<long long>(r.committed), r.wall_ms,
+                  r.achieved_per_sec, r.p50_us, r.p95_us, r.p99_us, r.max_us);
   }
-  runtime.Quiesce();
-  auto wall = std::chrono::steady_clock::now() - t0;
-  runtime.Shutdown();
-  return Summarize("central", workflows, system.engine().committed_count(),
-                   wall, ring, runtime);
-}
-
-ArchResult RunParallel(int workflows, int engines, int agents) {
-  obs::RingBufferTracer ring;
-  rt::Runtime runtime({.seed = kSeed, .tick_us = kTickUs, .tracer = &ring});
-  runtime::ProgramRegistry programs;
-  programs.RegisterBuiltins();
-  model::Deployment deployment;
-  runtime::CoordinationSpec coordination;
-  parallel::ParallelSystem system(&runtime, &programs, &deployment,
-                                  &coordination, engines, agents);
-  auto schema = JobSchema();
-  SetEligibleRoundRobin(&deployment, system.agent_ids(), *schema);
-  system.RegisterSchema(schema);
-  runtime.Start();
-  auto t0 = std::chrono::steady_clock::now();
-  for (int i = 1; i <= workflows; ++i) {
-    NodeId owner = system.OwnerEngine({"Job", i});
-    runtime.Post(owner, [&system, i]() {
-      (void)system.StartWorkflow("Job", i, {});
-    });
-  }
-  runtime.Quiesce();
-  auto wall = std::chrono::steady_clock::now() - t0;
-  runtime.Shutdown();
-  return Summarize("parallel", workflows, system.committed_count(), wall,
-                   ring, runtime);
-}
-
-ArchResult RunDistributed(int workflows, int agents) {
-  obs::RingBufferTracer ring;
-  rt::Runtime runtime({.seed = kSeed, .tick_us = kTickUs, .tracer = &ring});
-  runtime::ProgramRegistry programs;
-  programs.RegisterBuiltins();
-  model::Deployment deployment;
-  runtime::CoordinationSpec coordination;
-  dist::AgentOptions options;
-  options.exec_latency = 1;
-  // Keep overdue-step probes out of a healthy run even when the machine
-  // stalls: 5000 ticks = 50ms at the bench tick rate.
-  options.pending_timeout = 5000;
-  dist::DistributedSystem system(&runtime, &programs, &deployment,
-                                 &coordination, agents, options);
-  auto schema = JobSchema();
-  SetEligibleRoundRobin(&deployment, system.agent_ids(), *schema);
-  system.RegisterSchema(schema);
-  runtime.Start();
-  auto t0 = std::chrono::steady_clock::now();
-  for (int i = 1; i <= workflows; ++i) {
-    runtime.Post(kFrontEndNode, [&system]() {
-      (void)system.front_end().StartWorkflow("Job", {});
-    });
-  }
-  runtime.Quiesce();
-  auto wall = std::chrono::steady_clock::now() - t0;
-  runtime.Shutdown();
-  return Summarize("dist", workflows, system.committed_count(), wall, ring,
-                   runtime);
+  head = buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"rt\":{\"workers\":%d,\"delivered\":%lld,\"parked\":%lld,"
+                "\"timers\":%lld,\"mailbox_parks\":%lld,\"max_depth\":%zu},"
+                "\"metrics\":",
+                r.stats.num_workers,
+                static_cast<long long>(r.stats.messages_delivered),
+                static_cast<long long>(r.stats.messages_parked),
+                static_cast<long long>(r.stats.timers_fired),
+                static_cast<long long>(r.stats.mailbox_parks),
+                r.stats.max_mailbox_depth);
+  return head + buf + r.metrics_json + "}";
 }
 
 int Main(int argc, char** argv) {
   int workflows = 4000;
-  int agents = 4;
-  int engines = 2;
+  int open_workflows = 0;  // 0 => workflows / 2
+  BenchConfig config;
+  std::vector<double> rate_fractions = {0.5, 0.75, 0.9};
   std::string json_path = "BENCH_rt.json";
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
@@ -223,10 +378,22 @@ int Main(int argc, char** argv) {
       smoke = true;
     } else if (arg.rfind("--workflows=", 0) == 0) {
       workflows = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--open-workflows=", 0) == 0) {
+      open_workflows = std::atoi(arg.c_str() + 17);
     } else if (arg.rfind("--agents=", 0) == 0) {
-      agents = std::atoi(arg.c_str() + 9);
+      config.agents = std::atoi(arg.c_str() + 9);
     } else if (arg.rfind("--engines=", 0) == 0) {
-      engines = std::atoi(arg.c_str() + 10);
+      config.engines = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--rates=", 0) == 0) {
+      rate_fractions.clear();
+      std::string list = arg.substr(8);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        rate_fractions.push_back(std::atof(list.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+      }
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else {
@@ -234,41 +401,74 @@ int Main(int argc, char** argv) {
       return 2;
     }
   }
-  if (smoke) workflows = 250;
+  if (smoke) {
+    workflows = 250;
+    if (open_workflows == 0) open_workflows = 150;
+  }
+  if (open_workflows == 0) open_workflows = workflows / 2;
 
-  std::printf("rt throughput: %d workflows/arch, %d agents, %d engines, "
-              "tick=%lldus\n",
-              workflows, agents, engines,
-              static_cast<long long>(kTickUs));
-  std::vector<ArchResult> results;
-  results.push_back(RunCentral(workflows, agents));
-  Print(results.back());
-  results.push_back(RunParallel(workflows, engines, agents));
-  Print(results.back());
-  results.push_back(RunDistributed(workflows, agents));
-  Print(results.back());
+  std::printf(
+      "rt load: %d wf calibration + %zu open-loop points x %d wf, "
+      "%d agents, %d engines, tick=%lldus\n",
+      workflows, rate_fractions.size(), open_workflows, config.agents,
+      config.engines, static_cast<long long>(kTickUs));
+
+  struct ArchSpec {
+    const char* label;
+    Factory factory;
+  };
+  const ArchSpec archs[] = {
+      {"central", &Make<CentralBench>},
+      {"parallel", &Make<ParallelBench>},
+      {"dist", &Make<DistBench>},
+  };
 
   int failures = 0;
-  for (const ArchResult& r : results) {
-    if (r.committed != r.workflows) {
-      std::fprintf(stderr, "FAIL: %s committed %lld of %d workflows\n",
-                   r.label.c_str(), static_cast<long long>(r.committed),
-                   r.workflows);
-      ++failures;
-    }
-    if (r.stats.num_workers < 4) {
-      std::fprintf(stderr, "FAIL: %s ran on %d workers (< 4)\n",
-                   r.label.c_str(), r.stats.num_workers);
-      ++failures;
-    }
-  }
-
   std::ofstream out(json_path);
   out << "{\"bench\":\"rt_throughput\",\"smoke\":" << (smoke ? "true" : "false")
-      << ",\"tick_us\":" << kTickUs << ",\"runs\":[";
-  for (size_t i = 0; i < results.size(); ++i) {
-    if (i > 0) out << ",";
-    out << Json(results[i]);
+      << ",\"tick_us\":" << kTickUs << ",\"archs\":[";
+  bool first_arch = true;
+  for (const ArchSpec& arch : archs) {
+    RunResult calibration = RunOnce(arch.factory, config, workflows, 0);
+    PrintClosed(arch.label, calibration);
+    // Floor the sweep base so a pathological calibration still produces
+    // a meaningful (if trivially underloaded) sweep.
+    double saturation = std::max(calibration.achieved_per_sec, 100.0);
+
+    std::vector<RunResult> sweep;
+    for (double fraction : rate_fractions) {
+      RunResult point = RunOnce(arch.factory, config, open_workflows,
+                                saturation * fraction);
+      point.rate_fraction = fraction;
+      PrintOpen(arch.label, point);
+      sweep.push_back(std::move(point));
+    }
+
+    auto check = [&](const RunResult& r, const char* mode) {
+      if (r.committed != r.workflows) {
+        std::fprintf(stderr, "FAIL: %s %s committed %lld of %d workflows\n",
+                     arch.label, mode, static_cast<long long>(r.committed),
+                     r.workflows);
+        ++failures;
+      }
+    };
+    check(calibration, "closed");
+    for (const RunResult& r : sweep) check(r, "open");
+    if (calibration.stats.num_workers < 4) {
+      std::fprintf(stderr, "FAIL: %s ran on %d workers (< 4)\n", arch.label,
+                   calibration.stats.num_workers);
+      ++failures;
+    }
+
+    if (!first_arch) out << ",";
+    first_arch = false;
+    out << "{\"arch\":\"" << arch.label
+        << "\",\"closed_loop\":" << Json(calibration) << ",\"open_loop\":[";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      if (i > 0) out << ",";
+      out << Json(sweep[i]);
+    }
+    out << "]}";
   }
   out << "]}\n";
   out.close();

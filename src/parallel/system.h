@@ -52,6 +52,9 @@ class ParallelSystem : public central::ParallelTopology {
   int64_t committed_count() const;
   int64_t aborted_count() const;
 
+  /// The shared tracker, for shard-contention stats (ExportStats).
+  const runtime::ConflictTracker& tracker() const { return tracker_; }
+
  private:
   central::WorkflowEngine& OwnerOf(const InstanceId& instance);
   const central::WorkflowEngine& OwnerOf(const InstanceId& instance) const;

@@ -1,92 +1,270 @@
 #include "rt/mailbox.h"
 
-#include <thread>
-#include <utility>
+#include <algorithm>
+#include <chrono>
 
 namespace crew::rt {
 
-bool Mailbox::PushLocked(Task task, bool bounded) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (bounded) {
-    not_full_.wait(lock, [this]() {
-      return closed_ || queue_.size() < capacity_;
+// ---------------------------------------------------------------------------
+// Construction / teardown
+
+Mailbox::Mailbox(size_t capacity, int spin_iterations)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      spin_iterations_(spin_iterations),
+      pool_slots_(static_cast<uint32_t>(
+          std::min<size_t>(capacity_ + 1, 1024))),
+      pool_(new Node[pool_slots_]),
+      free_head_(0) {
+  for (uint32_t i = 0; i < pool_slots_; ++i) {
+    pool_[i].pool_next.store(i + 1 < pool_slots_ ? i + 1 : kNilIndex,
+                             std::memory_order_relaxed);
+  }
+  // The queue is never empty structurally: it always holds a stub node
+  // (initially payload-free; after a pop, the just-consumed node).
+  Node* stub = AcquireNode();
+  stub->next.store(nullptr, std::memory_order_relaxed);
+  head_.store(stub, std::memory_order_relaxed);
+  tail_ = stub;
+}
+
+Mailbox::~Mailbox() {
+  Close();
+  // By contract all producers and the consumer have stopped (the runtime
+  // joins its workers before destroying cells). Drain undelivered tasks,
+  // destroying their payloads without running them.
+  Node* node = tail_;
+  while (node != nullptr) {
+    Node* next = node->next.load(std::memory_order_acquire);
+    if (node->drop != nullptr) node->drop(node->storage);
+    if (!IsPoolNode(node)) delete node;
+    node = next;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node pool: a Treiber stack of indices into a fixed array. The head
+// word packs {generation, index}; bumping the generation on every
+// successful exchange makes the multi-producer pop immune to ABA. The
+// free-list link (`pool_next`) is atomic only because a producer that
+// loses the CAS race may read it while the winner already reuses the
+// node — the stale value is discarded with the failed CAS.
+
+Mailbox::Node* Mailbox::AcquireNode() {
+  uint64_t head = free_head_.load(std::memory_order_acquire);
+  for (;;) {
+    uint32_t index = static_cast<uint32_t>(head);
+    if (index == kNilIndex) break;  // pool exhausted
+    Node* node = &pool_[index];
+    uint64_t generation = head >> 32;
+    uint64_t next =
+        ((generation + 1) << 32) |
+        node->pool_next.load(std::memory_order_relaxed);
+    if (free_head_.compare_exchange_weak(head, next,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      return node;
+    }
+  }
+  return new Node();  // deep queue: heap fallback, freed on release
+}
+
+void Mailbox::ReleaseNode(Node* node) {
+  if (!IsPoolNode(node)) {
+    delete node;
+    return;
+  }
+  uint32_t index = static_cast<uint32_t>(node - pool_.get());
+  uint64_t head = free_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    node->pool_next.store(static_cast<uint32_t>(head),
+                          std::memory_order_relaxed);
+    uint64_t next = (((head >> 32) + 1) << 32) | index;
+    if (free_head_.compare_exchange_weak(head, next,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Producers
+
+bool Mailbox::Enqueue(Node* node) {
+  // Admission races Close() on one word: whichever RMW lands first wins,
+  // so a late push is refused (and undone) rather than silently lost,
+  // and a push that won admission is guaranteed to be drained.
+  uint64_t prev = state_.fetch_add(1, std::memory_order_seq_cst);
+  if (prev & kClosedBit) {
+    state_.fetch_sub(1, std::memory_order_acq_rel);
+    node->drop(node->storage);
+    node->run = nullptr;
+    node->drop = nullptr;
+    ReleaseNode(node);
+    return false;
+  }
+  // Vyukov MPSC push: one exchange serializes producers; the release
+  // store publishes the node (payload included) to the consumer. Between
+  // the two, the chain has a gap the consumer bridges by checking the
+  // admission count.
+  node->next.store(nullptr, std::memory_order_relaxed);
+  Node* prev_head = head_.exchange(node, std::memory_order_acq_rel);
+  prev_head->next.store(node, std::memory_order_release);
+  // Unpark: the seq_cst admission RMW above and this seq_cst load pair
+  // with the consumer's seq_cst {park-flag store; admission re-check},
+  // so either we observe the parked flag or the consumer observes our
+  // admission — a wakeup is never missed (Dekker-style store/load).
+  if (parked_.load(std::memory_order_seq_cst)) {
+    { std::lock_guard<std::mutex> lock(mu_); }
+    not_empty_.notify_one();
+  }
+  return true;
+}
+
+bool Mailbox::WaitForCapacity() {
+  for (;;) {
+    uint64_t s = state_.load(std::memory_order_acquire);
+    if (s & kClosedBit) return false;
+    uint64_t depth =
+        (s & kCountMask) -
+        static_cast<uint64_t>(popped_total_.load(std::memory_order_acquire));
+    if (depth < capacity_) return true;
+    std::unique_lock<std::mutex> lock(mu_);
+    capacity_waiters_.fetch_add(1, std::memory_order_relaxed);
+    // Timed wait: the consumer checks the waiter count without a full
+    // barrier after publishing its pop, so a wakeup can race; the poll
+    // period bounds that miss at 1ms on the (already blocking) slow
+    // path instead of taxing every pop with a seq_cst fence.
+    not_full_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      uint64_t now = state_.load(std::memory_order_acquire);
+      return (now & kClosedBit) != 0 ||
+             (now & kCountMask) -
+                     static_cast<uint64_t>(
+                         popped_total_.load(std::memory_order_acquire)) <
+                 capacity_;
     });
+    capacity_waiters_.fetch_sub(1, std::memory_order_relaxed);
   }
-  if (closed_) return false;
-  queue_.push_back(std::move(task));
-  size_t depth = queue_.size();
-  if (depth > max_depth_) max_depth_ = depth;
-  approx_size_.store(depth, std::memory_order_release);
-  pushed_total_.fetch_add(1, std::memory_order_release);
-  lock.unlock();
-  not_empty_.notify_one();
-  return true;
 }
 
-bool Mailbox::Push(Task task) {
-  return PushLocked(std::move(task), /*bounded=*/true);
-}
+// ---------------------------------------------------------------------------
+// Consumer
 
-bool Mailbox::ForcePush(Task task) {
-  return PushLocked(std::move(task), /*bounded=*/false);
-}
-
-bool Mailbox::Pop(Task* out) {
-  // Fast path: spin on the approximate size before touching the lock.
-  // The counter may be stale in either direction; it only gates how soon
-  // we take the mutex, never correctness.
-  for (int i = 0; i < spin_iterations_; ++i) {
-    if (approx_size_.load(std::memory_order_acquire) > 0) break;
-    std::this_thread::yield();
+Mailbox::Popped Mailbox::Pop() {
+  int spins = spin_iterations_;
+  for (;;) {
+    Node* next = tail_->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      // Depth high-water: sampled here, where depth is maximal (pushes
+      // only grow it; the only shrink is this dequeue).
+      uint64_t admitted =
+          state_.load(std::memory_order_relaxed) & kCountMask;
+      size_t depth =
+          static_cast<size_t>(admitted - static_cast<uint64_t>(popped_));
+      if (depth > max_depth_.load(std::memory_order_relaxed)) {
+        max_depth_.store(depth, std::memory_order_relaxed);
+      }
+      Node* consumed = tail_;
+      tail_ = next;
+      ++popped_;
+      popped_total_.store(popped_, std::memory_order_release);
+      ReleaseNode(consumed);
+      if (capacity_waiters_.load(std::memory_order_relaxed) > 0) {
+        { std::lock_guard<std::mutex> lock(mu_); }
+        not_full_.notify_all();
+      }
+      // The task stays in `next` (the new stub); the handle runs it in
+      // place and the node is recycled by the pop after this one.
+      return Popped(this, next);
+    }
+    uint64_t s = state_.load(std::memory_order_seq_cst);
+    if ((s & kCountMask) > static_cast<uint64_t>(popped_)) {
+      // In-flight gap: a producer won admission but has not linked its
+      // node yet (two instructions away). Bridge it without parking.
+      std::this_thread::yield();
+      continue;
+    }
+    if (s & kClosedBit) return Popped();  // closed and drained
+    if (spins-- > 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    ParkConsumer();
+    spins = spin_iterations_;
   }
+}
+
+void Mailbox::ParkConsumer() {
   std::unique_lock<std::mutex> lock(mu_);
-  executing_ = false;  // the previous task (if any) is finished
-  while (queue_.empty() && !closed_) {
-    ++parks_;
-    not_empty_.wait(lock);
+  // Dekker pair with Enqueue: publish the parked flag, then re-check the
+  // admission count, both seq_cst. Either the re-check sees a racing
+  // admission (and we abort the park) or the producer's flag load sees
+  // `true` (and it notifies under the mutex).
+  parked_.store(true, std::memory_order_seq_cst);
+  auto has_work = [this]() {
+    uint64_t s = state_.load(std::memory_order_seq_cst);
+    return (s & kClosedBit) != 0 ||
+           (s & kCountMask) > static_cast<uint64_t>(popped_);
+  };
+  if (!has_work()) {
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    not_empty_.wait(lock, has_work);
   }
-  if (queue_.empty()) return false;  // closed and drained
-  *out = std::move(queue_.front());
-  queue_.pop_front();
-  approx_size_.store(queue_.size(), std::memory_order_release);
-  executing_ = true;
-  lock.unlock();
-  not_full_.notify_one();
-  return true;
-}
-
-void Mailbox::PopDone() {
-  std::lock_guard<std::mutex> lock(mu_);
-  executing_ = false;
+  parked_.store(false, std::memory_order_relaxed);
 }
 
 void Mailbox::Close() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    closed_ = true;
-  }
+  state_.fetch_or(kClosedBit, std::memory_order_seq_cst);
+  // The empty critical section fences against a consumer (or capacity
+  // waiter) that checked the flag and is about to wait: we can only
+  // acquire the mutex before its check or after it is actually waiting,
+  // so the notifications below cannot fall into the gap.
+  { std::lock_guard<std::mutex> lock(mu_); }
   not_empty_.notify_all();
   not_full_.notify_all();
 }
 
 bool Mailbox::QuietNow() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.empty() && !executing_;
+  // Sample the completion count *first*: completed <= admitted always,
+  // so reading them in this order can only under-report quiescence,
+  // never claim it early. The acquire load pairs with the consumer's
+  // release increment, ordering everything completed tasks wrote before
+  // a true result.
+  int64_t done = completed_total_.load(std::memory_order_acquire);
+  uint64_t s = state_.load(std::memory_order_acquire);
+  return static_cast<int64_t>(s & kCountMask) == done;
 }
 
 size_t Mailbox::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  // Same sampling-order trick: popped <= admitted, so popped first.
+  int64_t popped = popped_total_.load(std::memory_order_acquire);
+  uint64_t admitted = state_.load(std::memory_order_acquire) & kCountMask;
+  return static_cast<size_t>(static_cast<int64_t>(admitted) - popped);
 }
 
-int64_t Mailbox::parks() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return parks_;
+// ---------------------------------------------------------------------------
+// Popped handle
+
+void Mailbox::Popped::Run() {
+  Node* node = node_;
+  Mailbox* box = box_;
+  node_ = nullptr;
+  box_ = nullptr;
+  auto run = node->run;
+  node->run = nullptr;
+  node->drop = nullptr;
+  run(node->storage);
+  box->CompleteTask();
 }
 
-size_t Mailbox::max_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return max_depth_;
+void Mailbox::Popped::Discard() {
+  if (node_ == nullptr) return;
+  node_->drop(node_->storage);
+  node_->run = nullptr;
+  node_->drop = nullptr;
+  box_->CompleteTask();
+  node_ = nullptr;
+  box_ = nullptr;
 }
 
 }  // namespace crew::rt

@@ -3,10 +3,15 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <new>
+#include <thread>
+#include <type_traits>
+#include <utility>
 
 namespace crew::rt {
 
@@ -15,78 +20,241 @@ namespace crew::rt {
 /// (message deliveries), the timer thread (due callbacks), and the
 /// driver (admin posts).
 ///
-/// Baseline is mutex + condvar; the consumer fast path spins on an
-/// approximate size counter before parking, so a loaded mailbox never
-/// pays a futex wait per task. FIFO order is total per mailbox, which is
-/// stronger than the per-sender-pair in-order delivery the paper assumes.
+/// The hot path is a Vyukov-style intrusive MPSC queue: a producer does
+/// one atomic exchange on the queue head plus one release store to link
+/// its node, and the consumer pops by chasing `next` pointers — no mutex
+/// on either side. Tasks live in intrusive nodes drawn from a lock-free
+/// fixed pool (ABA-safe via a generation-tagged index stack), with the
+/// callable stored inline in the node, so a push of a small callable is
+/// also allocation-free; oversized callables and an exhausted pool fall
+/// back to the heap. The mutex + condvars survive only for parking the
+/// idle consumer and for the bounded-capacity backpressure wait.
+///
+/// FIFO order is total per mailbox (a single exchange point), which is
+/// stronger than the per-sender-pair in-order delivery the paper
+/// assumes.
 class Mailbox {
+  struct Node;
+
  public:
+  /// Interop alias for producers that already hold a type-erased task
+  /// (the timer heap); Push accepts any callable directly.
   using Task = std::function<void()>;
 
-  explicit Mailbox(size_t capacity, int spin_iterations = 256)
-      : capacity_(capacity), spin_iterations_(spin_iterations) {}
+  /// Callables up to this size (and max_align_t alignment) are stored
+  /// inline in the node; larger ones cost one heap allocation. Sized for
+  /// the runtime's delivery lambda (a sim::Message plus three pointers).
+  static constexpr size_t kInlineBytes = 128;
+
+  /// RAII handle to one dequeued task. Run() executes it; destruction
+  /// without Run() drops it (the Close() drain path). Must be consumed
+  /// on the consumer thread before the next Pop().
+  class Popped {
+   public:
+    Popped() = default;
+    Popped(Popped&& other) noexcept
+        : box_(other.box_), node_(other.node_) {
+      other.box_ = nullptr;
+      other.node_ = nullptr;
+    }
+    Popped& operator=(Popped&& other) noexcept {
+      if (this != &other) {
+        Discard();
+        box_ = other.box_;
+        node_ = other.node_;
+        other.box_ = nullptr;
+        other.node_ = nullptr;
+      }
+      return *this;
+    }
+    Popped(const Popped&) = delete;
+    Popped& operator=(const Popped&) = delete;
+    ~Popped() { Discard(); }
+
+    /// False once the mailbox is closed and drained.
+    explicit operator bool() const { return node_ != nullptr; }
+
+    /// Invokes the task (exactly once), then marks it complete for
+    /// QuietNow accounting.
+    void Run();
+
+   private:
+    friend class Mailbox;
+    Popped(Mailbox* box, Node* node) : box_(box), node_(node) {}
+    void Discard();
+
+    Mailbox* box_ = nullptr;
+    Node* node_ = nullptr;
+  };
+
+  explicit Mailbox(size_t capacity, int spin_iterations = 256);
+  ~Mailbox();
 
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Enqueues `task`, blocking while the mailbox is at capacity
+  /// Enqueues `fn`, blocking while the mailbox is at capacity
   /// (backpressure on remote senders and admin drivers). Returns false —
   /// and drops the task — once the mailbox is closed.
-  bool Push(Task task);
+  template <typename F>
+  bool Push(F&& fn) {
+    return Emplace(std::forward<F>(fn), /*bounded=*/true);
+  }
 
   /// Enqueues ignoring the capacity bound. Self-posts and timer
   /// deliveries use this: the owning worker blocking on its *own* full
   /// mailbox would deadlock the cell, and the timer thread must never
   /// stall behind one slow node. Returns false once closed.
-  bool ForcePush(Task task);
+  template <typename F>
+  bool ForcePush(F&& fn) {
+    return Emplace(std::forward<F>(fn), /*bounded=*/false);
+  }
 
-  /// Takes the next task, marking the consumer busy until the next Pop
-  /// (or PopDone) call. Spins briefly, then parks on the condvar.
-  /// Returns false once the mailbox is closed *and* drained.
-  bool Pop(Task* out);
-
-  /// Marks the in-flight task finished without taking another (the
-  /// worker calls Pop in a loop, which does this implicitly; PopDone is
-  /// for the final task before exit).
-  void PopDone();
+  /// Takes the next task, spinning briefly and then parking on the
+  /// condvar when the queue is empty. Returns an empty handle once the
+  /// mailbox is closed *and* drained. The previous handle must be
+  /// consumed (Run or destroyed) before the next Pop.
+  Popped Pop();
 
   /// Closes the mailbox: producers are refused, the consumer drains what
-  /// remains and then Pop returns false.
+  /// remains and then Pop returns an empty handle.
   void Close();
 
-  /// True when nothing is queued and the consumer is between tasks.
-  /// Acquires the mailbox lock, so a true result is also a memory
-  /// barrier against everything the consumer wrote before going quiet.
+  /// True when every admitted task has finished running — nothing queued
+  /// and the consumer is between tasks. A true result is an acquire
+  /// barrier against everything the consumer wrote while completing
+  /// those tasks (it pairs with the release completion count).
   bool QuietNow() const;
 
+  /// Tasks admitted but not yet dequeued (excludes the one a live Popped
+  /// handle holds).
   size_t size() const;
 
   // ---- counters for RuntimeStats ----
-  /// Total tasks accepted (lock-free read; exact only when quiet).
+  /// Total tasks accepted. Exact at all times: admission is one atomic
+  /// RMW, so the count never under- or over-reports accepted pushes
+  /// (a concurrent Push racing Close may inflate it by one until that
+  /// push is refused).
   int64_t pushed() const {
-    return pushed_total_.load(std::memory_order_acquire);
+    return static_cast<int64_t>(state_.load(std::memory_order_acquire) &
+                                kCountMask);
   }
   /// Times the consumer parked on the condvar (spin fast-path misses).
-  int64_t parks() const;
-  /// High-water mark of the queue depth.
-  size_t max_depth() const;
+  int64_t parks() const { return parks_.load(std::memory_order_relaxed); }
+  /// High-water mark of the queue depth (sampled by the consumer at
+  /// dequeue time).
+  size_t max_depth() const {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
 
  private:
-  bool PushLocked(Task task, bool bounded);
+  static constexpr uint32_t kNilIndex = 0xffffffffu;
+  static constexpr uint64_t kClosedBit = uint64_t{1} << 63;
+  static constexpr uint64_t kCountMask = kClosedBit - 1;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Task> queue_;
+  /// Intrusive queue node. `next` is the MPSC link; `pool_next` is the
+  /// free-list link (an index, so the free stack can carry an ABA
+  /// generation tag in a single 64-bit word). The callable is stored in
+  /// `storage` (inline, or as a pointer to a heap copy for oversized
+  /// callables); `run`/`drop` are its type-erased invoke/destroy
+  /// entry points, null once the payload has been consumed.
+  struct alignas(64) Node {
+    std::atomic<Node*> next{nullptr};
+    void (*run)(void* storage) = nullptr;
+    void (*drop)(void* storage) = nullptr;
+    std::atomic<uint32_t> pool_next{kNilIndex};
+    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+  };
+
+  template <typename F>
+  static void BindPayload(Node* node, F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(node->storage)) Fn(std::forward<F>(fn));
+      node->run = [](void* storage) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(storage));
+        (*f)();
+        f->~Fn();
+      };
+      node->drop = [](void* storage) {
+        std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+      };
+    } else {
+      Fn* heap = new Fn(std::forward<F>(fn));
+      ::new (static_cast<void*>(node->storage)) Fn*(heap);
+      node->run = [](void* storage) {
+        Fn* f = *std::launder(reinterpret_cast<Fn**>(storage));
+        (*f)();
+        delete f;
+      };
+      node->drop = [](void* storage) {
+        delete *std::launder(reinterpret_cast<Fn**>(storage));
+      };
+    }
+  }
+
+  template <typename F>
+  bool Emplace(F&& fn, bool bounded) {
+    if (bounded && !WaitForCapacity()) return false;
+    Node* node = AcquireNode();
+    BindPayload(node, std::forward<F>(fn));
+    if (!Enqueue(node)) return false;
+    return true;
+  }
+
+  /// Admits and links a payload-bearing node; refuses (destroying the
+  /// payload and returning the node) if the mailbox closed first.
+  bool Enqueue(Node* node);
+
+  /// Blocks while the queue is at capacity. Returns false once closed.
+  bool WaitForCapacity();
+
+  /// Parks the consumer until work arrives or the mailbox closes.
+  void ParkConsumer();
+
+  Node* AcquireNode();
+  void ReleaseNode(Node* node);
+  bool IsPoolNode(const Node* node) const {
+    return node >= pool_.get() && node < pool_.get() + pool_slots_;
+  }
+
+  /// Consumer-side bookkeeping when a Popped handle finishes or drops
+  /// its task.
+  void CompleteTask() {
+    completed_total_.fetch_add(1, std::memory_order_release);
+  }
+
   const size_t capacity_;
   const int spin_iterations_;
-  bool closed_ = false;
-  bool executing_ = false;
-  /// Mirror of queue_.size() the consumer can spin on without the lock.
-  std::atomic<size_t> approx_size_{0};
-  std::atomic<int64_t> pushed_total_{0};
-  int64_t parks_ = 0;
-  size_t max_depth_ = 0;
+  const uint32_t pool_slots_;
+  std::unique_ptr<Node[]> pool_;
+  /// Free-node stack: {generation:32, head index:32}. The generation tag
+  /// makes the producer-side pop ABA-safe with a plain 64-bit CAS.
+  std::atomic<uint64_t> free_head_;
+
+  /// Admission word: bit 63 = closed, low bits = tasks accepted. One
+  /// fetch_add both admits a push and serializes it against Close()'s
+  /// fetch_or, so a racing push is either counted (and will be drained)
+  /// or refused — never silently dropped.
+  std::atomic<uint64_t> state_{0};
+
+  // Producer-facing queue head and consumer-owned tail on separate cache
+  // lines from each other and from the admission word.
+  alignas(64) std::atomic<Node*> head_;
+  alignas(64) Node* tail_;       // consumer only
+  int64_t popped_ = 0;           // consumer only; mirror below
+  std::atomic<int64_t> popped_total_{0};
+  std::atomic<int64_t> completed_total_{0};
+
+  // ---- parking / backpressure (cold path only) ----
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::atomic<bool> parked_{false};
+  std::atomic<int> capacity_waiters_{0};
+  std::atomic<int64_t> parks_{0};
+  std::atomic<size_t> max_depth_{0};
 };
 
 }  // namespace crew::rt

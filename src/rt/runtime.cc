@@ -97,10 +97,14 @@ class Runtime::NodeContext : public sim::Context {
 
 // ---------------------------------------------------------------------------
 // Cell: one node = one worker thread + one mailbox + single-writer
-// metrics shard + per-node RNG stream. route_mu guards the down flag and
-// the parked queue; the down-check and the mailbox push happen under it
+// metrics shard + per-node RNG stream. Deliveries to an *up* node go
+// straight to the lock-free mailbox, gated only by an acquire load of
+// `down_flag`. route_mu guards the authoritative `down` bool and the
+// parked queue: a sender that observes the node down serializes under it
 // so a recovery flush can never be overtaken by a later send (in-order
-// per pair, as the Transport contract requires).
+// per pair, as the Transport contract requires). The flag is published
+// down-before-park and flush-before-up (see SetNodeDown), which is what
+// makes the unlocked fast path order-safe.
 
 struct Runtime::Cell {
   Cell(Runtime* rt, NodeId node_id, const RuntimeOptions& options)
@@ -121,7 +125,12 @@ struct Runtime::Cell {
   sim::MessageHandler* handler = nullptr;  // set before Start()
 
   std::mutex route_mu;
-  bool down = false;
+  bool down = false;  // authoritative, under route_mu
+  /// Lock-free mirror of `down` read by the delivery fast path. Set
+  /// *before* any message parks; cleared only *after* the parked backlog
+  /// has been flushed into the mailbox, so a sender that loads `false`
+  /// enqueues happens-after the flush.
+  std::atomic<bool> down_flag{false};
   std::vector<std::pair<sim::Time, sim::Message>> parked;
 
   std::atomic<int64_t> delivered{0};
@@ -220,14 +229,8 @@ void Runtime::Post(NodeId node, std::function<void()> fn) {
   cell->mailbox.Push(std::move(fn));
 }
 
-void Runtime::EnqueueDelivery(Cell* cell, sim::Message message,
-                              sim::Time sent) {
-  std::lock_guard<std::mutex> lock(cell->route_mu);
-  if (cell->down) {
-    cell->parked.emplace_back(sent, std::move(message));
-    cell->parked_total.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
+void Runtime::PushDelivery(Cell* cell, sim::Message message,
+                           sim::Time sent) {
   cell->mailbox.ForcePush([this, cell, sent, m = std::move(message)]() {
     cell->delivered.fetch_add(1, std::memory_order_relaxed);
     if (tracer_->enabled()) {
@@ -243,6 +246,27 @@ void Runtime::EnqueueDelivery(Cell* cell, sim::Message message,
   });
 }
 
+void Runtime::EnqueueDelivery(Cell* cell, sim::Message message,
+                              sim::Time sent) {
+  // Fast path: node up — push straight into the lock-free mailbox. A
+  // send racing SetNodeDown(true) may still deliver, which is the same
+  // outcome as winning route_mu first under the old locked scheme. The
+  // flush-before-clear publication of down_flag (see SetNodeDown) rules
+  // out the dangerous reordering: a send that loads `false` during
+  // recovery is ordered after the flushed backlog.
+  if (!cell->down_flag.load(std::memory_order_acquire)) {
+    PushDelivery(cell, std::move(message), sent);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cell->route_mu);
+  if (cell->down) {
+    cell->parked.emplace_back(sent, std::move(message));
+    cell->parked_total.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  PushDelivery(cell, std::move(message), sent);
+}
+
 void Runtime::SetNodeDown(NodeId id, bool down) {
   Cell* cell = FindCell(id);
   if (cell == nullptr) {
@@ -252,36 +276,27 @@ void Runtime::SetNodeDown(NodeId id, bool down) {
   std::lock_guard<std::mutex> lock(cell->route_mu);
   if (cell->down == down) return;
   cell->down = down;
+  if (down) cell->down_flag.store(true, std::memory_order_release);
   if (tracer_->enabled()) {
     tracer_->Instant(obs::SpanKind::kNode, id, InstanceId{}, kInvalidStep,
                      down ? "node.down" : "node.up");
   }
   if (down) return;
   // Recovery: flush parked messages in arrival order, still under
-  // route_mu so no concurrent send can slot in ahead of them.
+  // route_mu so no concurrent slow-path send can slot in ahead of them.
   for (auto& [sent, m] : cell->parked) {
-    sim::Time sent_at = sent;
-    sim::Message msg = std::move(m);
-    cell->mailbox.ForcePush([this, cell, sent_at, m2 = std::move(msg)]() {
-      cell->delivered.fetch_add(1, std::memory_order_relaxed);
-      if (tracer_->enabled()) {
-        tracer_->Complete(obs::SpanKind::kMessage, m2.to, InstanceId{},
-                          kInvalidStep, "msg:" + m2.type, sent_at,
-                          now() - sent_at, static_cast<int>(m2.category),
-                          std::to_string(m2.from) + "->" +
-                              std::to_string(m2.to));
-      }
-      cell->handler->HandleMessage(m2);
-    });
+    PushDelivery(cell, std::move(m), sent);
   }
   cell->parked.clear();
+  // Only now open the fast path: the release store orders the flushed
+  // pushes before any push by a sender that observes the node up.
+  cell->down_flag.store(false, std::memory_order_release);
 }
 
 bool Runtime::IsNodeDown(NodeId id) const {
   Cell* cell = FindCell(id);
   if (cell == nullptr) return false;
-  std::lock_guard<std::mutex> lock(cell->route_mu);
-  return cell->down;
+  return cell->down_flag.load(std::memory_order_acquire);
 }
 
 void Runtime::ScheduleTimer(Cell* cell, sim::Time at, Mailbox::Task fn) {
@@ -329,12 +344,9 @@ void Runtime::TimerLoop() {
 }
 
 void Runtime::WorkerLoop(Cell* cell) {
-  Mailbox::Task task;
-  while (cell->mailbox.Pop(&task)) {
-    task();
-    task = nullptr;  // release captures before (possibly) parking
+  while (Mailbox::Popped task = cell->mailbox.Pop()) {
+    task.Run();
   }
-  cell->mailbox.PopDone();
 }
 
 void Runtime::Quiesce() {
@@ -387,8 +399,8 @@ void Runtime::Shutdown() {
 sim::Metrics Runtime::MergedMetrics() const {
   sim::Metrics merged;
   for (const auto& [id, cell] : cells_) {
-    // QuietNow takes the mailbox lock: acquire-barrier against the
-    // worker's last writes (callers hold the quiescence precondition).
+    // A true QuietNow is an acquire-barrier against the worker's last
+    // writes (callers hold the quiescence precondition).
     (void)cell->mailbox.QuietNow();
     merged.MergeFrom(cell->metrics);
   }

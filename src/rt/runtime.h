@@ -138,8 +138,11 @@ class Runtime : public sim::Backend {
   /// parks it (destination down) or enqueues a delivery task. Returns
   /// NotFound for unregistered destinations.
   Status Route(sim::Message message, sim::Time sent);
-  /// Enqueues the delivery task for `message` under cell->route_mu.
+  /// Routes one delivery: lock-free mailbox push while the destination
+  /// is up; route_mu slow path (park or push) while it is down.
   void EnqueueDelivery(Cell* cell, sim::Message message, sim::Time sent);
+  /// Wraps `message` in the dispatch task and force-pushes it.
+  void PushDelivery(Cell* cell, sim::Message message, sim::Time sent);
   /// Schedules `fn` on `cell` at absolute tick `at` via the timer thread
   /// (or directly if already due).
   void ScheduleTimer(Cell* cell, sim::Time at, Mailbox::Task fn);

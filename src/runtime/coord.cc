@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "sim/metrics.h"
+
 namespace crew::runtime {
+
+namespace {
+/// FNV-1a: deterministic across platforms and runs (std::hash is not
+/// guaranteed to be), so a class's shard is stable everywhere.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
 
 std::vector<const RelativeOrderReq*> CoordinationSpec::RelativeOrdersOf(
     const std::string& workflow) const {
@@ -56,9 +71,54 @@ int CoordinationSpec::RequirementCount(const std::string& workflow) const {
   return count;
 }
 
+ConflictTracker::ConflictTracker(const CoordinationSpec* spec, int shards)
+    : spec_(spec),
+      shard_count_(shards < 1 ? 1 : shards),
+      shards_(new Shard[static_cast<size_t>(shard_count_)]) {}
+
+int ConflictTracker::ShardOf(const std::string& workflow) const {
+  return static_cast<int>(HashName(workflow) %
+                          static_cast<uint64_t>(shard_count_));
+}
+
+ConflictTracker::ShardLock::ShardLock(const ConflictTracker* tracker,
+                                      std::vector<int> indices)
+    : tracker_(tracker), indices_(std::move(indices)) {
+  std::sort(indices_.begin(), indices_.end());
+  indices_.erase(std::unique(indices_.begin(), indices_.end()),
+                 indices_.end());
+  for (int index : indices_) {
+    Shard& shard = tracker_->shards_[index];
+    if (!shard.mu.try_lock()) {
+      shard.contended.fetch_add(1, std::memory_order_relaxed);
+      shard.mu.lock();
+    }
+    shard.acquires.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ConflictTracker::ShardLock::~ShardLock() {
+  for (auto it = indices_.rbegin(); it != indices_.rend(); ++it) {
+    tracker_->shards_[*it].mu.unlock();
+  }
+}
+
 std::vector<RoBinding> ConflictTracker::OnInstanceStart(
     const InstanceId& instance) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Lock the shard of the new instance's class plus every class it has a
+  // relative-order requirement against: the binding snapshot then has
+  // the same atomicity the old global mutex gave it, while instances of
+  // unrelated classes proceed through other shards untouched.
+  std::vector<int> involved{ShardOf(instance.workflow)};
+  for (const RelativeOrderReq& req : spec_->relative_orders) {
+    if (req.workflow_b == instance.workflow) {
+      involved.push_back(ShardOf(req.workflow_a));
+    } else if (req.workflow_a == instance.workflow) {
+      involved.push_back(ShardOf(req.workflow_b));
+    }
+  }
+  ShardLock lock(this, std::move(involved));
+
   std::vector<RoBinding> bindings;
   for (const RelativeOrderReq& req : spec_->relative_orders) {
     // The new instance may play role B (lagging behind a live A instance)
@@ -66,8 +126,9 @@ std::vector<RoBinding> ConflictTracker::OnInstanceStart(
     // requirement relates a class to itself or classes started
     // interleaved). Ordering follows start order: earlier leads.
     auto bind_against = [&](const std::string& lead_class, bool new_is_a) {
-      auto it = live_.find(lead_class);
-      if (it == live_.end() || it->second.empty()) return;
+      const auto& live = shards_[ShardOf(lead_class)].live;
+      auto it = live.find(lead_class);
+      if (it == live.end() || it->second.empty()) return;
       const InstanceId& lead = it->second.back();
       if (lead == instance) return;
       RoBinding binding;
@@ -86,21 +147,31 @@ std::vector<RoBinding> ConflictTracker::OnInstanceStart(
       bind_against(req.workflow_b, /*new_is_a=*/true);
     }
   }
-  live_[instance.workflow].push_back(instance);
+  shards_[ShardOf(instance.workflow)].live[instance.workflow].push_back(
+      instance);
   return bindings;
 }
 
 std::vector<std::pair<InstanceId, StepId>>
 ConflictTracker::RollbackDependents(const InstanceId& instance,
                                     StepId to_step) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> involved;
+  for (const RollbackDepReq& req : spec_->rollback_deps) {
+    if (req.workflow_a == instance.workflow) {
+      involved.push_back(ShardOf(req.workflow_b));
+    }
+  }
+  if (involved.empty()) return {};
+  ShardLock lock(this, std::move(involved));
+
   std::vector<std::pair<InstanceId, StepId>> out;
   for (const RollbackDepReq& req : spec_->rollback_deps) {
     if (req.workflow_a != instance.workflow) continue;
     // Dependency triggers when rolling back to or above step_a.
     if (req.step_a != kInvalidStep && to_step > req.step_a) continue;
-    auto it = live_.find(req.workflow_b);
-    if (it == live_.end()) continue;
+    const auto& live = shards_[ShardOf(req.workflow_b)].live;
+    auto it = live.find(req.workflow_b);
+    if (it == live.end()) continue;
     for (const InstanceId& dependent : it->second) {
       if (dependent == instance) continue;
       out.emplace_back(dependent, req.step_b);
@@ -110,11 +181,34 @@ ConflictTracker::RollbackDependents(const InstanceId& instance,
 }
 
 void ConflictTracker::OnInstanceEnd(const InstanceId& instance) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = live_.find(instance.workflow);
-  if (it == live_.end()) return;
+  ShardLock lock(this, {ShardOf(instance.workflow)});
+  auto& live = shards_[ShardOf(instance.workflow)].live;
+  auto it = live.find(instance.workflow);
+  if (it == live.end()) return;
   auto& list = it->second;
   list.erase(std::remove(list.begin(), list.end(), instance), list.end());
+}
+
+int64_t ConflictTracker::total_acquires() const {
+  int64_t sum = 0;
+  for (int i = 0; i < shard_count_; ++i) {
+    sum += shards_[i].acquires.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+int64_t ConflictTracker::total_contended() const {
+  int64_t sum = 0;
+  for (int i = 0; i < shard_count_; ++i) {
+    sum += shards_[i].contended.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void ConflictTracker::ExportStats(sim::Metrics* metrics) const {
+  metrics->AddCounter("conflict_tracker.shards", shard_count_);
+  metrics->AddCounter("conflict_tracker.acquires", total_acquires());
+  metrics->AddCounter("conflict_tracker.contended", total_contended());
 }
 
 }  // namespace crew::runtime

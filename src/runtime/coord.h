@@ -1,7 +1,10 @@
 #ifndef CREW_RUNTIME_COORD_H_
 #define CREW_RUNTIME_COORD_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -9,6 +12,10 @@
 #include "common/ids.h"
 #include "common/status.h"
 #include "model/schema.h"
+
+namespace crew::sim {
+class Metrics;
+}  // namespace crew::sim
 
 namespace crew::runtime {
 
@@ -78,12 +85,22 @@ struct RoBinding {
 
 /// Tracks the newest instance per workflow class and mints RO bindings
 /// for new instances. Used by the front end / engines at instance start.
-/// Thread-safe: parallel control shares one tracker across all engines,
-/// which under the live runtime (src/rt) call in from their own worker
-/// threads concurrently.
+///
+/// Thread-safe and *sharded*: parallel control shares one tracker across
+/// all engines, which under the live runtime (src/rt) call in from their
+/// own worker threads concurrently. Live-instance state is partitioned
+/// into shards by a deterministic hash (FNV-1a) of the workflow class
+/// name, each shard behind its own mutex, so engines serialize only when
+/// they touch genuinely conflicting classes. Operations spanning several
+/// classes (an RO binding reads the lead class while registering the new
+/// one) lock their shard set in index order, which makes the cross-shard
+/// case deadlock-free and exactly as atomic as the old global mutex.
 class ConflictTracker {
  public:
-  explicit ConflictTracker(const CoordinationSpec* spec) : spec_(spec) {}
+  static constexpr int kDefaultShards = 16;
+
+  explicit ConflictTracker(const CoordinationSpec* spec,
+                           int shards = kDefaultShards);
 
   /// Registers the new instance and returns the RO bindings created
   /// against previously started instances (the new instance lags).
@@ -98,11 +115,44 @@ class ConflictTracker {
   /// Removes a terminated instance from conflict consideration.
   void OnInstanceEnd(const InstanceId& instance);
 
+  int shard_count() const { return shard_count_; }
+  /// Which shard `workflow` maps to (exposed for tests asserting that
+  /// disjoint classes land on disjoint shards).
+  int ShardOf(const std::string& workflow) const;
+
+  /// Lock acquisitions across all shards, and how many of them found the
+  /// shard mutex already held (lock-level contention).
+  int64_t total_acquires() const;
+  int64_t total_contended() const;
+  /// Adds "conflict_tracker.{shards,acquires,contended}" counters.
+  void ExportStats(sim::Metrics* metrics) const;
+
  private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    /// Live instances per class, in start order. Guarded by mu.
+    std::map<std::string, std::vector<InstanceId>> live;
+    std::atomic<int64_t> acquires{0};
+    std::atomic<int64_t> contended{0};
+  };
+
+  /// RAII multi-shard lock: sorts and dedupes the shard indices, locks
+  /// ascending, and counts try_lock misses as contention.
+  class ShardLock {
+   public:
+    ShardLock(const ConflictTracker* tracker, std::vector<int> indices);
+    ~ShardLock();
+    ShardLock(const ShardLock&) = delete;
+    ShardLock& operator=(const ShardLock&) = delete;
+
+   private:
+    const ConflictTracker* tracker_;
+    std::vector<int> indices_;  // sorted, unique
+  };
+
   const CoordinationSpec* spec_;
-  mutable std::mutex mu_;
-  /// Live instances per class, in start order. Guarded by mu_.
-  std::map<std::string, std::vector<InstanceId>> live_;
+  const int shard_count_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace crew::runtime

@@ -57,6 +57,15 @@ void Metrics::AddLoad(NodeId node, LoadCategory category,
   load_[node][static_cast<int>(category)] += instructions;
 }
 
+void Metrics::AddCounter(const std::string& name, int64_t delta) {
+  counters_[name] += delta;
+}
+
+int64_t Metrics::Counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
 int64_t Metrics::MessagesIn(MsgCategory category) const {
   return messages_by_category_[static_cast<int>(category)];
 }
@@ -140,6 +149,7 @@ void Metrics::MergeFrom(const Metrics& other) {
     auto& mine = load_[node];
     for (const auto& [cat, n] : per_cat) mine[cat] += n;
   }
+  for (const auto& [name, n] : other.counters_) counters_[name] += n;
 }
 
 void Metrics::Reset() {
@@ -149,6 +159,7 @@ void Metrics::Reset() {
             std::end(messages_by_category_), 0);
   by_type_.clear();
   load_.clear();
+  counters_.clear();
 }
 
 std::string Metrics::Report() const {
@@ -200,7 +211,14 @@ std::string Metrics::ReportJson() const {
     }
     os << "}";
   }
-  os << "]}}";
+  os << "]},\"counters\":{";
+  first = true;
+  for (const auto& [name, n] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << obs::JsonEscape(name) << "\":" << n;
+  }
+  os << "}}";
   return os.str();
 }
 

@@ -50,6 +50,15 @@ class Metrics {
                     size_t bytes, const std::string& type = "");
   void AddLoad(NodeId node, LoadCategory category, int64_t instructions);
 
+  /// Free-form named counters for subsystem statistics that do not fit
+  /// the message/load taxonomy (e.g. conflict-tracker shard contention).
+  /// Dotted names group related counters ("conflict_tracker.acquires").
+  void AddCounter(const std::string& name, int64_t delta);
+  int64_t Counter(const std::string& name) const;
+  const std::map<std::string, int64_t>& counters() const {
+    return counters_;
+  }
+
   int64_t TotalMessages() const { return total_messages_; }
   int64_t TotalBytes() const { return total_bytes_; }
   int64_t MessagesIn(MsgCategory category) const;
@@ -99,6 +108,7 @@ class Metrics {
   int64_t messages_by_category_[kNumMsgCategories] = {};
   std::map<std::pair<int, std::string>, int64_t> by_type_;
   std::map<NodeId, std::map<int, int64_t>> load_;  // node -> category -> n
+  std::map<std::string, int64_t> counters_;
 };
 
 }  // namespace crew::sim

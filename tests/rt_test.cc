@@ -29,9 +29,7 @@ TEST(MailboxTest, FifoPerProducerAndDrainOnClose) {
   rt::Mailbox box(/*capacity=*/4096);
   std::vector<std::pair<int, int>> seen;  // (producer, seq), consumer-only
   std::thread consumer([&]() {
-    rt::Mailbox::Task task;
-    while (box.Pop(&task)) task();
-    box.PopDone();
+    while (auto task = box.Pop()) task.Run();
   });
   constexpr int kProducers = 3;
   constexpr int kPerProducer = 500;
@@ -71,13 +69,15 @@ TEST(MailboxTest, BoundedPushBlocksUntilConsumerMakesRoom) {
   // has happened, so this is state-determined, not a timing guess.
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   EXPECT_FALSE(third_in.load());
-  rt::Mailbox::Task task;
-  ASSERT_TRUE(box.Pop(&task));
-  task();
+  {
+    rt::Mailbox::Popped task = box.Pop();
+    ASSERT_TRUE(static_cast<bool>(task));
+    task.Run();
+  }
   producer.join();
   EXPECT_TRUE(third_in.load());
   box.Close();
-  while (box.Pop(&task)) task();
+  while (auto task = box.Pop()) task.Run();
   EXPECT_EQ(ran, 3);
 }
 
@@ -92,10 +92,114 @@ TEST(MailboxTest, ForcePushIgnoresCapacityAndCloseDrains) {
   box.Close();
   EXPECT_FALSE(box.Push([]() {}));       // refused once closed
   EXPECT_FALSE(box.ForcePush([]() {}));  // likewise
-  rt::Mailbox::Task task;
-  while (box.Pop(&task)) task();
+  while (auto task = box.Pop()) task.Run();
   EXPECT_EQ(ran, 10);
   EXPECT_EQ(box.max_depth(), 10u);
+  EXPECT_TRUE(box.QuietNow());
+}
+
+TEST(MailboxTest, OversizedCallableTakesHeapPathAndStillRuns) {
+  rt::Mailbox box(/*capacity=*/16);
+  // Capture comfortably more than the inline payload budget so the
+  // callable is forced through the heap-pointer storage path.
+  struct Big {
+    unsigned char bytes[2 * rt::Mailbox::kInlineBytes] = {};
+  };
+  Big big;
+  big.bytes[7] = 42;
+  int got = -1;
+  ASSERT_TRUE(box.Push([big, &got]() { got = big.bytes[7]; }));
+  // And one oversized task that is *dropped* (destroyed unrun) by Close,
+  // exercising the heap payload's drop path under ASan.
+  box.ForcePush([big, &got]() { got = -2; });
+  {
+    rt::Mailbox::Popped task = box.Pop();
+    ASSERT_TRUE(static_cast<bool>(task));
+    task.Run();
+  }
+  EXPECT_EQ(got, 42);
+  box.Close();
+  rt::Mailbox::Popped dropped = box.Pop();
+  ASSERT_TRUE(static_cast<bool>(dropped));
+  dropped = rt::Mailbox::Popped();  // discard without running
+  EXPECT_EQ(got, 42);
+  EXPECT_TRUE(box.QuietNow());  // discarded counts as consumed
+}
+
+// Satellite: multi-producer stress. Exercises the lock-free push path
+// under real contention (including pool exhaustion -> heap fallback) and
+// asserts the three invariants the runtime depends on: FIFO per
+// producer, no lost or duplicated task, and an *exact* pushed() counter
+// even while the queue is busy (it used to be exact only when quiet).
+TEST(MailboxStressTest, MultiProducerFifoTotalCountAndExactPushed) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 4000;
+  rt::Mailbox box(/*capacity=*/1 << 16);
+  std::vector<std::vector<int>> seen(kProducers);  // consumer-only writes
+  std::thread consumer([&]() {
+    while (auto task = box.Pop()) task.Run();
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, &seen, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(box.Push([&seen, p, i]() { seen[p].push_back(i); }));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  // All producers returned, consumer still draining: the counter must
+  // already be exact — admission happens in Push, not at dequeue.
+  EXPECT_EQ(box.pushed(), int64_t{kProducers} * kPerProducer);
+  box.Close();
+  consumer.join();
+  EXPECT_EQ(box.pushed(), int64_t{kProducers} * kPerProducer);
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(seen[p].size(), static_cast<size_t>(kPerProducer))
+        << "producer " << p << " lost or duplicated tasks";
+    for (int i = 0; i < kPerProducer; ++i) {
+      ASSERT_EQ(seen[p][i], i) << "producer " << p << " reordered";
+    }
+  }
+  EXPECT_TRUE(box.QuietNow());
+}
+
+// Satellite: close-while-pushing race. Producers hammer Push/ForcePush
+// while the main thread closes the box mid-stream. Every push that
+// reported success must run exactly once; every refused push must not;
+// and pushed() must equal the accepted count exactly.
+TEST(MailboxStressTest, CloseWhilePushingNeverLosesAcceptedTasks) {
+  constexpr int kProducers = 6;
+  constexpr int kAttemptsPerProducer = 20000;
+  rt::Mailbox box(/*capacity=*/1 << 14);
+  std::atomic<int64_t> ran{0};
+  std::atomic<int64_t> accepted{0};
+  std::thread consumer([&]() {
+    while (auto task = box.Pop()) task.Run();
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, &ran, &accepted, p]() {
+      for (int i = 0; i < kAttemptsPerProducer; ++i) {
+        bool ok = (p % 2 == 0)
+                      ? box.Push([&ran]() {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                        })
+                      : box.ForcePush([&ran]() {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                        });
+        if (!ok) break;  // closed: every later push would be refused too
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Close somewhere in the middle of the stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  box.Close();
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(ran.load(), accepted.load());
+  EXPECT_EQ(box.pushed(), accepted.load());
   EXPECT_TRUE(box.QuietNow());
 }
 
@@ -109,17 +213,23 @@ TEST(RuntimeTest, PostsAndTimersRunOnOwningWorkerInOrder) {
   std::vector<int> order;  // written only by node 1's worker
   runtime.Start();
   runtime.Post(1, [&]() {
-    ctx->queue().ScheduleAfter(30, [&order]() { order.push_back(3); });
-    ctx->queue().ScheduleAfter(10, [&order]() { order.push_back(2); });
+    // Absolute deadlines from one base tick: ScheduleAfter reads now()
+    // per call, so a preemption between calls can legitimately reorder
+    // the due times under real time (it cannot under sim). Deltas are
+    // bigger than a scheduler quantum so a stall between adjacent
+    // statements cannot push a later-due timer into the past.
+    const sim::Time base = ctx->queue().now();
+    ctx->queue().ScheduleAt(base + 3000, [&order]() { order.push_back(3); });
+    ctx->queue().ScheduleAt(base + 1000, [&order]() { order.push_back(2); });
     // Already-due callbacks still run *after* the current task, exactly
     // as a same-tick event does under sim.
-    ctx->queue().ScheduleAfter(0, [&order]() { order.push_back(1); });
+    ctx->queue().ScheduleAt(base, [&order]() { order.push_back(1); });
     order.push_back(0);
   });
   runtime.Quiesce();
   runtime.Shutdown();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
-  EXPECT_GE(runtime.now(), 30);
+  EXPECT_GE(runtime.now(), 3000);
   EXPECT_GE(runtime.Stats().timers_fired, 3);
 }
 
