@@ -1,6 +1,7 @@
 #include "dist/agent.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.h"
@@ -13,6 +14,19 @@ namespace crew::dist {
 using runtime::StepRecord;
 using runtime::StepRunState;
 using runtime::WorkflowState;
+
+namespace {
+/// Inverse of InstanceId::ToString ("WF2#4"). Returns an empty workflow
+/// name on malformed keys.
+InstanceId ParseInstanceKey(const std::string& key) {
+  InstanceId id;
+  size_t hash = key.rfind('#');
+  if (hash == std::string::npos || hash == 0) return id;
+  id.workflow = key.substr(0, hash);
+  id.number = std::atoll(key.c_str() + hash + 1);
+  return id;
+}
+}  // namespace
 
 Agent::Agent(NodeId id, sim::Context* context,
              const runtime::ProgramRegistry* programs,
@@ -41,6 +55,9 @@ Agent::Agent(NodeId id, sim::Context* context,
 
 void Agent::RegisterSchema(model::CompiledSchemaPtr schema) {
   schemas_[schema->schema().name()] = std::move(schema);
+  // A recovered AGDB may hold executing instances of this schema whose
+  // coordination state could not be rebuilt until now.
+  RebuildFromAgdb();
 }
 
 model::CompiledSchemaPtr Agent::FindSchema(const std::string& workflow) {
@@ -187,6 +204,12 @@ void Agent::OnWorkflowStart(const sim::Message& message) {
   {
     storage::Row row;
     row.Set("status", Value(std::string("executing")));
+    // Enough to rebuild the CoordInstance after a crash-restart.
+    row.Set("reply_to", Value(static_cast<int64_t>(msg.reply_to)));
+    if (!msg.parent.workflow.empty()) {
+      row.Set("parent", Value(msg.parent.ToString()));
+      row.Set("parent_step", Value(static_cast<int64_t>(msg.parent_step)));
+    }
     agdb_.table("coord_summary").Put(msg.instance.ToString(), row);
   }
 
@@ -246,6 +269,14 @@ void Agent::OnStepCompleted(const sim::Message& message) {
   if (group < 0) return;
   int64_t& best = coord.groups_done[group];
   best = std::max(best, msg.epoch);
+  {
+    // Journal the commit-progress vector: a restarted coordination agent
+    // must not wait forever for terminal groups that already reported.
+    storage::Row row;
+    row.Set("epoch", Value(best));
+    agdb_.table("coord_groups")
+        .Put(msg.instance.ToString() + "/G" + std::to_string(group), row);
+  }
   for (const auto& [name, value] : msg.results) {
     coord.results[name] = value;
   }
@@ -913,6 +944,91 @@ void Agent::PersistStepRecord(const InstanceId& instance, StepId step) {
   row.Set("epoch", Value(record->epoch));
   agdb_.table("steps").Put(
       instance.ToString() + "/S" + std::to_string(step), row);
+}
+
+void Agent::RebuildFromAgdb() {
+  const storage::Table* summary = agdb_.FindTable("coord_summary");
+  if (summary == nullptr) return;
+  std::vector<InstanceId> rebuilt_executing;
+  for (const auto& [key, row] : summary->rows()) {
+    InstanceId instance = ParseInstanceKey(key);
+    if (instance.workflow.empty()) continue;
+    if (summary_.count(instance) != 0) continue;  // live or already rebuilt
+    auto status = row.Get("status");
+    if (!status || !status->is_string()) continue;
+    WorkflowState state = runtime::ParseWorkflowState(status->AsString());
+    if (state == WorkflowState::kExecuting) {
+      // Needs its schema to re-arm the commit decision; retried on the
+      // next RegisterSchema if it is not known yet.
+      model::CompiledSchemaPtr schema = FindSchema(instance.workflow);
+      if (schema == nullptr) continue;
+      CoordInstance& coord = coordinating_[instance];
+      coord.schema = std::move(schema);
+      coord.status = WorkflowState::kExecuting;
+      if (auto reply = row.Get("reply_to"); reply && reply->is_int()) {
+        coord.reply_to = static_cast<NodeId>(reply->AsInt());
+      }
+      if (auto parent = row.Get("parent"); parent && parent->is_string()) {
+        coord.parent = ParseInstanceKey(parent->AsString());
+        if (auto pstep = row.Get("parent_step"); pstep && pstep->is_int()) {
+          coord.parent_step = static_cast<StepId>(pstep->AsInt());
+        }
+      }
+      rebuilt_executing.push_back(instance);
+    } else if (state == WorkflowState::kCommitted) {
+      ++committed_count_;
+    } else if (state == WorkflowState::kAborted) {
+      ++aborted_count_;
+    }
+    summary_[instance] = state;
+  }
+  if (const storage::Table* groups = agdb_.FindTable("coord_groups")) {
+    for (const auto& [key, row] : groups->rows()) {
+      size_t sep = key.rfind("/G");
+      if (sep == std::string::npos) continue;
+      InstanceId instance = ParseInstanceKey(key.substr(0, sep));
+      auto it = coordinating_.find(instance);
+      if (it == coordinating_.end() ||
+          it->second.status != WorkflowState::kExecuting) {
+        continue;
+      }
+      int group = std::atoi(key.c_str() + sep + 2);
+      auto epoch = row.Get("epoch");
+      int64_t value = epoch && epoch->is_int() ? epoch->AsInt() : 0;
+      int64_t& best = it->second.groups_done[group];
+      best = std::max(best, value);
+    }
+  }
+  // A crash between the last group report and the commit record leaves a
+  // fully-reported instance executing in the log; decide it now.
+  for (const InstanceId& instance : rebuilt_executing) {
+    MaybeCommit(instance);
+  }
+}
+
+void Agent::RecoverFromLog() {
+  if (!agdb_.durable()) return;
+  // Everything here dies with the process; the AGDB is what survives.
+  instances_.clear();
+  coordinating_.clear();
+  summary_.clear();
+  archived_.clear();
+  ro_registrations_.clear();
+  ended_instances_.clear();
+  locks_.clear();
+  children_.clear();
+  polls_.clear();
+  last_poll_.clear();
+  committed_count_ = 0;
+  aborted_count_ = 0;
+  active_programs_ = 0;
+  Result<int64_t> replayed = agdb_.RestartRecover(options_.agdb_dir);
+  if (!replayed.ok()) {
+    CREW_LOG(Error) << "agent " << id_ << " restart recovery failed: "
+                    << replayed.status().ToString();
+    return;
+  }
+  RebuildFromAgdb();
 }
 
 void Agent::OnStepDoneLocal(AgentInstance* inst, StepId step,

@@ -73,6 +73,15 @@ class Agent : public sim::MessageHandler {
 
   void HandleMessage(const sim::Message& message) override;
 
+  /// Crash-restart recovery (§5.2): drops every piece of volatile state
+  /// — exactly what dies with the process — then replays the durable
+  /// AGDB through Database::RestartRecover and rebuilds the coordination
+  /// summary, counters and in-flight coordination entries from it. The
+  /// rt backend installs this as the node's recovery hook so the
+  /// in-process crash path and a killed-and-restarted crew_node process
+  /// run the same code. No-op for an in-memory (non-durable) AGDB.
+  void RecoverFromLog();
+
   // ---- introspection ----
   runtime::WorkflowState CoordinationStatus(
       const InstanceId& instance) const;
@@ -184,6 +193,13 @@ class Agent : public sim::MessageHandler {
   void SchedulePendingCheck(const InstanceId& instance);
   void CheckPendingRules(const InstanceId& instance);
   void PersistStepRecord(const InstanceId& instance, StepId step);
+
+  /// Rebuilds summary_/counters and the coordinating_ entries of
+  /// still-executing instances from the recovered AGDB tables.
+  /// Idempotent (skips instances already in summary_), so it runs after
+  /// every RegisterSchema — an executing instance can only be rebuilt
+  /// once its schema is known — and again after RecoverFromLog.
+  void RebuildFromAgdb();
 
   // ---- coordination-agent machinery ----
   void MaybeCommit(const InstanceId& instance);

@@ -1,0 +1,153 @@
+#include "net/control.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace crew::net {
+
+namespace {
+
+Status FillUnixAddr(const std::string& path, sockaddr_un* addr) {
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("unix path too long: " + path);
+  }
+  std::strncpy(addr->sun_path, path.c_str(), sizeof(addr->sun_path) - 1);
+  return Status::OK();
+}
+
+}  // namespace
+
+ControlServer::ControlServer(std::string path, Handler handler)
+    : path_(std::move(path)), handler_(std::move(handler)) {}
+
+ControlServer::~ControlServer() { Stop(); }
+
+Status ControlServer::Start() {
+  if (listen_fd_ >= 0) return Status::OK();
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
+  sockaddr_un addr{};
+  Status status = FillUnixAddr(path_, &addr);
+  if (!status.ok()) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  unlink(path_.c_str());
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      listen(listen_fd_, 16) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("control bind(" + path_ +
+                               "): " + std::strerror(errno));
+  }
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("pipe failed");
+  }
+  stop_read_fd_ = pipe_fds[0];
+  stop_write_fd_ = pipe_fds[1];
+  thread_ = std::thread(&ControlServer::Serve, this);
+  return Status::OK();
+}
+
+void ControlServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (stop_write_fd_ >= 0) {
+    char byte = 1;
+    ssize_t ignored = write(stop_write_fd_, &byte, 1);
+    (void)ignored;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (stop_read_fd_ >= 0) close(stop_read_fd_);
+  if (stop_write_fd_ >= 0) close(stop_write_fd_);
+  listen_fd_ = stop_read_fd_ = stop_write_fd_ = -1;
+  unlink(path_.c_str());
+}
+
+void ControlServer::Serve() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_read_fd_, POLLIN, 0}};
+    int rc = poll(fds, 2, -1);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 || (fds[1].revents & POLLIN)) return;
+    if (!(fds[0].revents & POLLIN)) continue;
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::string request;
+    char byte;
+    while (request.size() < 4096) {
+      ssize_t n = read(fd, &byte, 1);
+      if (n <= 0 || byte == '\n') break;
+      request.push_back(byte);
+    }
+    std::string reply = handler_(request) + "\n";
+    size_t sent = 0;
+    while (sent < reply.size()) {
+      ssize_t n = write(fd, reply.data() + sent, reply.size() - sent);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    close(fd);
+  }
+}
+
+Result<std::string> ControlRequest(const std::string& path,
+                                   const std::string& request,
+                                   int timeout_ms) {
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable("socket() failed");
+  sockaddr_un addr{};
+  Status status = FillUnixAddr(path, &addr);
+  if (!status.ok()) {
+    close(fd);
+    return status;
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::Unavailable("control connect(" + path +
+                               "): " + std::strerror(errno));
+  }
+  std::string line = request + "\n";
+  size_t sent = 0;
+  while (sent < line.size()) {
+    ssize_t n = write(fd, line.data() + sent, line.size() - sent);
+    if (n <= 0) {
+      close(fd);
+      return Status::Unavailable("control write failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string reply;
+  char byte;
+  for (;;) {
+    ssize_t n = read(fd, &byte, 1);
+    if (n <= 0) {
+      close(fd);
+      if (!reply.empty()) return reply;
+      return Status::Unavailable("control read failed");
+    }
+    if (byte == '\n') break;
+    reply.push_back(byte);
+  }
+  close(fd);
+  return reply;
+}
+
+}  // namespace crew::net

@@ -1,0 +1,56 @@
+#ifndef CREW_NET_CONTROL_H_
+#define CREW_NET_CONTROL_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace crew::net {
+
+/// Minimal out-of-band control plane for crew_node processes: a Unix
+/// socket next to the data socket, speaking one text request line per
+/// connection and answering with one reply line. The supervisor uses it
+/// to poll cluster quiescence, read authoritative terminal states and
+/// ask for clean exits — all without touching the data protocol.
+class ControlServer {
+ public:
+  /// Handler runs on the server thread; gets the request line (no
+  /// newline), returns the reply line (no newline).
+  using Handler = std::function<std::string(const std::string&)>;
+
+  ControlServer(std::string path, Handler handler);
+  ~ControlServer();
+
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void Serve();
+
+  std::string path_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int stop_read_fd_ = -1;
+  int stop_write_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+/// One round-trip against a ControlServer. Connects, sends `request` plus
+/// a newline, reads the reply line. Unavailable on connect/IO failure
+/// (e.g. the process is dead), so pollers can just retry.
+Result<std::string> ControlRequest(const std::string& path,
+                                   const std::string& request,
+                                   int timeout_ms = 5000);
+
+}  // namespace crew::net
+
+#endif  // CREW_NET_CONTROL_H_

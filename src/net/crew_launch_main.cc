@@ -1,0 +1,226 @@
+// crew_launch: spawns a multi-process deployment — one crew_node per
+// endpoint — runs the standard mixed workload to completion and checks
+// every instance reached its expected terminal state. With --kill it
+// SIGKILLs one node mid-run and restarts it (bumped incarnation, durable
+// AGDB replay), demonstrating the crash-recovery path end to end; this
+// is what the CI multi-process smoke runs.
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/supervisor.h"
+#include "net/testbed.h"
+#include "runtime/wire.h"
+
+namespace crew::net {
+
+struct LaunchFlags {
+  std::string node_bin;
+  std::string workdir;
+  std::string mode = "dist";
+  int endpoints = 3;
+  int engines = 2;
+  int agents = 3;
+  int instances = 9;
+  uint64_t seed = 42;
+  int64_t tick_us = 20;
+  int64_t pending_timeout = 5000;
+  std::string kill;  // endpoint address, or "auto" for the last one
+  int kill_after_ms = 40;
+  int timeout_ms = 120000;
+};
+
+void LaunchUsage() {
+  std::fprintf(
+      stderr,
+      "crew_launch --node-bin <crew_node> --workdir <dir> [options]\n"
+      "  --mode central|parallel|dist   (default dist)\n"
+      "  --endpoints N                  processes to spread nodes over\n"
+      "  --engines N --agents N --instances N\n"
+      "  --seed N --tick-us N --pending-timeout N\n"
+      "  --kill auto|<address>          SIGKILL+restart a node mid-run\n"
+      "  --kill-after-ms N --timeout-ms N\n");
+}
+
+bool ParseLaunchFlags(int argc, char** argv, LaunchFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--node-bin" && (value = next())) {
+      flags->node_bin = value;
+    } else if (arg == "--workdir" && (value = next())) {
+      flags->workdir = value;
+    } else if (arg == "--mode" && (value = next())) {
+      flags->mode = value;
+    } else if (arg == "--endpoints" && (value = next())) {
+      flags->endpoints = std::atoi(value);
+    } else if (arg == "--engines" && (value = next())) {
+      flags->engines = std::atoi(value);
+    } else if (arg == "--agents" && (value = next())) {
+      flags->agents = std::atoi(value);
+    } else if (arg == "--instances" && (value = next())) {
+      flags->instances = std::atoi(value);
+    } else if (arg == "--seed" && (value = next())) {
+      flags->seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--tick-us" && (value = next())) {
+      flags->tick_us = std::atoll(value);
+    } else if (arg == "--pending-timeout" && (value = next())) {
+      flags->pending_timeout = std::atoll(value);
+    } else if (arg == "--kill" && (value = next())) {
+      flags->kill = value;
+    } else if (arg == "--kill-after-ms" && (value = next())) {
+      flags->kill_after_ms = std::atoi(value);
+    } else if (arg == "--timeout-ms" && (value = next())) {
+      flags->timeout_ms = std::atoi(value);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !flags->node_bin.empty() && !flags->workdir.empty();
+}
+
+int RunLaunch(const LaunchFlags& flags) {
+  mkdir(flags.workdir.c_str(), 0755);
+
+  TestbedOptions testbed_options;
+  testbed_options.mode = flags.mode;
+  testbed_options.num_engines = flags.engines;
+  testbed_options.num_agents = flags.agents;
+  Result<Topology> topology =
+      Testbed::UnixTopology(testbed_options, flags.workdir, flags.endpoints);
+  if (!topology.ok()) {
+    std::fprintf(stderr, "crew_launch: %s\n",
+                 topology.status().ToString().c_str());
+    return 1;
+  }
+  std::string topology_file = flags.workdir + "/topology.txt";
+  Status saved = topology.value().Save(topology_file);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "crew_launch: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("topology (%s):\n%s", flags.mode.c_str(),
+              topology.value().Serialize().c_str());
+
+  LaunchOptions options;
+  options.node_binary = flags.node_bin;
+  options.topology_file = topology_file;
+  options.mode = flags.mode;
+  options.num_engines = flags.engines;
+  options.num_agents = flags.agents;
+  options.num_instances = flags.instances;
+  options.seed = flags.seed;
+  options.tick_us = flags.tick_us;
+  options.pending_timeout = flags.pending_timeout;
+  if (flags.mode == "dist") {
+    options.agdb_dir = flags.workdir + "/agdb";
+    mkdir(options.agdb_dir.c_str(), 0755);
+  }
+
+  Supervisor supervisor(topology.value(), options);
+  Status started = supervisor.StartAll();
+  if (!started.ok()) {
+    std::fprintf(stderr, "crew_launch: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("spawned %zu node processes\n",
+              supervisor.processes().size());
+
+  if (!flags.kill.empty()) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(flags.kill_after_ms));
+    Endpoint victim;
+    if (flags.kill == "auto") {
+      victim = supervisor.processes().back().endpoint;
+    } else {
+      Result<Endpoint> parsed = Endpoint::Parse(flags.kill);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "crew_launch: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      victim = parsed.value();
+    }
+    std::printf("killing %s mid-run\n", victim.Address().c_str());
+    Status killed = supervisor.Kill(victim);
+    if (!killed.ok()) {
+      std::fprintf(stderr, "crew_launch: %s\n", killed.ToString().c_str());
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Status restarted = supervisor.Restart(victim);
+    if (!restarted.ok()) {
+      std::fprintf(stderr, "crew_launch: %s\n",
+                   restarted.ToString().c_str());
+      return 1;
+    }
+    std::printf("restarted %s (recovering from log)\n",
+                victim.Address().c_str());
+  }
+
+  Status quiesced = supervisor.WaitQuiescent(flags.timeout_ms);
+  if (!quiesced.ok()) {
+    std::fprintf(stderr, "crew_launch: %s\n", quiesced.ToString().c_str());
+    supervisor.ShutdownAll();
+    return 1;
+  }
+
+  // The expected mix is deterministic: Doomed aborts, the rest commit.
+  auto schedule = [&](int i) {
+    if (flags.mode == "dist") {
+      switch (i % 3) {
+        case 0: return std::string("Doomed");
+        case 1: return std::string("Good");
+        default: return std::string("Flaky");
+      }
+    }
+    switch (i % 4) {
+      case 0: return std::string("Doomed");
+      case 1: return std::string("Good");
+      case 2: return std::string("Flaky");
+      default: return std::string("Par");
+    }
+  };
+  int failures = 0;
+  for (int i = 1; i <= flags.instances; ++i) {
+    std::string schema = schedule(i);
+    const char* expected = schema == "Doomed" ? "aborted" : "committed";
+    Result<std::string> state = supervisor.QueryState(schema, i);
+    std::string got = state.ok() ? state.value() : state.status().ToString();
+    bool ok = state.ok() && state.value() == expected;
+    if (!ok) ++failures;
+    std::printf("  %-8s #%-3d %-10s %s\n", schema.c_str(), i, got.c_str(),
+                ok ? "ok" : "MISMATCH");
+  }
+  supervisor.ShutdownAll();
+  if (failures != 0) {
+    std::fprintf(stderr, "crew_launch: %d instances off terminal state\n",
+                 failures);
+    return 1;
+  }
+  std::printf("all %d instances reached expected terminal states\n",
+              flags.instances);
+  return 0;
+}
+
+}  // namespace crew::net
+
+int main(int argc, char** argv) {
+  crew::net::LaunchFlags flags;
+  if (!crew::net::ParseLaunchFlags(argc, argv, &flags)) {
+    crew::net::LaunchUsage();
+    return 2;
+  }
+  return crew::net::RunLaunch(flags);
+}

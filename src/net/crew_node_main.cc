@@ -1,0 +1,233 @@
+// crew_node: one endpoint of a multi-process deployment. Loads the
+// shared topology, assembles the engines/agents this endpoint hosts
+// inside an rt::Runtime, and serves their traffic over a SocketTransport
+// — the same unmodified workflow code that runs under sim and rt, with
+// process boundaries between nodes. A control socket answers quiescence
+// and terminal-state queries and accepts a clean-exit request; killing
+// the process instead exercises crash recovery (restart with a bumped
+// --incarnation and the durable AGDB replays before the node rejoins).
+//
+// Spawned by crew_launch / Supervisor; see --help for flags.
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "net/control.h"
+#include "net/node.h"
+#include "net/testbed.h"
+#include "runtime/wire.h"
+
+namespace crew::net {
+
+struct Flags {
+  std::string topology;
+  std::string endpoint;
+  std::string control;
+  std::string mode = "dist";
+  int engines = 2;
+  int agents = 3;
+  int instances = 9;
+  uint64_t seed = 42;
+  int64_t tick_us = 20;
+  int64_t pending_timeout = 5000;
+  std::string agdb;
+  uint64_t incarnation = 1;
+  bool drive = true;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "crew_node --topology <file> --endpoint <address> [options]\n"
+      "  --control <path>        control socket (default <endpoint>.ctl)\n"
+      "  --mode central|parallel|dist (default dist)\n"
+      "  --engines N --agents N --instances N\n"
+      "  --seed N --tick-us N --pending-timeout N\n"
+      "  --agdb <dir>            durable AGDB directory (dist)\n"
+      "  --incarnation N         bump on restart after a crash\n"
+      "  --drive 0|1             start locally-owned workflow instances\n");
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--topology" && (value = next())) {
+      flags->topology = value;
+    } else if (arg == "--endpoint" && (value = next())) {
+      flags->endpoint = value;
+    } else if (arg == "--control" && (value = next())) {
+      flags->control = value;
+    } else if (arg == "--mode" && (value = next())) {
+      flags->mode = value;
+    } else if (arg == "--engines" && (value = next())) {
+      flags->engines = std::atoi(value);
+    } else if (arg == "--agents" && (value = next())) {
+      flags->agents = std::atoi(value);
+    } else if (arg == "--instances" && (value = next())) {
+      flags->instances = std::atoi(value);
+    } else if (arg == "--seed" && (value = next())) {
+      flags->seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--tick-us" && (value = next())) {
+      flags->tick_us = std::atoll(value);
+    } else if (arg == "--pending-timeout" && (value = next())) {
+      flags->pending_timeout = std::atoll(value);
+    } else if (arg == "--agdb" && (value = next())) {
+      flags->agdb = value;
+    } else if (arg == "--incarnation" && (value = next())) {
+      flags->incarnation = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--drive" && (value = next())) {
+      flags->drive = std::atoi(value) != 0;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !flags->topology.empty() && !flags->endpoint.empty();
+}
+
+int Run(const Flags& flags) {
+  Result<Topology> topology = Topology::Load(flags.topology);
+  if (!topology.ok()) {
+    std::fprintf(stderr, "crew_node: %s\n",
+                 topology.status().ToString().c_str());
+    return 1;
+  }
+  Result<Endpoint> self = Endpoint::Parse(flags.endpoint);
+  if (!self.ok()) {
+    std::fprintf(stderr, "crew_node: %s\n",
+                 self.status().ToString().c_str());
+    return 1;
+  }
+  if (!flags.agdb.empty()) {
+    mkdir(flags.agdb.c_str(), 0755);  // EEXIST is fine
+  }
+
+  rt::RuntimeOptions runtime_options;
+  runtime_options.seed = flags.seed;
+  runtime_options.tick_us = flags.tick_us;
+  SocketTransportOptions transport_options;
+  transport_options.incarnation = flags.incarnation;
+
+  NetNode node(topology.value(), self.value(), runtime_options,
+               transport_options);
+  Status bound = node.Bind();
+  if (!bound.ok()) {
+    std::fprintf(stderr, "crew_node: %s\n", bound.ToString().c_str());
+    return 1;
+  }
+
+  TestbedOptions testbed_options;
+  testbed_options.mode = flags.mode;
+  testbed_options.num_engines = flags.engines;
+  testbed_options.num_agents = flags.agents;
+  testbed_options.pending_timeout = flags.pending_timeout;
+  testbed_options.agdb_dir = flags.agdb;
+  Testbed testbed(&node.runtime(), topology.value(), self.value(),
+                  testbed_options);
+  testbed.InstallRecoveryHooks(&node.runtime());
+
+  std::mutex exit_mu;
+  std::condition_variable exit_cv;
+  bool exit_requested = false;
+
+  // Control handler: runs on the control thread. State reads are
+  // marshalled onto the owning node's worker via Post, so they are
+  // ordered against that node's message processing.
+  auto handler = [&](const std::string& request) -> std::string {
+    std::vector<std::string> words;
+    for (const std::string& w : Split(request, ' ')) {
+      if (!w.empty()) words.push_back(w);
+    }
+    if (words.empty()) return "err empty";
+    if (words[0] == "ping") return "ok";
+    if (words[0] == "quiet") {
+      return std::string(node.LooksQuiet() ? "1" : "0") + " " +
+             std::to_string(node.AdmittedWork());
+    }
+    if (words[0] == "status" && words.size() == 3) {
+      InstanceId instance{words[1], std::atoll(words[2].c_str())};
+      if (!testbed.Authoritative(instance)) return "n/a";
+      NodeId authority = testbed.AuthorityNode(instance);
+      std::promise<runtime::WorkflowState> promise;
+      std::future<runtime::WorkflowState> future = promise.get_future();
+      node.runtime().Post(authority, [&]() {
+        promise.set_value(testbed.Terminal(instance));
+      });
+      return runtime::WorkflowStateName(future.get());
+    }
+    if (words[0] == "exit") {
+      {
+        std::lock_guard<std::mutex> lock(exit_mu);
+        exit_requested = true;
+      }
+      exit_cv.notify_all();
+      return "ok";
+    }
+    return "err unknown request";
+  };
+
+  ControlServer control(
+      flags.control.empty() ? self.value().path + ".ctl" : flags.control,
+      handler);
+  Status control_status = control.Start();
+  if (!control_status.ok()) {
+    std::fprintf(stderr, "crew_node: %s\n",
+                 control_status.ToString().c_str());
+    return 1;
+  }
+
+  node.Start();
+  if (!node.WaitConnected(std::chrono::seconds(30))) {
+    CREW_LOG(Warn) << "crew_node " << self.value().Address()
+                   << ": peers not all connected yet; continuing";
+  }
+
+  if (flags.drive) {
+    for (int i = 1; i <= flags.instances; ++i) {
+      std::string schema = testbed.ScheduleSchema(i);
+      NodeId start_node = testbed.StartNode(schema, i);
+      if (!testbed.Hosts(start_node)) continue;
+      node.runtime().Post(start_node, [&testbed, schema, i]() {
+        Status status = testbed.StartInstance(schema, i);
+        if (!status.ok()) {
+          CREW_LOG(Error) << "start " << schema << "#" << i
+                          << " failed: " << status.ToString();
+        }
+      });
+    }
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(exit_mu);
+    exit_cv.wait(lock, [&]() { return exit_requested; });
+  }
+  control.Stop();
+  node.Shutdown();
+  return 0;
+}
+
+}  // namespace crew::net
+
+int main(int argc, char** argv) {
+  crew::net::Flags flags;
+  if (!crew::net::ParseFlags(argc, argv, &flags)) {
+    crew::net::Usage();
+    return 2;
+  }
+  return crew::net::Run(flags);
+}

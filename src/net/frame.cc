@@ -1,0 +1,154 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "runtime/kv.h"
+#include "sim/metrics.h"
+
+namespace crew::net {
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xff);
+  bytes[1] = static_cast<char>((v >> 8) & 0xff);
+  bytes[2] = static_cast<char>((v >> 16) & 0xff);
+  bytes[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(bytes, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  runtime::KvWriter header;
+  const std::string* payload = nullptr;
+  switch (frame.kind) {
+    case Frame::Kind::kHello:
+      header.Add("endpoint", frame.endpoint);
+      header.AddInt("incarnation", static_cast<int64_t>(frame.incarnation));
+      break;
+    case Frame::Kind::kAck:
+      header.AddInt("watermark", static_cast<int64_t>(frame.watermark));
+      break;
+    case Frame::Kind::kData:
+      header.AddInt("seq", static_cast<int64_t>(frame.seq));
+      header.AddInt("from", frame.message.from);
+      header.AddInt("to", frame.message.to);
+      header.Add("type", frame.message.type);
+      header.AddInt("category", static_cast<int>(frame.message.category));
+      payload = &frame.message.payload;
+      break;
+  }
+  std::string head = header.Finish();
+  size_t payload_size = payload != nullptr ? payload->size() : 0;
+  std::string out;
+  out.reserve(4 + 1 + 4 + head.size() + payload_size);
+  PutU32(&out, static_cast<uint32_t>(1 + 4 + head.size() + payload_size));
+  out.push_back(static_cast<char>(frame.kind));
+  PutU32(&out, static_cast<uint32_t>(head.size()));
+  out += head;
+  if (payload != nullptr) out += *payload;
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (!status_.ok()) return;
+  // Compact once the consumed prefix dominates the buffer, so a
+  // long-lived connection doesn't grow its buffer without bound.
+  if (offset_ > 4096 && offset_ > buffer_.size() / 2) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+bool FrameDecoder::Next(Frame* out) {
+  if (!status_.ok()) return false;
+  if (buffer_.size() - offset_ < 4) return false;
+  const char* base = buffer_.data() + offset_;
+  uint32_t length = GetU32(base);
+  if (length < 1 + 4 || length > kMaxFrameBytes) {
+    status_ = Status::Corruption("bad frame length " +
+                                 std::to_string(length));
+    return false;
+  }
+  if (buffer_.size() - offset_ < 4 + static_cast<size_t>(length)) {
+    return false;  // frame split across reads: wait for the rest
+  }
+  const char* body = base + 4;
+  auto kind = static_cast<Frame::Kind>(static_cast<unsigned char>(body[0]));
+  uint32_t header_len = GetU32(body + 1);
+  if (header_len > length - 1 - 4) {
+    status_ = Status::Corruption("frame header overruns frame");
+    return false;
+  }
+  std::string head(body + 5, header_len);
+  const char* payload = body + 5 + header_len;
+  size_t payload_len = length - 1 - 4 - header_len;
+  offset_ += 4 + static_cast<size_t>(length);
+
+  Result<runtime::KvReader> reader = runtime::KvReader::Parse(head);
+  if (!reader.ok()) {
+    status_ = reader.status();
+    return false;
+  }
+  const runtime::KvReader& kv = reader.value();
+  Frame frame;
+  frame.kind = kind;
+  switch (kind) {
+    case Frame::Kind::kHello: {
+      Result<std::string> endpoint = kv.GetRequired("endpoint");
+      Result<int64_t> incarnation = kv.GetInt("incarnation");
+      if (!endpoint.ok() || !incarnation.ok()) {
+        status_ = Status::Corruption("malformed hello frame");
+        return false;
+      }
+      frame.endpoint = std::move(endpoint).value();
+      frame.incarnation = static_cast<uint64_t>(incarnation.value());
+      break;
+    }
+    case Frame::Kind::kAck: {
+      Result<int64_t> watermark = kv.GetInt("watermark");
+      if (!watermark.ok()) {
+        status_ = Status::Corruption("malformed ack frame");
+        return false;
+      }
+      frame.watermark = static_cast<uint64_t>(watermark.value());
+      break;
+    }
+    case Frame::Kind::kData: {
+      Result<int64_t> seq = kv.GetInt("seq");
+      Result<int64_t> from = kv.GetInt("from");
+      Result<int64_t> to = kv.GetInt("to");
+      Result<std::string> type = kv.GetRequired("type");
+      int64_t category = kv.GetIntOr("category", 0);
+      if (!seq.ok() || !from.ok() || !to.ok() || !type.ok() ||
+          category < 0 || category >= sim::kNumMsgCategories) {
+        status_ = Status::Corruption("malformed data frame");
+        return false;
+      }
+      frame.seq = static_cast<uint64_t>(seq.value());
+      frame.message.from = static_cast<NodeId>(from.value());
+      frame.message.to = static_cast<NodeId>(to.value());
+      frame.message.type = std::move(type).value();
+      frame.message.category = static_cast<sim::MsgCategory>(category);
+      frame.message.payload.assign(payload, payload_len);
+      break;
+    }
+    default:
+      status_ = Status::Corruption("unknown frame kind " +
+                                   std::to_string(static_cast<int>(kind)));
+      return false;
+  }
+  *out = std::move(frame);
+  return true;
+}
+
+}  // namespace crew::net

@@ -1,0 +1,79 @@
+#ifndef CREW_NET_FRAME_H_
+#define CREW_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "sim/network.h"
+
+namespace crew::net {
+
+/// One unit of the socket protocol. Byte layout:
+///
+///   [u32 length][u8 kind][u32 header_len][header kv][payload bytes]
+///
+/// `length` (little-endian) covers everything after itself. The header
+/// is the line-oriented kv text already used for workflow-interface
+/// payloads (runtime/kv.h); the payload rides behind it as raw bytes so
+/// it needs no escaping — it is itself kv text produced by wire.h, and
+/// may contain newlines.
+///
+/// Kinds:
+///  - kHello: first frame on every connection; identifies the sending
+///    endpoint and its incarnation (bumped on process restart, which
+///    tells the receiver to reset its dedup watermark).
+///  - kData: one sim::Message, tagged with a per-directed-endpoint-pair
+///    sequence number. The sender retains the frame until acked and
+///    replays retained frames after a reconnect; the receiver drops
+///    sequence numbers at or below its watermark, so steady-state
+///    delivery is exactly-once and crash-restart is at-least-once.
+///  - kAck: cumulative receive watermark for the reverse direction.
+struct Frame {
+  enum class Kind : uint8_t { kHello = 1, kData = 2, kAck = 3 };
+
+  Kind kind = Kind::kData;
+
+  // kHello
+  std::string endpoint;      ///< sender's listening address
+  uint64_t incarnation = 0;  ///< sender process generation
+
+  // kAck
+  uint64_t watermark = 0;  ///< highest delivered seq, cumulative
+
+  // kData
+  uint64_t seq = 0;
+  sim::Message message;
+};
+
+/// Frames larger than this poison the decoder (corrupt length prefix).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+std::string EncodeFrame(const Frame& frame);
+
+/// Incremental decoder: feed arbitrary byte slices exactly as read from
+/// a socket — single bytes, half a length prefix, several concatenated
+/// frames — and pop complete frames out in order. A malformed frame
+/// poisons the stream permanently (the transport drops the connection).
+class FrameDecoder {
+ public:
+  void Feed(std::string_view bytes);
+
+  /// Moves the next complete frame into *out. Returns false when no
+  /// complete frame is buffered or the stream is poisoned (check ok()).
+  bool Next(Frame* out);
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  size_t buffered_bytes() const { return buffer_.size() - offset_; }
+
+ private:
+  std::string buffer_;
+  size_t offset_ = 0;
+  Status status_;
+};
+
+}  // namespace crew::net
+
+#endif  // CREW_NET_FRAME_H_

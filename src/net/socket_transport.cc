@@ -1,0 +1,738 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace crew::net {
+
+namespace {
+/// Target size of the per-connection staging buffer: retained frames are
+/// appended to it in chunks this big, so a long parked backlog never
+/// sits in the buffer twice.
+constexpr size_t kWriteChunk = 256 * 1024;
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetCloexec(int fd) {
+  int flags = fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+}  // namespace
+
+/// Outbound link to one remote endpoint. All mutable fields are guarded
+/// by SocketTransport::state_mu_ (workers enqueue, the loop thread
+/// writes); the loop thread alone touches the fd lifecycle.
+struct SocketTransport::Peer {
+  Endpoint endpoint;
+  std::string address;
+
+  int fd = -1;
+  bool connecting = false;  ///< non-blocking connect in flight
+  bool connected = false;   ///< HELLO primed; write path open
+  int consecutive_failures = 0;
+  int backoff_ms = 0;
+  int64_t next_dial_ms = 0;  ///< earliest next dial, ms since start
+
+  /// DATA frames retained until the peer's cumulative ACK covers them.
+  /// [0, unsent_index) are committed to the current connection;
+  /// [unsent_index, ...) still need writing. A reconnect rewinds
+  /// unsent_index to 0 — the whole window replays.
+  struct Retained {
+    uint64_t seq = 0;
+    NodeId to = kInvalidNode;
+    std::string bytes;
+  };
+  std::deque<Retained> retained;
+  size_t unsent_index = 0;
+  size_t retained_bytes = 0;
+  uint64_t next_seq = 1;
+
+  /// Frames to explicitly-downed destination nodes, parked *before*
+  /// sequencing so per-pair order survives the park (rt's parked queue,
+  /// sender-side). Keyed by destination, flushed in arrival order.
+  std::map<NodeId, std::deque<sim::Message>> held;
+  size_t held_bytes = 0;
+
+  /// Bytes staged for the current connection (HELLO + ACKs + frames).
+  std::string write_buffer;
+  size_t write_offset = 0;
+
+  bool WantsWrite() const {
+    return connected && (write_offset < write_buffer.size() ||
+                         unsent_index < retained.size());
+  }
+  size_t BacklogBytes() const { return retained_bytes + held_bytes; }
+};
+
+/// One accepted (inbound) connection; identity learned from its HELLO.
+struct SocketTransport::InConn {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::string peer_address;  ///< empty until the HELLO arrives
+  bool broken = false;
+};
+
+SocketTransport::SocketTransport(Topology topology, Endpoint self,
+                                 DeliverFn deliver,
+                                 SocketTransportOptions options)
+    : topology_(std::move(topology)),
+      self_(std::move(self)),
+      deliver_(std::move(deliver)),
+      options_(options) {
+  for (const auto& [id, endpoint] : topology_.nodes()) {
+    if (endpoint == self_) {
+      local_nodes_.insert(id);
+      peer_of_node_[id] = nullptr;
+      continue;
+    }
+    auto& peer = peers_[endpoint.Address()];
+    if (peer == nullptr) {
+      peer = std::make_unique<Peer>();
+      peer->endpoint = endpoint;
+      peer->address = endpoint.Address();
+      peer->backoff_ms = options_.reconnect_initial_ms;
+    }
+    peer_of_node_[id] = peer.get();
+  }
+}
+
+SocketTransport::~SocketTransport() { Shutdown(); }
+
+int64_t SocketTransport::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status SocketTransport::Bind() {
+  if (listen_fd_ >= 0) return Status::OK();
+  if (self_.kind == Endpoint::Kind::kUnix) {
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (self_.path.size() >= sizeof(addr.sun_path)) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::InvalidArgument("unix path too long: " + self_.path);
+    }
+    std::strncpy(addr.sun_path, self_.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    unlink(self_.path.c_str());  // stale socket from a previous run
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::Unavailable("bind(" + self_.path +
+                                 "): " + std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(self_.port));
+    if (inet_pton(AF_INET, self_.host.c_str(), &addr.sin_addr) != 1) {
+      addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    }
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::Unavailable("bind(" + self_.Address() +
+                                 "): " + std::strerror(errno));
+    }
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("listen failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  SetNonBlocking(listen_fd_);
+  SetCloexec(listen_fd_);
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::Unavailable("pipe failed");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+  SetCloexec(wake_read_fd_);
+  SetCloexec(wake_write_fd_);
+  return Status::OK();
+}
+
+void SocketTransport::Start() {
+  if (running_.exchange(true)) return;
+  loop_ = std::thread(&SocketTransport::LoopThread, this);
+}
+
+bool SocketTransport::WaitConnected(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  return state_cv_.wait_for(lock, timeout, [this]() {
+    for (const auto& [address, peer] : peers_) {
+      if (!peer->connected) return false;
+    }
+    return true;
+  });
+}
+
+void SocketTransport::Shutdown() {
+  if (shut_down_.exchange(true)) return;
+  state_cv_.notify_all();
+  WakeLoop();
+  if (loop_.joinable()) loop_.join();
+  running_.store(false);
+  for (auto& [address, peer] : peers_) {
+    if (peer->fd >= 0) close(peer->fd);
+    peer->fd = -1;
+  }
+  for (auto& conn : accepted_) {
+    if (conn->fd >= 0) close(conn->fd);
+  }
+  accepted_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) close(wake_write_fd_);
+  wake_read_fd_ = wake_write_fd_ = -1;
+  if (self_.kind == Endpoint::Kind::kUnix) unlink(self_.path.c_str());
+}
+
+void SocketTransport::Register(NodeId id, sim::MessageHandler* handler) {
+  handlers_[id] = handler;
+}
+
+void SocketTransport::SetNodeDown(NodeId id, bool down) {
+  Peer* peer = PeerOf(id);
+  if (peer == nullptr) return;  // local/unknown: nothing to mark here
+  std::lock_guard<std::mutex> lock(state_mu_);
+  bool was_down = explicit_down_.count(id) != 0;
+  if (down == was_down) return;
+  if (down) {
+    explicit_down_.insert(id);
+    return;
+  }
+  explicit_down_.erase(id);
+  // Recovery: promote the held backlog into the sequenced stream, in
+  // arrival order, ahead of any later send (we hold the lock).
+  auto it = peer->held.find(id);
+  if (it != peer->held.end()) {
+    for (sim::Message& message : it->second) {
+      Frame frame;
+      frame.kind = Frame::Kind::kData;
+      frame.seq = peer->next_seq++;
+      frame.message = std::move(message);
+      Peer::Retained retained;
+      retained.seq = frame.seq;
+      retained.to = frame.message.to;
+      retained.bytes = EncodeFrame(frame);
+      peer->held_bytes -= frame.message.payload.size();
+      peer->retained_bytes += retained.bytes.size();
+      peer->retained.push_back(std::move(retained));
+    }
+    peer->held.erase(it);
+  }
+  WakeLoop();
+}
+
+bool SocketTransport::IsNodeDown(NodeId id) const {
+  Peer* peer = PeerOf(id);
+  if (peer == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (explicit_down_.count(id) != 0) return true;
+  return peer->consecutive_failures >= options_.down_after_failures;
+}
+
+Status SocketTransport::Send(sim::Message message) {
+  auto handler = handlers_.find(message.to);
+  if (handler != handlers_.end() && local_nodes_.count(message.to) != 0) {
+    // Transport-level loopback (tests without a runtime): dispatch
+    // inline on the calling thread.
+    handler->second->HandleMessage(message);
+    return Status::OK();
+  }
+  return Ship(message);
+}
+
+SocketTransport::Peer* SocketTransport::PeerOf(NodeId id) const {
+  auto it = peer_of_node_.find(id);
+  return it == peer_of_node_.end() ? nullptr : it->second;
+}
+
+Status SocketTransport::Ship(sim::Message& message) {
+  auto it = peer_of_node_.find(message.to);
+  if (it == peer_of_node_.end()) {
+    return Status::NotFound("no endpoint hosts node " +
+                            std::to_string(message.to));
+  }
+  Peer* peer = it->second;
+  if (peer == nullptr) {
+    return Status::NotFound("node " + std::to_string(message.to) +
+                            " is local; refusing socket loopback");
+  }
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    // Bounded backpressure: block while the peer's backlog (retained +
+    // held) is over the cap. Acks and recoveries drain it.
+    state_cv_.wait(lock, [this, peer]() {
+      return shut_down_.load() ||
+             peer->BacklogBytes() < options_.max_outbound_bytes;
+    });
+    if (shut_down_.load()) {
+      return Status::Unavailable("transport shut down");
+    }
+    if (explicit_down_.count(message.to) != 0) {
+      peer->held_bytes += message.payload.size();
+      peer->held[message.to].push_back(std::move(message));
+      return Status::OK();
+    }
+    Frame frame;
+    frame.kind = Frame::Kind::kData;
+    frame.seq = peer->next_seq++;
+    frame.message = std::move(message);
+    Peer::Retained retained;
+    retained.seq = frame.seq;
+    retained.to = frame.message.to;
+    retained.bytes = EncodeFrame(frame);
+    peer->retained_bytes += retained.bytes.size();
+    peer->retained.push_back(std::move(retained));
+  }
+  WakeLoop();
+  return Status::OK();
+}
+
+void SocketTransport::WakeLoop() {
+  if (wake_write_fd_ < 0) return;
+  char byte = 1;
+  ssize_t ignored = write(wake_write_fd_, &byte, 1);
+  (void)ignored;  // pipe full => the loop is waking anyway
+}
+
+void SocketTransport::DialLocked(Peer* peer, int64_t now_ms) {
+  int fd;
+  if (peer->endpoint.kind == Endpoint::Kind::kUnix) {
+    fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  } else {
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+  }
+  if (fd < 0) {
+    peer->next_dial_ms = now_ms + peer->backoff_ms;
+    return;
+  }
+  SetNonBlocking(fd);
+  SetCloexec(fd);
+  int rc;
+  if (peer->endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, peer->endpoint.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(peer->endpoint.port));
+    if (inet_pton(AF_INET, peer->endpoint.host.c_str(), &addr.sin_addr) !=
+        1) {
+      addrinfo hints{};
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      addrinfo* result = nullptr;
+      if (getaddrinfo(peer->endpoint.host.c_str(), nullptr, &hints,
+                      &result) == 0 &&
+          result != nullptr) {
+        addr.sin_addr =
+            reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
+        freeaddrinfo(result);
+      } else {
+        if (result != nullptr) freeaddrinfo(result);
+        close(fd);
+        ++peer->consecutive_failures;
+        peer->next_dial_ms = now_ms + peer->backoff_ms;
+        peer->backoff_ms =
+            std::min(peer->backoff_ms * 2, options_.reconnect_max_ms);
+        return;
+      }
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc == 0) {
+    peer->fd = fd;
+    peer->connecting = false;
+    OnConnected(peer);
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    peer->fd = fd;
+    peer->connecting = true;
+    return;
+  }
+  close(fd);
+  ++peer->consecutive_failures;
+  peer->next_dial_ms = now_ms + peer->backoff_ms;
+  peer->backoff_ms =
+      std::min(peer->backoff_ms * 2, options_.reconnect_max_ms);
+}
+
+void SocketTransport::OnConnected(Peer* peer) {
+  peer->connecting = false;
+  peer->connected = true;
+  peer->consecutive_failures = 0;
+  peer->backoff_ms = options_.reconnect_initial_ms;
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  // Fresh connection protocol: HELLO, the reverse-direction ACK (so a
+  // restarted peer learns what already landed here), then the retained
+  // window from the beginning.
+  peer->write_buffer.clear();
+  peer->write_offset = 0;
+  peer->unsent_index = 0;
+  Frame hello;
+  hello.kind = Frame::Kind::kHello;
+  hello.endpoint = self_.Address();
+  hello.incarnation = options_.incarnation;
+  peer->write_buffer += EncodeFrame(hello);
+  auto in = inbound_.find(peer->address);
+  if (in != inbound_.end()) {
+    Frame ack;
+    ack.kind = Frame::Kind::kAck;
+    ack.watermark = in->second.watermark;
+    peer->write_buffer += EncodeFrame(ack);
+  }
+  state_cv_.notify_all();
+}
+
+void SocketTransport::OnConnectionBroken(Peer* peer, int64_t now_ms) {
+  if (peer->fd >= 0) close(peer->fd);
+  peer->fd = -1;
+  bool was_connected = peer->connected;
+  peer->connected = false;
+  peer->connecting = false;
+  peer->write_buffer.clear();
+  peer->write_offset = 0;
+  // Rewind: everything unacked replays on the next connection.
+  peer->unsent_index = 0;
+  if (!was_connected) ++peer->consecutive_failures;
+  peer->next_dial_ms = now_ms + peer->backoff_ms;
+  peer->backoff_ms =
+      std::min(std::max(peer->backoff_ms, 1) * 2,
+               options_.reconnect_max_ms);
+}
+
+void SocketTransport::FlushWrites(Peer* peer) {
+  // Called with state_mu_ held, loop thread only.
+  for (;;) {
+    if (peer->write_offset == peer->write_buffer.size()) {
+      peer->write_buffer.clear();
+      peer->write_offset = 0;
+      // Stage the next chunk of unsent retained frames.
+      while (peer->unsent_index < peer->retained.size() &&
+             peer->write_buffer.size() < kWriteChunk) {
+        if (explicit_down_.count(peer->retained[peer->unsent_index].to) !=
+            0) {
+          // A sequenced frame to an explicitly-down node: hold the whole
+          // stream here (later frames must not overtake it).
+          break;
+        }
+        peer->write_buffer += peer->retained[peer->unsent_index].bytes;
+        ++peer->unsent_index;
+        frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (peer->write_buffer.empty()) return;
+    }
+    ssize_t n = write(peer->fd, peer->write_buffer.data() + peer->write_offset,
+                      peer->write_buffer.size() - peer->write_offset);
+    if (n > 0) {
+      peer->write_offset += static_cast<size_t>(n);
+      bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    OnConnectionBroken(peer, NowMs());
+    return;
+  }
+}
+
+void SocketTransport::QueueAckLocked(const std::string& endpoint_address,
+                                     uint64_t watermark) {
+  auto it = peers_.find(endpoint_address);
+  if (it == peers_.end()) return;
+  Peer* peer = it->second.get();
+  if (!peer->connected) return;  // the reconnect ACK will carry it
+  Frame ack;
+  ack.kind = Frame::Kind::kAck;
+  ack.watermark = watermark;
+  peer->write_buffer += EncodeFrame(ack);
+}
+
+void SocketTransport::HandleInboundFrame(InConn* conn, Frame frame) {
+  switch (frame.kind) {
+    case Frame::Kind::kHello: {
+      conn->peer_address = frame.endpoint;
+      InStream& stream = inbound_[frame.endpoint];
+      if (stream.incarnation != frame.incarnation) {
+        // New process generation: its sequence space restarted.
+        stream.incarnation = frame.incarnation;
+        stream.watermark = 0;
+      }
+      return;
+    }
+    case Frame::Kind::kAck: {
+      if (conn->peer_address.empty()) return;  // protocol error: pre-HELLO
+      std::lock_guard<std::mutex> lock(state_mu_);
+      auto it = peers_.find(conn->peer_address);
+      if (it == peers_.end()) return;
+      Peer* peer = it->second.get();
+      while (!peer->retained.empty() &&
+             peer->retained.front().seq <= frame.watermark) {
+        peer->retained_bytes -= peer->retained.front().bytes.size();
+        peer->retained.pop_front();
+        if (peer->unsent_index > 0) --peer->unsent_index;
+      }
+      state_cv_.notify_all();  // backpressure waiters and Idle pollers
+      return;
+    }
+    case Frame::Kind::kData: {
+      if (conn->peer_address.empty()) {
+        conn->broken = true;  // DATA before HELLO: drop the connection
+        return;
+      }
+      InStream& stream = inbound_[conn->peer_address];
+      if (frame.seq <= stream.watermark) {
+        frames_deduped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      stream.watermark = frame.seq;
+      frames_delivered_.fetch_add(1, std::memory_order_relaxed);
+      if (deliver_) {
+        deliver_(std::move(frame.message));
+      } else {
+        auto handler = handlers_.find(frame.message.to);
+        if (handler != handlers_.end()) {
+          handler->second->HandleMessage(frame.message);
+        } else {
+          CREW_LOG(Warn) << "net: dropping frame for unhandled node "
+                         << frame.message.to;
+        }
+      }
+      return;
+    }
+  }
+}
+
+void SocketTransport::ReadInbound(InConn* conn) {
+  char buffer[64 * 1024];
+  uint64_t advanced_from = 0;
+  bool have_advance = false;
+  std::string advance_address;
+  for (;;) {
+    ssize_t n = read(conn->fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn->decoder.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+      Frame frame;
+      while (conn->decoder.Next(&frame)) {
+        bool was_data = frame.kind == Frame::Kind::kData;
+        HandleInboundFrame(conn, std::move(frame));
+        if (conn->broken) return;
+        if (was_data) {
+          have_advance = true;
+          advance_address = conn->peer_address;
+          advanced_from = inbound_[conn->peer_address].watermark;
+        }
+      }
+      if (!conn->decoder.ok()) {
+        CREW_LOG(Error) << "net: corrupt stream from "
+                        << conn->peer_address << ": "
+                        << conn->decoder.status().ToString();
+        conn->broken = true;
+        return;
+      }
+      if (static_cast<size_t>(n) < sizeof(buffer)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    conn->broken = true;  // EOF or error
+    break;
+  }
+  if (have_advance) {
+    // Cumulative ack for everything this drain delivered.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    QueueAckLocked(advance_address, advanced_from);
+  }
+}
+
+void SocketTransport::LoopThread() {
+  while (!shut_down_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    std::vector<Peer*> poll_peers;
+    std::vector<InConn*> poll_conns;
+    int64_t now_ms = NowMs();
+    int64_t next_dial = -1;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      for (auto& [address, peer] : peers_) {
+        if (peer->fd < 0) {
+          if (now_ms >= peer->next_dial_ms) DialLocked(peer.get(), now_ms);
+        }
+        if (peer->fd < 0) {
+          next_dial = next_dial < 0
+                          ? peer->next_dial_ms
+                          : std::min(next_dial, peer->next_dial_ms);
+          continue;
+        }
+        short events = POLLIN;  // EOF detection on the simplex link
+        if (peer->connecting || peer->WantsWrite()) events |= POLLOUT;
+        fds.push_back(pollfd{peer->fd, events, 0});
+        poll_peers.push_back(peer.get());
+      }
+    }
+    size_t peer_count = fds.size();
+    fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (auto& conn : accepted_) {
+      fds.push_back(pollfd{conn->fd, POLLIN, 0});
+      poll_conns.push_back(conn.get());
+    }
+    int timeout_ms = -1;
+    if (next_dial >= 0) {
+      timeout_ms = static_cast<int>(std::max<int64_t>(
+          1, next_dial - now_ms));
+    }
+    int rc = poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) break;
+    if (shut_down_.load(std::memory_order_acquire)) break;
+    now_ms = NowMs();
+
+    // Peers: connect completion, EOF, writes.
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      for (size_t i = 0; i < peer_count; ++i) {
+        Peer* peer = poll_peers[i];
+        if (peer->fd != fds[i].fd) continue;  // broken and re-dialed
+        short revents = fds[i].revents;
+        if (peer->connecting) {
+          if (revents & (POLLOUT | POLLERR | POLLHUP)) {
+            int err = 0;
+            socklen_t len = sizeof(err);
+            getsockopt(peer->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+            if (err == 0) {
+              OnConnected(peer);
+            } else {
+              OnConnectionBroken(peer, now_ms);
+              continue;
+            }
+          } else {
+            continue;
+          }
+        }
+        if (revents & (POLLERR | POLLHUP)) {
+          OnConnectionBroken(peer, now_ms);
+          continue;
+        }
+        if (revents & POLLIN) {
+          // The peer never writes on our outbound link: readable means
+          // EOF (it died) or junk; either way the link is gone.
+          char scratch[256];
+          ssize_t n = read(peer->fd, scratch, sizeof(scratch));
+          if (n <= 0 && !(n < 0 && (errno == EAGAIN ||
+                                    errno == EWOULDBLOCK))) {
+            OnConnectionBroken(peer, now_ms);
+            continue;
+          }
+        }
+        if (peer->WantsWrite()) FlushWrites(peer);
+      }
+      // Enqueued sends may have arrived while we polled.
+      for (auto& [address, peer] : peers_) {
+        if (peer->fd >= 0 && !peer->connecting && peer->WantsWrite()) {
+          FlushWrites(peer.get());
+        }
+      }
+    }
+
+    // Wake pipe: drain.
+    if (fds[peer_count].revents & POLLIN) {
+      char scratch[256];
+      while (read(wake_read_fd_, scratch, sizeof(scratch)) > 0) {
+      }
+    }
+
+    // Listener: accept everything pending.
+    if (fds[peer_count + 1].revents & POLLIN) {
+      for (;;) {
+        int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        SetNonBlocking(fd);
+        SetCloexec(fd);
+        if (self_.kind == Endpoint::Kind::kTcp) {
+          int one = 1;
+          setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        }
+        auto conn = std::make_unique<InConn>();
+        conn->fd = fd;
+        accepted_.push_back(std::move(conn));
+      }
+    }
+
+    // Inbound connections: read and dispatch.
+    for (size_t i = 0; i < poll_conns.size(); ++i) {
+      short revents = fds[peer_count + 2 + i].revents;
+      if (revents & (POLLIN | POLLERR | POLLHUP)) {
+        ReadInbound(poll_conns[i]);
+      }
+    }
+    accepted_.erase(
+        std::remove_if(accepted_.begin(), accepted_.end(),
+                       [](const std::unique_ptr<InConn>& conn) {
+                         if (!conn->broken) return false;
+                         close(conn->fd);
+                         return true;
+                       }),
+        accepted_.end());
+  }
+}
+
+bool SocketTransport::Idle() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (const auto& [address, peer] : peers_) {
+    if (!peer->retained.empty() || peer->held_bytes != 0) return false;
+    if (peer->write_offset < peer->write_buffer.size()) return false;
+  }
+  return true;
+}
+
+SocketTransportStats SocketTransport::Stats() const {
+  SocketTransportStats stats;
+  stats.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  stats.frames_delivered =
+      frames_delivered_.load(std::memory_order_relaxed);
+  stats.frames_deduped = frames_deduped_.load(std::memory_order_relaxed);
+  stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  stats.reconnects = reconnects_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace crew::net

@@ -1,0 +1,149 @@
+#include "net/topology.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace crew::net {
+
+std::string Endpoint::Address() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Result<Endpoint> Endpoint::Parse(const std::string& address) {
+  Endpoint endpoint;
+  if (address.rfind("unix:", 0) == 0) {
+    endpoint.kind = Kind::kUnix;
+    endpoint.path = address.substr(5);
+    if (endpoint.path.empty()) {
+      return Status::InvalidArgument("empty unix socket path: " + address);
+    }
+    return endpoint;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    std::string rest = address.substr(4);
+    size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("expected tcp:<host>:<port>: " +
+                                     address);
+    }
+    endpoint.kind = Kind::kTcp;
+    endpoint.host = rest.substr(0, colon);
+    endpoint.port = std::atoi(rest.c_str() + colon + 1);
+    if (endpoint.port <= 0 || endpoint.port > 65535) {
+      return Status::InvalidArgument("bad tcp port: " + address);
+    }
+    return endpoint;
+  }
+  return Status::InvalidArgument(
+      "endpoint must start with unix: or tcp:, got " + address);
+}
+
+Status Topology::Add(NodeId id, Endpoint endpoint) {
+  auto [it, inserted] = nodes_.emplace(id, std::move(endpoint));
+  if (!inserted) {
+    return Status::AlreadyExists("node " + std::to_string(id) +
+                                 " already mapped");
+  }
+  return Status::OK();
+}
+
+Result<Topology> Topology::Parse(const std::string& text) {
+  Topology topology;
+  int line_number = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    std::string line = raw;
+    if (size_t hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::vector<std::string> fields;
+    for (const std::string& f : Split(line, ' ')) {
+      if (!f.empty() && f != "\t" && f != "\r") fields.push_back(f);
+    }
+    if (fields.empty()) continue;
+    if (fields.size() != 3 || fields[0] != "node") {
+      return Status::InvalidArgument(
+          "topology line " + std::to_string(line_number) +
+          ": expected 'node <id> <address>'");
+    }
+    NodeId id = static_cast<NodeId>(std::atoi(fields[1].c_str()));
+    if (fields[1] != std::to_string(id)) {
+      return Status::InvalidArgument("topology line " +
+                                     std::to_string(line_number) +
+                                     ": bad node id " + fields[1]);
+    }
+    Result<Endpoint> endpoint = Endpoint::Parse(fields[2]);
+    if (!endpoint.ok()) return endpoint.status();
+    CREW_RETURN_IF_ERROR(topology.Add(id, std::move(endpoint).value()));
+  }
+  if (topology.empty()) {
+    return Status::InvalidArgument("topology has no nodes");
+  }
+  return topology;
+}
+
+Result<Topology> Topology::Load(const std::string& file) {
+  std::FILE* f = std::fopen(file.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open topology " + file);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return Parse(text);
+}
+
+std::string Topology::Serialize() const {
+  std::string out;
+  for (const auto& [id, endpoint] : nodes_) {
+    out += "node " + std::to_string(id) + " " + endpoint.Address() + "\n";
+  }
+  return out;
+}
+
+Status Topology::Save(const std::string& file) const {
+  std::FILE* f = std::fopen(file.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot write topology " + file);
+  }
+  std::string text = Serialize();
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Unavailable("short write to " + file);
+  }
+  return Status::OK();
+}
+
+const Endpoint* Topology::Find(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<Endpoint> Topology::Endpoints() const {
+  std::map<std::string, Endpoint> unique;
+  for (const auto& [id, endpoint] : nodes_) {
+    unique.emplace(endpoint.Address(), endpoint);
+  }
+  std::vector<Endpoint> out;
+  out.reserve(unique.size());
+  for (auto& [address, endpoint] : unique) out.push_back(endpoint);
+  return out;
+}
+
+std::vector<NodeId> Topology::NodesAt(const Endpoint& endpoint) const {
+  std::vector<NodeId> out;
+  for (const auto& [id, ep] : nodes_) {
+    if (ep == endpoint) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace crew::net

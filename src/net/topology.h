@@ -1,0 +1,70 @@
+#ifndef CREW_NET_TOPOLOGY_H_
+#define CREW_NET_TOPOLOGY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace crew::net {
+
+/// A socket address a node process listens on: a Unix-domain socket path
+/// or a TCP host:port. Rendered as "unix:/tmp/n0.sock" or
+/// "tcp:127.0.0.1:9100"; the rendering is the endpoint's identity.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< kUnix: filesystem path of the socket
+  std::string host;  ///< kTcp: numeric host or name
+  int port = 0;      ///< kTcp
+
+  std::string Address() const;
+  static Result<Endpoint> Parse(const std::string& address);
+
+  bool operator==(const Endpoint& o) const {
+    return Address() == o.Address();
+  }
+  bool operator!=(const Endpoint& o) const { return !(*this == o); }
+  bool operator<(const Endpoint& o) const {
+    return Address() < o.Address();
+  }
+};
+
+/// Maps every logical node id to the endpoint of the process hosting it.
+/// Several nodes may share one endpoint (co-hosted in one process) — the
+/// parallel topology needs this, since its engines share an in-memory
+/// conflict tracker.
+///
+/// Text form, one mapping per line ('#' starts a comment):
+///   node <id> <address>
+class Topology {
+ public:
+  Status Add(NodeId id, Endpoint endpoint);
+
+  static Result<Topology> Parse(const std::string& text);
+  static Result<Topology> Load(const std::string& file);
+  std::string Serialize() const;
+  Status Save(const std::string& file) const;
+
+  /// Endpoint hosting `id`, or nullptr if the node is unknown.
+  const Endpoint* Find(NodeId id) const;
+
+  /// Distinct endpoints, ordered by address.
+  std::vector<Endpoint> Endpoints() const;
+
+  /// Node ids hosted at `endpoint`, ascending.
+  std::vector<NodeId> NodesAt(const Endpoint& endpoint) const;
+
+  const std::map<NodeId, Endpoint>& nodes() const { return nodes_; }
+  bool empty() const { return nodes_.empty(); }
+
+ private:
+  std::map<NodeId, Endpoint> nodes_;
+};
+
+}  // namespace crew::net
+
+#endif  // CREW_NET_TOPOLOGY_H_

@@ -126,6 +126,8 @@ struct Runtime::Cell {
 
   std::mutex route_mu;
   bool down = false;  // authoritative, under route_mu
+  /// Run on this cell's worker at recovery, before the parked flush.
+  std::function<void()> recovery_hook;  // under route_mu
   /// Lock-free mirror of `down` read by the delivery fast path. Set
   /// *before* any message parks; cleared only *after* the parked backlog
   /// has been flushed into the mailbox, so a sender that loads `false`
@@ -157,7 +159,19 @@ void Runtime::NodeTransport::Register(NodeId id,
 
 Status Runtime::NodeTransport::Send(sim::Message message) {
   Cell* dest = rt_->FindCell(message.to);
-  if (dest == nullptr || dest->handler == nullptr) {
+  if (dest == nullptr) {
+    if (rt_->remote_router_ != nullptr) {
+      // Count in the sender's shard first, exactly as for a local
+      // destination: the remote process counts nothing on delivery, so
+      // merged metrics across processes match a single-runtime run.
+      cell_->metrics.CountMessage(message.from, message.to, message.category,
+                                  message.payload.size(), message.type);
+      return rt_->remote_router_->RouteRemote(std::move(message));
+    }
+    return Status::NotFound("no node registered with id " +
+                            std::to_string(message.to));
+  }
+  if (dest->handler == nullptr) {
     return Status::NotFound("no node registered with id " +
                             std::to_string(message.to));
   }
@@ -270,6 +284,10 @@ void Runtime::EnqueueDelivery(Cell* cell, sim::Message message,
 void Runtime::SetNodeDown(NodeId id, bool down) {
   Cell* cell = FindCell(id);
   if (cell == nullptr) {
+    if (remote_router_ != nullptr) {
+      remote_router_->SetRemoteDown(id, down);
+      return;
+    }
     CREW_LOG(Error) << "rt: SetNodeDown on unknown node " << id;
     return;
   }
@@ -282,8 +300,10 @@ void Runtime::SetNodeDown(NodeId id, bool down) {
                      down ? "node.down" : "node.up");
   }
   if (down) return;
-  // Recovery: flush parked messages in arrival order, still under
+  // Recovery: the hook (log replay) runs first on the node's own worker,
+  // then the parked messages flush in arrival order — all queued under
   // route_mu so no concurrent slow-path send can slot in ahead of them.
+  if (cell->recovery_hook) cell->mailbox.ForcePush(cell->recovery_hook);
   for (auto& [sent, m] : cell->parked) {
     PushDelivery(cell, std::move(m), sent);
   }
@@ -295,8 +315,33 @@ void Runtime::SetNodeDown(NodeId id, bool down) {
 
 bool Runtime::IsNodeDown(NodeId id) const {
   Cell* cell = FindCell(id);
-  if (cell == nullptr) return false;
+  if (cell == nullptr) {
+    if (remote_router_ != nullptr) return remote_router_->IsRemoteDown(id);
+    return false;
+  }
   return cell->down_flag.load(std::memory_order_acquire);
+}
+
+Status Runtime::DeliverRemote(sim::Message message) {
+  Cell* dest = FindCell(message.to);
+  if (dest == nullptr || dest->handler == nullptr) {
+    return Status::NotFound("no local node with id " +
+                            std::to_string(message.to));
+  }
+  // Not counted here: the sending process already counted the message
+  // in its sender shard when it handed it to the remote router.
+  EnqueueDelivery(dest, std::move(message), now());
+  return Status::OK();
+}
+
+void Runtime::SetRecoveryHook(NodeId id, std::function<void()> hook) {
+  Cell* cell = FindCell(id);
+  if (cell == nullptr) {
+    CREW_LOG(Error) << "rt: SetRecoveryHook on unknown node " << id;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cell->route_mu);
+  cell->recovery_hook = std::move(hook);
 }
 
 void Runtime::ScheduleTimer(Cell* cell, sim::Time at, Mailbox::Task fn) {
@@ -349,35 +394,37 @@ void Runtime::WorkerLoop(Cell* cell) {
   }
 }
 
+bool Runtime::LooksQuiet() const {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (!timer_heap_.empty() || timer_in_flight_ != 0) return false;
+  }
+  for (const auto& [id, cell] : cells_) {
+    if (!cell->mailbox.QuietNow()) return false;
+  }
+  return true;
+}
+
+int64_t Runtime::AdmittedWork() const {
+  int64_t sum = timers_fired_.load(std::memory_order_acquire);
+  for (const auto& [id, cell] : cells_) sum += cell->mailbox.pushed();
+  return sum;
+}
+
 void Runtime::Quiesce() {
-  auto all_quiet = [this]() {
-    {
-      std::lock_guard<std::mutex> lock(timer_mu_);
-      if (!timer_heap_.empty() || timer_in_flight_ != 0) return false;
-    }
-    for (const auto& [id, cell] : cells_) {
-      if (!cell->mailbox.QuietNow()) return false;
-    }
-    return true;
-  };
-  auto work_counter = [this]() {
-    int64_t sum = timers_fired_.load(std::memory_order_acquire);
-    for (const auto& [id, cell] : cells_) sum += cell->mailbox.pushed();
-    return sum;
-  };
   // Termination detection: two consecutive all-quiet sweeps bracketing
   // an unchanged admission counter. Any task in flight during a sweep
   // keeps some mailbox busy or the timer heap non-empty; any task
   // admitted between the sweeps bumps the counter. Both stable => no
   // work exists anywhere.
   for (;;) {
-    if (!all_quiet()) {
+    if (!LooksQuiet()) {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
       continue;
     }
-    int64_t before = work_counter();
-    if (!all_quiet()) continue;
-    if (work_counter() == before) return;
+    int64_t before = AdmittedWork();
+    if (!LooksQuiet()) continue;
+    if (AdmittedWork() == before) return;
   }
 }
 

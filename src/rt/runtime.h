@@ -19,6 +19,24 @@
 
 namespace crew::rt {
 
+/// Escape hatch for node ids the runtime does not host. When a send (or a
+/// down-flag query) names a node with no local cell, the runtime hands it
+/// to the installed router instead of failing — the seam `src/net` uses
+/// to stretch one logical node space across OS processes. Implementations
+/// must honour the Transport contract for the ids they own: reliable,
+/// in-order per sender-receiver pair, down-node parking.
+class RemoteRouter {
+ public:
+  virtual ~RemoteRouter() = default;
+
+  /// Routes a message whose destination is not hosted here. Called from
+  /// worker threads; must be thread-safe.
+  virtual Status RouteRemote(sim::Message message) = 0;
+
+  virtual void SetRemoteDown(NodeId id, bool down) = 0;
+  virtual bool IsRemoteDown(NodeId id) const = 0;
+};
+
 struct RuntimeOptions {
   /// Root seed; each node's RNG stream is SplitMix64-derived from
   /// (seed, node id), so streams are stable across thread interleavings.
@@ -110,6 +128,32 @@ class Runtime : public sim::Backend {
   void SetNodeDown(NodeId id, bool down);
   bool IsNodeDown(NodeId id) const;
 
+  /// Installs the router consulted for node ids with no local cell:
+  /// sends fall through to it, and SetNodeDown/IsNodeDown on unknown ids
+  /// delegate to it. Must be set before Start(); pass nullptr to clear.
+  void SetRemoteRouter(RemoteRouter* router) { remote_router_ = router; }
+
+  /// Delivers a message that arrived from a remote peer into its local
+  /// destination cell, respecting down-parking (ForcePush path — never
+  /// blocks, so transport threads cannot deadlock against full
+  /// mailboxes). Thread-safe; callable while the runtime is live.
+  Status DeliverRemote(sim::Message message);
+
+  /// Registers a callback run on `id`'s own worker thread when the node
+  /// recovers (SetNodeDown(id, false)), *before* any message parked
+  /// during the outage is dispatched. This is the crash-recovery seam:
+  /// the hook replays the node's write-ahead log (storage::Wal::Recover)
+  /// to rebuild engine state ahead of the flushed backlog.
+  void SetRecoveryHook(NodeId id, std::function<void()> hook);
+
+  /// One all-quiet sweep: every mailbox idle, no pending or in-flight
+  /// timers. A single true sweep is not termination — pair two sweeps
+  /// around an unchanged AdmittedWork() (what Quiesce() does), or
+  /// combine sweeps across processes for a cluster-level quiesce.
+  bool LooksQuiet() const;
+  /// Monotonic admission counter (mailbox pushes + timer fires).
+  int64_t AdmittedWork() const;
+
   size_t num_nodes() const { return cells_.size(); }
   bool started() const { return started_; }
 
@@ -156,6 +200,9 @@ class Runtime : public sim::Backend {
   /// Node id -> cell. Mutated only before Start() (node-pointer lookups
   /// during the run are concurrent reads of a frozen map).
   std::map<NodeId, std::unique_ptr<Cell>> cells_;
+  /// Fallback for ids outside cells_. Set before Start(); read-only
+  /// afterwards (the spawn of the worker threads publishes it).
+  RemoteRouter* remote_router_ = nullptr;
   bool started_ = false;
   bool shut_down_ = false;
 

@@ -15,46 +15,66 @@ Status Database::OpenDurable(const std::string& dir) {
   return wal_.Open(dir + "/" + name_ + ".wal");
 }
 
+Status Database::LoadSnapshot(const std::string& dir) {
+  Wal snapshot_reader;
+  return snapshot_reader.Replay(
+      dir + "/" + name_ + ".snap", [this](const std::string& record) {
+        std::vector<std::string> parts = Split(record, kUnitSep);
+        if (parts.size() != 3 || parts[2].empty() || parts[2][0] != 'P') {
+          return;
+        }
+        Result<Row> row = Row::Deserialize(parts[2].substr(1));
+        if (row.ok()) table(parts[0]).ApplyRaw(parts[1], &row.value());
+      });
+}
+
+void Database::ApplyWalRecord(const std::string& record) {
+  std::vector<std::string> parts = Split(record, kUnitSep);
+  if (parts.size() != 3) {
+    CREW_LOG(Warn) << "skipping malformed WAL record in " << name_;
+    return;
+  }
+  Table& t = table(parts[0]);
+  if (parts[2].empty()) return;
+  if (parts[2][0] == 'D') {
+    t.ApplyRaw(parts[1], nullptr);
+  } else if (parts[2][0] == 'P') {
+    Result<Row> row = Row::Deserialize(parts[2].substr(1));
+    if (row.ok()) {
+      t.ApplyRaw(parts[1], &row.value());
+    } else {
+      CREW_LOG(Warn) << "skipping corrupt row in WAL of " << name_ << ": "
+                     << row.status().ToString();
+    }
+  }
+}
+
 Status Database::Recover(const std::string& dir) {
   // Load the checkpoint snapshot first (if any); the WAL holds only the
   // mutations after it.
-  {
-    Wal snapshot_reader;
-    Status status = snapshot_reader.Replay(
-        dir + "/" + name_ + ".snap", [this](const std::string& record) {
-          std::vector<std::string> parts = Split(record, kUnitSep);
-          if (parts.size() != 3 || parts[2].empty() ||
-              parts[2][0] != 'P') {
-            return;
-          }
-          Result<Row> row = Row::Deserialize(parts[2].substr(1));
-          if (row.ok()) table(parts[0]).ApplyRaw(parts[1], &row.value());
-        });
-    if (!status.ok()) return status;
-  }
+  CREW_RETURN_IF_ERROR(LoadSnapshot(dir));
   Wal reader;
-  Status status = reader.Replay(
-      dir + "/" + name_ + ".wal", [this](const std::string& record) {
-        std::vector<std::string> parts = Split(record, kUnitSep);
-        if (parts.size() != 3) {
-          CREW_LOG(Warn) << "skipping malformed WAL record in " << name_;
-          return;
-        }
-        Table& t = table(parts[0]);
-        if (parts[2].empty()) return;
-        if (parts[2][0] == 'D') {
-          t.ApplyRaw(parts[1], nullptr);
-        } else if (parts[2][0] == 'P') {
-          Result<Row> row = Row::Deserialize(parts[2].substr(1));
-          if (row.ok()) {
-            t.ApplyRaw(parts[1], &row.value());
-          } else {
-            CREW_LOG(Warn) << "skipping corrupt row in WAL of " << name_
-                           << ": " << row.status().ToString();
-          }
-        }
-      });
-  return status;
+  return reader.Replay(
+      dir + "/" + name_ + ".wal",
+      [this](const std::string& record) { ApplyWalRecord(record); });
+}
+
+Result<int64_t> Database::RestartRecover(const std::string& dir) {
+  if (!wal_.is_open()) {
+    return Status::FailedPrecondition(
+        "restart recovery requires a durable database");
+  }
+  // Simulate the process boundary: drop the handle and every in-memory
+  // row, exactly as a killed process would, then come back up from disk.
+  wal_.Close();
+  for (auto& [table_name, t] : tables_) t->ClearRaw();
+  CREW_RETURN_IF_ERROR(LoadSnapshot(dir));
+  Result<int64_t> replayed = Wal::Recover(
+      dir + "/" + name_ + ".wal",
+      [this](const std::string& record) { ApplyWalRecord(record); });
+  CREW_RETURN_IF_ERROR(replayed.status());
+  CREW_RETURN_IF_ERROR(OpenDurable(dir));
+  return replayed;
 }
 
 Status Database::Checkpoint(const std::string& dir) {

@@ -33,6 +33,15 @@ class Database {
   /// OpenDurable's first mutation after a crash.
   Status Recover(const std::string& dir);
 
+  /// Crash-restart recovery for a *live* database: closes the WAL,
+  /// discards all in-memory rows, reloads the snapshot, replays the log
+  /// through Wal::Recover (truncating any torn tail), and reopens for
+  /// appending. This is what a killed-and-restarted node runs before
+  /// rejoining — and what the rt backend's recovery hook runs so the
+  /// in-process crash path exercises the same code. Returns the number
+  /// of WAL records replayed. Precondition: the database is durable.
+  Result<int64_t> RestartRecover(const std::string& dir);
+
   /// Writes a full snapshot of every table to `<dir>/<name>.snap` and
   /// truncates the WAL, bounding recovery time. Crash-safe: the snapshot
   /// is written to a temporary file and renamed into place before the
@@ -52,6 +61,8 @@ class Database {
  private:
   void JournalMutation(const std::string& table, const std::string& key,
                        const Row* row);
+  Status LoadSnapshot(const std::string& dir);
+  void ApplyWalRecord(const std::string& record);
 
   std::string name_;
   std::map<std::string, std::unique_ptr<Table>> tables_;

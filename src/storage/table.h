@@ -67,6 +67,10 @@ class Table {
   /// Applies a journaled mutation without re-journaling (recovery path).
   void ApplyRaw(const std::string& key, const Row* row);
 
+  /// Drops every row without journaling. Recovery-only: used to reset
+  /// in-memory state before replaying the log after a crash-restart.
+  void ClearRaw() { rows_.clear(); }
+
  private:
   void Journal(const std::string& key, const Row* row);
 

@@ -1,0 +1,385 @@
+// Tests for the multi-process socket backend (src/net), run in-process
+// over loopback Unix-domain sockets: transport-level delivery, parking
+// and crash-replay semantics, then full equivalence runs — the standard
+// mixed workload over a multi-endpoint Cluster must reach the same
+// per-instance terminal states and the same message counts per category
+// and wire type as the single-runtime rt assembly of the same Testbed.
+// Real process boundaries (fork/kill/restart) are covered separately by
+// net_proc_test.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/socket_transport.h"
+#include "net/testbed.h"
+#include "net/topology.h"
+#include "rt/runtime.h"
+#include "runtime/wire.h"
+#include "sim/metrics.h"
+
+namespace crew::net {
+namespace {
+
+using runtime::WorkflowState;
+
+constexpr uint64_t kSeed = 42;
+
+/// Unique scratch directory for socket paths; removed on destruction.
+/// Lives under /tmp regardless of TMPDIR: UDS paths are capped at ~107
+/// bytes and build trees can exceed that.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char buffer[] = "/tmp/crew_net_test_XXXXXX";
+    char* made = mkdtemp(buffer);
+    EXPECT_NE(made, nullptr);
+    path = made ? made : "/tmp";
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// Thread-safe recorder used as a transport's DeliverFn sink.
+struct Recorder {
+  std::mutex mu;
+  std::vector<sim::Message> messages;
+
+  SocketTransport::DeliverFn Sink() {
+    return [this](sim::Message message) {
+      std::lock_guard<std::mutex> lock(mu);
+      messages.push_back(std::move(message));
+    };
+  }
+  size_t Count() {
+    std::lock_guard<std::mutex> lock(mu);
+    return messages.size();
+  }
+  bool WaitForCount(size_t want, std::chrono::milliseconds timeout) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (Count() < want) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  }
+};
+
+sim::Message Make(NodeId from, NodeId to, int i) {
+  sim::Message message;
+  message.from = from;
+  message.to = to;
+  message.type = "msg" + std::to_string(i);
+  message.payload = "payload-" + std::to_string(i) + "\nwith=newline";
+  message.category = sim::MsgCategory::kNormal;
+  return message;
+}
+
+Topology TwoEndpointTopology(const TempDir& dir) {
+  Topology topology;
+  EXPECT_TRUE(
+      topology
+          .Add(1, Endpoint::Parse("unix:" + dir.path + "/a.sock").value())
+          .ok());
+  EXPECT_TRUE(
+      topology
+          .Add(2, Endpoint::Parse("unix:" + dir.path + "/b.sock").value())
+          .ok());
+  return topology;
+}
+
+TEST(SocketTransportTest, LoopbackDeliversInOrderAndDrainsToIdle) {
+  TempDir dir;
+  Topology topology = TwoEndpointTopology(dir);
+  Endpoint a = *topology.Find(1);
+  Endpoint b = *topology.Find(2);
+
+  Recorder received;
+  SocketTransport ta(topology, a, nullptr);
+  SocketTransport tb(topology, b, received.Sink());
+  ASSERT_TRUE(ta.Bind().ok());
+  ASSERT_TRUE(tb.Bind().ok());
+  ta.Start();
+  tb.Start();
+  ASSERT_TRUE(ta.WaitConnected(std::chrono::seconds(10)));
+
+  constexpr int kCount = 100;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(ta.Send(Make(1, 2, i)).ok());
+  }
+  ASSERT_TRUE(received.WaitForCount(kCount, std::chrono::seconds(10)));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(received.messages[i].type, "msg" + std::to_string(i));
+    EXPECT_EQ(received.messages[i].payload,
+              "payload-" + std::to_string(i) + "\nwith=newline");
+    EXPECT_EQ(received.messages[i].from, 1);
+    EXPECT_EQ(received.messages[i].to, 2);
+  }
+
+  // ACKs flow back on the reverse link; the sender drains to idle.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!ta.Idle() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ta.Idle());
+  EXPECT_EQ(ta.Stats().frames_sent, kCount);
+  EXPECT_EQ(tb.Stats().frames_delivered, kCount);
+  EXPECT_EQ(tb.Stats().frames_deduped, 0);
+
+  ta.Shutdown();
+  tb.Shutdown();
+}
+
+TEST(SocketTransportTest, ExplicitDownParksOutboundUntilUp) {
+  TempDir dir;
+  Topology topology = TwoEndpointTopology(dir);
+
+  Recorder received;
+  SocketTransport ta(topology, *topology.Find(1), nullptr);
+  SocketTransport tb(topology, *topology.Find(2), received.Sink());
+  ASSERT_TRUE(ta.Bind().ok());
+  ASSERT_TRUE(tb.Bind().ok());
+  ta.Start();
+  tb.Start();
+  ASSERT_TRUE(ta.WaitConnected(std::chrono::seconds(10)));
+
+  ta.SetNodeDown(2, true);
+  EXPECT_TRUE(ta.IsNodeDown(2));
+  constexpr int kCount = 10;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(ta.Send(Make(1, 2, i)).ok());
+  }
+  // Parked: nothing may arrive while the destination is marked down. The
+  // connection itself is healthy, so a short real-time wait is a fair
+  // negative check.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(received.Count(), 0u);
+  EXPECT_FALSE(ta.Idle());
+
+  ta.SetNodeDown(2, false);
+  EXPECT_FALSE(ta.IsNodeDown(2));
+  ASSERT_TRUE(received.WaitForCount(kCount, std::chrono::seconds(10)));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(received.messages[i].type, "msg" + std::to_string(i));
+  }
+  ta.Shutdown();
+  tb.Shutdown();
+}
+
+TEST(SocketTransportTest, RestartedPeerReceivesUnackedBacklog) {
+  TempDir dir;
+  Topology topology = TwoEndpointTopology(dir);
+  Endpoint a = *topology.Find(1);
+  Endpoint b = *topology.Find(2);
+
+  SocketTransport ta(topology, a, nullptr);
+  ASSERT_TRUE(ta.Bind().ok());
+  ta.Start();
+
+  Recorder first_life;
+  {
+    SocketTransport tb(topology, b, first_life.Sink());
+    ASSERT_TRUE(tb.Bind().ok());
+    tb.Start();
+    ASSERT_TRUE(ta.WaitConnected(std::chrono::seconds(10)));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ta.Send(Make(1, 2, i)).ok());
+    }
+    ASSERT_TRUE(first_life.WaitForCount(3, std::chrono::seconds(10)));
+    // Wait for the ACKs so the first three frames leave the retained
+    // queue — otherwise they would legitimately replay to the restarted
+    // peer (at-least-once) and muddy the assertion below.
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!ta.Idle() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(ta.Idle());
+    tb.Shutdown();  // peer "crashes"
+  }
+
+  // Sends while the peer is gone are retained and replayed on reconnect.
+  for (int i = 3; i < 7; ++i) {
+    ASSERT_TRUE(ta.Send(Make(1, 2, i)).ok());
+  }
+  Recorder second_life;
+  SocketTransportOptions restarted_options;
+  restarted_options.incarnation = 2;
+  SocketTransport tb2(topology, b, second_life.Sink(), restarted_options);
+  ASSERT_TRUE(tb2.Bind().ok());
+  tb2.Start();
+  ASSERT_TRUE(second_life.WaitForCount(4, std::chrono::seconds(10)));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(second_life.messages[i].type, "msg" + std::to_string(i + 3));
+  }
+  EXPECT_EQ(second_life.Count(), 4u);
+  EXPECT_GE(ta.Stats().reconnects, 2);
+  ta.Shutdown();
+  tb2.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Cluster equivalence: same Testbed fragmenting, three ways to host it.
+
+void ExpectSameCounts(const sim::Metrics& baseline,
+                      const sim::Metrics& sockets) {
+  EXPECT_EQ(baseline.TotalMessages(), sockets.TotalMessages());
+  for (int i = 0; i < sim::kNumMsgCategories; ++i) {
+    auto category = static_cast<sim::MsgCategory>(i);
+    EXPECT_EQ(baseline.MessagesIn(category), sockets.MessagesIn(category))
+        << "category " << sim::MsgCategoryName(category);
+  }
+  EXPECT_EQ(baseline.by_type(), sockets.by_type());
+}
+
+struct RunResult {
+  std::map<int, WorkflowState> states;
+  sim::Metrics metrics;
+};
+
+/// Baseline: every node of the deployment in ONE rt::Runtime — the
+/// Testbed degenerates to the single-process assembly, no sockets.
+RunResult RunInProcess(const TestbedOptions& options, int instances) {
+  Topology topology;
+  Endpoint self = Endpoint::Parse("unix:/tmp/unused.sock").value();
+  for (NodeId id : Testbed::AllNodes(options)) {
+    EXPECT_TRUE(topology.Add(id, self).ok());
+  }
+  rt::Runtime runtime({.seed = kSeed, .tick_us = 20});
+  Testbed testbed(&runtime, topology, self, options);
+  runtime.Start();
+  std::atomic<int> start_failures{0};
+  for (int i = 1; i <= instances; ++i) {
+    std::string schema = testbed.ScheduleSchema(i);
+    runtime.Post(testbed.StartNode(schema, i),
+                 [&testbed, &start_failures, schema, i]() {
+                   if (!testbed.StartInstance(schema, i).ok()) {
+                     start_failures.fetch_add(1);
+                   }
+                 });
+  }
+  runtime.Quiesce();
+  runtime.Shutdown();
+  EXPECT_EQ(start_failures.load(), 0);
+  RunResult result;
+  result.metrics = runtime.MergedMetrics();
+  for (int i = 1; i <= instances; ++i) {
+    result.states[i] = testbed.Terminal({testbed.ScheduleSchema(i), i});
+  }
+  return result;
+}
+
+/// The same deployment spread over `endpoints` in-process NetNodes
+/// talking through real Unix-domain sockets.
+RunResult RunOverSockets(const TestbedOptions& options, int instances,
+                         int endpoints, const std::string& dir) {
+  Result<Topology> topology = Testbed::UnixTopology(options, dir, endpoints);
+  EXPECT_TRUE(topology.ok()) << topology.status().ToString();
+  Cluster cluster(topology.value(), {.seed = kSeed, .tick_us = 20});
+  EXPECT_TRUE(cluster.Bind().ok());
+  // Build each endpoint's fragment before any traffic can arrive.
+  std::vector<std::unique_ptr<Testbed>> testbeds;
+  for (NetNode* node : cluster.nodes()) {
+    testbeds.push_back(std::make_unique<Testbed>(
+        &node->runtime(), cluster.topology(), node->self(), options));
+  }
+  cluster.Start();
+  EXPECT_TRUE(cluster.WaitConnected(std::chrono::seconds(30)));
+
+  std::atomic<int> start_failures{0};
+  std::vector<NetNode*> nodes = cluster.nodes();
+  for (int i = 1; i <= instances; ++i) {
+    std::string schema = testbeds[0]->ScheduleSchema(i);
+    NodeId start_node = testbeds[0]->StartNode(schema, i);
+    for (size_t k = 0; k < testbeds.size(); ++k) {
+      if (!testbeds[k]->Hosts(start_node)) continue;
+      Testbed* testbed = testbeds[k].get();
+      nodes[k]->runtime().Post(start_node,
+                               [testbed, &start_failures, schema, i]() {
+                                 if (!testbed->StartInstance(schema, i).ok()) {
+                                   start_failures.fetch_add(1);
+                                 }
+                               });
+      break;
+    }
+  }
+  cluster.Quiesce();
+  RunResult result;
+  result.metrics = cluster.MergedMetrics();
+  cluster.Shutdown();
+  EXPECT_EQ(start_failures.load(), 0);
+  for (int i = 1; i <= instances; ++i) {
+    std::string schema = testbeds[0]->ScheduleSchema(i);
+    for (auto& testbed : testbeds) {
+      if (!testbed->Authoritative({schema, i})) continue;
+      result.states[i] = testbed->Terminal({schema, i});
+      break;
+    }
+  }
+  return result;
+}
+
+void ExpectEquivalent(const TestbedOptions& options, int instances,
+                      int endpoints) {
+  TempDir dir;
+  RunResult baseline = RunInProcess(options, instances);
+  RunResult sockets = RunOverSockets(options, instances, endpoints, dir.path);
+  ASSERT_EQ(sockets.states.size(), static_cast<size_t>(instances));
+  for (int i = 1; i <= instances; ++i) {
+    EXPECT_EQ(sockets.states.at(i), baseline.states.at(i)) << "instance " << i;
+  }
+  ExpectSameCounts(baseline.metrics, sockets.metrics);
+}
+
+TEST(NetEquivalenceTest, DistSameStatesAndCountsOverSockets) {
+  TestbedOptions options;
+  options.mode = "dist";
+  options.num_agents = 3;
+  ExpectEquivalent(options, /*instances=*/9, /*endpoints=*/3);
+}
+
+TEST(NetEquivalenceTest, CentralSameStatesAndCountsOverSockets) {
+  TestbedOptions options;
+  options.mode = "central";
+  options.num_agents = 4;
+  ExpectEquivalent(options, /*instances=*/12, /*endpoints=*/3);
+}
+
+TEST(NetEquivalenceTest, ParallelSameStatesAndCountsOverSockets) {
+  TestbedOptions options;
+  options.mode = "parallel";
+  options.num_engines = 2;
+  options.num_agents = 4;
+  ExpectEquivalent(options, /*instances=*/12, /*endpoints=*/3);
+}
+
+// Expected-state sanity: the socket run isn't just *equivalent* to the
+// baseline, both match the workload's deterministic terminal mix.
+TEST(NetEquivalenceTest, DistTerminalStatesMatchSchedule) {
+  TestbedOptions options;
+  options.mode = "dist";
+  options.num_agents = 3;
+  TempDir dir;
+  RunResult sockets = RunOverSockets(options, 9, 3, dir.path);
+  for (int i = 1; i <= 9; ++i) {
+    WorkflowState expected = (i % 3 == 0) ? WorkflowState::kAborted
+                                          : WorkflowState::kCommitted;
+    EXPECT_EQ(sockets.states.at(i), expected) << "instance " << i;
+  }
+}
+
+}  // namespace
+}  // namespace crew::net

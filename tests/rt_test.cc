@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -605,7 +607,8 @@ struct DistParts {
   runtime::CoordinationSpec coordination;
   std::unique_ptr<dist::DistributedSystem> system;
 
-  DistParts(sim::Backend* backend, int num_agents) {
+  DistParts(sim::Backend* backend, int num_agents,
+            const std::string& agdb_dir = "") {
     programs.RegisterBuiltins();
     programs.RegisterFailFirstN("flaky", 1);
     // Generous pending-rule timeout: the overdue-step probe must fire in
@@ -614,6 +617,7 @@ struct DistParts {
     // window and inject probe messages sim never sends).
     dist::AgentOptions options;
     options.pending_timeout = 5000;
+    options.agdb_dir = agdb_dir;
     system = std::make_unique<dist::DistributedSystem>(
         backend, &programs, &deployment, &coordination, num_agents,
         options);
@@ -712,6 +716,58 @@ TEST(RtCrashTest, CentralCommitsAcrossAgentCrashAndRecovery) {
               WorkflowState::kCommitted)
         << "instance " << i;
   }
+}
+
+// The shared recovery path (rt and the socket backend both ride it): a
+// down agent with a durable AGDB gets its registered recovery hook run —
+// storage::Wal::Recover replay via Agent::RecoverFromLog — *before* the
+// parked backlog flushes, so recovered state is in place when the queued
+// traffic lands. This is the in-process twin of SIGKILLing a crew_node
+// and restarting it (net_proc_test).
+TEST(RtCrashTest, DistRecoveryHookReplaysWalBeforeParkedBacklog) {
+  char agdb_template[] = "/tmp/crew_rt_agdb_XXXXXX";
+  char* agdb_dir = mkdtemp(agdb_template);
+  ASSERT_NE(agdb_dir, nullptr);
+
+  rt::Runtime runtime({.seed = kSeed, .tick_us = 20});
+  DistParts parts(&runtime, /*num_agents=*/3, agdb_dir);
+  std::atomic<int> hook_runs{0};
+  for (NodeId id : parts.system->agent_ids()) {
+    dist::Agent* agent = parts.system->agent_by_id(id);
+    ASSERT_NE(agent, nullptr);
+    runtime.SetRecoveryHook(id, [agent, &hook_runs]() {
+      agent->RecoverFromLog();
+      hook_runs.fetch_add(1);
+    });
+  }
+  NodeId victim = parts.system->agent_ids()[0];
+  runtime.SetNodeDown(victim, true);
+  runtime.Start();
+  constexpr int kInstances = 6;
+  std::atomic<int> start_failures{0};
+  for (int i = 1; i <= kInstances; ++i) {
+    runtime.Post(kFrontEndNode, [&parts, &start_failures]() {
+      if (!parts.system->front_end().StartWorkflow("Good", {}).ok()) {
+        start_failures.fetch_add(1);
+      }
+    });
+  }
+  // Let traffic park against the down agent, then recover: the hook
+  // must replay the WAL ahead of the backlog.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  runtime.SetNodeDown(victim, false);
+  runtime.Quiesce();
+  runtime.Shutdown();
+  EXPECT_EQ(start_failures.load(), 0);
+  EXPECT_EQ(hook_runs.load(), 1);
+  for (int i = 1; i <= kInstances; ++i) {
+    EXPECT_EQ(parts.system->CoordinationStatus({"Good", i}),
+              WorkflowState::kCommitted)
+        << "instance " << i;
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(agdb_dir, ec);
 }
 
 }  // namespace

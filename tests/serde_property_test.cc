@@ -1,9 +1,12 @@
 // Property tests for the wire formats: randomly generated packets and
 // messages must round-trip exactly, and parsers must survive random
-// mutations of valid payloads (reject or parse, never crash).
+// mutations of valid payloads (reject or parse, never crash). The last
+// section stress-tests the socket framing layer (net/frame.h) against
+// arbitrary TCP-style re-segmentation of the byte stream.
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "net/frame.h"
 #include "runtime/packet.h"
 #include "runtime/wire.h"
 
@@ -145,6 +148,192 @@ TEST(SerdeProperty, RandomValuesRoundTrip) {
     EXPECT_EQ(back.value(), v) << v.ToString();
     EXPECT_EQ(back.value().kind(), v.kind()) << v.ToString();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Socket framing: a stream of encoded frames must decode to the exact
+// same frame sequence no matter how the bytes are re-chunked — single
+// byte dribble, cuts inside the length prefix, several frames coalesced
+// into one read. This is what a TCP/UDS receive path actually sees.
+
+net::Frame RandomFrame(Rng* rng) {
+  net::Frame frame;
+  switch (rng->Index(3)) {
+    case 0: {
+      frame.kind = net::Frame::Kind::kHello;
+      frame.endpoint = "unix:/tmp/ep" + std::to_string(rng->Uniform(0, 9)) +
+                       ".sock";
+      frame.incarnation = static_cast<uint64_t>(rng->Uniform(1, 1 << 20));
+      break;
+    }
+    case 1: {
+      frame.kind = net::Frame::Kind::kAck;
+      frame.watermark = static_cast<uint64_t>(rng->Uniform(0, 1 << 30));
+      break;
+    }
+    default: {
+      frame.kind = net::Frame::Kind::kData;
+      frame.seq = static_cast<uint64_t>(rng->Uniform(1, 1 << 30));
+      frame.message.from = static_cast<NodeId>(rng->Uniform(0, 64));
+      frame.message.to = static_cast<NodeId>(rng->Uniform(0, 64));
+      frame.message.type = "wi" + std::to_string(rng->Uniform(0, 30));
+      frame.message.category = static_cast<sim::MsgCategory>(
+          rng->Index(sim::kNumMsgCategories));
+      // Payloads are raw bytes behind the header: stress newlines, NULs,
+      // '=' and high bytes (a serialized packet is a benign subset).
+      int64_t length = rng->Uniform(0, 300);
+      for (int64_t i = 0; i < length; ++i) {
+        frame.message.payload.push_back(
+            static_cast<char>(rng->Uniform(0, 255)));
+      }
+      break;
+    }
+  }
+  return frame;
+}
+
+void ExpectSameFrame(const net::Frame& got, const net::Frame& want,
+                     int index) {
+  ASSERT_EQ(static_cast<int>(got.kind), static_cast<int>(want.kind))
+      << "frame " << index;
+  switch (want.kind) {
+    case net::Frame::Kind::kHello:
+      EXPECT_EQ(got.endpoint, want.endpoint) << "frame " << index;
+      EXPECT_EQ(got.incarnation, want.incarnation) << "frame " << index;
+      break;
+    case net::Frame::Kind::kAck:
+      EXPECT_EQ(got.watermark, want.watermark) << "frame " << index;
+      break;
+    case net::Frame::Kind::kData:
+      EXPECT_EQ(got.seq, want.seq) << "frame " << index;
+      EXPECT_EQ(got.message.from, want.message.from) << "frame " << index;
+      EXPECT_EQ(got.message.to, want.message.to) << "frame " << index;
+      EXPECT_EQ(got.message.type, want.message.type) << "frame " << index;
+      EXPECT_EQ(static_cast<int>(got.message.category),
+                static_cast<int>(want.message.category))
+          << "frame " << index;
+      EXPECT_EQ(got.message.payload, want.message.payload)
+          << "frame " << index;
+      break;
+  }
+}
+
+TEST(FrameProperty, RandomSplitsReproduceExactSequence) {
+  Rng rng(7171);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<net::Frame> frames;
+    std::string stream;
+    int64_t count = rng.Uniform(1, 12);
+    for (int64_t i = 0; i < count; ++i) {
+      frames.push_back(RandomFrame(&rng));
+      stream += net::EncodeFrame(frames.back());
+    }
+    net::FrameDecoder decoder;
+    std::vector<net::Frame> decoded;
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      // Chunk sizes from 1 byte (dribble; cuts every length prefix and
+      // header in half at some point) up to several whole frames.
+      size_t chunk = static_cast<size_t>(rng.Uniform(1, 64));
+      chunk = std::min(chunk, stream.size() - offset);
+      decoder.Feed(std::string_view(stream).substr(offset, chunk));
+      offset += chunk;
+      net::Frame frame;
+      while (decoder.Next(&frame)) decoded.push_back(std::move(frame));
+      ASSERT_TRUE(decoder.ok()) << decoder.status().ToString();
+    }
+    ASSERT_EQ(decoded.size(), frames.size());
+    for (size_t i = 0; i < frames.size(); ++i) {
+      ExpectSameFrame(decoded[i], frames[i], static_cast<int>(i));
+    }
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FrameProperty, OneByteDribbleDecodesEveryFrame) {
+  Rng rng(515);
+  std::vector<net::Frame> frames;
+  std::string stream;
+  for (int i = 0; i < 8; ++i) {
+    frames.push_back(RandomFrame(&rng));
+    stream += net::EncodeFrame(frames.back());
+  }
+  net::FrameDecoder decoder;
+  std::vector<net::Frame> decoded;
+  for (char byte : stream) {
+    decoder.Feed(std::string_view(&byte, 1));
+    net::Frame frame;
+    while (decoder.Next(&frame)) decoded.push_back(std::move(frame));
+    ASSERT_TRUE(decoder.ok());
+  }
+  ASSERT_EQ(decoded.size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    ExpectSameFrame(decoded[i], frames[i], static_cast<int>(i));
+  }
+}
+
+TEST(FrameProperty, CutInsideLengthPrefixYieldsNothingUntilComplete) {
+  net::Frame frame;
+  frame.kind = net::Frame::Kind::kData;
+  frame.seq = 9;
+  frame.message.from = 1;
+  frame.message.to = 2;
+  frame.message.type = "wiWorkflowPacket";
+  frame.message.payload = "k=v\nnested=line\n";
+  std::string bytes = net::EncodeFrame(frame);
+
+  net::FrameDecoder decoder;
+  net::Frame out;
+  // First two bytes of the u32 length prefix only.
+  decoder.Feed(std::string_view(bytes).substr(0, 2));
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_TRUE(decoder.ok());
+  // Rest of the prefix plus half the body.
+  decoder.Feed(std::string_view(bytes).substr(2, bytes.size() / 2));
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_TRUE(decoder.ok());
+  // Remainder: exactly one frame pops out.
+  decoder.Feed(std::string_view(bytes).substr(2 + bytes.size() / 2));
+  ASSERT_TRUE(decoder.Next(&out));
+  ExpectSameFrame(out, frame, 0);
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameProperty, ConcatenatedFramesDecodeInOneFeed) {
+  Rng rng(81);
+  std::vector<net::Frame> frames;
+  std::string stream;
+  for (int i = 0; i < 10; ++i) {
+    frames.push_back(RandomFrame(&rng));
+    stream += net::EncodeFrame(frames.back());
+  }
+  net::FrameDecoder decoder;
+  decoder.Feed(stream);
+  net::Frame out;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    ASSERT_TRUE(decoder.Next(&out)) << "frame " << i;
+    ExpectSameFrame(out, frames[i], static_cast<int>(i));
+  }
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_TRUE(decoder.ok());
+}
+
+TEST(FrameProperty, CorruptLengthPoisonsStream) {
+  net::Frame frame;
+  frame.kind = net::Frame::Kind::kAck;
+  frame.watermark = 3;
+  std::string bytes = net::EncodeFrame(frame);
+  bytes[3] = '\xff';  // implausible frame length
+  net::FrameDecoder decoder;
+  decoder.Feed(bytes);
+  net::Frame out;
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_FALSE(decoder.ok());
+  // Poisoned for good: further feeds stay rejected.
+  decoder.Feed(net::EncodeFrame(frame));
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_FALSE(decoder.ok());
 }
 
 }  // namespace
