@@ -24,8 +24,11 @@ Status FillUnixAddr(const std::string& path, sockaddr_un* addr) {
 
 }  // namespace
 
-ControlServer::ControlServer(std::string path, Handler handler)
-    : path_(std::move(path)), handler_(std::move(handler)) {}
+ControlServer::ControlServer(std::string path, Handler handler,
+                             int io_timeout_ms)
+    : path_(std::move(path)),
+      handler_(std::move(handler)),
+      io_timeout_ms_(io_timeout_ms) {}
 
 ControlServer::~ControlServer() { Stop(); }
 
@@ -85,12 +88,31 @@ void ControlServer::Serve() {
     if (!(fds[0].revents & POLLIN)) continue;
     int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    // Bound every read/write: connections are served one at a time, so
+    // a client that never sends its newline would otherwise block the
+    // control thread — and with it quiescence polling and 'exit' —
+    // forever. A timed-out read returns -1 (EAGAIN) and drops the
+    // connection.
+    timeval tv{};
+    tv.tv_sec = io_timeout_ms_ / 1000;
+    tv.tv_usec = (io_timeout_ms_ % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     std::string request;
+    bool complete = false;
     char byte;
     while (request.size() < 4096) {
       ssize_t n = read(fd, &byte, 1);
-      if (n <= 0 || byte == '\n') break;
+      if (n <= 0) break;
+      if (byte == '\n') {
+        complete = true;
+        break;
+      }
       request.push_back(byte);
+    }
+    if (!complete) {
+      close(fd);
+      continue;
     }
     std::string reply = handler_(request) + "\n";
     size_t sent = 0;

@@ -21,7 +21,12 @@ class ControlServer {
   /// newline), returns the reply line (no newline).
   using Handler = std::function<std::string(const std::string&)>;
 
-  ControlServer(std::string path, Handler handler);
+  /// `io_timeout_ms` bounds each accepted connection's reads and
+  /// writes (SO_RCVTIMEO/SO_SNDTIMEO): the server thread handles one
+  /// connection at a time, so a client that connects and goes silent
+  /// must not wedge the control plane forever.
+  ControlServer(std::string path, Handler handler,
+                int io_timeout_ms = 5000);
   ~ControlServer();
 
   ControlServer(const ControlServer&) = delete;
@@ -37,6 +42,7 @@ class ControlServer {
 
   std::string path_;
   Handler handler_;
+  int io_timeout_ms_;
   int listen_fd_ = -1;
   int stop_read_fd_ = -1;
   int stop_write_fd_ = -1;

@@ -163,11 +163,20 @@ int Run(const Flags& flags) {
       InstanceId instance{words[1], std::atoll(words[2].c_str())};
       if (!testbed.Authoritative(instance)) return "n/a";
       NodeId authority = testbed.AuthorityNode(instance);
-      std::promise<runtime::WorkflowState> promise;
-      std::future<runtime::WorkflowState> future = promise.get_future();
-      node.runtime().Post(authority, [&]() {
-        promise.set_value(testbed.Terminal(instance));
+      // Bounded wait, shared promise: if the worker is wedged and the
+      // task never runs, the control thread must answer (and stay able
+      // to serve 'exit') rather than block forever — and the task, if
+      // it runs late, must not touch a dead stack frame.
+      auto promise =
+          std::make_shared<std::promise<runtime::WorkflowState>>();
+      std::future<runtime::WorkflowState> future = promise->get_future();
+      node.runtime().Post(authority, [promise, &testbed, instance]() {
+        promise->set_value(testbed.Terminal(instance));
       });
+      if (future.wait_for(std::chrono::seconds(5)) !=
+          std::future_status::ready) {
+        return "err status timeout";
+      }
       return runtime::WorkflowStateName(future.get());
     }
     if (words[0] == "exit") {

@@ -1,6 +1,7 @@
 #include "net/frame.h"
 
 #include <cstring>
+#include <limits>
 
 #include "runtime/kv.h"
 #include "sim/metrics.h"
@@ -36,6 +37,7 @@ std::string EncodeFrame(const Frame& frame) {
       break;
     case Frame::Kind::kAck:
       header.AddInt("watermark", static_cast<int64_t>(frame.watermark));
+      header.AddInt("incarnation", static_cast<int64_t>(frame.incarnation));
       break;
     case Frame::Kind::kData:
       header.AddInt("seq", static_cast<int64_t>(frame.seq));
@@ -56,6 +58,26 @@ std::string EncodeFrame(const Frame& frame) {
   out += head;
   if (payload != nullptr) out += *payload;
   return out;
+}
+
+Status CheckShippable(const sim::Message& message) {
+  // Mirror the kData header of EncodeFrame with the widest possible
+  // sequence number, so the check holds for any seq assigned later
+  // (held messages are sequenced only on recovery).
+  runtime::KvWriter header;
+  header.AddInt("seq", std::numeric_limits<int64_t>::max());
+  header.AddInt("from", message.from);
+  header.AddInt("to", message.to);
+  header.Add("type", message.type);
+  header.AddInt("category", static_cast<int>(message.category));
+  size_t length = 1 + 4 + header.Finish().size() + message.payload.size();
+  if (length > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "message frame of " + std::to_string(length) +
+        " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+        "-byte frame limit");
+  }
+  return Status::OK();
 }
 
 void FrameDecoder::Feed(std::string_view bytes) {
@@ -116,11 +138,13 @@ bool FrameDecoder::Next(Frame* out) {
     }
     case Frame::Kind::kAck: {
       Result<int64_t> watermark = kv.GetInt("watermark");
-      if (!watermark.ok()) {
+      Result<int64_t> incarnation = kv.GetInt("incarnation");
+      if (!watermark.ok() || !incarnation.ok()) {
         status_ = Status::Corruption("malformed ack frame");
         return false;
       }
       frame.watermark = static_cast<uint64_t>(watermark.value());
+      frame.incarnation = static_cast<uint64_t>(incarnation.value());
       break;
     }
     case Frame::Kind::kData: {

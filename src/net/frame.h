@@ -29,15 +29,22 @@ namespace crew::net {
 ///    replays retained frames after a reconnect; the receiver drops
 ///    sequence numbers at or below its watermark, so steady-state
 ///    delivery is exactly-once and crash-restart is at-least-once.
-///  - kAck: cumulative receive watermark for the reverse direction.
+///  - kAck: cumulative receive watermark for the reverse direction,
+///    scoped to the incarnation of the stream it acknowledges: the
+///    receiver of the ACK drops it unless the incarnation matches its
+///    own, so a watermark learned from a peer's *previous* life can
+///    never discard frames of the restarted sequence space.
 struct Frame {
   enum class Kind : uint8_t { kHello = 1, kData = 2, kAck = 3 };
 
   Kind kind = Kind::kData;
 
+  // kHello: sender process generation. kAck: generation of the acked
+  // stream, as learned from that sender's HELLO.
+  uint64_t incarnation = 0;
+
   // kHello
-  std::string endpoint;      ///< sender's listening address
-  uint64_t incarnation = 0;  ///< sender process generation
+  std::string endpoint;  ///< sender's listening address
 
   // kAck
   uint64_t watermark = 0;  ///< highest delivered seq, cumulative
@@ -51,6 +58,14 @@ struct Frame {
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
 std::string EncodeFrame(const Frame& frame);
+
+/// InvalidArgument when a DATA frame carrying `message` could exceed
+/// kMaxFrameBytes (computed against the worst-case sequence-number
+/// header). Senders must reject such messages before admitting them to
+/// an outbound stream: the receiving decoder treats an oversize length
+/// prefix as corruption and drops the connection, and a retained
+/// oversize frame would then replay on every reconnect forever.
+Status CheckShippable(const sim::Message& message);
 
 /// Incremental decoder: feed arbitrary byte slices exactly as read from
 /// a socket — single bytes, half a length prefix, several concatenated

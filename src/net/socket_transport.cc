@@ -50,6 +50,14 @@ struct SocketTransport::Peer {
   int backoff_ms = 0;
   int64_t next_dial_ms = 0;  ///< earliest next dial, ms since start
 
+  /// TCP hostname resolution. `needs_resolve` is set at construction
+  /// (non-numeric host); the cache fields are loop-thread-only and
+  /// written OUTSIDE state_mu_ — getaddrinfo can block for seconds and
+  /// must never stall workers waiting on the lock.
+  bool needs_resolve = false;
+  bool addr_resolved = false;
+  in_addr resolved_addr{};
+
   /// DATA frames retained until the peer's cumulative ACK covers them.
   /// [0, unsent_index) are committed to the current connection;
   /// [unsent_index, ...) still need writing. A reconnect rewinds
@@ -108,6 +116,11 @@ SocketTransport::SocketTransport(Topology topology, Endpoint self,
       peer->endpoint = endpoint;
       peer->address = endpoint.Address();
       peer->backoff_ms = options_.reconnect_initial_ms;
+      if (endpoint.kind == Endpoint::Kind::kTcp) {
+        in_addr parsed{};
+        peer->needs_resolve =
+            inet_pton(AF_INET, endpoint.host.c_str(), &parsed) != 1;
+      }
     }
     peer_of_node_[id] = peer.get();
   }
@@ -292,6 +305,11 @@ Status SocketTransport::Ship(sim::Message& message) {
     return Status::NotFound("node " + std::to_string(message.to) +
                             " is local; refusing socket loopback");
   }
+  // Oversize messages are rejected at admission: once retained, a frame
+  // the decoder would reject as corrupt replays on every reconnect and
+  // wedges the stream (plus everything queued behind it) permanently.
+  Status shippable = CheckShippable(message);
+  if (!shippable.ok()) return shippable;
   {
     std::unique_lock<std::mutex> lock(state_mu_);
     // Bounded backpressure: block while the peer's backlog (retained +
@@ -354,20 +372,10 @@ void SocketTransport::DialLocked(Peer* peer, int64_t now_ms) {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(static_cast<uint16_t>(peer->endpoint.port));
-    if (inet_pton(AF_INET, peer->endpoint.host.c_str(), &addr.sin_addr) !=
-        1) {
-      addrinfo hints{};
-      hints.ai_family = AF_INET;
-      hints.ai_socktype = SOCK_STREAM;
-      addrinfo* result = nullptr;
-      if (getaddrinfo(peer->endpoint.host.c_str(), nullptr, &hints,
-                      &result) == 0 &&
-          result != nullptr) {
-        addr.sin_addr =
-            reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
-        freeaddrinfo(result);
-      } else {
-        if (result != nullptr) freeaddrinfo(result);
+    if (peer->needs_resolve) {
+      // Resolution happens in ResolveDueHostnames, outside state_mu_;
+      // an unresolved hostname here means it failed this round.
+      if (!peer->addr_resolved) {
         close(fd);
         ++peer->consecutive_failures;
         peer->next_dial_ms = now_ms + peer->backoff_ms;
@@ -375,6 +383,9 @@ void SocketTransport::DialLocked(Peer* peer, int64_t now_ms) {
             std::min(peer->backoff_ms * 2, options_.reconnect_max_ms);
         return;
       }
+      addr.sin_addr = peer->resolved_addr;
+    } else {
+      inet_pton(AF_INET, peer->endpoint.host.c_str(), &addr.sin_addr);
     }
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -396,6 +407,43 @@ void SocketTransport::DialLocked(Peer* peer, int64_t now_ms) {
   peer->next_dial_ms = now_ms + peer->backoff_ms;
   peer->backoff_ms =
       std::min(peer->backoff_ms * 2, options_.reconnect_max_ms);
+}
+
+void SocketTransport::ResolveDueHostnames(int64_t now_ms) {
+  // Collect the peers whose dial is due but whose hostname is still
+  // unresolved, then run the (potentially seconds-long) getaddrinfo
+  // calls without state_mu_ so Ship/IsNodeDown/WaitConnected never
+  // block behind DNS. The cache fields are loop-thread-only.
+  std::vector<Peer*> unresolved;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (auto& [address, peer] : peers_) {
+      if (peer->fd < 0 && peer->needs_resolve && !peer->addr_resolved &&
+          now_ms >= peer->next_dial_ms) {
+        unresolved.push_back(peer.get());
+      }
+    }
+  }
+  for (Peer* peer : unresolved) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* result = nullptr;
+    if (getaddrinfo(peer->endpoint.host.c_str(), nullptr, &hints,
+                    &result) == 0 &&
+        result != nullptr) {
+      peer->resolved_addr =
+          reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
+      peer->addr_resolved = true;
+    } else {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      ++peer->consecutive_failures;
+      peer->next_dial_ms = NowMs() + peer->backoff_ms;
+      peer->backoff_ms =
+          std::min(peer->backoff_ms * 2, options_.reconnect_max_ms);
+    }
+    if (result != nullptr) freeaddrinfo(result);
+  }
 }
 
 void SocketTransport::OnConnected(Peer* peer) {
@@ -420,6 +468,11 @@ void SocketTransport::OnConnected(Peer* peer) {
     Frame ack;
     ack.kind = Frame::Kind::kAck;
     ack.watermark = in->second.watermark;
+    // Scope the ACK to the incarnation we last heard from: if the peer
+    // restarted and its HELLO hasn't reached us yet, this watermark
+    // still describes the OLD sequence space and the restarted peer
+    // must ignore it rather than discard fresh frames.
+    ack.incarnation = in->second.incarnation;
     peer->write_buffer += EncodeFrame(ack);
   }
   state_cv_.notify_all();
@@ -477,7 +530,8 @@ void SocketTransport::FlushWrites(Peer* peer) {
 }
 
 void SocketTransport::QueueAckLocked(const std::string& endpoint_address,
-                                     uint64_t watermark) {
+                                     uint64_t watermark,
+                                     uint64_t incarnation) {
   auto it = peers_.find(endpoint_address);
   if (it == peers_.end()) return;
   Peer* peer = it->second.get();
@@ -485,6 +539,7 @@ void SocketTransport::QueueAckLocked(const std::string& endpoint_address,
   Frame ack;
   ack.kind = Frame::Kind::kAck;
   ack.watermark = watermark;
+  ack.incarnation = incarnation;
   peer->write_buffer += EncodeFrame(ack);
 }
 
@@ -502,6 +557,13 @@ void SocketTransport::HandleInboundFrame(InConn* conn, Frame frame) {
     }
     case Frame::Kind::kAck: {
       if (conn->peer_address.empty()) return;  // protocol error: pre-HELLO
+      if (frame.incarnation != options_.incarnation) {
+        // The peer acked a previous incarnation of this endpoint (its
+        // reconnect ACK raced our HELLO). Its watermark lives in a
+        // sequence space this process never used — applying it would
+        // discard fresh frames. The peer re-acks after our HELLO lands.
+        return;
+      }
       std::lock_guard<std::mutex> lock(state_mu_);
       auto it = peers_.find(conn->peer_address);
       if (it == peers_.end()) return;
@@ -545,7 +607,8 @@ void SocketTransport::HandleInboundFrame(InConn* conn, Frame frame) {
 
 void SocketTransport::ReadInbound(InConn* conn) {
   char buffer[64 * 1024];
-  uint64_t advanced_from = 0;
+  uint64_t advanced_to = 0;
+  uint64_t advanced_incarnation = 0;
   bool have_advance = false;
   std::string advance_address;
   for (;;) {
@@ -560,7 +623,9 @@ void SocketTransport::ReadInbound(InConn* conn) {
         if (was_data) {
           have_advance = true;
           advance_address = conn->peer_address;
-          advanced_from = inbound_[conn->peer_address].watermark;
+          const InStream& stream = inbound_[conn->peer_address];
+          advanced_to = stream.watermark;
+          advanced_incarnation = stream.incarnation;
         }
       }
       if (!conn->decoder.ok()) {
@@ -580,7 +645,7 @@ void SocketTransport::ReadInbound(InConn* conn) {
   if (have_advance) {
     // Cumulative ack for everything this drain delivered.
     std::lock_guard<std::mutex> lock(state_mu_);
-    QueueAckLocked(advance_address, advanced_from);
+    QueueAckLocked(advance_address, advanced_to, advanced_incarnation);
   }
 }
 
@@ -591,6 +656,7 @@ void SocketTransport::LoopThread() {
     std::vector<InConn*> poll_conns;
     int64_t now_ms = NowMs();
     int64_t next_dial = -1;
+    ResolveDueHostnames(now_ms);
     {
       std::lock_guard<std::mutex> lock(state_mu_);
       for (auto& [address, peer] : peers_) {

@@ -64,7 +64,11 @@ struct SocketTransportStats {
 /// exponential backoff) replays HELLO, the reverse-direction ACK, then
 /// every retained frame. The receiver drops seq <= watermark, keyed by
 /// (endpoint, incarnation): a restarted peer announces a new incarnation
-/// and the watermark resets, making delivery exactly-once in steady
+/// and the watermark resets. ACKs carry the incarnation they describe
+/// and the sender ignores ACKs for an incarnation other than its own,
+/// so a reconnect ACK that races a restarted peer's HELLO can never
+/// discard frames of the new sequence space. This makes delivery
+/// exactly-once in steady
 /// state and at-least-once across a crash-restart — the residual
 /// duplicates/losses are absorbed by the workflow layer's failure
 /// handling (§5.2), which is the paper's point.
@@ -132,14 +136,19 @@ class SocketTransport : public sim::Transport, public rt::RemoteRouter {
   void LoopThread();
   /// Starts (or restarts) the non-blocking connect to `peer`.
   void DialLocked(Peer* peer, int64_t now_ms);
+  /// Runs getaddrinfo for dial-due TCP hostnames OUTSIDE state_mu_
+  /// (loop thread only): DNS can block for seconds and must not stall
+  /// workers in Ship/IsNodeDown/WaitConnected.
+  void ResolveDueHostnames(int64_t now_ms);
   void OnConnected(Peer* peer);
   void OnConnectionBroken(Peer* peer, int64_t now_ms);
   void FlushWrites(Peer* peer);
   void ReadInbound(InConn* conn);
   void HandleInboundFrame(InConn* conn, Frame frame);
-  /// Appends an ACK for `endpoint`'s stream onto our link to it.
+  /// Appends an ACK for `endpoint`'s stream onto our link to it,
+  /// scoped to the stream incarnation the watermark belongs to.
   void QueueAckLocked(const std::string& endpoint_address,
-                      uint64_t watermark);
+                      uint64_t watermark, uint64_t incarnation);
   int64_t NowMs() const;
 
   Topology topology_;

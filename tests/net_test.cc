@@ -7,6 +7,8 @@
 // Real process boundaries (fork/kill/restart) are covered separately by
 // net_proc_test.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -22,6 +24,8 @@
 #include <vector>
 
 #include "net/cluster.h"
+#include "net/control.h"
+#include "net/frame.h"
 #include "net/socket_transport.h"
 #include "net/testbed.h"
 #include "net/topology.h"
@@ -77,6 +81,30 @@ struct Recorder {
     return true;
   }
 };
+
+/// Blocking client socket connected to a Unix-domain path, or -1.
+int RawUnixConnect(const std::string& path) {
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
 
 sim::Message Make(NodeId from, NodeId to, int i) {
   sim::Message message;
@@ -229,6 +257,113 @@ TEST(SocketTransportTest, RestartedPeerReceivesUnackedBacklog) {
   EXPECT_GE(ta.Stats().reconnects, 2);
   ta.Shutdown();
   tb2.Shutdown();
+}
+
+// A reconnecting peer's ACK can carry a watermark learned from this
+// endpoint's PREVIOUS incarnation (its reconnect races our HELLO). Such
+// an ACK describes a dead sequence space and must be ignored — applying
+// it would silently discard fresh unacked frames and break the
+// at-least-once crash-restart guarantee. Reproduced deterministically
+// with a raw client socket impersonating the stale peer.
+TEST(SocketTransportTest, StaleIncarnationAckDoesNotPruneRetained) {
+  TempDir dir;
+  Topology topology = TwoEndpointTopology(dir);
+  Endpoint a = *topology.Find(1);
+  Endpoint b = *topology.Find(2);
+
+  // "Restarted" endpoint b: incarnation 2, sequence space back at 1.
+  // Endpoint a is never started, so the shipped frames stay retained.
+  SocketTransportOptions options;
+  options.incarnation = 2;
+  SocketTransport tb(topology, b, nullptr, options);
+  ASSERT_TRUE(tb.Bind().ok());
+  tb.Start();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tb.Send(Make(2, 1, i)).ok());
+  }
+  EXPECT_FALSE(tb.Idle());
+
+  // Impersonate endpoint a: HELLO, then an ACK whose watermark covers
+  // seq 1..100 of b's incarnation-1 stream.
+  int raw = RawUnixConnect(b.path);
+  ASSERT_GE(raw, 0);
+  Frame hello;
+  hello.kind = Frame::Kind::kHello;
+  hello.endpoint = a.Address();
+  hello.incarnation = 1;
+  Frame stale;
+  stale.kind = Frame::Kind::kAck;
+  stale.watermark = 100;
+  stale.incarnation = 1;  // b's previous life
+  ASSERT_TRUE(WriteAll(raw, EncodeFrame(hello) + EncodeFrame(stale)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(tb.Idle())
+      << "stale-incarnation ACK discarded retained frames";
+
+  // An ACK scoped to the current incarnation prunes as usual.
+  Frame genuine;
+  genuine.kind = Frame::Kind::kAck;
+  genuine.watermark = 5;
+  genuine.incarnation = 2;
+  ASSERT_TRUE(WriteAll(raw, EncodeFrame(genuine)));
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!tb.Idle() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(tb.Idle());
+  close(raw);
+  tb.Shutdown();
+}
+
+// An oversize message must be rejected when shipped, not admitted to
+// the stream: the receiver's decoder treats its length prefix as
+// corruption, and a retained oversize frame would replay on every
+// reconnect forever, wedging everything queued behind it.
+TEST(SocketTransportTest, OversizeMessageRejectedAtAdmission) {
+  TempDir dir;
+  Topology topology = TwoEndpointTopology(dir);
+
+  Recorder received;
+  SocketTransport ta(topology, *topology.Find(1), nullptr);
+  SocketTransport tb(topology, *topology.Find(2), received.Sink());
+  ASSERT_TRUE(ta.Bind().ok());
+  ASSERT_TRUE(tb.Bind().ok());
+  ta.Start();
+  tb.Start();
+  ASSERT_TRUE(ta.WaitConnected(std::chrono::seconds(10)));
+
+  sim::Message big = Make(1, 2, 0);
+  big.payload.assign(kMaxFrameBytes, 'x');
+  Status status = ta.Send(std::move(big));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+      << status.ToString();
+
+  // The stream is unharmed: later messages still deliver.
+  ASSERT_TRUE(ta.Send(Make(1, 2, 1)).ok());
+  ASSERT_TRUE(received.WaitForCount(1, std::chrono::seconds(10)));
+  EXPECT_EQ(received.messages[0].type, "msg1");
+  ta.Shutdown();
+  tb.Shutdown();
+}
+
+// The control plane serves one connection at a time; a client that
+// connects and never writes its request line must time out instead of
+// blocking quiescence polling and 'exit' forever.
+TEST(ControlServerTest, SilentClientDoesNotWedgeControlPlane) {
+  TempDir dir;
+  std::string path = dir.path + "/node.ctl";
+  ControlServer server(
+      path, [](const std::string& request) { return "echo " + request; },
+      /*io_timeout_ms=*/100);
+  ASSERT_TRUE(server.Start().ok());
+
+  int silent = RawUnixConnect(path);
+  ASSERT_GE(silent, 0);
+  Result<std::string> reply = ControlRequest(path, "ping", 5000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value(), "echo ping");
+  close(silent);
+  server.Stop();
 }
 
 // ---------------------------------------------------------------------------

@@ -169,6 +169,7 @@ net::Frame RandomFrame(Rng* rng) {
     case 1: {
       frame.kind = net::Frame::Kind::kAck;
       frame.watermark = static_cast<uint64_t>(rng->Uniform(0, 1 << 30));
+      frame.incarnation = static_cast<uint64_t>(rng->Uniform(1, 1 << 20));
       break;
     }
     default: {
@@ -203,6 +204,7 @@ void ExpectSameFrame(const net::Frame& got, const net::Frame& want,
       break;
     case net::Frame::Kind::kAck:
       EXPECT_EQ(got.watermark, want.watermark) << "frame " << index;
+      EXPECT_EQ(got.incarnation, want.incarnation) << "frame " << index;
       break;
     case net::Frame::Kind::kData:
       EXPECT_EQ(got.seq, want.seq) << "frame " << index;
