@@ -15,6 +15,9 @@
 //   --engines=N      parallel-control engine count (default 2)
 //   --endpoints=N    socket endpoints to spread nodes over (default 3)
 //   --json=PATH      output path (default BENCH_net.json)
+//   --trace=PATH     merged cluster Chrome trace (all endpoints on one
+//                    clock-aligned timeline, cross-process msg spans)
+//   --jsonl=PATH     merged aligned JSONL event log
 #include <unistd.h>
 
 #include <chrono>
@@ -31,6 +34,7 @@
 #include "net/node.h"
 #include "net/testbed.h"
 #include "net/topology.h"
+#include "net/trace_merge.h"
 #include "obs/trace.h"
 #include "rt/runtime.h"
 
@@ -49,6 +53,8 @@ struct BenchFlags {
   int engines = 2;
   int endpoints = 3;
   std::string json_path = "BENCH_net.json";
+  std::string trace_path;
+  std::string jsonl_path;
   bool smoke = false;
 };
 
@@ -186,10 +192,42 @@ BenchResult RunOnce(const BenchFlags& flags) {
     result.transport.frames_sent += stats.frames_sent;
     result.transport.frames_delivered += stats.frames_delivered;
     result.transport.frames_deduped += stats.frames_deduped;
+    result.transport.frames_replayed += stats.frames_replayed;
     result.transport.bytes_sent += stats.bytes_sent;
     result.transport.reconnects += stats.reconnects;
   }
   for (auto& node : nodes) node->Shutdown();
+
+  // Merged cluster trace: each endpoint's ring becomes one in-memory
+  // shard (same form crew_node writes to disk), clock-aligned by the
+  // transports' HELLO samples — the whole blast on one timeline.
+  if (!flags.trace_path.empty() || !flags.jsonl_path.empty()) {
+    std::vector<net::TraceShard> shards;
+    for (size_t k = 0; k < nodes.size(); ++k) {
+      shards.push_back(net::ShardFromRing(
+          *rings[k], nodes[k]->self().Address(), /*incarnation=*/1,
+          kTickUs, nodes[k]->transport().ClockSamples()));
+    }
+    if (!flags.trace_path.empty()) {
+      net::MergeStats stats;
+      Status written =
+          net::WriteMergedTrace(shards, flags.trace_path, &stats);
+      if (!written.ok()) {
+        std::fprintf(stderr, "trace: %s\n", written.ToString().c_str());
+      } else {
+        std::printf("merged trace: %zu shards, %zu events, %zu "
+                    "cross-process spans -> %s\n",
+                    stats.shards, stats.events, stats.matched_flows,
+                    flags.trace_path.c_str());
+      }
+    }
+    if (!flags.jsonl_path.empty()) {
+      std::ofstream out(flags.jsonl_path,
+                        std::ios::binary | std::ios::trunc);
+      out << net::MergedJsonl(shards);
+      std::printf("merged jsonl -> %s\n", flags.jsonl_path.c_str());
+    }
+  }
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
@@ -214,6 +252,10 @@ int Main(int argc, char** argv) {
       flags.endpoints = std::atoi(arg.c_str() + 12);
     } else if (arg.rfind("--json=", 0) == 0) {
       flags.json_path = arg.substr(7);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      flags.trace_path = arg.substr(8);
+    } else if (arg.rfind("--jsonl=", 0) == 0) {
+      flags.jsonl_path = arg.substr(8);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -250,7 +292,8 @@ int Main(int argc, char** argv) {
       "\"sojourn_us\":{\"samples\":%lld,\"p50\":%.1f,\"p95\":%.1f,"
       "\"p99\":%.1f,\"max\":%.1f},"
       "\"transport\":{\"frames_sent\":%lld,\"frames_delivered\":%lld,"
-      "\"frames_deduped\":%lld,\"bytes_sent\":%lld,\"reconnects\":%lld}}\n",
+      "\"frames_deduped\":%lld,\"frames_replayed\":%lld,"
+      "\"bytes_sent\":%lld,\"reconnects\":%lld}}\n",
       flags.smoke ? "true" : "false", static_cast<long long>(kTickUs),
       flags.mode.c_str(), flags.endpoints, flags.agents, r.workflows,
       static_cast<long long>(r.committed), r.wall_ms, r.wf_per_sec,
@@ -258,6 +301,7 @@ int Main(int argc, char** argv) {
       r.p99_us, r.max_us, static_cast<long long>(r.transport.frames_sent),
       static_cast<long long>(r.transport.frames_delivered),
       static_cast<long long>(r.transport.frames_deduped),
+      static_cast<long long>(r.transport.frames_replayed),
       static_cast<long long>(r.transport.bytes_sent),
       static_cast<long long>(r.transport.reconnects));
   std::ofstream out(flags.json_path);

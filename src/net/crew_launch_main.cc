@@ -7,16 +7,20 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/supervisor.h"
+#include "net/telemetry.h"
 #include "net/testbed.h"
+#include "net/trace_merge.h"
 #include "runtime/wire.h"
 
 namespace crew::net {
@@ -35,6 +39,8 @@ struct LaunchFlags {
   std::string kill;  // endpoint address, or "auto" for the last one
   int kill_after_ms = 40;
   int timeout_ms = 120000;
+  int status_interval_ms = 0;  // live cluster snapshots (0 = off)
+  std::string trace_dir;       // per-process shards + merged trace
 };
 
 void LaunchUsage() {
@@ -46,7 +52,11 @@ void LaunchUsage() {
       "  --engines N --agents N --instances N\n"
       "  --seed N --tick-us N --pending-timeout N\n"
       "  --kill auto|<address>          SIGKILL+restart a node mid-run\n"
-      "  --kill-after-ms N --timeout-ms N\n");
+      "  --kill-after-ms N --timeout-ms N\n"
+      "  --status-interval-ms N         print live aggregated cluster\n"
+      "                                 metrics every N ms\n"
+      "  --trace-dir <dir>              per-process trace shards; merged\n"
+      "                                 into <dir>/trace_merged.json\n");
 }
 
 bool ParseLaunchFlags(int argc, char** argv, LaunchFlags* flags) {
@@ -82,6 +92,10 @@ bool ParseLaunchFlags(int argc, char** argv, LaunchFlags* flags) {
       flags->kill_after_ms = std::atoi(value);
     } else if (arg == "--timeout-ms" && (value = next())) {
       flags->timeout_ms = std::atoi(value);
+    } else if (arg == "--status-interval-ms" && (value = next())) {
+      flags->status_interval_ms = std::atoi(value);
+    } else if (arg == "--trace-dir" && (value = next())) {
+      flags->trace_dir = value;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -127,6 +141,10 @@ int RunLaunch(const LaunchFlags& flags) {
     options.agdb_dir = flags.workdir + "/agdb";
     mkdir(options.agdb_dir.c_str(), 0755);
   }
+  if (!flags.trace_dir.empty()) {
+    options.trace_dir = flags.trace_dir;
+    mkdir(options.trace_dir.c_str(), 0755);
+  }
 
   Supervisor supervisor(topology.value(), options);
   Status started = supervisor.StartAll();
@@ -136,6 +154,32 @@ int RunLaunch(const LaunchFlags& flags) {
   }
   std::printf("spawned %zu node processes\n",
               supervisor.processes().size());
+
+  // Live view: scrape every node's telemetry document on a cadence and
+  // print the aggregate plus per-node transport health. Runs on its own
+  // thread so a wedged node (bounded control timeout) cannot stall the
+  // kill/quiesce sequencing below.
+  std::atomic<bool> status_stop{false};
+  std::thread status_thread;
+  if (flags.status_interval_ms > 0) {
+    status_thread = std::thread([&]() {
+      while (!status_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(flags.status_interval_ms));
+        if (status_stop.load(std::memory_order_acquire)) break;
+        std::vector<NodeTelemetry> nodes = supervisor.CollectTelemetry();
+        if (nodes.empty()) continue;
+        std::string block =
+            AggregateSummaryLine(AggregateTelemetry(nodes)) + "\n";
+        for (const NodeTelemetry& node : nodes) {
+          block += NodeSummaryLine(node) + "\n";
+        }
+        // One write: keeps a snapshot contiguous in the output stream.
+        std::fputs(block.c_str(), stdout);
+        std::fflush(stdout);
+      }
+    });
+  }
 
   if (!flags.kill.empty()) {
     std::this_thread::sleep_for(
@@ -169,9 +213,16 @@ int RunLaunch(const LaunchFlags& flags) {
                 victim.Address().c_str());
   }
 
+  auto stop_status_thread = [&]() {
+    if (!status_thread.joinable()) return;
+    status_stop.store(true, std::memory_order_release);
+    status_thread.join();
+  };
+
   Status quiesced = supervisor.WaitQuiescent(flags.timeout_ms);
   if (!quiesced.ok()) {
     std::fprintf(stderr, "crew_launch: %s\n", quiesced.ToString().c_str());
+    stop_status_thread();
     supervisor.ShutdownAll();
     return 1;
   }
@@ -203,7 +254,49 @@ int RunLaunch(const LaunchFlags& flags) {
     std::printf("  %-8s #%-3d %-10s %s\n", schema.c_str(), i, got.c_str(),
                 ok ? "ok" : "MISMATCH");
   }
+  stop_status_thread();
+
+  // Final merged cluster snapshot, written while every process is still
+  // alive (the scrape needs live control sockets).
+  {
+    std::vector<NodeTelemetry> nodes = supervisor.CollectTelemetry();
+    if (!nodes.empty()) {
+      std::string path = flags.workdir + "/cluster_telemetry.json";
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (out) {
+        out << ClusterTelemetryJson(nodes) << "\n";
+        std::printf("cluster telemetry (%zu nodes) -> %s\n", nodes.size(),
+                    path.c_str());
+      }
+    }
+  }
+
   supervisor.ShutdownAll();
+
+  // Shards are written at each node's clean exit, so the merge must run
+  // after ShutdownAll. Killed incarnations never wrote theirs — skip.
+  if (!flags.trace_dir.empty()) {
+    std::vector<TraceShard> shards;
+    for (const std::string& path : supervisor.TraceShardPaths()) {
+      Result<TraceShard> shard = LoadTraceShard(path);
+      if (!shard.ok()) continue;
+      shards.push_back(std::move(shard).value());
+    }
+    MergeStats stats;
+    std::string merged_path = flags.trace_dir + "/trace_merged.json";
+    Status merged = WriteMergedTrace(shards, merged_path, &stats);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "crew_launch: trace merge: %s\n",
+                   merged.ToString().c_str());
+    } else {
+      std::printf(
+          "merged trace: %zu shards, %zu events, %zu cross-process "
+          "spans matched -> %s\n",
+          stats.shards, stats.events, stats.matched_flows,
+          merged_path.c_str());
+    }
+  }
+
   if (failures != 0) {
     std::fprintf(stderr, "crew_launch: %d instances off terminal state\n",
                  failures);

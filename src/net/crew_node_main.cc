@@ -21,11 +21,16 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "common/logging.h"
 #include "common/strings.h"
 #include "net/control.h"
 #include "net/node.h"
+#include "net/telemetry.h"
 #include "net/testbed.h"
+#include "net/trace_merge.h"
+#include "obs/trace.h"
 #include "runtime/wire.h"
 
 namespace crew::net {
@@ -44,6 +49,8 @@ struct Flags {
   std::string agdb;
   uint64_t incarnation = 1;
   bool drive = true;
+  std::string trace_shard;
+  int64_t telemetry_interval_ms = 200;
 };
 
 void Usage() {
@@ -56,7 +63,12 @@ void Usage() {
       "  --seed N --tick-us N --pending-timeout N\n"
       "  --agdb <dir>            durable AGDB directory (dist)\n"
       "  --incarnation N         bump on restart after a crash\n"
-      "  --drive 0|1             start locally-owned workflow instances\n");
+      "  --drive 0|1             start locally-owned workflow instances\n"
+      "  --trace-shard <path>    enable tracing; write the trace shard\n"
+      "                          here on clean exit (crew_trace_merge\n"
+      "                          joins shards into one Chrome trace)\n"
+      "  --telemetry-interval-ms N  metrics snapshot cadence (0 = off;\n"
+      "                          default 200)\n");
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -92,6 +104,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->incarnation = std::strtoull(value, nullptr, 10);
     } else if (arg == "--drive" && (value = next())) {
       flags->drive = std::atoi(value) != 0;
+    } else if (arg == "--trace-shard" && (value = next())) {
+      flags->trace_shard = value;
+    } else if (arg == "--telemetry-interval-ms" && (value = next())) {
+      flags->telemetry_interval_ms = std::atoll(value);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -120,6 +136,11 @@ int Run(const Flags& flags) {
   rt::RuntimeOptions runtime_options;
   runtime_options.seed = flags.seed;
   runtime_options.tick_us = flags.tick_us;
+  // Ring sink for the trace shard. Only installed when a shard path was
+  // given: an installed (enabled) tracer also switches the transport
+  // into assigning cross-process trace ids on every Ship.
+  obs::RingBufferTracer ring;
+  if (!flags.trace_shard.empty()) runtime_options.tracer = &ring;
   SocketTransportOptions transport_options;
   transport_options.incarnation = flags.incarnation;
 
@@ -145,6 +166,17 @@ int Run(const Flags& flags) {
   std::condition_variable exit_cv;
   bool exit_requested = false;
 
+  // One process-health document: schedule the per-cell metrics copies
+  // (bounded — a wedged worker costs the wait, never a hang), then
+  // render metrics + transport + runtime gauges as one JSON object.
+  auto telemetry_json = [&](std::chrono::milliseconds wait) {
+    sim::Metrics metrics = node.runtime().SampleMetrics(wait);
+    return NodeTelemetryJson(self.value().Address(), flags.incarnation,
+                             metrics, node.runtime().Stats(),
+                             node.transport().Stats(),
+                             node.transport().PeerStats());
+  };
+
   // Control handler: runs on the control thread. State reads are
   // marshalled onto the owning node's worker via Post, so they are
   // ordered against that node's message processing.
@@ -159,9 +191,20 @@ int Run(const Flags& flags) {
       return std::string(node.LooksQuiet() ? "1" : "0") + " " +
              std::to_string(node.AdmittedWork());
     }
+    if (words[0] == "telemetry") {
+      return telemetry_json(std::chrono::milliseconds(300));
+    }
     if (words[0] == "status" && words.size() == 3) {
+      // Reply: "<state> <telemetry json>" — the workflow answer first
+      // (callers parse the first space-separated token), the node's
+      // health document after it. The snapshot merge is cheap and
+      // non-blocking; the background sampler keeps it fresh.
+      std::string telemetry = NodeTelemetryJson(
+          self.value().Address(), flags.incarnation,
+          node.runtime().LatestMetricsSnapshot(), node.runtime().Stats(),
+          node.transport().Stats(), node.transport().PeerStats());
       InstanceId instance{words[1], std::atoll(words[2].c_str())};
-      if (!testbed.Authoritative(instance)) return "n/a";
+      if (!testbed.Authoritative(instance)) return "n/a " + telemetry;
       NodeId authority = testbed.AuthorityNode(instance);
       // Bounded wait, shared promise: if the worker is wedged and the
       // task never runs, the control thread must answer (and stay able
@@ -177,7 +220,8 @@ int Run(const Flags& flags) {
           std::future_status::ready) {
         return "err status timeout";
       }
-      return runtime::WorkflowStateName(future.get());
+      return std::string(runtime::WorkflowStateName(future.get())) + " " +
+             telemetry;
     }
     if (words[0] == "exit") {
       {
@@ -221,12 +265,45 @@ int Run(const Flags& flags) {
     }
   }
 
+  // Periodic telemetry tick: refreshes every cell's metrics snapshot so
+  // `status` replies and the supervisor's scrapes read near-live data
+  // without ever touching a live shard from a foreign thread.
+  std::thread sampler;
+  if (flags.telemetry_interval_ms > 0) {
+    sampler = std::thread([&]() {
+      std::unique_lock<std::mutex> lock(exit_mu);
+      while (!exit_requested) {
+        exit_cv.wait_for(
+            lock, std::chrono::milliseconds(flags.telemetry_interval_ms));
+        if (exit_requested) break;
+        lock.unlock();
+        node.runtime().SampleMetrics(std::chrono::milliseconds(0));
+        lock.lock();
+      }
+    });
+  }
+
   {
     std::unique_lock<std::mutex> lock(exit_mu);
     exit_cv.wait(lock, [&]() { return exit_requested; });
   }
+  if (sampler.joinable()) sampler.join();
   control.Stop();
   node.Shutdown();
+
+  // Shard write happens only on this clean-exit path: a SIGKILLed
+  // incarnation leaves no shard, and the ids it minted (incarnation is
+  // baked into bits 47..32) can never pair with a later life's records.
+  if (!flags.trace_shard.empty()) {
+    TraceShard shard =
+        ShardFromRing(ring, self.value().Address(), flags.incarnation,
+                      flags.tick_us, node.transport().ClockSamples());
+    Status written = WriteTraceShard(shard, flags.trace_shard);
+    if (!written.ok()) {
+      std::fprintf(stderr, "crew_node: trace shard: %s\n",
+                   written.ToString().c_str());
+    }
+  }
   return 0;
 }
 

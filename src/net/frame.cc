@@ -34,6 +34,9 @@ std::string EncodeFrame(const Frame& frame) {
     case Frame::Kind::kHello:
       header.Add("endpoint", frame.endpoint);
       header.AddInt("incarnation", static_cast<int64_t>(frame.incarnation));
+      if (frame.sent_ticks >= 0) {
+        header.AddInt("sent", frame.sent_ticks);
+      }
       break;
     case Frame::Kind::kAck:
       header.AddInt("watermark", static_cast<int64_t>(frame.watermark));
@@ -45,6 +48,16 @@ std::string EncodeFrame(const Frame& frame) {
       header.AddInt("to", frame.message.to);
       header.Add("type", frame.message.type);
       header.AddInt("category", static_cast<int>(frame.message.category));
+      // Trace context, omitted for untraced messages so the steady-state
+      // frame stays exactly as before. The id is a raw 64-bit pattern
+      // (endpoint hash | incarnation | counter); it rides as int64.
+      if (frame.message.trace_id != 0) {
+        header.AddInt("trace",
+                      static_cast<int64_t>(frame.message.trace_id));
+        if (frame.message.trace_sent_ticks >= 0) {
+          header.AddInt("sent", frame.message.trace_sent_ticks);
+        }
+      }
       payload = &frame.message.payload;
       break;
   }
@@ -70,6 +83,11 @@ Status CheckShippable(const sim::Message& message) {
   header.AddInt("to", message.to);
   header.Add("type", message.type);
   header.AddInt("category", static_cast<int>(message.category));
+  // Worst-case trace context: a transport-assigned id and send tick may
+  // be added after admission, so the bound must cover them even when the
+  // message is untraced at check time.
+  header.AddInt("trace", std::numeric_limits<int64_t>::min());
+  header.AddInt("sent", std::numeric_limits<int64_t>::max());
   size_t length = 1 + 4 + header.Finish().size() + message.payload.size();
   if (length > kMaxFrameBytes) {
     return Status::InvalidArgument(
@@ -134,6 +152,7 @@ bool FrameDecoder::Next(Frame* out) {
       }
       frame.endpoint = std::move(endpoint).value();
       frame.incarnation = static_cast<uint64_t>(incarnation.value());
+      frame.sent_ticks = kv.GetIntOr("sent", -1);
       break;
     }
     case Frame::Kind::kAck: {
@@ -163,6 +182,9 @@ bool FrameDecoder::Next(Frame* out) {
       frame.message.to = static_cast<NodeId>(to.value());
       frame.message.type = std::move(type).value();
       frame.message.category = static_cast<sim::MsgCategory>(category);
+      frame.message.trace_id =
+          static_cast<uint64_t>(kv.GetIntOr("trace", 0));
+      frame.message.trace_sent_ticks = kv.GetIntOr("sent", -1);
       frame.message.payload.assign(payload, payload_len);
       break;
     }

@@ -45,13 +45,20 @@ struct Frame {
 
   // kHello
   std::string endpoint;  ///< sender's listening address
+  /// kHello: the sender's local clock (runtime ticks) when the HELLO was
+  /// built, or -1 when the sender has no clock installed. Receivers pair
+  /// it with their own receive tick — one (send, recv) sample per
+  /// connection establishment — and the trace merge step estimates
+  /// per-process clock offsets from the bidirectional minima
+  /// (NTP-style), which is what puts every shard on a common timeline.
+  int64_t sent_ticks = -1;
 
   // kAck
   uint64_t watermark = 0;  ///< highest delivered seq, cumulative
 
   // kData
   uint64_t seq = 0;
-  sim::Message message;
+  sim::Message message;  ///< carries trace_id / trace_sent_ticks when set
 };
 
 /// Frames larger than this poison the decoder (corrupt length prefix).

@@ -34,6 +34,19 @@ void SetCloexec(int fd) {
   int flags = fcntl(fd, F_GETFD, 0);
   if (flags >= 0) fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
 }
+
+/// FNV-1a over the endpoint address, folded to 16 bits — the endpoint
+/// part of a trace id. Collisions across endpoints would only merge two
+/// id spaces visually; the per-endpoint counter still keeps ids unique
+/// within each process.
+uint64_t EndpointHash16(const std::string& address) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : address) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return (h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) & 0xffffull;
+}
 }  // namespace
 
 /// Outbound link to one remote endpoint. All mutable fields are guarded
@@ -71,6 +84,9 @@ struct SocketTransport::Peer {
   size_t unsent_index = 0;
   size_t retained_bytes = 0;
   uint64_t next_seq = 1;
+  /// Highest seq ever written to any connection: staging a frame at or
+  /// below it means a reconnect is replaying the unacked window.
+  uint64_t sent_high_seq = 0;
 
   /// Frames to explicitly-downed destination nodes, parked *before*
   /// sequencing so per-pair order survives the park (rt's parked queue,
@@ -127,6 +143,13 @@ SocketTransport::SocketTransport(Topology topology, Endpoint self,
 }
 
 SocketTransport::~SocketTransport() { Shutdown(); }
+
+void SocketTransport::InstallTelemetry(obs::Tracer* tracer,
+                                       std::function<int64_t()> clock) {
+  tracer_ = tracer;
+  clock_ = std::move(clock);
+  trace_endpoint_bits_ = EndpointHash16(self_.Address()) << 48;
+}
 
 int64_t SocketTransport::NowMs() const {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -310,6 +333,25 @@ Status SocketTransport::Ship(sim::Message& message) {
   // wedges the stream (plus everything queued behind it) permanently.
   Status shippable = CheckShippable(message);
   if (!shippable.ok()) return shippable;
+  if (tracer_ != nullptr && tracer_->enabled() && message.trace_id == 0) {
+    // Assign the cross-process trace id here, at admission, so a held
+    // (explicit-down) message keeps its id and the flow span covers the
+    // parked window too. Layout: [endpoint hash:16][incarnation:16]
+    // [counter:32] — a restarted process can never mint an id that
+    // pairs with a begin record from its previous life.
+    message.trace_id =
+        trace_endpoint_bits_ |
+        ((options_.incarnation & 0xffffull) << 32) |
+        (trace_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+    message.trace_sent_ticks = clock_ ? clock_() : -1;
+    tracer_->FlowBegin(
+        obs::SpanKind::kMessage, message.from, message.trace_id,
+        "msg:" + message.type,
+        message.trace_sent_ticks >= 0 ? message.trace_sent_ticks
+                                      : tracer_->now(),
+        static_cast<int>(message.category),
+        std::to_string(message.from) + "->" + std::to_string(message.to));
+  }
   {
     std::unique_lock<std::mutex> lock(state_mu_);
     // Bounded backpressure: block while the peer's backlog (retained +
@@ -462,6 +504,7 @@ void SocketTransport::OnConnected(Peer* peer) {
   hello.kind = Frame::Kind::kHello;
   hello.endpoint = self_.Address();
   hello.incarnation = options_.incarnation;
+  if (clock_) hello.sent_ticks = clock_();
   peer->write_buffer += EncodeFrame(hello);
   auto in = inbound_.find(peer->address);
   if (in != inbound_.end()) {
@@ -510,6 +553,12 @@ void SocketTransport::FlushWrites(Peer* peer) {
           // stream here (later frames must not overtake it).
           break;
         }
+        uint64_t seq = peer->retained[peer->unsent_index].seq;
+        if (seq <= peer->sent_high_seq) {
+          frames_replayed_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          peer->sent_high_seq = seq;
+        }
         peer->write_buffer += peer->retained[peer->unsent_index].bytes;
         ++peer->unsent_index;
         frames_sent_.fetch_add(1, std::memory_order_relaxed);
@@ -552,6 +601,26 @@ void SocketTransport::HandleInboundFrame(InConn* conn, Frame frame) {
         // New process generation: its sequence space restarted.
         stream.incarnation = frame.incarnation;
         stream.watermark = 0;
+      }
+      if (frame.sent_ticks >= 0 && clock_) {
+        // One clock sample per connection establishment. Keep the
+        // exchange with the smallest apparent gap — least in-flight
+        // delay, tightest offset bound.
+        int64_t local = clock_();
+        std::lock_guard<std::mutex> lock(state_mu_);
+        ClockSample& sample =
+            clock_samples_[{frame.endpoint, frame.incarnation}];
+        bool better =
+            sample.count == 0 ||
+            local - frame.sent_ticks <
+                sample.local_recv_ticks - sample.remote_sent_ticks;
+        if (better) {
+          sample.remote_sent_ticks = frame.sent_ticks;
+          sample.local_recv_ticks = local;
+        }
+        sample.peer = frame.endpoint;
+        sample.peer_incarnation = frame.incarnation;
+        ++sample.count;
       }
       return;
     }
@@ -796,9 +865,41 @@ SocketTransportStats SocketTransport::Stats() const {
   stats.frames_delivered =
       frames_delivered_.load(std::memory_order_relaxed);
   stats.frames_deduped = frames_deduped_.load(std::memory_order_relaxed);
+  stats.frames_replayed =
+      frames_replayed_.load(std::memory_order_relaxed);
   stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   stats.reconnects = reconnects_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (const auto& [address, peer] : peers_) {
+    stats.retained_bytes += static_cast<int64_t>(peer->retained_bytes);
+    stats.held_bytes += static_cast<int64_t>(peer->held_bytes);
+  }
   return stats;
+}
+
+std::vector<ClockSample> SocketTransport::ClockSamples() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<ClockSample> out;
+  out.reserve(clock_samples_.size());
+  for (const auto& [key, sample] : clock_samples_) out.push_back(sample);
+  return out;
+}
+
+std::vector<SocketTransportPeerStats> SocketTransport::PeerStats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<SocketTransportPeerStats> out;
+  out.reserve(peers_.size());
+  for (const auto& [address, peer] : peers_) {
+    SocketTransportPeerStats s;
+    s.peer = address;
+    s.connected = peer->connected;
+    s.next_seq = peer->next_seq;
+    s.ack_lag_frames = static_cast<int64_t>(peer->retained.size());
+    s.retained_bytes = static_cast<int64_t>(peer->retained_bytes);
+    s.held_bytes = static_cast<int64_t>(peer->held_bytes);
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 }  // namespace crew::net

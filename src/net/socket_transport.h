@@ -17,6 +17,7 @@
 
 #include "net/frame.h"
 #include "net/topology.h"
+#include "obs/trace.h"
 #include "rt/runtime.h"
 #include "sim/network.h"
 
@@ -37,13 +38,45 @@ struct SocketTransportOptions {
   int down_after_failures = 40;
 };
 
-/// Counters for benchmarks and Idle checks (monotonic, relaxed).
+/// Counters for benchmarks and Idle checks (monotonic, relaxed), plus
+/// point-in-time gauges of the retained/held backlog (read under the
+/// state lock, so a telemetry scrape sees a consistent snapshot).
 struct SocketTransportStats {
   int64_t frames_sent = 0;        // DATA frames written (incl. replays)
   int64_t frames_delivered = 0;   // DATA frames handed to the sink
   int64_t frames_deduped = 0;     // DATA frames dropped by watermark
+  int64_t frames_replayed = 0;    // DATA frames re-written after reconnect
   int64_t bytes_sent = 0;         // all frame bytes written
   int64_t reconnects = 0;         // connections established to peers
+  int64_t retained_bytes = 0;     // gauge: unacked outbound, all peers
+  int64_t held_bytes = 0;         // gauge: parked for explicit-down nodes
+};
+
+/// Health of one directed outbound link, for telemetry scrapes. The
+/// retained window IS the ACK lag: frames this side has sequenced that
+/// the peer's cumulative ACK has not yet covered.
+struct SocketTransportPeerStats {
+  std::string peer;           ///< remote endpoint address
+  bool connected = false;
+  uint64_t next_seq = 1;      ///< next sequence number to assign
+  int64_t ack_lag_frames = 0; ///< retained (sequenced, unacked) frames
+  int64_t retained_bytes = 0;
+  int64_t held_bytes = 0;     ///< parked for explicitly-down nodes
+};
+
+/// One clock-offset observation against a peer: the send tick its HELLO
+/// carried and our local tick when that HELLO was decoded. Only the
+/// sample minimizing (local - remote) per (peer, incarnation) is kept —
+/// the minimum-latency exchange is the best offset bound (NTP's logic)
+/// — along with how many exchanges were seen. Keyed by the peer's
+/// incarnation because a restarted process is a new clock: mixing
+/// samples across its lives would corrupt the offset estimate.
+struct ClockSample {
+  std::string peer;               ///< remote endpoint address
+  uint64_t peer_incarnation = 0;
+  int64_t remote_sent_ticks = 0;  ///< peer clock, from its HELLO
+  int64_t local_recv_ticks = 0;   ///< our clock at decode
+  int64_t count = 0;              ///< HELLOs folded into this sample
 };
 
 /// sim::Transport over real sockets: each endpoint of the Topology is a
@@ -99,6 +132,21 @@ class SocketTransport : public sim::Transport, public rt::RemoteRouter {
 
   /// Closes every socket and joins the loop thread. Idempotent.
   void Shutdown();
+
+  /// Installs the telemetry hooks: a trace sink (the runtime's
+  /// serializing tracer) and the clock it stamps with (runtime ticks).
+  /// With an enabled tracer installed, Ship() assigns each message an
+  /// incarnation-scoped trace id, records the sender half of its
+  /// kMessage flow span, and HELLO frames carry the local send tick so
+  /// peers can collect clock samples. Call before Start().
+  void InstallTelemetry(obs::Tracer* tracer,
+                        std::function<int64_t()> clock);
+
+  /// Best clock-offset sample per (peer, incarnation) seen so far.
+  std::vector<ClockSample> ClockSamples() const;
+
+  /// Per-directed-link health gauges, one entry per remote endpoint.
+  std::vector<SocketTransportPeerStats> PeerStats() const;
 
   // ---- sim::Transport ----
   /// Registers a local handler (transport-level tests). Messages to a
@@ -156,6 +204,18 @@ class SocketTransport : public sim::Transport, public rt::RemoteRouter {
   DeliverFn deliver_;
   SocketTransportOptions options_;
 
+  /// Telemetry hooks (InstallTelemetry; immutable once Start() ran).
+  obs::Tracer* tracer_ = nullptr;
+  std::function<int64_t()> clock_;
+  /// High 16 bits of every trace id this transport assigns: a hash of
+  /// the self address, so ids from different endpoints cannot collide.
+  uint64_t trace_endpoint_bits_ = 0;
+  std::atomic<uint32_t> trace_counter_{0};
+
+  /// Best (min local-remote gap) clock sample per (peer, incarnation).
+  std::map<std::pair<std::string, uint64_t>, ClockSample>
+      clock_samples_;  // guarded by state_mu_
+
   std::map<NodeId, sim::MessageHandler*> handlers_;  // pre-Start only
   std::set<NodeId> local_nodes_;
   std::set<NodeId> explicit_down_;  // guarded by state_mu_
@@ -187,6 +247,7 @@ class SocketTransport : public sim::Transport, public rt::RemoteRouter {
   std::atomic<int64_t> frames_sent_{0};
   std::atomic<int64_t> frames_delivered_{0};
   std::atomic<int64_t> frames_deduped_{0};
+  std::atomic<int64_t> frames_replayed_{0};
   std::atomic<int64_t> bytes_sent_{0};
   std::atomic<int64_t> reconnects_{0};
 };

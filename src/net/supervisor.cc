@@ -80,10 +80,25 @@ Status Supervisor::Spawn(NodeProcess* process, bool drive) {
       "--pending-timeout", std::to_string(options_.pending_timeout),
       "--incarnation", std::to_string(process->incarnation),
       "--drive", drive ? "1" : "0",
+      "--telemetry-interval-ms",
+      std::to_string(options_.telemetry_interval_ms),
   };
   if (!options_.agdb_dir.empty()) {
     args.push_back("--agdb");
     args.push_back(options_.agdb_dir);
+  }
+  if (!options_.trace_dir.empty()) {
+    // One shard file per incarnation: a restarted process must not
+    // overwrite its previous life's shard (each is a separate clock).
+    const std::string& path = process->endpoint.path;
+    size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::string shard = options_.trace_dir + "/" + base + ".inc" +
+                        std::to_string(process->incarnation) + ".shard";
+    args.push_back("--trace-shard");
+    args.push_back(shard);
+    process->trace_shards.push_back(std::move(shard));
   }
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
@@ -181,10 +196,41 @@ Result<std::string> Supervisor::QueryState(const std::string& workflow,
     Result<std::string> reply = ControlRequest(
         process.control_path,
         "status " + workflow + " " + std::to_string(number), 2000);
-    if (reply.ok() && reply.value() != "n/a") return reply;
+    if (!reply.ok()) continue;
+    // Reply: "<state> <telemetry json>"; "n/a" from non-authorities.
+    const std::string& text = reply.value();
+    size_t space = text.find(' ');
+    std::string state =
+        space == std::string::npos ? text : text.substr(0, space);
+    if (state != "n/a" && state.compare(0, 3, "err") != 0) return state;
   }
   return Status::NotFound("no process is authoritative for " + workflow +
                           "#" + std::to_string(number));
+}
+
+std::vector<NodeTelemetry> Supervisor::CollectTelemetry(int timeout_ms) {
+  std::vector<NodeTelemetry> out;
+  for (NodeProcess& process : processes_) {
+    if (process.pid <= 0) continue;
+    Result<std::string> reply =
+        ControlRequest(process.control_path, "telemetry", timeout_ms);
+    if (!reply.ok() || reply.value().empty() || reply.value()[0] != '{') {
+      continue;
+    }
+    out.push_back(NodeTelemetry{process.endpoint.Address(),
+                                std::move(reply).value()});
+  }
+  return out;
+}
+
+std::vector<std::string> Supervisor::TraceShardPaths() const {
+  std::vector<std::string> paths;
+  for (const NodeProcess& process : processes_) {
+    for (const std::string& shard : process.trace_shards) {
+      paths.push_back(shard);
+    }
+  }
+  return paths;
 }
 
 void Supervisor::ShutdownAll() {

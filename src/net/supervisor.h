@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/telemetry.h"
 #include "net/topology.h"
 
 namespace crew::net {
@@ -26,6 +27,12 @@ struct LaunchOptions {
   int64_t tick_us = 20;
   int64_t pending_timeout = 5000;
   std::string agdb_dir;  ///< durable AGDB directory (dist)
+  /// Directory for per-process trace shards. Empty = tracing off. Each
+  /// spawn gets "<dir>/<socket basename>.inc<k>.shard"; crew_trace_merge
+  /// (or trace_merge.h) joins the shards into one Chrome trace.
+  std::string trace_dir;
+  /// Metrics snapshot cadence inside each node (0 = off).
+  int64_t telemetry_interval_ms = 200;
 };
 
 /// Launcher/supervisor for multi-process deployments: spawns one
@@ -43,6 +50,10 @@ class Supervisor {
     std::string control_path;
     uint64_t incarnation = 1;
     pid_t pid = -1;
+    /// Shard paths of every incarnation spawned with tracing on. Only
+    /// cleanly-exited incarnations actually write theirs; collectors
+    /// skip paths that never appeared.
+    std::vector<std::string> trace_shards;
   };
 
   Supervisor(Topology topology, LaunchOptions options);
@@ -72,9 +83,19 @@ class Supervisor {
   Status WaitQuiescent(int timeout_ms);
 
   /// Asks every process for the instance's terminal state; exactly one
-  /// is authoritative (the others answer "n/a").
+  /// is authoritative (the others answer "n/a"). Returns the bare state
+  /// token (the node appends its telemetry document after it).
   Result<std::string> QueryState(const std::string& workflow,
                                  int64_t number);
+
+  /// Scrapes every live process's telemetry document ("telemetry"
+  /// verb). Unreachable processes are skipped — the caller sees fewer
+  /// entries than processes() during a crash window.
+  std::vector<NodeTelemetry> CollectTelemetry(int timeout_ms = 2000);
+
+  /// Every shard path any traced incarnation may have written, in spawn
+  /// order. Paths whose process was killed never exist on disk.
+  std::vector<std::string> TraceShardPaths() const;
 
   /// Clean stop: "exit" to every process, then reap (SIGKILL stragglers).
   void ShutdownAll();

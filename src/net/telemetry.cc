@@ -1,0 +1,158 @@
+#include "net/telemetry.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace crew::net {
+
+std::string NodeTelemetryJson(
+    const std::string& endpoint, uint64_t incarnation,
+    const sim::Metrics& metrics, const rt::RuntimeStats& runtime_stats,
+    const SocketTransportStats& transport_stats,
+    const std::vector<SocketTransportPeerStats>& peer_stats) {
+  std::ostringstream os;
+  os << "{\"endpoint\":\"" << obs::JsonEscape(endpoint) << "\""
+     << ",\"incarnation\":" << incarnation;
+  os << ",\"transport\":{"
+     << "\"frames_sent\":" << transport_stats.frames_sent
+     << ",\"frames_delivered\":" << transport_stats.frames_delivered
+     << ",\"frames_deduped\":" << transport_stats.frames_deduped
+     << ",\"frames_replayed\":" << transport_stats.frames_replayed
+     << ",\"bytes_sent\":" << transport_stats.bytes_sent
+     << ",\"reconnects\":" << transport_stats.reconnects
+     << ",\"retained_bytes_total\":" << transport_stats.retained_bytes
+     << ",\"held_bytes_total\":" << transport_stats.held_bytes
+     << ",\"peers\":[";
+  bool first = true;
+  for (const auto& p : peer_stats) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"peer\":\"" << obs::JsonEscape(p.peer) << "\""
+       << ",\"connected\":" << (p.connected ? "true" : "false")
+       << ",\"next_seq\":" << p.next_seq
+       << ",\"ack_lag_frames\":" << p.ack_lag_frames
+       << ",\"retained_bytes\":" << p.retained_bytes
+       << ",\"held_bytes\":" << p.held_bytes << "}";
+  }
+  os << "]}";
+  os << ",\"runtime\":{"
+     << "\"messages_delivered\":" << runtime_stats.messages_delivered
+     << ",\"messages_parked\":" << runtime_stats.messages_parked
+     << ",\"timers_fired\":" << runtime_stats.timers_fired
+     << ",\"mailbox_parks\":" << runtime_stats.mailbox_parks
+     << ",\"mailbox_depth\":" << runtime_stats.mailbox_depth
+     << ",\"max_mailbox_depth\":" << runtime_stats.max_mailbox_depth
+     << ",\"num_workers\":" << runtime_stats.num_workers << "}";
+  os << ",\"metrics\":" << metrics.ReportJson() << "}";
+  return os.str();
+}
+
+int64_t ExtractJsonInt(const std::string& json, const std::string& anchor,
+                       int64_t fallback) {
+  size_t pos = json.find(anchor);
+  if (pos == std::string::npos) return fallback;
+  pos += anchor.size();
+  while (pos < json.size() &&
+         (json[pos] == ' ' || json[pos] == '\t')) {
+    ++pos;
+  }
+  bool negative = false;
+  if (pos < json.size() && json[pos] == '-') {
+    negative = true;
+    ++pos;
+  }
+  if (pos >= json.size() || !std::isdigit(static_cast<unsigned char>(json[pos]))) {
+    return fallback;
+  }
+  int64_t v = 0;
+  while (pos < json.size() &&
+         std::isdigit(static_cast<unsigned char>(json[pos]))) {
+    v = v * 10 + (json[pos] - '0');
+    ++pos;
+  }
+  return negative ? -v : v;
+}
+
+ClusterAggregate AggregateTelemetry(const std::vector<NodeTelemetry>& nodes) {
+  ClusterAggregate a;
+  for (const auto& node : nodes) {
+    const std::string& j = node.json;
+    ++a.nodes;
+    a.messages_total += ExtractJsonInt(j, "\"messages\":{\"total\":");
+    a.message_bytes += ExtractJsonInt(j, "\"bytes\":");
+    a.load_total += ExtractJsonInt(j, "\"load\":{\"total\":");
+    a.frames_sent += ExtractJsonInt(j, "\"frames_sent\":");
+    a.frames_delivered += ExtractJsonInt(j, "\"frames_delivered\":");
+    a.frames_deduped += ExtractJsonInt(j, "\"frames_deduped\":");
+    a.frames_replayed += ExtractJsonInt(j, "\"frames_replayed\":");
+    a.reconnects += ExtractJsonInt(j, "\"reconnects\":");
+    a.retained_bytes += ExtractJsonInt(j, "\"retained_bytes_total\":");
+    a.held_bytes += ExtractJsonInt(j, "\"held_bytes_total\":");
+    a.messages_delivered += ExtractJsonInt(j, "\"messages_delivered\":");
+    a.messages_parked += ExtractJsonInt(j, "\"messages_parked\":");
+    a.mailbox_parks += ExtractJsonInt(j, "\"mailbox_parks\":");
+    a.mailbox_depth += ExtractJsonInt(j, "\"mailbox_depth\":");
+  }
+  return a;
+}
+
+std::string AggregateSummaryLine(const ClusterAggregate& a) {
+  std::ostringstream os;
+  os << "cluster n=" << a.nodes << " msgs=" << a.messages_total
+     << " load=" << a.load_total << " frames: sent=" << a.frames_sent
+     << " dlv=" << a.frames_delivered << " dup=" << a.frames_deduped
+     << " replay=" << a.frames_replayed << " reconn=" << a.reconnects
+     << " retained=" << a.retained_bytes << "B held=" << a.held_bytes
+     << "B mbox=" << a.mailbox_depth;
+  return os.str();
+}
+
+std::string NodeSummaryLine(const NodeTelemetry& node) {
+  const std::string& j = node.json;
+  std::ostringstream os;
+  os << "  " << node.endpoint << ": sent="
+     << ExtractJsonInt(j, "\"frames_sent\":")
+     << " dlv=" << ExtractJsonInt(j, "\"frames_delivered\":")
+     << " dup=" << ExtractJsonInt(j, "\"frames_deduped\":")
+     << " replay=" << ExtractJsonInt(j, "\"frames_replayed\":")
+     << " reconn=" << ExtractJsonInt(j, "\"reconnects\":")
+     << " retained=" << ExtractJsonInt(j, "\"retained_bytes_total\":")
+     << "B held=" << ExtractJsonInt(j, "\"held_bytes_total\":")
+     << "B mbox=" << ExtractJsonInt(j, "\"mailbox_depth\":")
+     << " parks=" << ExtractJsonInt(j, "\"mailbox_parks\":");
+  return os.str();
+}
+
+std::string ClusterTelemetryJson(const std::vector<NodeTelemetry>& nodes) {
+  ClusterAggregate a = AggregateTelemetry(nodes);
+  std::ostringstream os;
+  os << "{\"aggregate\":{"
+     << "\"nodes\":" << a.nodes
+     << ",\"messages_total\":" << a.messages_total
+     << ",\"message_bytes\":" << a.message_bytes
+     << ",\"load_total\":" << a.load_total
+     << ",\"frames_sent\":" << a.frames_sent
+     << ",\"frames_delivered\":" << a.frames_delivered
+     << ",\"frames_deduped\":" << a.frames_deduped
+     << ",\"frames_replayed\":" << a.frames_replayed
+     << ",\"reconnects\":" << a.reconnects
+     << ",\"retained_bytes\":" << a.retained_bytes
+     << ",\"held_bytes\":" << a.held_bytes
+     << ",\"messages_delivered\":" << a.messages_delivered
+     << ",\"messages_parked\":" << a.messages_parked
+     << ",\"mailbox_parks\":" << a.mailbox_parks
+     << ",\"mailbox_depth\":" << a.mailbox_depth << "}"
+     << ",\"nodes\":[";
+  bool first = true;
+  for (const auto& node : nodes) {
+    if (!first) os << ",";
+    first = false;
+    os << node.json;
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace crew::net

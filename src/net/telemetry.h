@@ -1,0 +1,87 @@
+#ifndef CREW_NET_TELEMETRY_H_
+#define CREW_NET_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket_transport.h"
+#include "rt/runtime.h"
+#include "sim/metrics.h"
+
+namespace crew::net {
+
+/// One node process's telemetry document: the full sim::Metrics JSON
+/// plus transport/runtime health gauges, as produced by
+/// NodeTelemetryJson below and returned (prefixed with the schedule
+/// state) by crew_node's `status` and `telemetry` control verbs.
+struct NodeTelemetry {
+  std::string endpoint;  ///< listening address of the node process
+  std::string json;      ///< its NodeTelemetryJson document
+};
+
+/// Serializes one process's health into a single JSON object:
+///
+///   {"endpoint":…,"incarnation":…,
+///    "transport":{frames_*, bytes_sent, reconnects,
+///                 retained_bytes_total, held_bytes_total,
+///                 "peers":[{peer, connected, ack_lag_frames, …}]},
+///    "runtime":{messages_delivered, messages_parked, timers_fired,
+///               mailbox_parks, mailbox_depth, max_mailbox_depth},
+///    "metrics":<sim::Metrics::ReportJson()>}
+///
+/// Every key is emitted in a fixed order, so two documents from the
+/// same state are byte-identical (diffable, like ReportJson itself).
+std::string NodeTelemetryJson(
+    const std::string& endpoint, uint64_t incarnation,
+    const sim::Metrics& metrics, const rt::RuntimeStats& runtime_stats,
+    const SocketTransportStats& transport_stats,
+    const std::vector<SocketTransportPeerStats>& peer_stats);
+
+/// Finds the literal substring `anchor` in `json` and parses the
+/// (possibly negative) integer immediately following it. Not a JSON
+/// parser: callers pass anchors unique within the document, e.g.
+/// "\"frames_replayed\":" or the two-level "\"messages\":{\"total\":".
+/// Returns `fallback` when the anchor is absent or no digits follow.
+int64_t ExtractJsonInt(const std::string& json, const std::string& anchor,
+                       int64_t fallback = 0);
+
+/// Cluster-level sums scraped out of a set of NodeTelemetry documents.
+struct ClusterAggregate {
+  int nodes = 0;  ///< documents aggregated
+  // sim::Metrics sums (sender-side counting: no double count).
+  int64_t messages_total = 0;
+  int64_t message_bytes = 0;
+  int64_t load_total = 0;
+  // Transport sums.
+  int64_t frames_sent = 0;
+  int64_t frames_delivered = 0;
+  int64_t frames_deduped = 0;
+  int64_t frames_replayed = 0;
+  int64_t reconnects = 0;
+  int64_t retained_bytes = 0;  ///< gauge, summed over nodes
+  int64_t held_bytes = 0;      ///< gauge, summed over nodes
+  // Runtime sums.
+  int64_t messages_delivered = 0;
+  int64_t messages_parked = 0;
+  int64_t mailbox_parks = 0;
+  int64_t mailbox_depth = 0;   ///< gauge, summed over nodes
+};
+
+ClusterAggregate AggregateTelemetry(const std::vector<NodeTelemetry>& nodes);
+
+/// One-line rolling summary for the live --status-interval view:
+///   "cluster n=3 msgs=1234 frames: sent=… dlv=… replay=… reconn=… …"
+std::string AggregateSummaryLine(const ClusterAggregate& a);
+
+/// Per-node one-liner (transport health) for the live view, scraped
+/// from that node's telemetry document.
+std::string NodeSummaryLine(const NodeTelemetry& node);
+
+/// Merged cluster snapshot document:
+///   {"aggregate":{…sums…},"nodes":[<per-node documents verbatim>]}
+std::string ClusterTelemetryJson(const std::vector<NodeTelemetry>& nodes);
+
+}  // namespace crew::net
+
+#endif  // CREW_NET_TELEMETRY_H_

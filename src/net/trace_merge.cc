@@ -1,0 +1,500 @@
+#include "net/trace_merge.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "runtime/kv.h"
+
+namespace crew::net {
+namespace {
+
+/// Shard-file field escaping: '|' separates fields and the kv layer
+/// splits on newlines, so both (and the escape char itself) are
+/// percent-encoded. Everything else passes through.
+std::string EscapeField(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case '|':
+        out += "%7C";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      if (text.compare(i + 1, 2, "25") == 0) {
+        out += '%';
+        i += 2;
+        continue;
+      }
+      if (text.compare(i + 1, 2, "7C") == 0) {
+        out += '|';
+        i += 2;
+        continue;
+      }
+      if (text.compare(i + 1, 2, "0A") == 0) {
+        out += '\n';
+        i += 2;
+        continue;
+      }
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (;;) {
+    size_t bar = line.find('|', start);
+    if (bar == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, bar - start));
+    start = bar + 1;
+  }
+}
+
+int64_t ParseI64(const std::string& text) {
+  return static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10));
+}
+
+uint64_t ParseU64(const std::string& text) {
+  return static_cast<uint64_t>(std::strtoull(text.c_str(), nullptr, 10));
+}
+
+std::string ShardLabel(const TraceShard& shard) {
+  return shard.endpoint + "#inc" + std::to_string(shard.incarnation);
+}
+
+Status WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Unavailable("cannot open " + path);
+  out << body;
+  out.flush();
+  if (!out) return Status::Unavailable("short write to " + path);
+  return Status::OK();
+}
+
+/// Estimated per-shard clock offsets (µs relative to the reference),
+/// shared by the Chrome and JSONL renderers.
+std::vector<int64_t> EstimateOffsets(const std::vector<TraceShard>& shards,
+                                     MergeStats* stats) {
+  size_t n = shards.size();
+  // delta[i][j]: minimum observed (recv_at_i - sent_by_j) in µs, from
+  // shard i's HELLO samples of shard j. INT64_MAX = no sample.
+  constexpr int64_t kNone = std::numeric_limits<int64_t>::max();
+  std::vector<std::vector<int64_t>> delta(n, std::vector<int64_t>(n, kNone));
+  for (size_t i = 0; i < n; ++i) {
+    for (const ClockSample& sample : shards[i].clocks) {
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i || shards[j].endpoint != sample.peer ||
+            shards[j].incarnation != sample.peer_incarnation) {
+          continue;
+        }
+        int64_t d = sample.local_recv_ticks * shards[i].tick_us -
+                    sample.remote_sent_ticks * shards[j].tick_us;
+        delta[i][j] = std::min(delta[i][j], d);
+      }
+    }
+  }
+
+  // Reference: lexicographically smallest (endpoint, incarnation).
+  size_t ref = 0;
+  for (size_t i = 1; i < n; ++i) {
+    const TraceShard& a = shards[i];
+    const TraceShard& b = shards[ref];
+    if (a.endpoint < b.endpoint ||
+        (a.endpoint == b.endpoint && a.incarnation < b.incarnation)) {
+      ref = i;
+    }
+  }
+
+  // BFS from the reference over every shard pair with at least one
+  // directional sample. offset[i] = clock_i - clock_ref in µs; for an
+  // edge i -> j, clock_j - clock_i is the NTP midpoint when both
+  // directions were sampled, the single direction's minimum gap
+  // otherwise (zero-latency assumption).
+  std::vector<int64_t> offset(n, 0);
+  std::vector<bool> placed(n, false);
+  placed[ref] = true;
+  std::vector<size_t> frontier{ref};
+  while (!frontier.empty()) {
+    std::vector<size_t> next;
+    for (size_t i : frontier) {
+      for (size_t j = 0; j < n; ++j) {
+        if (placed[j]) continue;
+        int64_t fwd = delta[j][i];  // j received from i: clock_j - clock_i
+        int64_t rev = delta[i][j];  // i received from j
+        int64_t edge;
+        if (fwd != kNone && rev != kNone) {
+          edge = (fwd - rev) / 2;
+        } else if (fwd != kNone) {
+          edge = fwd;
+        } else if (rev != kNone) {
+          edge = -rev;
+        } else {
+          continue;
+        }
+        offset[j] = offset[i] + edge;
+        placed[j] = true;
+        next.push_back(j);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  if (stats != nullptr) {
+    stats->shards = n;
+    stats->reference = n == 0 ? "" : ShardLabel(shards[ref]);
+    for (size_t i = 0; i < n; ++i) {
+      stats->offsets_us[ShardLabel(shards[i])] = offset[i];
+    }
+  }
+  return offset;
+}
+
+/// One record placed on the merged timeline.
+struct Placed {
+  size_t shard = 0;
+  const obs::TraceRecord* rec = nullptr;
+  int64_t ts_us = 0;  ///< aligned, pre-shift
+};
+
+/// Aligns every record and computes the flow pairing + the shift that
+/// puts the earliest event at t=0.
+std::vector<Placed> PlaceRecords(const std::vector<TraceShard>& shards,
+                                 const std::vector<int64_t>& offset,
+                                 MergeStats* stats) {
+  std::vector<Placed> placed;
+  std::map<uint64_t, int64_t> flow_begin_ts;
+  std::map<uint64_t, bool> flow_has_end;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    for (const obs::TraceRecord& r : shards[i].records) {
+      Placed p;
+      p.shard = i;
+      p.rec = &r;
+      p.ts_us = r.time * shards[i].tick_us - offset[i];
+      if (r.phase == obs::TracePhase::kFlowBegin) {
+        if (stats != nullptr) ++stats->flow_begins;
+        auto it = flow_begin_ts.find(r.flow);
+        if (it == flow_begin_ts.end() || p.ts_us < it->second) {
+          flow_begin_ts[r.flow] = p.ts_us;
+        }
+      } else if (r.phase == obs::TracePhase::kFlowEnd) {
+        if (stats != nullptr) ++stats->flow_ends;
+        flow_has_end[r.flow] = true;
+      }
+      placed.push_back(p);
+    }
+  }
+  // Clock estimation is approximate: clamp a flow end that aligned
+  // before its begin up to the begin, so no span renders negative.
+  for (Placed& p : placed) {
+    if (p.rec->phase != obs::TracePhase::kFlowEnd) continue;
+    auto it = flow_begin_ts.find(p.rec->flow);
+    if (it != flow_begin_ts.end() && p.ts_us < it->second) {
+      p.ts_us = it->second;
+    }
+  }
+  if (stats != nullptr) {
+    for (const auto& [flow, begin_ts] : flow_begin_ts) {
+      if (flow_has_end.count(flow) != 0) ++stats->matched_flows;
+    }
+    stats->events = placed.size();
+  }
+  int64_t min_ts = 0;
+  bool any = false;
+  for (const Placed& p : placed) {
+    if (!any || p.ts_us < min_ts) min_ts = p.ts_us;
+    any = true;
+  }
+  for (Placed& p : placed) p.ts_us -= min_ts;
+  std::stable_sort(placed.begin(), placed.end(),
+                   [](const Placed& a, const Placed& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return placed;
+}
+
+std::string MergedDisplayName(const obs::TraceRecord& r) {
+  std::string name = r.name;
+  if (!r.instance.workflow.empty() || r.instance.number != 0) {
+    name += " " + r.instance.ToString();
+  }
+  if (r.step != kInvalidStep) name += " S" + std::to_string(r.step);
+  return name;
+}
+
+void AppendMergedArgs(std::string* out, const obs::TraceRecord& r,
+                      const TraceShard& shard) {
+  *out += "\"args\":{\"endpoint\":\"" + obs::JsonEscape(shard.endpoint) +
+          "\",\"incarnation\":" + std::to_string(shard.incarnation) +
+          ",\"instance\":\"" + obs::JsonEscape(r.instance.ToString()) +
+          "\",\"step\":" + std::to_string(r.step) + ",\"category\":\"" +
+          obs::TraceCategoryLabel(r.category) + "\"";
+  if (r.value != 0) *out += ",\"value\":" + std::to_string(r.value);
+  if (!r.detail.empty()) {
+    *out += ",\"detail\":\"" + obs::JsonEscape(r.detail) + "\"";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+TraceShard ShardFromRing(const obs::RingBufferTracer& ring,
+                         std::string endpoint, uint64_t incarnation,
+                         int64_t tick_us, std::vector<ClockSample> clocks) {
+  TraceShard shard;
+  shard.endpoint = std::move(endpoint);
+  shard.incarnation = incarnation;
+  shard.tick_us = tick_us;
+  shard.clocks = std::move(clocks);
+  shard.node_names = ring.node_names();
+  shard.records.assign(ring.records().begin(), ring.records().end());
+  return shard;
+}
+
+Status WriteTraceShard(const TraceShard& shard, const std::string& path) {
+  runtime::KvWriter kv;
+  kv.Add("endpoint", shard.endpoint);
+  kv.AddInt("incarnation", static_cast<int64_t>(shard.incarnation));
+  kv.AddInt("tick_us", shard.tick_us);
+  for (const ClockSample& c : shard.clocks) {
+    std::string line = EscapeField(c.peer) + "|" +
+                       std::to_string(c.peer_incarnation) + "|" +
+                       std::to_string(c.remote_sent_ticks) + "|" +
+                       std::to_string(c.local_recv_ticks) + "|" +
+                       std::to_string(c.count);
+    kv.Add("clock", line);
+  }
+  for (const auto& [node, name] : shard.node_names) {
+    kv.Add("node_name", std::to_string(node) + "|" + EscapeField(name));
+  }
+  for (const obs::TraceRecord& r : shard.records) {
+    std::string line =
+        std::to_string(r.time) + "|" + std::to_string(r.dur) + "|" +
+        std::to_string(static_cast<int>(r.phase)) + "|" +
+        std::to_string(static_cast<int>(r.kind)) + "|" +
+        std::to_string(r.node) + "|" + EscapeField(r.instance.workflow) +
+        "|" + std::to_string(r.instance.number) + "|" +
+        std::to_string(r.step) + "|" + std::to_string(r.category) + "|" +
+        std::to_string(r.value) + "|" + std::to_string(r.flow) + "|" +
+        EscapeField(r.name) + "|" + EscapeField(r.detail);
+    kv.Add("rec", line);
+  }
+  return WriteFile(path, kv.Finish());
+}
+
+Result<TraceShard> LoadTraceShard(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Unavailable("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<runtime::KvReader> reader = runtime::KvReader::Parse(buffer.str());
+  if (!reader.ok()) return reader.status();
+  const runtime::KvReader& kv = reader.value();
+
+  TraceShard shard;
+  Result<std::string> endpoint = kv.GetRequired("endpoint");
+  if (!endpoint.ok()) {
+    return Status::Corruption("shard " + path + " missing endpoint");
+  }
+  shard.endpoint = std::move(endpoint).value();
+  shard.incarnation = static_cast<uint64_t>(kv.GetIntOr("incarnation", 1));
+  shard.tick_us = kv.GetIntOr("tick_us", 50);
+  if (shard.tick_us <= 0) {
+    return Status::Corruption("shard " + path + " has bad tick_us");
+  }
+  for (const std::string& line : kv.GetAll("clock")) {
+    std::vector<std::string> f = SplitFields(line);
+    if (f.size() != 5) {
+      return Status::Corruption("shard " + path + " has bad clock line");
+    }
+    ClockSample c;
+    c.peer = UnescapeField(f[0]);
+    c.peer_incarnation = ParseU64(f[1]);
+    c.remote_sent_ticks = ParseI64(f[2]);
+    c.local_recv_ticks = ParseI64(f[3]);
+    c.count = ParseI64(f[4]);
+    shard.clocks.push_back(std::move(c));
+  }
+  for (const std::string& line : kv.GetAll("node_name")) {
+    std::vector<std::string> f = SplitFields(line);
+    if (f.size() != 2) {
+      return Status::Corruption("shard " + path + " has bad node_name line");
+    }
+    shard.node_names[static_cast<NodeId>(ParseI64(f[0]))] =
+        UnescapeField(f[1]);
+  }
+  for (const std::string& line : kv.GetAll("rec")) {
+    std::vector<std::string> f = SplitFields(line);
+    if (f.size() != 13) {
+      return Status::Corruption("shard " + path + " has bad rec line");
+    }
+    obs::TraceRecord r;
+    r.time = ParseI64(f[0]);
+    r.dur = ParseI64(f[1]);
+    r.phase = static_cast<obs::TracePhase>(ParseI64(f[2]));
+    r.kind = static_cast<obs::SpanKind>(ParseI64(f[3]));
+    r.node = static_cast<NodeId>(ParseI64(f[4]));
+    r.instance.workflow = UnescapeField(f[5]);
+    r.instance.number = ParseI64(f[6]);
+    r.step = static_cast<StepId>(ParseI64(f[7]));
+    r.category = static_cast<int>(ParseI64(f[8]));
+    r.value = ParseI64(f[9]);
+    r.flow = ParseU64(f[10]);
+    r.name = UnescapeField(f[11]);
+    r.detail = UnescapeField(f[12]);
+    shard.records.push_back(std::move(r));
+  }
+  return shard;
+}
+
+std::string MergeTraceShards(const std::vector<TraceShard>& shards,
+                             MergeStats* stats) {
+  if (stats != nullptr) *stats = MergeStats{};
+  std::vector<int64_t> offset = EstimateOffsets(shards, stats);
+  std::vector<Placed> placed = PlaceRecords(shards, offset, stats);
+
+  std::string out;
+  out.reserve(placed.size() * 200 + 2048);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const TraceShard& shard = shards[i];
+    int64_t pid = static_cast<int64_t>(i) + 1;
+    comma();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+           obs::JsonEscape(ShardLabel(shard)) + "\"}}";
+    std::map<NodeId, std::string> tracks = shard.node_names;
+    for (const obs::TraceRecord& r : shard.records) {
+      if (r.node != kInvalidNode && tracks.find(r.node) == tracks.end()) {
+        tracks[r.node] = "node-" + std::to_string(r.node);
+      }
+    }
+    for (const auto& [node, name] : tracks) {
+      comma();
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(pid) + ",\"tid\":" + std::to_string(node) +
+             ",\"args\":{\"name\":\"" + obs::JsonEscape(name) + "\"}}";
+    }
+  }
+
+  for (const Placed& p : placed) {
+    const obs::TraceRecord& r = *p.rec;
+    const TraceShard& shard = shards[p.shard];
+    int64_t pid = static_cast<int64_t>(p.shard) + 1;
+    NodeId tid = r.node == kInvalidNode ? 0 : r.node;
+    std::string cat = std::string(obs::SpanKindName(r.kind)) + "," +
+                      obs::TraceCategoryLabel(r.category);
+    comma();
+    if (r.phase == obs::TracePhase::kComplete) {
+      int64_t dur_us = std::max<int64_t>(r.dur, 0) * shard.tick_us;
+      out += "{\"name\":\"" + obs::JsonEscape(MergedDisplayName(r)) +
+             "\",\"cat\":\"" + cat + "\",\"ph\":\"X\",\"ts\":" +
+             std::to_string(p.ts_us) + ",\"dur\":" + std::to_string(dur_us) +
+             ",\"pid\":" + std::to_string(pid) + ",\"tid\":" +
+             std::to_string(tid) + ",";
+      AppendMergedArgs(&out, r, shard);
+      out += "}";
+    } else if (r.phase == obs::TracePhase::kFlowBegin ||
+               r.phase == obs::TracePhase::kFlowEnd) {
+      // The two halves — recorded in different processes — carry the
+      // same flow id, name and categories, which is exactly what the
+      // async-event ("b"/"e") matching keys on: the viewer draws one
+      // span from the sender's Begin to the receiver's End.
+      char id[24];
+      std::snprintf(id, sizeof(id), "0x%" PRIx64, r.flow);
+      out += "{\"name\":\"" + obs::JsonEscape(r.name) + "\",\"cat\":\"" +
+             cat + "\",\"ph\":\"" +
+             (r.phase == obs::TracePhase::kFlowBegin ? "b" : "e") +
+             "\",\"id\":\"" + id + "\",\"ts\":" + std::to_string(p.ts_us) +
+             ",\"pid\":" + std::to_string(pid) + ",\"tid\":" +
+             std::to_string(tid) + ",";
+      AppendMergedArgs(&out, r, shard);
+      out += "}";
+    } else {
+      out += "{\"name\":\"" + obs::JsonEscape(MergedDisplayName(r)) +
+             "\",\"cat\":\"" + cat + "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+             std::to_string(p.ts_us) + ",\"pid\":" + std::to_string(pid) +
+             ",\"tid\":" + std::to_string(tid) + ",";
+      AppendMergedArgs(&out, r, shard);
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteMergedTrace(const std::vector<TraceShard>& shards,
+                        const std::string& path, MergeStats* stats) {
+  return WriteFile(path, MergeTraceShards(shards, stats));
+}
+
+std::string MergedJsonl(const std::vector<TraceShard>& shards,
+                        MergeStats* stats) {
+  if (stats != nullptr) *stats = MergeStats{};
+  std::vector<int64_t> offset = EstimateOffsets(shards, stats);
+  std::vector<Placed> placed = PlaceRecords(shards, offset, stats);
+  std::string out;
+  out.reserve(placed.size() * 160);
+  for (const Placed& p : placed) {
+    const obs::TraceRecord& r = *p.rec;
+    const TraceShard& shard = shards[p.shard];
+    out += "{\"ts_us\":" + std::to_string(p.ts_us) + ",\"endpoint\":\"" +
+           obs::JsonEscape(shard.endpoint) + "\",\"incarnation\":" +
+           std::to_string(shard.incarnation);
+    if (r.phase == obs::TracePhase::kComplete) {
+      out += ",\"dur_us\":" +
+             std::to_string(std::max<int64_t>(r.dur, 0) * shard.tick_us);
+    }
+    if (r.phase == obs::TracePhase::kFlowBegin ||
+        r.phase == obs::TracePhase::kFlowEnd) {
+      char flow[48];
+      std::snprintf(
+          flow, sizeof(flow), ",\"ph\":\"%s\",\"flow\":\"0x%" PRIx64 "\"",
+          r.phase == obs::TracePhase::kFlowBegin ? "fb" : "fe", r.flow);
+      out += flow;
+    }
+    out += ",\"kind\":\"" + std::string(obs::SpanKindName(r.kind)) +
+           "\",\"name\":\"" + obs::JsonEscape(r.name) + "\",\"node\":" +
+           std::to_string(r.node) + ",\"category\":\"" +
+           obs::TraceCategoryLabel(r.category) + "\"";
+    if (r.value != 0) out += ",\"value\":" + std::to_string(r.value);
+    if (!r.detail.empty()) {
+      out += ",\"detail\":\"" + obs::JsonEscape(r.detail) + "\"";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace crew::net

@@ -1,0 +1,89 @@
+// crew_trace_merge: joins per-process trace shards (written by
+// crew_node --trace-shard) into one clock-aligned Chrome trace.
+//
+//   crew_trace_merge --out merged.json [--jsonl merged.jsonl]
+//       node-a.inc1.shard node-b.inc1.shard ...
+//
+// Loads every shard, estimates per-process clock offsets from the
+// HELLO exchange samples embedded in the shards, and writes a single
+// Perfetto-loadable file (plus an optional aligned JSONL). Prints a
+// one-line summary of the merge to stderr.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/trace_merge.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --out <merged.json> [--jsonl <merged.jsonl>] "
+               "<shard>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string jsonl_path;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--jsonl" && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      shard_paths.push_back(std::move(arg));
+    }
+  }
+  if (out_path.empty() || shard_paths.empty()) return Usage(argv[0]);
+
+  std::vector<crew::net::TraceShard> shards;
+  for (const std::string& path : shard_paths) {
+    crew::Result<crew::net::TraceShard> shard =
+        crew::net::LoadTraceShard(path);
+    if (!shard.ok()) {
+      std::fprintf(stderr, "crew_trace_merge: %s: %s\n", path.c_str(),
+                   shard.status().ToString().c_str());
+      return 1;
+    }
+    shards.push_back(std::move(shard).value());
+  }
+
+  crew::net::MergeStats stats;
+  crew::Status status =
+      crew::net::WriteMergedTrace(shards, out_path, &stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "crew_trace_merge: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  if (!jsonl_path.empty()) {
+    std::string jsonl = crew::net::MergedJsonl(shards);
+    FILE* f = std::fopen(jsonl_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "crew_trace_merge: cannot open %s\n",
+                   jsonl_path.c_str());
+      return 1;
+    }
+    std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+    std::fclose(f);
+  }
+  std::fprintf(stderr,
+               "crew_trace_merge: %zu shards, %zu events, "
+               "%zu/%zu flow halves matched into %zu spans, reference %s\n",
+               stats.shards, stats.events, stats.flow_begins,
+               stats.flow_ends, stats.matched_flows,
+               stats.reference.c_str());
+  return 0;
+}

@@ -162,6 +162,40 @@ void Tracer::Complete(SpanKind kind, NodeId node, const InstanceId& instance,
   Record(std::move(r));
 }
 
+void Tracer::FlowBegin(SpanKind kind, NodeId node, uint64_t flow,
+                       std::string name, int64_t begin_time, int category,
+                       std::string detail, int64_t value) {
+  if (!enabled()) return;
+  TraceRecord r;
+  r.time = begin_time;
+  r.phase = TracePhase::kFlowBegin;
+  r.kind = kind;
+  r.node = node;
+  r.category = category;
+  r.value = value;
+  r.flow = flow;
+  r.name = std::move(name);
+  r.detail = std::move(detail);
+  Record(std::move(r));
+}
+
+void Tracer::FlowEnd(SpanKind kind, NodeId node, uint64_t flow,
+                     std::string name, int category, std::string detail,
+                     int64_t value) {
+  if (!enabled()) return;
+  TraceRecord r;
+  r.time = now();
+  r.phase = TracePhase::kFlowEnd;
+  r.kind = kind;
+  r.node = node;
+  r.category = category;
+  r.value = value;
+  r.flow = flow;
+  r.name = std::move(name);
+  r.detail = std::move(detail);
+  Record(std::move(r));
+}
+
 // ----------------------------------------------------- LatencyHistogram
 
 LatencyHistogram::LatencyHistogram(std::string name, std::string unit)
@@ -297,6 +331,14 @@ void RingBufferTracer::FeedHistograms(const TraceRecord& record) {
 }
 
 void RingBufferTracer::Record(TraceRecord record) {
+  if (record.phase == TracePhase::kFlowBegin ||
+      record.phase == TracePhase::kFlowEnd) {
+    // Half of a cross-process span: the matching half lives in another
+    // process's ring, so there is nothing to pair locally — store as-is
+    // for the shard export and let the trace merge pair by flow id.
+    Push(std::move(record));
+    return;
+  }
   SpanKey key{static_cast<int>(record.kind), record.instance, record.step,
               record.name};
   if (record.phase == TracePhase::kBegin) {
@@ -397,6 +439,18 @@ std::string RingBufferTracer::ChromeTraceJson() const {
              ",\"pid\":0,\"tid\":" + std::to_string(tid) + ",";
       AppendArgs(&out, r);
       out += "}";
+    } else if (r.phase == TracePhase::kFlowBegin ||
+               r.phase == TracePhase::kFlowEnd) {
+      // Async begin/end: Chrome/Perfetto pair them by (cat, id, name).
+      char id[24];
+      std::snprintf(id, sizeof(id), "0x%" PRIx64, r.flow);
+      out += "{\"name\":\"" + JsonEscape(r.name) + "\",\"cat\":\"" + cat +
+             "\",\"ph\":\"" +
+             (r.phase == TracePhase::kFlowBegin ? "b" : "e") +
+             "\",\"id\":\"" + id + "\",\"ts\":" + std::to_string(r.time) +
+             ",\"pid\":0,\"tid\":" + std::to_string(tid) + ",";
+      AppendArgs(&out, r);
+      out += "}";
     } else {
       out += "{\"name\":\"" + JsonEscape(DisplayName(r)) + "\",\"cat\":\"" +
              cat + "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
@@ -417,6 +471,14 @@ std::string RingBufferTracer::JsonlLog() const {
     out += "{\"t\":" + std::to_string(r.time);
     if (r.phase == TracePhase::kComplete) {
       out += ",\"dur\":" + std::to_string(r.dur);
+    }
+    if (r.phase == TracePhase::kFlowBegin ||
+        r.phase == TracePhase::kFlowEnd) {
+      char flow[48];
+      std::snprintf(flow, sizeof(flow), ",\"ph\":\"%s\",\"flow\":\"0x%" PRIx64
+                    "\"",
+                    r.phase == TracePhase::kFlowBegin ? "fb" : "fe", r.flow);
+      out += flow;
     }
     out += ",\"kind\":\"" + std::string(SpanKindName(r.kind)) +
            "\",\"name\":\"" + JsonEscape(r.name) + "\",\"node\":" +

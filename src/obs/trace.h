@@ -31,7 +31,18 @@ inline constexpr int kNumSpanKinds = 7;
 
 /// Record phase. Begin/End pairs are matched by the sink on the key
 /// (kind, instance, step, name); Complete carries its duration directly.
-enum class TracePhase { kBegin = 0, kEnd, kInstant, kComplete };
+/// FlowBegin/FlowEnd are the two halves of a *cross-process* span: the
+/// sink stores them unmatched (the halves live in different processes'
+/// rings) and the trace merge step pairs them by `flow` id after
+/// aligning the shard clocks.
+enum class TracePhase {
+  kBegin = 0,
+  kEnd,
+  kInstant,
+  kComplete,
+  kFlowBegin,
+  kFlowEnd,
+};
 
 /// One structured trace record, stamped with virtual time. `category` is
 /// a sim::MsgCategory cast to int (obs deliberately does not depend on
@@ -46,6 +57,7 @@ struct TraceRecord {
   StepId step = kInvalidStep;
   int category = 0;   // sim::MsgCategory value
   int64_t value = 0;  // kind-specific payload (rollback depth, cost, ...)
+  uint64_t flow = 0;  // cross-process span id (kFlowBegin/kFlowEnd only)
   std::string name;   // span identity within the key ("step", "mutex.wait")
   std::string detail; // freeform annotation, shown in export args
 };
@@ -98,6 +110,17 @@ class Tracer {
   void Complete(SpanKind kind, NodeId node, const InstanceId& instance,
                 StepId step, std::string name, int64_t begin_time,
                 int64_t dur, int category = 0, std::string detail = {});
+  /// Opens the sender half of a cross-process span. `begin_time` is the
+  /// caller's clock reading (the transport stamps its own send tick,
+  /// which is not this tracer's now()). Closed by a FlowEnd with the
+  /// same `flow` id, typically recorded in a different process.
+  void FlowBegin(SpanKind kind, NodeId node, uint64_t flow,
+                 std::string name, int64_t begin_time, int category = 0,
+                 std::string detail = {}, int64_t value = 0);
+  /// Closes the receiver half of a cross-process span at now().
+  void FlowEnd(SpanKind kind, NodeId node, uint64_t flow, std::string name,
+               int category = 0, std::string detail = {},
+               int64_t value = 0);
 
  protected:
   const int64_t* clock_ = nullptr;
@@ -160,6 +183,10 @@ class RingBufferTracer : public Tracer {
   void SetNodeName(NodeId node, const std::string& name) override;
 
   const std::deque<TraceRecord>& records() const { return records_; }
+  /// Display names registered via SetNodeName (for shard export).
+  const std::map<NodeId, std::string>& node_names() const {
+    return node_names_;
+  }
   int64_t recorded() const { return recorded_; }
   int64_t dropped() const { return dropped_; }
   int64_t unmatched_ends() const { return unmatched_ends_; }

@@ -135,6 +135,12 @@ struct Runtime::Cell {
   std::atomic<bool> down_flag{false};
   std::vector<std::pair<sim::Time, sim::Message>> parked;
 
+  /// Point-in-time copy of `metrics`, written by this cell's own worker
+  /// (a SampleMetrics copy task), read by telemetry threads. Keeps the
+  /// live shard single-writer while still allowing mid-run scrapes.
+  mutable std::mutex snapshot_mu;
+  sim::Metrics snapshot;  // under snapshot_mu
+
   std::atomic<int64_t> delivered{0};
   std::atomic<int64_t> parked_total{0};
 
@@ -248,13 +254,25 @@ void Runtime::PushDelivery(Cell* cell, sim::Message message,
   cell->mailbox.ForcePush([this, cell, sent, m = std::move(message)]() {
     cell->delivered.fetch_add(1, std::memory_order_relaxed);
     if (tracer_->enabled()) {
-      // Same span the sim Network emits: send -> dispatch, covering any
-      // time parked for a down node.
-      tracer_->Complete(obs::SpanKind::kMessage, m.to, InstanceId{},
-                        kInvalidStep, "msg:" + m.type, sent, now() - sent,
-                        static_cast<int>(m.category),
-                        std::to_string(m.from) + "->" +
-                            std::to_string(m.to));
+      if (m.trace_id != 0) {
+        // Remote traced message: close the sender's flow span rather
+        // than emitting a local one. The merge step pairs this FlowEnd
+        // with the sending process's FlowBegin of the same id into one
+        // cross-process kMessage span on the aligned timeline.
+        tracer_->FlowEnd(obs::SpanKind::kMessage, m.to, m.trace_id,
+                         "msg:" + m.type, static_cast<int>(m.category),
+                         std::to_string(m.from) + "->" +
+                             std::to_string(m.to),
+                         m.trace_sent_ticks);
+      } else {
+        // Same span the sim Network emits: send -> dispatch, covering
+        // any time parked for a down node.
+        tracer_->Complete(obs::SpanKind::kMessage, m.to, InstanceId{},
+                          kInvalidStep, "msg:" + m.type, sent, now() - sent,
+                          static_cast<int>(m.category),
+                          std::to_string(m.from) + "->" +
+                              std::to_string(m.to));
+      }
     }
     cell->handler->HandleMessage(m);
   });
@@ -466,8 +484,58 @@ RuntimeStats Runtime::Stats() const {
     stats.mailbox_parks += cell->mailbox.parks();
     stats.max_mailbox_depth =
         std::max(stats.max_mailbox_depth, cell->mailbox.max_depth());
+    stats.mailbox_depth += cell->mailbox.size();
   }
   return stats;
+}
+
+obs::Tracer* Runtime::tracer() const { return tracer_.get(); }
+
+sim::Metrics Runtime::SampleMetrics(std::chrono::milliseconds wait) {
+  if (!started_ || shut_down_) {
+    // No workers running: this thread is the only writer, copy directly.
+    for (auto& [id, cell] : cells_) {
+      std::lock_guard<std::mutex> lock(cell->snapshot_mu);
+      cell->snapshot = cell->metrics;
+    }
+    return LatestMetricsSnapshot();
+  }
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending = 0;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->pending = cells_.size();
+  for (auto& [id, cell] : cells_) {
+    Cell* c = cell.get();
+    // ForcePush: a full mailbox must not block telemetry, and the copy
+    // task runs on the cell's own worker — the one legal reader of the
+    // live shard. A closed mailbox drops the task; the bounded wait
+    // below then simply times out.
+    c->mailbox.ForcePush([c, latch]() {
+      {
+        std::lock_guard<std::mutex> lock(c->snapshot_mu);
+        c->snapshot = c->metrics;
+      }
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (--latch->pending == 0) latch->cv.notify_all();
+    });
+  }
+  if (wait.count() > 0) {
+    std::unique_lock<std::mutex> lock(latch->mu);
+    latch->cv.wait_for(lock, wait, [&] { return latch->pending == 0; });
+  }
+  return LatestMetricsSnapshot();
+}
+
+sim::Metrics Runtime::LatestMetricsSnapshot() const {
+  sim::Metrics merged;
+  for (const auto& [id, cell] : cells_) {
+    std::lock_guard<std::mutex> lock(cell->snapshot_mu);
+    merged.MergeFrom(cell->snapshot);
+  }
+  return merged;
 }
 
 }  // namespace crew::rt

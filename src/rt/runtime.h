@@ -61,6 +61,7 @@ struct RuntimeStats {
   int64_t timers_fired = 0;        // delayed callbacks dispatched
   int64_t mailbox_parks = 0;       // consumer condvar waits (all cells)
   size_t max_mailbox_depth = 0;    // deepest queue seen on any cell
+  size_t mailbox_depth = 0;        // gauge: tasks queued now, all cells
   int num_workers = 0;
 };
 
@@ -118,6 +119,26 @@ class Runtime : public sim::Backend {
   /// Sum of all per-cell metrics shards. Call only when quiescent (after
   /// Quiesce() or Shutdown()); each shard is single-writer by its cell.
   sim::Metrics MergedMetrics() const;
+
+  /// Live (mid-run) merged metrics: asks every cell, on its own worker,
+  /// to copy its shard into a locked snapshot slot, waits up to `wait`
+  /// for the copies, then merges whatever snapshots exist. Cells that
+  /// did not get to their copy task in time contribute their *previous*
+  /// snapshot (possibly empty) — the wait is bounded, never exact. The
+  /// single-writer shard discipline is preserved: no foreign thread
+  /// ever reads a live shard. Safe before Start() and after Shutdown()
+  /// (copies directly — the caller is then the only thread).
+  sim::Metrics SampleMetrics(std::chrono::milliseconds wait);
+
+  /// Merge of the snapshots taken by previous SampleMetrics calls,
+  /// without requesting new copies. Cheap; callable from any thread.
+  sim::Metrics LatestMetricsSnapshot() const;
+
+  /// The serializing tracer shared by all cells — never null (a no-op
+  /// wrapper when options.tracer was null). The socket transport takes
+  /// this as its flow-span sink so sender-side spans serialize with the
+  /// cells' own records.
+  obs::Tracer* tracer() const;
 
   RuntimeStats Stats() const;
 

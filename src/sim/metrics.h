@@ -53,6 +53,8 @@ class Metrics {
   /// Free-form named counters for subsystem statistics that do not fit
   /// the message/load taxonomy (e.g. conflict-tracker shard contention).
   /// Dotted names group related counters ("conflict_tracker.acquires").
+  /// Stored in a sorted map, so counters() iteration — and therefore
+  /// the "counters" object in ReportJson() — is always in key order.
   void AddCounter(const std::string& name, int64_t delta);
   int64_t Counter(const std::string& name) const;
   const std::map<std::string, int64_t>& counters() const {
@@ -100,6 +102,11 @@ class Metrics {
   /// message totals, per-category and per-type counts, and per-node
   /// load. Benches write this next to their stdout tables so
   /// BENCH_*.json trajectories need no text scraping.
+  ///
+  /// Byte-stable: every compound key (by_type, by_node, counters) is
+  /// backed by a sorted map, so two Metrics holding the same counts
+  /// serialize to identical bytes regardless of the order the counts
+  /// (or MergeFrom shards) arrived in. Telemetry diffs rely on this.
   std::string ReportJson() const;
 
  private:

@@ -24,6 +24,14 @@ struct Message {
   std::string type;
   std::string payload;
   MsgCategory category = MsgCategory::kNormal;
+
+  /// Cross-process trace context, carried in wire frames (net::frame).
+  /// 0 / -1 = untraced: the in-process backends (sim, rt) never set
+  /// these; the socket transport assigns an id at send when tracing is
+  /// on, and the receiving runtime closes the sender's kMessage flow
+  /// span instead of emitting a local one.
+  uint64_t trace_id = 0;
+  int64_t trace_sent_ticks = -1;  ///< sender-local send time (its ticks)
 };
 
 /// Destination for messages. Agents and engines implement this.

@@ -13,12 +13,16 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/supervisor.h"
 #include "net/testbed.h"
 #include "net/topology.h"
+#include "net/trace_merge.h"
+#include "obs/trace.h"
 #include "rt/runtime.h"
 #include "runtime/wire.h"
 
@@ -179,6 +183,105 @@ TEST(NetProcTest, KillAndRestartMidRunStillMatchesInProcessRun) {
   for (const auto& [i, state] : baseline) {
     EXPECT_EQ(processes.at(i), state) << "instance " << i;
   }
+}
+
+/// Incarnation-scoped flow ids across a real SIGKILL+restart: the
+/// restarted process mints trace ids carrying its new incarnation, so
+/// none of its spans can ever pair with a Begin recorded by its
+/// pre-crash life (whose ring died with it and whose shard was never
+/// written). The merged trace must still stitch at least one live
+/// cross-process span out of the surviving shards.
+TEST(NetProcTest, TracedKillAndRestartKeepsIncarnationsSeparate) {
+  TempDir dir;
+  TestbedOptions testbed_options = DistOptions();
+  Result<Topology> topology =
+      Testbed::UnixTopology(testbed_options, dir.path, kEndpoints);
+  ASSERT_TRUE(topology.ok()) << topology.status().ToString();
+  std::string topology_file = dir.path + "/topology.txt";
+  ASSERT_TRUE(topology.value().Save(topology_file).ok());
+
+  LaunchOptions options;
+  options.node_binary = CREW_NODE_BIN;
+  options.topology_file = topology_file;
+  options.mode = "dist";
+  options.num_agents = kAgents;
+  options.num_instances = kInstances;
+  options.seed = kSeed;
+  options.tick_us = 20;
+  options.agdb_dir = dir.path + "/agdb";
+  mkdir(options.agdb_dir.c_str(), 0755);
+  options.trace_dir = dir.path + "/trace";
+  mkdir(options.trace_dir.c_str(), 0755);
+
+  Supervisor supervisor(topology.value(), options);
+  ASSERT_TRUE(supervisor.StartAll().ok());
+
+  // Live scrape while the cluster runs: every process must answer the
+  // `telemetry` control verb with a JSON document (poll — the control
+  // sockets come up asynchronously after spawn).
+  std::vector<NodeTelemetry> live;
+  auto scrape_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (live.size() < static_cast<size_t>(kEndpoints) &&
+         std::chrono::steady_clock::now() < scrape_deadline) {
+    live = supervisor.CollectTelemetry();
+    if (live.size() < static_cast<size_t>(kEndpoints)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ASSERT_EQ(live.size(), static_cast<size_t>(kEndpoints));
+  for (const NodeTelemetry& node : live) {
+    EXPECT_NE(node.json.find("\"frames_sent\":"), std::string::npos);
+    EXPECT_NE(node.json.find("\"messages\":{\"total\":"), std::string::npos);
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Endpoint victim = supervisor.processes().back().endpoint;
+  ASSERT_TRUE(supervisor.Kill(victim).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(supervisor.Restart(victim).ok());
+
+  ASSERT_TRUE(supervisor.WaitQuiescent(/*timeout_ms=*/120000).ok());
+  supervisor.ShutdownAll();
+
+  // Four incarnations were traced; the SIGKILLed one never wrote its
+  // shard (that is the point — its ring died with the process).
+  std::vector<std::string> paths = supervisor.TraceShardPaths();
+  ASSERT_EQ(paths.size(), static_cast<size_t>(kEndpoints) + 1);
+  std::vector<TraceShard> shards;
+  for (const std::string& path : paths) {
+    Result<TraceShard> shard = LoadTraceShard(path);
+    if (shard.ok()) shards.push_back(std::move(shard).value());
+  }
+  ASSERT_EQ(shards.size(), static_cast<size_t>(kEndpoints));
+
+  const TraceShard* victim_shard = nullptr;
+  std::set<uint64_t> all_begin_ids;
+  size_t total_begins = 0;
+  for (const TraceShard& shard : shards) {
+    bool is_victim = shard.endpoint == victim.Address();
+    EXPECT_EQ(shard.incarnation, is_victim ? 2u : 1u) << shard.endpoint;
+    if (is_victim) victim_shard = &shard;
+    for (const obs::TraceRecord& r : shard.records) {
+      if (r.phase != obs::TracePhase::kFlowBegin) continue;
+      ++total_begins;
+      all_begin_ids.insert(r.flow);
+      // Minted ids carry the minting incarnation in bits 47..32.
+      EXPECT_EQ((r.flow >> 32) & 0xffff, shard.incarnation)
+          << shard.endpoint;
+    }
+  }
+  ASSERT_NE(victim_shard, nullptr);
+  // Globally unique: a restarted process cannot re-mint a pre-crash id.
+  EXPECT_EQ(all_begin_ids.size(), total_begins);
+
+  MergeStats stats;
+  std::string merged = MergeTraceShards(shards, &stats);
+  EXPECT_EQ(stats.shards, static_cast<size_t>(kEndpoints));
+  EXPECT_GE(stats.matched_flows, 1u);
+  EXPECT_NE(merged.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(merged.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(merged.find(victim.Address() + "#inc2"), std::string::npos);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,8 +28,11 @@
 #include "net/control.h"
 #include "net/frame.h"
 #include "net/socket_transport.h"
+#include "net/telemetry.h"
 #include "net/testbed.h"
 #include "net/topology.h"
+#include "net/trace_merge.h"
+#include "obs/trace.h"
 #include "rt/runtime.h"
 #include "runtime/wire.h"
 #include "sim/metrics.h"
@@ -514,6 +518,300 @@ TEST(NetEquivalenceTest, DistTerminalStatesMatchSchedule) {
                                           : WorkflowState::kCommitted;
     EXPECT_EQ(sockets.states.at(i), expected) << "instance " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Trace shards and the cluster-wide merge.
+
+TEST(TraceMergeTest, ShardRoundTripPreservesHostileStrings) {
+  TempDir dir;
+  TraceShard shard;
+  shard.endpoint = "unix:" + dir.path + "/a.sock";
+  shard.incarnation = 3;
+  shard.tick_us = 7;
+  ClockSample clock;
+  clock.peer = "unix:" + dir.path + "/pipe|in|name.sock";
+  clock.peer_incarnation = 2;
+  clock.remote_sent_ticks = 1234;
+  clock.local_recv_ticks = -56;
+  clock.count = 9;
+  shard.clocks.push_back(clock);
+  shard.node_names[4] = "engine|with%weird\nname";
+  obs::TraceRecord rec;
+  rec.time = 100;
+  rec.dur = 25;
+  rec.phase = obs::TracePhase::kComplete;
+  rec.kind = obs::SpanKind::kMessage;
+  rec.node = 4;
+  rec.instance = {"WF|1", 7};
+  rec.step = 2;
+  rec.category = 1;
+  rec.value = -3;
+  rec.name = "msg:100%|done";
+  rec.detail = "a->b\nsecond%7Cline";
+  shard.records.push_back(rec);
+  obs::TraceRecord flow;
+  flow.time = 200;
+  flow.phase = obs::TracePhase::kFlowBegin;
+  flow.kind = obs::SpanKind::kMessage;
+  flow.node = 4;
+  flow.flow = 0xabcdef0123456789ull;
+  flow.name = "msg:wi1";
+  shard.records.push_back(flow);
+
+  std::string path = dir.path + "/x.shard";
+  ASSERT_TRUE(WriteTraceShard(shard, path).ok());
+  Result<TraceShard> loaded = LoadTraceShard(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TraceShard& got = loaded.value();
+  EXPECT_EQ(got.endpoint, shard.endpoint);
+  EXPECT_EQ(got.incarnation, 3u);
+  EXPECT_EQ(got.tick_us, 7);
+  ASSERT_EQ(got.clocks.size(), 1u);
+  EXPECT_EQ(got.clocks[0].peer, clock.peer);
+  EXPECT_EQ(got.clocks[0].peer_incarnation, 2u);
+  EXPECT_EQ(got.clocks[0].remote_sent_ticks, 1234);
+  EXPECT_EQ(got.clocks[0].local_recv_ticks, -56);
+  EXPECT_EQ(got.clocks[0].count, 9);
+  ASSERT_EQ(got.node_names.size(), 1u);
+  EXPECT_EQ(got.node_names.at(4), "engine|with%weird\nname");
+  ASSERT_EQ(got.records.size(), 2u);
+  EXPECT_EQ(got.records[0].time, 100);
+  EXPECT_EQ(got.records[0].dur, 25);
+  EXPECT_EQ(got.records[0].phase, obs::TracePhase::kComplete);
+  EXPECT_EQ(got.records[0].kind, obs::SpanKind::kMessage);
+  EXPECT_EQ(got.records[0].node, 4);
+  EXPECT_EQ(got.records[0].instance.workflow, "WF|1");
+  EXPECT_EQ(got.records[0].instance.number, 7);
+  EXPECT_EQ(got.records[0].step, 2);
+  EXPECT_EQ(got.records[0].category, 1);
+  EXPECT_EQ(got.records[0].value, -3);
+  EXPECT_EQ(got.records[0].name, "msg:100%|done");
+  EXPECT_EQ(got.records[0].detail, "a->b\nsecond%7Cline");
+  EXPECT_EQ(got.records[1].phase, obs::TracePhase::kFlowBegin);
+  EXPECT_EQ(got.records[1].flow, 0xabcdef0123456789ull);
+}
+
+TEST(TraceMergeTest, CorruptRecordLineIsRejectedNotMisparsed) {
+  TempDir dir;
+  TraceShard shard;
+  shard.endpoint = "unix:" + dir.path + "/a.sock";
+  std::string path = dir.path + "/x.shard";
+  ASSERT_TRUE(WriteTraceShard(shard, path).ok());
+  // Append a rec line with too few fields.
+  std::ofstream out(path, std::ios::app);
+  out << "rec=1|2|3\n";
+  out.close();
+  Result<TraceShard> loaded = LoadTraceShard(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+// The tentpole scenario in miniature: two transports (two clocks, one
+// skewed half a second), a traced sender whose Ship() opens the flow
+// span, the receiver closing it, and the merge aligning both shards
+// onto one timeline with the spans paired.
+TEST(TraceMergeTest, CrossProcessFlowSpansStitchAcrossTransports) {
+  TempDir dir;
+  Topology topology = TwoEndpointTopology(dir);
+  Endpoint a = *topology.Find(1);
+  Endpoint b = *topology.Find(2);
+
+  auto epoch = std::chrono::steady_clock::now();
+  auto micros = [epoch]() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  };
+  constexpr int64_t kSkewUs = 500000;  // b's clock runs 0.5s ahead
+
+  obs::RingBufferTracer ring_a;
+  obs::RingBufferTracer ring_b;
+  ring_a.SetNodeName(1, "engine-1");
+  ring_b.SetNodeName(2, "agent-2");
+
+  Recorder received;
+  SocketTransport ta(topology, a, nullptr);
+  SocketTransport tb(topology, b, received.Sink());
+  ta.InstallTelemetry(&ring_a, micros);
+  tb.InstallTelemetry(&ring_b, [micros]() { return micros() + kSkewUs; });
+  ASSERT_TRUE(ta.Bind().ok());
+  ASSERT_TRUE(tb.Bind().ok());
+  ta.Start();
+  tb.Start();
+  ASSERT_TRUE(ta.WaitConnected(std::chrono::seconds(10)));
+  ASSERT_TRUE(tb.WaitConnected(std::chrono::seconds(10)));
+
+  constexpr int kCount = 5;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(ta.Send(Make(1, 2, i)).ok());
+  }
+  ASSERT_TRUE(received.WaitForCount(kCount, std::chrono::seconds(10)));
+
+  // Receiver half: what rt::Runtime::PushDelivery records on delivery.
+  // Trace ids must have propagated over the wire, scoped to the
+  // sender's incarnation (1) so ids can never collide across restarts.
+  for (const sim::Message& m : received.messages) {
+    ASSERT_NE(m.trace_id, 0u);
+    EXPECT_EQ((m.trace_id >> 32) & 0xffff, 1u);
+    EXPECT_GE(m.trace_sent_ticks, 0);
+    obs::TraceRecord end;
+    end.time = micros() + kSkewUs;
+    end.phase = obs::TracePhase::kFlowEnd;
+    end.kind = obs::SpanKind::kMessage;
+    end.node = m.to;
+    end.flow = m.trace_id;
+    end.name = "msg:" + m.type;
+    ring_b.Record(end);
+  }
+
+  ta.Shutdown();
+  tb.Shutdown();
+
+  std::vector<TraceShard> shards;
+  shards.push_back(ShardFromRing(ring_a, a.Address(), /*incarnation=*/1,
+                                 /*tick_us=*/1, ta.ClockSamples()));
+  shards.push_back(ShardFromRing(ring_b, b.Address(), /*incarnation=*/1,
+                                 /*tick_us=*/1, tb.ClockSamples()));
+  ASSERT_FALSE(shards[0].clocks.empty());  // HELLO exchange was sampled
+  ASSERT_FALSE(shards[1].clocks.empty());
+
+  MergeStats stats;
+  std::string merged = MergeTraceShards(shards, &stats);
+  EXPECT_EQ(stats.shards, 2u);
+  EXPECT_EQ(stats.flow_begins, static_cast<size_t>(kCount));
+  EXPECT_EQ(stats.flow_ends, static_cast<size_t>(kCount));
+  EXPECT_EQ(stats.matched_flows, static_cast<size_t>(kCount));
+  EXPECT_EQ(stats.reference, a.Address() + "#inc1");
+
+  // Both halves render as async events under two distinct pids.
+  EXPECT_NE(merged.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(merged.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(merged.find("engine-1"), std::string::npos);
+  EXPECT_NE(merged.find("agent-2"), std::string::npos);
+
+  // The estimator recovers the injected skew from the HELLO samples
+  // (tolerance: connect latency asymmetry, microseconds in practice).
+  ASSERT_EQ(stats.offsets_us.size(), 2u);
+  EXPECT_EQ(stats.offsets_us.at(a.Address() + "#inc1"), 0);
+  int64_t offset_b = stats.offsets_us.at(b.Address() + "#inc1");
+  EXPECT_NEAR(static_cast<double>(offset_b), static_cast<double>(kSkewUs),
+              50000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry documents and cluster aggregation.
+
+TEST(TelemetryTest, ExtractJsonIntFindsAnchorsAndFallsBack) {
+  std::string json = "{\"a\": 5,\"b\":-12,\"c\":\"text\",\"d\":{\"x\":7}}";
+  EXPECT_EQ(ExtractJsonInt(json, "\"a\":"), 5);
+  EXPECT_EQ(ExtractJsonInt(json, "\"b\":"), -12);
+  EXPECT_EQ(ExtractJsonInt(json, "\"d\":{\"x\":"), 7);
+  EXPECT_EQ(ExtractJsonInt(json, "\"missing\":", 42), 42);
+  EXPECT_EQ(ExtractJsonInt(json, "\"c\":", 42), 42);  // not a number
+}
+
+TEST(TelemetryTest, NodeDocumentsAggregateAcrossCluster) {
+  sim::Metrics m1;
+  m1.CountMessage(1, 2, sim::MsgCategory::kNormal, 100, "wi1");
+  m1.CountMessage(1, 2, sim::MsgCategory::kNormal, 60, "wi2");
+  m1.AddLoad(1, sim::LoadCategory::kNavigation, 50);
+  sim::Metrics m2;
+  m2.CountMessage(2, 1, sim::MsgCategory::kAbort, 40, "wi3");
+  m2.AddLoad(2, sim::LoadCategory::kProgram, 9);
+
+  rt::RuntimeStats rs1;
+  rs1.messages_delivered = 11;
+  rs1.mailbox_parks = 3;
+  rs1.mailbox_depth = 2;
+  rt::RuntimeStats rs2;
+  rs2.messages_delivered = 7;
+  rs2.messages_parked = 1;
+
+  SocketTransportStats ts1;
+  ts1.frames_sent = 20;
+  ts1.frames_delivered = 15;
+  ts1.frames_replayed = 4;
+  ts1.retained_bytes = 1000;
+  SocketTransportStats ts2;
+  ts2.frames_sent = 5;
+  ts2.frames_deduped = 2;
+  ts2.reconnects = 1;
+  ts2.held_bytes = 64;
+
+  SocketTransportPeerStats peer;
+  peer.peer = "unix:/tmp/b.sock";
+  peer.connected = true;
+  peer.next_seq = 21;
+  peer.ack_lag_frames = 6;
+  peer.retained_bytes = 1000;
+
+  NodeTelemetry n1{"unix:/tmp/a.sock",
+                   NodeTelemetryJson("unix:/tmp/a.sock", 1, m1, rs1, ts1,
+                                     {peer})};
+  NodeTelemetry n2{"unix:/tmp/b.sock",
+                   NodeTelemetryJson("unix:/tmp/b.sock", 2, m2, rs2, ts2,
+                                     {})};
+
+  // Per-document scrape hits the right anchors.
+  EXPECT_EQ(ExtractJsonInt(n1.json, "\"messages\":{\"total\":"), 2);
+  EXPECT_EQ(ExtractJsonInt(n1.json, "\"bytes\":"), 160);
+  EXPECT_EQ(ExtractJsonInt(n1.json, "\"load\":{\"total\":"), 50);
+  EXPECT_EQ(ExtractJsonInt(n1.json, "\"frames_replayed\":"), 4);
+  EXPECT_EQ(ExtractJsonInt(n1.json, "\"ack_lag_frames\":"), 6);
+  EXPECT_EQ(ExtractJsonInt(n1.json, "\"incarnation\":"), 1);
+
+  ClusterAggregate agg = AggregateTelemetry({n1, n2});
+  EXPECT_EQ(agg.nodes, 2);
+  EXPECT_EQ(agg.messages_total, 3);
+  EXPECT_EQ(agg.message_bytes, 200);
+  EXPECT_EQ(agg.load_total, 59);
+  EXPECT_EQ(agg.frames_sent, 25);
+  EXPECT_EQ(agg.frames_delivered, 15);
+  EXPECT_EQ(agg.frames_deduped, 2);
+  EXPECT_EQ(agg.frames_replayed, 4);
+  EXPECT_EQ(agg.reconnects, 1);
+  EXPECT_EQ(agg.retained_bytes, 1000);
+  EXPECT_EQ(agg.held_bytes, 64);
+  EXPECT_EQ(agg.messages_delivered, 18);
+  EXPECT_EQ(agg.messages_parked, 1);
+  EXPECT_EQ(agg.mailbox_parks, 3);
+  EXPECT_EQ(agg.mailbox_depth, 2);
+
+  std::string line = AggregateSummaryLine(agg);
+  EXPECT_NE(line.find("cluster n=2"), std::string::npos);
+  EXPECT_NE(line.find("replay=4"), std::string::npos);
+  std::string node_line = NodeSummaryLine(n1);
+  EXPECT_NE(node_line.find("unix:/tmp/a.sock"), std::string::npos);
+  EXPECT_NE(node_line.find("sent=20"), std::string::npos);
+
+  std::string cluster = ClusterTelemetryJson({n1, n2});
+  EXPECT_EQ(cluster.compare(0, 13, "{\"aggregate\":"), 0);
+  EXPECT_NE(cluster.find(n1.json), std::string::npos);
+  EXPECT_NE(cluster.find(n2.json), std::string::npos);
+}
+
+// Satellite guarantee: ReportJson is byte-stable — the same counts
+// serialize identically no matter the arrival (or shard-merge) order.
+TEST(TelemetryTest, ReportJsonByteStableAcrossMergeOrder) {
+  sim::Metrics shard_a;
+  shard_a.CountMessage(1, 2, sim::MsgCategory::kNormal, 10, "wi1");
+  shard_a.AddLoad(1, sim::LoadCategory::kNavigation, 5);
+  shard_a.AddCounter("zeta.last", 1);
+  shard_a.AddCounter("alpha.first", 2);
+  sim::Metrics shard_b;
+  shard_b.CountMessage(2, 1, sim::MsgCategory::kAbort, 20, "wi2");
+  shard_b.AddLoad(2, sim::LoadCategory::kProgram, 7);
+  shard_b.AddCounter("alpha.first", 3);
+
+  sim::Metrics ab;
+  ab.MergeFrom(shard_a);
+  ab.MergeFrom(shard_b);
+  sim::Metrics ba;
+  ba.MergeFrom(shard_b);
+  ba.MergeFrom(shard_a);
+  EXPECT_EQ(ab.ReportJson(), ba.ReportJson());
 }
 
 }  // namespace

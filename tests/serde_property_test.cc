@@ -164,6 +164,10 @@ net::Frame RandomFrame(Rng* rng) {
       frame.endpoint = "unix:/tmp/ep" + std::to_string(rng->Uniform(0, 9)) +
                        ".sock";
       frame.incarnation = static_cast<uint64_t>(rng->Uniform(1, 1 << 20));
+      // Clock-alignment stamp rides on HELLO; -1 (absent) must survive too.
+      if (rng->Index(2) == 0) {
+        frame.sent_ticks = rng->Uniform(0, 1 << 30);
+      }
       break;
     }
     case 1: {
@@ -180,6 +184,14 @@ net::Frame RandomFrame(Rng* rng) {
       frame.message.type = "wi" + std::to_string(rng->Uniform(0, 30));
       frame.message.category = static_cast<sim::MsgCategory>(
           rng->Index(sim::kNumMsgCategories));
+      // Trace context is optional: id 0 means untraced (fields elided
+      // on the wire) and the send stamp then stays at its default.
+      if (rng->Index(2) == 0) {
+        frame.message.trace_id =
+            (static_cast<uint64_t>(rng->Uniform(1, 1 << 16)) << 48) |
+            static_cast<uint64_t>(rng->Uniform(1, 1 << 30));
+        frame.message.trace_sent_ticks = rng->Uniform(0, 1 << 30);
+      }
       // Payloads are raw bytes behind the header: stress newlines, NULs,
       // '=' and high bytes (a serialized packet is a benign subset).
       int64_t length = rng->Uniform(0, 300);
@@ -201,6 +213,7 @@ void ExpectSameFrame(const net::Frame& got, const net::Frame& want,
     case net::Frame::Kind::kHello:
       EXPECT_EQ(got.endpoint, want.endpoint) << "frame " << index;
       EXPECT_EQ(got.incarnation, want.incarnation) << "frame " << index;
+      EXPECT_EQ(got.sent_ticks, want.sent_ticks) << "frame " << index;
       break;
     case net::Frame::Kind::kAck:
       EXPECT_EQ(got.watermark, want.watermark) << "frame " << index;
@@ -215,6 +228,10 @@ void ExpectSameFrame(const net::Frame& got, const net::Frame& want,
                 static_cast<int>(want.message.category))
           << "frame " << index;
       EXPECT_EQ(got.message.payload, want.message.payload)
+          << "frame " << index;
+      EXPECT_EQ(got.message.trace_id, want.message.trace_id)
+          << "frame " << index;
+      EXPECT_EQ(got.message.trace_sent_ticks, want.message.trace_sent_ticks)
           << "frame " << index;
       break;
   }
