@@ -1,0 +1,106 @@
+#ifndef CREW_COMMON_FLAT_MAP_H_
+#define CREW_COMMON_FLAT_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace crew {
+
+/// Sorted-vector map for wire-facing containers (packet data tables,
+/// executed-by maps). The codec hot paths never need node-based
+/// iterator stability: they fill a table once from already-sorted wire
+/// input and then scan it in order. A contiguous pair vector turns that
+/// fill into amortized O(1) appends (no per-entry node allocation) and
+/// the scans into linear walks, which is where node-based std::map was
+/// losing most of the packet serialize/parse budget.
+///
+/// Lookups are binary search, and keys are heterogeneous (probe a
+/// std::string-keyed map with a string_view or literal without
+/// materializing a std::string). Inserting a key that is not greater
+/// than the current maximum falls back to an O(n) shifted insert, so
+/// this type is for small or build-in-order tables, not churny ones.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+  void reserve(size_t n) { entries_.reserve(n); }
+
+  template <typename Key>
+  iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+  template <typename Key>
+  const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+
+  template <typename Key>
+  iterator find(const Key& key) {
+    iterator it = lower_bound(key);
+    return it != entries_.end() && !(key < it->first) ? it : entries_.end();
+  }
+  template <typename Key>
+  const_iterator find(const Key& key) const {
+    const_iterator it = lower_bound(key);
+    return it != entries_.end() && !(key < it->first) ? it : entries_.end();
+  }
+
+  template <typename Key>
+  size_t count(const Key& key) const {
+    return find(key) == entries_.end() ? 0 : 1;
+  }
+
+  /// std::map semantics: default-constructs the value on first sight.
+  /// Appending in key order hits the O(1) fast path.
+  template <typename Key>
+  V& operator[](const Key& key) {
+    if (entries_.empty() || entries_.back().first < key) {
+      entries_.emplace_back(K(key), V());
+      return entries_.back().second;
+    }
+    iterator it = lower_bound(key);
+    if (it != entries_.end() && !(key < it->first)) return it->second;
+    return entries_.emplace(it, K(key), V())->second;
+  }
+
+  template <typename Key>
+  const V& at(const Key& key) const {
+    const_iterator it = find(key);
+    if (it == entries_.end()) throw std::out_of_range("FlatMap::at");
+    return it->second;
+  }
+
+  /// Bulk-fill from a sorted-unique range (e.g. a std::map snapshot).
+  template <typename It>
+  void assign(It first, It last) {
+    entries_.assign(first, last);
+  }
+
+  bool operator==(const FlatMap& o) const { return entries_ == o.entries_; }
+  bool operator!=(const FlatMap& o) const { return !(*this == o); }
+
+ private:
+  std::vector<value_type> entries_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_COMMON_FLAT_MAP_H_

@@ -41,6 +41,7 @@ struct LaunchFlags {
   int timeout_ms = 120000;
   int status_interval_ms = 0;  // live cluster snapshots (0 = off)
   std::string trace_dir;       // per-process shards + merged trace
+  std::string codec;           // kv | binary (empty = node default)
 };
 
 void LaunchUsage() {
@@ -56,7 +57,9 @@ void LaunchUsage() {
       "  --status-interval-ms N         print live aggregated cluster\n"
       "                                 metrics every N ms\n"
       "  --trace-dir <dir>              per-process trace shards; merged\n"
-      "                                 into <dir>/trace_merged.json\n");
+      "                                 into <dir>/trace_merged.json\n"
+      "  --codec kv|binary              wire codec the nodes send with\n"
+      "                                 (default binary)\n");
 }
 
 bool ParseLaunchFlags(int argc, char** argv, LaunchFlags* flags) {
@@ -96,6 +99,8 @@ bool ParseLaunchFlags(int argc, char** argv, LaunchFlags* flags) {
       flags->status_interval_ms = std::atoi(value);
     } else if (arg == "--trace-dir" && (value = next())) {
       flags->trace_dir = value;
+    } else if (arg == "--codec" && (value = next())) {
+      flags->codec = value;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -137,6 +142,7 @@ int RunLaunch(const LaunchFlags& flags) {
   options.seed = flags.seed;
   options.tick_us = flags.tick_us;
   options.pending_timeout = flags.pending_timeout;
+  options.codec = flags.codec;
   if (flags.mode == "dist") {
     options.agdb_dir = flags.workdir + "/agdb";
     mkdir(options.agdb_dir.c_str(), 0755);

@@ -31,6 +31,7 @@
 #include "net/testbed.h"
 #include "net/trace_merge.h"
 #include "obs/trace.h"
+#include "runtime/codec.h"
 #include "runtime/wire.h"
 
 namespace crew::net {
@@ -51,6 +52,7 @@ struct Flags {
   bool drive = true;
   std::string trace_shard;
   int64_t telemetry_interval_ms = 200;
+  std::string codec = "binary";
 };
 
 void Usage() {
@@ -68,7 +70,10 @@ void Usage() {
       "                          here on clean exit (crew_trace_merge\n"
       "                          joins shards into one Chrome trace)\n"
       "  --telemetry-interval-ms N  metrics snapshot cadence (0 = off;\n"
-      "                          default 200)\n");
+      "                          default 200)\n"
+      "  --codec kv|binary       wire codec for payloads and frames\n"
+      "                          (default binary; receivers always\n"
+      "                          accept both, so nodes may differ)\n");
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -108,6 +113,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->trace_shard = value;
     } else if (arg == "--telemetry-interval-ms" && (value = next())) {
       flags->telemetry_interval_ms = std::atoll(value);
+    } else if (arg == "--codec" && (value = next())) {
+      flags->codec = value;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -141,8 +148,16 @@ int Run(const Flags& flags) {
   // into assigning cross-process trace ids on every Ship.
   obs::RingBufferTracer ring;
   if (!flags.trace_shard.empty()) runtime_options.tracer = &ring;
+  runtime::PayloadCodec codec;
+  if (!runtime::ParsePayloadCodecName(flags.codec, &codec)) {
+    std::fprintf(stderr, "crew_node: unknown codec '%s'\n",
+                 flags.codec.c_str());
+    return 1;
+  }
+  runtime::SetPayloadCodec(codec);  // payload serialization (wire.h)
   SocketTransportOptions transport_options;
   transport_options.incarnation = flags.incarnation;
+  transport_options.codec = codec;  // frame envelopes
 
   NetNode node(topology.value(), self.value(), runtime_options,
                transport_options);

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <limits>
 
+#include "runtime/binio.h"
 #include "runtime/kv.h"
 #include "sim/metrics.h"
 
@@ -25,13 +26,27 @@ uint32_t GetU32(const char* p) {
          static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
 }
 
-}  // namespace
+std::string AssembleEnvelope(Frame::Kind kind, std::string_view body,
+                             std::string_view payload = {}) {
+  std::string out;
+  out.reserve(4 + 1 + body.size() + payload.size());
+  PutU32(&out, static_cast<uint32_t>(1 + body.size() + payload.size()));
+  out.push_back(static_cast<char>(kind));
+  out.append(body);
+  out.append(payload);
+  return out;
+}
 
-std::string EncodeFrame(const Frame& frame) {
+// kDataBin flags byte.
+constexpr uint8_t kDataFlagTraced = 1;      // trace_id + sent_ticks follow
+constexpr uint8_t kDataFlagInlineType = 2;  // type rides as bytes, not id
+
+std::string EncodeKvFrame(const Frame& frame) {
   runtime::KvWriter header;
   const std::string* payload = nullptr;
   switch (frame.kind) {
     case Frame::Kind::kHello:
+    case Frame::Kind::kHelloBin:
       header.Add("endpoint", frame.endpoint);
       header.AddInt("incarnation", static_cast<int64_t>(frame.incarnation));
       if (frame.sent_ticks >= 0) {
@@ -39,10 +54,13 @@ std::string EncodeFrame(const Frame& frame) {
       }
       break;
     case Frame::Kind::kAck:
+    case Frame::Kind::kAckBin:
       header.AddInt("watermark", static_cast<int64_t>(frame.watermark));
       header.AddInt("incarnation", static_cast<int64_t>(frame.incarnation));
       break;
     case Frame::Kind::kData:
+    case Frame::Kind::kDataBin:
+    case Frame::Kind::kBatch:
       header.AddInt("seq", static_cast<int64_t>(frame.seq));
       header.AddInt("from", frame.message.from);
       header.AddInt("to", frame.message.to);
@@ -66,17 +84,123 @@ std::string EncodeFrame(const Frame& frame) {
   std::string out;
   out.reserve(4 + 1 + 4 + head.size() + payload_size);
   PutU32(&out, static_cast<uint32_t>(1 + 4 + head.size() + payload_size));
-  out.push_back(static_cast<char>(frame.kind));
+  Frame::Kind kind = frame.kind;
+  if (kind == Frame::Kind::kHelloBin) kind = Frame::Kind::kHello;
+  if (kind == Frame::Kind::kAckBin) kind = Frame::Kind::kAck;
+  if (kind == Frame::Kind::kDataBin || kind == Frame::Kind::kBatch) {
+    kind = Frame::Kind::kData;
+  }
+  out.push_back(static_cast<char>(kind));
   PutU32(&out, static_cast<uint32_t>(head.size()));
   out += head;
   if (payload != nullptr) out += *payload;
   return out;
 }
 
+std::string EncodeBinaryFrame(const Frame& frame) {
+  std::string body;
+  switch (frame.kind) {
+    case Frame::Kind::kHello:
+    case Frame::Kind::kHelloBin: {
+      // HELLO carries the sender's type dictionary: names in id order.
+      size_t dict = runtime::WireTypeCount();
+      size_t bound = 3 * runtime::kMaxVarintBytes +
+                     runtime::BytesBound(frame.endpoint);
+      for (size_t i = 0; i < dict; ++i) {
+        bound += runtime::BytesBound(runtime::WireTypeName(i));
+      }
+      runtime::BinWriter w(&body, bound);
+      w.Varint(frame.incarnation);
+      w.Zig(frame.sent_ticks);
+      w.Bytes(frame.endpoint);
+      w.Varint(dict);
+      for (size_t i = 0; i < dict; ++i) {
+        w.Bytes(runtime::WireTypeName(i));
+      }
+      w.Finish();
+      return AssembleEnvelope(Frame::Kind::kHelloBin, body);
+    }
+    case Frame::Kind::kAck:
+    case Frame::Kind::kAckBin: {
+      runtime::BinWriter w(&body, 2 * runtime::kMaxVarintBytes);
+      w.Varint(frame.watermark);
+      w.Varint(frame.incarnation);
+      w.Finish();
+      return AssembleEnvelope(Frame::Kind::kAckBin, body);
+    }
+    case Frame::Kind::kData:
+    case Frame::Kind::kDataBin:
+    case Frame::Kind::kBatch: {
+      int type_id = runtime::WireTypeId(frame.message.type);
+      const bool traced = frame.message.trace_id != 0;
+      uint8_t flags = (traced ? kDataFlagTraced : 0) |
+                      (type_id < 0 ? kDataFlagInlineType : 0);
+      size_t bound = 2 + 5 * runtime::kMaxVarintBytes +
+                     runtime::BytesBound(frame.message.type) +
+                     2 * runtime::kMaxVarintBytes;
+      runtime::BinWriter w(&body, bound);
+      w.U8(flags);
+      w.Varint(frame.seq);
+      w.Zig(frame.message.from);
+      w.Zig(frame.message.to);
+      w.U8(static_cast<uint8_t>(frame.message.category));
+      if (type_id < 0) {
+        w.Bytes(frame.message.type);
+      } else {
+        w.Varint(static_cast<uint64_t>(type_id));
+      }
+      if (traced) {
+        w.Varint(frame.message.trace_id);
+        w.Zig(frame.message.trace_sent_ticks);
+      }
+      w.Finish();
+      return AssembleEnvelope(Frame::Kind::kDataBin, body,
+                              frame.message.payload);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) { return EncodeKvFrame(frame); }
+
+std::string EncodeFrame(const Frame& frame, runtime::PayloadCodec codec) {
+  return codec == runtime::PayloadCodec::kBinary ? EncodeBinaryFrame(frame)
+                                                 : EncodeKvFrame(frame);
+}
+
+void AppendBatchHeader(std::string* out, size_t count, size_t inner_bytes) {
+  char cnt[runtime::kMaxVarintBytes];
+  size_t n = 0;
+  uint64_t v = count;
+  while (v >= 0x80) {
+    cnt[n++] = static_cast<char>(v | 0x80);
+    v >>= 7;
+  }
+  cnt[n++] = static_cast<char>(v);
+  PutU32(out, static_cast<uint32_t>(1 + n + inner_bytes));
+  out->push_back(static_cast<char>(Frame::Kind::kBatch));
+  out->append(cnt, n);
+}
+
+std::string EncodeSuperframe(const std::vector<std::string>& frames) {
+  size_t inner = 0;
+  for (const std::string& f : frames) inner += f.size();
+  std::string out;
+  out.reserve(4 + 1 + runtime::kMaxVarintBytes + inner);
+  AppendBatchHeader(&out, frames.size(), inner);
+  for (const std::string& f : frames) out += f;
+  return out;
+}
+
 Status CheckShippable(const sim::Message& message) {
-  // Mirror the kData header of EncodeFrame with the widest possible
+  // Mirror the kv kData header of EncodeFrame with the widest possible
   // sequence number, so the check holds for any seq assigned later
-  // (held messages are sequenced only on recovery).
+  // (held messages are sequenced only on recovery). The kv header is
+  // strictly larger than the binary one, so this bound covers both
+  // codecs — and a batch never grows past its policy cap, which is far
+  // below the frame limit.
   runtime::KvWriter header;
   header.AddInt("seq", std::numeric_limits<int64_t>::max());
   header.AddInt("from", message.from);
@@ -111,10 +235,19 @@ void FrameDecoder::Feed(std::string_view bytes) {
 
 bool FrameDecoder::Next(Frame* out) {
   if (!status_.ok()) return false;
+  while (ready_.empty()) {
+    if (!DecodeOne()) return false;
+  }
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+bool FrameDecoder::DecodeOne() {
   if (buffer_.size() - offset_ < 4) return false;
   const char* base = buffer_.data() + offset_;
   uint32_t length = GetU32(base);
-  if (length < 1 + 4 || length > kMaxFrameBytes) {
+  if (length < 2 || length > kMaxFrameBytes) {
     status_ = Status::Corruption("bad frame length " +
                                  std::to_string(length));
     return false;
@@ -124,15 +257,168 @@ bool FrameDecoder::Next(Frame* out) {
   }
   const char* body = base + 4;
   auto kind = static_cast<Frame::Kind>(static_cast<unsigned char>(body[0]));
-  uint32_t header_len = GetU32(body + 1);
-  if (header_len > length - 1 - 4) {
+  size_t body_len = length - 1;
+  offset_ += 4 + static_cast<size_t>(length);
+
+  if (kind == Frame::Kind::kBatch) {
+    // A superframe: [varint count][count inner envelopes], which must
+    // exactly tile the body. Inner batches are forbidden (no nesting).
+    runtime::BinReader r(std::string_view(body + 1, body_len));
+    uint64_t count;
+    if (!r.Varint(&count)) {
+      status_ = Status::Corruption("malformed batch header");
+      return false;
+    }
+    const char* p = body + 1 + (body_len - r.remaining());
+    size_t rest = r.remaining();
+    for (uint64_t i = 0; i < count; ++i) {
+      if (rest < 5) {
+        status_ = Status::Corruption("batch truncated mid-frame");
+        return false;
+      }
+      uint32_t inner_len = GetU32(p);
+      if (inner_len < 2 || 4 + static_cast<size_t>(inner_len) > rest) {
+        status_ = Status::Corruption("bad inner frame length " +
+                                     std::to_string(inner_len));
+        return false;
+      }
+      auto inner_kind =
+          static_cast<Frame::Kind>(static_cast<unsigned char>(p[4]));
+      if (inner_kind == Frame::Kind::kBatch) {
+        status_ = Status::Corruption("nested batch frame");
+        return false;
+      }
+      Frame frame;
+      if (!ParseBody(inner_kind, p + 5, inner_len - 1, &frame)) {
+        return false;
+      }
+      ready_.push_back(std::move(frame));
+      p += 4 + static_cast<size_t>(inner_len);
+      rest -= 4 + static_cast<size_t>(inner_len);
+    }
+    if (rest != 0) {
+      status_ = Status::Corruption("batch body not exactly tiled by frames");
+      return false;
+    }
+    return true;
+  }
+
+  Frame frame;
+  if (!ParseBody(kind, body + 1, body_len, &frame)) return false;
+  ready_.push_back(std::move(frame));
+  return true;
+}
+
+bool FrameDecoder::ParseBody(Frame::Kind kind, const char* body,
+                             size_t body_len, Frame* out) {
+  // ---- binary wire forms ----
+  switch (kind) {
+    case Frame::Kind::kHelloBin: {
+      runtime::BinReader r(std::string_view(body, body_len));
+      uint64_t incarnation, count;
+      int64_t ticks;
+      std::string_view endpoint;
+      if (!r.Varint(&incarnation) || !r.Zig(&ticks) || !r.Bytes(&endpoint) ||
+          !r.Varint(&count) || count > r.remaining()) {
+        status_ = Status::Corruption("malformed hello frame");
+        return false;
+      }
+      std::vector<std::string> dict;
+      dict.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string_view name;
+        if (!r.Bytes(&name)) {
+          status_ = Status::Corruption("malformed hello dictionary");
+          return false;
+        }
+        dict.emplace_back(name);
+      }
+      if (!r.done()) {
+        status_ = Status::Corruption("trailing bytes in hello frame");
+        return false;
+      }
+      out->kind = Frame::Kind::kHello;
+      out->incarnation = incarnation;
+      out->sent_ticks = ticks;
+      out->endpoint.assign(endpoint);
+      type_dict_ = std::move(dict);
+      return true;
+    }
+    case Frame::Kind::kAckBin: {
+      runtime::BinReader r(std::string_view(body, body_len));
+      uint64_t watermark, incarnation;
+      if (!r.Varint(&watermark) || !r.Varint(&incarnation) || !r.done()) {
+        status_ = Status::Corruption("malformed ack frame");
+        return false;
+      }
+      out->kind = Frame::Kind::kAck;
+      out->watermark = watermark;
+      out->incarnation = incarnation;
+      return true;
+    }
+    case Frame::Kind::kDataBin: {
+      runtime::BinReader r(std::string_view(body, body_len));
+      uint8_t flags, category;
+      uint64_t seq;
+      int64_t from, to;
+      if (!r.U8(&flags) || !r.Varint(&seq) || !r.Zig(&from) || !r.Zig(&to) ||
+          !r.U8(&category) || category >= sim::kNumMsgCategories) {
+        status_ = Status::Corruption("malformed data frame");
+        return false;
+      }
+      out->kind = Frame::Kind::kData;
+      out->seq = seq;
+      out->message.from = static_cast<NodeId>(from);
+      out->message.to = static_cast<NodeId>(to);
+      out->message.category = static_cast<sim::MsgCategory>(category);
+      if (flags & kDataFlagInlineType) {
+        std::string_view type;
+        if (!r.Bytes(&type)) {
+          status_ = Status::Corruption("malformed data frame type");
+          return false;
+        }
+        out->message.type.assign(type);
+      } else {
+        uint64_t id;
+        if (!r.Varint(&id) || id >= type_dict_.size()) {
+          status_ = Status::Corruption("data frame type id outside the "
+                                       "dictionary declared by hello");
+          return false;
+        }
+        out->message.type = type_dict_[id];
+      }
+      if (flags & kDataFlagTraced) {
+        uint64_t trace_id;
+        int64_t sent;
+        if (!r.Varint(&trace_id) || !r.Zig(&sent)) {
+          status_ = Status::Corruption("malformed data frame trace");
+          return false;
+        }
+        out->message.trace_id = trace_id;
+        out->message.trace_sent_ticks = sent;
+      }
+      // Everything after the header is the payload, zero parsing needed.
+      out->message.payload.assign(body + (body_len - r.remaining()),
+                                  r.remaining());
+      return true;
+    }
+    default:
+      break;
+  }
+
+  // ---- kv wire forms: [u32 header_len][kv header][payload] ----
+  if (body_len < 4) {
+    status_ = Status::Corruption("truncated kv frame header");
+    return false;
+  }
+  uint32_t header_len = GetU32(body);
+  if (header_len > body_len - 4) {
     status_ = Status::Corruption("frame header overruns frame");
     return false;
   }
-  std::string head(body + 5, header_len);
-  const char* payload = body + 5 + header_len;
-  size_t payload_len = length - 1 - 4 - header_len;
-  offset_ += 4 + static_cast<size_t>(length);
+  std::string head(body + 4, header_len);
+  const char* payload = body + 4 + header_len;
+  size_t payload_len = body_len - 4 - header_len;
 
   Result<runtime::KvReader> reader = runtime::KvReader::Parse(head);
   if (!reader.ok()) {
@@ -140,8 +426,7 @@ bool FrameDecoder::Next(Frame* out) {
     return false;
   }
   const runtime::KvReader& kv = reader.value();
-  Frame frame;
-  frame.kind = kind;
+  out->kind = kind;
   switch (kind) {
     case Frame::Kind::kHello: {
       Result<std::string> endpoint = kv.GetRequired("endpoint");
@@ -150,9 +435,9 @@ bool FrameDecoder::Next(Frame* out) {
         status_ = Status::Corruption("malformed hello frame");
         return false;
       }
-      frame.endpoint = std::move(endpoint).value();
-      frame.incarnation = static_cast<uint64_t>(incarnation.value());
-      frame.sent_ticks = kv.GetIntOr("sent", -1);
+      out->endpoint = std::move(endpoint).value();
+      out->incarnation = static_cast<uint64_t>(incarnation.value());
+      out->sent_ticks = kv.GetIntOr("sent", -1);
       break;
     }
     case Frame::Kind::kAck: {
@@ -162,8 +447,8 @@ bool FrameDecoder::Next(Frame* out) {
         status_ = Status::Corruption("malformed ack frame");
         return false;
       }
-      frame.watermark = static_cast<uint64_t>(watermark.value());
-      frame.incarnation = static_cast<uint64_t>(incarnation.value());
+      out->watermark = static_cast<uint64_t>(watermark.value());
+      out->incarnation = static_cast<uint64_t>(incarnation.value());
       break;
     }
     case Frame::Kind::kData: {
@@ -177,15 +462,15 @@ bool FrameDecoder::Next(Frame* out) {
         status_ = Status::Corruption("malformed data frame");
         return false;
       }
-      frame.seq = static_cast<uint64_t>(seq.value());
-      frame.message.from = static_cast<NodeId>(from.value());
-      frame.message.to = static_cast<NodeId>(to.value());
-      frame.message.type = std::move(type).value();
-      frame.message.category = static_cast<sim::MsgCategory>(category);
-      frame.message.trace_id =
+      out->seq = static_cast<uint64_t>(seq.value());
+      out->message.from = static_cast<NodeId>(from.value());
+      out->message.to = static_cast<NodeId>(to.value());
+      out->message.type = std::move(type).value();
+      out->message.category = static_cast<sim::MsgCategory>(category);
+      out->message.trace_id =
           static_cast<uint64_t>(kv.GetIntOr("trace", 0));
-      frame.message.trace_sent_ticks = kv.GetIntOr("sent", -1);
-      frame.message.payload.assign(payload, payload_len);
+      out->message.trace_sent_ticks = kv.GetIntOr("sent", -1);
+      out->message.payload.assign(payload, payload_len);
       break;
     }
     default:
@@ -193,7 +478,6 @@ bool FrameDecoder::Next(Frame* out) {
                                    std::to_string(static_cast<int>(kind)));
       return false;
   }
-  *out = std::move(frame);
   return true;
 }
 

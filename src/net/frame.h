@@ -2,28 +2,48 @@
 #define CREW_NET_FRAME_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
+#include "runtime/codec.h"
 #include "sim/network.h"
 
 namespace crew::net {
 
-/// One unit of the socket protocol. Byte layout:
+/// One unit of the socket protocol. Every frame shares the envelope
 ///
-///   [u32 length][u8 kind][u32 header_len][header kv][payload bytes]
+///   [u32 length][u8 kind][body]
 ///
-/// `length` (little-endian) covers everything after itself. The header
-/// is the line-oriented kv text already used for workflow-interface
-/// payloads (runtime/kv.h); the payload rides behind it as raw bytes so
-/// it needs no escaping — it is itself kv text produced by wire.h, and
-/// may contain newlines.
+/// `length` (little-endian) covers everything after itself. Two wire
+/// forms exist per logical kind — the sender's codec picks one, the
+/// decoder handles both unconditionally, so kv and binary peers
+/// interoperate frame-by-frame:
 ///
-/// Kinds:
+///  - kv kinds (kHello/kData/kAck): body is [u32 header_len][kv header]
+///    [payload]. The header is line-oriented kv text (runtime/kv.h); the
+///    payload rides behind it as raw bytes so it needs no escaping.
+///  - binary kinds (kHelloBin/kAckBin/kDataBin): body is varint/zigzag
+///    fields (runtime/binio.h), self-delimiting, payload at the tail.
+///    See DESIGN.md §5i for the exact layouts.
+///  - kBatch: [varint count][count × complete inner envelopes]. One
+///    superframe per poll wakeup coalesces all pending DATA frames of a
+///    directed pair under a single length prefix (and a single write
+///    syscall). Inner frames must exactly tile the body and must not
+///    nest batches; a corrupt inner frame poisons only this stream.
+///
+/// The decoder normalizes: popped frames always carry a *logical* kind
+/// (kHello/kData/kAck), whatever the wire form was.
+///
+/// Logical kinds:
 ///  - kHello: first frame on every connection; identifies the sending
 ///    endpoint and its incarnation (bumped on process restart, which
-///    tells the receiver to reset its dedup watermark).
+///    tells the receiver to reset its dedup watermark). The binary form
+///    also carries the sender's message-type dictionary: the wi:: names
+///    in dictionary-id order, so subsequent kDataBin frames can encode
+///    their type as one varint id (runtime/codec.h WireTypeId).
 ///  - kData: one sim::Message, tagged with a per-directed-endpoint-pair
 ///    sequence number. The sender retains the frame until acked and
 ///    replays retained frames after a reconnect; the receiver drops
@@ -35,7 +55,15 @@ namespace crew::net {
 ///    own, so a watermark learned from a peer's *previous* life can
 ///    never discard frames of the restarted sequence space.
 struct Frame {
-  enum class Kind : uint8_t { kHello = 1, kData = 2, kAck = 3 };
+  enum class Kind : uint8_t {
+    kHello = 1,
+    kData = 2,
+    kAck = 3,
+    kHelloBin = 4,
+    kAckBin = 5,
+    kDataBin = 6,
+    kBatch = 7,
+  };
 
   Kind kind = Kind::kData;
 
@@ -64,20 +92,37 @@ struct Frame {
 /// Frames larger than this poison the decoder (corrupt length prefix).
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Encodes in the kv wire form (back-compat callers and tests).
 std::string EncodeFrame(const Frame& frame);
+
+/// Encodes in the wire form of `codec` (the transport's sender-side
+/// choice; receivers decode either form).
+std::string EncodeFrame(const Frame& frame, runtime::PayloadCodec codec);
+
+/// Wraps already-encoded frames into one kBatch superframe.
+std::string EncodeSuperframe(const std::vector<std::string>& frames);
+
+/// Appends just the superframe envelope — [u32 length][kBatch][varint
+/// count] — sized for `inner_bytes` of already-encoded inner frames that
+/// the caller will append next. Lets the transport stage a batch without
+/// collecting the frames into a temporary vector.
+void AppendBatchHeader(std::string* out, size_t count, size_t inner_bytes);
 
 /// InvalidArgument when a DATA frame carrying `message` could exceed
 /// kMaxFrameBytes (computed against the worst-case sequence-number
 /// header). Senders must reject such messages before admitting them to
 /// an outbound stream: the receiving decoder treats an oversize length
 /// prefix as corruption and drops the connection, and a retained
-/// oversize frame would then replay on every reconnect forever.
+/// oversize frame would then replay on every reconnect forever. The
+/// bound is computed against the kv header, which is strictly larger
+/// than the binary one — so it is valid for either codec.
 Status CheckShippable(const sim::Message& message);
 
 /// Incremental decoder: feed arbitrary byte slices exactly as read from
 /// a socket — single bytes, half a length prefix, several concatenated
-/// frames — and pop complete frames out in order. A malformed frame
-/// poisons the stream permanently (the transport drops the connection).
+/// frames, whole superframes — and pop complete frames out in order. A
+/// malformed frame poisons the stream permanently (the transport drops
+/// the connection).
 class FrameDecoder {
  public:
   void Feed(std::string_view bytes);
@@ -91,9 +136,21 @@ class FrameDecoder {
   size_t buffered_bytes() const { return buffer_.size() - offset_; }
 
  private:
+  /// Decodes one envelope out of the buffer into ready_. Returns false
+  /// when more bytes are needed or the stream poisoned.
+  bool DecodeOne();
+  /// Parses one frame body (bytes after the kind byte). kBatch is not a
+  /// body kind — DecodeOne unrolls it.
+  bool ParseBody(Frame::Kind kind, const char* body, size_t body_len,
+                 Frame* out);
+
   std::string buffer_;
   size_t offset_ = 0;
   Status status_;
+  std::deque<Frame> ready_;
+  /// Message-type dictionary declared by the peer's binary HELLO
+  /// (dictionary id -> type name), used to resolve kDataBin type ids.
+  std::vector<std::string> type_dict_;
 };
 
 }  // namespace crew::net

@@ -83,6 +83,12 @@ struct SocketTransport::Peer {
   std::deque<Retained> retained;
   size_t unsent_index = 0;
   size_t retained_bytes = 0;
+  /// Bytes in [unsent_index, ...) — what a flush would stage. Drives the
+  /// batch byte-cap check without rescanning the deque.
+  size_t unsent_bytes = 0;
+  /// When the oldest currently-unsent frame was admitted (ms since
+  /// start), -1 when nothing is pending. Drives batch_max_delay_ms.
+  int64_t pending_since_ms = -1;
   uint64_t next_seq = 1;
   /// Highest seq ever written to any connection: staging a frame at or
   /// below it means a reconnect is replaying the unacked window.
@@ -98,9 +104,10 @@ struct SocketTransport::Peer {
   std::string write_buffer;
   size_t write_offset = 0;
 
-  bool WantsWrite() const {
-    return connected && (write_offset < write_buffer.size() ||
-                         unsent_index < retained.size());
+  bool WantsWrite(bool flush_due) const {
+    return connected &&
+           (write_offset < write_buffer.size() ||
+            (flush_due && unsent_index < retained.size()));
   }
   size_t BacklogBytes() const { return retained_bytes + held_bytes; }
 };
@@ -283,10 +290,15 @@ void SocketTransport::SetNodeDown(NodeId id, bool down) {
       Peer::Retained retained;
       retained.seq = frame.seq;
       retained.to = frame.message.to;
-      retained.bytes = EncodeFrame(frame);
+      retained.bytes = EncodeFrame(frame, options_.codec);
       peer->held_bytes -= frame.message.payload.size();
       peer->retained_bytes += retained.bytes.size();
+      peer->unsent_bytes += retained.bytes.size();
       peer->retained.push_back(std::move(retained));
+    }
+    if (peer->pending_since_ms < 0 &&
+        peer->unsent_index < peer->retained.size()) {
+      peer->pending_since_ms = NowMs();
     }
     peer->held.erase(it);
   }
@@ -375,8 +387,10 @@ Status SocketTransport::Ship(sim::Message& message) {
     Peer::Retained retained;
     retained.seq = frame.seq;
     retained.to = frame.message.to;
-    retained.bytes = EncodeFrame(frame);
+    retained.bytes = EncodeFrame(frame, options_.codec);
     peer->retained_bytes += retained.bytes.size();
+    peer->unsent_bytes += retained.bytes.size();
+    if (peer->pending_since_ms < 0) peer->pending_since_ms = NowMs();
     peer->retained.push_back(std::move(retained));
   }
   WakeLoop();
@@ -385,6 +399,10 @@ Status SocketTransport::Ship(sim::Message& message) {
 
 void SocketTransport::WakeLoop() {
   if (wake_write_fd_ < 0) return;
+  // Elide the pipe write when a wake is already pending: the loop clears
+  // the flag right after draining the pipe, so a set flag means the loop
+  // has a wakeup in flight that will observe this call's enqueued work.
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) return;
   char byte = 1;
   ssize_t ignored = write(wake_write_fd_, &byte, 1);
   (void)ignored;  // pipe full => the loop is waking anyway
@@ -500,12 +518,14 @@ void SocketTransport::OnConnected(Peer* peer) {
   peer->write_buffer.clear();
   peer->write_offset = 0;
   peer->unsent_index = 0;
+  peer->unsent_bytes = peer->retained_bytes;
+  peer->pending_since_ms = -1;  // replay flushes immediately anyway
   Frame hello;
   hello.kind = Frame::Kind::kHello;
   hello.endpoint = self_.Address();
   hello.incarnation = options_.incarnation;
   if (clock_) hello.sent_ticks = clock_();
-  peer->write_buffer += EncodeFrame(hello);
+  peer->write_buffer += EncodeFrame(hello, options_.codec);
   auto in = inbound_.find(peer->address);
   if (in != inbound_.end()) {
     Frame ack;
@@ -516,7 +536,7 @@ void SocketTransport::OnConnected(Peer* peer) {
     // still describes the OLD sequence space and the restarted peer
     // must ignore it rather than discard fresh frames.
     ack.incarnation = in->second.incarnation;
-    peer->write_buffer += EncodeFrame(ack);
+    peer->write_buffer += EncodeFrame(ack, options_.codec);
   }
   state_cv_.notify_all();
 }
@@ -531,6 +551,8 @@ void SocketTransport::OnConnectionBroken(Peer* peer, int64_t now_ms) {
   peer->write_offset = 0;
   // Rewind: everything unacked replays on the next connection.
   peer->unsent_index = 0;
+  peer->unsent_bytes = peer->retained_bytes;
+  peer->pending_since_ms = -1;
   if (!was_connected) ++peer->consecutive_failures;
   peer->next_dial_ms = now_ms + peer->backoff_ms;
   peer->backoff_ms =
@@ -538,30 +560,60 @@ void SocketTransport::OnConnectionBroken(Peer* peer, int64_t now_ms) {
                options_.reconnect_max_ms);
 }
 
-void SocketTransport::FlushWrites(Peer* peer) {
+bool SocketTransport::FlushDueLocked(const Peer* peer, int64_t now_ms) const {
+  if (options_.batch_max_delay_ms <= 0) return true;  // batching per wakeup only
+  if (peer->pending_since_ms < 0) return true;
+  if (peer->unsent_bytes >= options_.batch_max_bytes) return true;
+  return now_ms - peer->pending_since_ms >= options_.batch_max_delay_ms;
+}
+
+void SocketTransport::FlushWrites(Peer* peer, bool flush_due) {
   // Called with state_mu_ held, loop thread only.
   for (;;) {
     if (peer->write_offset == peer->write_buffer.size()) {
       peer->write_buffer.clear();
       peer->write_offset = 0;
-      // Stage the next chunk of unsent retained frames.
-      while (peer->unsent_index < peer->retained.size() &&
+      // Stage unsent retained frames, coalescing each run of >= 2 frames
+      // under one kBatch superframe so a poll wakeup's worth of small
+      // DATA frames costs one envelope (and, below, one write syscall).
+      while (flush_due && peer->unsent_index < peer->retained.size() &&
              peer->write_buffer.size() < kWriteChunk) {
-        if (explicit_down_.count(peer->retained[peer->unsent_index].to) !=
-            0) {
-          // A sequenced frame to an explicitly-down node: hold the whole
-          // stream here (later frames must not overtake it).
-          break;
+        // First pass: how many frames go into this batch?
+        size_t count = 0;
+        size_t inner_bytes = 0;
+        for (size_t i = peer->unsent_index; i < peer->retained.size(); ++i) {
+          if (explicit_down_.count(peer->retained[i].to) != 0) {
+            // A sequenced frame to an explicitly-down node: hold the
+            // whole stream here (later frames must not overtake it).
+            break;
+          }
+          size_t size = peer->retained[i].bytes.size();
+          if (count > 0 && inner_bytes + size > options_.batch_max_bytes) break;
+          ++count;
+          inner_bytes += size;
+          if (inner_bytes >= options_.batch_max_bytes) break;
         }
-        uint64_t seq = peer->retained[peer->unsent_index].seq;
-        if (seq <= peer->sent_high_seq) {
-          frames_replayed_.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          peer->sent_high_seq = seq;
+        if (count == 0) break;  // stream held at its head
+        if (count > 1) {
+          AppendBatchHeader(&peer->write_buffer, count, inner_bytes);
+          frames_batched_.fetch_add(count, std::memory_order_relaxed);
+          batches_sent_.fetch_add(1, std::memory_order_relaxed);
         }
-        peer->write_buffer += peer->retained[peer->unsent_index].bytes;
-        ++peer->unsent_index;
-        frames_sent_.fetch_add(1, std::memory_order_relaxed);
+        for (size_t k = 0; k < count; ++k) {
+          const Peer::Retained& next = peer->retained[peer->unsent_index];
+          if (next.seq <= peer->sent_high_seq) {
+            frames_replayed_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            peer->sent_high_seq = next.seq;
+          }
+          peer->write_buffer += next.bytes;
+          peer->unsent_bytes -= next.bytes.size();
+          ++peer->unsent_index;
+          frames_sent_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (peer->unsent_index == peer->retained.size()) {
+        peer->pending_since_ms = -1;
       }
       if (peer->write_buffer.empty()) return;
     }
@@ -570,6 +622,7 @@ void SocketTransport::FlushWrites(Peer* peer) {
     if (n > 0) {
       peer->write_offset += static_cast<size_t>(n);
       bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+      write_syscalls_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
@@ -589,7 +642,7 @@ void SocketTransport::QueueAckLocked(const std::string& endpoint_address,
   ack.kind = Frame::Kind::kAck;
   ack.watermark = watermark;
   ack.incarnation = incarnation;
-  peer->write_buffer += EncodeFrame(ack);
+  peer->write_buffer += EncodeFrame(ack, options_.codec);
 }
 
 void SocketTransport::HandleInboundFrame(InConn* conn, Frame frame) {
@@ -640,8 +693,14 @@ void SocketTransport::HandleInboundFrame(InConn* conn, Frame frame) {
       while (!peer->retained.empty() &&
              peer->retained.front().seq <= frame.watermark) {
         peer->retained_bytes -= peer->retained.front().bytes.size();
+        if (peer->unsent_index > 0) {
+          --peer->unsent_index;
+        } else {
+          // Popping a frame that was never staged (possible only when
+          // acks outrun a held/backlogged stream).
+          peer->unsent_bytes -= peer->retained.front().bytes.size();
+        }
         peer->retained.pop_front();
-        if (peer->unsent_index > 0) --peer->unsent_index;
       }
       state_cv_.notify_all();  // backpressure waiters and Idle pollers
       return;
@@ -671,6 +730,10 @@ void SocketTransport::HandleInboundFrame(InConn* conn, Frame frame) {
       }
       return;
     }
+    default:
+      // Unreachable: FrameDecoder normalizes wire kinds (binary
+      // hello/ack/data, batch) to the three logical kinds above.
+      return;
   }
 }
 
@@ -725,6 +788,7 @@ void SocketTransport::LoopThread() {
     std::vector<InConn*> poll_conns;
     int64_t now_ms = NowMs();
     int64_t next_dial = -1;
+    int64_t next_flush = -1;
     ResolveDueHostnames(now_ms);
     {
       std::lock_guard<std::mutex> lock(state_mu_);
@@ -738,8 +802,17 @@ void SocketTransport::LoopThread() {
                           : std::min(next_dial, peer->next_dial_ms);
           continue;
         }
+        bool flush_due = FlushDueLocked(peer.get(), now_ms);
+        if (!flush_due && peer->pending_since_ms >= 0) {
+          int64_t deadline =
+              peer->pending_since_ms + options_.batch_max_delay_ms;
+          next_flush =
+              next_flush < 0 ? deadline : std::min(next_flush, deadline);
+        }
         short events = POLLIN;  // EOF detection on the simplex link
-        if (peer->connecting || peer->WantsWrite()) events |= POLLOUT;
+        if (peer->connecting || peer->WantsWrite(flush_due)) {
+          events |= POLLOUT;
+        }
         fds.push_back(pollfd{peer->fd, events, 0});
         poll_peers.push_back(peer.get());
       }
@@ -751,15 +824,30 @@ void SocketTransport::LoopThread() {
       fds.push_back(pollfd{conn->fd, POLLIN, 0});
       poll_conns.push_back(conn.get());
     }
+    int64_t deadline = next_dial;
+    if (next_flush >= 0 && (deadline < 0 || next_flush < deadline)) {
+      deadline = next_flush;
+    }
     int timeout_ms = -1;
-    if (next_dial >= 0) {
-      timeout_ms = static_cast<int>(std::max<int64_t>(
-          1, next_dial - now_ms));
+    if (deadline >= 0) {
+      timeout_ms = static_cast<int>(std::max<int64_t>(1, deadline - now_ms));
     }
     int rc = poll(fds.data(), fds.size(), timeout_ms);
     if (rc < 0 && errno != EINTR) break;
     if (shut_down_.load(std::memory_order_acquire)) break;
     now_ms = NowMs();
+
+    // Wake pipe: drain, then clear the elision flag. Order matters — the
+    // flag must only clear once the pipe byte (if any) is consumed, and
+    // it must clear unconditionally BEFORE peers are processed: a
+    // WakeLoop call elided during this window has its work observed by
+    // the processing below, and a later call writes a fresh byte.
+    if (fds[peer_count].revents & POLLIN) {
+      char scratch[256];
+      while (read(wake_read_fd_, scratch, sizeof(scratch)) > 0) {
+      }
+    }
+    wake_pending_.store(false, std::memory_order_release);
 
     // Peers: connect completion, EOF, writes.
     {
@@ -798,20 +886,16 @@ void SocketTransport::LoopThread() {
             continue;
           }
         }
-        if (peer->WantsWrite()) FlushWrites(peer);
+        bool flush_due = FlushDueLocked(peer, now_ms);
+        if (peer->WantsWrite(flush_due)) FlushWrites(peer, flush_due);
       }
       // Enqueued sends may have arrived while we polled.
       for (auto& [address, peer] : peers_) {
-        if (peer->fd >= 0 && !peer->connecting && peer->WantsWrite()) {
-          FlushWrites(peer.get());
+        if (peer->fd < 0 || peer->connecting) continue;
+        bool flush_due = FlushDueLocked(peer.get(), now_ms);
+        if (peer->WantsWrite(flush_due)) {
+          FlushWrites(peer.get(), flush_due);
         }
-      }
-    }
-
-    // Wake pipe: drain.
-    if (fds[peer_count].revents & POLLIN) {
-      char scratch[256];
-      while (read(wake_read_fd_, scratch, sizeof(scratch)) > 0) {
       }
     }
 
@@ -867,7 +951,10 @@ SocketTransportStats SocketTransport::Stats() const {
   stats.frames_deduped = frames_deduped_.load(std::memory_order_relaxed);
   stats.frames_replayed =
       frames_replayed_.load(std::memory_order_relaxed);
+  stats.frames_batched = frames_batched_.load(std::memory_order_relaxed);
+  stats.batches_sent = batches_sent_.load(std::memory_order_relaxed);
   stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  stats.write_syscalls = write_syscalls_.load(std::memory_order_relaxed);
   stats.reconnects = reconnects_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(state_mu_);
   for (const auto& [address, peer] : peers_) {

@@ -36,6 +36,20 @@ struct SocketTransportOptions {
   /// Consecutive connect failures before IsNodeDown reports the peer
   /// down (debounces startup races against real crashes).
   int down_after_failures = 40;
+  /// Sender-side wire codec for every frame this transport encodes
+  /// (HELLO/ACK/DATA). Receivers decode both forms unconditionally, so
+  /// mixed-codec clusters interoperate.
+  runtime::PayloadCodec codec = runtime::PayloadCodec::kBinary;
+  /// Batching policy: pending DATA frames of a directed pair coalesce
+  /// into one kBatch superframe per poll wakeup, capped at this many
+  /// inner bytes per batch.
+  size_t batch_max_bytes = 64 * 1024;
+  /// Maximum time a pending DATA frame may wait for more frames to
+  /// coalesce with. 0 (the default) flushes on the next poll wakeup —
+  /// batching then only captures frames that were already concurrently
+  /// pending, adding no latency. Positive values trade latency for
+  /// bigger batches; the byte cap above still forces an early flush.
+  int batch_max_delay_ms = 0;
 };
 
 /// Counters for benchmarks and Idle checks (monotonic, relaxed), plus
@@ -46,7 +60,10 @@ struct SocketTransportStats {
   int64_t frames_delivered = 0;   // DATA frames handed to the sink
   int64_t frames_deduped = 0;     // DATA frames dropped by watermark
   int64_t frames_replayed = 0;    // DATA frames re-written after reconnect
+  int64_t frames_batched = 0;     // DATA frames that rode in a superframe
+  int64_t batches_sent = 0;       // kBatch superframes staged
   int64_t bytes_sent = 0;         // all frame bytes written
+  int64_t write_syscalls = 0;     // successful write() calls
   int64_t reconnects = 0;         // connections established to peers
   int64_t retained_bytes = 0;     // gauge: unacked outbound, all peers
   int64_t held_bytes = 0;         // gauge: parked for explicit-down nodes
@@ -190,7 +207,11 @@ class SocketTransport : public sim::Transport, public rt::RemoteRouter {
   void ResolveDueHostnames(int64_t now_ms);
   void OnConnected(Peer* peer);
   void OnConnectionBroken(Peer* peer, int64_t now_ms);
-  void FlushWrites(Peer* peer);
+  /// True when the peer's pending DATA frames should be staged now
+  /// rather than waiting for more to coalesce (batch_max_delay_ms
+  /// expired, byte cap reached, or no delay policy configured).
+  bool FlushDueLocked(const Peer* peer, int64_t now_ms) const;
+  void FlushWrites(Peer* peer, bool flush_due);
   void ReadInbound(InConn* conn);
   void HandleInboundFrame(InConn* conn, Frame frame);
   /// Appends an ACK for `endpoint`'s stream onto our link to it,
@@ -237,6 +258,10 @@ class SocketTransport : public sim::Transport, public rt::RemoteRouter {
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
+  /// Wake elision: set before writing the self-pipe, cleared by the loop
+  /// right after draining it. Back-to-back Ship() calls between two loop
+  /// wakeups then cost one pipe write total instead of one each.
+  std::atomic<bool> wake_pending_{false};
   std::thread loop_;
   std::atomic<bool> running_{false};
   std::atomic<bool> shut_down_{false};
@@ -248,7 +273,10 @@ class SocketTransport : public sim::Transport, public rt::RemoteRouter {
   std::atomic<int64_t> frames_delivered_{0};
   std::atomic<int64_t> frames_deduped_{0};
   std::atomic<int64_t> frames_replayed_{0};
+  std::atomic<int64_t> frames_batched_{0};
+  std::atomic<int64_t> batches_sent_{0};
   std::atomic<int64_t> bytes_sent_{0};
+  std::atomic<int64_t> write_syscalls_{0};
   std::atomic<int64_t> reconnects_{0};
 };
 

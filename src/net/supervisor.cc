@@ -87,6 +87,10 @@ Status Supervisor::Spawn(NodeProcess* process, bool drive) {
     args.push_back("--agdb");
     args.push_back(options_.agdb_dir);
   }
+  if (!options_.codec.empty()) {
+    args.push_back("--codec");
+    args.push_back(options_.codec);
+  }
   if (!options_.trace_dir.empty()) {
     // One shard file per incarnation: a restarted process must not
     // overwrite its previous life's shard (each is a separate clock).

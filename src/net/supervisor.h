@@ -33,6 +33,10 @@ struct LaunchOptions {
   std::string trace_dir;
   /// Metrics snapshot cadence inside each node (0 = off).
   int64_t telemetry_interval_ms = 200;
+  /// Wire codec each node sends with ("kv" | "binary"). Empty = the
+  /// node binary's default (binary). Receivers accept both, so mixed
+  /// clusters interoperate.
+  std::string codec;
 };
 
 /// Launcher/supervisor for multi-process deployments: spawns one

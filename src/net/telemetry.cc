@@ -1,11 +1,24 @@
 #include "net/telemetry.h"
 
 #include <cctype>
+#include <cstdio>
 #include <sstream>
 
 #include "obs/trace.h"
 
 namespace crew::net {
+
+namespace {
+
+/// Fixed two-decimal ratio (as a JSON number), 0.00 when divisor is 0.
+std::string Ratio2(int64_t numer, int64_t denom) {
+  char buf[32];
+  double v = denom > 0 ? static_cast<double>(numer) / denom : 0.0;
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
 
 std::string NodeTelemetryJson(
     const std::string& endpoint, uint64_t incarnation,
@@ -20,7 +33,14 @@ std::string NodeTelemetryJson(
      << ",\"frames_delivered\":" << transport_stats.frames_delivered
      << ",\"frames_deduped\":" << transport_stats.frames_deduped
      << ",\"frames_replayed\":" << transport_stats.frames_replayed
+     << ",\"frames_batched\":" << transport_stats.frames_batched
+     << ",\"batches_sent\":" << transport_stats.batches_sent
      << ",\"bytes_sent\":" << transport_stats.bytes_sent
+     << ",\"write_syscalls\":" << transport_stats.write_syscalls
+     << ",\"mean_frames_per_batch\":"
+     << Ratio2(transport_stats.frames_batched, transport_stats.batches_sent)
+     << ",\"bytes_per_syscall\":"
+     << Ratio2(transport_stats.bytes_sent, transport_stats.write_syscalls)
      << ",\"reconnects\":" << transport_stats.reconnects
      << ",\"retained_bytes_total\":" << transport_stats.retained_bytes
      << ",\"held_bytes_total\":" << transport_stats.held_bytes
@@ -87,6 +107,9 @@ ClusterAggregate AggregateTelemetry(const std::vector<NodeTelemetry>& nodes) {
     a.frames_delivered += ExtractJsonInt(j, "\"frames_delivered\":");
     a.frames_deduped += ExtractJsonInt(j, "\"frames_deduped\":");
     a.frames_replayed += ExtractJsonInt(j, "\"frames_replayed\":");
+    a.frames_batched += ExtractJsonInt(j, "\"frames_batched\":");
+    a.batches_sent += ExtractJsonInt(j, "\"batches_sent\":");
+    a.write_syscalls += ExtractJsonInt(j, "\"write_syscalls\":");
     a.reconnects += ExtractJsonInt(j, "\"reconnects\":");
     a.retained_bytes += ExtractJsonInt(j, "\"retained_bytes_total\":");
     a.held_bytes += ExtractJsonInt(j, "\"held_bytes_total\":");
@@ -103,7 +126,8 @@ std::string AggregateSummaryLine(const ClusterAggregate& a) {
   os << "cluster n=" << a.nodes << " msgs=" << a.messages_total
      << " load=" << a.load_total << " frames: sent=" << a.frames_sent
      << " dlv=" << a.frames_delivered << " dup=" << a.frames_deduped
-     << " replay=" << a.frames_replayed << " reconn=" << a.reconnects
+     << " replay=" << a.frames_replayed << " batch=" << a.frames_batched
+     << "/" << a.batches_sent << " reconn=" << a.reconnects
      << " retained=" << a.retained_bytes << "B held=" << a.held_bytes
      << "B mbox=" << a.mailbox_depth;
   return os.str();
@@ -117,6 +141,8 @@ std::string NodeSummaryLine(const NodeTelemetry& node) {
      << " dlv=" << ExtractJsonInt(j, "\"frames_delivered\":")
      << " dup=" << ExtractJsonInt(j, "\"frames_deduped\":")
      << " replay=" << ExtractJsonInt(j, "\"frames_replayed\":")
+     << " batch=" << ExtractJsonInt(j, "\"frames_batched\":")
+     << "/" << ExtractJsonInt(j, "\"batches_sent\":")
      << " reconn=" << ExtractJsonInt(j, "\"reconnects\":")
      << " retained=" << ExtractJsonInt(j, "\"retained_bytes_total\":")
      << "B held=" << ExtractJsonInt(j, "\"held_bytes_total\":")
@@ -137,6 +163,9 @@ std::string ClusterTelemetryJson(const std::vector<NodeTelemetry>& nodes) {
      << ",\"frames_delivered\":" << a.frames_delivered
      << ",\"frames_deduped\":" << a.frames_deduped
      << ",\"frames_replayed\":" << a.frames_replayed
+     << ",\"frames_batched\":" << a.frames_batched
+     << ",\"batches_sent\":" << a.batches_sent
+     << ",\"write_syscalls\":" << a.write_syscalls
      << ",\"reconnects\":" << a.reconnects
      << ",\"retained_bytes\":" << a.retained_bytes
      << ",\"held_bytes\":" << a.held_bytes

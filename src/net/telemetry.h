@@ -23,7 +23,8 @@ struct NodeTelemetry {
 /// Serializes one process's health into a single JSON object:
 ///
 ///   {"endpoint":…,"incarnation":…,
-///    "transport":{frames_*, bytes_sent, reconnects,
+///    "transport":{frames_*, bytes_sent, write_syscalls,
+///                 mean_frames_per_batch, bytes_per_syscall, reconnects,
 ///                 retained_bytes_total, held_bytes_total,
 ///                 "peers":[{peer, connected, ack_lag_frames, …}]},
 ///    "runtime":{messages_delivered, messages_parked, timers_fired,
@@ -58,6 +59,9 @@ struct ClusterAggregate {
   int64_t frames_delivered = 0;
   int64_t frames_deduped = 0;
   int64_t frames_replayed = 0;
+  int64_t frames_batched = 0;  ///< DATA frames that rode inside a batch
+  int64_t batches_sent = 0;    ///< kBatch superframes emitted
+  int64_t write_syscalls = 0;  ///< successful write() calls
   int64_t reconnects = 0;
   int64_t retained_bytes = 0;  ///< gauge, summed over nodes
   int64_t held_bytes = 0;      ///< gauge, summed over nodes

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -75,7 +76,47 @@ class TokenTable {
 TokenTable& GlobalTokens();
 
 inline EventToken InternToken(std::string_view name) {
-  return GlobalTokens().Intern(name);
+  // Thread-local direct-mapped cache in front of the shared table. Hot
+  // parse paths intern the same few event names over and over; a hit
+  // skips the table's shared_mutex entirely. Safe because tokens are
+  // never recycled and Name() views are stable for the table's
+  // lifetime, so a hit is verified with one lock-free string compare.
+  struct CacheEntry {
+    size_t hash = 0;
+    EventToken token_plus_one = 0;  // 0 = empty slot
+  };
+  constexpr size_t kCacheSlots = 256;
+  static thread_local CacheEntry cache[kCacheSlots];
+  // Word-at-a-time FNV: event names are short ("S12.done"), and the
+  // byte-at-a-time std::hash costs as much as the table probe it is
+  // here to avoid. Quality only has to spread 256 slots.
+  uint64_t hash = 0xcbf29ce484222325ull ^ name.size();
+  std::string_view rest = name;
+  while (rest.size() >= 8) {
+    uint64_t word;
+    std::memcpy(&word, rest.data(), 8);
+    hash = (hash ^ word) * 0x100000001b3ull;
+    rest.remove_prefix(8);
+  }
+  if (!rest.empty()) {
+    uint64_t word = 0;
+    std::memcpy(&word, rest.data(), rest.size());
+    hash = (hash ^ word) * 0x100000001b3ull;
+  }
+  // Final avalanche: multiplication only carries entropy upward, so
+  // without this the low slot-index bits never see bytes past the
+  // first — fold the high half back down.
+  hash ^= hash >> 32;
+  hash *= 0xd6e8feb86659fd93ull;
+  hash ^= hash >> 32;
+  CacheEntry& entry = cache[hash & (kCacheSlots - 1)];
+  if (entry.token_plus_one != 0 && entry.hash == hash &&
+      GlobalTokens().Name(entry.token_plus_one - 1) == name) {
+    return entry.token_plus_one - 1;
+  }
+  EventToken token = GlobalTokens().Intern(name);
+  if (token != kInvalidEventToken) entry = {hash, token + 1};
+  return token;
 }
 inline EventToken FindToken(std::string_view name) {
   return GlobalTokens().Find(name);

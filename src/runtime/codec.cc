@@ -1,0 +1,105 @@
+#include "runtime/codec.h"
+
+#include <atomic>
+
+#include "runtime/wire.h"
+
+namespace crew::runtime {
+
+namespace {
+std::atomic<int> g_codec{static_cast<int>(PayloadCodec::kBinary)};
+}  // namespace
+
+void SetPayloadCodec(PayloadCodec codec) {
+  g_codec.store(static_cast<int>(codec), std::memory_order_relaxed);
+}
+
+PayloadCodec ActivePayloadCodec() {
+  return static_cast<PayloadCodec>(g_codec.load(std::memory_order_relaxed));
+}
+
+const char* PayloadCodecName(PayloadCodec codec) {
+  return codec == PayloadCodec::kKv ? "kv" : "binary";
+}
+
+bool ParsePayloadCodecName(std::string_view name, PayloadCodec* out) {
+  if (name == "kv") {
+    *out = PayloadCodec::kKv;
+    return true;
+  }
+  if (name == "binary" || name == "bin") {
+    *out = PayloadCodec::kBinary;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+struct WireTypeDict {
+  rules::TokenTable table;
+  size_t preloaded = 0;
+
+  WireTypeDict() {
+    // Intern order defines dictionary ids; append-only across releases
+    // (the HELLO carries the sender's table, so a peer built from a
+    // different order still resolves correctly — this order only has to
+    // be stable within one process lifetime).
+    for (const char* name : {
+             wi::kWorkflowStart,
+             wi::kWorkflowChangeInputs,
+             wi::kWorkflowAbort,
+             wi::kWorkflowStatus,
+             wi::kWorkflowStatusReply,
+             wi::kInputsChanged,
+             wi::kStepExecute,
+             wi::kStepCompensate,
+             wi::kStepCompleted,
+             wi::kStepStatus,
+             wi::kStepStatusReply,
+             wi::kWorkflowRollback,
+             wi::kHaltThread,
+             wi::kCompensateSet,
+             wi::kCompensateThread,
+             wi::kStateInformation,
+             wi::kStateInformationReply,
+             wi::kAddRule,
+             wi::kAddEvent,
+             wi::kAddPrecondition,
+             wi::kRunProgram,
+             wi::kRunProgramReply,
+             wi::kPurgeInstances,
+         }) {
+      table.Intern(name);
+    }
+    preloaded = table.size();
+  }
+};
+
+WireTypeDict& Dict() {
+  static WireTypeDict* dict = new WireTypeDict();
+  return *dict;
+}
+
+}  // namespace
+
+rules::TokenTable& WireTypeTokens() { return Dict().table; }
+
+size_t WireTypeCount() { return Dict().preloaded; }
+
+int WireTypeId(std::string_view type) {
+  const WireTypeDict& dict = Dict();
+  rules::EventToken token = dict.table.Find(type);
+  if (token == rules::kInvalidEventToken || token >= dict.preloaded) {
+    return -1;
+  }
+  return static_cast<int>(token);
+}
+
+std::string_view WireTypeName(size_t id) {
+  const WireTypeDict& dict = Dict();
+  if (id >= dict.preloaded) return {};
+  return dict.table.Name(static_cast<rules::EventToken>(id));
+}
+
+}  // namespace crew::runtime

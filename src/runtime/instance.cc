@@ -22,6 +22,12 @@ void InstanceState::MergeData(const std::map<std::string, Value>& data) {
   }
 }
 
+void InstanceState::MergeData(const FlatMap<std::string, Value>& data) {
+  for (const auto& [name, value] : data) {
+    data_[name] = value;
+  }
+}
+
 const StepRecord* InstanceState::FindStepRecord(StepId step) const {
   auto it = steps_.find(step);
   return it == steps_.end() ? nullptr : &it->second;
@@ -173,9 +179,9 @@ WorkflowPacket InstanceState::MakePacket(StepId target_step) const {
   packet.instance = id_;
   packet.target_step = target_step;
   packet.epoch = epoch_;
-  packet.data = data_;
+  packet.data.assign(data_.begin(), data_.end());
   packet.events = ValidEvents();
-  packet.executed_by = executed_by_;
+  packet.executed_by.assign(executed_by_.begin(), executed_by_.end());
   packet.ro_links = ro_links_;
   packet.rd_links = rd_links_;
   return packet;

@@ -56,6 +56,7 @@ class InstanceState {
   const std::map<std::string, Value>& data() const { return data_; }
   /// Merges items from a packet (packet values win: they are newer).
   void MergeData(const std::map<std::string, Value>& data);
+  void MergeData(const FlatMap<std::string, Value>& data);
 
   // ---- step status table ----
   StepRecord& step_record(StepId step) { return steps_[step]; }

@@ -1,11 +1,11 @@
 #ifndef CREW_RUNTIME_PACKET_H_
 #define CREW_RUNTIME_PACKET_H_
 
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/ids.h"
 #include "common/status.h"
 #include "common/value.h"
@@ -91,14 +91,25 @@ struct WorkflowPacket {
   StepId target_step = kInvalidStep;  ///< Action: Execute S<target_step>
   int64_t epoch = 0;                  ///< re-execution generation
 
-  std::map<std::string, Value> data;          ///< data table snapshot
+  // The two tables are flat sorted vectors, not std::map: packets are
+  // filled once (from the instance snapshot or from sorted wire input,
+  // both O(1) appends) and then scanned in order by the codecs, so the
+  // node-per-entry allocation and pointer chasing of a tree map was pure
+  // overhead on the serialize/parse hot path.
+  FlatMap<std::string, Value> data;           ///< data table snapshot
   std::vector<EventOcc> events;               ///< valid event occurrences
-  std::map<StepId, NodeId> executed_by;       ///< step -> executing agent
+  FlatMap<StepId, NodeId> executed_by;        ///< step -> executing agent
   std::vector<RoLink> ro_links;               ///< ordering obligations
   std::vector<RdLink> rd_links;               ///< rollback dependencies
 
-  /// Serialized size is the wire size used for byte metrics.
+  /// Serialized size is the wire size used for byte metrics. Encodes in
+  /// the process-wide active codec (runtime/codec.h); Parse()
+  /// auto-detects the format, so mixed-codec peers and WAL records from
+  /// either codec always read back.
   std::string Serialize() const;
+  /// Explicit-codec forms (the codec seam; benches and nesting callers).
+  std::string SerializeKv() const;
+  std::string SerializeBinary() const;
   static Result<WorkflowPacket> Parse(const std::string& payload);
 };
 

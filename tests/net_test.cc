@@ -733,6 +733,10 @@ TEST(TelemetryTest, NodeDocumentsAggregateAcrossCluster) {
   ts1.frames_sent = 20;
   ts1.frames_delivered = 15;
   ts1.frames_replayed = 4;
+  ts1.frames_batched = 12;
+  ts1.batches_sent = 3;
+  ts1.bytes_sent = 5000;
+  ts1.write_syscalls = 8;
   ts1.retained_bytes = 1000;
   SocketTransportStats ts2;
   ts2.frames_sent = 5;
@@ -759,6 +763,17 @@ TEST(TelemetryTest, NodeDocumentsAggregateAcrossCluster) {
   EXPECT_EQ(ExtractJsonInt(n1.json, "\"bytes\":"), 160);
   EXPECT_EQ(ExtractJsonInt(n1.json, "\"load\":{\"total\":"), 50);
   EXPECT_EQ(ExtractJsonInt(n1.json, "\"frames_replayed\":"), 4);
+  EXPECT_EQ(ExtractJsonInt(n1.json, "\"frames_batched\":"), 12);
+  EXPECT_EQ(ExtractJsonInt(n1.json, "\"batches_sent\":"), 3);
+  EXPECT_EQ(ExtractJsonInt(n1.json, "\"write_syscalls\":"), 8);
+  // Derived gauges: 12/3 frames per batch, 5000/8 bytes per syscall.
+  EXPECT_NE(n1.json.find("\"mean_frames_per_batch\":4.00"),
+            std::string::npos);
+  EXPECT_NE(n1.json.find("\"bytes_per_syscall\":625.00"),
+            std::string::npos);
+  // Zero-divisor documents stay well-formed (0.00, not NaN).
+  EXPECT_NE(n2.json.find("\"mean_frames_per_batch\":0.00"),
+            std::string::npos);
   EXPECT_EQ(ExtractJsonInt(n1.json, "\"ack_lag_frames\":"), 6);
   EXPECT_EQ(ExtractJsonInt(n1.json, "\"incarnation\":"), 1);
 
@@ -771,6 +786,9 @@ TEST(TelemetryTest, NodeDocumentsAggregateAcrossCluster) {
   EXPECT_EQ(agg.frames_delivered, 15);
   EXPECT_EQ(agg.frames_deduped, 2);
   EXPECT_EQ(agg.frames_replayed, 4);
+  EXPECT_EQ(agg.frames_batched, 12);
+  EXPECT_EQ(agg.batches_sent, 3);
+  EXPECT_EQ(agg.write_syscalls, 8);
   EXPECT_EQ(agg.reconnects, 1);
   EXPECT_EQ(agg.retained_bytes, 1000);
   EXPECT_EQ(agg.held_bytes, 64);
@@ -782,6 +800,7 @@ TEST(TelemetryTest, NodeDocumentsAggregateAcrossCluster) {
   std::string line = AggregateSummaryLine(agg);
   EXPECT_NE(line.find("cluster n=2"), std::string::npos);
   EXPECT_NE(line.find("replay=4"), std::string::npos);
+  EXPECT_NE(line.find("batch=12/3"), std::string::npos);
   std::string node_line = NodeSummaryLine(n1);
   EXPECT_NE(node_line.find("unix:/tmp/a.sock"), std::string::npos);
   EXPECT_NE(node_line.find("sent=20"), std::string::npos);

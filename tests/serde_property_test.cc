@@ -234,6 +234,10 @@ void ExpectSameFrame(const net::Frame& got, const net::Frame& want,
       EXPECT_EQ(got.message.trace_sent_ticks, want.message.trace_sent_ticks)
           << "frame " << index;
       break;
+    default:
+      // The decoder normalizes to logical kinds; wire-form kinds must
+      // never escape it.
+      FAIL() << "non-logical frame kind " << static_cast<int>(want.kind);
   }
 }
 
@@ -336,6 +340,259 @@ TEST(FrameProperty, ConcatenatedFramesDecodeInOneFeed) {
   }
   EXPECT_FALSE(decoder.Next(&out));
   EXPECT_TRUE(decoder.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Superframes (kBatch) and the binary wire form: the same re-chunking
+// guarantees must hold when frames are coalesced under one envelope,
+// whatever codec each inner frame used.
+
+std::string EncodeWithRandomCodec(const net::Frame& frame, Rng* rng) {
+  return net::EncodeFrame(frame, rng->Bernoulli(0.5)
+                                     ? PayloadCodec::kBinary
+                                     : PayloadCodec::kKv);
+}
+
+TEST(FrameProperty, BinaryFramesSurviveRandomSplits) {
+  Rng rng(60221023);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<net::Frame> frames;
+    std::string stream;
+    int64_t count = rng.Uniform(1, 12);
+    for (int64_t i = 0; i < count; ++i) {
+      frames.push_back(RandomFrame(&rng));
+      stream += net::EncodeFrame(frames.back(), PayloadCodec::kBinary);
+    }
+    net::FrameDecoder decoder;
+    std::vector<net::Frame> decoded;
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      size_t chunk = static_cast<size_t>(rng.Uniform(1, 64));
+      chunk = std::min(chunk, stream.size() - offset);
+      decoder.Feed(std::string_view(stream).substr(offset, chunk));
+      offset += chunk;
+      net::Frame frame;
+      while (decoder.Next(&frame)) decoded.push_back(std::move(frame));
+      ASSERT_TRUE(decoder.ok()) << decoder.status().ToString();
+    }
+    ASSERT_EQ(decoded.size(), frames.size());
+    for (size_t i = 0; i < frames.size(); ++i) {
+      ExpectSameFrame(decoded[i], frames[i], static_cast<int>(i));
+    }
+  }
+}
+
+TEST(FrameProperty, DictionaryTypedDataNeedsTheHello) {
+  // A binary DATA frame whose type is in the HELLO dictionary encodes it
+  // as one varint id; the decoder must resolve it back to the name.
+  net::Frame hello;
+  hello.kind = net::Frame::Kind::kHello;
+  hello.endpoint = "unix:/tmp/a.sock";
+  hello.incarnation = 3;
+  net::Frame data;
+  data.kind = net::Frame::Kind::kData;
+  data.seq = 1;
+  data.message.from = 1;
+  data.message.to = 2;
+  data.message.type = WireTypeName(0);  // a real dictionary name
+  data.message.payload = "x";
+  ASSERT_GE(WireTypeId(data.message.type), 0);
+
+  net::FrameDecoder decoder;
+  decoder.Feed(net::EncodeFrame(hello, PayloadCodec::kBinary));
+  decoder.Feed(net::EncodeFrame(data, PayloadCodec::kBinary));
+  net::Frame out;
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out.kind, net::Frame::Kind::kHello);
+  ASSERT_TRUE(decoder.Next(&out));
+  ExpectSameFrame(out, data, 1);
+
+  // Without the HELLO the dictionary id is undefined -> poisoned stream.
+  net::FrameDecoder cold;
+  cold.Feed(net::EncodeFrame(data, PayloadCodec::kBinary));
+  EXPECT_FALSE(cold.Next(&out));
+  EXPECT_FALSE(cold.ok());
+}
+
+TEST(FrameProperty, SuperframeOneByteDribbleDecodesEveryInnerFrame) {
+  Rng rng(424242);
+  std::vector<net::Frame> frames;
+  std::vector<std::string> encoded;
+  for (int i = 0; i < 6; ++i) {
+    net::Frame frame = RandomFrame(&rng);
+    frames.push_back(frame);
+    encoded.push_back(EncodeWithRandomCodec(frame, &rng));
+  }
+  std::string stream = net::EncodeSuperframe(encoded);
+  net::FrameDecoder decoder;
+  std::vector<net::Frame> decoded;
+  for (char byte : stream) {
+    decoder.Feed(std::string_view(&byte, 1));
+    net::Frame frame;
+    while (decoder.Next(&frame)) decoded.push_back(std::move(frame));
+    ASSERT_TRUE(decoder.ok()) << decoder.status().ToString();
+  }
+  ASSERT_EQ(decoded.size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    ExpectSameFrame(decoded[i], frames[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameProperty, SuperframeCutInsideLengthPrefixYieldsNothing) {
+  Rng rng(90125);
+  std::vector<std::string> encoded;
+  std::vector<net::Frame> frames;
+  for (int i = 0; i < 3; ++i) {
+    frames.push_back(RandomFrame(&rng));
+    encoded.push_back(net::EncodeFrame(frames[i], PayloadCodec::kBinary));
+  }
+  std::string bytes = net::EncodeSuperframe(encoded);
+  net::FrameDecoder decoder;
+  net::Frame out;
+  // Two bytes of the superframe's u32 length prefix only.
+  decoder.Feed(std::string_view(bytes).substr(0, 2));
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_TRUE(decoder.ok());
+  // Up to the middle of the second inner frame.
+  size_t mid = 5 + encoded[0].size() + encoded[1].size() / 2;
+  decoder.Feed(std::string_view(bytes).substr(2, mid - 2));
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_TRUE(decoder.ok());
+  // Remainder: all three inner frames pop at once.
+  decoder.Feed(std::string_view(bytes).substr(mid));
+  for (size_t i = 0; i < frames.size(); ++i) {
+    ASSERT_TRUE(decoder.Next(&out)) << "frame " << i;
+    ExpectSameFrame(out, frames[i], static_cast<int>(i));
+  }
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameProperty, CoalescedSuperframesAndBareFramesInterleave) {
+  Rng rng(171717);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<net::Frame> frames;
+    std::string stream;
+    int64_t groups = rng.Uniform(1, 6);
+    for (int64_t g = 0; g < groups; ++g) {
+      if (rng.Bernoulli(0.4)) {
+        // Bare frame between batches.
+        frames.push_back(RandomFrame(&rng));
+        stream += EncodeWithRandomCodec(frames.back(), &rng);
+        continue;
+      }
+      std::vector<std::string> encoded;
+      int64_t count = rng.Uniform(1, 6);
+      for (int64_t i = 0; i < count; ++i) {
+        frames.push_back(RandomFrame(&rng));
+        encoded.push_back(EncodeWithRandomCodec(frames.back(), &rng));
+      }
+      stream += net::EncodeSuperframe(encoded);
+    }
+    net::FrameDecoder decoder;
+    std::vector<net::Frame> decoded;
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      size_t chunk = static_cast<size_t>(rng.Uniform(1, 128));
+      chunk = std::min(chunk, stream.size() - offset);
+      decoder.Feed(std::string_view(stream).substr(offset, chunk));
+      offset += chunk;
+      net::Frame frame;
+      while (decoder.Next(&frame)) decoded.push_back(std::move(frame));
+      ASSERT_TRUE(decoder.ok()) << decoder.status().ToString();
+    }
+    ASSERT_EQ(decoded.size(), frames.size());
+    for (size_t i = 0; i < frames.size(); ++i) {
+      ExpectSameFrame(decoded[i], frames[i], static_cast<int>(i));
+    }
+  }
+}
+
+TEST(FrameProperty, AppendBatchHeaderMatchesEncodeSuperframe) {
+  Rng rng(5150);
+  std::vector<std::string> encoded;
+  size_t inner_bytes = 0;
+  for (int i = 0; i < 9; ++i) {
+    encoded.push_back(
+        net::EncodeFrame(RandomFrame(&rng), PayloadCodec::kBinary));
+    inner_bytes += encoded.back().size();
+  }
+  std::string incremental;
+  net::AppendBatchHeader(&incremental, encoded.size(), inner_bytes);
+  for (const std::string& f : encoded) incremental += f;
+  EXPECT_EQ(incremental, net::EncodeSuperframe(encoded));
+}
+
+TEST(FrameProperty, CorruptInnerFramePoisonsOnlyThatStream) {
+  Rng rng(31337);
+  std::vector<std::string> encoded;
+  for (int i = 0; i < 4; ++i) {
+    net::Frame frame = RandomFrame(&rng);
+    frame.kind = net::Frame::Kind::kData;  // force bodies with payloads
+    encoded.push_back(net::EncodeFrame(frame, PayloadCodec::kBinary));
+  }
+  // Corrupt the second inner frame's kind byte to an unknown value. The
+  // superframe header is [u32 len][kind][varint count] = 6 bytes here,
+  // and the kind byte sits 4 bytes into an inner envelope.
+  std::string bad = net::EncodeSuperframe(encoded);
+  size_t second_kind = 6 + encoded[0].size() + 4;
+  bad[second_kind] = '\x2f';
+  net::FrameDecoder poisoned;
+  poisoned.Feed(bad);
+  net::Frame out;
+  while (poisoned.Next(&out)) {
+  }
+  EXPECT_FALSE(poisoned.ok());
+  // Poisoned for good.
+  poisoned.Feed(net::EncodeSuperframe(encoded));
+  EXPECT_FALSE(poisoned.Next(&out));
+
+  // An independent decoder (another connection) is untouched: the same
+  // batch uncorrupted decodes fully.
+  net::FrameDecoder clean;
+  clean.Feed(net::EncodeSuperframe(encoded));
+  int count = 0;
+  while (clean.Next(&out)) ++count;
+  EXPECT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(count, 4);
+}
+
+TEST(FrameProperty, NestedBatchIsRejected) {
+  Rng rng(808);
+  std::vector<std::string> inner = {
+      net::EncodeFrame(RandomFrame(&rng), PayloadCodec::kBinary)};
+  std::vector<std::string> nested = {net::EncodeSuperframe(inner)};
+  net::FrameDecoder decoder;
+  decoder.Feed(net::EncodeSuperframe(nested));
+  net::Frame out;
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_FALSE(decoder.ok());
+}
+
+TEST(FrameProperty, BatchNotExactlyTiledIsRejected) {
+  Rng rng(6502);
+  std::vector<std::string> encoded = {
+      net::EncodeFrame(RandomFrame(&rng), PayloadCodec::kBinary)};
+  std::string bytes = net::EncodeSuperframe(encoded);
+  // Declare one extra body byte in the superframe length and append it:
+  // the inner frames no longer tile the body exactly.
+  uint32_t length = static_cast<uint8_t>(bytes[0]) |
+                    (static_cast<uint8_t>(bytes[1]) << 8) |
+                    (static_cast<uint8_t>(bytes[2]) << 16) |
+                    (static_cast<uint8_t>(bytes[3]) << 24);
+  ++length;
+  bytes[0] = static_cast<char>(length & 0xff);
+  bytes[1] = static_cast<char>((length >> 8) & 0xff);
+  bytes[2] = static_cast<char>((length >> 16) & 0xff);
+  bytes[3] = static_cast<char>((length >> 24) & 0xff);
+  bytes.push_back('\x00');
+  net::FrameDecoder decoder;
+  decoder.Feed(bytes);
+  net::Frame out;
+  while (decoder.Next(&out)) {
+  }
+  EXPECT_FALSE(decoder.ok());
 }
 
 TEST(FrameProperty, CorruptLengthPoisonsStream) {

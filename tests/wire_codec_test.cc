@@ -1,0 +1,509 @@
+// Codec-equivalence tests: every typed payload in runtime/wire.h must
+// mean the same thing under the kv text codec and the binary codec. For
+// each message we serialize under both codecs, parse both byte strings
+// back (Parse auto-detects the format from the first byte), and compare
+// the four results field by field. A divergence in either direction —
+// binary dropping a field, kv quantizing differently — fails here.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/codec.h"
+#include "runtime/wire.h"
+
+namespace crew::runtime {
+namespace {
+
+// Serializes `msg` under both codecs and hands every parsed variant to
+// `check(parsed, which)`. The binary string must actually be binary and
+// the kv string actually kv, so the auto-detection path is exercised.
+template <typename Msg, typename Check>
+void ForEachCodecRoundTrip(const Msg& msg, Check check) {
+  std::string kv_bytes, bin_bytes;
+  {
+    ScopedPayloadCodec guard(PayloadCodec::kKv);
+    kv_bytes = msg.Serialize();
+  }
+  {
+    ScopedPayloadCodec guard(PayloadCodec::kBinary);
+    bin_bytes = msg.Serialize();
+  }
+  ASSERT_FALSE(LooksBinary(kv_bytes));
+  ASSERT_TRUE(LooksBinary(bin_bytes));
+  // Binary should never be larger than the kv text form for our
+  // payloads (field names collapse to tag bytes), modulo its fixed
+  // 2-byte magic+id preamble, which an *empty* kv payload lacks.
+  EXPECT_LE(bin_bytes.size(), kv_bytes.size() + 2);
+  Result<Msg> from_kv = Msg::Parse(kv_bytes);
+  ASSERT_TRUE(from_kv.ok()) << from_kv.status().ToString();
+  Result<Msg> from_bin = Msg::Parse(bin_bytes);
+  ASSERT_TRUE(from_bin.ok()) << from_bin.status().ToString();
+  check(from_kv.value(), "kv");
+  check(from_bin.value(), "binary");
+}
+
+Value HostileValue(int i) {
+  switch (i % 5) {
+    case 0: return Value();
+    case 1: return Value(i % 2 == 1);
+    case 2: return Value(static_cast<int64_t>(-1'000'000 + 31 * i));
+    case 3: return Value(0.5 * i - 7.25);
+    default: return Value("v=\"x\"\n\\esc;,@" + std::to_string(i));
+  }
+}
+
+TEST(WireCodec, WorkflowStart) {
+  WorkflowStartMsg m;
+  m.instance = {"WF_start", 41};
+  m.reply_to = 7;
+  for (int i = 0; i < 6; ++i) m.inputs["I" + std::to_string(i)] = HostileValue(i);
+  m.ro_links.push_back({{"WFX", 3}, 2, 5, true});
+  m.ro_links.push_back({{"WFY", 8}, 1, 1, false});
+  m.rd_links.push_back({{"WFZ", 2}, 4, 6});
+  m.parent = {"WF_parent", 9};
+  m.parent_step = 12;
+  ForEachCodecRoundTrip(m, [&](const WorkflowStartMsg& p, const char* which) {
+    EXPECT_EQ(p.instance, m.instance) << which;
+    EXPECT_EQ(p.inputs, m.inputs) << which;
+    EXPECT_EQ(p.reply_to, m.reply_to) << which;
+    ASSERT_EQ(p.ro_links.size(), m.ro_links.size()) << which;
+    for (size_t i = 0; i < m.ro_links.size(); ++i) {
+      EXPECT_EQ(p.ro_links[i].other, m.ro_links[i].other) << which;
+      EXPECT_EQ(p.ro_links[i].my_step, m.ro_links[i].my_step) << which;
+      EXPECT_EQ(p.ro_links[i].other_step, m.ro_links[i].other_step) << which;
+      EXPECT_EQ(p.ro_links[i].leading, m.ro_links[i].leading) << which;
+    }
+    ASSERT_EQ(p.rd_links.size(), m.rd_links.size()) << which;
+    EXPECT_EQ(p.rd_links[0].other, m.rd_links[0].other) << which;
+    EXPECT_EQ(p.parent, m.parent) << which;
+    EXPECT_EQ(p.parent_step, m.parent_step) << which;
+  });
+  // Top-level start (no parent): the parent fields must stay defaulted.
+  WorkflowStartMsg top;
+  top.instance = {"WF_top", 1};
+  ForEachCodecRoundTrip(top, [&](const WorkflowStartMsg& p, const char* which) {
+    EXPECT_TRUE(p.parent.workflow.empty()) << which;
+    EXPECT_EQ(p.parent_step, kInvalidStep) << which;
+  });
+}
+
+TEST(WireCodec, WorkflowChangeInputs) {
+  WorkflowChangeInputsMsg m;
+  m.instance = {"WF", 5};
+  m.new_inputs["A"] = Value(std::string("x\ny"));
+  m.new_inputs["B"] = Value(int64_t{-3});
+  m.origin_step = 4;
+  ForEachCodecRoundTrip(
+      m, [&](const WorkflowChangeInputsMsg& p, const char* which) {
+        EXPECT_EQ(p.instance, m.instance) << which;
+        EXPECT_EQ(p.new_inputs, m.new_inputs) << which;
+        EXPECT_EQ(p.origin_step, m.origin_step) << which;
+      });
+}
+
+TEST(WireCodec, WorkflowAbortAndStatus) {
+  WorkflowAbortMsg abort;
+  abort.instance = {"WF_abort", 77};
+  ForEachCodecRoundTrip(abort,
+                        [&](const WorkflowAbortMsg& p, const char* which) {
+                          EXPECT_EQ(p.instance, abort.instance) << which;
+                        });
+  WorkflowStatusMsg status;
+  status.instance = {"WF_q", 3};
+  status.reply_to = 11;
+  ForEachCodecRoundTrip(status,
+                        [&](const WorkflowStatusMsg& p, const char* which) {
+                          EXPECT_EQ(p.instance, status.instance) << which;
+                          EXPECT_EQ(p.reply_to, status.reply_to) << which;
+                        });
+  for (WorkflowState state :
+       {WorkflowState::kUnknown, WorkflowState::kExecuting,
+        WorkflowState::kCommitted, WorkflowState::kAborted}) {
+    WorkflowStatusReplyMsg reply;
+    reply.instance = {"WF_q", 3};
+    reply.state = state;
+    ForEachCodecRoundTrip(
+        reply, [&](const WorkflowStatusReplyMsg& p, const char* which) {
+          EXPECT_EQ(p.instance, reply.instance) << which;
+          EXPECT_EQ(p.state, reply.state) << which;
+        });
+  }
+}
+
+TEST(WireCodec, StepExecutePacket) {
+  StepExecuteMsg m;
+  m.packet.instance = {"WF_pkt", 13};
+  m.packet.target_step = 6;
+  m.packet.epoch = 2;
+  for (int i = 0; i < 8; ++i) {
+    m.packet.data["S" + std::to_string(i) + ".O1"] = HostileValue(i);
+  }
+  m.packet.events.push_back({"S1.done", 2, 1});
+  m.packet.events.push_back({"S2.done", 1, 0});
+  m.packet.executed_by[1] = 10;
+  m.packet.executed_by[2] = 20;
+  m.packet.ro_links.push_back({{"WFo", 4}, 1, 2, false});
+  m.packet.rd_links.push_back({{"WFr", 6}, 3, 5});
+  ForEachCodecRoundTrip(m, [&](const StepExecuteMsg& p, const char* which) {
+    EXPECT_EQ(p.packet.instance, m.packet.instance) << which;
+    EXPECT_EQ(p.packet.target_step, m.packet.target_step) << which;
+    EXPECT_EQ(p.packet.epoch, m.packet.epoch) << which;
+    EXPECT_EQ(p.packet.data, m.packet.data) << which;
+    ASSERT_EQ(p.packet.events.size(), m.packet.events.size()) << which;
+    for (size_t i = 0; i < m.packet.events.size(); ++i) {
+      EXPECT_EQ(p.packet.events[i].token, m.packet.events[i].token) << which;
+      EXPECT_EQ(p.packet.events[i].occ, m.packet.events[i].occ) << which;
+      EXPECT_EQ(p.packet.events[i].epoch, m.packet.events[i].epoch) << which;
+    }
+    EXPECT_EQ(p.packet.executed_by, m.packet.executed_by) << which;
+    ASSERT_EQ(p.packet.ro_links.size(), 1u) << which;
+    EXPECT_EQ(p.packet.ro_links[0].other, m.packet.ro_links[0].other) << which;
+    ASSERT_EQ(p.packet.rd_links.size(), 1u) << which;
+    EXPECT_EQ(p.packet.rd_links[0].other, m.packet.rd_links[0].other) << which;
+  });
+}
+
+TEST(WireCodec, StepLifecycle) {
+  StepCompensateMsg comp;
+  comp.instance = {"WF", 2};
+  comp.step = 9;
+  comp.epoch = 3;
+  ForEachCodecRoundTrip(comp,
+                        [&](const StepCompensateMsg& p, const char* which) {
+                          EXPECT_EQ(p.instance, comp.instance) << which;
+                          EXPECT_EQ(p.step, comp.step) << which;
+                          EXPECT_EQ(p.epoch, comp.epoch) << which;
+                        });
+  StepCompletedMsg done;
+  done.instance = {"WF", 2};
+  done.step = 5;
+  done.epoch = 1;
+  done.results["final"] = Value(std::string("ok\nline2"));
+  done.results["count"] = Value(int64_t{42});
+  ForEachCodecRoundTrip(done,
+                        [&](const StepCompletedMsg& p, const char* which) {
+                          EXPECT_EQ(p.instance, done.instance) << which;
+                          EXPECT_EQ(p.step, done.step) << which;
+                          EXPECT_EQ(p.epoch, done.epoch) << which;
+                          EXPECT_EQ(p.results, done.results) << which;
+                        });
+  StepStatusMsg status;
+  status.instance = {"WF", 2};
+  status.step = 7;
+  status.reply_to = 4;
+  ForEachCodecRoundTrip(status,
+                        [&](const StepStatusMsg& p, const char* which) {
+                          EXPECT_EQ(p.instance, status.instance) << which;
+                          EXPECT_EQ(p.step, status.step) << which;
+                          EXPECT_EQ(p.reply_to, status.reply_to) << which;
+                        });
+  for (StepRunState state :
+       {StepRunState::kUnknown, StepRunState::kExecuting, StepRunState::kDone,
+        StepRunState::kFailed, StepRunState::kCompensated}) {
+    StepStatusReplyMsg reply;
+    reply.instance = {"WF", 2};
+    reply.step = 7;
+    reply.state = state;
+    reply.responder = 6;
+    ForEachCodecRoundTrip(
+        reply, [&](const StepStatusReplyMsg& p, const char* which) {
+          EXPECT_EQ(p.instance, reply.instance) << which;
+          EXPECT_EQ(p.step, reply.step) << which;
+          EXPECT_EQ(p.state, reply.state) << which;
+          EXPECT_EQ(p.responder, reply.responder) << which;
+        });
+  }
+}
+
+TEST(WireCodec, RollbackCarriesNestedPacket) {
+  WorkflowRollbackMsg m;
+  m.instance = {"WF_rb", 21};
+  m.origin_step = 3;
+  m.new_epoch = 8;
+  m.state.instance = m.instance;
+  m.state.target_step = 3;
+  m.state.epoch = 7;
+  m.state.data["S1.O1"] = Value("nested\nnewline\\and\\backslash");
+  m.state.events.push_back({"S1.done", 1, 7});
+  ForEachCodecRoundTrip(
+      m, [&](const WorkflowRollbackMsg& p, const char* which) {
+        EXPECT_EQ(p.instance, m.instance) << which;
+        EXPECT_EQ(p.origin_step, m.origin_step) << which;
+        EXPECT_EQ(p.new_epoch, m.new_epoch) << which;
+        EXPECT_EQ(p.state.instance, m.state.instance) << which;
+        EXPECT_EQ(p.state.target_step, m.state.target_step) << which;
+        EXPECT_EQ(p.state.epoch, m.state.epoch) << which;
+        EXPECT_EQ(p.state.data, m.state.data) << which;
+        ASSERT_EQ(p.state.events.size(), 1u) << which;
+        EXPECT_EQ(p.state.events[0].token, m.state.events[0].token) << which;
+      });
+}
+
+TEST(WireCodec, HaltAndCompensate) {
+  HaltThreadMsg halt;
+  halt.instance = {"WF", 2};
+  halt.origin_step = 4;
+  halt.new_epoch = 6;
+  ForEachCodecRoundTrip(halt, [&](const HaltThreadMsg& p, const char* which) {
+    EXPECT_EQ(p.instance, halt.instance) << which;
+    EXPECT_EQ(p.origin_step, halt.origin_step) << which;
+    EXPECT_EQ(p.new_epoch, halt.new_epoch) << which;
+  });
+  CompensateSetMsg set;
+  set.instance = {"WF", 2};
+  set.origin_step = 2;
+  set.remaining = {5, 3, 1};
+  set.epoch = 4;
+  set.resume_agent = 9;
+  set.resume.instance = set.instance;
+  set.resume.target_step = 2;
+  set.resume.data["S0.O1"] = Value(int64_t{17});
+  ForEachCodecRoundTrip(set, [&](const CompensateSetMsg& p,
+                                 const char* which) {
+    EXPECT_EQ(p.instance, set.instance) << which;
+    EXPECT_EQ(p.origin_step, set.origin_step) << which;
+    EXPECT_EQ(p.remaining, set.remaining) << which;
+    EXPECT_EQ(p.epoch, set.epoch) << which;
+    EXPECT_EQ(p.resume_agent, set.resume_agent) << which;
+    EXPECT_EQ(p.resume.instance, set.resume.instance) << which;
+    EXPECT_EQ(p.resume.data, set.resume.data) << which;
+  });
+  CompensateThreadMsg thread;
+  thread.instance = {"WF", 2};
+  thread.step = 6;
+  thread.until_join = 8;
+  thread.epoch = 2;
+  ForEachCodecRoundTrip(thread,
+                        [&](const CompensateThreadMsg& p, const char* which) {
+                          EXPECT_EQ(p.instance, thread.instance) << which;
+                          EXPECT_EQ(p.step, thread.step) << which;
+                          EXPECT_EQ(p.until_join, thread.until_join) << which;
+                          EXPECT_EQ(p.epoch, thread.epoch) << which;
+                        });
+}
+
+TEST(WireCodec, StateInformationPair) {
+  StateInformationMsg q;
+  q.reply_to = 3;
+  q.instance = {"WF_elect", 4};
+  q.step = 2;
+  ForEachCodecRoundTrip(q,
+                        [&](const StateInformationMsg& p, const char* which) {
+                          EXPECT_EQ(p.reply_to, q.reply_to) << which;
+                          EXPECT_EQ(p.instance, q.instance) << which;
+                          EXPECT_EQ(p.step, q.step) << which;
+                        });
+  StateInformationReplyMsg r;
+  r.responder = 5;
+  r.load = 12;
+  r.instance = {"WF_elect", 4};
+  r.step = 2;
+  ForEachCodecRoundTrip(
+      r, [&](const StateInformationReplyMsg& p, const char* which) {
+        EXPECT_EQ(p.responder, r.responder) << which;
+        EXPECT_EQ(p.load, r.load) << which;
+        EXPECT_EQ(p.instance, r.instance) << which;
+        EXPECT_EQ(p.step, r.step) << which;
+      });
+}
+
+TEST(WireCodec, RuleDistribution) {
+  AddRuleMsg rule;
+  rule.instance = {"WF", 3};
+  rule.rule_id = "exec.S4.via.S3";
+  rule.trigger_events = {"S3.done", "S2.done"};
+  rule.condition_source = "S3.O1 >= 10 and changed(WF.I1)";
+  rule.action_step = 4;
+  ForEachCodecRoundTrip(rule, [&](const AddRuleMsg& p, const char* which) {
+    EXPECT_EQ(p.instance, rule.instance) << which;
+    EXPECT_EQ(p.rule_id, rule.rule_id) << which;
+    EXPECT_EQ(p.trigger_events, rule.trigger_events) << which;
+    EXPECT_EQ(p.condition_source, rule.condition_source) << which;
+    EXPECT_EQ(p.action_step, rule.action_step) << which;
+  });
+  // Empty condition must stay empty (the field is elided on the wire).
+  AddRuleMsg bare;
+  bare.instance = {"WF", 3};
+  bare.rule_id = "r1";
+  bare.action_step = 1;
+  ForEachCodecRoundTrip(bare, [&](const AddRuleMsg& p, const char* which) {
+    EXPECT_TRUE(p.condition_source.empty()) << which;
+    EXPECT_TRUE(p.trigger_events.empty()) << which;
+  });
+  AddEventMsg event;
+  event.instance = {"WF", 3};
+  event.event_token = "S3.done";
+  ForEachCodecRoundTrip(event, [&](const AddEventMsg& p, const char* which) {
+    EXPECT_EQ(p.instance, event.instance) << which;
+    EXPECT_EQ(p.event_token, event.event_token) << which;
+  });
+  AddPreconditionMsg pre;
+  pre.instance = {"WF", 3};
+  pre.rule_id = "exec.S4.via.S3";
+  pre.event_token = "S2.done";
+  ForEachCodecRoundTrip(pre,
+                        [&](const AddPreconditionMsg& p, const char* which) {
+                          EXPECT_EQ(p.instance, pre.instance) << which;
+                          EXPECT_EQ(p.rule_id, pre.rule_id) << which;
+                          EXPECT_EQ(p.event_token, pre.event_token) << which;
+                        });
+}
+
+TEST(WireCodec, RunProgramQuantizesCostFractionIdentically) {
+  RunProgramMsg m;
+  m.instance = {"WF", 6};
+  m.step = 3;
+  m.program = "P3";
+  m.attempt = 2;
+  m.compensation = true;
+  m.cost_fraction = 0.333333;  // survives the ppm grid exactly
+  m.nominal_cost = 900;
+  m.designated = 12;
+  m.inputs["I1"] = Value(int64_t{5});
+  m.inputs["I2"] = Value("text with spaces");
+  m.reply_to = 2;
+  m.epoch = 4;
+  ForEachCodecRoundTrip(m, [&](const RunProgramMsg& p, const char* which) {
+    EXPECT_EQ(p.instance, m.instance) << which;
+    EXPECT_EQ(p.step, m.step) << which;
+    EXPECT_EQ(p.program, m.program) << which;
+    EXPECT_EQ(p.attempt, m.attempt) << which;
+    EXPECT_EQ(p.compensation, m.compensation) << which;
+    EXPECT_DOUBLE_EQ(p.cost_fraction, m.cost_fraction) << which;
+    EXPECT_EQ(p.nominal_cost, m.nominal_cost) << which;
+    EXPECT_EQ(p.designated, m.designated) << which;
+    EXPECT_EQ(p.inputs, m.inputs) << which;
+    EXPECT_EQ(p.reply_to, m.reply_to) << which;
+    EXPECT_EQ(p.epoch, m.epoch) << which;
+  });
+  // Off-grid fractions quantize to the same ppm value in both codecs.
+  RunProgramMsg off = m;
+  off.cost_fraction = 1.0 / 3.0;
+  std::string kv_bytes, bin_bytes;
+  {
+    ScopedPayloadCodec guard(PayloadCodec::kKv);
+    kv_bytes = off.Serialize();
+  }
+  {
+    ScopedPayloadCodec guard(PayloadCodec::kBinary);
+    bin_bytes = off.Serialize();
+  }
+  Result<RunProgramMsg> from_kv = RunProgramMsg::Parse(kv_bytes);
+  Result<RunProgramMsg> from_bin = RunProgramMsg::Parse(bin_bytes);
+  ASSERT_TRUE(from_kv.ok() && from_bin.ok());
+  EXPECT_DOUBLE_EQ(from_kv.value().cost_fraction,
+                   from_bin.value().cost_fraction);
+}
+
+TEST(WireCodec, RunProgramReply) {
+  RunProgramReplyMsg m;
+  m.instance = {"WF", 6};
+  m.step = 3;
+  m.ack_only = false;
+  m.success = true;
+  m.compensation = true;
+  m.cost = 450;
+  m.epoch = 4;
+  m.agent_load = 7;
+  m.responder = 12;
+  m.outputs["O1"] = Value(3.5);
+  m.outputs["O2"] = Value();
+  ForEachCodecRoundTrip(m,
+                        [&](const RunProgramReplyMsg& p, const char* which) {
+                          EXPECT_EQ(p.instance, m.instance) << which;
+                          EXPECT_EQ(p.step, m.step) << which;
+                          EXPECT_EQ(p.ack_only, m.ack_only) << which;
+                          EXPECT_EQ(p.success, m.success) << which;
+                          EXPECT_EQ(p.compensation, m.compensation) << which;
+                          EXPECT_EQ(p.cost, m.cost) << which;
+                          EXPECT_EQ(p.epoch, m.epoch) << which;
+                          EXPECT_EQ(p.agent_load, m.agent_load) << which;
+                          EXPECT_EQ(p.responder, m.responder) << which;
+                          EXPECT_EQ(p.outputs, m.outputs) << which;
+                        });
+}
+
+TEST(WireCodec, PurgeInstances) {
+  PurgeInstancesMsg m;
+  m.committed.push_back({"WF1", 3});
+  m.committed.push_back({"WF2", 9});
+  m.committed.push_back({"WF with spaces", 1});
+  ForEachCodecRoundTrip(m,
+                        [&](const PurgeInstancesMsg& p, const char* which) {
+                          EXPECT_EQ(p.committed, m.committed) << which;
+                        });
+  PurgeInstancesMsg empty;
+  ForEachCodecRoundTrip(empty,
+                        [&](const PurgeInstancesMsg& p, const char* which) {
+                          EXPECT_TRUE(p.committed.empty()) << which;
+                        });
+}
+
+// Randomized sweep: WorkflowStart with random inputs is the richest map
+// carrier; serialize under each codec and cross-check the parses agree
+// with each other (not just with the original).
+TEST(WireCodec, RandomizedStartMessagesAgreeAcrossCodecs) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 200; ++trial) {
+    WorkflowStartMsg m;
+    m.instance.workflow = "WF" + std::to_string(rng.Uniform(0, 50));
+    m.instance.number = rng.Uniform(1, 1'000'000'000);
+    if (rng.Bernoulli(0.5)) m.reply_to = static_cast<NodeId>(rng.Uniform(0, 99));
+    int64_t inputs = rng.Uniform(0, 10);
+    for (int64_t i = 0; i < inputs; ++i) {
+      std::string key = "I" + std::to_string(i);
+      switch (rng.Index(5)) {
+        case 0: m.inputs[key] = Value(); break;
+        case 1: m.inputs[key] = Value(rng.Bernoulli(0.5)); break;
+        case 2:
+          m.inputs[key] = Value(rng.Uniform(-1'000'000'000, 1'000'000'000));
+          break;
+        case 3: m.inputs[key] = Value(rng.NextDouble() * 1e9 - 5e8); break;
+        default: {
+          std::string s;
+          int64_t length = rng.Uniform(0, 40);
+          for (int64_t c = 0; c < length; ++c) {
+            const char alphabet[] = "abz019 ;,=\"\\\n\t{}\x01\x7f";
+            s += alphabet[rng.Index(sizeof(alphabet) - 1)];
+          }
+          m.inputs[key] = Value(s);
+        }
+      }
+    }
+    if (rng.Bernoulli(0.4)) {
+      m.ro_links.push_back({{"WFo", rng.Uniform(1, 9)},
+                            static_cast<StepId>(rng.Uniform(1, 9)),
+                            static_cast<StepId>(rng.Uniform(1, 9)),
+                            rng.Bernoulli(0.5)});
+    }
+    if (rng.Bernoulli(0.3)) {
+      m.parent = {"WFp", rng.Uniform(1, 99)};
+      m.parent_step = static_cast<StepId>(rng.Uniform(1, 30));
+    }
+    std::string kv_bytes, bin_bytes;
+    {
+      ScopedPayloadCodec guard(PayloadCodec::kKv);
+      kv_bytes = m.Serialize();
+    }
+    {
+      ScopedPayloadCodec guard(PayloadCodec::kBinary);
+      bin_bytes = m.Serialize();
+    }
+    Result<WorkflowStartMsg> from_kv = WorkflowStartMsg::Parse(kv_bytes);
+    Result<WorkflowStartMsg> from_bin = WorkflowStartMsg::Parse(bin_bytes);
+    ASSERT_TRUE(from_kv.ok()) << from_kv.status().ToString();
+    ASSERT_TRUE(from_bin.ok()) << from_bin.status().ToString();
+    EXPECT_EQ(from_kv.value().instance, from_bin.value().instance);
+    EXPECT_EQ(from_kv.value().inputs, from_bin.value().inputs);
+    EXPECT_EQ(from_kv.value().reply_to, from_bin.value().reply_to);
+    EXPECT_EQ(from_kv.value().ro_links.size(), from_bin.value().ro_links.size());
+    EXPECT_EQ(from_kv.value().parent, from_bin.value().parent);
+    EXPECT_EQ(from_kv.value().parent_step, from_bin.value().parent_step);
+    EXPECT_EQ(from_bin.value().inputs, m.inputs);
+  }
+}
+
+}  // namespace
+}  // namespace crew::runtime
