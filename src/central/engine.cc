@@ -122,6 +122,8 @@ Status WorkflowEngine::StartWorkflow(const std::string& workflow,
   instances_[id] = std::move(inst);
   summary_[id] = WorkflowState::kExecuting;
   PersistInstanceStatus(*raw);
+  // Per-engine admission count feeding the cluster imbalance metric.
+  ctx_->metrics().AddCounter("placement.wf.n" + std::to_string(id_), 1);
 
   obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
@@ -1118,6 +1120,7 @@ void WorkflowEngine::Commit(Instance* inst) {
   BroadcastCoordination(inst, "coord.end");
   tracker().OnInstanceEnd(inst->state.id());
   ++committed_count_;
+  ctx_->metrics().AddCounter("wf.committed", 1);
   // Release any stray locks (defensive; normally released at step done).
   std::vector<StepId> held;
   for (const auto& [step, resources] : inst->held_resources) {
@@ -1199,6 +1202,7 @@ void WorkflowEngine::DoAbort(Instance* inst) {
     }
     tracker().OnInstanceEnd(id);
     ++aborted_count_;
+    ctx_->metrics().AddCounter("wf.aborted", 1);
   });
   RunCompQueue(inst);
 }

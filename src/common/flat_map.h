@@ -22,12 +22,16 @@ namespace crew {
 /// materializing a std::string). Inserting a key that is not greater
 /// than the current maximum falls back to an O(n) shifted insert, so
 /// this type is for small or build-in-order tables, not churny ones.
-template <typename K, typename V>
+/// `Container` is any vector-shaped sequence of std::pair<K, V>
+/// (std::vector by default; SmallVector for hot-path tables that want
+/// inline storage).
+template <typename K, typename V,
+          typename Container = std::vector<std::pair<K, V>>>
 class FlatMap {
  public:
   using value_type = std::pair<K, V>;
-  using iterator = typename std::vector<value_type>::iterator;
-  using const_iterator = typename std::vector<value_type>::const_iterator;
+  using iterator = typename Container::iterator;
+  using const_iterator = typename Container::const_iterator;
 
   iterator begin() { return entries_.begin(); }
   iterator end() { return entries_.end(); }
@@ -98,7 +102,7 @@ class FlatMap {
   bool operator!=(const FlatMap& o) const { return !(*this == o); }
 
  private:
-  std::vector<value_type> entries_;
+  Container entries_;
 };
 
 }  // namespace crew

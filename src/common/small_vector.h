@@ -1,0 +1,184 @@
+#ifndef CREW_COMMON_SMALL_VECTOR_H_
+#define CREW_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace crew {
+
+/// Vector with N elements of inline storage. Ordinary workflow packets
+/// carry a handful of data items, events and links, so routing them
+/// through std::vector meant several heap round trips per packet on the
+/// serialize/parse hot path; with inline slots those packets allocate
+/// nothing. Spills to the heap (and stays there) past N. Not
+/// exception-safe for throwing T move constructors — wire-facing
+/// payload types (pairs of ids, strings, Values) do not throw on move.
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() : data_(inline_slots()), size_(0), capacity_(N) {}
+
+  SmallVector(const SmallVector& o) : SmallVector() {
+    reserve(o.size_);
+    for (size_t i = 0; i < o.size_; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(o.data_[i]);
+    }
+    size_ = o.size_;
+  }
+
+  SmallVector(SmallVector&& o) noexcept : SmallVector() {
+    TakeFrom(std::move(o));
+  }
+
+  SmallVector& operator=(const SmallVector& o) {
+    if (this != &o) {
+      clear();
+      reserve(o.size_);
+      for (size_t i = 0; i < o.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(o.data_[i]);
+      }
+      size_ = o.size_;
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this != &o) {
+      Release();
+      TakeFrom(std::move(o));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { Release(); }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  /// True while elements still live in the inline slots.
+  bool is_inline() const { return data_ == inline_slots(); }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  void clear() {
+    std::destroy_n(data_, size_);
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  /// Insert-in-the-middle used by FlatMap's out-of-order fallback.
+  template <typename... Args>
+  iterator emplace(const_iterator pos, Args&&... args) {
+    size_t index = static_cast<size_t>(pos - data_);
+    if (index == size_) {
+      emplace_back(std::forward<Args>(args)...);
+      return data_ + index;
+    }
+    // Build the value first: args may alias an existing element that
+    // the shift below is about to move.
+    T value(std::forward<Args>(args)...);
+    emplace_back(std::move(back()));
+    std::move_backward(data_ + index, data_ + size_ - 2,
+                       data_ + size_ - 1);
+    data_[index] = std::move(value);
+    return data_ + index;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) emplace_back(*first);
+  }
+
+  bool operator==(const SmallVector& o) const {
+    return size_ == o.size_ && std::equal(begin(), end(), o.begin());
+  }
+  bool operator!=(const SmallVector& o) const { return !(*this == o); }
+
+ private:
+  T* inline_slots() {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  const T* inline_slots() const {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void Grow(size_t n) {
+    size_t next = std::max(n, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(next * sizeof(T)));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+    }
+    std::destroy_n(data_, size_);
+    if (!is_inline()) ::operator delete(data_);
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  /// Destroys elements and frees any heap block (size/pointers left
+  /// stale — callers reset them).
+  void Release() {
+    std::destroy_n(data_, size_);
+    if (!is_inline()) ::operator delete(data_);
+  }
+
+  void TakeFrom(SmallVector&& o) noexcept {
+    if (o.is_inline()) {
+      data_ = inline_slots();
+      capacity_ = N;
+      for (size_t i = 0; i < o.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(o.data_[i]));
+      }
+      size_ = o.size_;
+      o.clear();
+    } else {
+      data_ = o.data_;
+      size_ = o.size_;
+      capacity_ = o.capacity_;
+      o.data_ = o.inline_slots();
+      o.size_ = 0;
+      o.capacity_ = N;
+    }
+  }
+
+  T* data_;
+  size_t size_;
+  size_t capacity_;
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+};
+
+}  // namespace crew
+
+#endif  // CREW_COMMON_SMALL_VECTOR_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 
 #include "common/logging.h"
 #include "rules/event.h"
@@ -109,6 +110,11 @@ void Agent::Send(NodeId to, const std::string& type,
 }
 
 NodeId Agent::CoordinationAgentOf(const AgentInstance& inst) const {
+  // A placed instance carries its coordination agent in every packet;
+  // the static eligible-first rule is the fallback for state that
+  // predates the placement decision's arrival.
+  NodeId placed = inst.state.coordinator();
+  if (placed != kInvalidNode) return placed;
   const std::vector<NodeId>& eligible = deployment_->Eligible(
       inst.state.id().workflow, inst.schema->schema().start_step());
   return eligible.empty() ? kInvalidNode : eligible.front();
@@ -194,7 +200,11 @@ void Agent::OnWorkflowStart(const sim::Message& message) {
   coord.reply_to = msg.reply_to;
   coord.parent = msg.parent;
   coord.parent_step = msg.parent_step;
+  coord.started_at = ctx_->now();
   summary_[msg.instance] = WorkflowState::kExecuting;
+  // Per-node admission count: the cluster imbalance metric (max/mean
+  // wf routed) is computed from these after the shard merge.
+  ctx_->metrics().AddCounter("placement.wf.n" + std::to_string(id_), 1);
   // The coordination agent owns the instance's end-to-end span.
   obs::Tracer& tr = ctx_->tracer();
   if (tr.enabled()) {
@@ -215,6 +225,9 @@ void Agent::OnWorkflowStart(const sim::Message& message) {
 
   AgentInstance* inst = GetOrCreateInstance(msg.instance);
   if (inst == nullptr) return;
+  // The front end placed the instance here: record the decision so
+  // every outgoing packet carries it.
+  inst->state.set_coordinator(id_);
   for (const auto& [name, value] : msg.inputs) {
     inst->state.SetData(name, value);
   }
@@ -309,6 +322,10 @@ void Agent::MaybeCommit(const InstanceId& instance) {
   }
   archived_[instance] = coord.results;
   ++committed_count_;
+  ctx_->metrics().AddCounter("wf.committed", 1);
+  ctx_->metrics()
+      .Latency("wf.sojourn_ticks")
+      .Add(ctx_->now() - coord.started_at);
 
   if (!coord.parent.workflow.empty()) {
     // Nested workflow: hand the completion to the parent step's agent.
@@ -332,10 +349,29 @@ void Agent::MaybeCommit(const InstanceId& instance) {
   BroadcastPurge(instance);
 }
 
+std::vector<NodeId> Agent::PurgeTargets(const InstanceId& instance) {
+  if (options_.purge_broadcast) return all_agents_;
+  model::CompiledSchemaPtr schema = FindSchema(instance.workflow);
+  if (schema == nullptr) return all_agents_;
+  // Every agent that could hold state for this instance is eligible
+  // for some step: executors (ElectedExecutor picks among eligibles),
+  // the coordination agent (eligible for the start step), mutex
+  // arbiters (min eligible of a critical step), and RO registration
+  // sites (eligible for the leading instance's lead step).
+  std::set<NodeId> footprint;
+  const model::Schema& s = schema->schema();
+  for (StepId step = 1; step <= s.num_steps(); ++step) {
+    for (NodeId agent : deployment_->Eligible(instance.workflow, step)) {
+      footprint.insert(agent);
+    }
+  }
+  return std::vector<NodeId>(footprint.begin(), footprint.end());
+}
+
 void Agent::BroadcastPurge(const InstanceId& instance) {
   runtime::PurgeInstancesMsg purge;
   purge.committed.push_back(instance);
-  for (NodeId agent : all_agents_) {
+  for (NodeId agent : PurgeTargets(instance)) {
     if (agent == id_) continue;
     Send(agent, runtime::wi::kPurgeInstances, purge.Serialize(),
          sim::MsgCategory::kAdmin);
@@ -445,6 +481,7 @@ void Agent::OnWorkflowAbort(const sim::Message& message) {
     agdb_.table("coord_summary").Put(instance.ToString(), row);
   }
   ++aborted_count_;
+  ctx_->metrics().AddCounter("wf.aborted", 1);
 
   // Compensate the schema-designated steps. The coordination agent does
   // not know where each step executed, so it messages *all* eligible

@@ -41,6 +41,12 @@ struct AgentOptions {
   /// exchanges StateInformation probes (metered as kElection traffic).
   /// The election itself is decided deterministically either way.
   bool election_probes = false;
+  /// When true, end-of-instance purges go to *every* agent (the paper's
+  /// literal reading, and the first scaling wall the cluster sweep
+  /// hits: O(agents) admin messages per instance). The default sends
+  /// them only to the instance's eligibility footprint — the agents
+  /// that could ever hold its state.
+  bool purge_broadcast = false;
 };
 
 /// The full agent of distributed workflow control (§4). Each agent plays
@@ -129,6 +135,7 @@ class Agent : public sim::MessageHandler {
     std::map<std::string, Value> results;
     InstanceId parent;  ///< non-empty workflow => nested child
     StepId parent_step = kInvalidStep;
+    sim::Time started_at = 0;  ///< arrival tick (commit sojourn metric)
   };
 
   /// Lock table entry for resources this agent arbitrates.
@@ -204,6 +211,11 @@ class Agent : public sim::MessageHandler {
   // ---- coordination-agent machinery ----
   void MaybeCommit(const InstanceId& instance);
   void BroadcastPurge(const InstanceId& instance);
+  /// Agents a purge of `instance` must reach: all of them under
+  /// `purge_broadcast`, otherwise the instance's eligibility footprint
+  /// (union of eligible agents over every schema step — executors,
+  /// coordinator, arbiters and RO registration sites all live there).
+  std::vector<NodeId> PurgeTargets(const InstanceId& instance);
   NodeId CoordinationAgentOf(const AgentInstance& inst) const;
 
   /// Arbiter node for a mutual-exclusion resource: the lowest eligible

@@ -29,6 +29,17 @@ Result<NodeId> FrontEnd::CoordinationAgentFor(
   return deployment_->CoordinationAgent(*it->second);
 }
 
+NodeId FrontEnd::CoordinatorOf(const InstanceId& instance) const {
+  auto it = coordinators_.find(instance);
+  return it == coordinators_.end() ? kInvalidNode : it->second;
+}
+
+Result<NodeId> FrontEnd::RouteFor(const InstanceId& instance) const {
+  NodeId placed = CoordinatorOf(instance);
+  if (placed != kInvalidNode) return placed;
+  return CoordinationAgentFor(instance.workflow);
+}
+
 Result<InstanceId> FrontEnd::StartWorkflow(
     const std::string& workflow, std::map<std::string, Value> inputs) {
   Result<NodeId> coordination_agent = CoordinationAgentFor(workflow);
@@ -38,6 +49,18 @@ Result<InstanceId> FrontEnd::StartWorkflow(
   msg.instance = {workflow, next_instance_++};
   msg.inputs = std::move(inputs);
   msg.reply_to = id_;
+
+  NodeId target = coordination_agent.value();
+  if (placement_ != nullptr) {
+    auto schema_it = schemas_.find(workflow);
+    const std::vector<NodeId>& candidates = deployment_->Eligible(
+        workflow, schema_it->second->schema().start_step());
+    NodeId placed = placement_->Place(msg.instance, candidates);
+    if (placed != kInvalidNode) {
+      target = placed;
+      coordinators_[msg.instance] = placed;
+    }
+  }
 
   // Bind coordinated-execution requirements against live instances: the
   // new instance lags every binding's leading instance.
@@ -63,16 +86,14 @@ Result<InstanceId> FrontEnd::StartWorkflow(
     tr.Begin(obs::SpanKind::kInstance, id_, msg.instance, kInvalidStep,
              "instance.e2e", static_cast<int>(sim::MsgCategory::kAdmin));
   }
-  sim::Message out{id_, coordination_agent.value(),
-                   runtime::wi::kWorkflowStart, msg.Serialize(),
-                   sim::MsgCategory::kAdmin};
+  sim::Message out{id_, target, runtime::wi::kWorkflowStart,
+                   msg.Serialize(), sim::MsgCategory::kAdmin};
   CREW_RETURN_IF_ERROR(ctx_->network().Send(std::move(out)));
   return msg.instance;
 }
 
 Status FrontEnd::RequestAbort(const InstanceId& instance) {
-  Result<NodeId> coordination_agent =
-      CoordinationAgentFor(instance.workflow);
+  Result<NodeId> coordination_agent = RouteFor(instance);
   if (!coordination_agent.ok()) return coordination_agent.status();
   runtime::WorkflowAbortMsg msg;
   msg.instance = instance;
@@ -84,8 +105,7 @@ Status FrontEnd::RequestAbort(const InstanceId& instance) {
 
 Status FrontEnd::RequestChangeInputs(
     const InstanceId& instance, std::map<std::string, Value> new_inputs) {
-  Result<NodeId> coordination_agent =
-      CoordinationAgentFor(instance.workflow);
+  Result<NodeId> coordination_agent = RouteFor(instance);
   if (!coordination_agent.ok()) return coordination_agent.status();
   runtime::WorkflowChangeInputsMsg msg;
   msg.instance = instance;
@@ -97,8 +117,7 @@ Status FrontEnd::RequestChangeInputs(
 }
 
 Status FrontEnd::RequestStatus(const InstanceId& instance) {
-  Result<NodeId> coordination_agent =
-      CoordinationAgentFor(instance.workflow);
+  Result<NodeId> coordination_agent = RouteFor(instance);
   if (!coordination_agent.ok()) return coordination_agent.status();
   runtime::WorkflowStatusMsg msg;
   msg.instance = instance;
@@ -173,9 +192,11 @@ void FrontEnd::HandleMessage(const sim::Message& message) {
     if (msg.state == runtime::WorkflowState::kCommitted) {
       ++known_committed_;
       tracker_.OnInstanceEnd(msg.instance);
+      if (placement_ != nullptr) placement_->Forget(msg.instance);
     } else if (msg.state == runtime::WorkflowState::kAborted) {
       ++known_aborted_;
       tracker_.OnInstanceEnd(msg.instance);
+      if (placement_ != nullptr) placement_->Forget(msg.instance);
     }
   }
 }

@@ -11,6 +11,7 @@
 #include "model/compiled.h"
 #include "model/deployment.h"
 #include "runtime/coord.h"
+#include "runtime/placement.h"
 #include "runtime/wire.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -34,6 +35,18 @@ class FrontEnd : public sim::MessageHandler {
 
   void RegisterSchema(model::CompiledSchemaPtr schema);
 
+  /// Installs the instance->coordination-agent placement policy
+  /// (non-owning; null reverts to the deployment's static choice).
+  /// Candidates are the start step's eligible agents, so placement
+  /// never moves coordination outside the eligibility footprint.
+  void set_placement(runtime::PlacementPolicy* placement) {
+    placement_ = placement;
+  }
+
+  /// Coordination agent this front end placed `instance` at;
+  /// kInvalidNode when the instance was routed statically.
+  NodeId CoordinatorOf(const InstanceId& instance) const;
+
   /// Instantiates a workflow; assigns and returns the instance id.
   Result<InstanceId> StartWorkflow(const std::string& workflow,
                                    std::map<std::string, Value> inputs);
@@ -54,6 +67,9 @@ class FrontEnd : public sim::MessageHandler {
 
  private:
   Result<NodeId> CoordinationAgentFor(const std::string& workflow) const;
+  /// Per-instance routing: the placed coordinator when one was
+  /// recorded, otherwise the schema's static coordination agent.
+  Result<NodeId> RouteFor(const InstanceId& instance) const;
 
   NodeId id_;
   sim::Context* ctx_;
@@ -61,6 +77,8 @@ class FrontEnd : public sim::MessageHandler {
   runtime::ConflictTracker tracker_;
   std::map<std::string, model::CompiledSchemaPtr> schemas_;
   std::map<InstanceId, runtime::WorkflowState> statuses_;
+  runtime::PlacementPolicy* placement_ = nullptr;
+  std::map<InstanceId, NodeId> coordinators_;  ///< placed routes
   int64_t next_instance_ = 1;
   int64_t known_committed_ = 0;
   int64_t known_aborted_ = 0;

@@ -42,6 +42,9 @@ struct LaunchFlags {
   int status_interval_ms = 0;  // live cluster snapshots (0 = off)
   std::string trace_dir;       // per-process shards + merged trace
   std::string codec;           // kv | binary (empty = node default)
+  std::string placement = "static";  // static | rr | hash | least
+  int classes = 0;                   // sweep workload classes (0 = mixed)
+  std::string purge = "targeted";    // targeted | broadcast
 };
 
 void LaunchUsage() {
@@ -59,7 +62,11 @@ void LaunchUsage() {
       "  --trace-dir <dir>              per-process trace shards; merged\n"
       "                                 into <dir>/trace_merged.json\n"
       "  --codec kv|binary              wire codec the nodes send with\n"
-      "                                 (default binary)\n");
+      "                                 (default binary)\n"
+      "  --placement static|rr|hash|least  instance placement policy\n"
+      "  --classes N                    N all-committing workload classes\n"
+      "                                 Wf0..Wf<N-1> (0 = standard mix)\n"
+      "  --purge targeted|broadcast     end-of-instance purge scope\n");
 }
 
 bool ParseLaunchFlags(int argc, char** argv, LaunchFlags* flags) {
@@ -101,6 +108,12 @@ bool ParseLaunchFlags(int argc, char** argv, LaunchFlags* flags) {
       flags->trace_dir = value;
     } else if (arg == "--codec" && (value = next())) {
       flags->codec = value;
+    } else if (arg == "--placement" && (value = next())) {
+      flags->placement = value;
+    } else if (arg == "--classes" && (value = next())) {
+      flags->classes = std::atoi(value);
+    } else if (arg == "--purge" && (value = next())) {
+      flags->purge = value;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -143,6 +156,9 @@ int RunLaunch(const LaunchFlags& flags) {
   options.tick_us = flags.tick_us;
   options.pending_timeout = flags.pending_timeout;
   options.codec = flags.codec;
+  options.placement = flags.placement;
+  options.num_classes = flags.classes;
+  options.purge = flags.purge;
   if (flags.mode == "dist") {
     options.agdb_dir = flags.workdir + "/agdb";
     mkdir(options.agdb_dir.c_str(), 0755);
@@ -165,6 +181,28 @@ int RunLaunch(const LaunchFlags& flags) {
   // print the aggregate plus per-node transport health. Runs on its own
   // thread so a wedged node (bounded control timeout) cannot stall the
   // kill/quiesce sequencing below.
+  // Nodes that can host instances, for the imbalance mean (idle nodes
+  // count against balance).
+  int placement_nodes = flags.mode == "dist"      ? flags.agents
+                        : flags.mode == "parallel" ? flags.engines
+                                                   : 1;
+  // Least-loaded feed: push per-node routed counts (scraped from the
+  // merged metrics) to the placer so its next decisions see live load.
+  auto push_load_feed = [&](const std::vector<NodeTelemetry>& nodes) {
+    if (flags.placement != "least" || nodes.empty()) return;
+    std::map<NodeId, int64_t> counts = PlacementCounts(nodes);
+    if (counts.empty()) return;
+    std::string feed = "feed";
+    char sep = ' ';
+    for (const auto& [id, n] : counts) {
+      feed += sep;
+      feed += "n" + std::to_string(id) + ":" + std::to_string(n);
+      sep = ',';
+    }
+    // The placer lives with the control side at endpoint 0.
+    (void)supervisor.Request(supervisor.processes().front().endpoint, feed);
+  };
+
   std::atomic<bool> status_stop{false};
   std::thread status_thread;
   if (flags.status_interval_ms > 0) {
@@ -175,8 +213,21 @@ int RunLaunch(const LaunchFlags& flags) {
         if (status_stop.load(std::memory_order_acquire)) break;
         std::vector<NodeTelemetry> nodes = supervisor.CollectTelemetry();
         if (nodes.empty()) continue;
+        push_load_feed(nodes);
         std::string block =
             AggregateSummaryLine(AggregateTelemetry(nodes)) + "\n";
+        PlacementImbalance im =
+            ComputeImbalance(PlacementCounts(nodes), placement_nodes);
+        if (im.total > 0) {
+          char line[128];
+          std::snprintf(line, sizeof(line),
+                        "  placement: total=%lld max=%lld mean=%.2f "
+                        "max/mean=%.2f\n",
+                        static_cast<long long>(im.total),
+                        static_cast<long long>(im.max_count), im.mean,
+                        im.max_over_mean);
+          block += line;
+        }
         for (const NodeTelemetry& node : nodes) {
           block += NodeSummaryLine(node) + "\n";
         }
@@ -233,8 +284,12 @@ int RunLaunch(const LaunchFlags& flags) {
     return 1;
   }
 
-  // The expected mix is deterministic: Doomed aborts, the rest commit.
+  // The expected mix is deterministic: Doomed aborts, the rest commit
+  // (sweep classes Wf<k> all commit).
   auto schedule = [&](int i) {
+    if (flags.classes > 0) {
+      return "Wf" + std::to_string(i % flags.classes);
+    }
     if (flags.mode == "dist") {
       switch (i % 3) {
         case 0: return std::string("Doomed");
@@ -273,6 +328,16 @@ int RunLaunch(const LaunchFlags& flags) {
         out << ClusterTelemetryJson(nodes) << "\n";
         std::printf("cluster telemetry (%zu nodes) -> %s\n", nodes.size(),
                     path.c_str());
+      }
+      PlacementImbalance im =
+          ComputeImbalance(PlacementCounts(nodes), placement_nodes);
+      if (im.total > 0) {
+        std::printf(
+            "placement (%s): %lld instances over %d nodes, "
+            "max=%lld mean=%.2f max/mean=%.2f\n",
+            flags.placement.c_str(), static_cast<long long>(im.total),
+            im.nodes, static_cast<long long>(im.max_count), im.mean,
+            im.max_over_mean);
       }
     }
   }

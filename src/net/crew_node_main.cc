@@ -53,6 +53,9 @@ struct Flags {
   std::string trace_shard;
   int64_t telemetry_interval_ms = 200;
   std::string codec = "binary";
+  std::string placement = "static";
+  int classes = 0;
+  std::string purge = "targeted";
 };
 
 void Usage() {
@@ -73,7 +76,11 @@ void Usage() {
       "                          default 200)\n"
       "  --codec kv|binary       wire codec for payloads and frames\n"
       "                          (default binary; receivers always\n"
-      "                          accept both, so nodes may differ)\n");
+      "                          accept both, so nodes may differ)\n"
+      "  --placement static|rr|hash|least  instance placement policy\n"
+      "  --classes N             sweep workload: N all-committing\n"
+      "                          classes Wf0..Wf<N-1> (0 = mixed)\n"
+      "  --purge targeted|broadcast  end-of-instance purge scope\n");
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -115,6 +122,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->telemetry_interval_ms = std::atoll(value);
     } else if (arg == "--codec" && (value = next())) {
       flags->codec = value;
+    } else if (arg == "--placement" && (value = next())) {
+      flags->placement = value;
+    } else if (arg == "--classes" && (value = next())) {
+      flags->classes = std::atoi(value);
+    } else if (arg == "--purge" && (value = next())) {
+      flags->purge = value;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -173,6 +186,9 @@ int Run(const Flags& flags) {
   testbed_options.num_agents = flags.agents;
   testbed_options.pending_timeout = flags.pending_timeout;
   testbed_options.agdb_dir = flags.agdb;
+  testbed_options.placement = flags.placement;
+  testbed_options.num_classes = flags.classes;
+  testbed_options.purge = flags.purge;
   Testbed testbed(&node.runtime(), topology.value(), self.value(),
                   testbed_options);
   testbed.InstallRecoveryHooks(&node.runtime());
@@ -180,6 +196,11 @@ int Run(const Flags& flags) {
   std::mutex exit_mu;
   std::condition_variable exit_cv;
   bool exit_requested = false;
+
+  // Open-loop drivers started by the "drive" control verb. Guarded by
+  // drive_mu until the control server stops; joined before shutdown.
+  std::mutex drive_mu;
+  std::vector<std::thread> drivers;
 
   // One process-health document: schedule the per-cell metrics copies
   // (bounded — a wedged worker costs the wait, never a hang), then
@@ -237,6 +258,67 @@ int Run(const Flags& flags) {
       }
       return std::string(runtime::WorkflowStateName(future.get())) + " " +
              telemetry;
+    }
+    if (words[0] == "drive" && (words.size() == 2 || words.size() == 3)) {
+      // "drive <count> [rate_per_s]": open-loop workload injection.
+      // Starts instances 1..count whose start node this endpoint hosts,
+      // paced at `rate` starts/s (0 or absent = as fast as possible),
+      // and replies immediately — callers observe completion via
+      // "quiet"/WaitQuiescent.
+      int64_t count = std::atoll(words[1].c_str());
+      int64_t rate =
+          words.size() == 3 ? std::atoll(words[2].c_str()) : 0;
+      if (count <= 0) return "err drive count";
+      std::lock_guard<std::mutex> lock(drive_mu);
+      drivers.emplace_back([&testbed, &node, &exit_mu, &exit_cv,
+                            &exit_requested, count, rate]() {
+        auto next_at = std::chrono::steady_clock::now();
+        for (int64_t i = 1; i <= count; ++i) {
+          std::string schema =
+              testbed.ScheduleSchema(static_cast<int>(i));
+          NodeId start_node = testbed.StartNode(schema, i);
+          if (!testbed.Hosts(start_node)) continue;
+          if (rate > 0) {
+            next_at += std::chrono::nanoseconds(1000000000 / rate);
+            std::unique_lock<std::mutex> wait_lock(exit_mu);
+            if (exit_cv.wait_until(wait_lock, next_at, [&]() {
+                  return exit_requested;
+                })) {
+              return;
+            }
+          } else {
+            std::lock_guard<std::mutex> check_lock(exit_mu);
+            if (exit_requested) return;
+          }
+          node.runtime().Post(start_node, [&testbed, schema, i]() {
+            Status status = testbed.StartInstance(schema, i);
+            if (!status.ok()) {
+              CREW_LOG(Error) << "drive " << schema << "#" << i
+                              << " failed: " << status.ToString();
+            }
+          });
+        }
+      });
+      return "ok " + std::to_string(count);
+    }
+    if (words[0] == "feed" && words.size() >= 2) {
+      // "feed n<id>:<load>[,n<id>:<load>...]": cluster load samples for
+      // the least-loaded placement policy (no-op under other policies).
+      runtime::PlacementPolicy* placement = testbed.placement();
+      if (placement != nullptr) {
+        for (size_t w = 1; w < words.size(); ++w) {
+          for (const std::string& pair : Split(words[w], ',')) {
+            size_t colon = pair.find(':');
+            if (colon == std::string::npos || pair.size() < 3 ||
+                pair[0] != 'n') {
+              continue;
+            }
+            placement->UpdateLoad(std::atoi(pair.c_str() + 1),
+                                  std::atoll(pair.c_str() + colon + 1));
+          }
+        }
+      }
+      return "ok";
     }
     if (words[0] == "exit") {
       {
@@ -304,6 +386,11 @@ int Run(const Flags& flags) {
   }
   if (sampler.joinable()) sampler.join();
   control.Stop();
+  // Control server stopped: no new drivers can appear; join stragglers
+  // (they bail out promptly on exit_requested).
+  for (std::thread& driver : drivers) {
+    if (driver.joinable()) driver.join();
+  }
   node.Shutdown();
 
   // Shard write happens only on this clean-exit path: a SIGKILLed

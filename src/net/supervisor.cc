@@ -91,6 +91,18 @@ Status Supervisor::Spawn(NodeProcess* process, bool drive) {
     args.push_back("--codec");
     args.push_back(options_.codec);
   }
+  if (!options_.placement.empty() && options_.placement != "static") {
+    args.push_back("--placement");
+    args.push_back(options_.placement);
+  }
+  if (options_.num_classes > 0) {
+    args.push_back("--classes");
+    args.push_back(std::to_string(options_.num_classes));
+  }
+  if (!options_.purge.empty() && options_.purge != "targeted") {
+    args.push_back("--purge");
+    args.push_back(options_.purge);
+  }
   if (!options_.trace_dir.empty()) {
     // One shard file per incarnation: a restarted process must not
     // overwrite its previous life's shard (each is a separate clock).
@@ -126,7 +138,7 @@ Status Supervisor::Spawn(NodeProcess* process, bool drive) {
 
 Status Supervisor::StartAll() {
   for (NodeProcess& process : processes_) {
-    CREW_RETURN_IF_ERROR(Spawn(&process, /*drive=*/true));
+    CREW_RETURN_IF_ERROR(Spawn(&process, options_.drive_on_start));
   }
   return Status::OK();
 }

@@ -1,7 +1,10 @@
 #include "net/telemetry.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "obs/trace.h"
@@ -117,8 +120,78 @@ ClusterAggregate AggregateTelemetry(const std::vector<NodeTelemetry>& nodes) {
     a.messages_parked += ExtractJsonInt(j, "\"messages_parked\":");
     a.mailbox_parks += ExtractJsonInt(j, "\"mailbox_parks\":");
     a.mailbox_depth += ExtractJsonInt(j, "\"mailbox_depth\":");
+    a.wf_committed += ExtractJsonInt(j, "\"wf.committed\":");
+    a.wf_aborted += ExtractJsonInt(j, "\"wf.aborted\":");
   }
   return a;
+}
+
+std::map<NodeId, int64_t> PlacementCounts(
+    const std::vector<NodeTelemetry>& nodes) {
+  static const std::string kAnchor = "\"placement.wf.n";
+  std::map<NodeId, int64_t> counts;
+  for (const auto& node : nodes) {
+    const std::string& j = node.json;
+    size_t pos = 0;
+    while ((pos = j.find(kAnchor, pos)) != std::string::npos) {
+      pos += kAnchor.size();
+      size_t id_end = pos;
+      while (id_end < j.size() &&
+             std::isdigit(static_cast<unsigned char>(j[id_end]))) {
+        ++id_end;
+      }
+      // Expect the counter's `":<value>` tail right after the node id.
+      if (id_end == pos || j.compare(id_end, 2, "\":") != 0) continue;
+      NodeId id = std::atoi(j.c_str() + pos);
+      counts[id] += std::atoll(j.c_str() + id_end + 2);
+      pos = id_end;
+    }
+  }
+  return counts;
+}
+
+PlacementImbalance ComputeImbalance(const std::map<NodeId, int64_t>& counts,
+                                    int expected_nodes) {
+  PlacementImbalance im;
+  im.nodes = std::max(expected_nodes, static_cast<int>(counts.size()));
+  for (const auto& [id, n] : counts) {
+    im.total += n;
+    im.max_count = std::max(im.max_count, n);
+  }
+  if (im.nodes > 0 && im.total > 0) {
+    im.mean = static_cast<double>(im.total) / im.nodes;
+    im.max_over_mean = static_cast<double>(im.max_count) / im.mean;
+  }
+  return im;
+}
+
+obs::LatencyHistogram PooledLatency(const std::vector<NodeTelemetry>& nodes,
+                                    const std::string& name) {
+  obs::LatencyHistogram pooled(name);
+  const std::string head = "\"" + name + "\":{";
+  for (const auto& node : nodes) {
+    const std::string& j = node.json;
+    size_t pos = j.find(head);
+    if (pos == std::string::npos) continue;
+    size_t b = j.find("\"buckets\":[", pos);
+    if (b == std::string::npos) continue;
+    b += std::strlen("\"buckets\":[");
+    // Sparse pairs: [index,count],[index,count],... up to the closing ]
+    while (b < j.size() && j[b] == '[') {
+      ++b;
+      int index = std::atoi(j.c_str() + b);
+      size_t comma = j.find(',', b);
+      size_t close = j.find(']', b);
+      if (comma == std::string::npos || close == std::string::npos ||
+          comma > close) {
+        break;
+      }
+      pooled.AddBucket(index, std::atoll(j.c_str() + comma + 1));
+      b = close + 1;
+      if (b < j.size() && j[b] == ',') ++b;
+    }
+  }
+  return pooled;
 }
 
 std::string AggregateSummaryLine(const ClusterAggregate& a) {
@@ -129,7 +202,8 @@ std::string AggregateSummaryLine(const ClusterAggregate& a) {
      << " replay=" << a.frames_replayed << " batch=" << a.frames_batched
      << "/" << a.batches_sent << " reconn=" << a.reconnects
      << " retained=" << a.retained_bytes << "B held=" << a.held_bytes
-     << "B mbox=" << a.mailbox_depth;
+     << "B mbox=" << a.mailbox_depth << " wf=" << a.wf_committed << "/"
+     << a.wf_aborted;
   return os.str();
 }
 
@@ -172,8 +246,16 @@ std::string ClusterTelemetryJson(const std::vector<NodeTelemetry>& nodes) {
      << ",\"messages_delivered\":" << a.messages_delivered
      << ",\"messages_parked\":" << a.messages_parked
      << ",\"mailbox_parks\":" << a.mailbox_parks
-     << ",\"mailbox_depth\":" << a.mailbox_depth << "}"
-     << ",\"nodes\":[";
+     << ",\"mailbox_depth\":" << a.mailbox_depth
+     << ",\"wf_committed\":" << a.wf_committed
+     << ",\"wf_aborted\":" << a.wf_aborted << "}";
+  PlacementImbalance im = ComputeImbalance(PlacementCounts(nodes));
+  os << ",\"placement\":{\"nodes\":" << im.nodes
+     << ",\"total\":" << im.total << ",\"max\":" << im.max_count
+     << ",\"mean\":" << Ratio2(im.total, im.nodes)
+     << ",\"max_over_mean\":"
+     << Ratio2(static_cast<int64_t>(im.max_over_mean * 100), 100) << "}";
+  os << ",\"nodes\":[";
   bool first = true;
   for (const auto& node : nodes) {
     if (!first) os << ",";

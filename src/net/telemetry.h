@@ -2,10 +2,12 @@
 #define CREW_NET_TELEMETRY_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "net/socket_transport.h"
+#include "obs/trace.h"
 #include "rt/runtime.h"
 #include "sim/metrics.h"
 
@@ -70,6 +72,10 @@ struct ClusterAggregate {
   int64_t messages_parked = 0;
   int64_t mailbox_parks = 0;
   int64_t mailbox_depth = 0;   ///< gauge, summed over nodes
+  // Workflow outcome sums (the "wf.committed"/"wf.aborted" counters
+  // bumped by the coordination authority at each terminal transition).
+  int64_t wf_committed = 0;
+  int64_t wf_aborted = 0;
 };
 
 ClusterAggregate AggregateTelemetry(const std::vector<NodeTelemetry>& nodes);
@@ -83,8 +89,36 @@ std::string AggregateSummaryLine(const ClusterAggregate& a);
 std::string NodeSummaryLine(const NodeTelemetry& node);
 
 /// Merged cluster snapshot document:
-///   {"aggregate":{…sums…},"nodes":[<per-node documents verbatim>]}
+///   {"aggregate":{…sums…},"placement":{…imbalance…},
+///    "nodes":[<per-node documents verbatim>]}
 std::string ClusterTelemetryJson(const std::vector<NodeTelemetry>& nodes);
+
+/// Instances-placed-per-node, scraped from the "placement.wf.n<id>"
+/// counters the workflow authorities bump at instance start. Nodes that
+/// never hosted an instance do not appear.
+std::map<NodeId, int64_t> PlacementCounts(
+    const std::vector<NodeTelemetry>& nodes);
+
+/// Load-imbalance summary of a PlacementCounts map. `expected_nodes` is
+/// the number of nodes that *could* host instances (>= counts.size());
+/// the mean divides by it so idle nodes count against balance. Pass 0
+/// to use counts.size().
+struct PlacementImbalance {
+  int nodes = 0;        ///< nodes the mean divides by
+  int64_t total = 0;    ///< instances placed cluster-wide
+  int64_t max_count = 0;
+  double mean = 0.0;
+  double max_over_mean = 0.0;  ///< 1.0 = perfectly balanced; 0 = no data
+};
+PlacementImbalance ComputeImbalance(
+    const std::map<NodeId, int64_t>& counts, int expected_nodes = 0);
+
+/// Pools one named latency histogram across the documents into a single
+/// exact merge, via the sparse [index,count] bucket pairs ReportJson
+/// emits under "latencies". Percentiles of the result equal those of a
+/// single histogram fed every sample.
+obs::LatencyHistogram PooledLatency(const std::vector<NodeTelemetry>& nodes,
+                                    const std::string& name);
 
 }  // namespace crew::net
 

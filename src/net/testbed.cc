@@ -53,6 +53,19 @@ model::CompiledSchemaPtr DoomedSchema() {
   return Compile(b.Build());
 }
 
+/// Sweep workload class k: a Good-shaped 4-step sequence under its own
+/// name, so a num_classes run exercises many schemas whose eligibility
+/// windows (offset per class) jointly cover every agent.
+model::CompiledSchemaPtr ClassSchema(int k) {
+  model::SchemaBuilder b("Wf" + std::to_string(k));
+  std::vector<StepId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(b.AddTask("T" + std::to_string(i + 1), "noop"));
+  }
+  b.Sequence(ids);
+  return Compile(b.Build());
+}
+
 model::CompiledSchemaPtr ParSchema() {
   model::SchemaBuilder b("Par");
   StepId s1 = b.AddTask("split", "noop");
@@ -66,11 +79,11 @@ model::CompiledSchemaPtr ParSchema() {
 void SetEligibleRoundRobin(model::Deployment* deployment,
                            const std::vector<NodeId>& ids,
                            const model::CompiledSchema& schema,
-                           int eligible = 2) {
+                           int eligible = 2, int offset = 0) {
   for (StepId s = 1; s <= schema.schema().num_steps(); ++s) {
     std::vector<NodeId> agents;
     for (int k = 0; k < eligible; ++k) {
-      agents.push_back(ids[(s - 1 + k) % ids.size()]);
+      agents.push_back(ids[(s - 1 + k + offset) % ids.size()]);
     }
     std::sort(agents.begin(), agents.end());
     deployment->SetEligible(schema.schema().name(), s, agents);
@@ -148,9 +161,30 @@ Testbed::Testbed(sim::Backend* backend, const Topology& topology,
   // ---- shared deterministic inputs (identical on every endpoint) ----
   programs_.RegisterBuiltins();
   programs_.RegisterFailFirstN("flaky", 1);
-  std::vector<model::CompiledSchemaPtr> all = {GoodSchema(), FlakySchema(),
-                                               DoomedSchema()};
-  if (options_.mode != "dist") all.push_back(ParSchema());
+  std::vector<model::CompiledSchemaPtr> all;
+  if (options_.num_classes > 0) {
+    for (int k = 0; k < options_.num_classes; ++k) {
+      all.push_back(ClassSchema(k));
+    }
+  } else {
+    all = {GoodSchema(), FlakySchema(), DoomedSchema()};
+    if (options_.mode != "dist") all.push_back(ParSchema());
+  }
+
+  runtime::PlacementKind kind = runtime::PlacementKind::kStatic;
+  if (!runtime::ParsePlacementKind(options_.placement, &kind)) {
+    CREW_LOG(Error) << "testbed: unknown placement '" << options_.placement
+                    << "'";
+    std::abort();
+  }
+  // A sticky policy lives on the placer (the dist front end); the other
+  // control modes keep their legacy deterministic owner rule, which any
+  // endpoint can re-derive without shared state.
+  if (kind != runtime::PlacementKind::kStatic &&
+      (options_.mode == "dist" ||
+       kind != runtime::PlacementKind::kLeastLoaded)) {
+    placement_ = runtime::MakePlacementPolicy(kind);
+  }
 
   int engines = options_.mode == "parallel" ? options_.num_engines
                 : options_.mode == "central" ? 1
@@ -160,8 +194,10 @@ Testbed::Testbed(sim::Backend* backend, const Topology& topology,
   for (int i = 0; i < options_.num_agents; ++i) {
     agent_ids_.push_back(first_agent + i);
   }
+  int class_offset = 0;
   for (const auto& schema : all) {
-    SetEligibleRoundRobin(&deployment_, agent_ids_, *schema);
+    SetEligibleRoundRobin(&deployment_, agent_ids_, *schema, /*eligible=*/2,
+                          options_.num_classes > 0 ? class_offset++ : 0);
     schemas_[schema->schema().name()] = schema;
   }
 
@@ -171,11 +207,13 @@ Testbed::Testbed(sim::Backend* backend, const Topology& topology,
       sim::Context* context = backend->ContextFor(kFrontEndNode);
       front_end_ = std::make_unique<dist::FrontEnd>(
           kFrontEndNode, context, &deployment_, &coordination_);
+      if (placement_) front_end_->set_placement(placement_.get());
       context->tracer().SetNodeName(kFrontEndNode, "front-end-0");
     }
     dist::AgentOptions agent_options;
     agent_options.pending_timeout = options_.pending_timeout;
     agent_options.agdb_dir = options_.agdb_dir;
+    agent_options.purge_broadcast = options_.purge == "broadcast";
     for (NodeId id : agent_ids_) {
       if (!Hosts(id)) continue;
       sim::Context* context = backend->ContextFor(id);
@@ -237,6 +275,9 @@ Testbed::Testbed(sim::Backend* backend, const Topology& topology,
 Testbed::~Testbed() = default;
 
 std::string Testbed::ScheduleSchema(int i) const {
+  if (options_.num_classes > 0) {
+    return "Wf" + std::to_string(i % options_.num_classes);
+  }
   if (options_.mode == "dist") {
     switch (i % 3) {
       case 0: return "Doomed";
@@ -286,36 +327,49 @@ Status Testbed::StartInstance(const std::string& schema, int64_t number) {
   return owner->StartWorkflow(schema, number, {});
 }
 
+NodeId Testbed::DistAuthority(const InstanceId& instance) const {
+  const model::CompiledSchemaPtr* schema = FindSchema(instance.workflow);
+  if (schema == nullptr) return kInvalidNode;
+  if (placement_ != nullptr) {
+    if (placement_->kind() == runtime::PlacementKind::kLeastLoaded) {
+      // The sticky decision lives only on the front end; route authority
+      // there and answer from its status ledger.
+      return kFrontEndNode;
+    }
+    NodeId owner = placement_->Owner(
+        instance, deployment_.Eligible(instance.workflow,
+                                       (*schema)->schema().start_step()));
+    if (owner != kInvalidNode) return owner;
+  }
+  Result<NodeId> agent = deployment_.CoordinationAgent(**schema);
+  return agent.ok() ? agent.value() : kInvalidNode;
+}
+
 bool Testbed::Authoritative(const InstanceId& instance) const {
   if (options_.mode == "dist") {
-    const model::CompiledSchemaPtr* schema = FindSchema(instance.workflow);
-    if (schema == nullptr) return false;
-    Result<NodeId> agent = deployment_.CoordinationAgent(**schema);
-    return agent.ok() && Hosts(agent.value());
+    NodeId authority = DistAuthority(instance);
+    return authority != kInvalidNode && Hosts(authority);
   }
   if (options_.mode == "parallel") return Hosts(OwnerEngine(instance));
   return Hosts(1);
 }
 
 NodeId Testbed::AuthorityNode(const InstanceId& instance) const {
-  if (options_.mode == "dist") {
-    const model::CompiledSchemaPtr* schema = FindSchema(instance.workflow);
-    if (schema == nullptr) return kInvalidNode;
-    Result<NodeId> agent = deployment_.CoordinationAgent(**schema);
-    return agent.ok() ? agent.value() : kInvalidNode;
-  }
+  if (options_.mode == "dist") return DistAuthority(instance);
   if (options_.mode == "parallel") return OwnerEngine(instance);
   return 1;
 }
 
 runtime::WorkflowState Testbed::Terminal(const InstanceId& instance) const {
   if (options_.mode == "dist") {
-    const model::CompiledSchemaPtr* schema = FindSchema(instance.workflow);
-    if (schema == nullptr) return runtime::WorkflowState::kUnknown;
-    Result<NodeId> agent_id = deployment_.CoordinationAgent(**schema);
-    if (!agent_id.ok()) return runtime::WorkflowState::kUnknown;
+    NodeId authority = DistAuthority(instance);
+    if (authority == kInvalidNode) return runtime::WorkflowState::kUnknown;
+    if (authority == kFrontEndNode) {
+      return front_end_ ? front_end_->KnownStatus(instance)
+                        : runtime::WorkflowState::kUnknown;
+    }
     for (const auto& agent : agents_) {
-      if (agent->id() == agent_id.value()) {
+      if (agent->id() == authority) {
         return agent->CoordinationStatus(instance);
       }
     }
@@ -349,6 +403,10 @@ void Testbed::InstallRecoveryHooks(rt::Runtime* runtime) {
 
 NodeId Testbed::OwnerEngine(const InstanceId& instance) const {
   if (engine_ids_.empty()) return 1;
+  if (placement_ != nullptr) {
+    NodeId owner = placement_->Owner(instance, engine_ids_);
+    if (owner != kInvalidNode) return owner;
+  }
   return engine_ids_[static_cast<size_t>(instance.number) %
                      engine_ids_.size()];
 }
@@ -378,8 +436,9 @@ central::WorkflowEngine* Testbed::ParallelOwner(
     const InstanceId& instance) const {
   if (engines_.empty()) return nullptr;
   if (options_.mode == "central") return engines_.front().get();
-  return engines_[static_cast<size_t>(instance.number) % engines_.size()]
-      .get();
+  // Parallel engines are all local (ids 1..E in construction order), so
+  // the owner id maps straight to an index.
+  return engines_[static_cast<size_t>(OwnerEngine(instance) - 1)].get();
 }
 
 }  // namespace crew::net

@@ -15,6 +15,7 @@
 #include "net/topology.h"
 #include "rt/runtime.h"
 #include "runtime/coord.h"
+#include "runtime/placement.h"
 #include "runtime/programs.h"
 
 namespace crew::net {
@@ -29,6 +30,18 @@ struct TestbedOptions {
   sim::Time pending_timeout = 5000;
   /// dist: directory for durable per-agent AGDBs (empty = in-memory).
   std::string agdb_dir;
+  /// Instance placement policy: "static" (legacy), "rr", "hash" or
+  /// "least" (see runtime/placement.h). Every endpoint must agree.
+  std::string placement = "static";
+  /// 0 = the standard mixed workload (Good/Flaky/Doomed[/Par]).
+  /// N > 0 = N all-committing 4-step classes "Wf0".."Wf<N-1>" whose
+  /// eligibility windows are offset per class, so a cluster-wide sweep
+  /// spreads load over every agent instead of the first few.
+  int num_classes = 0;
+  /// dist: "targeted" (default, eligibility-footprint purge) or
+  /// "broadcast" (purge message to every agent — the pre-fix scaling
+  /// behaviour, kept for before/after curves).
+  std::string purge = "targeted";
 };
 
 /// Builds the slice of a standard mixed workload deployment that one
@@ -108,9 +121,18 @@ class Testbed : public central::ParallelTopology {
   const std::vector<NodeId>& agent_ids() const { return agent_ids_; }
   dist::Agent* dist_agent(NodeId id);
 
+  /// The placement policy in effect (null when options.placement is
+  /// "static"). crew_node's "feed" verb pushes cluster load samples here.
+  runtime::PlacementPolicy* placement() { return placement_.get(); }
+  /// dist mode only (and only on the endpoint hosting node 0).
+  dist::FrontEnd* front_end() { return front_end_.get(); }
+
  private:
   const model::CompiledSchemaPtr* FindSchema(const std::string& name) const;
   central::WorkflowEngine* ParallelOwner(const InstanceId& instance) const;
+  /// dist: node holding the authoritative terminal state under the
+  /// active placement policy (see Authoritative()).
+  NodeId DistAuthority(const InstanceId& instance) const;
 
   TestbedOptions options_;
   std::set<NodeId> local_;
@@ -118,6 +140,7 @@ class Testbed : public central::ParallelTopology {
   std::vector<NodeId> agent_ids_;
 
   runtime::ProgramRegistry programs_;
+  std::unique_ptr<runtime::PlacementPolicy> placement_;
   model::Deployment deployment_;
   runtime::CoordinationSpec coordination_;
   std::map<std::string, model::CompiledSchemaPtr> schemas_;

@@ -238,6 +238,29 @@ void LatencyHistogram::Add(int64_t value) {
   sum_ += static_cast<double>(value);
 }
 
+void LatencyHistogram::AddBucket(int index, int64_t count) {
+  if (index < 0 || index >= kNumBuckets || count <= 0) return;
+  buckets_[static_cast<size_t>(index)] += count;
+  int64_t lower = BucketLower(index);
+  int64_t upper = BucketUpper(index);
+  if (count_ == 0 || lower < min_) min_ = lower;
+  if (upper > max_) max_ = upper;
+  count_ += count;
+  sum_ += static_cast<double>(count) *
+          (static_cast<double>(lower) + static_cast<double>(upper)) / 2.0;
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double LatencyHistogram::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }

@@ -158,6 +158,15 @@ class LatencyHistogram {
   static int64_t BucketLower(int index);
   static int64_t BucketUpper(int index);
 
+  /// Raw bucket counts (kNumBuckets entries, mostly zero).
+  const std::vector<int64_t>& buckets() const { return buckets_; }
+  /// Adds `count` samples directly into bucket `index` (for merging
+  /// sparse bucket dumps shipped across processes). min/max are
+  /// approximated by the bucket bounds; mean uses the bucket midpoint.
+  void AddBucket(int index, int64_t count);
+  /// Pools another histogram's samples into this one.
+  void MergeFrom(const LatencyHistogram& other);
+
  private:
   std::string name_;
   std::string unit_;

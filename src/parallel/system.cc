@@ -44,15 +44,19 @@ central::WorkflowEngine& ParallelSystem::OwnerOf(
 
 const central::WorkflowEngine& ParallelSystem::OwnerOf(
     const InstanceId& instance) const {
-  return *engines_[static_cast<size_t>(
-      static_cast<size_t>(instance.number) % engines_.size())];
+  return *engines_[static_cast<size_t>(OwnerEngine(instance) - 1)];
 }
 
 Status ParallelSystem::StartWorkflow(const std::string& workflow,
                                      int64_t number,
                                      std::map<std::string, Value> inputs) {
-  return OwnerOf({workflow, number})
-      .StartWorkflow(workflow, number, std::move(inputs));
+  InstanceId instance{workflow, number};
+  if (placement_ != nullptr) {
+    // Sticky policies record the decision here; OwnerEngine recalls it.
+    placement_->Place(instance, engine_ids_);
+  }
+  return OwnerOf(instance).StartWorkflow(workflow, number,
+                                         std::move(inputs));
 }
 
 Status ParallelSystem::AbortWorkflow(const InstanceId& instance) {
@@ -75,6 +79,10 @@ std::map<std::string, Value> ParallelSystem::FinalData(
 }
 
 NodeId ParallelSystem::OwnerEngine(const InstanceId& instance) const {
+  if (placement_ != nullptr) {
+    NodeId owner = placement_->Owner(instance, engine_ids_);
+    if (owner != kInvalidNode) return owner;
+  }
   return engine_ids_[static_cast<size_t>(instance.number) %
                      engines_.size()];
 }

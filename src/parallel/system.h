@@ -9,6 +9,7 @@
 #include "central/agent.h"
 #include "central/engine.h"
 #include "runtime/coord.h"
+#include "runtime/placement.h"
 
 namespace crew::parallel {
 
@@ -30,6 +31,15 @@ class ParallelSystem : public central::ParallelTopology {
 
   /// Registers a schema with every engine.
   void RegisterSchema(model::CompiledSchemaPtr schema);
+
+  /// Installs the instance->engine placement policy (non-owning; null
+  /// reverts to the legacy round-robin-by-number rule). With a sticky
+  /// policy (least-loaded), StartWorkflow records the decision and
+  /// later lookups recall it; the in-flight component then counts
+  /// instances *routed*, since engines commit without telling us.
+  void set_placement(runtime::PlacementPolicy* placement) {
+    placement_ = placement;
+  }
 
   /// Starts an instance on its owner engine (round-robin by number).
   Status StartWorkflow(const std::string& workflow, int64_t number,
@@ -60,6 +70,7 @@ class ParallelSystem : public central::ParallelTopology {
   const central::WorkflowEngine& OwnerOf(const InstanceId& instance) const;
 
   runtime::ConflictTracker tracker_;
+  runtime::PlacementPolicy* placement_ = nullptr;
   std::vector<std::unique_ptr<central::WorkflowEngine>> engines_;
   std::vector<std::unique_ptr<central::ThinAgent>> agents_;
   std::vector<NodeId> engine_ids_;

@@ -22,7 +22,7 @@ void InstanceState::MergeData(const std::map<std::string, Value>& data) {
   }
 }
 
-void InstanceState::MergeData(const FlatMap<std::string, Value>& data) {
+void InstanceState::MergeData(const PacketDataMap& data) {
   for (const auto& [name, value] : data) {
     data_[name] = value;
   }
@@ -46,15 +46,6 @@ void InstanceState::NoteForwarded(StepId step, NodeId agent) {
 }
 
 void InstanceState::ClearForwarded() { forwarded_.clear(); }
-
-void InstanceState::MergeRoLinks(const std::vector<RoLink>& links) {
-  for (const RoLink& link : links) {
-    if (std::find(ro_links_.begin(), ro_links_.end(), link) ==
-        ro_links_.end()) {
-      ro_links_.push_back(link);
-    }
-  }
-}
 
 bool InstanceState::MergeEvent(const EventOcc& event) {
   EventEntry& entry = events_[event.token];
@@ -123,15 +114,6 @@ bool InstanceState::EventValid(std::string_view token) const {
   return t != rules::kInvalidEventToken && EventValid(t);
 }
 
-void InstanceState::MergeRdLinks(const std::vector<RdLink>& links) {
-  for (const RdLink& link : links) {
-    if (std::find(rd_links_.begin(), rd_links_.end(), link) ==
-        rd_links_.end()) {
-      rd_links_.push_back(link);
-    }
-  }
-}
-
 std::map<std::string, Value> InstanceState::ResolveInputs(
     StepId step) const {
   std::map<std::string, Value> inputs;
@@ -172,6 +154,9 @@ void InstanceState::MergePacket(const WorkflowPacket& packet) {
   if (packet.epoch > epoch_) {
     epoch_ = packet.epoch;
   }
+  if (packet.coordinator != kInvalidNode) {
+    set_coordinator(packet.coordinator);
+  }
 }
 
 WorkflowPacket InstanceState::MakePacket(StepId target_step) const {
@@ -179,11 +164,13 @@ WorkflowPacket InstanceState::MakePacket(StepId target_step) const {
   packet.instance = id_;
   packet.target_step = target_step;
   packet.epoch = epoch_;
+  packet.coordinator = coordinator_;
   packet.data.assign(data_.begin(), data_.end());
-  packet.events = ValidEvents();
+  std::vector<EventOcc> events = ValidEvents();
+  packet.events.assign(events.begin(), events.end());
   packet.executed_by.assign(executed_by_.begin(), executed_by_.end());
-  packet.ro_links = ro_links_;
-  packet.rd_links = rd_links_;
+  packet.ro_links.assign(ro_links_.begin(), ro_links_.end());
+  packet.rd_links.assign(rd_links_.begin(), rd_links_.end());
   return packet;
 }
 

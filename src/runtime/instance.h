@@ -1,6 +1,7 @@
 #ifndef CREW_RUNTIME_INSTANCE_H_
 #define CREW_RUNTIME_INSTANCE_H_
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <string>
@@ -56,7 +57,7 @@ class InstanceState {
   const std::map<std::string, Value>& data() const { return data_; }
   /// Merges items from a packet (packet values win: they are newer).
   void MergeData(const std::map<std::string, Value>& data);
-  void MergeData(const FlatMap<std::string, Value>& data);
+  void MergeData(const PacketDataMap& data);
 
   // ---- step status table ----
   StepRecord& step_record(StepId step) { return steps_[step]; }
@@ -116,11 +117,29 @@ class InstanceState {
   bool EventValid(std::string_view token) const;
 
   // ---- relative ordering obligations ----
-  void MergeRoLinks(const std::vector<RoLink>& links);
+  /// `Links` is any range of RoLink (std::vector from wire messages,
+  /// PacketRoList from packets).
+  template <typename Links>
+  void MergeRoLinks(const Links& links) {
+    for (const RoLink& link : links) {
+      if (std::find(ro_links_.begin(), ro_links_.end(), link) ==
+          ro_links_.end()) {
+        ro_links_.push_back(link);
+      }
+    }
+  }
   const std::vector<RoLink>& ro_links() const { return ro_links_; }
 
   // ---- rollback dependency obligations ----
-  void MergeRdLinks(const std::vector<RdLink>& links);
+  template <typename Links>
+  void MergeRdLinks(const Links& links) {
+    for (const RdLink& link : links) {
+      if (std::find(rd_links_.begin(), rd_links_.end(), link) ==
+          rd_links_.end()) {
+        rd_links_.push_back(link);
+      }
+    }
+  }
   const std::vector<RdLink>& rd_links() const { return rd_links_; }
 
   // ---- input snapshots for OCR ----
@@ -147,6 +166,15 @@ class InstanceState {
   }
   void SetExecutedBy(StepId step, NodeId agent);
 
+  // ---- coordination agent (placement) ----
+  /// The coordination agent the front end placed this instance at;
+  /// kInvalidNode until a packet (or the coordinating agent itself)
+  /// establishes it. Sticky: first valid value wins.
+  NodeId coordinator() const { return coordinator_; }
+  void set_coordinator(NodeId node) {
+    if (coordinator_ == kInvalidNode) coordinator_ = node;
+  }
+
  private:
   InstanceId id_;
   model::CompiledSchemaPtr schema_;
@@ -160,6 +188,7 @@ class InstanceState {
   int64_t exec_seq_ = 0;
   int64_t epoch_ = 0;
   bool halted_ = false;
+  NodeId coordinator_ = kInvalidNode;
 };
 
 }  // namespace crew::runtime

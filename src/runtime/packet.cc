@@ -25,6 +25,7 @@ constexpr uint8_t kPkEvents = (6 << 2) | 0;
 constexpr uint8_t kPkBy = (7 << 2) | 0;
 constexpr uint8_t kPkRo = (8 << 2) | 0;
 constexpr uint8_t kPkRd = (9 << 2) | 0;
+constexpr uint8_t kPkCoord = (10 << 2) | 0;
 
 bool ReadLink(BinReader& r, InstanceId* other, StepId* my_step,
               StepId* other_step) {
@@ -72,6 +73,12 @@ Result<WorkflowPacket> ParseBinaryPacket(std::string_view payload) {
       case kPkEpoch:
         if (!r.Zig(&p.epoch)) return Status::Corruption("bad packet epoch");
         break;
+      case kPkCoord: {
+        int64_t coord;
+        if (!r.Zig(&coord)) return Status::Corruption("bad packet coord");
+        p.coordinator = static_cast<NodeId>(coord);
+        break;
+      }
       case kPkData: {
         uint64_t count;
         if (!r.Varint(&count) || count > r.remaining()) {
@@ -275,6 +282,7 @@ std::string WorkflowPacket::SerializeKv() const {
   w.AddInt("inst", instance.number);
   w.AddInt("step", target_step);
   w.AddInt("epoch", epoch);
+  if (coordinator != kInvalidNode) w.AddInt("coord", coordinator);
   for (const auto& [name, value] : data) {
     w.AddPrefixed("d.", name, value.ToString());
   }
@@ -303,7 +311,7 @@ std::string WorkflowPacket::SerializeKv() const {
 std::string WorkflowPacket::SerializeBinary() const {
   // Upper bound: magic + id, tagged scalars, then the counted sections.
   size_t bound = 2 + 1 + BytesBound(instance.workflow) +
-                 3 * (1 + kMaxVarintBytes);
+                 4 * (1 + kMaxVarintBytes);
   if (!data.empty()) {
     bound += 1 + 5;
     for (const auto& [name, value] : data) {
@@ -339,6 +347,10 @@ std::string WorkflowPacket::SerializeBinary() const {
   w.Zig(target_step);
   w.U8(kPkEpoch);
   w.Zig(epoch);
+  if (coordinator != kInvalidNode) {
+    w.U8(kPkCoord);
+    w.Zig(coordinator);
+  }
   if (!data.empty()) {
     w.U8(kPkData);
     w.Varint(data.size());
@@ -412,6 +424,7 @@ Result<WorkflowPacket> WorkflowPacket::Parse(const std::string& payload) {
   if (!step.ok()) return step.status();
   p.target_step = static_cast<StepId>(step.value());
   p.epoch = r.GetIntOr("epoch", 0);
+  p.coordinator = static_cast<NodeId>(r.GetIntOr("coord", kInvalidNode));
 
   for (const auto& [key, raw] : r.entries()) {
     if (StartsWith(key, "d.")) {

@@ -7,6 +7,7 @@
 
 #include "common/flat_map.h"
 #include "common/ids.h"
+#include "common/small_vector.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "rules/token.h"
@@ -82,6 +83,23 @@ struct EventOcc {
   static Result<EventOcc> Parse(const std::string& text);
 };
 
+/// Packet container aliases: sorted flat tables backed by inline
+/// (SmallVector) storage for the small fixed-shape entries (step->agent
+/// pairs, event occurrences, links), so ordinary packets build, merge
+/// and parse those tables with no heap allocation; oversized packets
+/// spill transparently. The data table stays std::vector-backed:
+/// measured on BM_PacketParseBinary, inlining its string+Value pairs
+/// made packets slower at every size (the fat inline block bloats the
+/// struct past what the saved allocation buys back).
+using PacketDataMap =
+    FlatMap<std::string, Value,
+            std::vector<std::pair<std::string, Value>>>;
+using PacketExecMap =
+    FlatMap<StepId, NodeId, SmallVector<std::pair<StepId, NodeId>, 8>>;
+using PacketEventList = SmallVector<EventOcc, 8>;
+using PacketRoList = SmallVector<RoLink, 4>;
+using PacketRdList = SmallVector<RdLink, 4>;
+
 /// The workflow packet exchanged between distributed agents (§4.1,
 /// Figure 7). It accumulates the instance's state as control flows from
 /// agent to agent: data items, (valid) events, which agent executed which
@@ -90,17 +108,21 @@ struct WorkflowPacket {
   InstanceId instance;
   StepId target_step = kInvalidStep;  ///< Action: Execute S<target_step>
   int64_t epoch = 0;                  ///< re-execution generation
+  /// Coordination agent chosen at start time by the front end's
+  /// placement policy; kInvalidNode on packets predating placement
+  /// (receivers fall back to the static eligible-first rule).
+  NodeId coordinator = kInvalidNode;
 
   // The two tables are flat sorted vectors, not std::map: packets are
   // filled once (from the instance snapshot or from sorted wire input,
   // both O(1) appends) and then scanned in order by the codecs, so the
   // node-per-entry allocation and pointer chasing of a tree map was pure
   // overhead on the serialize/parse hot path.
-  FlatMap<std::string, Value> data;           ///< data table snapshot
-  std::vector<EventOcc> events;               ///< valid event occurrences
-  FlatMap<StepId, NodeId> executed_by;        ///< step -> executing agent
-  std::vector<RoLink> ro_links;               ///< ordering obligations
-  std::vector<RdLink> rd_links;               ///< rollback dependencies
+  PacketDataMap data;                         ///< data table snapshot
+  PacketEventList events;                     ///< valid event occurrences
+  PacketExecMap executed_by;                  ///< step -> executing agent
+  PacketRoList ro_links;                      ///< ordering obligations
+  PacketRdList rd_links;                      ///< rollback dependencies
 
   /// Serialized size is the wire size used for byte metrics. Encodes in
   /// the process-wide active codec (runtime/codec.h); Parse()

@@ -1,0 +1,194 @@
+#include "runtime/placement.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace crew::runtime {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Fnv1a(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Final avalanche (splitmix64) so near-identical keys (consecutive
+/// instance numbers) spread over the whole weight space.
+uint64_t Mix(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+const char* PlacementKindName(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kStatic:
+      return "static";
+    case PlacementKind::kRoundRobin:
+      return "rr";
+    case PlacementKind::kConsistentHash:
+      return "hash";
+    case PlacementKind::kLeastLoaded:
+      return "least";
+  }
+  return "static";
+}
+
+bool ParsePlacementKind(const std::string& name, PlacementKind* kind) {
+  if (name.empty() || name == "static") {
+    *kind = PlacementKind::kStatic;
+  } else if (name == "rr" || name == "round-robin" ||
+             name == "roundrobin") {
+    *kind = PlacementKind::kRoundRobin;
+  } else if (name == "hash" || name == "consistent-hash" ||
+             name == "chash") {
+    *kind = PlacementKind::kConsistentHash;
+  } else if (name == "least" || name == "least-loaded" ||
+             name == "leastloaded") {
+    *kind = PlacementKind::kLeastLoaded;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+NodeId StaticPlacement::Place(const InstanceId& instance,
+                              const std::vector<NodeId>& candidates) {
+  return Owner(instance, candidates);
+}
+
+NodeId StaticPlacement::Owner(const InstanceId& /*instance*/,
+                              const std::vector<NodeId>& candidates) const {
+  return candidates.empty() ? kInvalidNode : candidates.front();
+}
+
+NodeId RoundRobinPlacement::Place(const InstanceId& instance,
+                                  const std::vector<NodeId>& candidates) {
+  return Owner(instance, candidates);
+}
+
+NodeId RoundRobinPlacement::Owner(
+    const InstanceId& instance,
+    const std::vector<NodeId>& candidates) const {
+  if (candidates.empty()) return kInvalidNode;
+  size_t slot = static_cast<size_t>(instance.number < 0 ? 0
+                                                        : instance.number) %
+                candidates.size();
+  return candidates[slot];
+}
+
+uint64_t ConsistentHashPlacement::Weight(const InstanceId& instance,
+                                         NodeId node) {
+  uint64_t h = Fnv1a(kFnvOffset, instance.workflow.data(),
+                     instance.workflow.size());
+  int64_t number = instance.number;
+  h = Fnv1a(h, &number, sizeof(number));
+  int64_t node64 = node;
+  h = Fnv1a(h, &node64, sizeof(node64));
+  return Mix(h);
+}
+
+NodeId ConsistentHashPlacement::Place(
+    const InstanceId& instance, const std::vector<NodeId>& candidates) {
+  return Owner(instance, candidates);
+}
+
+NodeId ConsistentHashPlacement::Owner(
+    const InstanceId& instance,
+    const std::vector<NodeId>& candidates) const {
+  NodeId best = kInvalidNode;
+  uint64_t best_weight = 0;
+  for (NodeId node : candidates) {
+    uint64_t w = Weight(instance, node);
+    if (best == kInvalidNode || w > best_weight ||
+        (w == best_weight && node < best)) {
+      best = node;
+      best_weight = w;
+    }
+  }
+  return best;
+}
+
+NodeId LeastLoadedPlacement::Place(const InstanceId& instance,
+                                   const std::vector<NodeId>& candidates) {
+  if (candidates.empty()) return kInvalidNode;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = placed_.find(instance);
+  if (it != placed_.end()) return it->second;
+  NodeId best = kInvalidNode;
+  int64_t best_load = 0;
+  for (NodeId node : candidates) {
+    int64_t load = 0;
+    auto fed = load_.find(node);
+    if (fed != load_.end()) load += fed->second;
+    auto fly = inflight_.find(node);
+    if (fly != inflight_.end()) load += fly->second;
+    // Ties break toward the lowest node id, so runs with identical
+    // (e.g. pinned) feeds place deterministically.
+    if (best == kInvalidNode || load < best_load) {
+      best = node;
+      best_load = load;
+    }
+  }
+  placed_[instance] = best;
+  ++inflight_[best];
+  return best;
+}
+
+NodeId LeastLoadedPlacement::Owner(
+    const InstanceId& instance,
+    const std::vector<NodeId>& /*candidates*/) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = placed_.find(instance);
+  return it == placed_.end() ? kInvalidNode : it->second;
+}
+
+void LeastLoadedPlacement::Forget(const InstanceId& instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = placed_.find(instance);
+  if (it == placed_.end()) return;
+  auto fly = inflight_.find(it->second);
+  if (fly != inflight_.end() && fly->second > 0) --fly->second;
+  placed_.erase(it);
+}
+
+void LeastLoadedPlacement::UpdateLoad(NodeId node, int64_t load) {
+  std::lock_guard<std::mutex> lock(mu_);
+  load_[node] = load;
+}
+
+int64_t LeastLoadedPlacement::LoadOf(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t load = 0;
+  auto fed = load_.find(node);
+  if (fed != load_.end()) load += fed->second;
+  auto fly = inflight_.find(node);
+  if (fly != inflight_.end()) load += fly->second;
+  return load;
+}
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kStatic:
+      return std::make_unique<StaticPlacement>();
+    case PlacementKind::kRoundRobin:
+      return std::make_unique<RoundRobinPlacement>();
+    case PlacementKind::kConsistentHash:
+      return std::make_unique<ConsistentHashPlacement>();
+    case PlacementKind::kLeastLoaded:
+      return std::make_unique<LeastLoadedPlacement>();
+  }
+  return std::make_unique<StaticPlacement>();
+}
+
+}  // namespace crew::runtime

@@ -1,0 +1,137 @@
+#ifndef CREW_RUNTIME_PLACEMENT_H_
+#define CREW_RUNTIME_PLACEMENT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace crew::runtime {
+
+/// Instance->node placement policies (the scale-out seam). Parallel
+/// control uses them to pick the owner engine of a new instance; the
+/// distributed front end uses them to pick the coordination agent among
+/// the start step's eligible agents. The chosen node travels with the
+/// instance (WorkflowPacket::coordinator), so only the *placer* needs
+/// the policy — every other node reads the decision off the wire.
+enum class PlacementKind {
+  /// First candidate (dist legacy: Deployment::CoordinationAgent).
+  kStatic = 0,
+  /// candidates[number % n] (parallel legacy owner-engine rule).
+  kRoundRobin,
+  /// Rendezvous (highest-random-weight) hashing of (instance, node):
+  /// deterministic, uniform, and stable — adding or removing one
+  /// candidate only remaps the instances that hashed to it.
+  kConsistentHash,
+  /// Lowest (external load feed + in-flight placements); sticky per
+  /// instance because the decision is load-dependent, not derivable.
+  kLeastLoaded,
+};
+
+const char* PlacementKindName(PlacementKind kind);
+/// Accepts the canonical names and common aliases ("rr", "hash",
+/// "least"). Returns false on unknown input.
+bool ParsePlacementKind(const std::string& name, PlacementKind* kind);
+
+/// Strategy interface. Candidates are passed per call (eligibility is
+/// per workflow class), and must be non-empty, sorted and duplicate
+/// free — exactly what model::Deployment::Eligible returns.
+///
+/// Threading: Place/Owner/Forget run on whoever drives instance starts
+/// (one thread at a time); UpdateLoad may arrive concurrently from a
+/// telemetry feed, so stateful policies lock internally. Deterministic
+/// policies are immutable and need no synchronization.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual PlacementKind kind() const = 0;
+  const char* name() const { return PlacementKindName(kind()); }
+
+  /// Chooses the owner of `instance` among `candidates`, recording the
+  /// choice when the policy is sticky. kInvalidNode iff no candidates.
+  virtual NodeId Place(const InstanceId& instance,
+                       const std::vector<NodeId>& candidates) = 0;
+
+  /// Re-derives (deterministic policies) or recalls (sticky policies)
+  /// the owner. kInvalidNode when sticky and the instance was never
+  /// placed here.
+  virtual NodeId Owner(const InstanceId& instance,
+                       const std::vector<NodeId>& candidates) const = 0;
+
+  /// Drops a sticky record once the instance ended. No-op otherwise.
+  virtual void Forget(const InstanceId& instance) { (void)instance; }
+
+  /// External load gauge for `node` (queue depth / wf-in-flight from
+  /// the live merged metrics). Ignored by deterministic policies.
+  virtual void UpdateLoad(NodeId node, int64_t load) {
+    (void)node;
+    (void)load;
+  }
+};
+
+class StaticPlacement : public PlacementPolicy {
+ public:
+  PlacementKind kind() const override { return PlacementKind::kStatic; }
+  NodeId Place(const InstanceId& instance,
+               const std::vector<NodeId>& candidates) override;
+  NodeId Owner(const InstanceId& instance,
+               const std::vector<NodeId>& candidates) const override;
+};
+
+class RoundRobinPlacement : public PlacementPolicy {
+ public:
+  PlacementKind kind() const override {
+    return PlacementKind::kRoundRobin;
+  }
+  NodeId Place(const InstanceId& instance,
+               const std::vector<NodeId>& candidates) override;
+  NodeId Owner(const InstanceId& instance,
+               const std::vector<NodeId>& candidates) const override;
+};
+
+class ConsistentHashPlacement : public PlacementPolicy {
+ public:
+  PlacementKind kind() const override {
+    return PlacementKind::kConsistentHash;
+  }
+  NodeId Place(const InstanceId& instance,
+               const std::vector<NodeId>& candidates) override;
+  NodeId Owner(const InstanceId& instance,
+               const std::vector<NodeId>& candidates) const override;
+
+  /// The rendezvous weight of hosting `instance` at `node` (exposed for
+  /// the stability tests).
+  static uint64_t Weight(const InstanceId& instance, NodeId node);
+};
+
+class LeastLoadedPlacement : public PlacementPolicy {
+ public:
+  PlacementKind kind() const override {
+    return PlacementKind::kLeastLoaded;
+  }
+  NodeId Place(const InstanceId& instance,
+               const std::vector<NodeId>& candidates) override;
+  NodeId Owner(const InstanceId& instance,
+               const std::vector<NodeId>& candidates) const override;
+  void Forget(const InstanceId& instance) override;
+  void UpdateLoad(NodeId node, int64_t load) override;
+
+  /// Current effective load of `node` (feed + in-flight placements).
+  int64_t LoadOf(NodeId node) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<NodeId, int64_t> load_;      // external feed (gauge)
+  std::map<NodeId, int64_t> inflight_;  // Place() minus Forget()
+  std::map<InstanceId, NodeId> placed_;
+};
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind);
+
+}  // namespace crew::runtime
+
+#endif  // CREW_RUNTIME_PLACEMENT_H_

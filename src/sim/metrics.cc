@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "obs/trace.h"
@@ -64,6 +65,14 @@ void Metrics::AddCounter(const std::string& name, int64_t delta) {
 int64_t Metrics::Counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
+}
+
+obs::LatencyHistogram& Metrics::Latency(const std::string& name) {
+  auto it = latencies_.find(name);
+  if (it == latencies_.end()) {
+    it = latencies_.emplace(name, obs::LatencyHistogram(name)).first;
+  }
+  return it->second;
 }
 
 int64_t Metrics::MessagesIn(MsgCategory category) const {
@@ -150,6 +159,9 @@ void Metrics::MergeFrom(const Metrics& other) {
     for (const auto& [cat, n] : per_cat) mine[cat] += n;
   }
   for (const auto& [name, n] : other.counters_) counters_[name] += n;
+  for (const auto& [name, hist] : other.latencies_) {
+    Latency(name).MergeFrom(hist);
+  }
 }
 
 void Metrics::Reset() {
@@ -160,6 +172,7 @@ void Metrics::Reset() {
   by_type_.clear();
   load_.clear();
   counters_.clear();
+  latencies_.clear();
 }
 
 std::string Metrics::Report() const {
@@ -218,7 +231,41 @@ std::string Metrics::ReportJson() const {
     first = false;
     os << "\"" << obs::JsonEscape(name) << "\":" << n;
   }
-  os << "}}";
+  os << "}";
+  // Latency section only when histograms exist, so reports from code
+  // paths that predate them keep their exact bytes.
+  if (!latencies_.empty()) {
+    os << ",\"latencies\":{";
+    first = true;
+    for (const auto& [name, hist] : latencies_) {
+      if (!first) os << ",";
+      first = false;
+      char head[160];
+      std::snprintf(head, sizeof(head),
+                    "\"count\":%lld,\"min\":%lld,\"max\":%lld,"
+                    "\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f",
+                    static_cast<long long>(hist.count()),
+                    static_cast<long long>(hist.min()),
+                    static_cast<long long>(hist.max()),
+                    hist.Percentile(50), hist.Percentile(95),
+                    hist.Percentile(99));
+      os << "\"" << obs::JsonEscape(name) << "\":{" << head
+         << ",\"buckets\":[";
+      // Sparse [index,count] pairs: a remote collector replays them via
+      // AddBucket to pool exact cross-process percentiles.
+      const auto& buckets = hist.buckets();
+      bool first_bucket = true;
+      for (size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0) continue;
+        if (!first_bucket) os << ",";
+        first_bucket = false;
+        os << "[" << i << "," << buckets[i] << "]";
+      }
+      os << "]}";
+    }
+    os << "}";
+  }
+  os << "}";
   return os.str();
 }
 

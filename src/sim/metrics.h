@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/trace.h"
 
 namespace crew::sim {
 
@@ -59,6 +60,15 @@ class Metrics {
   int64_t Counter(const std::string& name) const;
   const std::map<std::string, int64_t>& counters() const {
     return counters_;
+  }
+
+  /// Named latency histogram, created on first use. Cheap enough for
+  /// per-instance events (e.g. commit sojourn); buckets ship in
+  /// ReportJson so a cluster collector can pool exact percentiles
+  /// across process shards.
+  obs::LatencyHistogram& Latency(const std::string& name);
+  const std::map<std::string, obs::LatencyHistogram>& latencies() const {
+    return latencies_;
   }
 
   int64_t TotalMessages() const { return total_messages_; }
@@ -116,6 +126,7 @@ class Metrics {
   std::map<std::pair<int, std::string>, int64_t> by_type_;
   std::map<NodeId, std::map<int, int64_t>> load_;  // node -> category -> n
   std::map<std::string, int64_t> counters_;
+  std::map<std::string, obs::LatencyHistogram> latencies_;
 };
 
 }  // namespace crew::sim

@@ -520,6 +520,71 @@ TEST(NetEquivalenceTest, DistTerminalStatesMatchSchedule) {
   }
 }
 
+// Placement-routed cluster vs the same policy in one runtime: identical
+// terminal states and message counts (the placement seam must not
+// change behaviour, only where instances land).
+TEST(NetEquivalenceTest, DistHashPlacementMatchesSingleRuntimeBaseline) {
+  TestbedOptions options;
+  options.mode = "dist";
+  options.num_agents = 4;
+  options.placement = "hash";
+  ExpectEquivalent(options, /*instances=*/12, /*endpoints=*/3);
+}
+
+TEST(NetEquivalenceTest, DistRoundRobinWithSweepClassesAllCommit) {
+  TestbedOptions options;
+  options.mode = "dist";
+  options.num_agents = 4;
+  options.placement = "rr";
+  options.num_classes = 3;
+  TempDir dir;
+  RunResult baseline = RunInProcess(options, 12);
+  RunResult sockets = RunOverSockets(options, 12, 3, dir.path);
+  ASSERT_EQ(sockets.states.size(), 12u);
+  for (int i = 1; i <= 12; ++i) {
+    EXPECT_EQ(sockets.states.at(i), WorkflowState::kCommitted)
+        << "instance " << i;
+    EXPECT_EQ(sockets.states.at(i), baseline.states.at(i))
+        << "instance " << i;
+  }
+  ExpectSameCounts(baseline.metrics, sockets.metrics);
+}
+
+// Least-loaded is sticky and load-timing dependent, so message counts
+// may differ run to run — but every instance must still reach the
+// schedule's terminal state, answered by the front end (the only node
+// that knows the placements).
+TEST(NetEquivalenceTest, DistLeastLoadedReachesExpectedTerminalStates) {
+  TestbedOptions options;
+  options.mode = "dist";
+  options.num_agents = 3;
+  options.placement = "least";
+  TempDir dir;
+  RunResult sockets = RunOverSockets(options, 9, 3, dir.path);
+  ASSERT_EQ(sockets.states.size(), 9u);
+  for (int i = 1; i <= 9; ++i) {
+    WorkflowState expected = (i % 3 == 0) ? WorkflowState::kAborted
+                                          : WorkflowState::kCommitted;
+    EXPECT_EQ(sockets.states.at(i), expected) << "instance " << i;
+  }
+}
+
+// The pre-fix purge broadcast must remain behaviourally equivalent (it
+// only sends more messages) — it is the before-curve of the sweep.
+TEST(NetEquivalenceTest, DistBroadcastPurgeSameTerminalStates) {
+  TestbedOptions options;
+  options.mode = "dist";
+  options.num_agents = 3;
+  options.purge = "broadcast";
+  TempDir dir;
+  RunResult sockets = RunOverSockets(options, 9, 3, dir.path);
+  for (int i = 1; i <= 9; ++i) {
+    WorkflowState expected = (i % 3 == 0) ? WorkflowState::kAborted
+                                          : WorkflowState::kCommitted;
+    EXPECT_EQ(sockets.states.at(i), expected) << "instance " << i;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Trace shards and the cluster-wide merge.
 
@@ -809,6 +874,73 @@ TEST(TelemetryTest, NodeDocumentsAggregateAcrossCluster) {
   EXPECT_EQ(cluster.compare(0, 13, "{\"aggregate\":"), 0);
   EXPECT_NE(cluster.find(n1.json), std::string::npos);
   EXPECT_NE(cluster.find(n2.json), std::string::npos);
+}
+
+// Placement counters scraped per node, imbalance over the full
+// candidate set (idle nodes count against balance), and exact
+// cross-process latency pooling via sparse bucket pairs.
+TEST(TelemetryTest, PlacementCountsImbalanceAndPooledLatency) {
+  sim::Metrics m1;
+  m1.AddCounter("placement.wf.n1", 6);
+  m1.AddCounter("placement.wf.n2", 2);
+  m1.AddCounter("wf.committed", 7);
+  for (int i = 0; i < 100; ++i) m1.Latency("wf.sojourn_ticks").Add(10 + i);
+  sim::Metrics m2;
+  m2.AddCounter("placement.wf.n3", 4);
+  m2.AddCounter("wf.aborted", 1);
+  for (int i = 0; i < 50; ++i) m2.Latency("wf.sojourn_ticks").Add(1000 + i);
+
+  rt::RuntimeStats rs;
+  SocketTransportStats ts;
+  NodeTelemetry n1{"unix:/tmp/a.sock",
+                   NodeTelemetryJson("unix:/tmp/a.sock", 1, m1, rs, ts, {})};
+  NodeTelemetry n2{"unix:/tmp/b.sock",
+                   NodeTelemetryJson("unix:/tmp/b.sock", 1, m2, rs, ts, {})};
+
+  std::map<NodeId, int64_t> counts = PlacementCounts({n1, n2});
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[1], 6);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 4);
+
+  // Three populated nodes but four candidates: the idle fourth node
+  // pulls the mean down and the imbalance up.
+  PlacementImbalance im = ComputeImbalance(counts, 4);
+  EXPECT_EQ(im.nodes, 4);
+  EXPECT_EQ(im.total, 12);
+  EXPECT_EQ(im.max_count, 6);
+  EXPECT_DOUBLE_EQ(im.mean, 3.0);
+  EXPECT_DOUBLE_EQ(im.max_over_mean, 2.0);
+
+  ClusterAggregate agg = AggregateTelemetry({n1, n2});
+  EXPECT_EQ(agg.wf_committed, 7);
+  EXPECT_EQ(agg.wf_aborted, 1);
+  EXPECT_NE(AggregateSummaryLine(agg).find("wf=7/1"), std::string::npos);
+
+  // Pooling the shipped buckets is exact at bucket resolution: the
+  // percentiles match a histogram rebuilt from the same buckets locally
+  // (the wire loses nothing beyond what the buckets already lost).
+  obs::LatencyHistogram pooled = PooledLatency({n1, n2}, "wf.sojourn_ticks");
+  obs::LatencyHistogram direct("direct");
+  for (int i = 0; i < 100; ++i) direct.Add(10 + i);
+  for (int i = 0; i < 50; ++i) direct.Add(1000 + i);
+  obs::LatencyHistogram reference("reference");
+  for (size_t i = 0; i < direct.buckets().size(); ++i) {
+    reference.AddBucket(static_cast<int>(i), direct.buckets()[i]);
+  }
+  EXPECT_EQ(pooled.count(), direct.count());
+  EXPECT_DOUBLE_EQ(pooled.Percentile(50), reference.Percentile(50));
+  EXPECT_DOUBLE_EQ(pooled.Percentile(95), reference.Percentile(95));
+  EXPECT_DOUBLE_EQ(pooled.Percentile(99), reference.Percentile(99));
+  // Bucket interpolation stays within one bucket of the true samples.
+  EXPECT_NEAR(pooled.Percentile(50), direct.Percentile(50), 16.0);
+  EXPECT_NEAR(pooled.Percentile(99), direct.Percentile(99), 64.0);
+  // A name that never recorded pools to an empty histogram.
+  EXPECT_EQ(PooledLatency({n1, n2}, "no.such.latency").count(), 0);
+
+  std::string cluster = ClusterTelemetryJson({n1, n2});
+  EXPECT_NE(cluster.find("\"placement\":{\"nodes\":3,\"total\":12,\"max\":6"),
+            std::string::npos);
 }
 
 // Satellite guarantee: ReportJson is byte-stable — the same counts

@@ -1,0 +1,189 @@
+#include "runtime/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace crew::runtime {
+namespace {
+
+InstanceId Inst(int64_t n, const std::string& wf = "Wf") {
+  return InstanceId{wf, n};
+}
+
+TEST(PlacementParseTest, NamesAndAliases) {
+  PlacementKind kind;
+  EXPECT_TRUE(ParsePlacementKind("static", &kind));
+  EXPECT_EQ(kind, PlacementKind::kStatic);
+  EXPECT_TRUE(ParsePlacementKind("", &kind));
+  EXPECT_EQ(kind, PlacementKind::kStatic);
+  EXPECT_TRUE(ParsePlacementKind("rr", &kind));
+  EXPECT_EQ(kind, PlacementKind::kRoundRobin);
+  EXPECT_TRUE(ParsePlacementKind("round-robin", &kind));
+  EXPECT_EQ(kind, PlacementKind::kRoundRobin);
+  EXPECT_TRUE(ParsePlacementKind("hash", &kind));
+  EXPECT_EQ(kind, PlacementKind::kConsistentHash);
+  EXPECT_TRUE(ParsePlacementKind("consistent-hash", &kind));
+  EXPECT_EQ(kind, PlacementKind::kConsistentHash);
+  EXPECT_TRUE(ParsePlacementKind("least", &kind));
+  EXPECT_EQ(kind, PlacementKind::kLeastLoaded);
+  EXPECT_TRUE(ParsePlacementKind("least-loaded", &kind));
+  EXPECT_EQ(kind, PlacementKind::kLeastLoaded);
+  EXPECT_FALSE(ParsePlacementKind("bogus", &kind));
+
+  for (PlacementKind k :
+       {PlacementKind::kStatic, PlacementKind::kRoundRobin,
+        PlacementKind::kConsistentHash, PlacementKind::kLeastLoaded}) {
+    auto policy = MakePlacementPolicy(k);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->kind(), k);
+    PlacementKind parsed;
+    EXPECT_TRUE(ParsePlacementKind(policy->name(), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+}
+
+TEST(PlacementTest, StaticTakesFirstCandidate) {
+  StaticPlacement placement;
+  std::vector<NodeId> candidates = {4, 7, 9};
+  EXPECT_EQ(placement.Place(Inst(1), candidates), 4);
+  EXPECT_EQ(placement.Owner(Inst(99), candidates), 4);
+  EXPECT_EQ(placement.Place(Inst(1), {}), kInvalidNode);
+}
+
+TEST(PlacementTest, RoundRobinMatchesLegacyModuloRule) {
+  RoundRobinPlacement placement;
+  std::vector<NodeId> candidates = {1, 2, 3};
+  for (int64_t n = 0; n < 30; ++n) {
+    NodeId expected = candidates[static_cast<size_t>(n) % 3];
+    EXPECT_EQ(placement.Place(Inst(n), candidates), expected);
+    EXPECT_EQ(placement.Owner(Inst(n), candidates), expected);
+  }
+  EXPECT_EQ(placement.Owner(Inst(5), {}), kInvalidNode);
+}
+
+TEST(PlacementTest, ConsistentHashDeterministicAndBalanced) {
+  ConsistentHashPlacement placement;
+  std::vector<NodeId> candidates = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::map<NodeId, int> per_node;
+  for (int64_t n = 0; n < 1000; ++n) {
+    NodeId owner = placement.Place(Inst(n), candidates);
+    EXPECT_EQ(placement.Owner(Inst(n), candidates), owner);
+    ASSERT_NE(owner, kInvalidNode);
+    ++per_node[owner];
+  }
+  // Rendezvous hashing spreads uniformly: every node gets a share, and
+  // no node dominates (loose 2x-mean bound — the hash is fixed, so this
+  // cannot flake).
+  EXPECT_EQ(per_node.size(), candidates.size());
+  for (const auto& [node, count] : per_node) {
+    EXPECT_GT(count, 0) << "node " << node;
+    EXPECT_LT(count, 2 * 1000 / 8) << "node " << node;
+  }
+  // Different workflow names hash independently.
+  EXPECT_EQ(placement.Owner(Inst(7, "A"), candidates),
+            placement.Owner(Inst(7, "A"), candidates));
+}
+
+TEST(PlacementTest, ConsistentHashStableUnderNodeRemoval) {
+  ConsistentHashPlacement placement;
+  std::vector<NodeId> all = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<NodeId> without_5 = {1, 2, 3, 4, 6, 7, 8};
+  int moved = 0;
+  for (int64_t n = 0; n < 1000; ++n) {
+    NodeId before = placement.Owner(Inst(n), all);
+    NodeId after = placement.Owner(Inst(n), without_5);
+    if (before == 5) {
+      // Displaced instances must land somewhere else...
+      EXPECT_NE(after, 5);
+      ++moved;
+    } else {
+      // ...and every other instance must not move at all.
+      EXPECT_EQ(after, before) << "instance " << n;
+    }
+  }
+  // Roughly 1/8 of instances lived on node 5.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 2 * 1000 / 8);
+}
+
+TEST(PlacementTest, ConsistentHashStableUnderNodeAddition) {
+  ConsistentHashPlacement placement;
+  std::vector<NodeId> eight = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<NodeId> nine = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  int moved = 0;
+  for (int64_t n = 0; n < 1000; ++n) {
+    NodeId before = placement.Owner(Inst(n), eight);
+    NodeId after = placement.Owner(Inst(n), nine);
+    if (after != before) {
+      // The only legal move is onto the new node.
+      EXPECT_EQ(after, 9) << "instance " << n;
+      ++moved;
+    }
+  }
+  // The new node takes roughly 1/9 of the keyspace.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 2 * 1000 / 9);
+}
+
+TEST(PlacementTest, ConsistentHashWeightIsArgmaxWitness) {
+  std::vector<NodeId> candidates = {3, 5, 11};
+  ConsistentHashPlacement placement;
+  for (int64_t n = 0; n < 50; ++n) {
+    NodeId owner = placement.Owner(Inst(n), candidates);
+    uint64_t best = ConsistentHashPlacement::Weight(Inst(n), owner);
+    for (NodeId node : candidates) {
+      EXPECT_LE(ConsistentHashPlacement::Weight(Inst(n), node), best);
+    }
+  }
+}
+
+TEST(PlacementTest, LeastLoadedDeterministicUnderPinnedFeed) {
+  LeastLoadedPlacement placement;
+  std::vector<NodeId> candidates = {1, 2, 3};
+  placement.UpdateLoad(1, 5);
+  placement.UpdateLoad(2, 0);
+  placement.UpdateLoad(3, 2);
+
+  // Effective load after each placement: feed + in-flight.
+  EXPECT_EQ(placement.Place(Inst(10), candidates), 2);  // 5,0,2 -> n2
+  EXPECT_EQ(placement.Place(Inst(11), candidates), 2);  // 5,1,2 -> n2
+  // 5,2,2: tie broken by lowest node id.
+  EXPECT_EQ(placement.Place(Inst(12), candidates), 2);
+  EXPECT_EQ(placement.Place(Inst(13), candidates), 3);  // 5,3,2 -> n3
+  EXPECT_EQ(placement.LoadOf(2), 3);
+  EXPECT_EQ(placement.LoadOf(3), 3);
+}
+
+TEST(PlacementTest, LeastLoadedIsStickyAndForgets) {
+  LeastLoadedPlacement placement;
+  std::vector<NodeId> candidates = {1, 2};
+  NodeId first = placement.Place(Inst(1), candidates);
+  // Piling load onto the chosen node must not move an already-placed
+  // instance (the decision travelled with it).
+  placement.UpdateLoad(first, 1000);
+  EXPECT_EQ(placement.Place(Inst(1), candidates), first);
+  EXPECT_EQ(placement.Owner(Inst(1), candidates), first);
+  // An unknown instance has no recalled owner.
+  EXPECT_EQ(placement.Owner(Inst(2), candidates), kInvalidNode);
+  placement.Forget(Inst(1));
+  EXPECT_EQ(placement.Owner(Inst(1), candidates), kInvalidNode);
+}
+
+TEST(PlacementTest, LeastLoadedInFlightDrainsOnForget) {
+  LeastLoadedPlacement placement;
+  std::vector<NodeId> candidates = {1, 2};
+  EXPECT_EQ(placement.Place(Inst(1), candidates), 1);  // tie -> lowest
+  EXPECT_EQ(placement.Place(Inst(2), candidates), 2);  // 1,0 -> n2
+  EXPECT_EQ(placement.LoadOf(1), 1);
+  placement.Forget(Inst(1));
+  EXPECT_EQ(placement.LoadOf(1), 0);
+  // With node 1 drained, the next instance goes there again.
+  EXPECT_EQ(placement.Place(Inst(3), candidates), 1);
+}
+
+}  // namespace
+}  // namespace crew::runtime

@@ -146,10 +146,12 @@ TEST(WireCodec, StepExecutePacket) {
   m.packet.executed_by[2] = 20;
   m.packet.ro_links.push_back({{"WFo", 4}, 1, 2, false});
   m.packet.rd_links.push_back({{"WFr", 6}, 3, 5});
+  m.packet.coordinator = 7;
   ForEachCodecRoundTrip(m, [&](const StepExecuteMsg& p, const char* which) {
     EXPECT_EQ(p.packet.instance, m.packet.instance) << which;
     EXPECT_EQ(p.packet.target_step, m.packet.target_step) << which;
     EXPECT_EQ(p.packet.epoch, m.packet.epoch) << which;
+    EXPECT_EQ(p.packet.coordinator, 7) << which;
     EXPECT_EQ(p.packet.data, m.packet.data) << which;
     ASSERT_EQ(p.packet.events.size(), m.packet.events.size()) << which;
     for (size_t i = 0; i < m.packet.events.size(); ++i) {
@@ -163,6 +165,16 @@ TEST(WireCodec, StepExecutePacket) {
     ASSERT_EQ(p.packet.rd_links.size(), 1u) << which;
     EXPECT_EQ(p.packet.rd_links[0].other, m.packet.rd_links[0].other) << which;
   });
+
+  // Unplaced packets omit the coordinator on the wire; the receiver
+  // must see the kInvalidNode default, not 0 (a real node id).
+  StepExecuteMsg unplaced;
+  unplaced.packet.instance = {"WF_pkt", 14};
+  unplaced.packet.target_step = 1;
+  ForEachCodecRoundTrip(
+      unplaced, [&](const StepExecuteMsg& p, const char* which) {
+        EXPECT_EQ(p.packet.coordinator, kInvalidNode) << which;
+      });
 }
 
 TEST(WireCodec, StepLifecycle) {
